@@ -1,0 +1,93 @@
+//! Micro-benchmarks of the hot kernels: intersections, trie construction and
+//! probing, the share optimizer, GHD decomposition, and the edge-cover LP.
+//! These are the ablation benches DESIGN.md calls out (e.g. galloping vs
+//! merge intersection — the "trie vs flat" design choice).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use adj_datagen::{generate, GraphConfig};
+use adj_hcube::{optimize_share, ShareInput};
+use adj_query::lp::fractional_edge_cover;
+use adj_query::{paper_query, GhdTree, PaperQuery};
+use adj_relational::intersect::{intersect2, intersect2_merge, leapfrog_intersect};
+use adj_relational::{Trie, Value};
+
+fn bench_intersections(c: &mut Criterion) {
+    let a: Vec<Value> = (0..100_000).filter(|x| x % 3 == 0).collect();
+    let b: Vec<Value> = (0..100_000).filter(|x| x % 7 == 0).collect();
+    let skew: Vec<Value> = (0..100_000).filter(|x| x % 1000 == 0).collect();
+    let mut out = Vec::new();
+    let mut g = c.benchmark_group("intersect");
+    g.bench_function("gallop_balanced", |bch| {
+        bch.iter(|| intersect2(black_box(&a), black_box(&b), &mut out))
+    });
+    g.bench_function("merge_balanced", |bch| {
+        bch.iter(|| intersect2_merge(black_box(&a), black_box(&b), &mut out))
+    });
+    // Ablation: galloping wins big on skewed (small ∩ large) inputs.
+    g.bench_function("gallop_skewed", |bch| {
+        bch.iter(|| intersect2(black_box(&skew), black_box(&a), &mut out))
+    });
+    g.bench_function("merge_skewed", |bch| {
+        bch.iter(|| intersect2_merge(black_box(&skew), black_box(&a), &mut out))
+    });
+    let runs: Vec<&[Value]> = vec![&a, &b, &skew];
+    g.bench_function("leapfrog_3way", |bch| {
+        bch.iter(|| leapfrog_intersect(black_box(&runs), &mut out))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let graph = generate(&GraphConfig { nodes: 10_000, out_degree: 8, skew: 0.7, seed: 1 });
+    let mut g = c.benchmark_group("trie");
+    g.bench_function("build_80k_edges", |bch| {
+        bch.iter(|| Trie::build(black_box(&graph)))
+    });
+    let trie = Trie::build(&graph);
+    let keys: Vec<Value> = (0..1000).map(|i| i * 7 % 10_000).collect();
+    g.bench_function("probe_1k_prefixes", |bch| {
+        bch.iter(|| {
+            let mut hits = 0usize;
+            for &k in &keys {
+                if trie.run_for_prefix(black_box(&[k])).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planning");
+    let q5 = paper_query(PaperQuery::Q5);
+    let h5 = q5.hypergraph();
+    g.bench_function("ghd_q5", |bch| bch.iter(|| GhdTree::decompose(black_box(&h5), 3)));
+    let q3 = paper_query(PaperQuery::Q3);
+    let h3 = q3.hypergraph();
+    g.bench_function("ghd_q3_5clique", |bch| {
+        bch.iter(|| GhdTree::decompose(black_box(&h3), 3))
+    });
+    g.bench_function("edge_cover_lp_k5", |bch| {
+        bch.iter(|| fractional_edge_cover(black_box(&h3), 0b11111))
+    });
+    let input = ShareInput {
+        num_attrs: 5,
+        relations: q5.atoms.iter().map(|a| (a.schema.mask(), 100_000)).collect(),
+        num_workers: 28,
+        memory_limit_bytes: None,
+        bytes_per_value: 4,
+    };
+    g.bench_function("share_optimizer_q5_w28", |bch| {
+        bch.iter(|| optimize_share(black_box(&input)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_intersections, bench_trie, bench_planning
+}
+criterion_main!(benches);

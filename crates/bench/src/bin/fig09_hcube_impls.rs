@@ -1,0 +1,50 @@
+//! Fig. 9 — comparison of the three HCube implementations (Push, Pull,
+//! Merge) on Q2 over all datasets: communication cost and computation
+//! (local build) cost.
+
+use adj_bench::{print_table, scale, test_case, workers};
+use adj_cluster::{Cluster, ClusterConfig};
+use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
+use adj_datagen::Dataset;
+use adj_query::PaperQuery;
+use adj_relational::Attr;
+
+fn main() {
+    let w = workers();
+    println!("Fig. 9 reproduction — HCube Push/Pull/Merge on Q2 (scale {}, {} workers)", scale(), w);
+    let mut comm_rows = Vec::new();
+    let mut comp_rows = Vec::new();
+    for ds in Dataset::ALL {
+        let graph = ds.graph(scale());
+        let (query, db) = test_case(PaperQuery::Q2, &graph);
+        let input = ShareInput {
+            num_attrs: query.num_attrs(),
+            relations: query
+                .atoms
+                .iter()
+                .map(|a| (a.schema.mask(), db.get(&a.name).unwrap().len()))
+                .collect(),
+            num_workers: w,
+            memory_limit_bytes: None,
+            bytes_per_value: 4,
+        };
+        let share = optimize_share(&input).unwrap();
+        let plan = HCubePlan::new(share, w);
+        let names: Vec<String> = query.atoms.iter().map(|a| a.name.clone()).collect();
+        let order: Vec<Attr> = query.attrs();
+        let mut comm = vec![ds.name().to_string()];
+        let mut comp = vec![ds.name().to_string()];
+        for impl_ in HCubeImpl::ALL {
+            let cluster = Cluster::new(ClusterConfig::with_workers(w));
+            let out = hcube_shuffle(&cluster, &db, &names, &plan, &order, impl_).unwrap();
+            comm.push(format!("{:.4}", out.report.comm_secs));
+            comp.push(format!("{:.4}", out.report.build_secs));
+        }
+        comm_rows.push(comm);
+        comp_rows.push(comp);
+    }
+    let hdr: Vec<String> =
+        ["dataset", "Push", "Pull", "Merge"].iter().map(|s| s.to_string()).collect();
+    print_table("Fig 9(a): communication seconds", &hdr, &comm_rows);
+    print_table("Fig 9(b): computation (local build) seconds", &hdr, &comp_rows);
+}

@@ -1,0 +1,48 @@
+//! Fig. 12 — the headline comparison of the five methods.
+//!
+//! (a)–(c): queries fixed to Q1, Q2, Q3; datasets vary (all six).
+//! (d)–(f): datasets fixed to AS, LJ, OK; queries vary (Q1–Q6).
+//!
+//! Cells are total seconds; `FAIL` reproduces the paper's missing bars
+//! (memory/intermediate-result budget exceeded).
+
+use adj_bench::{print_table, run_method, scale, workers, Method};
+use adj_datagen::Dataset;
+use adj_query::PaperQuery;
+
+fn main() {
+    let w = workers();
+    println!("Fig. 12 reproduction (scale {}, {} workers)", scale(), w);
+
+    // (a)-(c): vary dataset
+    for q in [PaperQuery::Q1, PaperQuery::Q2, PaperQuery::Q3] {
+        let mut rows = Vec::new();
+        for ds in Dataset::ALL {
+            let graph = ds.graph(scale());
+            let mut row = vec![ds.name().to_string()];
+            for m in Method::ALL {
+                row.push(run_method(m, q, &graph, w).cell());
+            }
+            rows.push(row);
+        }
+        let mut hdr: Vec<String> = vec!["dataset".into()];
+        hdr.extend(Method::ALL.iter().map(|m| m.name().to_string()));
+        print_table(&format!("Fig 12 ({}): total seconds by dataset", q.name()), &hdr, &rows);
+    }
+
+    // (d)-(f): vary query
+    for ds in [Dataset::AS, Dataset::LJ, Dataset::OK] {
+        let graph = ds.graph(scale());
+        let mut rows = Vec::new();
+        for q in PaperQuery::EVALUATED {
+            let mut row = vec![q.name().to_string()];
+            for m in Method::ALL {
+                row.push(run_method(m, q, &graph, w).cell());
+            }
+            rows.push(row);
+        }
+        let mut hdr: Vec<String> = vec!["query".into()];
+        hdr.extend(Method::ALL.iter().map(|m| m.name().to_string()));
+        print_table(&format!("Fig 12 ({}): total seconds by query", ds.name()), &hdr, &rows);
+    }
+}

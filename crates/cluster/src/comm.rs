@@ -1,0 +1,189 @@
+//! Communication accounting: every shuffle in the workspace is routed
+//! through [`CommStats`], and communication *seconds* are derived by the
+//! α model of Sec. III-B (`costC = Σ_R |R| · dup(R,p) / α`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters for shuffled data. Cheap enough to update from every
+/// worker thread (one `fetch_add` per batch, not per tuple).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+    /// Number of distinct shuffle rounds (multi-round methods pay latency
+    /// per round; one-round methods have exactly 1).
+    rounds: AtomicU64,
+    /// Number of transfer units (messages). The original "Push" HCube sends
+    /// one message per delivered tuple copy; the optimized "Pull"/"Merge"
+    /// implementations transfer whole blocks, so their message count is
+    /// orders of magnitude lower for the same tuple count — this is the
+    /// effect Fig. 9 measures.
+    messages: AtomicU64,
+}
+
+impl CommStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        CommStats::default()
+    }
+
+    /// Records a batch of `tuples` delivered copies totalling `bytes`.
+    #[inline]
+    pub fn record(&self, tuples: u64, bytes: u64) {
+        self.tuples.fetch_add(tuples, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Marks the start of a shuffle round.
+    #[inline]
+    pub fn record_round(&self) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` transfer units (messages / blocks).
+    #[inline]
+    pub fn record_messages(&self, n: u64) {
+        self.messages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total messages.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total delivered tuple copies.
+    pub fn tuples(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+
+    /// Total delivered bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of shuffle rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot-and-reset, returning `(tuples, bytes, rounds)`. Used between
+    /// experiment phases to attribute communication to pre-computing vs. the
+    /// final join (Tables II–IV break these out separately).
+    pub fn take(&self) -> (u64, u64, u64) {
+        self.messages.store(0, Ordering::Relaxed);
+        (
+            self.tuples.swap(0, Ordering::Relaxed),
+            self.bytes.swap(0, Ordering::Relaxed),
+            self.rounds.swap(0, Ordering::Relaxed),
+        )
+    }
+
+    /// Full snapshot `(tuples, bytes, rounds, messages)` without resetting.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64) {
+        (self.tuples(), self.bytes(), self.rounds(), self.messages())
+    }
+}
+
+/// Converts communication counts into modeled seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// α — tuples per second across the interconnect.
+    pub alpha_tuples_per_sec: f64,
+    /// Fixed per-round latency in seconds (job-launch + barrier overhead;
+    /// what makes many-round methods slow even on small shuffles).
+    pub round_latency_secs: f64,
+    /// Per-message (per transfer unit) overhead in seconds — serialization,
+    /// framing, scheduling. Dominates for tuple-at-a-time "Push" shuffles.
+    pub per_message_secs: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alpha_tuples_per_sec: 10_000_000.0,
+            round_latency_secs: 0.05,
+            per_message_secs: 2e-6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Modeled communication seconds for a tuple count.
+    pub fn comm_secs(&self, tuples: u64) -> f64 {
+        tuples as f64 / self.alpha_tuples_per_sec
+    }
+
+    /// Modeled seconds including per-round latency.
+    pub fn comm_secs_with_rounds(&self, tuples: u64, rounds: u64) -> f64 {
+        self.comm_secs(tuples) + rounds as f64 * self.round_latency_secs
+    }
+
+    /// Full model: payload + per-message overhead + per-round latency.
+    pub fn comm_secs_full(&self, tuples: u64, messages: u64, rounds: u64) -> f64 {
+        self.comm_secs(tuples)
+            + messages as f64 * self.per_message_secs
+            + rounds as f64 * self.round_latency_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let c = CommStats::new();
+        c.record(10, 80);
+        c.record(5, 40);
+        c.record_round();
+        assert_eq!(c.tuples(), 15);
+        assert_eq!(c.bytes(), 120);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn take_resets() {
+        let c = CommStats::new();
+        c.record(7, 56);
+        assert_eq!(c.take(), (7, 56, 0));
+        assert_eq!(c.tuples(), 0);
+    }
+
+    #[test]
+    fn cost_model_math() {
+        let m = CostModel {
+            alpha_tuples_per_sec: 100.0,
+            round_latency_secs: 0.5,
+            per_message_secs: 0.01,
+        };
+        assert!((m.comm_secs(200) - 2.0).abs() < 1e-12);
+        assert!((m.comm_secs_with_rounds(200, 3) - 3.5).abs() < 1e-12);
+        assert!((m.comm_secs_full(200, 10, 3) - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn messages_counted_and_reset() {
+        let c = CommStats::new();
+        c.record_messages(42);
+        assert_eq!(c.messages(), 42);
+        assert_eq!(c.snapshot(), (0, 0, 0, 42));
+        c.take();
+        assert_eq!(c.messages(), 0);
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let c = std::sync::Arc::new(CommStats::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record(1, 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.tuples(), 8000);
+    }
+}

@@ -1,0 +1,62 @@
+//! # adj-cluster — a simulated shared-nothing cluster
+//!
+//! The paper evaluates on a 7-server Spark cluster with 28 workers connected
+//! by 10 GbE. This crate substitutes that testbed with an in-process
+//! simulation that preserves everything the paper's cost model reasons
+//! about (see DESIGN.md's substitution table):
+//!
+//! * **N logical workers**, each owning a disjoint partition of the database
+//!   ([`PartitionedRelation`], [`PartitionedDatabase`]);
+//! * **routed shuffles** through an accounting layer ([`CommStats`]) that
+//!   counts every delivered tuple copy — communication *time* is then
+//!   modeled as `tuples / α`, which is exactly how the paper computes
+//!   `costC` (Sec. III-B);
+//! * **parallel execution**: per-worker closures run on real OS threads
+//!   ([`Cluster::run`]), so computation cost is measured wall-clock per
+//!   worker and the *makespan* (the paper's "last straggler", Sec. VII-B)
+//!   falls out naturally;
+//! * **per-worker memory budgets** so that methods which shuffle too much
+//!   fail the test-case like the paper's OOM bars (Fig. 12).
+
+pub mod comm;
+pub mod exec;
+pub mod partition;
+
+pub use comm::{CommStats, CostModel};
+pub use exec::{Cluster, RunReport};
+pub use partition::{PartitionedDatabase, PartitionedRelation};
+
+/// Identifier of a logical worker (`0..num_workers`).
+pub type WorkerId = usize;
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of logical workers (the paper sweeps 1..28 in Fig. 11).
+    pub num_workers: usize,
+    /// α — tuples transmitted per second by the interconnect. The paper
+    /// pre-measures α on the real cluster; we make it a model parameter so
+    /// experiments report deterministic communication seconds.
+    pub alpha_tuples_per_sec: f64,
+    /// Per-worker memory budget in bytes. `None` disables the check.
+    pub memory_limit_bytes: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_workers: 4,
+            // Scaled-down analog of 10 GbE moving 8-byte tuples with
+            // framing overheads: ~10M tuples/s.
+            alpha_tuples_per_sec: 10_000_000.0,
+            memory_limit_bytes: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Convenience constructor with `num_workers` and defaults otherwise.
+    pub fn with_workers(num_workers: usize) -> Self {
+        ClusterConfig { num_workers, ..Default::default() }
+    }
+}

@@ -1,0 +1,308 @@
+//! Plan execution: pre-compute → shuffle → join, with the per-phase cost
+//! breakdown of Tables II–IV.
+
+use crate::plan::{PlanRelation, QueryPlan};
+use crate::AdjConfig;
+use adj_cluster::Cluster;
+use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
+use adj_leapfrog::{JoinCounters, LeapfrogJoin};
+use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Value};
+
+/// Plan-search strategy (the two columns of Tables II–IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// ADJ's co-optimization of pre-computing + communication + computation.
+    CoOptimize,
+    /// HCubeJ's communication-first planning (never pre-computes; order
+    /// chosen over all permutations).
+    CommFirst,
+}
+
+/// Cost breakdown of one executed query, mirroring the columns of
+/// Tables II–IV: Optimization, Pre-Computing, Communication, Computation.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionReport {
+    /// Plan-search + sampling seconds (filled by [`crate::Adj`]).
+    pub optimization_secs: f64,
+    /// Pre-computing seconds (bag shuffles + bag joins).
+    pub precompute_secs: f64,
+    /// Final HCube seconds (modeled shuffle + measured local build).
+    pub communication_secs: f64,
+    /// Leapfrog seconds (measured makespan over workers).
+    pub computation_secs: f64,
+    /// Tuple copies moved by the final shuffle.
+    pub comm_tuples: u64,
+    /// Tuple copies moved while pre-computing.
+    pub precompute_tuples: u64,
+    /// Result cardinality.
+    pub output_tuples: u64,
+    /// The share vector `p` used by the final shuffle.
+    pub share: Vec<u32>,
+    /// Aggregated Leapfrog counters across workers.
+    pub counters: JoinCounters,
+}
+
+impl ExecutionReport {
+    /// Total cost in seconds (the `Total` column).
+    pub fn total_secs(&self) -> f64 {
+        self.optimization_secs
+            + self.precompute_secs
+            + self.communication_secs
+            + self.computation_secs
+    }
+}
+
+/// Executes a query plan on the cluster. Returns the gathered result and the
+/// cost breakdown (with `optimization_secs` left at 0 for the caller).
+pub fn execute_plan(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+) -> Result<(Relation, ExecutionReport)> {
+    let mut report = ExecutionReport::default();
+    let mut db_exec = db.clone();
+
+    // ── Phase 1: pre-compute candidate relations (Sec. III: "for each
+    // relation R'_j ∈ Qi that needs to be joined, we pre-compute and store
+    // it"). Each bag join is itself a one-round HCube+Leapfrog job.
+    for rel in &plan.relations {
+        let PlanRelation::Precomputed { name, atoms, .. } = rel else {
+            continue;
+        };
+        let bag_order: Vec<Attr> = plan
+            .order
+            .iter()
+            .copied()
+            .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
+            .collect();
+        let names: Vec<String> =
+            atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
+        let (result, secs, tuples) =
+            run_one_round(cluster, &db_exec, &names, &bag_order, config)?;
+        report.precompute_secs += secs;
+        report.precompute_tuples += tuples;
+        if result.len() > config.max_intermediate_tuples {
+            return Err(Error::BudgetExceeded {
+                what: "pre-computed relation size",
+                limit: config.max_intermediate_tuples,
+            });
+        }
+        db_exec.insert(name.clone(), result);
+    }
+
+    // ── Phase 2 + 3: final one-round join over the rewritten query.
+    let names = plan.shuffle_names();
+    let (share, hplan) = share_for(&db_exec, &names, plan.query.num_attrs(), cluster, config)?;
+    report.share = share;
+    let shuffled =
+        hcube_shuffle(cluster, &db_exec, &names, &hplan, &plan.order, HCubeImpl::Merge)?;
+    report.comm_tuples = shuffled.report.tuples;
+    report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
+
+    let budget = config.max_intermediate_tuples;
+    let order = &plan.order;
+    let locals = &shuffled.locals;
+    let run = cluster.run(|w| {
+        let tries: Vec<&adj_relational::Trie> =
+            locals[w].iter().map(|l| &l.trie).collect();
+        let join = match LeapfrogJoin::new(order, tries) {
+            Ok(j) => j,
+            Err(e) => return Err(e),
+        };
+        let mut rows: Vec<Value> = Vec::new();
+        let mut over = false;
+        let width = order.len();
+        let counters = join.run(|t| {
+            if rows.len() < budget.saturating_mul(width) {
+                rows.extend_from_slice(t);
+            } else {
+                over = true;
+            }
+        });
+        if over {
+            return Err(Error::BudgetExceeded { what: "join output tuples", limit: budget });
+        }
+        Ok((rows, counters))
+    });
+    report.computation_secs = run.makespan_secs;
+
+    let mut all_rows: Vec<Value> = Vec::new();
+    let mut counters = JoinCounters::new(plan.order.len());
+    for r in run.results {
+        let (rows, c) = r?;
+        all_rows.extend_from_slice(&rows);
+        counters.merge(&c);
+    }
+    report.output_tuples = counters.output_tuples;
+    report.counters = counters;
+    let schema = Schema::new(plan.order.clone())?;
+    let result = Relation::from_flat(schema, all_rows)?;
+    Ok((result, report))
+}
+
+/// Runs one HCube+Leapfrog round over the named relations and gathers the
+/// result. Used for bag pre-computation. Returns `(result, secs, tuples)`.
+fn run_one_round(
+    cluster: &Cluster,
+    db: &Database,
+    names: &[String],
+    order: &[Attr],
+    config: &AdjConfig,
+) -> Result<(Relation, f64, u64)> {
+    let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
+    let (_, hplan) = share_for(db, names, num_attrs, cluster, config)?;
+    let shuffled = hcube_shuffle(cluster, db, names, &hplan, order, HCubeImpl::Merge)?;
+    let budget = config.max_intermediate_tuples;
+    let locals = &shuffled.locals;
+    let run = cluster.run(|w| {
+        let tries: Vec<&adj_relational::Trie> =
+            locals[w].iter().map(|l| &l.trie).collect();
+        let join = LeapfrogJoin::new(order, tries)?;
+        let mut rows: Vec<Value> = Vec::new();
+        let mut over = false;
+        join.run(|t| {
+            if rows.len() < budget.saturating_mul(order.len()) {
+                rows.extend_from_slice(t);
+            } else {
+                over = true;
+            }
+        });
+        if over {
+            return Err(Error::BudgetExceeded { what: "bag join output", limit: budget });
+        }
+        Ok(rows)
+    });
+    let mut all: Vec<Value> = Vec::new();
+    for r in run.results {
+        all.extend_from_slice(&r?);
+    }
+    let schema = Schema::new(order.to_vec())?;
+    let rel = Relation::from_flat(schema, all)?;
+    let secs = shuffled.report.comm_secs + shuffled.report.build_secs + run.makespan_secs;
+    Ok((rel, secs, shuffled.report.tuples))
+}
+
+/// Optimizes the share vector for the named relations' *actual* sizes.
+fn share_for(
+    db: &Database,
+    names: &[String],
+    num_attrs: usize,
+    cluster: &Cluster,
+    _config: &AdjConfig,
+) -> Result<(Vec<u32>, HCubePlan)> {
+    let mut relations = Vec::with_capacity(names.len());
+    for n in names {
+        let r = db.get(n)?;
+        relations.push((r.schema().mask(), r.len()));
+    }
+    let input = ShareInput {
+        num_attrs,
+        relations,
+        num_workers: cluster.num_workers(),
+        memory_limit_bytes: cluster.config().memory_limit_bytes,
+        bytes_per_value: 4,
+    };
+    let share = optimize_share(&input)?;
+    let hplan = HCubePlan::new(share.clone(), cluster.num_workers());
+    Ok((share, hplan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use adj_cluster::ClusterConfig;
+    use adj_query::{paper_query, PaperQuery};
+
+    fn db_for(q: &adj_query::JoinQuery, n: u32, m: u32) -> Database {
+        let edges: Vec<(Value, Value)> = (0..n)
+            .flat_map(|i| vec![(i % m, (i * 7 + 1) % m), ((i * 3) % m, (i * 11 + 5) % m)])
+            .collect();
+        q.instantiate(&Relation::from_pairs(Attr(0), Attr(1), &edges))
+    }
+
+    fn truth(db: &Database, q: &adj_query::JoinQuery) -> Relation {
+        let mut it = q.atoms.iter();
+        let first = it.next().unwrap();
+        let mut acc = db.get(&first.name).unwrap().clone();
+        for atom in it {
+            acc = acc.join(db.get(&atom.name).unwrap()).unwrap();
+        }
+        acc
+    }
+
+    #[test]
+    fn q5_coopt_result_matches_binary_join_truth() {
+        let q = paper_query(PaperQuery::Q5);
+        let db = db_for(&q, 120, 29);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let plan = optimize(&q, &db, &cfg, Strategy::CoOptimize).unwrap();
+        let (result, report) = execute_plan(&cluster, &db, &plan, &cfg).unwrap();
+        let t = truth(&db, &q);
+        assert_eq!(result.len(), t.len());
+        assert_eq!(result.permute(t.schema().attrs()).unwrap(), t);
+        assert_eq!(report.output_tuples as usize, t.len());
+    }
+
+    #[test]
+    fn precompute_phase_populates_report() {
+        // Force pre-computation by building a plan with every multi-edge bag
+        // chosen.
+        let q = paper_query(PaperQuery::Q4);
+        let db = db_for(&q, 150, 31);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let mut plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
+        let c_mask: u64 = plan
+            .tree
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_single_edge())
+            .map(|(i, _)| 1u64 << i)
+            .sum();
+        assert!(c_mask != 0, "Q4 tree must contain a multi-edge bag");
+        plan.relations = QueryPlan::relations_for(&q, &plan.tree, c_mask);
+        plan.precompute =
+            (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
+        // order must remain valid for the tree — keep the CommFirst order
+        // only if valid, otherwise derive the canonical ascending one.
+        if !adj_query::order::is_valid_order(&plan.tree, &plan.order) {
+            plan.order = adj_query::order::valid_orders(&plan.tree)[0].clone();
+        }
+        let (result, report) = execute_plan(&cluster, &db, &plan, &cfg).unwrap();
+        assert!(report.precompute_secs > 0.0);
+        assert!(report.precompute_tuples > 0);
+        let t = truth(&db, &q);
+        assert_eq!(result.len(), t.len());
+    }
+
+    #[test]
+    fn budget_exceeded_on_tiny_cap() {
+        let q = paper_query(PaperQuery::Q1);
+        let db = db_for(&q, 200, 23);
+        let cfg = AdjConfig {
+            cluster: ClusterConfig::with_workers(2),
+            max_intermediate_tuples: 1,
+            ..Default::default()
+        };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
+        let err = execute_plan(&cluster, &db, &plan, &cfg).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn share_for_uses_actual_sizes() {
+        let q = paper_query(PaperQuery::Q1);
+        let db = db_for(&q, 100, 23);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(8), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let names: Vec<String> = q.atoms.iter().map(|a| a.name.clone()).collect();
+        let (share, hplan) = share_for(&db, &names, 3, &cluster, &cfg).unwrap();
+        assert_eq!(share.len(), 3);
+        assert!(hplan.num_cubes() >= 8);
+    }
+}

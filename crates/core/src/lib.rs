@@ -1,0 +1,189 @@
+//! # adj-core — ADJ: Adaptive Distributed Join (the paper's contribution)
+//!
+//! ADJ processes a complex join query in one round while **co-optimizing**
+//! three costs (Sec. III):
+//!
+//! * **pre-computing** (`costM`) — materializing candidate relations, i.e.
+//!   joins of the relations inside one hypertree bag (`R45 = R4 ⋈ R5` in the
+//!   running example);
+//! * **communication** (`costC`) — the HCube shuffle of the (rewritten)
+//!   query's relations, `Σ_R |R|·dup(R,p)` under the optimized share `p`;
+//! * **computation** (`costE`) — the per-level Leapfrog extension work,
+//!   `|T_{v_{i-1}}| / (β_i · N*)`, dominated by the last traversed nodes.
+//!
+//! The plan space is bounded by a minimum-fhw GHD (`adj-query`): candidate
+//! relations are its bags, attribute orders follow its traversals. The
+//! greedy reverse-order search of **Algorithm 2** picks, per traversal
+//! position from last to first, the node and the pre-compute decision with
+//! the lowest combined cost, using sampling-based cardinality estimates
+//! (`adj-sampling`).
+//!
+//! Entry point: [`Adj`] (configure once, [`Adj::execute`] per query), or the
+//! lower-level [`optimizer::optimize`] + [`executor::execute_plan`] pair.
+
+pub mod cost;
+pub mod executor;
+pub mod optimizer;
+pub mod plan;
+pub mod yannakakis;
+
+pub use cost::{CostEstimator, CostParams};
+pub use executor::{execute_plan, ExecutionReport, Strategy};
+pub use optimizer::optimize;
+pub use plan::{PlanRelation, QueryPlan};
+pub use yannakakis::{yannakakis, YannakakisReport};
+
+use adj_cluster::{Cluster, ClusterConfig};
+use adj_query::JoinQuery;
+use adj_relational::{Database, Relation, Result};
+use adj_sampling::SamplingConfig;
+
+/// Top-level ADJ configuration.
+#[derive(Debug, Clone)]
+pub struct AdjConfig {
+    /// Simulated cluster settings (workers, α, memory budget).
+    pub cluster: ClusterConfig,
+    /// Sampling budget used by the optimizer's cardinality estimator.
+    pub sampling: SamplingConfig,
+    /// Cost-model calibration constants.
+    pub cost: CostParams,
+    /// Cap on materialized intermediate results (pre-computed relations and
+    /// join outputs); mirrors the paper's 12h/OOM failure criterion.
+    pub max_intermediate_tuples: usize,
+}
+
+impl Default for AdjConfig {
+    fn default() -> Self {
+        AdjConfig {
+            cluster: ClusterConfig::default(),
+            sampling: SamplingConfig { samples: 256, seed: 0xAD10 },
+            cost: CostParams::default(),
+            max_intermediate_tuples: 50_000_000,
+        }
+    }
+}
+
+/// The ADJ system facade: owns a cluster and executes queries end to end.
+pub struct Adj {
+    config: AdjConfig,
+    cluster: Cluster,
+}
+
+/// Everything an ADJ run produces: the result, the chosen plan, and the
+/// cost breakdown (the row format of Tables II–IV).
+#[derive(Debug)]
+pub struct AdjOutcome {
+    /// The join result (gathered across workers).
+    pub result: Relation,
+    /// The executed plan.
+    pub plan: QueryPlan,
+    /// Cost breakdown.
+    pub report: ExecutionReport,
+}
+
+impl Adj {
+    /// Creates an ADJ instance with the given configuration.
+    pub fn new(config: AdjConfig) -> Self {
+        let cluster = Cluster::new(config.cluster.clone());
+        Adj { config, cluster }
+    }
+
+    /// Creates an ADJ instance with default settings and `workers` workers.
+    pub fn with_workers(workers: usize) -> Self {
+        Adj::new(AdjConfig { cluster: ClusterConfig::with_workers(workers), ..Default::default() })
+    }
+
+    /// The underlying simulated cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdjConfig {
+        &self.config
+    }
+
+    /// Runs `query` over `db` with the co-optimization strategy (the paper's
+    /// ADJ proper): optimize → pre-compute → shuffle → join.
+    pub fn execute(&self, query: &JoinQuery, db: &Database) -> Result<AdjOutcome> {
+        self.execute_with_strategy(query, db, Strategy::CoOptimize)
+    }
+
+    /// Runs `query` with an explicit strategy ([`Strategy::CommFirst`] is
+    /// the HCubeJ-style communication-first plan used as the paper's
+    /// baseline in Tables II–IV).
+    pub fn execute_with_strategy(
+        &self,
+        query: &JoinQuery,
+        db: &Database,
+        strategy: Strategy,
+    ) -> Result<AdjOutcome> {
+        let t0 = std::time::Instant::now();
+        let plan = optimize(query, db, &self.config, strategy)?;
+        let optimization_secs = t0.elapsed().as_secs_f64();
+        let (result, mut report) = execute_plan(&self.cluster, db, &plan, &self.config)?;
+        report.optimization_secs = optimization_secs;
+        Ok(AdjOutcome { result, plan, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_query::{paper_query, PaperQuery};
+    use adj_relational::{Attr, Value};
+
+    fn graph(n: u32, m: u32) -> Relation {
+        let edges: Vec<(Value, Value)> = (0..n)
+            .flat_map(|i| vec![(i % m, (i * 7 + 1) % m), ((i * 3) % m, (i * 11 + 5) % m)])
+            .collect();
+        Relation::from_pairs(Attr(0), Attr(1), &edges)
+    }
+
+    #[test]
+    fn end_to_end_triangle_matches_binary_join() {
+        let q = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let db = q.instantiate(&g);
+        let adj = Adj::with_workers(4);
+        let out = adj.execute(&q, &db).unwrap();
+        // ground truth by pairwise joins
+        let truth = db
+            .get("R1")
+            .unwrap()
+            .join(db.get("R2").unwrap())
+            .unwrap()
+            .join(db.get("R3").unwrap())
+            .unwrap();
+        assert_eq!(out.result.len(), truth.len());
+        let back = out.result.permute(truth.schema().attrs()).unwrap();
+        assert_eq!(back, truth);
+    }
+
+    #[test]
+    fn end_to_end_q4_strategies_agree() {
+        let q = paper_query(PaperQuery::Q4);
+        let g = graph(120, 31);
+        let db = q.instantiate(&g);
+        let adj = Adj::with_workers(4);
+        let co = adj.execute_with_strategy(&q, &db, Strategy::CoOptimize).unwrap();
+        let cf = adj.execute_with_strategy(&q, &db, Strategy::CommFirst).unwrap();
+        assert_eq!(co.result.len(), cf.result.len(), "strategies must agree on the result");
+        let a = co.result.permute(cf.result.schema().attrs()).unwrap();
+        assert_eq!(a, cf.result);
+    }
+
+    #[test]
+    fn report_phases_are_populated() {
+        let q = paper_query(PaperQuery::Q5);
+        let g = graph(100, 29);
+        let db = q.instantiate(&g);
+        let adj = Adj::with_workers(2);
+        let out = adj.execute(&q, &db).unwrap();
+        let r = &out.report;
+        assert!(r.optimization_secs > 0.0);
+        assert!(r.communication_secs > 0.0);
+        assert!(r.total_secs() >= r.communication_secs);
+        assert!(r.comm_tuples > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Query plans: the `(Qi, ord)` pairs of the paper's problem statement.
+
+use adj_query::{GhdTree, JoinQuery};
+use adj_relational::{Attr, Schema};
+
+/// One relation of the rewritten query `Qi`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanRelation {
+    /// A base atom of the original query (index into `query.atoms`).
+    Base(usize),
+    /// A pre-computed candidate relation: the join of one hypertree bag.
+    Precomputed {
+        /// Hypertree node index.
+        node: usize,
+        /// Name under which the materialized relation is stored
+        /// (`"ADJ_bag{node}"`).
+        name: String,
+        /// Indices of the atoms joined into this relation (λ(v)).
+        atoms: Vec<usize>,
+        /// The bag schema (attributes ascending).
+        schema: Schema,
+    },
+}
+
+impl PlanRelation {
+    /// The stored-relation name this plan relation reads.
+    pub fn name<'a>(&'a self, query: &'a JoinQuery) -> &'a str {
+        match self {
+            PlanRelation::Base(i) => &query.atoms[*i].name,
+            PlanRelation::Precomputed { name, .. } => name,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema<'a>(&'a self, query: &'a JoinQuery) -> &'a Schema {
+        match self {
+            PlanRelation::Base(i) => &query.atoms[*i].schema,
+            PlanRelation::Precomputed { schema, .. } => schema,
+        }
+    }
+}
+
+/// A complete ADJ query plan: which bags to pre-compute, the rewritten
+/// query's relations, and the Leapfrog attribute order.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The original query `Q`.
+    pub query: JoinQuery,
+    /// The hypertree `T` the plan was derived from.
+    pub tree: GhdTree,
+    /// Hypertree node indices in forward traversal order (`O` reversed).
+    pub traversal: Vec<usize>,
+    /// Node indices whose bags are pre-computed (the set `C`).
+    pub precompute: Vec<usize>,
+    /// The rewritten query `Qi`'s relations.
+    pub relations: Vec<PlanRelation>,
+    /// The Leapfrog attribute order `ord` (valid for `tree`).
+    pub order: Vec<Attr>,
+    /// The optimizer's estimated total cost in seconds (for diagnostics).
+    pub estimated_cost_secs: f64,
+}
+
+impl QueryPlan {
+    /// Names of the relations the final HCube shuffle must move, in plan
+    /// order.
+    pub fn shuffle_names(&self) -> Vec<String> {
+        self.relations.iter().map(|r| r.name(&self.query).to_string()).collect()
+    }
+
+    /// Whether any bag is pre-computed.
+    pub fn has_precompute(&self) -> bool {
+        !self.precompute.is_empty()
+    }
+
+    /// Builds the rewritten-query relation list for pre-compute set `c_set`
+    /// (bitmask over tree nodes): one pre-computed relation per chosen bag,
+    /// plus every base atom not absorbed into a chosen bag.
+    pub fn relations_for(query: &JoinQuery, tree: &GhdTree, c_set: u64) -> Vec<PlanRelation> {
+        let mut covered_atoms = 0u64;
+        let mut rels = Vec::new();
+        for (v, node) in tree.nodes.iter().enumerate() {
+            if c_set & (1 << v) != 0 {
+                covered_atoms |= node.edges;
+                rels.push(PlanRelation::Precomputed {
+                    node: v,
+                    name: format!("ADJ_bag{v}"),
+                    atoms: node.edge_indices(),
+                    schema: Schema::new(node.attrs()).expect("bag attrs are distinct"),
+                });
+            }
+        }
+        for i in 0..query.atoms.len() {
+            if covered_atoms & (1 << i) == 0 {
+                rels.push(PlanRelation::Base(i));
+            }
+        }
+        rels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_query::workload::running_example;
+
+    #[test]
+    fn relations_for_running_example() {
+        let q = running_example();
+        let tree = GhdTree::decompose(&q.hypergraph(), 3);
+        // Find the node holding R4⋈R5 (bag bce = attrs {1,2,4}).
+        let vc = tree
+            .nodes
+            .iter()
+            .position(|n| n.vertices == 0b10110)
+            .expect("bag bce exists");
+        let rels = QueryPlan::relations_for(&q, &tree, 1 << vc);
+        // One pre-computed relation + R1, R2, R3 as base atoms.
+        let pre: Vec<_> = rels
+            .iter()
+            .filter(|r| matches!(r, PlanRelation::Precomputed { .. }))
+            .collect();
+        assert_eq!(pre.len(), 1);
+        let base: Vec<_> =
+            rels.iter().filter(|r| matches!(r, PlanRelation::Base(_))).collect();
+        assert_eq!(base.len(), 3);
+        if let PlanRelation::Precomputed { schema, atoms, .. } = pre[0] {
+            assert_eq!(schema.arity(), 3);
+            assert_eq!(atoms.len(), 2); // R4 and R5
+        }
+    }
+
+    #[test]
+    fn no_precompute_keeps_all_atoms() {
+        let q = running_example();
+        let tree = GhdTree::decompose(&q.hypergraph(), 3);
+        let rels = QueryPlan::relations_for(&q, &tree, 0);
+        assert_eq!(rels.len(), q.atoms.len());
+        assert!(rels.iter().all(|r| matches!(r, PlanRelation::Base(_))));
+    }
+
+    #[test]
+    fn full_precompute_covers_every_atom() {
+        let q = running_example();
+        let tree = GhdTree::decompose(&q.hypergraph(), 3);
+        let all: u64 = (1 << tree.len()) - 1;
+        let rels = QueryPlan::relations_for(&q, &tree, all);
+        // every atom must be inside some chosen bag or appear as base
+        let mut seen = 0u64;
+        for r in &rels {
+            match r {
+                PlanRelation::Base(i) => seen |= 1 << i,
+                PlanRelation::Precomputed { atoms, .. } => {
+                    for &a in atoms {
+                        seen |= 1 << a;
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, (1 << q.atoms.len()) - 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! # adj-datagen — seeded synthetic graphs standing in for Table I
+//!
+//! The paper evaluates on six SNAP/LAW graphs (web-BerkStan, as-Skitter,
+//! wiki-Talk, com-LiveJournal, enwiki-2013, com-Orkut; 13.2M–234.4M edges).
+//! Those downloads are unavailable here, so this crate generates seeded
+//! synthetic stand-ins at 1/1000 scale that preserve what drives the paper's
+//! results: the *relative size ordering* and the *degree skew* of each graph
+//! (see DESIGN.md's substitution table). Skew is what makes complex cyclic
+//! joins computation-bound — the phenomenon ADJ exploits.
+//!
+//! The generator is a preferential-attachment / uniform mixture: each new
+//! node emits `out_degree` edges; with probability `skew` an endpoint is
+//! chosen proportionally to degree (creating hubs), otherwise uniformly.
+
+pub mod generator;
+pub mod io;
+
+pub use generator::{generate, GraphConfig};
+pub use io::{load_edge_list, parse_edge_list, write_edge_list};
+
+use adj_relational::Relation;
+
+/// The six datasets of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dataset {
+    /// web-BerkStan stand-in: web graph, strong hubs, smallest.
+    WB,
+    /// as-Skitter stand-in: internet topology, very strong hubs.
+    AS,
+    /// wiki-Talk stand-in: communication network, extreme skew.
+    WT,
+    /// com-LiveJournal stand-in: social network, moderate skew.
+    LJ,
+    /// enwiki-2013 stand-in: hyperlink graph, strong hubs, large.
+    EN,
+    /// com-Orkut stand-in: dense social network, largest.
+    OK,
+}
+
+impl Dataset {
+    /// All six, in Table I order.
+    pub const ALL: [Dataset; 6] =
+        [Dataset::WB, Dataset::AS, Dataset::WT, Dataset::LJ, Dataset::EN, Dataset::OK];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::WB => "WB",
+            Dataset::AS => "AS",
+            Dataset::WT => "WT",
+            Dataset::LJ => "LJ",
+            Dataset::EN => "EN",
+            Dataset::OK => "OK",
+        }
+    }
+
+    /// Edge count of the real graph (×10⁶, Table I's `|R|` row).
+    pub fn paper_edges_millions(self) -> f64 {
+        match self {
+            Dataset::WB => 13.2,
+            Dataset::AS => 22.1,
+            Dataset::WT => 50.9,
+            Dataset::LJ => 69.4,
+            Dataset::EN => 183.9,
+            Dataset::OK => 234.4,
+        }
+    }
+
+    /// Generator configuration at `scale` (fraction of 1/1000 of the real
+    /// size; `scale = 1.0` ≈ 13k–234k edges).
+    pub fn config(self, scale: f64) -> GraphConfig {
+        let edges = (self.paper_edges_millions() * 1000.0 * scale).round() as usize;
+        // (avg out-degree, skew): web/topology graphs are hubbier than
+        // social networks; wiki-Talk is the most skewed (few talkers, many
+        // listeners); Orkut is dense and comparatively flat.
+        let (out_degree, skew) = match self {
+            Dataset::WB => (8, 0.80),
+            Dataset::AS => (6, 0.85),
+            Dataset::WT => (10, 0.92),
+            Dataset::LJ => (9, 0.65),
+            Dataset::EN => (12, 0.80),
+            Dataset::OK => (18, 0.55),
+        };
+        GraphConfig {
+            nodes: (edges / out_degree).max(8),
+            out_degree,
+            skew,
+            seed: 0x5EED_0000 + self as u64,
+        }
+    }
+
+    /// The stand-in graph at `scale` (see [`Dataset::config`]), as a binary
+    /// relation over attributes `(a, b)`.
+    pub fn graph(self, scale: f64) -> Relation {
+        generate(&self.config(scale))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_ordering_matches_table1() {
+        let sizes: Vec<usize> =
+            Dataset::ALL.iter().map(|d| d.graph(0.05).len()).collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "dataset sizes must be ascending: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::LJ.graph(0.02);
+        let b = Dataset::LJ.graph(0.02);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn datasets_differ() {
+        assert_ne!(Dataset::WB.graph(0.05), Dataset::AS.graph(0.05));
+    }
+
+    #[test]
+    fn names_and_paper_sizes() {
+        assert_eq!(Dataset::WB.name(), "WB");
+        assert!(Dataset::OK.paper_edges_millions() > Dataset::WB.paper_edges_millions());
+    }
+}

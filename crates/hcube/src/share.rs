@@ -1,0 +1,229 @@
+//! The HCube share optimizer (optimization program (3), Sec. III-B).
+//!
+//! Minimize `costC(p) = Σ_R |R| · dup(R, p)` where
+//! `dup(R, p) = Π_{A ∉ attrs(R)} p_A`, subject to:
+//!
+//! 1. `p_A ≥ 1` for all attributes;
+//! 2. on average a worker's received data fits in memory:
+//!    `Σ_R size(R) · frac(R, p) ≤ M` with `frac(R,p) = 1 / Π_{A ∈ R} p_A`
+//!    (per hypercube; multiplied by cubes-per-worker when `P > N*`);
+//! 3. `Π p_A ≥ N*` so every worker is assigned at least one hypercube
+//!    (the classical HCube setting; the paper notes `P` may exceed `N*`).
+//!
+//! With ≤ 5 attributes and `N* ≤ 64` the feasible lattice is tiny, so we
+//! solve the program by exact enumeration rather than the paper's numeric
+//! solver — same optimum, and deterministic.
+
+use adj_relational::{Error, Result};
+
+/// Input description for the share optimizer.
+#[derive(Debug, Clone)]
+pub struct ShareInput {
+    /// Number of query attributes `n` (attribute ids `0..n`).
+    pub num_attrs: usize,
+    /// `(attribute mask, tuple count)` per relation to be shuffled.
+    pub relations: Vec<(u64, usize)>,
+    /// Number of workers `N*`.
+    pub num_workers: usize,
+    /// Per-worker memory budget in bytes (`M`); `None` = unconstrained.
+    pub memory_limit_bytes: Option<usize>,
+    /// Bytes per tuple value (4 for our `u32` values).
+    pub bytes_per_value: usize,
+}
+
+impl ShareInput {
+    /// Communication cost `Σ_R |R| · dup(R, p)` in delivered tuple copies.
+    pub fn comm_cost(&self, p: &[u32]) -> u64 {
+        self.relations
+            .iter()
+            .map(|&(mask, size)| size as u64 * dup_factor(p, mask))
+            .sum()
+    }
+
+    /// Expected bytes received per hypercube under `p` — the paper's memory
+    /// constraint term `Σ_R size(R) · frac(R, p)` (program (3)), which
+    /// treats one hypercube per server (`P ≈ N*`).
+    pub fn per_worker_bytes(&self, p: &[u32]) -> f64 {
+        self.relations
+            .iter()
+            .map(|&(mask, size)| {
+                let arity = mask.count_ones() as usize;
+                let bytes = (size * arity * self.bytes_per_value) as f64;
+                bytes * frac(p, mask)
+            })
+            .sum()
+    }
+}
+
+/// `dup(R, p) = Π_{A ∉ attrs(R)} p_A` — how many hypercubes receive each
+/// tuple of `R`.
+pub fn dup_factor(p: &[u32], rel_mask: u64) -> u64 {
+    p.iter()
+        .enumerate()
+        .filter(|(i, _)| rel_mask & (1 << i) == 0)
+        .map(|(_, &x)| x as u64)
+        .product()
+}
+
+/// `frac(R, p) = 1 / Π_{A ∈ attrs(R)} p_A` — fraction of `R` received per
+/// hypercube.
+pub fn frac(p: &[u32], rel_mask: u64) -> f64 {
+    let denom: u64 = p
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| rel_mask & (1 << i) != 0)
+        .map(|(_, &x)| x as u64)
+        .product();
+    1.0 / denom as f64
+}
+
+/// Solves the share optimization program exactly. Returns the optimal share
+/// vector (indexed by attribute id), or an error if no feasible vector
+/// exists within the enumeration cap (memory budget too small).
+pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
+    let n = input.num_attrs;
+    assert!(n >= 1 && n <= 16, "share enumeration sized for small queries");
+    let nw = input.num_workers as u64;
+    // Enumerate products up to cap; comm cost is monotone in every p_A, so
+    // the optimum has a small product, but the memory constraint can force
+    // finer partitioning — cap at 8·N* (plenty for the workloads here).
+    let cap = (8 * nw).max(64);
+    let mut best: Option<(u64, u64, Vec<u32>)> = None; // (cost, product, p)
+
+    let mut p = vec![1u32; n];
+    enumerate(&mut p, 0, 1, cap, &mut |p, product| {
+        if product < nw {
+            return;
+        }
+        if let Some(limit) = input.memory_limit_bytes {
+            if input.per_worker_bytes(p) > limit as f64 {
+                return;
+            }
+        }
+        let cost = input.comm_cost(p);
+        let key = (cost, product, p.to_vec());
+        if best.as_ref().is_none_or(|b| key < *b) {
+            best = Some(key);
+        }
+    });
+
+    best.map(|(_, _, p)| p).ok_or(Error::BudgetExceeded {
+        what: "no feasible HCube share vector under memory budget",
+        limit: input.memory_limit_bytes.unwrap_or(0),
+    })
+}
+
+fn enumerate(
+    p: &mut Vec<u32>,
+    idx: usize,
+    product: u64,
+    cap: u64,
+    visit: &mut impl FnMut(&[u32], u64),
+) {
+    if idx == p.len() {
+        visit(p, product);
+        return;
+    }
+    let mut v = 1u64;
+    while product * v <= cap {
+        p[idx] = v as u32;
+        enumerate(p, idx + 1, product * v, cap, visit);
+        v += 1;
+    }
+    p[idx] = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle query R1(a,b), R2(b,c), R3(a,c), equal sizes.
+    fn triangle(size: usize, workers: usize) -> ShareInput {
+        ShareInput {
+            num_attrs: 3,
+            relations: vec![(0b011, size), (0b110, size), (0b101, size)],
+            num_workers: workers,
+            memory_limit_bytes: None,
+            bytes_per_value: 4,
+        }
+    }
+
+    #[test]
+    fn dup_and_frac() {
+        let p = [2, 3, 4];
+        // R(a,b): dup = p_c = 4; frac = 1/(2*3)
+        assert_eq!(dup_factor(&p, 0b011), 4);
+        assert!((frac(&p, 0b011) - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(dup_factor(&p, 0b111), 1);
+    }
+
+    #[test]
+    fn triangle_share_is_balanced() {
+        // Classic result: for the symmetric triangle on P = 8 cubes the
+        // optimal share is (2,2,2) — each relation duplicated 2×, total
+        // cost 3·2·|R| = 6|R|, beating e.g. (8,1,1) with cost (1+8+8)|R|.
+        let input = triangle(1000, 8);
+        let p = optimize_share(&input).unwrap();
+        assert_eq!(p, vec![2, 2, 2]);
+        assert_eq!(input.comm_cost(&p), 6000);
+    }
+
+    #[test]
+    fn single_worker_needs_no_partitioning() {
+        let input = triangle(1000, 1);
+        let p = optimize_share(&input).unwrap();
+        assert_eq!(p, vec![1, 1, 1]);
+        assert_eq!(input.comm_cost(&p), 3000);
+    }
+
+    #[test]
+    fn skewed_sizes_partition_the_small_relations_attrs() {
+        // If R3(a,c) is huge, duplicating it is expensive, so its attributes
+        // get the partitions: p_b should stay 1 only if that avoids
+        // duplicating R3... concretely the optimizer must beat the naive
+        // (2,2,2).
+        let input = ShareInput {
+            num_attrs: 3,
+            relations: vec![(0b011, 100), (0b110, 100), (0b101, 100_000)],
+            num_workers: 8,
+            memory_limit_bytes: None,
+            bytes_per_value: 4,
+        };
+        let p = optimize_share(&input).unwrap();
+        // dup(R3) = p_b must be 1
+        assert_eq!(p[1], 1, "p={p:?}");
+        assert!(input.comm_cost(&p) < input.comm_cost(&[2, 2, 2]));
+    }
+
+    #[test]
+    fn memory_constraint_forces_finer_shares() {
+        let size = 10_000usize;
+        let unconstrained = triangle(size, 4);
+        let p0 = optimize_share(&unconstrained).unwrap();
+        // Tight memory: 240KB of input over 4 workers means ≥60KB/worker is
+        // unavoidable; 70KB forces finer shares than the comm-optimal ones.
+        let mut constrained = triangle(size, 4);
+        constrained.memory_limit_bytes = Some(70_000);
+        let p1 = optimize_share(&constrained).unwrap();
+        assert!(constrained.per_worker_bytes(&p1) <= 70_000.0);
+        let prod0: u64 = p0.iter().map(|&x| x as u64).product();
+        let prod1: u64 = p1.iter().map(|&x| x as u64).product();
+        assert!(prod1 >= prod0, "memory pressure should not coarsen shares");
+    }
+
+    #[test]
+    fn infeasible_budget_errors() {
+        let mut input = triangle(1_000_000, 2);
+        input.memory_limit_bytes = Some(16); // absurd
+        assert!(optimize_share(&input).is_err());
+    }
+
+    #[test]
+    fn product_at_least_workers() {
+        for workers in [1usize, 3, 4, 7, 13, 28] {
+            let p = optimize_share(&triangle(100, workers)).unwrap();
+            let prod: u64 = p.iter().map(|&x| x as u64).product();
+            assert!(prod >= workers as u64, "workers={workers} p={p:?}");
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! The three HCube shuffle implementations compared in Fig. 9.
+//!
+//! * **Push** — the original map/reduce formulation: every tuple copy is an
+//!   individual message to each destination worker. Payload is the same as
+//!   Pull's, but the per-message overhead is paid once *per delivered tuple
+//!   copy*, which is what makes it orders of magnitude slower.
+//! * **Pull** — the paper's optimized implementation (Sec. V): tuples are
+//!   grouped into *blocks* keyed by their HCube hash signature, and each
+//!   worker pulls whole blocks; per-message overhead is paid per block.
+//! * **Merge** — Pull plus per-block pre-building: each block is stored
+//!   pre-permuted into the Leapfrog attribute order and pre-sorted, so a
+//!   worker assembles its local trie by a k-way *merge* of sorted runs
+//!   instead of a full sort, and blocks serialize more cheaply (the paper's
+//!   "three arrays" observation) — modeled as a 0.5× per-message overhead.
+//!
+//! All three produce byte-identical local tries; only their costs differ.
+
+use crate::plan::HCubePlan;
+use adj_cluster::{Cluster, WorkerId};
+use adj_relational::hash::FxHashMap;
+use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Trie, Value};
+use std::time::Instant;
+
+/// Which shuffle implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HCubeImpl {
+    /// Tuple-at-a-time shuffle (the original HCube implementation).
+    Push,
+    /// Block pull (optimized, Sec. V).
+    Pull,
+    /// Block pull with pre-built sorted blocks (optimized + trie pre-build).
+    Merge,
+}
+
+impl HCubeImpl {
+    /// All three implementations, for sweeps.
+    pub const ALL: [HCubeImpl; 3] = [HCubeImpl::Push, HCubeImpl::Pull, HCubeImpl::Merge];
+
+    /// Display name matching the paper's Fig. 9 legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            HCubeImpl::Push => "Push",
+            HCubeImpl::Pull => "Pull",
+            HCubeImpl::Merge => "Merge",
+        }
+    }
+}
+
+/// One relation as materialized on a worker after the shuffle: a trie in the
+/// query's (induced) attribute order.
+#[derive(Debug, Clone)]
+pub struct LocalRelation {
+    /// The atom / relation name.
+    pub name: String,
+    /// Local fragment, indexed as a trie.
+    pub trie: Trie,
+}
+
+/// Cost breakdown of one shuffle.
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleReport {
+    /// Delivered tuple copies (`Σ_R |R|·dup(R,p)` realized).
+    pub tuples: u64,
+    /// Transfer units (tuple copies for Push; blocks for Pull/Merge).
+    pub messages: u64,
+    /// Modeled communication seconds (α model + per-message overhead).
+    pub comm_secs: f64,
+    /// Measured makespan of the local build phase (sort + trie build, or
+    /// merge + trie build for Merge).
+    pub build_secs: f64,
+    /// Measured seconds spent pre-building blocks (Merge only; happens once
+    /// per stored relation, before query time).
+    pub preprocess_secs: f64,
+}
+
+/// The result of a shuffle: per-worker local databases plus the cost report.
+#[derive(Debug)]
+pub struct ShuffleOutput {
+    /// `locals[w]` is worker `w`'s relations, in atom order.
+    pub locals: Vec<Vec<LocalRelation>>,
+    /// Cost breakdown.
+    pub report: ShuffleReport,
+}
+
+/// Runs the HCube shuffle for the relations named in `atom_names` (each must
+/// exist in `db`), under `plan`, preparing tries in the induced order of
+/// `order`.
+pub fn hcube_shuffle(
+    cluster: &Cluster,
+    db: &Database,
+    atom_names: &[String],
+    plan: &HCubePlan,
+    order: &[Attr],
+    impl_: HCubeImpl,
+) -> Result<ShuffleOutput> {
+    let n = cluster.num_workers();
+    assert_eq!(n, plan.num_workers(), "plan sized for a different cluster");
+    cluster.comm().record_round();
+
+    // Per atom: the induced (permuted) schema and the column permutation.
+    struct AtomInfo {
+        name: String,
+        schema: Schema,         // original
+        induced: Schema,        // order-induced
+        perm: Vec<usize>,       // induced column -> original column
+    }
+    let mut infos = Vec::with_capacity(atom_names.len());
+    for name in atom_names {
+        let rel = db.get(name)?;
+        let schema = rel.schema().clone();
+        let induced_attrs: Vec<Attr> =
+            order.iter().copied().filter(|a| schema.contains(*a)).collect();
+        if induced_attrs.len() != schema.arity() {
+            return Err(Error::SchemaMismatch {
+                left: schema.to_string(),
+                right: format!("order {order:?}"),
+            });
+        }
+        let perm = induced_attrs.iter().map(|&a| schema.position(a).unwrap()).collect();
+        infos.push(AtomInfo {
+            name: name.clone(),
+            schema,
+            induced: Schema::new(induced_attrs)?,
+            perm,
+        });
+    }
+
+    let mut tuples: u64 = 0;
+    let mut messages: u64 = 0;
+    let t_pre = Instant::now();
+    let mut preprocess_secs = 0.0;
+
+    // Per worker, per atom: either raw permuted values (Push/Pull) or a list
+    // of pre-built sorted block relations (Merge).
+    enum Inbox {
+        Raw(Vec<Value>),
+        Blocks(Vec<std::sync::Arc<Relation>>),
+    }
+    let mut inboxes: Vec<Vec<Inbox>> = (0..n)
+        .map(|_| {
+            infos
+                .iter()
+                .map(|_| match impl_ {
+                    HCubeImpl::Merge => Inbox::Blocks(Vec::new()),
+                    _ => Inbox::Raw(Vec::new()),
+                })
+                .collect()
+        })
+        .collect();
+
+    for (ai, info) in infos.iter().enumerate() {
+        let rel = db.get(&info.name)?;
+        match impl_ {
+            HCubeImpl::Push => {
+                let mut dests: Vec<WorkerId> = Vec::new();
+                for row in rel.rows() {
+                    plan.route_workers(&info.schema, row, &mut dests);
+                    for &w in &dests {
+                        if let Inbox::Raw(buf) = &mut inboxes[w][ai] {
+                            for &p in &info.perm {
+                                buf.push(row[p]);
+                            }
+                        }
+                        tuples += 1;
+                        messages += 1; // one message per delivered copy
+                    }
+                }
+            }
+            HCubeImpl::Pull | HCubeImpl::Merge => {
+                // Group into blocks by hash signature. Blocks are keyed and
+                // stored in the *induced* (permuted) layout so that the
+                // block-id decode below matches the encode.
+                let mut blocks: FxHashMap<u64, Vec<Value>> = FxHashMap::default();
+                let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
+                for row in rel.rows() {
+                    prow.clear();
+                    prow.extend(info.perm.iter().map(|&p| row[p]));
+                    let id = plan.block_id(&info.induced, &prow);
+                    blocks.entry(id).or_default().extend_from_slice(&prow);
+                }
+                let mut block_ids: Vec<u64> = blocks.keys().copied().collect();
+                block_ids.sort_unstable(); // determinism
+                for id in block_ids {
+                    let data = blocks.remove(&id).unwrap();
+                    let block_tuples = (data.len() / info.perm.len().max(1)) as u64;
+                    // Per-attribute hashes of this block, in ORIGINAL
+                    // schema attr positions (block_workers expects them
+                    // aligned with schema.attrs()).
+                    let induced_hashes = plan.block_hashes(&info.induced, id);
+                    let mut orig_hashes = vec![0u32; info.schema.arity()];
+                    for (ic, &a) in info.induced.attrs().iter().enumerate() {
+                        let oc = info.schema.position(a).unwrap();
+                        orig_hashes[oc] = induced_hashes[ic];
+                    }
+                    let dests = plan.block_workers(&info.schema, &orig_hashes);
+                    let prebuilt = if impl_ == HCubeImpl::Merge {
+                        // Pre-build once (sorted, induced layout); counted
+                        // as preprocessing below.
+                        Some(std::sync::Arc::new(
+                            Relation::from_flat(info.induced.clone(), data.clone())
+                                .expect("arity preserved"),
+                        ))
+                    } else {
+                        None
+                    };
+                    for &w in &dests {
+                        match &mut inboxes[w][ai] {
+                            Inbox::Raw(buf) => buf.extend_from_slice(&data),
+                            Inbox::Blocks(bs) => bs.push(prebuilt.clone().unwrap()),
+                        }
+                        tuples += block_tuples;
+                        messages += 1; // one message per block delivery
+                    }
+                }
+            }
+        }
+    }
+    if impl_ == HCubeImpl::Merge {
+        preprocess_secs = t_pre.elapsed().as_secs_f64();
+    }
+    cluster.comm().record(tuples, tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64);
+    cluster.comm().record_messages(messages);
+
+    // Memory budget: total bytes parked at each worker.
+    if let Some(limit) = cluster.config().memory_limit_bytes {
+        for wb in &inboxes {
+            let bytes: usize = wb
+                .iter()
+                .map(|ib| match ib {
+                    Inbox::Raw(v) => v.len() * 4,
+                    Inbox::Blocks(bs) => bs.iter().map(|b| b.size_bytes()).sum(),
+                })
+                .sum();
+            if bytes > limit {
+                return Err(Error::BudgetExceeded { what: "worker memory", limit });
+            }
+        }
+    }
+
+    // Local build phase, in parallel, measured.
+    let induced_schemas: Vec<Schema> = infos.iter().map(|i| i.induced.clone()).collect();
+    let names: Vec<String> = infos.iter().map(|i| i.name.clone()).collect();
+    let inboxes_ref = &inboxes;
+    let run = cluster.run(|w| {
+        let mut locals = Vec::with_capacity(names.len());
+        for (ai, name) in names.iter().enumerate() {
+            let trie = match &inboxes_ref[w][ai] {
+                Inbox::Raw(buf) => {
+                    // sort + dedup + trie build
+                    let rel = Relation::from_flat(induced_schemas[ai].clone(), buf.clone())
+                        .expect("arity preserved");
+                    Trie::build(&rel)
+                }
+                Inbox::Blocks(bs) => {
+                    // k-way merge of pre-sorted blocks + linear trie build
+                    if bs.is_empty() {
+                        Trie::build(&Relation::empty(induced_schemas[ai].clone()))
+                    } else {
+                        let refs: Vec<&Relation> = bs.iter().map(|b| b.as_ref()).collect();
+                        let rel = Relation::merge_sorted(&refs).expect("same schema");
+                        Trie::build(&rel)
+                    }
+                }
+            };
+            locals.push(LocalRelation { name: name.clone(), trie });
+        }
+        locals
+    });
+
+    let model = cluster.cost_model();
+    let msg_overhead = match impl_ {
+        HCubeImpl::Merge => 0.5, // tries serialize/deserialize cheaper
+        _ => 1.0,
+    };
+    let comm_secs = model.comm_secs(tuples)
+        + messages as f64 * model.per_message_secs * msg_overhead;
+
+    Ok(ShuffleOutput {
+        locals: run.results,
+        report: ShuffleReport {
+            tuples,
+            messages,
+            comm_secs,
+            build_secs: run.makespan_secs,
+            preprocess_secs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_cluster::ClusterConfig;
+    use adj_relational::Attr;
+
+    /// Triangle test database over a small random-ish graph.
+    fn tri_db() -> (Database, Vec<String>) {
+        let edges: Vec<(Value, Value)> = (0..50u32)
+            .flat_map(|i| vec![(i, (i * 7 + 3) % 50), (i, (i * 13 + 1) % 50)])
+            .collect();
+        let mut db = Database::new();
+        db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &edges));
+        db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &edges));
+        db.insert("R3", Relation::from_pairs(Attr(0), Attr(2), &edges));
+        (db, vec!["R1".into(), "R2".into(), "R3".into()])
+    }
+
+    fn order3() -> Vec<Attr> {
+        vec![Attr(0), Attr(1), Attr(2)]
+    }
+
+    #[test]
+    fn all_impls_produce_identical_locals() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let outs: Vec<ShuffleOutput> = HCubeImpl::ALL
+            .iter()
+            .map(|&i| {
+                let cluster = Cluster::new(ClusterConfig::with_workers(4));
+                hcube_shuffle(&cluster, &db, &names, &plan, &order3(), i).unwrap()
+            })
+            .collect();
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(
+                    outs[0].locals[w][ai].trie, outs[1].locals[w][ai].trie,
+                    "push vs pull differ at worker {w} atom {ai}"
+                );
+                assert_eq!(
+                    outs[1].locals[w][ai].trie, outs[2].locals[w][ai].trie,
+                    "pull vs merge differ at worker {w} atom {ai}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impls_identical_under_permuting_order() {
+        // Regression: an attribute order that permutes relation columns
+        // (c ≺ a ≺ b) must still route blocks to exactly the workers Push
+        // routes tuples to.
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 2], 8);
+        let order = vec![Attr(2), Attr(0), Attr(1)];
+        let outs: Vec<ShuffleOutput> = HCubeImpl::ALL
+            .iter()
+            .map(|&i| {
+                let cluster = Cluster::new(ClusterConfig::with_workers(8));
+                hcube_shuffle(&cluster, &db, &names, &plan, &order, i).unwrap()
+            })
+            .collect();
+        for w in 0..8 {
+            for ai in 0..names.len() {
+                assert_eq!(outs[0].locals[w][ai].trie, outs[1].locals[w][ai].trie);
+                assert_eq!(outs[1].locals[w][ai].trie, outs[2].locals[w][ai].trie);
+            }
+        }
+    }
+
+    #[test]
+    fn local_union_covers_every_tuple() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let out = hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Pull).unwrap();
+        for (ai, name) in names.iter().enumerate() {
+            let original = db.get(name).unwrap();
+            let mut parts: Vec<Relation> =
+                (0..4).map(|w| out.locals[w][ai].trie.to_relation()).collect();
+            let mut all = parts.remove(0);
+            for p in parts {
+                all = all.union(&p).unwrap();
+            }
+            // permute back to original column order for comparison
+            let back = all.permute(original.schema().attrs()).unwrap();
+            assert_eq!(&back, original, "{name} lost tuples in shuffle");
+        }
+    }
+
+    #[test]
+    fn push_sends_more_messages_than_pull() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 2], 8);
+        let c1 = Cluster::new(ClusterConfig::with_workers(8));
+        let push = hcube_shuffle(&c1, &db, &names, &plan, &order3(), HCubeImpl::Push).unwrap();
+        let c2 = Cluster::new(ClusterConfig::with_workers(8));
+        let pull = hcube_shuffle(&c2, &db, &names, &plan, &order3(), HCubeImpl::Pull).unwrap();
+        assert_eq!(push.report.tuples, pull.report.tuples, "same payload");
+        assert!(
+            push.report.messages > 10 * pull.report.messages,
+            "push {} vs pull {} messages",
+            push.report.messages,
+            pull.report.messages
+        );
+        assert!(push.report.comm_secs > pull.report.comm_secs);
+    }
+
+    #[test]
+    fn tuple_count_matches_dup_model() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let out = hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Push).unwrap();
+        // Each relation R is delivered |R|·dup(R,p) copies when all cubes
+        // map to distinct workers (4 cubes on 4 workers here).
+        let expect: u64 = names
+            .iter()
+            .map(|n| {
+                let r = db.get(n).unwrap();
+                r.len() as u64 * plan.dup_factor(r.schema())
+            })
+            .sum();
+        assert_eq!(out.report.tuples, expect);
+    }
+
+    #[test]
+    fn memory_budget_fails_shuffle() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![1, 1, 1], 1);
+        let mut cfg = ClusterConfig::with_workers(1);
+        cfg.memory_limit_bytes = Some(64);
+        let cluster = Cluster::new(cfg);
+        let err =
+            hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Pull).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn merge_reports_preprocess_time() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let out = hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Merge).unwrap();
+        assert!(out.report.preprocess_secs > 0.0);
+        let c2 = Cluster::new(ClusterConfig::with_workers(4));
+        let pull = hcube_shuffle(&c2, &db, &names, &plan, &order3(), HCubeImpl::Pull).unwrap();
+        assert_eq!(pull.report.preprocess_secs, 0.0);
+    }
+
+    #[test]
+    fn order_missing_attr_errors() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let bad_order = vec![Attr(0), Attr(1)]; // attr 2 missing
+        assert!(hcube_shuffle(&cluster, &db, &names, &plan, &bad_order, HCubeImpl::Pull).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Execution counters for Leapfrog runs.
+
+/// Deterministic counters describing one Leapfrog execution.
+///
+/// `tuples_per_level[i]` is `|T_{i+1}|` in the paper's notation: the number
+/// of partial bindings produced when extending to the `(i+1)`-th attribute.
+/// Fig. 6 shows these are dominated by the last one or two levels for the
+/// complex queries; Fig. 8 compares their totals across attribute orders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinCounters {
+    /// Partial bindings produced per query level.
+    pub tuples_per_level: Vec<u64>,
+    /// Galloping/comparison operations spent in intersections.
+    pub intersect_ops: u64,
+    /// Full result tuples emitted.
+    pub output_tuples: u64,
+    /// Cache hits (cached variant only).
+    pub cache_hits: u64,
+    /// Cache misses (cached variant only).
+    pub cache_misses: u64,
+}
+
+impl JoinCounters {
+    /// Creates counters for a query with `levels` attributes.
+    pub fn new(levels: usize) -> Self {
+        JoinCounters { tuples_per_level: vec![0; levels], ..Default::default() }
+    }
+
+    /// Total intermediate tuples (all levels *before* the last; the last
+    /// level's bindings are the output).
+    pub fn intermediate_tuples(&self) -> u64 {
+        if self.tuples_per_level.is_empty() {
+            0
+        } else {
+            self.tuples_per_level[..self.tuples_per_level.len() - 1].iter().sum()
+        }
+    }
+
+    /// Total bindings across all levels (the extension work Leapfrog did).
+    pub fn total_tuples(&self) -> u64 {
+        self.tuples_per_level.iter().sum()
+    }
+
+    /// Merges another run's counters into this one (used when aggregating
+    /// across workers).
+    pub fn merge(&mut self, other: &JoinCounters) {
+        if self.tuples_per_level.len() < other.tuples_per_level.len() {
+            self.tuples_per_level.resize(other.tuples_per_level.len(), 0);
+        }
+        for (i, &t) in other.tuples_per_level.iter().enumerate() {
+            self.tuples_per_level[i] += t;
+        }
+        self.intersect_ops += other.intersect_ops;
+        self.output_tuples += other.output_tuples;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intermediate_excludes_last_level() {
+        let c = JoinCounters {
+            tuples_per_level: vec![10, 20, 30],
+            ..Default::default()
+        };
+        assert_eq!(c.intermediate_tuples(), 30);
+        assert_eq!(c.total_tuples(), 60);
+        assert_eq!(JoinCounters::default().intermediate_tuples(), 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = JoinCounters::new(2);
+        a.tuples_per_level = vec![1, 2];
+        a.output_tuples = 2;
+        let mut b = JoinCounters::new(3);
+        b.tuples_per_level = vec![10, 20, 30];
+        b.intersect_ops = 5;
+        a.merge(&b);
+        assert_eq!(a.tuples_per_level, vec![11, 22, 30]);
+        assert_eq!(a.intersect_ops, 5);
+        assert_eq!(a.output_tuples, 2);
+    }
+}

@@ -1,0 +1,197 @@
+//! Generic Join (NPRR) — the other worst-case-optimal join family the paper
+//! cites ([24], [25]). Included as an ablation against Leapfrog: instead of
+//! a k-way leapfrog intersection per level, Generic Join picks the
+//! *smallest* candidate run and probes the remaining relations for each of
+//! its values. Same worst-case guarantee, different constant factors —
+//! leapfrogging wins when runs are similarly sized, probing wins when one
+//! run is much smaller (see `benches/micro.rs`).
+
+use crate::counters::JoinCounters;
+use adj_relational::intersect::gallop;
+use adj_relational::{Attr, Result, Trie, TrieCursor, Value};
+
+/// A Generic-Join execution over the same trie inputs as
+/// [`crate::LeapfrogJoin`].
+pub struct GenericJoin<'a> {
+    order: Vec<Attr>,
+    tries: Vec<&'a Trie>,
+    participants: Vec<Vec<usize>>,
+}
+
+impl<'a> GenericJoin<'a> {
+    /// Creates a Generic Join; inputs validated exactly like
+    /// [`crate::LeapfrogJoin::new`].
+    pub fn new(order: &[Attr], tries: Vec<&'a Trie>) -> Result<Self> {
+        let base = crate::join::LeapfrogJoin::new(order, tries.clone())?;
+        drop(base);
+        let participants = order
+            .iter()
+            .map(|a| {
+                tries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.schema().contains(*a))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        Ok(GenericJoin { order: order.to_vec(), tries, participants })
+    }
+
+    /// Runs the join, invoking `emit` per result tuple.
+    pub fn run(&self, mut emit: impl FnMut(&[Value])) -> JoinCounters {
+        let mut counters = JoinCounters::new(self.order.len());
+        if self.tries.iter().any(|t| t.tuples() == 0) {
+            return counters;
+        }
+        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut binding = vec![0 as Value; self.order.len()];
+        self.recurse(0, &mut cursors, &mut binding, &mut counters, &mut emit);
+        counters
+    }
+
+    /// Runs the join, returning `(output count, counters)`.
+    pub fn count(&self) -> (u64, JoinCounters) {
+        let c = self.run(|_| {});
+        (c.output_tuples, c)
+    }
+
+    fn recurse(
+        &self,
+        level: usize,
+        cursors: &mut [TrieCursor<'a>],
+        binding: &mut Vec<Value>,
+        counters: &mut JoinCounters,
+        emit: &mut impl FnMut(&[Value]),
+    ) {
+        let ps = &self.participants[level];
+        let mut opened = 0usize;
+        let mut ok = true;
+        for &p in ps {
+            if cursors[p].open() {
+                opened += 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            // Generic Join: iterate the smallest run, probe the others.
+            let (smallest_k, _) = ps
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| (k, cursors[p].run().len()))
+                .min_by_key(|&(_, len)| len)
+                .expect("non-empty participant set");
+            let small_run: &[Value] = cursors[ps[smallest_k]].run();
+            let other_runs: Vec<&[Value]> = ps
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != smallest_k)
+                .map(|(_, &p)| cursors[p].run())
+                .collect();
+            let mut probe_pos = vec![0usize; other_runs.len()];
+            let last = level + 1 == self.order.len();
+            'vals: for &v in small_run {
+                for (ri, run) in other_runs.iter().enumerate() {
+                    counters.intersect_ops += 1;
+                    let p = gallop(run, probe_pos[ri], v);
+                    probe_pos[ri] = p;
+                    if p >= run.len() {
+                        break 'vals; // this and all later v values miss
+                    }
+                    if run[p] != v {
+                        continue 'vals;
+                    }
+                }
+                counters.tuples_per_level[level] += 1;
+                for &p in ps {
+                    let hit = cursors[p].seek(v);
+                    debug_assert!(hit);
+                }
+                binding[level] = v;
+                if last {
+                    counters.output_tuples += 1;
+                    emit(binding);
+                } else {
+                    self.recurse(level + 1, cursors, binding, counters, emit);
+                }
+            }
+        }
+        for &p in ps.iter().take(opened) {
+            cursors[p].up();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::LeapfrogJoin;
+    use adj_relational::Relation;
+
+    fn ord(ids: &[u32]) -> Vec<Attr> {
+        ids.iter().map(|&i| Attr(i)).collect()
+    }
+
+    fn graph_tries(schemas: &[(u32, u32)], order: &[Attr], n: u32, m: u32) -> Vec<Trie> {
+        let edges: Vec<(Value, Value)> = (0..n)
+            .flat_map(|i| vec![(i % m, (i * 7 + 1) % m), ((i * 3) % m, (i * 11 + 5) % m)])
+            .collect();
+        schemas
+            .iter()
+            .map(|&(x, y)| {
+                Relation::from_pairs(Attr(x), Attr(y), &edges)
+                    .trie_under_order(order)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn triangle_matches_leapfrog() {
+        let o = ord(&[0, 1, 2]);
+        let tries = graph_tries(&[(0, 1), (1, 2), (0, 2)], &o, 200, 41);
+        let lf = LeapfrogJoin::new(&o, tries.iter().collect()).unwrap();
+        let gj = GenericJoin::new(&o, tries.iter().collect()).unwrap();
+        assert_eq!(lf.count().0, gj.count().0);
+        assert!(gj.count().0 > 0);
+    }
+
+    #[test]
+    fn q4_matches_leapfrog_and_emits_same_tuples() {
+        let o = ord(&[0, 1, 2, 3, 4]);
+        let tries =
+            graph_tries(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)], &o, 120, 29);
+        let lf = LeapfrogJoin::new(&o, tries.iter().collect()).unwrap();
+        let gj = GenericJoin::new(&o, tries.iter().collect()).unwrap();
+        let mut a = Vec::new();
+        lf.run(|t| a.push(t.to_vec()));
+        let mut b = Vec::new();
+        gj.run(|t| b.push(t.to_vec()));
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input() {
+        let o = ord(&[0, 1]);
+        let t = Trie::build(&Relation::empty(adj_relational::Schema::from_ids(&[0, 1])));
+        let gj = GenericJoin::new(&o, vec![&t]).unwrap();
+        assert_eq!(gj.count().0, 0);
+    }
+
+    #[test]
+    fn per_level_counters_match_leapfrog() {
+        // Both algorithms enumerate the same partial bindings, so level
+        // counters agree (only intersect_ops differ).
+        let o = ord(&[0, 1, 2]);
+        let tries = graph_tries(&[(0, 1), (1, 2), (0, 2)], &o, 150, 31);
+        let lf = LeapfrogJoin::new(&o, tries.iter().collect()).unwrap();
+        let gj = GenericJoin::new(&o, tries.iter().collect()).unwrap();
+        let (_, cl) = lf.count();
+        let (_, cg) = gj.count();
+        assert_eq!(cl.tuples_per_level, cg.tuples_per_level);
+    }
+}

@@ -1,0 +1,423 @@
+//! The Leapfrog Triejoin driver (Algorithm 1 of the paper).
+
+use crate::counters::JoinCounters;
+use adj_relational::intersect::leapfrog_intersect;
+use adj_relational::{Attr, Error, Result, Trie, TrieCursor, Value};
+
+/// A multi-way join execution over tries.
+///
+/// Construction validates that every trie's level order is the order induced
+/// by the global attribute order `order` (the invariant HCube's shuffle
+/// establishes). The join itself walks the query levels `A_1 … A_n`,
+/// maintaining one cursor per relation, and at each level intersects the
+/// candidate runs of the relations containing that attribute.
+pub struct LeapfrogJoin<'a> {
+    order: Vec<Attr>,
+    tries: Vec<&'a Trie>,
+    /// For each query level: indices of participating tries.
+    participants: Vec<Vec<usize>>,
+}
+
+impl<'a> LeapfrogJoin<'a> {
+    /// Creates a join over `tries` under the global attribute order.
+    pub fn new(order: &[Attr], tries: Vec<&'a Trie>) -> Result<Self> {
+        // Validate each trie's level order is order-induced.
+        for t in &tries {
+            let induced: Vec<Attr> = order
+                .iter()
+                .copied()
+                .filter(|a| t.schema().contains(*a))
+                .collect();
+            if induced != t.schema().attrs() {
+                return Err(Error::SchemaMismatch {
+                    left: t.schema().to_string(),
+                    right: format!("induced by order {order:?}"),
+                });
+            }
+        }
+        let participants = order
+            .iter()
+            .map(|a| {
+                tries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.schema().contains(*a))
+                    .map(|(i, _)| i)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        // Every attribute must be bound by at least one relation.
+        for (lvl, ps) in participants.iter().enumerate() {
+            if ps.is_empty() {
+                return Err(Error::UnknownAttr {
+                    attr: order[lvl].to_string(),
+                    schema: "any input trie".to_string(),
+                });
+            }
+        }
+        Ok(LeapfrogJoin { order: order.to_vec(), tries, participants })
+    }
+
+    /// Number of query levels.
+    pub fn levels(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The global attribute order.
+    pub fn order(&self) -> &[Attr] {
+        &self.order
+    }
+
+    /// Runs the join, invoking `emit` for every result tuple (values in
+    /// `order`'s attribute order). Returns execution counters.
+    pub fn run(&self, mut emit: impl FnMut(&[Value])) -> JoinCounters {
+        let mut counters = JoinCounters::new(self.levels());
+        if self.tries.iter().any(|t| t.tuples() == 0) {
+            return counters;
+        }
+        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut binding: Vec<Value> = vec![0; self.levels()];
+        self.recurse(0, &mut cursors, &mut binding, &mut counters, &mut emit);
+        counters
+    }
+
+    /// Runs the join but only counts results (skips emit overhead).
+    pub fn count(&self) -> (u64, JoinCounters) {
+        let counters = self.run(|_| {});
+        (counters.output_tuples, counters)
+    }
+
+    /// Runs the join but aborts once the total number of produced bindings
+    /// exceeds `max_total_bindings`. Returns `(completed, counters)`;
+    /// `completed == false` means the counters are a lower bound. Used by
+    /// the Fig. 8 harness, where *invalid* attribute orders can produce
+    /// cross-product-sized intermediate sets that would run for hours.
+    pub fn count_with_budget(&self, max_total_bindings: u64) -> (bool, JoinCounters) {
+        let mut counters = JoinCounters::new(self.levels());
+        if self.tries.iter().any(|t| t.tuples() == 0) {
+            return (true, counters);
+        }
+        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut binding: Vec<Value> = vec![0; self.levels()];
+        let completed = self.recurse_budgeted(
+            0,
+            &mut cursors,
+            &mut binding,
+            &mut counters,
+            max_total_bindings,
+        );
+        (completed, counters)
+    }
+
+    fn recurse_budgeted(
+        &self,
+        level: usize,
+        cursors: &mut [TrieCursor<'a>],
+        binding: &mut Vec<Value>,
+        counters: &mut JoinCounters,
+        budget: u64,
+    ) -> bool {
+        let ps = &self.participants[level];
+        let mut opened = 0usize;
+        let mut ok = true;
+        let mut completed = true;
+        for &p in ps {
+            if cursors[p].open() {
+                opened += 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
+            let mut vals: Vec<Value> = Vec::new();
+            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
+            counters.tuples_per_level[level] += vals.len() as u64;
+            let last = level + 1 == self.levels();
+            if counters.total_tuples() > budget {
+                completed = false;
+            } else if last {
+                counters.output_tuples += vals.len() as u64;
+            } else {
+                for v in vals {
+                    for &p in ps {
+                        cursors[p].seek(v);
+                    }
+                    binding[level] = v;
+                    if !self.recurse_budgeted(level + 1, cursors, binding, counters, budget) {
+                        completed = false;
+                        break;
+                    }
+                }
+            }
+        }
+        for &p in ps.iter().take(opened) {
+            cursors[p].up();
+        }
+        completed
+    }
+
+    /// Counts the results whose first attribute (in `order`) equals `v` —
+    /// `|T_{A=a}|` of the sampling estimator (Sec. IV). The first attribute's
+    /// candidates are not intersected; cursors are positioned directly at
+    /// `v` when present.
+    pub fn count_with_first_value(&self, v: Value) -> (u64, JoinCounters) {
+        let mut counters = JoinCounters::new(self.levels());
+        if self.tries.iter().any(|t| t.tuples() == 0) {
+            return (0, counters);
+        }
+        let mut cursors: Vec<TrieCursor<'_>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut binding: Vec<Value> = vec![0; self.levels()];
+        // Position level-0 participants at v.
+        let ps = &self.participants[0];
+        let mut ok = true;
+        let mut opened = 0usize;
+        for &p in ps {
+            if !cursors[p].open() || !cursors[p].seek(v) {
+                ok = false;
+                opened += 1;
+                break;
+            }
+            opened += 1;
+        }
+        if ok {
+            counters.tuples_per_level[0] += 1;
+            binding[0] = v;
+            if self.levels() == 1 {
+                counters.output_tuples += 1;
+            } else {
+                self.recurse(1, &mut cursors, &mut binding, &mut counters, &mut |_| {});
+            }
+        }
+        for &p in ps.iter().take(opened) {
+            cursors[p].up();
+        }
+        (counters.output_tuples, counters)
+    }
+
+    fn recurse(
+        &self,
+        level: usize,
+        cursors: &mut [TrieCursor<'a>],
+        binding: &mut Vec<Value>,
+        counters: &mut JoinCounters,
+        emit: &mut impl FnMut(&[Value]),
+    ) {
+        let ps = &self.participants[level];
+        // Descend every participant into the children of its current node.
+        let mut opened = 0usize;
+        let mut ok = true;
+        for &p in ps {
+            if cursors[p].open() {
+                opened += 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            // Intersect candidate runs (Algorithm 1 line 5).
+            let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
+            let mut vals: Vec<Value> = Vec::new();
+            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
+            counters.tuples_per_level[level] += vals.len() as u64;
+            let last = level + 1 == self.levels();
+            for v in vals {
+                for &p in ps {
+                    let hit = cursors[p].seek(v);
+                    debug_assert!(hit, "intersection value must exist in every run");
+                }
+                binding[level] = v;
+                if last {
+                    counters.output_tuples += 1;
+                    emit(binding);
+                } else {
+                    self.recurse(level + 1, cursors, binding, counters, emit);
+                }
+            }
+        }
+        for &p in ps.iter().take(opened) {
+            cursors[p].up();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_relational::{Relation, Schema};
+
+    fn order(ids: &[u32]) -> Vec<Attr> {
+        ids.iter().map(|&i| Attr(i)).collect()
+    }
+
+    /// Builds tries for a set of binary relations under a global order.
+    fn tries_for(rels: &[&Relation], ord: &[Attr]) -> Vec<Trie> {
+        rels.iter().map(|r| r.trie_under_order(ord).unwrap()).collect()
+    }
+
+    fn triangle_graph() -> (Relation, Relation, Relation) {
+        // Graph: edges (1,2),(2,3),(1,3),(3,4),(1,4) — triangles {1,2,3},{1,3,4}
+        let e = [(1u32, 2u32), (2, 3), (1, 3), (3, 4), (1, 4)];
+        (
+            Relation::from_pairs(Attr(0), Attr(1), &e),
+            Relation::from_pairs(Attr(1), Attr(2), &e),
+            Relation::from_pairs(Attr(0), Attr(2), &e),
+        )
+    }
+
+    #[test]
+    fn triangle_enumeration() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut results = Vec::new();
+        let counters = join.run(|t| results.push(t.to_vec()));
+        results.sort();
+        assert_eq!(results, vec![vec![1, 2, 3], vec![1, 3, 4]]);
+        assert_eq!(counters.output_tuples, 2);
+        assert_eq!(counters.tuples_per_level.len(), 3);
+        assert!(counters.intersect_ops > 0);
+    }
+
+    #[test]
+    fn matches_binary_join_on_triangle() {
+        // Pseudo-random graph; compare against R1 ⋈ R2 ⋈ R3 by hash joins.
+        let edges: Vec<(Value, Value)> = (0..80u32)
+            .flat_map(|i| vec![(i % 37, (i * 7 + 1) % 37), (i % 37, (i * 11 + 5) % 37)])
+            .collect();
+        let r1 = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let r2 = Relation::from_pairs(Attr(1), Attr(2), &edges);
+        let r3 = Relation::from_pairs(Attr(0), Attr(2), &edges);
+        let expected = r1.join(&r2).unwrap().join(&r3).unwrap();
+
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut results: Vec<Vec<Value>> = Vec::new();
+        join.run(|t| results.push(t.to_vec()));
+        let lf = Relation::from_rows(
+            Schema::from_ids(&[0, 1, 2]),
+            &results.iter().map(|r| r.as_slice()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        // expected schema order is (a,b,c) already
+        assert_eq!(lf, expected);
+    }
+
+    #[test]
+    fn different_orders_same_results() {
+        let (r1, r2, r3) = triangle_graph();
+        let mut counts = Vec::new();
+        for ids in [[0u32, 1, 2], [2, 0, 1], [1, 2, 0]] {
+            let ord = order(&ids);
+            let tries = tries_for(&[&r1, &r2, &r3], &ord);
+            let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+            counts.push(join.count().0);
+        }
+        assert!(counts.iter().all(|&c| c == counts[0]));
+        assert_eq!(counts[0], 2);
+    }
+
+    #[test]
+    fn empty_input_early_exit() {
+        let (r1, r2, _) = triangle_graph();
+        let empty = Relation::empty(Schema::from_ids(&[0, 2]));
+        let ord = order(&[0, 1, 2]);
+        let t1 = r1.trie_under_order(&ord).unwrap();
+        let t2 = r2.trie_under_order(&ord).unwrap();
+        let t3 = Trie::build(&empty);
+        let join = LeapfrogJoin::new(&ord, vec![&t1, &t2, &t3]).unwrap();
+        let (n, counters) = join.count();
+        assert_eq!(n, 0);
+        assert_eq!(counters.intersect_ops, 0);
+    }
+
+    #[test]
+    fn rejects_trie_with_wrong_level_order() {
+        let (r1, _, _) = triangle_graph();
+        let wrong = Trie::build(&r1.permute(&[Attr(1), Attr(0)]).unwrap());
+        let ord = order(&[0, 1]);
+        assert!(LeapfrogJoin::new(&ord, vec![&wrong]).is_err());
+    }
+
+    #[test]
+    fn rejects_unbound_attribute() {
+        let (r1, _, _) = triangle_graph();
+        let ord = order(&[0, 1, 2]); // attr 2 not in any trie
+        let t1 = r1.trie_under_order(&ord).unwrap();
+        assert!(LeapfrogJoin::new(&ord, vec![&t1]).is_err());
+    }
+
+    #[test]
+    fn budgeted_count_matches_unbudgeted_when_under() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (n, full) = join.count();
+        let (completed, budgeted) = join.count_with_budget(1_000_000);
+        assert!(completed);
+        assert_eq!(budgeted.output_tuples, n);
+        assert_eq!(budgeted.tuples_per_level, full.tuples_per_level);
+    }
+
+    #[test]
+    fn budgeted_count_aborts_early() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (completed, partial) = join.count_with_budget(1);
+        assert!(!completed);
+        assert!(partial.total_tuples() >= 1);
+    }
+
+    #[test]
+    fn count_with_first_value_sums_to_total() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (total, _) = join.count();
+        let mut sum = 0;
+        for v in 0..6u32 {
+            sum += join.count_with_first_value(v).0;
+        }
+        assert_eq!(sum, total);
+        assert_eq!(join.count_with_first_value(1).0, 2); // both triangles start at a=1
+        assert_eq!(join.count_with_first_value(99).0, 0);
+    }
+
+    #[test]
+    fn paper_example_t5_result() {
+        // Fig. 3: the server S0 tuples; Leapfrog yields T5 with 8 tuples
+        // (a,b,c,d,e) as drawn. We reproduce the inputs of Fig. 3(a).
+        let r1 = Relation::from_rows(
+            Schema::from_ids(&[0, 1, 2]),
+            &[&[1, 2, 1], &[1, 2, 2]],
+        )
+        .unwrap();
+        let r2 =
+            Relation::from_pairs(Attr(0), Attr(3), &[(1, 1), (1, 2), (1, 3), (4, 1)]);
+        let r3 = Relation::from_pairs(Attr(2), Attr(3), &[(1, 1), (1, 2), (2, 2)]);
+        let r4 = Relation::from_pairs(Attr(1), Attr(4), &[(2, 3), (2, 4), (2, 5)]);
+        let r5 = Relation::from_pairs(Attr(2), Attr(4), &[(2, 3), (2, 4)]);
+        let ord = order(&[0, 1, 2, 3, 4]);
+        let tries: Vec<Trie> = [&r1, &r2, &r3, &r4, &r5]
+            .iter()
+            .map(|r| r.trie_under_order(&ord).unwrap())
+            .collect();
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut results = Vec::new();
+        join.run(|t| results.push(t.to_vec()));
+        // From Fig. 3(b): T5 holds bindings with a=1,b=2,c∈{1,2}; c=1 joins
+        // d∈{1,2}, c=2 joins d=2; e∈{3,4} via R4∩R5 (b=2,c=2) when c=2 and
+        // e∈{3,4} when c=1? R5 requires (c,e): c=1 has no e. So only c=2
+        // rows survive: (1,2,2,2,3),(1,2,2,2,4).
+        results.sort();
+        assert_eq!(results, vec![vec![1, 2, 2, 2, 3], vec![1, 2, 2, 2, 4]]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Attribute orders for Leapfrog, and the hypertree-based pruning of
+//! Sec. III-A ("Reducing Choice of Attribute Orders").
+//!
+//! HCubeJ searches all `n!` orders; ADJ only considers orders that follow a
+//! *traversal order* of the hypertree `T`: attributes of an earlier-visited
+//! hypernode come before attributes first appearing in a later one. This
+//! module enumerates both spaces so the Fig. 8 experiment can compare them.
+
+use crate::ghd::GhdTree;
+use adj_relational::Attr;
+
+/// An attribute order `ord` for Leapfrog evaluation.
+pub type AttrOrder = Vec<Attr>;
+
+/// All permutations of `items` (guarded: intended for n ≤ 8).
+pub fn permutations<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    assert!(items.len() <= 8, "permutation enumeration is for small n");
+    let mut out = Vec::new();
+    let mut cur: Vec<T> = Vec::with_capacity(items.len());
+    let mut used = vec![false; items.len()];
+    fn rec<T: Clone>(items: &[T], used: &mut [bool], cur: &mut Vec<T>, out: &mut Vec<Vec<T>>) {
+        if cur.len() == items.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..items.len() {
+            if !used[i] {
+                used[i] = true;
+                cur.push(items[i].clone());
+                rec(items, used, cur, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    rec(items, &mut used, &mut cur, &mut out);
+    out
+}
+
+/// All attribute orders over `attrs` — HCubeJ's `O(n!)` search space.
+pub fn all_orders(attrs: &[Attr]) -> Vec<AttrOrder> {
+    permutations(attrs)
+}
+
+/// All *traversal orders* of the hypertree: permutations of node indices in
+/// which every prefix is connected in `T`. (`|V(T)|!` upper bound; far fewer
+/// in practice because of the connectivity constraint.)
+pub fn traversal_orders(tree: &GhdTree) -> Vec<Vec<usize>> {
+    let n = tree.len();
+    let adj = tree.adjacency();
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(n);
+    let mut used = vec![false; n];
+    fn rec(
+        n: usize,
+        adj: &[Vec<usize>],
+        used: &mut [bool],
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for v in 0..n {
+            if used[v] {
+                continue;
+            }
+            // Prefix must stay connected: v adjacent to some chosen node
+            // (or the prefix is empty).
+            if !cur.is_empty() && !adj[v].iter().any(|&u| used[u]) {
+                continue;
+            }
+            used[v] = true;
+            cur.push(v);
+            rec(n, adj, used, cur, out);
+            cur.pop();
+            used[v] = false;
+        }
+    }
+    rec(n, &adj, &mut used, &mut cur, &mut out);
+    out
+}
+
+/// The new attributes each traversal step contributes: node `order[i]`'s bag
+/// attributes minus everything already seen.
+pub fn new_attrs_per_step(tree: &GhdTree, traversal: &[usize]) -> Vec<Vec<Attr>> {
+    let mut seen = 0u64;
+    traversal
+        .iter()
+        .map(|&v| {
+            let fresh = tree.nodes[v].vertices & !seen;
+            seen |= tree.nodes[v].vertices;
+            (0..64u32).filter(|i| fresh & (1 << i) != 0).map(Attr).collect()
+        })
+        .collect()
+}
+
+/// All *valid* attribute orders under hypertree `T` (Sec. III-A): follow some
+/// traversal order of the hypernodes; within a hypernode the new attributes
+/// may be permuted freely.
+pub fn valid_orders(tree: &GhdTree) -> Vec<AttrOrder> {
+    let mut out = Vec::new();
+    for trav in traversal_orders(tree) {
+        let steps = new_attrs_per_step(tree, &trav);
+        // Cartesian product of per-step permutations.
+        let mut partials: Vec<AttrOrder> = vec![Vec::new()];
+        for step in &steps {
+            let perms = permutations(step);
+            let mut next = Vec::with_capacity(partials.len() * perms.len());
+            for p in &partials {
+                for perm in &perms {
+                    let mut q = p.clone();
+                    q.extend_from_slice(perm);
+                    next.push(q);
+                }
+            }
+            partials = next;
+        }
+        out.extend(partials);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Whether `order` is valid for the hypertree (member of [`valid_orders`]'
+/// space). Decided by backtracking over which hypernode each position can
+/// start: an order is valid iff some connected traversal of `T` emits it,
+/// with each node's fresh attributes forming a contiguous block.
+pub fn is_valid_order(tree: &GhdTree, order: &[Attr]) -> bool {
+    let adj = tree.adjacency();
+
+    fn rec(
+        tree: &GhdTree,
+        adj: &[Vec<usize>],
+        order: &[Attr],
+        pos: usize,
+        started_mask: u64,
+        seen_attrs: u64,
+    ) -> bool {
+        if pos == order.len() {
+            // A full order covers attrs(Q), hence all bags, by construction.
+            return tree.nodes.iter().all(|n| n.vertices & !seen_attrs == 0);
+        }
+        // Try starting each eligible node here.
+        for (v, node) in tree.nodes.iter().enumerate() {
+            if started_mask & (1 << v) != 0 {
+                continue;
+            }
+            let connected =
+                started_mask == 0 || adj[v].iter().any(|&u| started_mask & (1 << u) != 0);
+            if !connected {
+                continue;
+            }
+            let fresh = node.vertices & !seen_attrs;
+            let block = fresh.count_ones() as usize;
+            // The next `block` attributes must be exactly `fresh` (in any
+            // internal permutation).
+            if pos + block > order.len() {
+                continue;
+            }
+            let mut m = 0u64;
+            for &a in &order[pos..pos + block] {
+                m |= a.mask();
+            }
+            if m != fresh {
+                continue;
+            }
+            if rec(tree, adj, order, pos + block, started_mask | (1 << v), seen_attrs | fresh) {
+                return true;
+            }
+        }
+        false
+    }
+
+    rec(tree, &adj, order, 0, 0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::Hypergraph;
+
+    fn example_tree() -> GhdTree {
+        let h = Hypergraph::new(5, vec![0b00111, 0b01001, 0b01100, 0b10010, 0b10100]);
+        GhdTree::decompose(&h, 3)
+    }
+
+    #[test]
+    fn permutation_count() {
+        assert_eq!(permutations(&[1, 2, 3]).len(), 6);
+        assert_eq!(permutations::<u32>(&[]).len(), 1);
+    }
+
+    #[test]
+    fn traversal_orders_are_connected_prefixes() {
+        let t = example_tree();
+        let travs = traversal_orders(&t);
+        // 3-node path tree: 4 connected permutations (abc tree is the middle
+        // or an end depending on decomposition shape); at minimum every
+        // permutation's prefixes are connected.
+        assert!(!travs.is_empty());
+        let adj = t.adjacency();
+        for trav in &travs {
+            for i in 1..trav.len() {
+                assert!(
+                    trav[..i].iter().any(|&u| adj[trav[i]].contains(&u)),
+                    "disconnected prefix in {trav:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_valid_and_invalid_orders() {
+        // Paper (Sec. III-A): with traversal va ≺ vb ≺ vc,
+        // a ≺ b ≺ c ≺ d ≺ e is valid and a ≺ b ≺ e ≺ d ≺ c is invalid.
+        let t = example_tree();
+        let valid: AttrOrder = vec![Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)];
+        let invalid: AttrOrder = vec![Attr(0), Attr(1), Attr(4), Attr(3), Attr(2)];
+        let vs = valid_orders(&t);
+        assert!(vs.contains(&valid), "expected abcde to be valid");
+        assert!(!vs.contains(&invalid), "abedc must be pruned");
+        assert!(is_valid_order(&t, &valid));
+        assert!(!is_valid_order(&t, &invalid));
+    }
+
+    #[test]
+    fn valid_is_subset_of_all_and_consistent_with_checker() {
+        let t = example_tree();
+        let attrs: Vec<Attr> = (0..5).map(Attr).collect();
+        let all = all_orders(&attrs);
+        let valid = valid_orders(&t);
+        assert!(valid.len() < all.len());
+        for o in &all {
+            assert_eq!(valid.contains(o), is_valid_order(&t, o), "order {o:?}");
+        }
+    }
+
+    #[test]
+    fn single_bag_tree_accepts_everything() {
+        let tri = Hypergraph::new(3, vec![0b011, 0b110, 0b101]);
+        let t = GhdTree::decompose(&tri, 3);
+        let attrs: Vec<Attr> = (0..3).map(Attr).collect();
+        assert_eq!(valid_orders(&t).len(), 6);
+        for o in all_orders(&attrs) {
+            assert!(is_valid_order(&t, &o));
+        }
+    }
+
+    #[test]
+    fn new_attrs_partition_the_attribute_set() {
+        let t = example_tree();
+        for trav in traversal_orders(&t) {
+            let steps = new_attrs_per_step(&t, &trav);
+            let total: usize = steps.iter().map(|s| s.len()).sum();
+            assert_eq!(total, 5);
+        }
+    }
+}

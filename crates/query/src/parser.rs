@@ -1,0 +1,168 @@
+//! A small datalog-style parser for join queries, so applications and tests
+//! can write queries the way the paper does:
+//!
+//! ```text
+//! Q(a,b,c,d,e) :- R1(a,b,c), R2(a,d), R3(c,d), R4(b,e), R5(c,e)
+//! ```
+//!
+//! Attribute names are single identifiers; they are interned in first-use
+//! order (`a` → `Attr(0)`, …). The head is optional (`R1(a,b), R2(b,c)` is
+//! accepted) and, when present, must bind exactly the attributes appearing
+//! in the body — natural joins have no projection (the paper's future-work
+//! section leaves select/project/join to later work).
+
+use crate::query::{Atom, JoinQuery};
+use adj_relational::{Attr, Error, Result, Schema};
+
+/// Parses a query string into a [`JoinQuery`]. Returns the query and the
+/// interned attribute names (index = attribute id).
+pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
+    let (name, body) = match input.split_once(":-") {
+        Some((head, body)) => {
+            let head = head.trim();
+            let name = head.split('(').next().unwrap_or("Q").trim();
+            (if name.is_empty() { "Q" } else { name }.to_string(), body)
+        }
+        None => ("Q".to_string(), input),
+    };
+
+    let mut attr_names: Vec<String> = Vec::new();
+    let mut intern = |ident: &str| -> u32 {
+        if let Some(i) = attr_names.iter().position(|n| n == ident) {
+            i as u32
+        } else {
+            attr_names.push(ident.to_string());
+            (attr_names.len() - 1) as u32
+        }
+    };
+
+    let mut atoms = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let open = rest.find('(').ok_or_else(|| parse_err("expected '(' in atom", rest))?;
+        let rel_name = rest[..open].trim_matches([',', ' ', '\n', '\t']).trim();
+        if rel_name.is_empty() {
+            return Err(parse_err("atom missing relation name", rest));
+        }
+        let close =
+            rest.find(')').ok_or_else(|| parse_err("unclosed '(' in atom", rest))?;
+        if close < open {
+            return Err(parse_err("')' before '('", rest));
+        }
+        let args = &rest[open + 1..close];
+        let mut ids = Vec::new();
+        for raw in args.split(',') {
+            let ident = raw.trim();
+            if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                return Err(parse_err("bad attribute identifier", ident));
+            }
+            ids.push(intern(ident));
+        }
+        if ids.is_empty() {
+            return Err(parse_err("atom with no attributes", rel_name));
+        }
+        let schema = Schema::new(ids.into_iter().map(Attr).collect())?;
+        atoms.push(Atom::new(rel_name, schema));
+        rest = rest[close + 1..].trim_start_matches([',', ' ', '\n', '\t']);
+    }
+    if atoms.is_empty() {
+        return Err(parse_err("query has no atoms", input));
+    }
+
+    // Validate the head (if it named attributes) covers exactly the body's.
+    if let Some((head, _)) = input.split_once(":-") {
+        if let (Some(open), Some(close)) = (head.find('('), head.find(')')) {
+            let mut head_ids: Vec<u32> = Vec::new();
+            for raw in head[open + 1..close].split(',') {
+                let ident = raw.trim();
+                if ident.is_empty() {
+                    continue;
+                }
+                match attr_names.iter().position(|n| n == ident) {
+                    Some(i) => head_ids.push(i as u32),
+                    None => {
+                        return Err(parse_err("head attribute not bound in body", ident));
+                    }
+                }
+            }
+            head_ids.sort_unstable();
+            head_ids.dedup();
+            if !head_ids.is_empty() && head_ids.len() != attr_names.len() {
+                return Err(parse_err(
+                    "head must bind all body attributes (no projection)",
+                    head,
+                ));
+            }
+        }
+    }
+
+    Ok((JoinQuery::new(name, atoms), attr_names))
+}
+
+fn parse_err(msg: &str, what: &str) -> Error {
+    Error::UnknownAttr {
+        attr: format!("{msg}: '{}'", &what[..what.len().min(40)]),
+        schema: "<query string>".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_running_example() {
+        let (q, names) = parse_query(
+            "Q(a,b,c,d,e) :- R1(a,b,c), R2(a,d), R3(c,d), R4(b,e), R5(c,e)",
+        )
+        .unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(q.atoms.len(), 5);
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+        assert_eq!(q.atoms[0].schema.arity(), 3);
+        assert_eq!(q.num_attrs(), 5);
+        // Equivalent to the hand-built workload query.
+        assert_eq!(q.hypergraph(), crate::workload::running_example().hypergraph());
+    }
+
+    #[test]
+    fn headless_form() {
+        let (q, names) = parse_query("R1(x,y), R2(y,z)").unwrap();
+        assert_eq!(q.name, "Q");
+        assert_eq!(names, vec!["x", "y", "z"]);
+        assert_eq!(q.atoms[1].name, "R2");
+    }
+
+    #[test]
+    fn attr_interning_is_first_use_order() {
+        let (_, names) = parse_query("E(b,a), F(c,a)").unwrap();
+        assert_eq!(names, vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("R1 a,b)").is_err());
+        assert!(parse_query("R1(a,b").is_err());
+        assert!(parse_query("R1()").is_err());
+        assert!(parse_query("R1(a, )").is_err());
+        assert!(parse_query("R1(a,a)").is_err()); // duplicate attr in atom
+    }
+
+    #[test]
+    fn rejects_projection_heads() {
+        // head binds fewer attrs than body → projection, unsupported
+        assert!(parse_query("Q(a) :- R1(a,b)").is_err());
+        // head with unknown attr
+        assert!(parse_query("Q(z) :- R1(a,b)").is_err());
+        // full head fine
+        assert!(parse_query("Q(a,b) :- R1(a,b)").is_ok());
+    }
+
+    #[test]
+    fn triangle_matches_workload_builder() {
+        let (q, _) = parse_query("Q1(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        let built = crate::workload::paper_query(crate::workload::PaperQuery::Q1);
+        assert_eq!(q.hypergraph(), built.hypergraph());
+    }
+}

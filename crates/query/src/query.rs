@@ -1,0 +1,185 @@
+//! Natural-join queries (Eq. (1) of the paper).
+
+use crate::hypergraph::Hypergraph;
+use adj_relational::{Attr, Database, Relation, Schema};
+
+/// One atom `R_i(attrs(R_i))` of a join query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Name of the relation in the database (e.g. `"R1"`).
+    pub name: String,
+    /// The atom's schema (which query attributes it binds, in order).
+    pub schema: Schema,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Atom { name: name.into(), schema }
+    }
+}
+
+/// A natural join query `Q :- R1 ⋈ R2 ⋈ … ⋈ Rm`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinQuery {
+    /// Human-readable query name (`"Q5"` etc.).
+    pub name: String,
+    /// The atoms, in declaration order.
+    pub atoms: Vec<Atom>,
+}
+
+impl JoinQuery {
+    /// Creates a query from atoms.
+    pub fn new(name: impl Into<String>, atoms: Vec<Atom>) -> Self {
+        JoinQuery { name: name.into(), atoms }
+    }
+
+    /// Builds a query over binary atoms given `(x, y)` attribute-id pairs —
+    /// the shape of every subgraph query in the paper's workload. Atom `i`
+    /// is named `R{i+1}`.
+    pub fn from_edges(name: impl Into<String>, edges: &[(u32, u32)]) -> Self {
+        let atoms = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Atom::new(format!("R{}", i + 1), Schema::from_ids(&[x, y])))
+            .collect();
+        JoinQuery::new(name, atoms)
+    }
+
+    /// `attrs(Q)`: the distinct attributes, sorted by id. The paper assumes
+    /// an arbitrary global order `ord`; sorted-by-id is our canonical one.
+    pub fn attrs(&self) -> Vec<Attr> {
+        let mut mask = 0u64;
+        for a in &self.atoms {
+            mask |= a.schema.mask();
+        }
+        (0..64).filter(|i| mask & (1 << i) != 0).map(Attr).collect()
+    }
+
+    /// Number of distinct attributes `n = |attrs(Q)|`.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs().len()
+    }
+
+    /// The query's hypergraph `H = (V, E)` (Sec. II).
+    pub fn hypergraph(&self) -> Hypergraph {
+        Hypergraph::new(
+            self.num_attrs() as u32,
+            self.atoms.iter().map(|a| a.schema.mask()).collect(),
+        )
+    }
+
+    /// Atoms containing `attr` — the set `R_{i+1}` of Algorithm 1 line 4.
+    pub fn atoms_with(&self, attr: Attr) -> Vec<&Atom> {
+        self.atoms.iter().filter(|a| a.schema.contains(attr)).collect()
+    }
+
+    /// Instantiates a database for a "test-case" (Sec. VII-A): every atom
+    /// receives a copy of `graph` (a binary relation) renamed to the atom's
+    /// schema. Panics if any atom is not binary.
+    pub fn instantiate(&self, graph: &Relation) -> Database {
+        assert_eq!(graph.arity(), 2, "paper test-cases use binary (graph) relations");
+        let mut db = Database::new();
+        for atom in &self.atoms {
+            assert_eq!(atom.schema.arity(), 2, "subgraph workload atoms are binary");
+            let from = graph.schema().attrs().to_vec();
+            let to = atom.schema.attrs().to_vec();
+            let renamed = graph
+                .rename(|a| if a == from[0] { to[0] } else { to[1] })
+                .expect("binary rename");
+            db.insert(atom.name.clone(), renamed);
+        }
+        db
+    }
+
+    /// Verifies (in debug/test harnesses) that `tuple` over `order` is a
+    /// result tuple: its projection onto every atom is in that atom's
+    /// relation. This is the paper's definition of a resulting tuple τ.
+    pub fn verify_tuple(&self, db: &Database, order: &[Attr], tuple: &[adj_relational::Value]) -> bool {
+        for atom in &self.atoms {
+            let rel = match db.get(&atom.name) {
+                Ok(r) => r,
+                Err(_) => return false,
+            };
+            let mut proj = Vec::with_capacity(atom.schema.arity());
+            for &a in atom.schema.attrs() {
+                match order.iter().position(|&o| o == a) {
+                    Some(p) => proj.push(tuple[p]),
+                    None => return false,
+                }
+            }
+            if !rel.contains_row(&proj) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Display for JoinQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} :- ", self.name)?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "{}{}", a.name, a.schema)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_relational::Value;
+
+    #[test]
+    fn attrs_and_hypergraph() {
+        // The running example Q (Eq. (2)).
+        let q = JoinQuery::new(
+            "Q",
+            vec![
+                Atom::new("R1", Schema::from_ids(&[0, 1, 2])),
+                Atom::new("R2", Schema::from_ids(&[0, 3])),
+                Atom::new("R3", Schema::from_ids(&[2, 3])),
+                Atom::new("R4", Schema::from_ids(&[1, 4])),
+                Atom::new("R5", Schema::from_ids(&[2, 4])),
+            ],
+        );
+        assert_eq!(q.num_attrs(), 5);
+        assert_eq!(q.attrs(), vec![Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)]);
+        let h = q.hypergraph();
+        assert_eq!(h.num_edges(), 5);
+        assert_eq!(q.atoms_with(Attr(2)).len(), 3); // R1, R3, R5
+    }
+
+    #[test]
+    fn from_edges_names_atoms() {
+        let q = JoinQuery::from_edges("Q1", &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(q.atoms[2].name, "R3");
+        assert_eq!(q.to_string(), "Q1 :- R1(a,b) ⋈ R2(b,c) ⋈ R3(a,c)");
+    }
+
+    #[test]
+    fn instantiate_copies_graph_per_atom() {
+        let q = JoinQuery::from_edges("Q1", &[(0, 1), (1, 2), (0, 2)]);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (2, 3), (1, 3)]);
+        let db = q.instantiate(&g);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.get("R2").unwrap().schema().attrs(), &[Attr(1), Attr(2)]);
+        assert_eq!(db.get("R2").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn verify_tuple_checks_projections() {
+        let q = JoinQuery::from_edges("Q1", &[(0, 1), (1, 2), (0, 2)]);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (2, 3), (1, 3)]);
+        let db = q.instantiate(&g);
+        let order = [Attr(0), Attr(1), Attr(2)];
+        let t: Vec<Value> = vec![1, 2, 3]; // triangle 1-2-3
+        assert!(q.verify_tuple(&db, &order, &t));
+        let bad: Vec<Value> = vec![1, 2, 4];
+        assert!(!q.verify_tuple(&db, &order, &bad));
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's query workload (Fig. 7): subgraph queries over 3–5 nodes.
+//!
+//! `Q1..Q6` are given explicitly in Sec. VII-A and reproduced verbatim.
+//! `Q7..Q11` are only drawn in Fig. 7 (and excluded from the evaluation as
+//! "can be computed fast"); we define them as the canonical easy 3–5 node
+//! patterns — see DESIGN.md's substitution table.
+
+use crate::query::JoinQuery;
+
+/// Identifier for the paper's workload queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PaperQuery {
+    /// Triangle.
+    Q1,
+    /// 4-clique.
+    Q2,
+    /// 5-clique.
+    Q3,
+    /// 5-cycle plus chord `be` ("house").
+    Q4,
+    /// Q4 plus chord `bd`.
+    Q5,
+    /// Q5 plus chord `ce`.
+    Q6,
+    /// Path of length 2 (our definition; see module docs).
+    Q7,
+    /// 4-cycle.
+    Q8,
+    /// 3-star.
+    Q9,
+    /// Tailed triangle.
+    Q10,
+    /// Path of length 3.
+    Q11,
+}
+
+impl PaperQuery {
+    /// All eleven queries in order.
+    pub const ALL: [PaperQuery; 11] = [
+        PaperQuery::Q1,
+        PaperQuery::Q2,
+        PaperQuery::Q3,
+        PaperQuery::Q4,
+        PaperQuery::Q5,
+        PaperQuery::Q6,
+        PaperQuery::Q7,
+        PaperQuery::Q8,
+        PaperQuery::Q9,
+        PaperQuery::Q10,
+        PaperQuery::Q11,
+    ];
+
+    /// The six queries the paper evaluates (Q1–Q6).
+    pub const EVALUATED: [PaperQuery; 6] = [
+        PaperQuery::Q1,
+        PaperQuery::Q2,
+        PaperQuery::Q3,
+        PaperQuery::Q4,
+        PaperQuery::Q5,
+        PaperQuery::Q6,
+    ];
+
+    /// The query's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperQuery::Q1 => "Q1",
+            PaperQuery::Q2 => "Q2",
+            PaperQuery::Q3 => "Q3",
+            PaperQuery::Q4 => "Q4",
+            PaperQuery::Q5 => "Q5",
+            PaperQuery::Q6 => "Q6",
+            PaperQuery::Q7 => "Q7",
+            PaperQuery::Q8 => "Q8",
+            PaperQuery::Q9 => "Q9",
+            PaperQuery::Q10 => "Q10",
+            PaperQuery::Q11 => "Q11",
+        }
+    }
+}
+
+/// Builds a paper query. Attribute ids: a=0, b=1, c=2, d=3, e=4.
+pub fn paper_query(which: PaperQuery) -> JoinQuery {
+    let (a, b, c, d, e) = (0u32, 1u32, 2u32, 3u32, 4u32);
+    match which {
+        // Q1 :- R1(a,b) ⋈ R2(b,c) ⋈ R3(a,c)
+        PaperQuery::Q1 => JoinQuery::from_edges("Q1", &[(a, b), (b, c), (a, c)]),
+        // Q2 :- ab, bc, cd, da, ac, bd (4-clique)
+        PaperQuery::Q2 => {
+            JoinQuery::from_edges("Q2", &[(a, b), (b, c), (c, d), (d, a), (a, c), (b, d)])
+        }
+        // Q3 :- ab, bc, cd, de, ea, bd, be, ca, ce, ad (5-clique)
+        PaperQuery::Q3 => JoinQuery::from_edges(
+            "Q3",
+            &[
+                (a, b),
+                (b, c),
+                (c, d),
+                (d, e),
+                (e, a),
+                (b, d),
+                (b, e),
+                (c, a),
+                (c, e),
+                (a, d),
+            ],
+        ),
+        // Q4 :- ab, bc, cd, de, ea, be
+        PaperQuery::Q4 => {
+            JoinQuery::from_edges("Q4", &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e)])
+        }
+        // Q5 :- Q4 + bd
+        PaperQuery::Q5 => JoinQuery::from_edges(
+            "Q5",
+            &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e), (b, d)],
+        ),
+        // Q6 :- Q5 + ce
+        PaperQuery::Q6 => JoinQuery::from_edges(
+            "Q6",
+            &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e), (b, d), (c, e)],
+        ),
+        // Q7–Q11: easy patterns (our definitions).
+        PaperQuery::Q7 => JoinQuery::from_edges("Q7", &[(a, b), (b, c)]),
+        PaperQuery::Q8 => JoinQuery::from_edges("Q8", &[(a, b), (b, c), (c, d), (d, a)]),
+        PaperQuery::Q9 => JoinQuery::from_edges("Q9", &[(a, b), (a, c), (a, d)]),
+        PaperQuery::Q10 => JoinQuery::from_edges("Q10", &[(a, b), (b, c), (a, c), (c, d)]),
+        PaperQuery::Q11 => JoinQuery::from_edges("Q11", &[(a, b), (b, c), (c, d)]),
+    }
+}
+
+/// The running-example query of Eq. (2):
+/// `Q(a,b,c,d,e) :- R1(a,b,c) ⋈ R2(a,d) ⋈ R3(c,d) ⋈ R4(b,e) ⋈ R5(c,e)`.
+pub fn running_example() -> JoinQuery {
+    use adj_relational::Schema;
+    JoinQuery::new(
+        "Qex",
+        vec![
+            crate::query::Atom::new("R1", Schema::from_ids(&[0, 1, 2])),
+            crate::query::Atom::new("R2", Schema::from_ids(&[0, 3])),
+            crate::query::Atom::new("R3", Schema::from_ids(&[2, 3])),
+            crate::query::Atom::new("R4", Schema::from_ids(&[1, 4])),
+            crate::query::Atom::new("R5", Schema::from_ids(&[2, 4])),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ghd::GhdTree;
+
+    #[test]
+    fn arity_and_attr_counts() {
+        assert_eq!(paper_query(PaperQuery::Q1).num_attrs(), 3);
+        assert_eq!(paper_query(PaperQuery::Q2).num_attrs(), 4);
+        assert_eq!(paper_query(PaperQuery::Q3).num_attrs(), 5);
+        assert_eq!(paper_query(PaperQuery::Q3).atoms.len(), 10);
+        assert_eq!(paper_query(PaperQuery::Q4).atoms.len(), 6);
+        assert_eq!(paper_query(PaperQuery::Q5).atoms.len(), 7);
+        assert_eq!(paper_query(PaperQuery::Q6).atoms.len(), 8);
+    }
+
+    #[test]
+    fn q3_is_the_five_clique() {
+        let q = paper_query(PaperQuery::Q3);
+        let h = q.hypergraph();
+        // every pair of the 5 attributes covered exactly once
+        let mut pairs = std::collections::HashSet::new();
+        for &e in h.edges() {
+            assert_eq!(e.count_ones(), 2);
+            assert!(pairs.insert(e));
+        }
+        assert_eq!(pairs.len(), 10);
+    }
+
+    #[test]
+    fn evaluated_queries_are_cyclic_easy_ones_acyclic() {
+        for q in PaperQuery::EVALUATED {
+            assert!(!paper_query(q).hypergraph().is_acyclic(), "{q:?} should be cyclic");
+        }
+        assert!(paper_query(PaperQuery::Q7).hypergraph().is_acyclic());
+        assert!(paper_query(PaperQuery::Q9).hypergraph().is_acyclic());
+        assert!(paper_query(PaperQuery::Q11).hypergraph().is_acyclic());
+    }
+
+    #[test]
+    fn ghd_widths_of_workload() {
+        // Known fhw values: triangle 1.5, 4-clique 2, 5-clique 2.5; the
+        // chorded cycles Q4–Q6 all decompose within width 2.
+        let widths: Vec<f64> = PaperQuery::EVALUATED
+            .iter()
+            .map(|&q| GhdTree::decompose(&paper_query(q).hypergraph(), 3).fhw)
+            .collect();
+        assert!((widths[0] - 1.5).abs() < 1e-6);
+        assert!(widths[1] <= 2.0 + 1e-6);
+        assert!(widths[2] <= 2.5 + 1e-6);
+        for w in &widths[3..] {
+            assert!(*w <= 2.0 + 1e-6, "{widths:?}");
+        }
+    }
+
+    #[test]
+    fn running_example_shape() {
+        let q = running_example();
+        assert_eq!(q.num_attrs(), 5);
+        assert_eq!(q.atoms.len(), 5);
+        assert_eq!(q.atoms[0].schema.arity(), 3);
+    }
+}

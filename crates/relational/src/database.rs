@@ -1,0 +1,162 @@
+//! A database: named relations, as maintained disjointly across the cluster
+//! (Sec. II-A) and as the unit the distributed sampler reduces (Sec. IV).
+
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::schema::Attr;
+use crate::Value;
+
+/// An ordered collection of named relations. Order is insertion order, which
+/// keeps experiment output deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Database {
+    names: Vec<String>,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Inserts (or replaces) a relation under `name`.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        if let Some(i) = self.names.iter().position(|n| *n == name) {
+            self.relations[i] = rel;
+        } else {
+            self.names.push(name);
+            self.relations.push(rel);
+        }
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| &self.relations[i])
+            .ok_or_else(|| Error::NoSuchRelation(name.to_string()))
+    }
+
+    /// Whether `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|n| n == name)
+    }
+
+    /// Iterates `(name, relation)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.names.iter().map(|s| s.as_str()).zip(self.relations.iter())
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total tuple count across relations (`|R|` column of Table I).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total payload bytes across relations (`Size` column of Table I).
+    pub fn total_bytes(&self) -> usize {
+        self.relations.iter().map(|r| r.size_bytes()).sum()
+    }
+
+    /// `val(A)` as defined in Sec. IV: the intersection over all relations
+    /// containing `A` of their projections onto `A`. Values of `A` outside
+    /// this set cannot appear in any result tuple.
+    pub fn attribute_values(&self, attr: Attr) -> Vec<Value> {
+        let mut runs: Vec<Vec<Value>> = Vec::new();
+        for r in &self.relations {
+            if r.schema().contains(attr) {
+                runs.push(r.column_values(attr).expect("attr checked"));
+            }
+        }
+        if runs.is_empty() {
+            return Vec::new();
+        }
+        let slices: Vec<&[Value]> = runs.iter().map(|v| v.as_slice()).collect();
+        let mut out = Vec::new();
+        crate::intersect::leapfrog_intersect(&slices, &mut out);
+        out
+    }
+
+    /// Semi-join reduces every relation containing `attr` against the given
+    /// value set (the sampler's database-reduction step, Sec. IV). Relations
+    /// not containing `attr` are kept as-is.
+    pub fn reduce_by_values(&self, attr: Attr, values: &[Value]) -> Database {
+        let filter = {
+            let mut data = Vec::with_capacity(values.len());
+            data.extend_from_slice(values);
+            Relation::from_flat(crate::schema::Schema::new(vec![attr]).unwrap(), data)
+                .expect("arity 1")
+        };
+        let mut out = Database::new();
+        for (name, rel) in self.iter() {
+            let reduced =
+                if rel.schema().contains(attr) { rel.semijoin(&filter) } else { rel.clone() };
+            out.insert(name, reduced);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn rel(ids: &[u32], rows: &[&[Value]]) -> Relation {
+        Relation::from_rows(Schema::from_ids(ids), rows).unwrap()
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut db = Database::new();
+        db.insert("R1", rel(&[0, 1], &[&[1, 2]]));
+        assert_eq!(db.get("R1").unwrap().len(), 1);
+        db.insert("R1", rel(&[0, 1], &[&[1, 2], &[3, 4]]));
+        assert_eq!(db.get("R1").unwrap().len(), 2);
+        assert_eq!(db.len(), 1);
+        assert!(db.get("R2").is_err());
+    }
+
+    #[test]
+    fn attribute_values_intersects_across_relations() {
+        let mut db = Database::new();
+        db.insert("R1", rel(&[0, 1], &[&[1, 9], &[2, 9], &[4, 9]]));
+        db.insert("R2", rel(&[0, 2], &[&[1, 8], &[4, 8], &[5, 8]]));
+        db.insert("R3", rel(&[1, 2], &[&[9, 8]]));
+        // attr a=0 appears in R1 {1,2,4} and R2 {1,4,5} -> {1,4}
+        assert_eq!(db.attribute_values(Attr(0)), vec![1, 4]);
+        // attr with no relation -> empty
+        assert!(db.attribute_values(Attr(7)).is_empty());
+    }
+
+    #[test]
+    fn reduce_by_values_semijoins_only_matching_relations() {
+        let mut db = Database::new();
+        db.insert("R1", rel(&[0, 1], &[&[1, 9], &[2, 9]]));
+        db.insert("R3", rel(&[1, 2], &[&[9, 8]]));
+        let red = db.reduce_by_values(Attr(0), &[1]);
+        assert_eq!(red.get("R1").unwrap().len(), 1);
+        assert_eq!(red.get("R3").unwrap().len(), 1); // untouched
+    }
+
+    #[test]
+    fn totals() {
+        let mut db = Database::new();
+        db.insert("R1", rel(&[0, 1], &[&[1, 2], &[3, 4]]));
+        db.insert("R2", rel(&[1, 2], &[&[1, 2]]));
+        assert_eq!(db.total_tuples(), 3);
+        assert_eq!(db.total_bytes(), 3 * 2 * 4);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared across the workspace's relational layer.
+
+use std::fmt;
+
+/// Errors raised by relational operations.
+///
+/// The substrate is strict: schema mismatches are programming errors in the
+/// planner layers above, so they surface as typed errors rather than panics,
+/// letting the optimizer report which candidate plan was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple's arity did not match the relation schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// An operation referenced an attribute absent from the schema.
+    UnknownAttr { attr: String, schema: String },
+    /// Two relations were combined with incompatible schemas.
+    SchemaMismatch { left: String, right: String },
+    /// A named relation was not found in the database.
+    NoSuchRelation(String),
+    /// A schema contained a duplicate attribute.
+    DuplicateAttr(String),
+    /// An operation exceeded a configured budget (memory or tuple cap).
+    BudgetExceeded { what: &'static str, limit: usize },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            Error::UnknownAttr { attr, schema } => {
+                write!(f, "unknown attribute {attr} in schema {schema}")
+            }
+            Error::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch between {left} and {right}")
+            }
+            Error::NoSuchRelation(name) => write!(f, "no such relation: {name}"),
+            Error::DuplicateAttr(a) => write!(f, "duplicate attribute in schema: {a}"),
+            Error::BudgetExceeded { what, limit } => {
+                write!(f, "budget exceeded: {what} over limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::ArityMismatch { expected: 2, got: 3 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = Error::NoSuchRelation("R9".into());
+        assert!(e.to_string().contains("R9"));
+        let e = Error::BudgetExceeded { what: "intermediate tuples", limit: 10 };
+        assert!(e.to_string().contains("intermediate tuples"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Sorted-set intersection kernels.
+//!
+//! "The main cost of Leapfrog is the cost of the intersections" (Sec. II-A).
+//! These kernels are the inner loop of the whole system: Leapfrog's
+//! `val(t_i → A_{i+1})` step, the sampler's `val(A)` computation, and the
+//! trie cursors' `seek` all reduce to intersecting sorted `u32` runs.
+
+use crate::Value;
+
+/// Galloping (exponential) search: smallest index `i >= from` with
+/// `xs[i] >= target`, or `xs.len()`.
+#[inline]
+pub fn gallop(xs: &[Value], from: usize, target: Value) -> usize {
+    let n = xs.len();
+    if from >= n || xs[from] >= target {
+        return from;
+    }
+    // Exponential probe.
+    let mut step = 1usize;
+    let mut lo = from;
+    while lo + step < n && xs[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(n);
+    // Binary search in (lo, hi).
+    let mut lo = lo + 1;
+    let mut hi = hi;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if xs[mid] < target {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Intersection of two sorted, deduplicated runs, using galloping from the
+/// smaller into the larger (adaptive: O(min·log(max/min))).
+pub fn intersect2(a: &[Value], b: &[Value], out: &mut Vec<Value>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut j = 0usize;
+    for &v in small {
+        j = gallop(large, j, v);
+        if j == large.len() {
+            break;
+        }
+        if large[j] == v {
+            out.push(v);
+            j += 1;
+        }
+    }
+}
+
+/// K-way intersection of sorted runs, leapfrog style: repeatedly gallop the
+/// run with the smallest current head to the maximum head. This is exactly
+/// the "leapfrog" primitive of Leapfrog Triejoin (Veldhuizen 2012) that the
+/// paper's Algorithm 1 line 5 performs.
+///
+/// Returns the number of comparisons/gallops performed, which the cost model
+/// and the Fig. 6/8 counters aggregate.
+pub fn leapfrog_intersect(runs: &[&[Value]], out: &mut Vec<Value>) -> u64 {
+    out.clear();
+    if runs.is_empty() {
+        return 0;
+    }
+    if runs.iter().any(|r| r.is_empty()) {
+        return 0;
+    }
+    if runs.len() == 1 {
+        out.extend_from_slice(runs[0]);
+        return runs[0].len() as u64;
+    }
+    let k = runs.len();
+    let mut pos = vec![0usize; k];
+    let mut ops: u64 = 0;
+    // Start from the maximum of all heads.
+    let mut target = runs.iter().map(|r| r[0]).max().unwrap();
+    let mut agree = 0usize; // how many consecutive runs currently sit at target
+    let mut i = 0usize;
+    loop {
+        ops += 1;
+        let r = runs[i];
+        let p = gallop(r, pos[i], target);
+        if p == r.len() {
+            return ops;
+        }
+        pos[i] = p;
+        if r[p] == target {
+            agree += 1;
+            if agree == k {
+                out.push(target);
+                // advance this run past target and continue
+                pos[i] += 1;
+                if pos[i] == r.len() {
+                    return ops;
+                }
+                target = r[pos[i]];
+                agree = 1;
+            }
+        } else {
+            target = r[p];
+            agree = 1;
+        }
+        i = (i + 1) % k;
+    }
+}
+
+/// Merge-based intersection of two runs (for the trie-vs-flat ablation
+/// bench; linear in both inputs).
+pub fn intersect2_merge(a: &[Value], b: &[Value], out: &mut Vec<Value>) {
+    out.clear();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gallop_basics() {
+        let xs = [1, 3, 5, 7, 9];
+        assert_eq!(gallop(&xs, 0, 0), 0);
+        assert_eq!(gallop(&xs, 0, 1), 0);
+        assert_eq!(gallop(&xs, 0, 2), 1);
+        assert_eq!(gallop(&xs, 0, 9), 4);
+        assert_eq!(gallop(&xs, 0, 10), 5);
+        assert_eq!(gallop(&xs, 3, 5), 3); // never moves left of `from`
+        assert_eq!(gallop(&[], 0, 5), 0);
+    }
+
+    #[test]
+    fn intersect2_matches_merge() {
+        let a: Vec<Value> = (0..200).filter(|x| x % 3 == 0).collect();
+        let b: Vec<Value> = (0..200).filter(|x| x % 5 == 0).collect();
+        let mut g = Vec::new();
+        let mut m = Vec::new();
+        intersect2(&a, &b, &mut g);
+        intersect2_merge(&a, &b, &mut m);
+        assert_eq!(g, m);
+        assert!(g.iter().all(|x| x % 15 == 0));
+    }
+
+    #[test]
+    fn kway_empty_and_single() {
+        let mut out = vec![1, 2];
+        leapfrog_intersect(&[], &mut out);
+        assert!(out.is_empty());
+        let a = [1, 2, 3];
+        leapfrog_intersect(&[&a], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        leapfrog_intersect(&[&a, &[]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kway_three_runs() {
+        let a: Vec<Value> = (0..100).collect();
+        let b: Vec<Value> = (0..100).filter(|x| x % 2 == 0).collect();
+        let c: Vec<Value> = (0..100).filter(|x| x % 3 == 0).collect();
+        let mut out = Vec::new();
+        leapfrog_intersect(&[&a, &b, &c], &mut out);
+        let expect: Vec<Value> = (0..100).filter(|x| x % 6 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn kway_disjoint_runs() {
+        let mut out = Vec::new();
+        leapfrog_intersect(&[&[1, 3, 5], &[2, 4, 6]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kway_matches_paper_example1() {
+        // Example 1: a-values {1} from R1 ∩ {1,4} from R2 = {1}.
+        let mut out = Vec::new();
+        leapfrog_intersect(&[&[1], &[1, 4]], &mut out);
+        assert_eq!(out, vec![1]);
+    }
+}

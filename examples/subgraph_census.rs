@@ -1,0 +1,36 @@
+//! Subgraph census: count every 3–5 node pattern of the paper's workload on
+//! one graph — the "finding triangle and other complex patterns in graphs"
+//! application the paper's introduction motivates (local topology features
+//! for statistical relational learning).
+//!
+//! ```sh
+//! cargo run --release --example subgraph_census [scale]
+//! ```
+
+use adj::prelude::*;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let graph = Dataset::LJ.graph(scale);
+    println!("subgraph census over the LJ stand-in ({} edges, scale {scale})\n", graph.len());
+    println!("{:<6} {:>14} {:>10} {:>12} {:>10}", "query", "matches", "secs", "shuffled", "pre-bags");
+
+    let adj = Adj::with_workers(4);
+    for pq in PaperQuery::ALL {
+        let query = paper_query(pq);
+        let db = query.instantiate(&graph);
+        match adj.execute(&query, &db) {
+            Ok(out) => println!(
+                "{:<6} {:>14} {:>10.3} {:>12} {:>10}",
+                pq.name(),
+                out.result.len(),
+                out.report.total_secs(),
+                out.report.comm_tuples,
+                out.plan.precompute.len(),
+            ),
+            Err(e) => println!("{:<6} {:>14}", pq.name(), format!("FAIL: {e}")),
+        }
+    }
+    println!("\n(The easy patterns Q7–Q11 finish fastest — the reason the paper only");
+    println!(" evaluates Q1–Q6; see Sec. VII-A.)");
+}

@@ -1,0 +1,61 @@
+//! # ADJ — Adaptive Distributed Join
+//!
+//! A from-scratch Rust reproduction of *Fast Distributed Complex Join
+//! Processing* (Zhang, Qiao, Yu, Cheng — ICDE 2021, arXiv:2102.13370).
+//!
+//! ADJ evaluates complex (cyclic, multi-way) natural-join queries in a
+//! distributed setting in **one shuffle round**, and — unlike the prior
+//! HCubeJ line of work, which minimizes communication alone — **co-optimizes
+//! pre-computing, communication, and computation cost**, trading a little of
+//! the first two for large reductions of the third by materializing
+//! hypertree-bag joins before the final one-round evaluation.
+//!
+//! ## Crate map
+//!
+//! | module (re-export) | crate | contents |
+//! |---|---|---|
+//! | [`relational`] | `adj-relational` | relations, schemas, tries, intersections |
+//! | [`query`] | `adj-query` | join queries, hypergraphs, GHD/fhw, attribute orders, Q1–Q11 |
+//! | [`cluster`] | `adj-cluster` | the simulated shared-nothing cluster |
+//! | [`hcube`] | `adj-hcube` | HCube share optimizer + Push/Pull/Merge shuffles |
+//! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
+//! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
+//! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
+//! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
+//! | [`datagen`] | `adj-datagen` | seeded stand-ins for the Table I datasets |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adj::prelude::*;
+//!
+//! // A triangle query over a small synthetic graph.
+//! let query = paper_query(PaperQuery::Q1);
+//! let graph = Dataset::WB.graph(0.01);
+//! let db = query.instantiate(&graph);
+//!
+//! let adj = Adj::with_workers(4);
+//! let out = adj.execute(&query, &db).unwrap();
+//! println!("{} triangles in {:.3}s", out.result.len(), out.report.total_secs());
+//! # assert!(out.result.len() > 0);
+//! ```
+
+pub use adj_baselines as baselines;
+pub use adj_cluster as cluster;
+pub use adj_core as core;
+pub use adj_datagen as datagen;
+pub use adj_hcube as hcube;
+pub use adj_leapfrog as leapfrog;
+pub use adj_query as query;
+pub use adj_relational as relational;
+pub use adj_sampling as sampling;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use adj_cluster::{Cluster, ClusterConfig};
+    pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, Strategy};
+    pub use adj_datagen::Dataset;
+    pub use adj_query::{paper_query, Atom, JoinQuery, PaperQuery};
+    pub use adj_relational::{Attr, Database, Relation, Schema, Value};
+    pub use adj_sampling::{Sampler, SamplingConfig};
+}

@@ -1,0 +1,182 @@
+//! Property-based tests over the core invariants, on randomly generated
+//! graphs and schedules (proptest).
+
+use adj::prelude::{
+    paper_query, Attr, ClusterConfig, JoinQuery, PaperQuery, Relation, Sampler, SamplingConfig,
+    Schema,
+};
+use adj_query::order::{all_orders, is_valid_order, valid_orders};
+use adj_query::GhdTree;
+use adj_relational::intersect::{intersect2_merge, leapfrog_intersect};
+use adj_relational::Trie;
+use proptest::prelude::*;
+
+/// Strategy: a small random edge list over `m` node ids.
+fn edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..max_nodes, 0..max_nodes), 1..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// K-way leapfrog intersection equals iterated 2-way merge intersection.
+    #[test]
+    fn kway_intersection_equals_iterated_merge(
+        mut a in prop::collection::vec(0u32..500, 0..200),
+        mut b in prop::collection::vec(0u32..500, 0..200),
+        mut c in prop::collection::vec(0u32..500, 0..200),
+    ) {
+        for v in [&mut a, &mut b, &mut c] {
+            v.sort_unstable();
+            v.dedup();
+        }
+        let mut expect = Vec::new();
+        let mut tmp = Vec::new();
+        intersect2_merge(&a, &b, &mut tmp);
+        intersect2_merge(&tmp, &c, &mut expect);
+        let mut got = Vec::new();
+        leapfrog_intersect(&[&a, &b, &c], &mut got);
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Trie build/emit round-trips any relation.
+    #[test]
+    fn trie_roundtrip(pairs in edges(64, 300)) {
+        let rel = Relation::from_pairs(Attr(0), Attr(1), &pairs);
+        let trie = Trie::build(&rel);
+        prop_assert_eq!(trie.to_relation(), rel);
+    }
+
+    /// Leapfrog triangle counting matches the reference pairwise join, for
+    /// ANY attribute order.
+    #[test]
+    fn leapfrog_equals_reference_any_order(pairs in edges(24, 120), perm in 0usize..6) {
+        let q = paper_query(PaperQuery::Q1);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
+        let db = q.instantiate(&g);
+        let expected = db.get("R1").unwrap()
+            .join(db.get("R2").unwrap()).unwrap()
+            .join(db.get("R3").unwrap()).unwrap();
+        let orders = all_orders(&q.attrs());
+        let order = &orders[perm];
+        let tries: Vec<Trie> = q.atoms.iter()
+            .map(|a| db.get(&a.name).unwrap().trie_under_order(order).unwrap())
+            .collect();
+        let join = adj_leapfrog::LeapfrogJoin::new(order, tries.iter().collect()).unwrap();
+        prop_assert_eq!(join.count().0 as usize, expected.len());
+    }
+
+    /// The cached join always matches the plain join, for any capacity.
+    #[test]
+    fn cached_join_matches_plain(pairs in edges(20, 100), cap in 0usize..64) {
+        let q = paper_query(PaperQuery::Q4);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
+        let db = q.instantiate(&g);
+        let order = q.attrs();
+        let tries: Vec<Trie> = q.atoms.iter()
+            .map(|a| db.get(&a.name).unwrap().trie_under_order(&order).unwrap())
+            .collect();
+        let plain = adj_leapfrog::LeapfrogJoin::new(&order, tries.iter().collect()).unwrap();
+        let cached = adj_leapfrog::CachedJoin::new(&order, tries.iter().collect(), cap).unwrap();
+        prop_assert_eq!(plain.count().0, cached.count().0);
+    }
+
+    /// Relation algebra: semijoin output is contained in the input and
+    /// agrees with join-then-project.
+    #[test]
+    fn semijoin_is_join_projection(
+        left in edges(16, 80),
+        right in edges(16, 80),
+    ) {
+        let l = Relation::from_pairs(Attr(0), Attr(1), &left);
+        let r = Relation::from_pairs(Attr(1), Attr(2), &right);
+        let sj = l.semijoin(&r);
+        for row in sj.rows() {
+            prop_assert!(l.contains_row(row));
+        }
+        let jp = l.join(&r).unwrap().project(&[Attr(0), Attr(1)]).unwrap();
+        prop_assert_eq!(sj, jp);
+    }
+
+    /// HCube: for any share vector, the one-round shuffle + local leapfrog
+    /// equals the reference join (distribution transparency).
+    #[test]
+    fn hcube_distribution_transparency(
+        pairs in edges(20, 80),
+        p1 in 1u32..3, p2 in 1u32..3, p3 in 1u32..3,
+        workers in 1usize..5,
+    ) {
+        use adj_hcube::{hcube_shuffle, HCubeImpl, HCubePlan};
+        let q = paper_query(PaperQuery::Q1);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
+        let db = q.instantiate(&g);
+        let expected = db.get("R1").unwrap()
+            .join(db.get("R2").unwrap()).unwrap()
+            .join(db.get("R3").unwrap()).unwrap();
+        let cluster = adj_cluster::Cluster::new(ClusterConfig::with_workers(workers));
+        let plan = HCubePlan::new(vec![p1, p2, p3], workers);
+        let order = q.attrs();
+        let names: Vec<String> = q.atoms.iter().map(|a| a.name.clone()).collect();
+        let out = hcube_shuffle(&cluster, &db, &names, &plan, &order, HCubeImpl::Merge).unwrap();
+        let mut total = Vec::new();
+        for w in 0..workers {
+            let tries: Vec<&Trie> = out.locals[w].iter().map(|l| &l.trie).collect();
+            let join = adj_leapfrog::LeapfrogJoin::new(&order, tries).unwrap();
+            join.run(|t| total.extend_from_slice(t));
+        }
+        let got = Relation::from_flat(Schema::new(order.clone()).unwrap(), total).unwrap();
+        prop_assert_eq!(got.len(), expected.len());
+    }
+
+    /// Sampling with the full value set and many samples brackets the truth.
+    #[test]
+    fn sampling_converges(pairs in edges(24, 150), seed in 0u64..50) {
+        let q = paper_query(PaperQuery::Q1);
+        let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
+        let db = q.instantiate(&g);
+        let order = q.attrs();
+        let tries: Vec<Trie> = q.atoms.iter()
+            .map(|a| db.get(&a.name).unwrap().trie_under_order(&order).unwrap())
+            .collect();
+        let truth = adj_leapfrog::LeapfrogJoin::new(&order, tries.iter().collect())
+            .unwrap().count().0 as f64;
+        let sampler = Sampler::new(&db, &q, &order).unwrap();
+        let est = sampler.estimate(&SamplingConfig { samples: 3000, seed }).unwrap();
+        if truth == 0.0 {
+            prop_assert!(est.cardinality < 1.0 || est.val_a == 0);
+        } else {
+            let d = est.cardinality.max(truth) / est.cardinality.min(truth).max(1e-9);
+            prop_assert!(d < 3.0, "D={d} est={} truth={truth}", est.cardinality);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every GHD the decomposer produces is valid (edge coverage + running
+    /// intersection) on random connected-ish hypergraphs from the workload
+    /// generator space.
+    #[test]
+    fn ghd_always_valid(extra in prop::collection::vec((0u32..5, 0u32..5), 0..4)) {
+        // base: 5-cycle; add random chords
+        let mut es = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)];
+        for (x, y) in extra {
+            if x != y {
+                es.push((x, y));
+            }
+        }
+        let q = JoinQuery::from_edges("rand", &es);
+        let h = q.hypergraph();
+        let t = GhdTree::decompose(&h, 3);
+        prop_assert!(t.is_valid_for(&h));
+        prop_assert!(t.fhw >= 1.0 - 1e-9);
+        // every valid order passes the checker; the checker rejects at
+        // least as many orders as the generator produces
+        let vo = valid_orders(&t);
+        for o in &vo {
+            prop_assert!(is_valid_order(&t, o));
+        }
+        prop_assert!(!vo.is_empty());
+    }
+}
