@@ -48,15 +48,10 @@ pub fn run_bigjoin(
     // Level-0 bindings: the intersection of the participating relations'
     // first-level runs, hash-partitioned across workers.
     let participants_at = |level: usize| -> Vec<usize> {
-        (0..query.atoms.len())
-            .filter(|&i| query.atoms[i].schema.contains(order[level]))
-            .collect()
+        (0..query.atoms.len()).filter(|&i| query.atoms[i].schema.contains(order[level])).collect()
     };
     let p0 = participants_at(0);
-    let runs: Vec<&[Value]> = p0
-        .iter()
-        .filter_map(|&i| tries[i].run_for_prefix(&[]))
-        .collect();
+    let runs: Vec<&[Value]> = p0.iter().filter_map(|&i| tries[i].run_for_prefix(&[])).collect();
     let mut vals: Vec<Value> = Vec::new();
     if runs.len() == p0.len() {
         leapfrog_intersect(&runs, &mut vals);
@@ -180,8 +175,7 @@ mod tests {
         let q = paper_query(PaperQuery::Q1);
         let db = db_for(&q, 150, 31);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
-        let (result, report) =
-            run_bigjoin(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
+        let (result, report) = run_bigjoin(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
         let t = truth(&db, &q);
         assert_eq!(result.len(), t.len());
         assert_eq!(result.permute(t.schema().attrs()).unwrap(), t);
@@ -193,15 +187,11 @@ mod tests {
         let q = paper_query(PaperQuery::Q2);
         let db = db_for(&q, 80, 23);
         let cluster = Cluster::new(ClusterConfig::with_workers(3));
-        let (result, report) =
-            run_bigjoin(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
+        let (result, report) = run_bigjoin(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
         assert_eq!(result.len(), truth(&db, &q).len());
         // counters track the per-level binding sets
         assert_eq!(report.counters.tuples_per_level.len(), 4);
-        assert_eq!(
-            *report.counters.tuples_per_level.last().unwrap(),
-            report.output_tuples
-        );
+        assert_eq!(*report.counters.tuples_per_level.last().unwrap(), report.output_tuples);
     }
 
     #[test]

@@ -51,9 +51,7 @@ pub fn run_binary_join(
         let budget = config.max_intermediate_tuples;
         let acc_ref = &acc_sh;
         let right_ref = &right_sh;
-        let run = cluster.run(|w| {
-            acc_ref.part(w).join_budgeted(right_ref.part(w), budget)
-        });
+        let run = cluster.run(|w| acc_ref.part(w).join_budgeted(right_ref.part(w), budget));
         report.comp_secs += run.makespan_secs;
         let mut parts = Vec::with_capacity(n);
         let mut total = 0usize;
@@ -75,9 +73,7 @@ pub fn run_binary_join(
     let (tuples, _bytes, rounds) = cluster.comm().take();
     report.comm_tuples = tuples;
     report.rounds = rounds;
-    report.comm_secs = cluster
-        .cost_model()
-        .comm_secs_with_rounds(tuples, rounds);
+    report.comm_secs = cluster.cost_model().comm_secs_with_rounds(tuples, rounds);
     let result = acc.gather();
     report.output_tuples = result.len() as u64;
     Ok((result, report))
@@ -87,21 +83,16 @@ pub fn run_binary_join(
 /// smallest relation sharing an attribute with the accumulated schema
 /// (falling back to any remaining atom if none connects).
 fn greedy_plan(db: &Database, query: &JoinQuery) -> Result<Vec<usize>> {
-    let sizes: Vec<usize> = query
-        .atoms
-        .iter()
-        .map(|a| db.get(&a.name).map(|r| r.len()))
-        .collect::<Result<_>>()?;
+    let sizes: Vec<usize> =
+        query.atoms.iter().map(|a| db.get(&a.name).map(|r| r.len())).collect::<Result<_>>()?;
     let m = query.atoms.len();
     let mut remaining: Vec<usize> = (0..m).collect();
     remaining.sort_by_key(|&i| (sizes[i], i));
     let mut plan = vec![remaining.remove(0)];
     let mut bound = query.atoms[plan[0]].schema.mask();
     while !remaining.is_empty() {
-        let pos = remaining
-            .iter()
-            .position(|&i| query.atoms[i].schema.mask() & bound != 0)
-            .unwrap_or(0);
+        let pos =
+            remaining.iter().position(|&i| query.atoms[i].schema.mask() & bound != 0).unwrap_or(0);
         let next = remaining.remove(pos);
         bound |= query.atoms[next].schema.mask();
         plan.push(next);
@@ -151,8 +142,7 @@ mod tests {
         let q = paper_query(PaperQuery::Q4);
         let db = db_for(&q, 100, 29);
         let cluster = Cluster::new(ClusterConfig::with_workers(3));
-        let (result, _) =
-            run_binary_join(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
+        let (result, _) = run_binary_join(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
         let t = truth(&db, &q);
         assert_eq!(result.len(), t.len());
     }

@@ -186,8 +186,7 @@ mod tests {
         let q = paper_query(PaperQuery::Q1);
         let db = db_for(&q, 150, 31);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
-        let (result, report) =
-            run_hcubej(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
+        let (result, report) = run_hcubej(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
         let t = truth(&db, &q);
         assert_eq!(result.len(), t.len());
         assert_eq!(result.permute(t.schema().attrs()).unwrap(), t);
@@ -201,8 +200,7 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let (r1, rep1) = run_hcubej(&cluster, &db, &q, &BaselineConfig::default()).unwrap();
         let c2 = Cluster::new(ClusterConfig::with_workers(4));
-        let (r2, rep2) =
-            run_hcubej_cached(&c2, &db, &q, &BaselineConfig::default()).unwrap();
+        let (r2, rep2) = run_hcubej_cached(&c2, &db, &q, &BaselineConfig::default()).unwrap();
         assert_eq!(r1.len(), r2.len());
         assert!(rep2.counters.intersect_ops <= rep1.counters.intersect_ops);
     }

@@ -2,13 +2,13 @@
 //! queries, and ADJ vs the HCubeJ-style comm-first strategy — Criterion
 //! versions of the Fig. 1(b)/Fig. 12 effects at a fixed small scale.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use adj_core::{Adj, AdjConfig, Strategy};
 use adj_cluster::ClusterConfig;
+use adj_core::{Adj, AdjConfig, Strategy};
 use adj_datagen::Dataset;
 use adj_leapfrog::{CachedJoin, LeapfrogJoin};
 use adj_query::{paper_query, PaperQuery};
 use adj_relational::Trie;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_leapfrog(c: &mut Criterion) {
     let graph = Dataset::WB.graph(0.02);
@@ -24,15 +24,13 @@ fn bench_leapfrog(c: &mut Criterion) {
             .collect();
         g.bench_function(format!("plain_{}", query.name), |bch| {
             bch.iter(|| {
-                let join =
-                    LeapfrogJoin::new(black_box(&order), tries.iter().collect()).unwrap();
+                let join = LeapfrogJoin::new(black_box(&order), tries.iter().collect()).unwrap();
                 join.count().0
             })
         });
         g.bench_function(format!("cached_{}", query.name), |bch| {
             bch.iter(|| {
-                let join =
-                    CachedJoin::new(black_box(&order), tries.iter().collect(), 0).unwrap();
+                let join = CachedJoin::new(black_box(&order), tries.iter().collect(), 0).unwrap();
                 join.count().0
             })
         });

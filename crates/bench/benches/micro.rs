@@ -3,13 +3,13 @@
 //! These are the ablation benches DESIGN.md calls out (e.g. galloping vs
 //! merge intersection — the "trie vs flat" design choice).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use adj_datagen::{generate, GraphConfig};
 use adj_hcube::{optimize_share, ShareInput};
 use adj_query::lp::fractional_edge_cover;
 use adj_query::{paper_query, GhdTree, PaperQuery};
 use adj_relational::intersect::{intersect2, intersect2_merge, leapfrog_intersect};
 use adj_relational::{Trie, Value};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_intersections(c: &mut Criterion) {
     let a: Vec<Value> = (0..100_000).filter(|x| x % 3 == 0).collect();
@@ -40,9 +40,7 @@ fn bench_intersections(c: &mut Criterion) {
 fn bench_trie(c: &mut Criterion) {
     let graph = generate(&GraphConfig { nodes: 10_000, out_degree: 8, skew: 0.7, seed: 1 });
     let mut g = c.benchmark_group("trie");
-    g.bench_function("build_80k_edges", |bch| {
-        bch.iter(|| Trie::build(black_box(&graph)))
-    });
+    g.bench_function("build_80k_edges", |bch| bch.iter(|| Trie::build(black_box(&graph))));
     let trie = Trie::build(&graph);
     let keys: Vec<Value> = (0..1000).map(|i| i * 7 % 10_000).collect();
     g.bench_function("probe_1k_prefixes", |bch| {
@@ -66,9 +64,7 @@ fn bench_planning(c: &mut Criterion) {
     g.bench_function("ghd_q5", |bch| bch.iter(|| GhdTree::decompose(black_box(&h5), 3)));
     let q3 = paper_query(PaperQuery::Q3);
     let h3 = q3.hypergraph();
-    g.bench_function("ghd_q3_5clique", |bch| {
-        bch.iter(|| GhdTree::decompose(black_box(&h3), 3))
-    });
+    g.bench_function("ghd_q3_5clique", |bch| bch.iter(|| GhdTree::decompose(black_box(&h3), 3)));
     g.bench_function("edge_cover_lp_k5", |bch| {
         bch.iter(|| fractional_edge_cover(black_box(&h3), 0b11111))
     });

@@ -42,8 +42,7 @@ fn main() {
             ] {
                 let mut plan = base.clone();
                 plan.relations = QueryPlan::relations_for(&query, &plan.tree, c_mask);
-                plan.precompute =
-                    (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
+                plan.precompute = (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
                 if !is_valid_order(&plan.tree, &plan.order) {
                     plan.order = valid_orders(&plan.tree)[0].clone();
                 }

@@ -3,8 +3,8 @@
 //! (a) One-round (HCubeJ) vs multi-round (SparkSQL analog): shuffled tuples.
 //! (b) Communication-first vs co-optimization: cost breakdown.
 
-use adj_bench::{adj_config, print_table, scale, test_case, workers};
 use adj_baselines::{run_binary_join, run_hcubej};
+use adj_bench::{adj_config, print_table, scale, test_case, workers};
 use adj_cluster::{Cluster, ClusterConfig};
 use adj_core::{Adj, Strategy};
 use adj_datagen::Dataset;

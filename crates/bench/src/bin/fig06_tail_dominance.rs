@@ -11,7 +11,10 @@ use adj_query::{GhdTree, PaperQuery};
 use adj_relational::Trie;
 
 fn main() {
-    println!("Fig. 6 reproduction — binding share per traversed hypertree node (scale {})", scale());
+    println!(
+        "Fig. 6 reproduction — binding share per traversed hypertree node (scale {})",
+        scale()
+    );
     for q in [PaperQuery::Q5, PaperQuery::Q6] {
         let mut rows = Vec::new();
         for ds in Dataset::ALL {

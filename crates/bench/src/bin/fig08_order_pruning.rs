@@ -20,11 +20,7 @@ use adj_relational::{Attr, Database, Trie};
 /// bindings and reported as a `≥` lower bound (the paper's frame-top bars).
 const ORDER_BUDGET: u64 = 5_000_000;
 
-fn intermediate_tuples(
-    db: &Database,
-    query: &adj_query::JoinQuery,
-    order: &[Attr],
-) -> (u64, bool) {
+fn intermediate_tuples(db: &Database, query: &adj_query::JoinQuery, order: &[Attr]) -> (u64, bool) {
     let tries: Vec<Trie> = query
         .atoms
         .iter()
@@ -62,9 +58,8 @@ fn main() {
                 }
             }
             // All-Selected: HCubeJ's pick over all orders.
-            let cluster = adj_cluster::Cluster::new(adj_cluster::ClusterConfig::with_workers(
-                workers(),
-            ));
+            let cluster =
+                adj_cluster::Cluster::new(adj_cluster::ClusterConfig::with_workers(workers()));
             let all_sel = adj_baselines::hcubej::select_order_all(
                 &db,
                 &query,
@@ -74,8 +69,7 @@ fn main() {
             .unwrap();
             let (all_selected, all_ok) = intermediate_tuples(&db, &query, &all_sel);
             // Valid-Selected: ADJ's pick.
-            let plan =
-                optimize(&query, &db, &adj_config(workers()), Strategy::CoOptimize).unwrap();
+            let plan = optimize(&query, &db, &adj_config(workers()), Strategy::CoOptimize).unwrap();
             let (valid_selected, vs_ok) = intermediate_tuples(&db, &query, &plan.order);
             let fmt = |v: u64, capped: bool| {
                 if capped {

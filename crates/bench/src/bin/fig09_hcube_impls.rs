@@ -4,14 +4,18 @@
 
 use adj_bench::{print_table, scale, test_case, workers};
 use adj_cluster::{Cluster, ClusterConfig};
-use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
 use adj_datagen::Dataset;
+use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
 use adj_query::PaperQuery;
 use adj_relational::Attr;
 
 fn main() {
     let w = workers();
-    println!("Fig. 9 reproduction — HCube Push/Pull/Merge on Q2 (scale {}, {} workers)", scale(), w);
+    println!(
+        "Fig. 9 reproduction — HCube Push/Pull/Merge on Q2 (scale {}, {} workers)",
+        scale(),
+        w
+    );
     let mut comm_rows = Vec::new();
     let mut comp_rows = Vec::new();
     for ds in Dataset::ALL {

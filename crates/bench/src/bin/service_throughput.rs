@@ -1,0 +1,150 @@
+//! Service-throughput driver: replays a mixed repeated-shape workload
+//! through `adj-service` from several client threads and emits
+//! `BENCH_service.json` with queries/sec, latency quantiles, and the plan-
+//! cache hit rate — the serving-layer perf trajectory the single-query
+//! figure binaries can't measure.
+//!
+//! Environment:
+//! * `ADJ_SCALE`   — dataset scale (default 0.05, as the other binaries);
+//! * `ADJ_WORKERS` — simulated cluster width (default 4);
+//! * `ADJ_CLIENTS` — client threads (default 4);
+//! * `ADJ_QUERIES` — total queries (default 120);
+//! * `ADJ_BENCH_OUT` — output path (default `BENCH_service.json`).
+
+use adj_bench::{adj_config, print_table, scale, workers};
+use adj_core::Strategy;
+use adj_datagen::Dataset;
+use adj_query::{paper_query, PaperQuery};
+use adj_service::{AdmissionPolicy, Service, ServiceConfig};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let clients = env_usize("ADJ_CLIENTS", 4).max(1);
+    let total_queries = env_usize("ADJ_QUERIES", 120).max(clients);
+    let out_path =
+        std::env::var("ADJ_BENCH_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    let w = workers();
+
+    let service = Arc::new(Service::with_config_for_bench(w, clients));
+    let graph = Dataset::WB.graph(scale());
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        service.register_database(format!("{shape:?}"), q.instantiate(&graph));
+    }
+
+    // Per-query client-side latencies, collected across threads.
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::with_capacity(total_queries)));
+    let per_client = total_queries / clients;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let service = Arc::clone(&service);
+            let latencies = Arc::clone(&latencies);
+            s.spawn(move || {
+                for i in 0..per_client {
+                    let shape = SHAPES[(c + i) % SHAPES.len()];
+                    let q = paper_query(shape);
+                    let tq = Instant::now();
+                    service.execute(&format!("{shape:?}"), &q).expect("bench query");
+                    latencies.lock().unwrap().push(tq.elapsed().as_secs_f64());
+                }
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let mut lat = latencies.lock().unwrap().clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let served = lat.len();
+    let q = |p: f64| lat[((p * served as f64).ceil() as usize).clamp(1, served) - 1];
+    let (p50, p90, p99) = (q(0.50), q(0.90), q(0.99));
+    let mean = lat.iter().sum::<f64>() / served as f64;
+    let qps = served as f64 / wall_secs;
+    let stats = service.stats();
+
+    print_table(
+        "service throughput",
+        &["metric".to_string(), "value".to_string()],
+        &[
+            vec!["clients".into(), clients.to_string()],
+            vec!["workers".into(), w.to_string()],
+            vec!["queries".into(), served.to_string()],
+            vec!["wall s".into(), format!("{wall_secs:.3}")],
+            vec!["q/s".into(), format!("{qps:.1}")],
+            vec!["p50 s".into(), format!("{p50:.4}")],
+            vec!["p90 s".into(), format!("{p90:.4}")],
+            vec!["p99 s".into(), format!("{p99:.4}")],
+            vec!["cache hit rate".into(), format!("{:.3}", stats.cache.hit_rate())],
+        ],
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service_throughput\",\n",
+            "  \"scale\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"wall_secs\": {:.6},\n",
+            "  \"queries_per_sec\": {:.3},\n",
+            "  \"latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"admission\": {{\"admitted\": {}, \"peak_running\": {}, \"peak_waiting\": {}}},\n",
+            "  \"phases_mean_secs\": {{\"optimization\": {:.6}, \"precompute\": {:.6}, ",
+            "\"communication\": {:.6}, \"computation\": {:.6}}},\n",
+            "  \"output_tuples\": {}\n",
+            "}}\n"
+        ),
+        scale(),
+        w,
+        clients,
+        served,
+        wall_secs,
+        qps,
+        mean,
+        p50,
+        p90,
+        p99,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate(),
+        stats.admission.admitted,
+        stats.admission.peak_running,
+        stats.admission.peak_waiting,
+        stats.metrics.optimization.mean_secs,
+        stats.metrics.precompute.mean_secs,
+        stats.metrics.communication.mean_secs,
+        stats.metrics.computation.mean_secs,
+        stats.metrics.output_tuples,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("\nwrote {out_path}");
+}
+
+/// Glue kept out of `main` so the config derivation is testable at a
+/// glance: the bench uses the harness's standard ADJ config with the
+/// service defaults on top (queueing admission sized to the client count).
+trait BenchService {
+    fn with_config_for_bench(workers: usize, clients: usize) -> Service;
+}
+
+impl BenchService for Service {
+    fn with_config_for_bench(workers: usize, clients: usize) -> Service {
+        Service::new(ServiceConfig {
+            adj: adj_config(workers),
+            strategy: Strategy::CoOptimize,
+            max_concurrent: clients.max(2),
+            admission: AdmissionPolicy::Queue { max_waiting: clients * 4 },
+            ..Default::default()
+        })
+    }
+}

@@ -33,11 +33,22 @@ pub struct RunReport<R> {
 impl Cluster {
     /// Creates a cluster with the given configuration.
     pub fn new(config: ClusterConfig) -> Self {
-        let cost_model = CostModel {
-            alpha_tuples_per_sec: config.alpha_tuples_per_sec,
-            ..Default::default()
-        };
+        let cost_model =
+            CostModel { alpha_tuples_per_sec: config.alpha_tuples_per_sec, ..Default::default() };
         Cluster { config, comm: CommStats::new(), cost_model }
+    }
+
+    /// Creates a cluster behind an [`Arc`](std::sync::Arc), the form
+    /// long-lived components (`Adj`, `adj-service`) share: one simulated
+    /// cluster serving many concurrent queries, instead of a fresh build
+    /// per call. `Cluster` is `Send + Sync` — its only mutable state is the
+    /// atomic [`CommStats`] counters — so a handle may be used from any
+    /// number of threads at once.
+    pub fn shared(config: ClusterConfig) -> std::sync::Arc<Self> {
+        // Compile-time proof that handles are shareable across threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Cluster>();
+        std::sync::Arc::new(Cluster::new(config))
     }
 
     /// Number of workers.
@@ -120,6 +131,20 @@ mod tests {
         let rep = c.run(|_w| counter.fetch_add(1, Ordering::SeqCst));
         assert_eq!(rep.results.len(), 8);
         assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn shared_cluster_runs_from_many_threads() {
+        let c = Cluster::shared(ClusterConfig::with_workers(2));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    let rep = c.run(|w| w + 1);
+                    assert_eq!(rep.results, vec![1, 2]);
+                });
+            }
+        });
     }
 
     #[test]

@@ -127,11 +127,7 @@ impl PartitionedRelation {
     /// Hash-reshuffles on `keys`: each tuple goes to exactly one worker
     /// chosen by hashing its key attributes. The building block of the
     /// multi-round binary-join baseline.
-    pub fn shuffle_by_keys(
-        &self,
-        cluster: &Cluster,
-        keys: &[Attr],
-    ) -> Result<PartitionedRelation> {
+    pub fn shuffle_by_keys(&self, cluster: &Cluster, keys: &[Attr]) -> Result<PartitionedRelation> {
         let n = cluster.num_workers() as u64;
         let pos: Vec<usize> = keys
             .iter()
@@ -259,19 +255,15 @@ mod tests {
     #[test]
     fn shuffle_by_keys_colocates_equal_keys() {
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
-        let r = Relation::from_pairs(
-            Attr(0),
-            Attr(1),
-            &[(1, 10), (1, 11), (2, 20), (2, 21), (3, 30)],
-        );
+        let r =
+            Relation::from_pairs(Attr(0), Attr(1), &[(1, 10), (1, 11), (2, 20), (2, 21), (3, 30)]);
         let p = PartitionedRelation::hash_partitioned(&r, 4);
         let s = p.shuffle_by_keys(&cluster, &[Attr(0)]).unwrap();
         assert_eq!(s.total_tuples(), 5);
         // all tuples with the same key end up in the same part
         for key in [1u32, 2, 3] {
-            let holders: Vec<usize> = (0..4)
-                .filter(|&w| s.part(w).rows().any(|row| row[0] == key))
-                .collect();
+            let holders: Vec<usize> =
+                (0..4).filter(|&w| s.part(w).rows().any(|row| row[0] == key)).collect();
             assert_eq!(holders.len(), 1, "key {key} split across {holders:?}");
         }
     }

@@ -76,10 +76,8 @@ pub fn execute_plan(
             .copied()
             .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
             .collect();
-        let names: Vec<String> =
-            atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
-        let (result, secs, tuples) =
-            run_one_round(cluster, &db_exec, &names, &bag_order, config)?;
+        let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
+        let (result, secs, tuples) = run_one_round(cluster, &db_exec, &names, &bag_order, config)?;
         report.precompute_secs += secs;
         report.precompute_tuples += tuples;
         if result.len() > config.max_intermediate_tuples {
@@ -95,8 +93,7 @@ pub fn execute_plan(
     let names = plan.shuffle_names();
     let (share, hplan) = share_for(&db_exec, &names, plan.query.num_attrs(), cluster, config)?;
     report.share = share;
-    let shuffled =
-        hcube_shuffle(cluster, &db_exec, &names, &hplan, &plan.order, HCubeImpl::Merge)?;
+    let shuffled = hcube_shuffle(cluster, &db_exec, &names, &hplan, &plan.order, HCubeImpl::Merge)?;
     report.comm_tuples = shuffled.report.tuples;
     report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
 
@@ -104,8 +101,7 @@ pub fn execute_plan(
     let order = &plan.order;
     let locals = &shuffled.locals;
     let run = cluster.run(|w| {
-        let tries: Vec<&adj_relational::Trie> =
-            locals[w].iter().map(|l| &l.trie).collect();
+        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
         let join = match LeapfrogJoin::new(order, tries) {
             Ok(j) => j,
             Err(e) => return Err(e),
@@ -156,8 +152,7 @@ fn run_one_round(
     let budget = config.max_intermediate_tuples;
     let locals = &shuffled.locals;
     let run = cluster.run(|w| {
-        let tries: Vec<&adj_relational::Trie> =
-            locals[w].iter().map(|l| &l.trie).collect();
+        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
         let join = LeapfrogJoin::new(order, tries)?;
         let mut rows: Vec<Value> = Vec::new();
         let mut over = false;
@@ -265,8 +260,7 @@ mod tests {
             .sum();
         assert!(c_mask != 0, "Q4 tree must contain a multi-edge bag");
         plan.relations = QueryPlan::relations_for(&q, &plan.tree, c_mask);
-        plan.precompute =
-            (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
+        plan.precompute = (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
         // order must remain valid for the tree — keep the CommFirst order
         // only if valid, otherwise derive the canonical ascending one.
         if !adj_query::order::is_valid_order(&plan.tree, &plan.order) {

@@ -37,6 +37,7 @@ use adj_cluster::{Cluster, ClusterConfig};
 use adj_query::JoinQuery;
 use adj_relational::{Database, Relation, Result};
 use adj_sampling::SamplingConfig;
+use std::sync::Arc;
 
 /// Top-level ADJ configuration.
 #[derive(Debug, Clone)]
@@ -63,10 +64,11 @@ impl Default for AdjConfig {
     }
 }
 
-/// The ADJ system facade: owns a cluster and executes queries end to end.
+/// The ADJ system facade: holds a (shareable) cluster and executes queries
+/// end to end.
 pub struct Adj {
     config: AdjConfig,
-    cluster: Cluster,
+    cluster: Arc<Cluster>,
 }
 
 /// Everything an ADJ run produces: the result, the chosen plan, and the
@@ -82,9 +84,10 @@ pub struct AdjOutcome {
 }
 
 impl Adj {
-    /// Creates an ADJ instance with the given configuration.
+    /// Creates an ADJ instance with the given configuration (building a
+    /// private cluster from `config.cluster`).
     pub fn new(config: AdjConfig) -> Self {
-        let cluster = Cluster::new(config.cluster.clone());
+        let cluster = Cluster::shared(config.cluster.clone());
         Adj { config, cluster }
     }
 
@@ -93,9 +96,24 @@ impl Adj {
         Adj::new(AdjConfig { cluster: ClusterConfig::with_workers(workers), ..Default::default() })
     }
 
+    /// Creates an ADJ instance over an *existing* cluster handle, so a
+    /// long-lived serving layer can run many queries (from many threads)
+    /// against one simulated cluster instead of building one per call.
+    /// `config.cluster` is overwritten with the cluster's own configuration
+    /// to keep the two views consistent.
+    pub fn with_cluster(mut config: AdjConfig, cluster: Arc<Cluster>) -> Self {
+        config.cluster = cluster.config().clone();
+        Adj { config, cluster }
+    }
+
     /// The underlying simulated cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// A shareable handle to the underlying cluster.
+    pub fn cluster_handle(&self) -> Arc<Cluster> {
+        Arc::clone(&self.cluster)
     }
 
     /// The configuration.
@@ -118,12 +136,40 @@ impl Adj {
         db: &Database,
         strategy: Strategy,
     ) -> Result<AdjOutcome> {
-        let t0 = std::time::Instant::now();
-        let plan = optimize(query, db, &self.config, strategy)?;
-        let optimization_secs = t0.elapsed().as_secs_f64();
-        let (result, mut report) = execute_plan(&self.cluster, db, &plan, &self.config)?;
-        report.optimization_secs = optimization_secs;
+        let plan = self.plan(query, db, strategy)?;
+        let (result, report) = self.execute_prepared(&plan, db)?;
         Ok(AdjOutcome { result, plan, report })
+    }
+
+    /// Plan construction alone: optimize `query` over `db`'s statistics and
+    /// return the chosen plan without executing it. The plan records its
+    /// own optimization seconds in
+    /// [`QueryPlan::optimization_secs`]; pair with
+    /// [`Adj::execute_prepared`] to run it, possibly many times (this is
+    /// how `adj-service`'s plan cache amortizes GHD search + sampling
+    /// across repeated query shapes).
+    pub fn plan(&self, query: &JoinQuery, db: &Database, strategy: Strategy) -> Result<QueryPlan> {
+        let t0 = std::time::Instant::now();
+        let mut plan = optimize(query, db, &self.config, strategy)?;
+        plan.optimization_secs = t0.elapsed().as_secs_f64();
+        Ok(plan)
+    }
+
+    /// Executes an already-constructed plan, borrowed — so a cached plan
+    /// can be re-executed any number of times without cloning it. The
+    /// returned report charges the plan's recorded optimization seconds, so
+    /// a first execution reproduces [`Adj::execute`] exactly; callers
+    /// re-executing a cached plan should zero `report.optimization_secs`
+    /// (as `adj-service` does on cache hits) since the search cost was
+    /// paid only once.
+    pub fn execute_prepared(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+    ) -> Result<(Relation, ExecutionReport)> {
+        let (result, mut report) = execute_plan(&self.cluster, db, plan, &self.config)?;
+        report.optimization_secs = plan.optimization_secs;
+        Ok((result, report))
     }
 }
 

@@ -47,10 +47,7 @@ pub fn optimize(
             // HCubeJ: C = ∅; order selected over all permutations.
             let attrs = query.attrs();
             if attrs.len() > 6 {
-                return Err(Error::BudgetExceeded {
-                    what: "all-orders enumeration",
-                    limit: 720,
-                });
+                return Err(Error::BudgetExceeded { what: "all-orders enumeration", limit: 720 });
             }
             let mut best: Option<(f64, Vec<Attr>)> = None;
             for o in all_orders(&attrs) {
@@ -69,6 +66,7 @@ pub fn optimize(
                 relations,
                 order,
                 estimated_cost_secs: score,
+                optimization_secs: 0.0,
             })
         }
         Strategy::CoOptimize => algorithm2(query, &tree, &estimator),
@@ -109,8 +107,7 @@ fn algorithm2(
                 .fold(0u64, |m, u| m | tree.nodes[u].vertices);
 
             // Option 1: do not pre-compute v.
-            let (cc, _) =
-                estimator.cost_c(&QueryPlan::relations_for(query, tree, c_mask));
+            let (cc, _) = estimator.cost_c(&QueryPlan::relations_for(query, tree, c_mask));
             let cost_plain = cc + estimator.cost_e_step(prefix_attrs, false);
             if best.as_ref().is_none_or(|(bc, _, _)| cost_plain < *bc) {
                 best = Some((cost_plain, v, false));
@@ -120,8 +117,7 @@ fn algorithm2(
             // bags).
             if !tree.nodes[v].is_single_edge() {
                 let c_with = c_mask | (1 << v);
-                let (cc2, _) =
-                    estimator.cost_c(&QueryPlan::relations_for(query, tree, c_with));
+                let (cc2, _) = estimator.cost_c(&QueryPlan::relations_for(query, tree, c_with));
                 let cost_pre =
                     estimator.cost_m(v) + cc2 + estimator.cost_e_step(prefix_attrs, true);
                 if best.as_ref().is_none_or(|(bc, _, _)| cost_pre < *bc) {
@@ -143,8 +139,7 @@ fn algorithm2(
 
     let traversal: Vec<usize> = tail_rev.iter().rev().copied().collect();
     let order = derive_order(tree, &traversal, estimator);
-    let precompute: Vec<usize> =
-        (0..n_star).filter(|v| c_mask & (1 << v) != 0).collect();
+    let precompute: Vec<usize> = (0..n_star).filter(|v| c_mask & (1 << v) != 0).collect();
     let relations = QueryPlan::relations_for(query, tree, c_mask);
     Ok(QueryPlan {
         query: query.clone(),
@@ -154,6 +149,7 @@ fn algorithm2(
         relations,
         order,
         estimated_cost_secs: accumulated,
+        optimization_secs: 0.0,
     })
 }
 
@@ -181,11 +177,7 @@ fn nodes_connected(adj: &[Vec<usize>], mask: u64) -> bool {
 /// Turns a traversal order into a concrete attribute order: per node, the
 /// fresh attributes sorted most-selective-first (ascending `|val(A)|`) —
 /// the within-node choice the paper defers to [11].
-fn derive_order(
-    tree: &GhdTree,
-    traversal: &[usize],
-    estimator: &CostEstimator<'_>,
-) -> Vec<Attr> {
+fn derive_order(tree: &GhdTree, traversal: &[usize], estimator: &CostEstimator<'_>) -> Vec<Attr> {
     let steps = new_attrs_per_step(tree, traversal);
     let mut order = Vec::new();
     for mut step in steps {
@@ -278,9 +270,7 @@ mod tests {
         let adj = plan.tree.adjacency();
         for i in 1..plan.traversal.len() {
             assert!(
-                plan.traversal[..i]
-                    .iter()
-                    .any(|&u| adj[plan.traversal[i]].contains(&u)),
+                plan.traversal[..i].iter().any(|&u| adj[plan.traversal[i]].contains(&u)),
                 "traversal prefix disconnected"
             );
         }

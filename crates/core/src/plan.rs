@@ -58,6 +58,11 @@ pub struct QueryPlan {
     pub order: Vec<Attr>,
     /// The optimizer's estimated total cost in seconds (for diagnostics).
     pub estimated_cost_secs: f64,
+    /// Wall-clock seconds spent constructing this plan (GHD search +
+    /// sampling + Algorithm 2). Filled by [`Adj::plan`](crate::Adj::plan);
+    /// 0 for hand-built plans. A cached plan's construction cost is charged
+    /// once, not per re-execution.
+    pub optimization_secs: f64,
 }
 
 impl QueryPlan {
@@ -108,20 +113,13 @@ mod tests {
         let q = running_example();
         let tree = GhdTree::decompose(&q.hypergraph(), 3);
         // Find the node holding R4⋈R5 (bag bce = attrs {1,2,4}).
-        let vc = tree
-            .nodes
-            .iter()
-            .position(|n| n.vertices == 0b10110)
-            .expect("bag bce exists");
+        let vc = tree.nodes.iter().position(|n| n.vertices == 0b10110).expect("bag bce exists");
         let rels = QueryPlan::relations_for(&q, &tree, 1 << vc);
         // One pre-computed relation + R1, R2, R3 as base atoms.
-        let pre: Vec<_> = rels
-            .iter()
-            .filter(|r| matches!(r, PlanRelation::Precomputed { .. }))
-            .collect();
+        let pre: Vec<_> =
+            rels.iter().filter(|r| matches!(r, PlanRelation::Precomputed { .. })).collect();
         assert_eq!(pre.len(), 1);
-        let base: Vec<_> =
-            rels.iter().filter(|r| matches!(r, PlanRelation::Base(_))).collect();
+        let base: Vec<_> = rels.iter().filter(|r| matches!(r, PlanRelation::Base(_))).collect();
         assert_eq!(base.len(), 3);
         if let PlanRelation::Precomputed { schema, atoms, .. } = pre[0] {
             assert_eq!(schema.arity(), 3);

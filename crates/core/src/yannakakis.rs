@@ -163,10 +163,7 @@ mod tests {
         // Path query a-b-c where most R1 tuples dangle.
         let q = paper_query(PaperQuery::Q7);
         let mut db = Database::new();
-        db.insert(
-            "R1",
-            Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (3, 9), (4, 9), (5, 9)]),
-        );
+        db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (3, 9), (4, 9), (5, 9)]));
         db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &[(2, 7)]));
         let (got, report) = yannakakis(&db, &q, usize::MAX).unwrap();
         assert_eq!(got.len(), 1);

@@ -102,8 +102,7 @@ mod tests {
 
     #[test]
     fn size_ordering_matches_table1() {
-        let sizes: Vec<usize> =
-            Dataset::ALL.iter().map(|d| d.graph(0.05).len()).collect();
+        let sizes: Vec<usize> = Dataset::ALL.iter().map(|d| d.graph(0.05).len()).collect();
         for w in sizes.windows(2) {
             assert!(w[0] < w[1], "dataset sizes must be ascending: {sizes:?}");
         }

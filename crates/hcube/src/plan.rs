@@ -1,8 +1,8 @@
 //! HCube coordinate arithmetic and tuple routing.
 
+use adj_cluster::WorkerId;
 use adj_relational::hash::hash_value;
 use adj_relational::{Schema, Value};
-use adj_cluster::WorkerId;
 
 /// A concrete HCube plan: the share vector plus worker assignment.
 ///
@@ -87,8 +87,8 @@ impl HCubePlan {
             fixed.iter().map(|&f| if f == u32::MAX { 0 } else { f }).collect();
         loop {
             let mut idx = 0usize;
-            for d in 0..n {
-                idx = idx * self.share[d] as usize + coord[d] as usize;
+            for (&share_d, &coord_d) in self.share.iter().zip(&coord) {
+                idx = idx * share_d as usize + coord_d as usize;
             }
             visit(idx);
             // Advance the odometer over free dims, last dim fastest.

@@ -34,10 +34,7 @@ pub struct ShareInput {
 impl ShareInput {
     /// Communication cost `Σ_R |R| · dup(R, p)` in delivered tuple copies.
     pub fn comm_cost(&self, p: &[u32]) -> u64 {
-        self.relations
-            .iter()
-            .map(|&(mask, size)| size as u64 * dup_factor(p, mask))
-            .sum()
+        self.relations.iter().map(|&(mask, size)| size as u64 * dup_factor(p, mask)).sum()
     }
 
     /// Expected bytes received per hypercube under `p` — the paper's memory
@@ -58,11 +55,7 @@ impl ShareInput {
 /// `dup(R, p) = Π_{A ∉ attrs(R)} p_A` — how many hypercubes receive each
 /// tuple of `R`.
 pub fn dup_factor(p: &[u32], rel_mask: u64) -> u64 {
-    p.iter()
-        .enumerate()
-        .filter(|(i, _)| rel_mask & (1 << i) == 0)
-        .map(|(_, &x)| x as u64)
-        .product()
+    p.iter().enumerate().filter(|(i, _)| rel_mask & (1 << i) == 0).map(|(_, &x)| x as u64).product()
 }
 
 /// `frac(R, p) = 1 / Π_{A ∈ attrs(R)} p_A` — fraction of `R` received per
@@ -82,7 +75,7 @@ pub fn frac(p: &[u32], rel_mask: u64) -> f64 {
 /// exists within the enumeration cap (memory budget too small).
 pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
     let n = input.num_attrs;
-    assert!(n >= 1 && n <= 16, "share enumeration sized for small queries");
+    assert!((1..=16).contains(&n), "share enumeration sized for small queries");
     let nw = input.num_workers as u64;
     // Enumerate products up to cap; comm cost is monotone in every p_A, so
     // the optimum has a small product, but the memory constraint can force

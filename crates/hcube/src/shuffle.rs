@@ -100,9 +100,9 @@ pub fn hcube_shuffle(
     // Per atom: the induced (permuted) schema and the column permutation.
     struct AtomInfo {
         name: String,
-        schema: Schema,         // original
-        induced: Schema,        // order-induced
-        perm: Vec<usize>,       // induced column -> original column
+        schema: Schema,   // original
+        induced: Schema,  // order-induced
+        perm: Vec<usize>, // induced column -> original column
     }
     let mut infos = Vec::with_capacity(atom_names.len());
     for name in atom_names {
@@ -218,7 +218,9 @@ pub fn hcube_shuffle(
     if impl_ == HCubeImpl::Merge {
         preprocess_secs = t_pre.elapsed().as_secs_f64();
     }
-    cluster.comm().record(tuples, tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64);
+    cluster
+        .comm()
+        .record(tuples, tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64);
     cluster.comm().record_messages(messages);
 
     // Memory budget: total bytes parked at each worker.
@@ -272,8 +274,8 @@ pub fn hcube_shuffle(
         HCubeImpl::Merge => 0.5, // tries serialize/deserialize cheaper
         _ => 1.0,
     };
-    let comm_secs = model.comm_secs(tuples)
-        + messages as f64 * model.per_message_secs * msg_overhead;
+    let comm_secs =
+        model.comm_secs(tuples) + messages as f64 * model.per_message_secs * msg_overhead;
 
     Ok(ShuffleOutput {
         locals: run.results,
@@ -295,9 +297,8 @@ mod tests {
 
     /// Triangle test database over a small random-ish graph.
     fn tri_db() -> (Database, Vec<String>) {
-        let edges: Vec<(Value, Value)> = (0..50u32)
-            .flat_map(|i| vec![(i, (i * 7 + 3) % 50), (i, (i * 13 + 1) % 50)])
-            .collect();
+        let edges: Vec<(Value, Value)> =
+            (0..50u32).flat_map(|i| vec![(i, (i * 7 + 3) % 50), (i, (i * 13 + 1) % 50)]).collect();
         let mut db = Database::new();
         db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &edges));
         db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &edges));

@@ -50,12 +50,8 @@ impl<'a> CachedJoin<'a> {
             .enumerate()
             .map(|(lvl, _)| {
                 let mut rel = Vec::new();
-                for earlier in 0..lvl {
-                    let ea = order[earlier];
-                    if participants[lvl]
-                        .iter()
-                        .any(|&p| tries[p].schema().contains(ea))
-                    {
+                for (earlier, &ea) in order.iter().enumerate().take(lvl) {
+                    if participants[lvl].iter().any(|&p| tries[p].schema().contains(ea)) {
                         rel.push(earlier);
                     }
                 }
@@ -98,8 +94,7 @@ impl<'a> CachedJoin<'a> {
     ) {
         let ps = &self.participants[level];
         let last = level + 1 == self.order.len();
-        let key: Vec<Value> =
-            self.relevant_prefix[level].iter().map(|&i| binding[i]).collect();
+        let key: Vec<Value> = self.relevant_prefix[level].iter().map(|&i| binding[i]).collect();
 
         // Cache fast path at the LAST level: the candidate count is the
         // number of results for this prefix; no descent needed.
@@ -134,9 +129,7 @@ impl<'a> CachedJoin<'a> {
                 let mut out = Vec::new();
                 counters.intersect_ops += leapfrog_intersect(&runs, &mut out);
                 let rc = Rc::new(out);
-                if self.capacity_values == 0
-                    || *cache_size + rc.len() <= self.capacity_values
-                {
+                if self.capacity_values == 0 || *cache_size + rc.len() <= self.capacity_values {
                     *cache_size += rc.len();
                     cache[level].insert(key, rc.clone());
                 }
@@ -182,9 +175,7 @@ mod tests {
         schemas
             .iter()
             .map(|&(x, y)| {
-                Relation::from_pairs(Attr(x), Attr(y), &edges)
-                    .trie_under_order(order)
-                    .unwrap()
+                Relation::from_pairs(Attr(x), Attr(y), &edges).trie_under_order(order).unwrap()
             })
             .collect()
     }
@@ -235,15 +226,12 @@ mod tests {
         // so the cache never hits (keys are unique) — matching the paper's
         // note that caching "helps little" when attributes are tightly
         // constrained.
-        let edges: Vec<(Value, Value)> =
-            (0..30u32).map(|i| (i % 11, (i * 3 + 1) % 11)).collect();
+        let edges: Vec<(Value, Value)> = (0..30u32).map(|i| (i % 11, (i * 3 + 1) % 11)).collect();
         let o = ord(&[0, 1, 2]);
         let tries: Vec<Trie> = [(0u32, 1u32), (1, 2), (0, 2)]
             .iter()
             .map(|&(x, y)| {
-                Relation::from_pairs(Attr(x), Attr(y), &edges)
-                    .trie_under_order(&o)
-                    .unwrap()
+                Relation::from_pairs(Attr(x), Attr(y), &edges).trie_under_order(&o).unwrap()
             })
             .collect();
         let cached = CachedJoin::new(&o, tries.iter().collect(), 0).unwrap();

@@ -63,10 +63,7 @@ mod tests {
 
     #[test]
     fn intermediate_excludes_last_level() {
-        let c = JoinCounters {
-            tuples_per_level: vec![10, 20, 30],
-            ..Default::default()
-        };
+        let c = JoinCounters { tuples_per_level: vec![10, 20, 30], ..Default::default() };
         assert_eq!(c.intermediate_tuples(), 30);
         assert_eq!(c.total_tuples(), 60);
         assert_eq!(JoinCounters::default().intermediate_tuples(), 0);

@@ -141,9 +141,7 @@ mod tests {
         schemas
             .iter()
             .map(|&(x, y)| {
-                Relation::from_pairs(Attr(x), Attr(y), &edges)
-                    .trie_under_order(order)
-                    .unwrap()
+                Relation::from_pairs(Attr(x), Attr(y), &edges).trie_under_order(order).unwrap()
             })
             .collect()
     }
@@ -161,8 +159,7 @@ mod tests {
     #[test]
     fn q4_matches_leapfrog_and_emits_same_tuples() {
         let o = ord(&[0, 1, 2, 3, 4]);
-        let tries =
-            graph_tries(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)], &o, 120, 29);
+        let tries = graph_tries(&[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 4)], &o, 120, 29);
         let lf = LeapfrogJoin::new(&o, tries.iter().collect()).unwrap();
         let gj = GenericJoin::new(&o, tries.iter().collect()).unwrap();
         let mut a = Vec::new();

@@ -23,11 +23,8 @@ impl<'a> LeapfrogJoin<'a> {
     pub fn new(order: &[Attr], tries: Vec<&'a Trie>) -> Result<Self> {
         // Validate each trie's level order is order-induced.
         for t in &tries {
-            let induced: Vec<Attr> = order
-                .iter()
-                .copied()
-                .filter(|a| t.schema().contains(*a))
-                .collect();
+            let induced: Vec<Attr> =
+                order.iter().copied().filter(|a| t.schema().contains(*a)).collect();
             if induced != t.schema().attrs() {
                 return Err(Error::SchemaMismatch {
                     left: t.schema().to_string(),
@@ -99,13 +96,8 @@ impl<'a> LeapfrogJoin<'a> {
         }
         let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
-        let completed = self.recurse_budgeted(
-            0,
-            &mut cursors,
-            &mut binding,
-            &mut counters,
-            max_total_bindings,
-        );
+        let completed =
+            self.recurse_budgeted(0, &mut cursors, &mut binding, &mut counters, max_total_bindings);
         (completed, counters)
     }
 
@@ -395,21 +387,15 @@ mod tests {
     fn paper_example_t5_result() {
         // Fig. 3: the server S0 tuples; Leapfrog yields T5 with 8 tuples
         // (a,b,c,d,e) as drawn. We reproduce the inputs of Fig. 3(a).
-        let r1 = Relation::from_rows(
-            Schema::from_ids(&[0, 1, 2]),
-            &[&[1, 2, 1], &[1, 2, 2]],
-        )
-        .unwrap();
-        let r2 =
-            Relation::from_pairs(Attr(0), Attr(3), &[(1, 1), (1, 2), (1, 3), (4, 1)]);
+        let r1 =
+            Relation::from_rows(Schema::from_ids(&[0, 1, 2]), &[&[1, 2, 1], &[1, 2, 2]]).unwrap();
+        let r2 = Relation::from_pairs(Attr(0), Attr(3), &[(1, 1), (1, 2), (1, 3), (4, 1)]);
         let r3 = Relation::from_pairs(Attr(2), Attr(3), &[(1, 1), (1, 2), (2, 2)]);
         let r4 = Relation::from_pairs(Attr(1), Attr(4), &[(2, 3), (2, 4), (2, 5)]);
         let r5 = Relation::from_pairs(Attr(2), Attr(4), &[(2, 3), (2, 4)]);
         let ord = order(&[0, 1, 2, 3, 4]);
-        let tries: Vec<Trie> = [&r1, &r2, &r3, &r4, &r5]
-            .iter()
-            .map(|r| r.trie_under_order(&ord).unwrap())
-            .collect();
+        let tries: Vec<Trie> =
+            [&r1, &r2, &r3, &r4, &r5].iter().map(|r| r.trie_under_order(&ord).unwrap()).collect();
         let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
         let mut results = Vec::new();
         join.run(|t| results.push(t.to_vec()));

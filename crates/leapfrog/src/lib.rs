@@ -13,11 +13,11 @@
 //! HCubeJ+Cache baseline uses (Kalinsky et al., cited as [28]).
 
 pub mod cached;
-pub mod generic;
 pub mod counters;
+pub mod generic;
 pub mod join;
 
 pub use cached::CachedJoin;
-pub use generic::GenericJoin;
 pub use counters::JoinCounters;
+pub use generic::GenericJoin;
 pub use join::LeapfrogJoin;

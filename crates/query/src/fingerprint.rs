@@ -1,0 +1,208 @@
+//! Canonical query fingerprints, the cache key of `adj-service`'s plan
+//! cache.
+//!
+//! A fingerprint summarizes everything the ADJ optimizer consumes from a
+//! [`JoinQuery`](crate::JoinQuery) — and *only* that — so that two query
+//! submissions with the same fingerprint (against the same database stats
+//! epoch) can safely share one optimized [`QueryPlan`]:
+//!
+//! * **`plan_key`** hashes the atoms in declaration order: relation name +
+//!   the raw attribute ids of each atom's schema. The optimizer's output
+//!   (GHD, pre-compute set, attribute order over raw `Attr` ids) is a pure
+//!   function of exactly this data plus database statistics, so equality of
+//!   `plan_key` ⇒ plan interchangeability at equal stats.
+//! * **`shape`** hashes the hypergraph with attributes *relabeled* in
+//!   first-occurrence order, ignoring relation names. Queries that differ
+//!   only in variable naming (`R1(a,b),R2(b,c)` vs `R1(x,y),R2(y,z)`) share
+//!   a shape; the service reports per-shape statistics with it. It is
+//!   declaration-order canonical, not a full graph-isomorphism canon: atom
+//!   reorderings may produce distinct shapes (and do produce distinct
+//!   plans, so they must not share cache entries anyway).
+//!
+//! Note the query's display *name* participates in neither hash: `"Q1"`
+//! fired under a different label is still the same query.
+//!
+//! Hashing is FNV-1a (64-bit), chosen over `DefaultHasher` because its
+//! output must be stable across processes and Rust releases — fingerprints
+//! appear in service logs and benchmark artifacts.
+
+use crate::query::JoinQuery;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a hasher (stable across processes, unlike
+/// `DefaultHasher`).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The canonical fingerprint of a [`JoinQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryFingerprint {
+    /// Hypergraph shape with first-occurrence attribute relabeling and
+    /// relation names ignored (statistics/grouping key).
+    pub shape: u64,
+    /// Exact structural hash of the atom list (names + raw attribute ids),
+    /// the plan-interchangeability key.
+    pub plan_key: u64,
+}
+
+impl QueryFingerprint {
+    /// Computes the fingerprint of `query`.
+    pub fn of(query: &JoinQuery) -> Self {
+        // plan_key: atoms in declaration order, name + raw attr ids.
+        let mut pk = Fnv1a::new();
+        pk.write_u64(query.atoms.len() as u64);
+        for atom in &query.atoms {
+            pk.write(atom.name.as_bytes());
+            pk.write(&[0xFF]); // name terminator (names can't contain 0xFF)
+            pk.write_u64(atom.schema.arity() as u64);
+            for a in atom.schema.attrs() {
+                pk.write_u64(a.index() as u64);
+            }
+        }
+
+        // shape: same walk, but relabel attrs by first occurrence and skip
+        // relation names.
+        let mut relabel: Vec<u32> = Vec::new(); // raw id, indexed by canonical id
+        let mut canon = |raw: u32| -> u64 {
+            match relabel.iter().position(|&r| r == raw) {
+                Some(i) => i as u64,
+                None => {
+                    relabel.push(raw);
+                    (relabel.len() - 1) as u64
+                }
+            }
+        };
+        let mut sh = Fnv1a::new();
+        sh.write_u64(query.atoms.len() as u64);
+        for atom in &query.atoms {
+            sh.write_u64(atom.schema.arity() as u64);
+            for a in atom.schema.attrs() {
+                sh.write_u64(canon(a.index() as u32));
+            }
+        }
+
+        QueryFingerprint { shape: sh.finish(), plan_key: pk.finish() }
+    }
+
+    /// Folds a database identity and statistics epoch into the plan key,
+    /// producing the final cache key: a plan is reusable only for the same
+    /// structural query against the same database state.
+    pub fn cache_key(&self, db_tag: u64, stats_epoch: u64) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.plan_key);
+        h.write_u64(db_tag);
+        h.write_u64(stats_epoch);
+        h.finish()
+    }
+}
+
+/// Convenience free function mirroring [`QueryFingerprint::of`].
+pub fn fingerprint(query: &JoinQuery) -> QueryFingerprint {
+    QueryFingerprint::of(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::workload::{paper_query, PaperQuery};
+
+    #[test]
+    fn deterministic_and_name_independent() {
+        let q1 = paper_query(PaperQuery::Q1);
+        let mut q2 = paper_query(PaperQuery::Q1);
+        q2.name = "renamed".to_string();
+        assert_eq!(QueryFingerprint::of(&q1), QueryFingerprint::of(&q2));
+    }
+
+    #[test]
+    fn variable_renaming_shares_shape_and_plan_key() {
+        // The parser interns variables in first-use order, so renamed
+        // variables produce identical raw attr ids — both hashes agree.
+        let (a, _) = parse_query("Q :- R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        let (b, _) = parse_query("Q :- R1(x,y), R2(y,z), R3(x,z)").unwrap();
+        let fa = QueryFingerprint::of(&a);
+        let fb = QueryFingerprint::of(&b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn relation_names_split_plan_key_not_shape() {
+        let (a, _) = parse_query("Q :- R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        let (b, _) = parse_query("Q :- E1(a,b), E2(b,c), E3(a,c)").unwrap();
+        let fa = QueryFingerprint::of(&a);
+        let fb = QueryFingerprint::of(&b);
+        assert_eq!(fa.shape, fb.shape);
+        assert_ne!(fa.plan_key, fb.plan_key);
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let tri = QueryFingerprint::of(&paper_query(PaperQuery::Q1));
+        let sq = QueryFingerprint::of(&paper_query(PaperQuery::Q4));
+        assert_ne!(tri.shape, sq.shape);
+        assert_ne!(tri.plan_key, sq.plan_key);
+    }
+
+    #[test]
+    fn atom_order_matters_for_plan_key() {
+        let (a, _) = parse_query("Q :- R1(a,b), R2(b,c)").unwrap();
+        let (b, _) = parse_query("Q :- R2(b,c), R1(a,b)").unwrap();
+        assert_ne!(
+            QueryFingerprint::of(&a).plan_key,
+            QueryFingerprint::of(&b).plan_key,
+            "atom order feeds the optimizer, so it must split the key"
+        );
+    }
+
+    #[test]
+    fn cache_key_separates_databases_and_epochs() {
+        let f = QueryFingerprint::of(&paper_query(PaperQuery::Q1));
+        assert_ne!(f.cache_key(1, 0), f.cache_key(2, 0));
+        assert_ne!(f.cache_key(1, 0), f.cache_key(1, 1));
+        assert_eq!(f.cache_key(1, 7), f.cache_key(1, 7));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector: "a" → 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -175,11 +175,7 @@ fn flatten(s: &Sub, parent: Option<usize>, out: &mut Vec<GhdNode>) {
     }
 }
 
-fn rho_of(
-    h: &Hypergraph,
-    vs: u64,
-    rho_memo: &mut FxHashMap<u64, Option<f64>>,
-) -> Option<f64> {
+fn rho_of(h: &Hypergraph, vs: u64, rho_memo: &mut FxHashMap<u64, Option<f64>>) -> Option<f64> {
     *rho_memo.entry(vs).or_insert_with(|| fractional_edge_cover(h, vs))
 }
 
@@ -350,10 +346,8 @@ mod tests {
     #[test]
     fn five_cycle_with_chords_q5() {
         // Q5: ab, bc, cd, de, ea, be, bd (paper Sec. VII-A).
-        let q5 = Hypergraph::new(
-            5,
-            vec![0b00011, 0b00110, 0b01100, 0b11000, 0b10001, 0b10010, 0b01010],
-        );
+        let q5 =
+            Hypergraph::new(5, vec![0b00011, 0b00110, 0b01100, 0b11000, 0b10001, 0b10010, 0b01010]);
         let t = GhdTree::decompose(&q5, 3);
         assert!(t.is_valid_for(&q5));
         assert!(t.fhw <= 2.0 + 1e-6, "fhw={}", t.fhw);

@@ -173,7 +173,10 @@ impl Hypergraph {
                 .iter()
                 .enumerate()
                 .filter(|(i, &e)| {
-                    !snapshot.iter().enumerate().any(|(j, &f)| j != *i && e & !f == 0 && (f != e || j < *i))
+                    !snapshot
+                        .iter()
+                        .enumerate()
+                        .any(|(j, &f)| j != *i && e & !f == 0 && (f != e || j < *i))
                 })
                 .map(|(_, &e)| e)
                 .collect();

@@ -11,8 +11,11 @@
 //! * [`ghd`] — Generalized Hypertree Decomposition search producing the
 //!   hypertree `T` that bounds ADJ's candidate-relation search space;
 //! * [`order`] — attribute orders: full enumeration (what HCubeJ searches)
-//!   and hypertree-*valid* orders (ADJ's pruned space, Sec. III-A).
+//!   and hypertree-*valid* orders (ADJ's pruned space, Sec. III-A);
+//! * [`fingerprint`] — canonical query fingerprints, the plan-cache key of
+//!   `adj-service`.
 
+pub mod fingerprint;
 pub mod ghd;
 pub mod hypergraph;
 pub mod lp;
@@ -21,6 +24,7 @@ pub mod parser;
 pub mod query;
 pub mod workload;
 
+pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use ghd::{GhdNode, GhdTree};
 pub use hypergraph::Hypergraph;
 pub use order::{valid_orders, AttrOrder};

@@ -15,6 +15,9 @@ const EPS: f64 = 1e-9;
 ///
 /// Returns `(objective, x)` or `None` if infeasible. The problem must be
 /// bounded (edge-cover LPs always are: the all-ones vector is feasible).
+// Index loops mirror the textbook tableau notation; iterator rewrites would
+// obscure the row/column arithmetic.
+#[allow(clippy::needless_range_loop)]
 pub fn solve_min_cover(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<(f64, Vec<f64>)> {
     let n = c.len();
     let m = a.len();
@@ -140,6 +143,7 @@ fn pivot(
     basis[row] = col;
 }
 
+#[allow(clippy::needless_range_loop)]
 fn pivot_rows(tab: &mut [Vec<f64>], obj: &mut [f64], row: usize, col: usize, cols: usize) {
     let piv = tab[row][col];
     for j in 0..=cols {
@@ -170,12 +174,8 @@ pub fn fractional_edge_cover(h: &Hypergraph, bag_vs: u64) -> Option<f64> {
         return Some(0.0);
     }
     // Variables: edges intersecting the bag (dedup identical restrictions).
-    let mut cover_edges: Vec<u64> = h
-        .edges()
-        .iter()
-        .map(|&e| e & bag_vs)
-        .filter(|&e| e != 0)
-        .collect();
+    let mut cover_edges: Vec<u64> =
+        h.edges().iter().map(|&e| e & bag_vs).filter(|&e| e != 0).collect();
     cover_edges.sort_unstable();
     cover_edges.dedup();
     // Drop edges dominated by a superset edge — keeps the LP minimal.
@@ -195,12 +195,7 @@ pub fn fractional_edge_cover(h: &Hypergraph, bag_vs: u64) -> Option<f64> {
     let c = vec![1.0; n];
     let a: Vec<Vec<f64>> = verts
         .iter()
-        .map(|&v| {
-            maximal
-                .iter()
-                .map(|&e| if e & (1u64 << v) != 0 { 1.0 } else { 0.0 })
-                .collect()
-        })
+        .map(|&v| maximal.iter().map(|&e| if e & (1u64 << v) != 0 { 1.0 } else { 0.0 }).collect())
         .collect();
     let b = vec![1.0; verts.len()];
     solve_min_cover(&c, &a, &b).map(|(obj, _)| obj)

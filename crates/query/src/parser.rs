@@ -44,8 +44,7 @@ pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
         if rel_name.is_empty() {
             return Err(parse_err("atom missing relation name", rest));
         }
-        let close =
-            rest.find(')').ok_or_else(|| parse_err("unclosed '(' in atom", rest))?;
+        let close = rest.find(')').ok_or_else(|| parse_err("unclosed '(' in atom", rest))?;
         if close < open {
             return Err(parse_err("')' before '('", rest));
         }
@@ -88,10 +87,7 @@ pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
             head_ids.sort_unstable();
             head_ids.dedup();
             if !head_ids.is_empty() && head_ids.len() != attr_names.len() {
-                return Err(parse_err(
-                    "head must bind all body attributes (no projection)",
-                    head,
-                ));
+                return Err(parse_err("head must bind all body attributes (no projection)", head));
             }
         }
     }
@@ -112,10 +108,8 @@ mod tests {
 
     #[test]
     fn parses_the_paper_running_example() {
-        let (q, names) = parse_query(
-            "Q(a,b,c,d,e) :- R1(a,b,c), R2(a,d), R3(c,d), R4(b,e), R5(c,e)",
-        )
-        .unwrap();
+        let (q, names) =
+            parse_query("Q(a,b,c,d,e) :- R1(a,b,c), R2(a,d), R3(c,d), R4(b,e), R5(c,e)").unwrap();
         assert_eq!(q.name, "Q");
         assert_eq!(q.atoms.len(), 5);
         assert_eq!(names, vec!["a", "b", "c", "d", "e"]);

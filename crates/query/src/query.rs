@@ -84,9 +84,8 @@ impl JoinQuery {
             assert_eq!(atom.schema.arity(), 2, "subgraph workload atoms are binary");
             let from = graph.schema().attrs().to_vec();
             let to = atom.schema.attrs().to_vec();
-            let renamed = graph
-                .rename(|a| if a == from[0] { to[0] } else { to[1] })
-                .expect("binary rename");
+            let renamed =
+                graph.rename(|a| if a == from[0] { to[0] } else { to[1] }).expect("binary rename");
             db.insert(atom.name.clone(), renamed);
         }
         db
@@ -95,7 +94,12 @@ impl JoinQuery {
     /// Verifies (in debug/test harnesses) that `tuple` over `order` is a
     /// result tuple: its projection onto every atom is in that atom's
     /// relation. This is the paper's definition of a resulting tuple τ.
-    pub fn verify_tuple(&self, db: &Database, order: &[Attr], tuple: &[adj_relational::Value]) -> bool {
+    pub fn verify_tuple(
+        &self,
+        db: &Database,
+        order: &[Attr],
+        tuple: &[adj_relational::Value],
+    ) -> bool {
         for atom in &self.atoms {
             let rel = match db.get(&atom.name) {
                 Ok(r) => r,

@@ -91,28 +91,16 @@ pub fn paper_query(which: PaperQuery) -> JoinQuery {
         // Q3 :- ab, bc, cd, de, ea, bd, be, ca, ce, ad (5-clique)
         PaperQuery::Q3 => JoinQuery::from_edges(
             "Q3",
-            &[
-                (a, b),
-                (b, c),
-                (c, d),
-                (d, e),
-                (e, a),
-                (b, d),
-                (b, e),
-                (c, a),
-                (c, e),
-                (a, d),
-            ],
+            &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, d), (b, e), (c, a), (c, e), (a, d)],
         ),
         // Q4 :- ab, bc, cd, de, ea, be
         PaperQuery::Q4 => {
             JoinQuery::from_edges("Q4", &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e)])
         }
         // Q5 :- Q4 + bd
-        PaperQuery::Q5 => JoinQuery::from_edges(
-            "Q5",
-            &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e), (b, d)],
-        ),
+        PaperQuery::Q5 => {
+            JoinQuery::from_edges("Q5", &[(a, b), (b, c), (c, d), (d, e), (e, a), (b, e), (b, d)])
+        }
         // Q6 :- Q5 + ce
         PaperQuery::Q6 => JoinQuery::from_edges(
             "Q6",

@@ -38,7 +38,7 @@ impl Relation {
             }
             return Err(Error::ArityMismatch { expected: 0, got: data.len() });
         }
-        if data.len() % arity != 0 {
+        if !data.len().is_multiple_of(arity) {
             return Err(Error::ArityMismatch { expected: arity, got: data.len() % arity });
         }
         let mut rel = Relation { schema, data };
@@ -112,12 +112,7 @@ impl Relation {
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        let a = self.arity();
-        if a == 0 {
-            0
-        } else {
-            self.data.len() / a
-        }
+        self.data.len().checked_div(self.arity()).unwrap_or(0)
     }
 
     /// Whether the relation has no tuples.
@@ -247,8 +242,7 @@ impl Relation {
             schema: self.schema.to_string(),
         })?;
         let arity = self.arity();
-        let mut vals: Vec<Value> =
-            self.data.chunks_exact(arity).map(|row| row[p]).collect();
+        let mut vals: Vec<Value> = self.data.chunks_exact(arity).map(|row| row[p]).collect();
         vals.sort_unstable();
         vals.dedup();
         Ok(vals)
@@ -291,11 +285,8 @@ impl Relation {
         let out_schema = self.schema.union(&other.schema);
 
         // Build side: the smaller input, keyed on common-attr values.
-        let (build, probe, build_is_left) = if self.len() <= other.len() {
-            (self, other, true)
-        } else {
-            (other, self, false)
-        };
+        let (build, probe, build_is_left) =
+            if self.len() <= other.len() { (self, other, true) } else { (other, self, false) };
         let build_key_pos: Vec<usize> =
             common.iter().map(|&a| build.schema.position(a).unwrap()).collect();
         let probe_key_pos: Vec<usize> =
@@ -551,8 +542,16 @@ mod tests {
         // Fig. 4: R4(b,e) ⋈ R5(c,e) on attribute e gives R45(b,e,c) with 9
         // tuples (18 integers / 2... the paper says 18 integers for the
         // 3-column relation => 6 tuples; we verify against direct nested loop).
-        let r4 = Relation::from_pairs(Attr(1), Attr(4), &[(3, 1), (4, 1), (5, 2), (4, 2), (2, 2), (2, 1)]);
-        let r5 = Relation::from_pairs(Attr(2), Attr(4), &[(4, 1), (5, 1), (3, 2), (4, 2), (1, 2), (2, 1)]);
+        let r4 = Relation::from_pairs(
+            Attr(1),
+            Attr(4),
+            &[(3, 1), (4, 1), (5, 2), (4, 2), (2, 2), (2, 1)],
+        );
+        let r5 = Relation::from_pairs(
+            Attr(2),
+            Attr(4),
+            &[(4, 1), (5, 1), (3, 2), (4, 2), (1, 2), (2, 1)],
+        );
         let j = r4.join(&r5).unwrap();
         // verify against nested loop
         let mut expected = 0;

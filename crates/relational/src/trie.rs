@@ -122,10 +122,7 @@ impl Trie {
 
     /// Approximate in-memory size in bytes (values + offsets arrays).
     pub fn size_bytes(&self) -> usize {
-        self.levels
-            .iter()
-            .map(|l| l.values.len() * 4 + l.offsets.len() * 4)
-            .sum()
+        self.levels.iter().map(|l| l.values.len() * 4 + l.offsets.len() * 4).sum()
     }
 
     /// Re-materializes the relation (round-trip check; also used when a trie
@@ -360,7 +357,7 @@ mod tests {
         assert_eq!(c.key(), 1);
         assert!(c.open());
         assert_eq!(c.remaining(), &[5, 7]);
-        assert!(c.seek(6) == false);
+        assert!(!c.seek(6));
         assert_eq!(c.key(), 7);
         c.up();
         assert!(c.seek(3));

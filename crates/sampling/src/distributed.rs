@@ -85,8 +85,7 @@ pub fn estimate_distributed(
     // (2) draw samples, assigned round-robin to workers.
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let k = cfg.samples.max(1);
-    let samples: Vec<Value> =
-        (0..k).map(|_| values[rng.gen_range(0..values.len())]).collect();
+    let samples: Vec<Value> = (0..k).map(|_| values[rng.gen_range(0..values.len())]).collect();
     let mut per_worker: Vec<Vec<Value>> = vec![Vec::new(); n];
     for (i, &s) in samples.iter().enumerate() {
         per_worker[i % n].push(s);
@@ -108,9 +107,7 @@ pub fn estimate_distributed(
         }
         worker_tries.push(tries);
     }
-    cluster
-        .comm()
-        .record(report.reduced_shuffle_tuples, report.reduced_shuffle_tuples * 8);
+    cluster.comm().record(report.reduced_shuffle_tuples, report.reduced_shuffle_tuples * 8);
     cluster.comm().record_round();
 
     // (5) parallel counting.
@@ -216,8 +213,7 @@ mod tests {
         db.insert("R3", Relation::from_pairs(Attr(0), Attr(2), &[(8, 3)]));
         let cluster = Cluster::new(ClusterConfig::with_workers(2));
         let (est, _) =
-            estimate_distributed(&cluster, &db, &q, &order3(), &SamplingConfig::default())
-                .unwrap();
+            estimate_distributed(&cluster, &db, &q, &order3(), &SamplingConfig::default()).unwrap();
         assert_eq!(est.cardinality, 0.0);
     }
 }

@@ -114,11 +114,7 @@ impl Sampler {
         let extensions = counters.total_tuples();
         Ok(CardinalityEstimate {
             cardinality: sum * scale,
-            level_tuples: counters
-                .tuples_per_level
-                .iter()
-                .map(|&t| t as f64 * scale)
-                .collect(),
+            level_tuples: counters.tuples_per_level.iter().map(|&t| t as f64 * scale).collect(),
             val_a: self.values.len(),
             samples_used: k,
             extensions,
@@ -183,19 +179,14 @@ mod tests {
         // enough samples the estimate is within a small relative error.
         let (db, q) = tri_db(200);
         let sampler = Sampler::new(&db, &q, &order3()).unwrap();
-        let est = sampler
-            .estimate(&SamplingConfig { samples: 4096, seed: 7 })
-            .unwrap();
+        let est = sampler.estimate(&SamplingConfig { samples: 4096, seed: 7 }).unwrap();
         // ground truth via leapfrog
         let tries: Vec<Trie> = q
             .atoms
             .iter()
             .map(|a| db.get(&a.name).unwrap().trie_under_order(&order3()).unwrap())
             .collect();
-        let truth = LeapfrogJoin::new(&order3(), tries.iter().collect())
-            .unwrap()
-            .count()
-            .0 as f64;
+        let truth = LeapfrogJoin::new(&order3(), tries.iter().collect()).unwrap().count().0 as f64;
         assert!(truth > 0.0);
         let d = (est.cardinality.max(truth)) / (est.cardinality.min(truth));
         assert!(d < 1.2, "estimate {} vs truth {} (D={d})", est.cardinality, truth);
@@ -250,10 +241,7 @@ mod tests {
             .iter()
             .map(|a| db.get(&a.name).unwrap().trie_under_order(&order3()).unwrap())
             .collect();
-        let truth = LeapfrogJoin::new(&order3(), tries.iter().collect())
-            .unwrap()
-            .count()
-            .0 as f64;
+        let truth = LeapfrogJoin::new(&order3(), tries.iter().collect()).unwrap().count().0 as f64;
         let d_of = |samples: usize| {
             let mut worst: f64 = 1.0;
             for seed in 0..5 {

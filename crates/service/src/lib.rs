@@ -1,0 +1,166 @@
+//! # adj-service — a long-lived, concurrent query-serving layer over ADJ
+//!
+//! The rest of the workspace reproduces the paper's *single-query* pipeline
+//! (optimize → pre-compute → HCube shuffle → Leapfrog join); every entry
+//! point builds a cluster, runs one query to completion, and exits. This
+//! crate turns that library into a service that an application embeds and
+//! fires queries at from many threads:
+//!
+//! * [`Service`] — the front door. Databases are registered under names;
+//!   queries arrive as [`JoinQuery`](adj_query::JoinQuery) values or as
+//!   query text (parsed by `adj_query::parser`), and run on one shared
+//!   [`Cluster`](adj_cluster::Cluster) handle instead of a fresh build per
+//!   call.
+//! * [`PlanCache`](cache::PlanCache) — an LRU cache of optimized plans
+//!   keyed by the canonical
+//!   [`QueryFingerprint`](adj_query::QueryFingerprint) plus the target
+//!   database's statistics epoch. Repeated query shapes skip GHD search,
+//!   cost sampling, and Algorithm 2 entirely; hit/miss/eviction counts are
+//!   exposed.
+//! * [`AdmissionController`](admission::AdmissionController) — a
+//!   concurrency limit plus a per-query memory budget derived from
+//!   [`ClusterConfig::memory_limit_bytes`](adj_cluster::ClusterConfig):
+//!   over-budget queries are rejected up front and excess concurrency is
+//!   queued (or rejected, per policy) instead of OOMing the cluster.
+//! * [`ServiceMetrics`](metrics::ServiceMetrics) — atomic counters and
+//!   per-phase latency histograms (the
+//!   [`ExecutionReport`](adj_core::ExecutionReport) breakdown:
+//!   optimization / pre-compute / communication / computation), cheaply
+//!   snapshotable for benches, tests, and dashboards.
+//! * [`WorkerPool`](pool::WorkerPool) — a fixed thread pool that drains a
+//!   submission queue through the service, for callers that want fire-and-
+//!   wait handles rather than blocking their own threads.
+//!
+//! See `README.md` for the fingerprint scheme and the admission-control
+//! policy in detail.
+//!
+//! ## Example
+//!
+//! ```
+//! use adj_service::{Service, ServiceConfig};
+//! use adj_query::{paper_query, PaperQuery};
+//! use adj_relational::{Attr, Relation};
+//!
+//! let q = paper_query(PaperQuery::Q1);
+//! let g = Relation::from_pairs(Attr(0), Attr(1), &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+//! let service = Service::new(ServiceConfig::default());
+//! service.register_database("toy", q.instantiate(&g));
+//!
+//! let first = service.execute("toy", &q).unwrap();
+//! let second = service.execute("toy", &q).unwrap();
+//! assert!(!first.cache_hit);
+//! assert!(second.cache_hit); // same shape, same epoch → plan reused
+//! assert_eq!(first.result, second.result);
+//! assert_eq!(first.result.len(), 1); // the 0-1-2 triangle
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod metrics;
+pub mod pool;
+pub mod service;
+
+pub use admission::{AdmissionPolicy, AdmissionStats};
+pub use cache::PlanCacheStats;
+pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
+pub use service::{Service, ServiceOutcome, ServiceStats};
+
+use adj_core::{AdjConfig, Strategy};
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The underlying ADJ configuration (cluster width, α, per-worker
+    /// memory budget, sampling and cost-model settings).
+    pub adj: AdjConfig,
+    /// Plan-search strategy used on cache misses.
+    pub strategy: Strategy,
+    /// Plan-cache capacity in entries; 0 disables caching.
+    pub plan_cache_capacity: usize,
+    /// Maximum queries executing concurrently on the shared cluster.
+    pub max_concurrent: usize,
+    /// What to do with arrivals beyond `max_concurrent`.
+    pub admission: AdmissionPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            adj: AdjConfig::default(),
+            strategy: Strategy::CoOptimize,
+            plan_cache_capacity: 128,
+            max_concurrent: 4,
+            admission: AdmissionPolicy::Queue { max_waiting: 64 },
+        }
+    }
+}
+
+/// Everything that can go wrong serving one query.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The named database was never registered (or was dropped).
+    UnknownDatabase(String),
+    /// Admission control: the concurrency limit and the waiting queue are
+    /// both full (or the policy is [`AdmissionPolicy::Reject`] and all
+    /// execution slots are busy).
+    RejectedCapacity {
+        /// Queries currently executing.
+        running: usize,
+        /// Queries currently waiting.
+        waiting: usize,
+    },
+    /// Admission control: the query's estimated memory footprint exceeds
+    /// the per-query budget derived from the cluster memory limit.
+    RejectedMemory {
+        /// Estimated input bytes the query must materialize.
+        estimated_bytes: usize,
+        /// The per-query budget it exceeded.
+        budget_bytes: usize,
+    },
+    /// Parsing, planning, or execution failed in the underlying library.
+    Exec(adj_relational::Error),
+    /// The worker pool was shut down before the job completed.
+    ShutDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownDatabase(name) => write!(f, "unknown database '{name}'"),
+            ServiceError::RejectedCapacity { running, waiting } => {
+                write!(f, "admission rejected: {running} running and {waiting} waiting queries")
+            }
+            ServiceError::RejectedMemory { estimated_bytes, budget_bytes } => write!(
+                f,
+                "admission rejected: query needs ~{estimated_bytes} B, \
+                 per-query budget is {budget_bytes} B"
+            ),
+            ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
+            ServiceError::ShutDown => write!(f, "worker pool shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<adj_relational::Error> for ServiceError {
+    fn from(e: adj_relational::Error) -> Self {
+        ServiceError::Exec(e)
+    }
+}
+
+impl ServiceError {
+    /// Whether the error is an admission-control rejection (as opposed to a
+    /// lookup, parse, or execution failure).
+    pub fn is_rejection(&self) -> bool {
+        matches!(self, ServiceError::RejectedCapacity { .. } | ServiceError::RejectedMemory { .. })
+    }
+}

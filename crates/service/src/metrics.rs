@@ -1,0 +1,288 @@
+//! The metrics registry: atomic counters plus per-phase latency histograms.
+//!
+//! Every successful query contributes its [`ExecutionReport`] phase
+//! breakdown (the Tables II–IV columns: optimization, pre-computing,
+//! communication, computation) to one histogram per phase, plus end-to-end
+//! and queue-wait histograms measured by the service itself. Recording is
+//! lock-free (`fetch_add`/`fetch_max` on relaxed atomics), so worker
+//! threads never serialize on telemetry; [`MetricsSnapshot`] reads are
+//! *not* atomic across counters, which is fine for monitoring.
+//!
+//! Histograms use power-of-two microsecond buckets (bucket *i* holds
+//! latencies in `[2^(i-1), 2^i) µs`), covering 1 µs to ~2.3 hours in 43
+//! buckets. Quantiles are reported as the upper bound of the bucket the
+//! quantile falls in — at worst a 2× overestimate, which is the usual
+//! trade-off for fixed-memory concurrent histograms (cf. Prometheus/HDR).
+
+use adj_core::ExecutionReport;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (1 µs … ~2.3 h).
+const BUCKETS: usize = 43;
+
+/// A fixed-bucket concurrent latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn record_secs(&self, secs: f64) {
+        let micros = (secs.max(0.0) * 1e6).round() as u64;
+        let idx =
+            if micros == 0 { 0 } else { ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1) };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let sum_micros = self.sum_micros.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // upper bound of bucket i: 2^i µs (bucket 0 = ≤1 µs)
+                    return if i == 0 { 1e-6 } else { (1u64 << i) as f64 * 1e-6 };
+                }
+            }
+            self.max_micros.load(Ordering::Relaxed) as f64 * 1e-6
+        };
+        HistogramSnapshot {
+            count,
+            mean_secs: if count == 0 { 0.0 } else { sum_micros as f64 * 1e-6 / count as f64 },
+            p50_secs: quantile(0.50),
+            p90_secs: quantile(0.90),
+            p99_secs: quantile(0.99),
+            max_secs: self.max_micros.load(Ordering::Relaxed) as f64 * 1e-6,
+        }
+    }
+}
+
+/// Summary statistics of one histogram.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean latency in seconds (exact — from the running sum, not buckets).
+    pub mean_secs: f64,
+    /// Median, as the upper bound of its bucket.
+    pub p50_secs: f64,
+    /// 90th percentile, as the upper bound of its bucket.
+    pub p90_secs: f64,
+    /// 99th percentile, as the upper bound of its bucket.
+    pub p99_secs: f64,
+    /// Largest observation (exact).
+    pub max_secs: f64,
+}
+
+/// The service-wide metrics registry.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    queries_rejected: AtomicU64,
+    output_tuples: AtomicU64,
+    comm_tuples: AtomicU64,
+    precompute_tuples: AtomicU64,
+    /// End-to-end service-side latency (admission wait included).
+    pub total: Histogram,
+    /// Time spent waiting for an admission slot.
+    pub queue_wait: Histogram,
+    /// Plan-search + sampling seconds (0 on plan-cache hits).
+    pub optimization: Histogram,
+    /// Bag pre-computation seconds.
+    pub precompute: Histogram,
+    /// Final-shuffle communication seconds.
+    pub communication: Histogram,
+    /// Leapfrog computation seconds (makespan).
+    pub computation: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Creates a zeroed registry.
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Records one successfully served query.
+    pub fn record_success(&self, report: &ExecutionReport, queue_secs: f64, total_secs: f64) {
+        self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        self.output_tuples.fetch_add(report.output_tuples, Ordering::Relaxed);
+        self.comm_tuples.fetch_add(report.comm_tuples, Ordering::Relaxed);
+        self.precompute_tuples.fetch_add(report.precompute_tuples, Ordering::Relaxed);
+        self.total.record_secs(total_secs);
+        self.queue_wait.record_secs(queue_secs);
+        self.optimization.record_secs(report.optimization_secs);
+        self.precompute.record_secs(report.precompute_secs);
+        self.communication.record_secs(report.communication_secs);
+        self.computation.record_secs(report.computation_secs);
+    }
+
+    /// Records a query that failed during planning or execution.
+    pub fn record_failure(&self) {
+        self.queries_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query turned away by admission control.
+    pub fn record_rejection(&self) {
+        self.queries_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time summary of everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries_ok: self.queries_ok.load(Ordering::Relaxed),
+            queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
+            output_tuples: self.output_tuples.load(Ordering::Relaxed),
+            comm_tuples: self.comm_tuples.load(Ordering::Relaxed),
+            precompute_tuples: self.precompute_tuples.load(Ordering::Relaxed),
+            total: self.total.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            optimization: self.optimization.snapshot(),
+            precompute: self.precompute.snapshot(),
+            communication: self.communication.snapshot(),
+            computation: self.computation.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of every counter and histogram summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Queries served successfully.
+    pub queries_ok: u64,
+    /// Queries that failed during planning or execution.
+    pub queries_failed: u64,
+    /// Queries rejected by admission control.
+    pub queries_rejected: u64,
+    /// Total result tuples produced.
+    pub output_tuples: u64,
+    /// Total tuple copies moved by final shuffles.
+    pub comm_tuples: u64,
+    /// Total tuple copies moved while pre-computing.
+    pub precompute_tuples: u64,
+    /// End-to-end latency summary.
+    pub total: HistogramSnapshot,
+    /// Admission-wait summary.
+    pub queue_wait: HistogramSnapshot,
+    /// Optimization-phase summary.
+    pub optimization: HistogramSnapshot,
+    /// Pre-compute-phase summary.
+    pub precompute: HistogramSnapshot,
+    /// Communication-phase summary.
+    pub communication: HistogramSnapshot,
+    /// Computation-phase summary.
+    pub computation: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.record_secs(0.001); // 1000 µs → bucket ⌈log2⌉ = 10
+        }
+        for _ in 0..10 {
+            h.record_secs(0.5); // 500_000 µs
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        // median in the fast bucket: upper bound 1024 µs
+        assert!((s.p50_secs - 1024e-6).abs() < 1e-9, "p50={}", s.p50_secs);
+        // p99 lands among the slow: bucket upper bound ≥ 0.5 s
+        assert!(s.p99_secs >= 0.5, "p99={}", s.p99_secs);
+        assert!(s.p99_secs <= 1.1, "p99={}", s.p99_secs);
+        assert!((s.max_secs - 0.5).abs() < 1e-6);
+        let mean = (90.0 * 0.001 + 10.0 * 0.5) / 100.0;
+        assert!((s.mean_secs - mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_secs, 0.0);
+        assert_eq!(s.mean_secs, 0.0);
+    }
+
+    #[test]
+    fn sub_microsecond_goes_to_bucket_zero() {
+        let h = Histogram::default();
+        h.record_secs(1e-9);
+        h.record_secs(0.0);
+        assert_eq!(h.snapshot().count, 2);
+        assert!((h.snapshot().p50_secs - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_accumulates_reports() {
+        let m = ServiceMetrics::new();
+        let r = ExecutionReport {
+            output_tuples: 7,
+            comm_tuples: 100,
+            optimization_secs: 0.002,
+            communication_secs: 0.001,
+            computation_secs: 0.003,
+            ..Default::default()
+        };
+        m.record_success(&r, 0.0005, 0.01);
+        m.record_failure();
+        m.record_rejection();
+        let s = m.snapshot();
+        assert_eq!((s.queries_ok, s.queries_failed, s.queries_rejected), (1, 1, 1));
+        assert_eq!(s.output_tuples, 7);
+        assert_eq!(s.comm_tuples, 100);
+        assert_eq!(s.total.count, 1);
+        assert_eq!(s.optimization.count, 1);
+        assert!(s.total.max_secs > 0.009);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = std::sync::Arc::new(ServiceMetrics::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = std::sync::Arc::clone(&m);
+                s.spawn(move || {
+                    let r = ExecutionReport::default();
+                    for _ in 0..250 {
+                        m.record_success(&r, 0.0001, 0.0002);
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.queries_ok, 2000);
+        assert_eq!(s.total.count, 2000);
+    }
+}

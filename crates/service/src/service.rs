@@ -1,0 +1,468 @@
+//! The [`Service`] front door: named databases, shared cluster, cached
+//! plans, admission-gated execution.
+
+use crate::admission::AdmissionController;
+use crate::cache::{PlanCache, PlanCacheStats};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::{AdmissionStats, ServiceConfig, ServiceError};
+use adj_cluster::Cluster;
+use adj_core::{Adj, ExecutionReport, QueryPlan};
+use adj_query::fingerprint::Fnv1a;
+use adj_query::{parse_query, JoinQuery, QueryFingerprint};
+use adj_relational::{Database, Relation};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// A registered database: immutable contents plus the statistics epoch the
+/// plan cache keys on.
+#[derive(Debug)]
+struct DbEntry {
+    db: Database,
+    /// Stable hash of the database *name* (folds into cache keys so equal
+    /// epochs on different databases never collide).
+    tag: u64,
+    /// Monotonic registration stamp: re-registering a name bumps this, so
+    /// every plan optimized against the old contents stops matching.
+    epoch: u64,
+}
+
+/// One served query's outcome.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    /// The join result (gathered across workers).
+    pub result: Relation,
+    /// The per-phase cost breakdown. `optimization_secs` is 0 on cache
+    /// hits — the search cost was paid by the miss that populated the
+    /// entry.
+    pub report: ExecutionReport,
+    /// The executed plan (shared with the cache).
+    pub plan: Arc<QueryPlan>,
+    /// The query's canonical fingerprint.
+    pub fingerprint: QueryFingerprint,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Seconds spent waiting for an admission slot.
+    pub queue_secs: f64,
+    /// End-to-end service-side seconds (queue wait + plan + execution).
+    pub total_secs: f64,
+}
+
+/// A combined point-in-time view of every service statistic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Counter + histogram registry snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Plan-cache counters.
+    pub cache: PlanCacheStats,
+    /// Admission-control counters.
+    pub admission: AdmissionStats,
+}
+
+/// A long-lived query service over one shared simulated cluster.
+///
+/// `Service` is `Send + Sync`; call [`Service::execute`] from as many
+/// threads as you like (admission control bounds what actually runs), or
+/// wrap it in a [`WorkerPool`](crate::pool::WorkerPool) for a submission
+/// queue.
+pub struct Service {
+    config: ServiceConfig,
+    adj: Adj,
+    databases: RwLock<HashMap<String, Arc<DbEntry>>>,
+    cache: PlanCache,
+    admission: AdmissionController,
+    metrics: ServiceMetrics,
+    epoch: AtomicU64,
+    /// Cluster-wide memory divided by `max_concurrent`; `None` = unlimited.
+    per_query_budget_bytes: Option<usize>,
+}
+
+impl Service {
+    /// Creates a service: builds the shared cluster once and derives the
+    /// per-query memory budget from
+    /// [`ClusterConfig::memory_limit_bytes`](adj_cluster::ClusterConfig)
+    /// (per-worker limit × workers ÷ `max_concurrent`).
+    pub fn new(config: ServiceConfig) -> Self {
+        let cluster = Cluster::shared(config.adj.cluster.clone());
+        Service::with_cluster(config, cluster)
+    }
+
+    /// Creates a service over an existing cluster handle (shared with
+    /// other components, e.g. a bench harness inspecting
+    /// [`CommStats`](adj_cluster::CommStats) directly).
+    pub fn with_cluster(config: ServiceConfig, cluster: Arc<Cluster>) -> Self {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Service>();
+
+        let max_concurrent = config.max_concurrent.max(1);
+        let per_query_budget_bytes = cluster
+            .config()
+            .memory_limit_bytes
+            .map(|per_worker| per_worker.saturating_mul(cluster.num_workers()) / max_concurrent);
+        let adj = Adj::with_cluster(config.adj.clone(), cluster);
+        Service {
+            cache: PlanCache::new(config.plan_cache_capacity),
+            admission: AdmissionController::new(max_concurrent, config.admission),
+            metrics: ServiceMetrics::new(),
+            databases: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
+            per_query_budget_bytes,
+            adj,
+            config,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared cluster.
+    pub fn cluster(&self) -> &Cluster {
+        self.adj.cluster()
+    }
+
+    /// The per-query memory budget, if the cluster has a memory limit.
+    pub fn per_query_budget_bytes(&self) -> Option<usize> {
+        self.per_query_budget_bytes
+    }
+
+    /// Registers (or replaces) a database under `name` and returns its
+    /// statistics epoch. Replacing invalidates cached plans that reference
+    /// the database's relations.
+    pub fn register_database(&self, name: impl Into<String>, db: Database) -> u64 {
+        let name = name.into();
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut tag = Fnv1a::new();
+        tag.write(name.as_bytes());
+        let entry = Arc::new(DbEntry { db, tag: tag.finish(), epoch });
+        let replaced = self
+            .databases
+            .write()
+            .expect("database registry poisoned")
+            .insert(name, Arc::clone(&entry));
+        if let Some(old) = replaced {
+            // Scoped: only this database's plans drop; other databases'
+            // cached plans stay warm.
+            self.cache.invalidate_db(old.tag);
+        }
+        epoch
+    }
+
+    /// Removes a database; queries against it fail with
+    /// [`ServiceError::UnknownDatabase`] from then on.
+    pub fn drop_database(&self, name: &str) -> bool {
+        self.databases.write().expect("database registry poisoned").remove(name).is_some()
+    }
+
+    /// Registered database names (sorted, for determinism).
+    pub fn database_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.databases.read().expect("database registry poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Serves one parsed query against the named database. Blocks while
+    /// admission queues it (under [`AdmissionPolicy::Queue`]); returns a
+    /// rejection error when admission turns it away.
+    pub fn execute(
+        &self,
+        db_name: &str,
+        query: &JoinQuery,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        let t_start = Instant::now();
+        let entry = match self.lookup(db_name) {
+            Ok(e) => e,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e);
+            }
+        };
+
+        // Memory admission: estimated input footprint vs the per-query
+        // share of the cluster budget.
+        if let Some(budget) = self.per_query_budget_bytes {
+            let estimated = Self::estimate_input_bytes(&entry.db, query);
+            if estimated > budget {
+                self.admission.note_memory_rejection();
+                self.metrics.record_rejection();
+                return Err(ServiceError::RejectedMemory {
+                    estimated_bytes: estimated,
+                    budget_bytes: budget,
+                });
+            }
+        }
+
+        // Concurrency admission.
+        let t_queue = Instant::now();
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.record_rejection();
+                return Err(e);
+            }
+        };
+        let queue_secs = t_queue.elapsed().as_secs_f64();
+
+        // Plan: cached, or optimized now and published.
+        let fingerprint = QueryFingerprint::of(query);
+        let key = fingerprint.cache_key(entry.tag, entry.epoch);
+        let (plan, cache_hit) = match self.cache.get(key) {
+            Some(plan) => (plan, true),
+            None => {
+                let plan = match self.adj.plan(query, &entry.db, self.config.strategy) {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => {
+                        self.metrics.record_failure();
+                        return Err(ServiceError::Exec(e));
+                    }
+                };
+                self.cache.insert(key, entry.tag, Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+
+        // Execute on the shared cluster (borrowing the cached plan — no
+        // per-query plan clone on the hot path).
+        let (result, mut report) = match self.adj.execute_prepared(&plan, &entry.db) {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
+        drop(permit);
+
+        if cache_hit {
+            // The search cost was charged by the miss that built the entry.
+            report.optimization_secs = 0.0;
+        }
+        let total_secs = t_start.elapsed().as_secs_f64();
+        self.metrics.record_success(&report, queue_secs, total_secs);
+        Ok(ServiceOutcome { result, report, plan, fingerprint, cache_hit, queue_secs, total_secs })
+    }
+
+    /// Serves a textual query (`"Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)"`,
+    /// head optional) against the named database.
+    pub fn execute_text(&self, db_name: &str, text: &str) -> Result<ServiceOutcome, ServiceError> {
+        let (query, _attr_names) = match parse_query(text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e.into());
+            }
+        };
+        self.execute(db_name, &query)
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Admission-control counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Metrics-registry snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Everything at once.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            metrics: self.metrics.snapshot(),
+            cache: self.cache.stats(),
+            admission: self.admission.stats(),
+        }
+    }
+
+    fn lookup(&self, db_name: &str) -> Result<Arc<DbEntry>, ServiceError> {
+        self.databases
+            .read()
+            .expect("database registry poisoned")
+            .get(db_name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDatabase(db_name.to_string()))
+    }
+
+    /// Lower bound on the bytes a query materializes: the payload of every
+    /// referenced relation (each must be resident somewhere to shuffle).
+    /// Relations the database lacks contribute 0 here; the executor reports
+    /// the precise missing-relation error during planning.
+    fn estimate_input_bytes(db: &Database, query: &JoinQuery) -> usize {
+        query.atoms.iter().filter_map(|a| db.get(&a.name).ok().map(|r| r.size_bytes())).sum()
+    }
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("databases", &self.database_names())
+            .field("cache", &self.cache.stats())
+            .field("admission", &self.admission.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_cluster::ClusterConfig;
+    use adj_core::AdjConfig;
+    use adj_query::{paper_query, PaperQuery};
+    use adj_relational::{Attr, Value};
+
+    fn graph(n: u32, m: u32) -> Relation {
+        let edges: Vec<(Value, Value)> = (0..n)
+            .flat_map(|i| vec![(i % m, (i * 7 + 1) % m), ((i * 3) % m, (i * 11 + 5) % m)])
+            .collect();
+        Relation::from_pairs(Attr(0), Attr(1), &edges)
+    }
+
+    fn small_service() -> Service {
+        let config = ServiceConfig {
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+            ..Default::default()
+        };
+        Service::new(config)
+    }
+
+    #[test]
+    fn serves_and_matches_single_shot_adj() {
+        let q = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let db = q.instantiate(&g);
+        let service = small_service();
+        service.register_database("g", db.clone());
+        let served = service.execute("g", &q).unwrap();
+        let solo = Adj::with_workers(2).execute(&q, &db).unwrap();
+        assert_eq!(served.result.len(), solo.result.len());
+        let aligned = served.result.permute(solo.result.schema().attrs()).unwrap();
+        assert_eq!(aligned, solo.result);
+    }
+
+    #[test]
+    fn repeated_shape_hits_cache_and_skips_optimization() {
+        let q = paper_query(PaperQuery::Q4);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(120, 31)));
+        let miss = service.execute("g", &q).unwrap();
+        assert!(!miss.cache_hit);
+        assert!(miss.report.optimization_secs > 0.0);
+        let hit = service.execute("g", &q).unwrap();
+        assert!(hit.cache_hit);
+        assert_eq!(hit.report.optimization_secs, 0.0);
+        assert_eq!(hit.result, miss.result);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn reregistration_bumps_epoch_and_invalidates() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        let e1 = service.register_database("g", q.instantiate(&graph(100, 23)));
+        let first = service.execute("g", &q).unwrap();
+        // A second database's cached plan must survive g's re-registration.
+        let q4 = paper_query(PaperQuery::Q4);
+        service.register_database("h", q4.instantiate(&graph(80, 19)));
+        service.execute("h", &q4).unwrap();
+        // New contents under the same name: cached plan must not be reused.
+        let e2 = service.register_database("g", q.instantiate(&graph(200, 41)));
+        assert!(e2 > e1);
+        let second = service.execute("g", &q).unwrap();
+        assert!(!second.cache_hit, "epoch change must force a re-plan");
+        assert_ne!(first.result.len(), second.result.len());
+        let on_h = service.execute("h", &q4).unwrap();
+        assert!(on_h.cache_hit, "invalidation must be scoped to the re-registered database");
+    }
+
+    #[test]
+    fn unknown_database_and_parse_errors_count_as_failures() {
+        let service = small_service();
+        let q = paper_query(PaperQuery::Q1);
+        let err = service.execute("nope", &q).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownDatabase(_)));
+        assert!(!err.is_rejection());
+        assert!(service.execute_text("nope", "R1(a,").is_err());
+        let m = service.metrics();
+        assert_eq!(m.queries_failed, 2, "lookup and parse errors must be visible in metrics");
+        assert_eq!(m.queries_ok + m.queries_failed + m.queries_rejected, 2);
+    }
+
+    #[test]
+    fn text_queries_parse_and_share_plans_across_variable_naming() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        let a = service.execute_text("g", "Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        let b = service.execute_text("g", "T(x,y,z) :- R1(x,y), R2(y,z), R3(x,z)").unwrap();
+        assert!(!a.cache_hit);
+        assert!(b.cache_hit, "renamed variables are the same canonical query");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.result, b.result);
+        // malformed text is an Exec error, not a panic
+        assert!(service.execute_text("g", "R1(a,").is_err());
+    }
+
+    #[test]
+    fn memory_budget_rejects_oversized_queries() {
+        let q = paper_query(PaperQuery::Q1);
+        let db = q.instantiate(&graph(200, 41));
+        let config = ServiceConfig {
+            adj: AdjConfig {
+                cluster: ClusterConfig {
+                    num_workers: 2,
+                    memory_limit_bytes: Some(64), // 2 workers × 64 B ÷ 1 = 128 B
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            max_concurrent: 1,
+            ..Default::default()
+        };
+        let service = Service::new(config);
+        assert_eq!(service.per_query_budget_bytes(), Some(128));
+        service.register_database("g", db);
+        let err = service.execute("g", &q).unwrap_err();
+        assert!(matches!(err, ServiceError::RejectedMemory { .. }), "{err}");
+        let stats = service.stats();
+        assert_eq!(stats.admission.rejected_memory, 1);
+        assert_eq!(stats.metrics.queries_rejected, 1);
+        assert_eq!(stats.metrics.queries_ok, 0);
+    }
+
+    #[test]
+    fn metrics_report_phase_latencies() {
+        let q = paper_query(PaperQuery::Q5);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 29)));
+        for _ in 0..3 {
+            service.execute("g", &q).unwrap();
+        }
+        let m = service.metrics();
+        assert_eq!(m.queries_ok, 3);
+        assert_eq!(m.total.count, 3);
+        assert!(m.total.mean_secs > 0.0);
+        assert!(m.communication.count == 3);
+        assert!(m.output_tuples > 0);
+        // optimization histogram: one real observation + two zeros (hits)
+        assert_eq!(m.optimization.count, 3);
+    }
+
+    #[test]
+    fn drop_database_forgets_it() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(60, 13)));
+        assert_eq!(service.database_names(), vec!["g".to_string()]);
+        assert!(service.drop_database("g"));
+        assert!(!service.drop_database("g"));
+        assert!(service.execute("g", &q).is_err());
+    }
+}

@@ -25,17 +25,16 @@ fn main() {
     let cities = 40u32;
 
     // member(u, g), hosts(g, e), located(e, c), lives(u, c)
-    let member: Vec<(Value, Value)> =
-        (0..users).flat_map(|x| (0..3).map(move |_| (x, 0)).collect::<Vec<_>>())
-            .map(|(x, _)| (x, rng.gen_range(0..groups)))
-            .collect();
+    let member: Vec<(Value, Value)> = (0..users)
+        .flat_map(|x| (0..3).map(move |_| (x, 0)).collect::<Vec<_>>())
+        .map(|(x, _)| (x, rng.gen_range(0..groups)))
+        .collect();
     let mut rng2 = StdRng::seed_from_u64(8);
     let hosts: Vec<(Value, Value)> =
         (0..events).map(|ev| (rng2.gen_range(0..groups), ev)).collect();
     let located: Vec<(Value, Value)> =
         (0..events).map(|ev| (ev, rng2.gen_range(0..cities))).collect();
-    let lives: Vec<(Value, Value)> =
-        (0..users).map(|x| (x, rng2.gen_range(0..cities))).collect();
+    let lives: Vec<(Value, Value)> = (0..users).map(|x| (x, rng2.gen_range(0..cities))).collect();
 
     let query = JoinQuery::new(
         "Reachable",

@@ -23,12 +23,19 @@ fn main() {
     let out = adj.execute(&query, &db).expect("in-budget run");
 
     println!("\nresult: {} triangles", out.result.len());
-    println!("plan:   order {:?}, {} pre-computed bag(s)", out.plan.order, out.plan.precompute.len());
+    println!(
+        "plan:   order {:?}, {} pre-computed bag(s)",
+        out.plan.order,
+        out.plan.precompute.len()
+    );
     println!("share:  p = {:?}", out.report.share);
     println!("\ncost breakdown (the Tables II–IV row format):");
     println!("  optimization:  {:>8.4}s", out.report.optimization_secs);
     println!("  pre-computing: {:>8.4}s", out.report.precompute_secs);
-    println!("  communication: {:>8.4}s ({} tuple copies shuffled)", out.report.communication_secs, out.report.comm_tuples);
+    println!(
+        "  communication: {:>8.4}s ({} tuple copies shuffled)",
+        out.report.communication_secs, out.report.comm_tuples
+    );
     println!("  computation:   {:>8.4}s", out.report.computation_secs);
     println!("  total:         {:>8.4}s", out.report.total_secs());
 

@@ -1,0 +1,76 @@
+//! Quickstart for the serving layer: register databases, fire concurrent
+//! queries through a worker pool, read the metrics.
+//!
+//! ```sh
+//! cargo run --release --example service_quickstart
+//! ```
+
+use adj::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A service over one shared 4-worker simulated cluster. Admission:
+    //    at most 3 queries in flight, the rest queue.
+    let service = Arc::new(Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() },
+        max_concurrent: 3,
+        ..Default::default()
+    }));
+
+    // 2. Named databases: one per workload shape, instantiated from the WB
+    //    stand-in graph (Sec. VII-A test-case construction).
+    let graph = Dataset::WB.graph(0.03);
+    println!("dataset: WB stand-in, {} edges", graph.len());
+    for shape in [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7] {
+        let q = paper_query(shape);
+        service.register_database(format!("{shape:?}"), q.instantiate(&graph));
+    }
+
+    // 3. A mixed repeated-shape workload through the pool: 48 queries, 6
+    //    submitter threads' worth of handles drained by 6 pool workers.
+    let pool = WorkerPool::new(Arc::clone(&service), 6);
+    let requests: Vec<QueryRequest> = (0..48)
+        .map(|i| {
+            let shape = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7][i % 3];
+            QueryRequest::query(format!("{shape:?}"), paper_query(shape))
+        })
+        .collect();
+    let t0 = std::time::Instant::now();
+    let results = pool.run_all(requests);
+    let wall = t0.elapsed().as_secs_f64();
+
+    for (label, shape) in [("Q1", PaperQuery::Q1), ("Q4", PaperQuery::Q4), ("Q7", PaperQuery::Q7)] {
+        let out = results
+            .iter()
+            .enumerate()
+            .find(|(i, _)| [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7][i % 3] == shape)
+            .and_then(|(_, r)| r.as_ref().ok())
+            .expect("every query succeeds");
+        println!("{label}: {} result tuples", out.result.len());
+    }
+
+    // 4. What serving bought us, straight from the registry.
+    let stats = service.stats();
+    println!("\nserved {} queries in {wall:.3}s wall", stats.metrics.queries_ok);
+    println!(
+        "plan cache: {} hits / {} misses ({:.0}% hit rate, {} entries)",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate() * 100.0,
+        stats.cache.len
+    );
+    println!(
+        "admission:  peak {} running, {} waiting (limit 3)",
+        stats.admission.peak_running, stats.admission.peak_waiting
+    );
+    println!(
+        "latency:    p50 {:.4}s  p99 {:.4}s  mean {:.4}s",
+        stats.metrics.total.p50_secs, stats.metrics.total.p99_secs, stats.metrics.total.mean_secs
+    );
+    println!(
+        "phases:     opt {:.4}s  comm {:.4}s  comp {:.4}s (means)",
+        stats.metrics.optimization.mean_secs,
+        stats.metrics.communication.mean_secs,
+        stats.metrics.computation.mean_secs
+    );
+}

@@ -13,7 +13,10 @@ fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
     let graph = Dataset::LJ.graph(scale);
     println!("subgraph census over the LJ stand-in ({} edges, scale {scale})\n", graph.len());
-    println!("{:<6} {:>14} {:>10} {:>12} {:>10}", "query", "matches", "secs", "shuffled", "pre-bags");
+    println!(
+        "{:<6} {:>14} {:>10} {:>12} {:>10}",
+        "query", "matches", "secs", "shuffled", "pre-bags"
+    );
 
     let adj = Adj::with_workers(4);
     for pq in PaperQuery::ALL {

@@ -21,6 +21,7 @@
 //! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
 //! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
+//! | [`service`] | `adj-service` | concurrent query service: plan cache, admission control, metrics |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
 //! | [`datagen`] | `adj-datagen` | seeded stand-ins for the Table I datasets |
 //!
@@ -49,13 +50,18 @@ pub use adj_leapfrog as leapfrog;
 pub use adj_query as query;
 pub use adj_relational as relational;
 pub use adj_sampling as sampling;
+pub use adj_service as service;
 
 /// The common imports for applications.
 pub mod prelude {
     pub use adj_cluster::{Cluster, ClusterConfig};
     pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, Strategy};
     pub use adj_datagen::Dataset;
-    pub use adj_query::{paper_query, Atom, JoinQuery, PaperQuery};
+    pub use adj_query::{paper_query, parse_query, Atom, JoinQuery, PaperQuery, QueryFingerprint};
     pub use adj_relational::{Attr, Database, Relation, Schema, Value};
     pub use adj_sampling::{Sampler, SamplingConfig};
+    pub use adj_service::{
+        AdmissionPolicy, QueryRequest, Service, ServiceConfig, ServiceError, ServiceOutcome,
+        WorkerPool,
+    };
 }

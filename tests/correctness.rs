@@ -118,8 +118,14 @@ fn running_example_database_matches_paper() {
     );
     db.insert("R2", Relation::from_pairs(Attr(0), Attr(3), &[(1, 1), (1, 2), (1, 3), (4, 1)]));
     db.insert("R3", Relation::from_pairs(Attr(2), Attr(3), &[(1, 1), (1, 2), (2, 1), (2, 2)]));
-    db.insert("R4", Relation::from_pairs(Attr(1), Attr(4), &[(2, 3), (2, 4), (2, 5), (1, 2), (2, 2), (1, 1)]));
-    db.insert("R5", Relation::from_pairs(Attr(2), Attr(4), &[(2, 4), (2, 5), (1, 3), (2, 3), (1, 1), (2, 2)]));
+    db.insert(
+        "R4",
+        Relation::from_pairs(Attr(1), Attr(4), &[(2, 3), (2, 4), (2, 5), (1, 2), (2, 2), (1, 1)]),
+    );
+    db.insert(
+        "R5",
+        Relation::from_pairs(Attr(2), Attr(4), &[(2, 4), (2, 5), (1, 3), (2, 3), (1, 1), (2, 2)]),
+    );
     let expected = reference(&db, &q);
     let adj = Adj::with_workers(4);
     let out = adj.execute(&q, &db).unwrap();

@@ -1,5 +1,10 @@
 //! Property-based tests over the core invariants, on randomly generated
-//! graphs and schedules (proptest).
+//! graphs and schedules.
+//!
+//! Originally written against `proptest`; the offline build environment
+//! cannot fetch it, so the same properties now run under a small seeded-RNG
+//! loop harness (`cases`). Every case is deterministic per seed, so a
+//! failure reproduces by re-running the test.
 
 use adj::prelude::{
     paper_query, Attr, ClusterConfig, JoinQuery, PaperQuery, Relation, Sampler, SamplingConfig,
@@ -9,110 +14,147 @@ use adj_query::order::{all_orders, is_valid_order, valid_orders};
 use adj_query::GhdTree;
 use adj_relational::intersect::{intersect2_merge, leapfrog_intersect};
 use adj_relational::Trie;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small random edge list over `m` node ids.
-fn edges(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..max_nodes, 0..max_nodes), 1..max_edges)
+/// Runs `body` for `n` deterministic cases, each with its own seeded RNG.
+fn cases(n: u64, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..n {
+        let mut rng = StdRng::seed_from_u64(0xADF0_5EED ^ case.wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A small random edge list over `max_nodes` node ids, 1..max_edges long.
+fn edges(rng: &mut StdRng, max_nodes: u32, max_edges: usize) -> Vec<(u32, u32)> {
+    let len = rng.gen_range(1..max_edges);
+    (0..len).map(|_| (rng.gen_range(0..max_nodes), rng.gen_range(0..max_nodes))).collect()
+}
 
-    /// K-way leapfrog intersection equals iterated 2-way merge intersection.
-    #[test]
-    fn kway_intersection_equals_iterated_merge(
-        mut a in prop::collection::vec(0u32..500, 0..200),
-        mut b in prop::collection::vec(0u32..500, 0..200),
-        mut c in prop::collection::vec(0u32..500, 0..200),
-    ) {
-        for v in [&mut a, &mut b, &mut c] {
-            v.sort_unstable();
-            v.dedup();
-        }
+/// A sorted deduplicated random value run.
+fn sorted_run(rng: &mut StdRng, max_val: u32, max_len: usize) -> Vec<u32> {
+    let len = rng.gen_range(0..max_len);
+    let mut v: Vec<u32> = (0..len).map(|_| rng.gen_range(0..max_val)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// K-way leapfrog intersection equals iterated 2-way merge intersection.
+#[test]
+fn kway_intersection_equals_iterated_merge() {
+    cases(64, |rng| {
+        let a = sorted_run(rng, 500, 201);
+        let b = sorted_run(rng, 500, 201);
+        let c = sorted_run(rng, 500, 201);
         let mut expect = Vec::new();
         let mut tmp = Vec::new();
         intersect2_merge(&a, &b, &mut tmp);
         intersect2_merge(&tmp, &c, &mut expect);
         let mut got = Vec::new();
         leapfrog_intersect(&[&a, &b, &c], &mut got);
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    /// Trie build/emit round-trips any relation.
-    #[test]
-    fn trie_roundtrip(pairs in edges(64, 300)) {
+/// Trie build/emit round-trips any relation.
+#[test]
+fn trie_roundtrip() {
+    cases(64, |rng| {
+        let pairs = edges(rng, 64, 300);
         let rel = Relation::from_pairs(Attr(0), Attr(1), &pairs);
         let trie = Trie::build(&rel);
-        prop_assert_eq!(trie.to_relation(), rel);
-    }
+        assert_eq!(trie.to_relation(), rel);
+    });
+}
 
-    /// Leapfrog triangle counting matches the reference pairwise join, for
-    /// ANY attribute order.
-    #[test]
-    fn leapfrog_equals_reference_any_order(pairs in edges(24, 120), perm in 0usize..6) {
+/// Leapfrog triangle counting matches the reference pairwise join, for ANY
+/// attribute order.
+#[test]
+fn leapfrog_equals_reference_any_order() {
+    cases(64, |rng| {
+        let pairs = edges(rng, 24, 120);
+        let perm = rng.gen_range(0usize..6);
         let q = paper_query(PaperQuery::Q1);
         let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
         let db = q.instantiate(&g);
-        let expected = db.get("R1").unwrap()
-            .join(db.get("R2").unwrap()).unwrap()
-            .join(db.get("R3").unwrap()).unwrap();
+        let expected = db
+            .get("R1")
+            .unwrap()
+            .join(db.get("R2").unwrap())
+            .unwrap()
+            .join(db.get("R3").unwrap())
+            .unwrap();
         let orders = all_orders(&q.attrs());
         let order = &orders[perm];
-        let tries: Vec<Trie> = q.atoms.iter()
+        let tries: Vec<Trie> = q
+            .atoms
+            .iter()
             .map(|a| db.get(&a.name).unwrap().trie_under_order(order).unwrap())
             .collect();
         let join = adj_leapfrog::LeapfrogJoin::new(order, tries.iter().collect()).unwrap();
-        prop_assert_eq!(join.count().0 as usize, expected.len());
-    }
+        assert_eq!(join.count().0 as usize, expected.len());
+    });
+}
 
-    /// The cached join always matches the plain join, for any capacity.
-    #[test]
-    fn cached_join_matches_plain(pairs in edges(20, 100), cap in 0usize..64) {
+/// The cached join always matches the plain join, for any capacity.
+#[test]
+fn cached_join_matches_plain() {
+    cases(64, |rng| {
+        let pairs = edges(rng, 20, 100);
+        let cap = rng.gen_range(0usize..64);
         let q = paper_query(PaperQuery::Q4);
         let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
         let db = q.instantiate(&g);
         let order = q.attrs();
-        let tries: Vec<Trie> = q.atoms.iter()
+        let tries: Vec<Trie> = q
+            .atoms
+            .iter()
             .map(|a| db.get(&a.name).unwrap().trie_under_order(&order).unwrap())
             .collect();
         let plain = adj_leapfrog::LeapfrogJoin::new(&order, tries.iter().collect()).unwrap();
         let cached = adj_leapfrog::CachedJoin::new(&order, tries.iter().collect(), cap).unwrap();
-        prop_assert_eq!(plain.count().0, cached.count().0);
-    }
+        assert_eq!(plain.count().0, cached.count().0);
+    });
+}
 
-    /// Relation algebra: semijoin output is contained in the input and
-    /// agrees with join-then-project.
-    #[test]
-    fn semijoin_is_join_projection(
-        left in edges(16, 80),
-        right in edges(16, 80),
-    ) {
+/// Relation algebra: semijoin output is contained in the input and agrees
+/// with join-then-project.
+#[test]
+fn semijoin_is_join_projection() {
+    cases(64, |rng| {
+        let left = edges(rng, 16, 80);
+        let right = edges(rng, 16, 80);
         let l = Relation::from_pairs(Attr(0), Attr(1), &left);
         let r = Relation::from_pairs(Attr(1), Attr(2), &right);
         let sj = l.semijoin(&r);
         for row in sj.rows() {
-            prop_assert!(l.contains_row(row));
+            assert!(l.contains_row(row));
         }
         let jp = l.join(&r).unwrap().project(&[Attr(0), Attr(1)]).unwrap();
-        prop_assert_eq!(sj, jp);
-    }
+        assert_eq!(sj, jp);
+    });
+}
 
-    /// HCube: for any share vector, the one-round shuffle + local leapfrog
-    /// equals the reference join (distribution transparency).
-    #[test]
-    fn hcube_distribution_transparency(
-        pairs in edges(20, 80),
-        p1 in 1u32..3, p2 in 1u32..3, p3 in 1u32..3,
-        workers in 1usize..5,
-    ) {
+/// HCube: for any share vector, the one-round shuffle + local leapfrog
+/// equals the reference join (distribution transparency).
+#[test]
+fn hcube_distribution_transparency() {
+    cases(64, |rng| {
         use adj_hcube::{hcube_shuffle, HCubeImpl, HCubePlan};
+        let pairs = edges(rng, 20, 80);
+        let (p1, p2, p3) = (rng.gen_range(1u32..3), rng.gen_range(1u32..3), rng.gen_range(1u32..3));
+        let workers = rng.gen_range(1usize..5);
         let q = paper_query(PaperQuery::Q1);
         let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
         let db = q.instantiate(&g);
-        let expected = db.get("R1").unwrap()
-            .join(db.get("R2").unwrap()).unwrap()
-            .join(db.get("R3").unwrap()).unwrap();
+        let expected = db
+            .get("R1")
+            .unwrap()
+            .join(db.get("R2").unwrap())
+            .unwrap()
+            .join(db.get("R3").unwrap())
+            .unwrap();
         let cluster = adj_cluster::Cluster::new(ClusterConfig::with_workers(workers));
         let plan = HCubePlan::new(vec![p1, p2, p3], workers);
         let order = q.attrs();
@@ -125,43 +167,50 @@ proptest! {
             join.run(|t| total.extend_from_slice(t));
         }
         let got = Relation::from_flat(Schema::new(order.clone()).unwrap(), total).unwrap();
-        prop_assert_eq!(got.len(), expected.len());
-    }
+        assert_eq!(got.len(), expected.len());
+    });
+}
 
-    /// Sampling with the full value set and many samples brackets the truth.
-    #[test]
-    fn sampling_converges(pairs in edges(24, 150), seed in 0u64..50) {
+/// Sampling with the full value set and many samples brackets the truth.
+#[test]
+fn sampling_converges() {
+    cases(50, |rng| {
+        let pairs = edges(rng, 24, 150);
+        let seed = rng.gen_range(0u64..50);
         let q = paper_query(PaperQuery::Q1);
         let g = Relation::from_pairs(Attr(0), Attr(1), &pairs);
         let db = q.instantiate(&g);
         let order = q.attrs();
-        let tries: Vec<Trie> = q.atoms.iter()
+        let tries: Vec<Trie> = q
+            .atoms
+            .iter()
             .map(|a| db.get(&a.name).unwrap().trie_under_order(&order).unwrap())
             .collect();
-        let truth = adj_leapfrog::LeapfrogJoin::new(&order, tries.iter().collect())
-            .unwrap().count().0 as f64;
+        let truth =
+            adj_leapfrog::LeapfrogJoin::new(&order, tries.iter().collect()).unwrap().count().0
+                as f64;
         let sampler = Sampler::new(&db, &q, &order).unwrap();
         let est = sampler.estimate(&SamplingConfig { samples: 3000, seed }).unwrap();
         if truth == 0.0 {
-            prop_assert!(est.cardinality < 1.0 || est.val_a == 0);
+            assert!(est.cardinality < 1.0 || est.val_a == 0);
         } else {
             let d = est.cardinality.max(truth) / est.cardinality.min(truth).max(1e-9);
-            prop_assert!(d < 3.0, "D={d} est={} truth={truth}", est.cardinality);
+            assert!(d < 3.0, "D={d} est={} truth={truth}", est.cardinality);
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Every GHD the decomposer produces is valid (edge coverage + running
-    /// intersection) on random connected-ish hypergraphs from the workload
-    /// generator space.
-    #[test]
-    fn ghd_always_valid(extra in prop::collection::vec((0u32..5, 0u32..5), 0..4)) {
+/// Every GHD the decomposer produces is valid (edge coverage + running
+/// intersection) on random connected-ish hypergraphs from the workload
+/// generator space.
+#[test]
+fn ghd_always_valid() {
+    cases(32, |rng| {
         // base: 5-cycle; add random chords
         let mut es = vec![(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0)];
-        for (x, y) in extra {
+        let extra = rng.gen_range(0usize..4);
+        for _ in 0..extra {
+            let (x, y) = (rng.gen_range(0u32..5), rng.gen_range(0u32..5));
             if x != y {
                 es.push((x, y));
             }
@@ -169,14 +218,14 @@ proptest! {
         let q = JoinQuery::from_edges("rand", &es);
         let h = q.hypergraph();
         let t = GhdTree::decompose(&h, 3);
-        prop_assert!(t.is_valid_for(&h));
-        prop_assert!(t.fhw >= 1.0 - 1e-9);
+        assert!(t.is_valid_for(&h));
+        assert!(t.fhw >= 1.0 - 1e-9);
         // every valid order passes the checker; the checker rejects at
         // least as many orders as the generator produces
         let vo = valid_orders(&t);
         for o in &vo {
-            prop_assert!(is_valid_order(&t, o));
+            assert!(is_valid_order(&t, o));
         }
-        prop_assert!(!vo.is_empty());
-    }
+        assert!(!vo.is_empty());
+    });
 }

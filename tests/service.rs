@@ -1,0 +1,230 @@
+//! Integration tests of the serving layer: concurrent mixed-shape traffic
+//! must return byte-identical results to the single-shot `Adj::execute`
+//! path, hit the plan cache on repeated shapes, and enforce admission
+//! control.
+
+use adj::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The mixed workload: three shapes of increasing complexity (triangle,
+/// square with both diagonals' 4-cycle structure, and the 5-clique-ish Q7).
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+
+fn shape_db_name(q: PaperQuery) -> String {
+    format!("db_{:?}", q)
+}
+
+/// A deterministic test graph.
+fn graph() -> Relation {
+    let edges: Vec<(Value, Value)> = (0..240u32)
+        .flat_map(|i| vec![(i % 31, (i * 7 + 1) % 31), ((i * 3) % 31, (i * 11 + 5) % 31)])
+        .collect();
+    Relation::from_pairs(Attr(0), Attr(1), &edges)
+}
+
+/// A service with one database registered per workload shape.
+fn serving(workers: usize, max_concurrent: usize) -> Arc<Service> {
+    let config = ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(workers), ..Default::default() },
+        max_concurrent,
+        ..Default::default()
+    };
+    let service = Arc::new(Service::new(config));
+    let g = graph();
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        service.register_database(shape_db_name(shape), q.instantiate(&g));
+    }
+    service
+}
+
+/// The acceptance workload: 6 client threads × 10 queries each over 3
+/// repeated shapes, validated byte-for-byte against sequential
+/// `Adj::execute` and required to exceed a 50% plan-cache hit rate.
+#[test]
+fn concurrent_mixed_workload_matches_single_shot_and_hits_cache() {
+    const THREADS: usize = 6;
+    const PER_THREAD: usize = 10;
+    let service = serving(4, 4);
+
+    // Ground truth: the one-shot library path, one fresh Adj per query.
+    let g = graph();
+    let truth: HashMap<String, Relation> = SHAPES
+        .iter()
+        .map(|&shape| {
+            let q = paper_query(shape);
+            let db = q.instantiate(&g);
+            let out = Adj::with_workers(4).execute(&q, &db).unwrap();
+            (shape_db_name(shape), out.result)
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let service = Arc::clone(&service);
+            let truth = &truth;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let shape = SHAPES[(t + i) % SHAPES.len()];
+                    let q = paper_query(shape);
+                    let out = service.execute(&shape_db_name(shape), &q).unwrap();
+                    let expected = &truth[&shape_db_name(shape)];
+                    // Byte-identical: align attribute order, then compare
+                    // the full normalized tuple sets.
+                    let aligned = out.result.permute(expected.schema().attrs()).unwrap();
+                    assert_eq!(
+                        &aligned, expected,
+                        "thread {t} query {i} ({shape:?}) diverged from Adj::execute"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    let total = (THREADS * PER_THREAD) as u64;
+    assert_eq!(stats.metrics.queries_ok, total);
+    assert_eq!(stats.metrics.queries_failed, 0);
+    assert_eq!(stats.metrics.queries_rejected, 0);
+    assert_eq!(stats.admission.admitted, total);
+    assert!(stats.admission.peak_running <= 4, "admission limit breached");
+
+    // Repeated shapes must reuse plans: ≥ 1 miss per shape is inevitable,
+    // racing threads may each miss once, but the steady state is hits.
+    assert!(stats.cache.hits > 0);
+    assert!(
+        stats.cache.hit_rate() > 0.5,
+        "hit rate {:.2} too low (hits={} misses={})",
+        stats.cache.hit_rate(),
+        stats.cache.hits,
+        stats.cache.misses
+    );
+
+    // Latency histograms saw every query.
+    assert_eq!(stats.metrics.total.count, total);
+    assert!(stats.metrics.total.mean_secs > 0.0);
+    assert!(stats.metrics.total.p99_secs >= stats.metrics.total.p50_secs);
+}
+
+/// The worker-pool front end serves the same workload with the same
+/// results.
+#[test]
+fn worker_pool_serves_mixed_workload() {
+    let service = serving(2, 2);
+    let pool = WorkerPool::new(Arc::clone(&service), 4);
+    let requests: Vec<QueryRequest> = (0..24)
+        .map(|i| {
+            let shape = SHAPES[i % SHAPES.len()];
+            QueryRequest::query(shape_db_name(shape), paper_query(shape))
+        })
+        .collect();
+    let results = pool.run_all(requests);
+    assert_eq!(results.len(), 24);
+    // All succeed, and equal shapes return equal results.
+    let mut by_shape: HashMap<String, usize> = HashMap::new();
+    for (i, r) in results.iter().enumerate() {
+        let out = r.as_ref().unwrap();
+        let shape = SHAPES[i % SHAPES.len()];
+        let len = out.result.len();
+        let prev = by_shape.entry(shape_db_name(shape)).or_insert(len);
+        assert_eq!(*prev, len, "query {i} cardinality diverged");
+    }
+    assert_eq!(service.metrics().queries_ok, 24);
+    assert!(service.cache_stats().hit_rate() > 0.5);
+}
+
+/// Text submissions and value submissions share one plan-cache entry.
+#[test]
+fn text_and_value_submissions_share_plans() {
+    let service = serving(2, 2);
+    let q1 = paper_query(PaperQuery::Q1);
+    let a = service.execute(&shape_db_name(PaperQuery::Q1), &q1).unwrap();
+    let b = service
+        .execute_text(
+            &shape_db_name(PaperQuery::Q1),
+            "anything(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)",
+        )
+        .unwrap();
+    assert!(!a.cache_hit);
+    assert!(b.cache_hit, "text form of Q1 must hit the value form's plan");
+    assert_eq!(a.result, b.result);
+}
+
+/// Admission rejects instead of OOMing: a tiny cluster memory limit turns
+/// into a per-query budget that an oversized query fails up front.
+#[test]
+fn admission_rejects_over_budget_queries() {
+    let config = ServiceConfig {
+        adj: AdjConfig {
+            cluster: ClusterConfig {
+                num_workers: 2,
+                memory_limit_bytes: Some(128),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        max_concurrent: 2,
+        ..Default::default()
+    };
+    let service = Service::new(config);
+    let q = paper_query(PaperQuery::Q1);
+    service.register_database("g", q.instantiate(&graph()));
+    let err = service.execute("g", &q).unwrap_err();
+    assert!(err.is_rejection(), "expected memory rejection, got: {err}");
+    let stats = service.stats();
+    assert_eq!(stats.metrics.queries_rejected, 1);
+    assert_eq!(stats.admission.rejected_memory, 1);
+    assert_eq!(stats.metrics.queries_ok, 0);
+}
+
+/// Load shedding under `AdmissionPolicy::Reject`: with one slot and no
+/// queue, saturating traffic must produce rejections while every accepted
+/// query still completes correctly.
+#[test]
+fn reject_policy_sheds_load_under_saturation() {
+    let config = ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+        max_concurrent: 1,
+        admission: AdmissionPolicy::Reject,
+        ..Default::default()
+    };
+    let service = Arc::new(Service::new(config));
+    let q = paper_query(PaperQuery::Q4);
+    service.register_database("g", q.instantiate(&graph()));
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let q = q.clone();
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut rejected = 0u64;
+                    for _ in 0..8 {
+                        match service.execute("g", &q) {
+                            Ok(_) => ok += 1,
+                            Err(e) if e.is_rejection() => rejected += 1,
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                    (ok, rejected)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ok, rejected) = h.join().unwrap();
+            served += ok;
+            shed += rejected;
+        }
+    });
+
+    assert_eq!(served + shed, 48);
+    assert!(served > 0, "something must get through");
+    let stats = service.stats();
+    assert_eq!(stats.metrics.queries_ok, served);
+    assert_eq!(stats.metrics.queries_rejected, shed);
+    assert_eq!(stats.admission.peak_running, 1, "Reject policy allows no overlap");
+}
