@@ -1,4 +1,4 @@
-//! The BigJoin-analog baseline (Ammar, McSherry, Salihoglu, Joglekar [8]):
+//! The BigJoin-analog baseline (Ammar, McSherry, Salihoglu, Joglekar \[8\]):
 //! worst-case-optimal join parallelized by *rounds over the attribute
 //! order*, with the partial-binding set shuffled between rounds.
 //!

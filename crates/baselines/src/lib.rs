@@ -6,14 +6,14 @@
 //!   distributed binary hash joins over a greedy left-deep plan; every round
 //!   re-shuffles both inputs on the join key. Fails on cyclic queries whose
 //!   intermediate results explode (the paper's missing bars in Fig. 12).
-//! * [`bigjoin::run_bigjoin`] — **BigJoin analog** (Ammar et al. [8]):
+//! * [`bigjoin::run_bigjoin`] — **BigJoin analog** (Ammar et al. \[8\]):
 //!   Leapfrog parallelized by rounds over the attribute order; the set of
 //!   partial bindings is re-shuffled between rounds, so complex queries pay
 //!   communication proportional to the intermediate-result size.
-//! * [`hcubej::run_hcubej`] — **HCubeJ** [11]: one-round HCube (original
+//! * [`hcubej::run_hcubej`] — **HCubeJ** \[11\]: one-round HCube (original
 //!   tuple-at-a-time *Push* implementation) + Leapfrog, communication-first
 //!   share optimization, attribute order selected over all `n!` orders.
-//! * [`hcubej::run_hcubej_cached`] — **HCubeJ + Cache** [28]: same, with the
+//! * [`hcubej::run_hcubej_cached`] — **HCubeJ + Cache** \[28\]: same, with the
 //!   capacity-bounded CacheTrieJoin variant of Leapfrog.
 //!
 //! All methods return the same [`BaselineReport`] so the Fig. 12 harness can

@@ -143,7 +143,7 @@ impl BenchService for Service {
             adj: adj_config(workers),
             strategy: Strategy::CoOptimize,
             max_concurrent: clients.max(2),
-            admission: AdmissionPolicy::Queue { max_waiting: clients * 4 },
+            admission: AdmissionPolicy::Queue { max_waiting: clients * 4, timeout: None },
             ..Default::default()
         })
     }

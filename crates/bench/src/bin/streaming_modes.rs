@@ -1,0 +1,134 @@
+//! Output-mode latency comparison: the same high-output pattern query
+//! executed under `Rows`, `Count`, `Limit(k)`, and `Exists` from one
+//! prepared plan, emitting `BENCH_streaming.json`. This is the artifact
+//! behind the streaming-API acceptance criterion: `Count` must beat `Rows`
+//! end to end (it enumerates the same bindings but never buffers, gathers,
+//! or normalizes a result relation), and `Limit`/`Exists` must beat both
+//! (their enumeration short-circuits).
+//!
+//! Environment:
+//! * `ADJ_SCALE`   — dataset scale (default 0.05, as the other binaries);
+//! * `ADJ_WORKERS` — simulated cluster width (default 4);
+//! * `ADJ_ITERS`   — timed iterations per mode (default 7; median reported);
+//! * `ADJ_LIMIT`   — the k of `Limit(k)` (default 100);
+//! * `ADJ_BENCH_OUT` — output path (default `BENCH_streaming.json`).
+
+use adj_bench::{adj_config, print_table, scale, workers};
+use adj_core::{Adj, OutputMode, Strategy};
+use adj_datagen::Dataset;
+use adj_query::{paper_query, PaperQuery};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let iters = env_usize("ADJ_ITERS", 7).max(1);
+    let limit_k = env_usize("ADJ_LIMIT", 100);
+    let out_path =
+        std::env::var("ADJ_BENCH_OUT").unwrap_or_else(|_| "BENCH_streaming.json".to_string());
+    let w = workers();
+
+    // Q7 (length-2 path) is the workload's output monster: |output| grows
+    // with Σ deg²(v), exactly where full materialization hurts most.
+    let query = paper_query(PaperQuery::Q7);
+    let graph = Dataset::WB.graph(scale());
+    let db = query.instantiate(&graph);
+    let adj = Adj::new(adj_config(w));
+    let plan = adj.plan(&query, &db, Strategy::CoOptimize).expect("planning");
+
+    let modes = [
+        ("rows", OutputMode::Rows),
+        ("count", OutputMode::Count),
+        ("limit", OutputMode::Limit(limit_k)),
+        ("exists", OutputMode::Exists),
+    ];
+
+    let mut medians = Vec::new();
+    let mut rows = Vec::new();
+    let mut output_tuples = 0u64;
+    let mut returned_by_mode = Vec::new();
+    for (label, mode) in modes {
+        // One warmup, then the timed iterations; report the median so one
+        // scheduler hiccup can't flip the comparison.
+        let _ = adj.execute_prepared(&plan, &db, mode).expect("warmup");
+        let mut secs: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let (out, _) = adj.execute_prepared(&plan, &db, mode).expect("bench run");
+                let dt = t0.elapsed().as_secs_f64();
+                if mode == OutputMode::Rows {
+                    output_tuples = out.rows().len() as u64;
+                }
+                dt
+            })
+            .collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = secs[secs.len() / 2];
+        medians.push((label, mode, median));
+        let (out, _) = adj.execute_prepared(&plan, &db, mode).expect("stats run");
+        returned_by_mode.push(out.tuples_returned());
+        rows.push(vec![
+            label.to_string(),
+            format!("{median:.6}"),
+            format!("{:.6}", secs[0]),
+            format!("{}", out.tuples_returned()),
+        ]);
+    }
+
+    print_table(
+        &format!("streaming modes, Q7 on WB (scale {}, {} workers, median of {iters})", scale(), w),
+        &["mode".into(), "median s".into(), "min s".into(), "tuples returned".into()],
+        &rows,
+    );
+
+    let rows_secs = medians.iter().find(|(l, ..)| *l == "rows").unwrap().2;
+    let count_secs = medians.iter().find(|(l, ..)| *l == "count").unwrap().2;
+    println!(
+        "\ncount/rows latency ratio: {:.3} ({} output tuples never gathered)",
+        count_secs / rows_secs,
+        output_tuples
+    );
+    assert!(
+        count_secs < rows_secs,
+        "acceptance: Count ({count_secs:.6}s) must beat Rows ({rows_secs:.6}s)"
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let mode_json: Vec<String> = medians
+        .iter()
+        .zip(&returned_by_mode)
+        .map(|((label, _, median), returned)| {
+            format!(
+                "    {{\"mode\": \"{label}\", \"median_secs\": {median:.6}, \
+                 \"tuples_returned\": {returned}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"streaming_modes\",\n",
+            "  \"query\": \"Q7\",\n",
+            "  \"dataset\": \"WB\",\n",
+            "  \"scale\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"iterations\": {},\n",
+            "  \"limit_k\": {},\n",
+            "  \"output_tuples\": {},\n",
+            "  \"count_over_rows_ratio\": {:.4},\n",
+            "  \"modes\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale(),
+        w,
+        iters,
+        limit_k,
+        output_tuples,
+        count_secs / rows_secs,
+        mode_json.join(",\n"),
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("wrote {out_path}");
+}

@@ -232,7 +232,7 @@ impl<'a> CostEstimator<'a> {
     }
 
     /// Attribute ordering heuristic inside a node: ascending `|val(A)|`
-    /// (most selective first), the rule [11] uses for its own order picks.
+    /// (most selective first), the rule \[11\] uses for its own order picks.
     pub fn order_attrs_by_selectivity(&self, attrs: &mut [Attr]) {
         attrs.sort_by(|a, b| {
             self.val_sizes[a.index()]

@@ -6,7 +6,10 @@ use crate::AdjConfig;
 use adj_cluster::Cluster;
 use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
 use adj_leapfrog::{JoinCounters, LeapfrogJoin};
-use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Value};
+use adj_relational::{
+    Attr, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation, Result,
+    RowBuffer, Schema, Value,
+};
 
 /// Plan-search strategy (the two columns of Tables II–IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,14 +55,32 @@ impl ExecutionReport {
     }
 }
 
-/// Executes a query plan on the cluster. Returns the gathered result and the
-/// cost breakdown (with `optimization_secs` left at 0 for the caller).
+/// Executes a query plan on the cluster, shaping the result by `mode`, and
+/// returns the output plus the cost breakdown (with `optimization_secs`
+/// left at 0 for the caller).
+///
+/// The mode governs what each worker ships back through the gather path:
+///
+/// * [`OutputMode::Rows`] — every worker buffers its result rows (under the
+///   `max_intermediate_tuples` budget) and the coordinator gathers them
+///   into one [`Relation`] — the original materialize-everything contract;
+/// * [`OutputMode::Count`] — workers stream into a [`CountSink`] and ship
+///   back **only their [`JoinCounters`]**; no result tuple is ever
+///   materialized or gathered, and the output is the summed
+///   `output_tuples` counter;
+/// * [`OutputMode::Limit`]`(n)` — each worker's Leapfrog enumeration
+///   short-circuits after `n` local rows; the coordinator concatenates and
+///   truncates to `n` (HCube assigns every output tuple to exactly one
+///   worker, so the concatenation is duplicate-free);
+/// * [`OutputMode::Exists`] — workers short-circuit at their first witness
+///   and ship back counters only.
 pub fn execute_plan(
     cluster: &Cluster,
     db: &Database,
     plan: &QueryPlan,
     config: &AdjConfig,
-) -> Result<(Relation, ExecutionReport)> {
+    mode: OutputMode,
+) -> Result<(QueryOutput, ExecutionReport)> {
     let mut report = ExecutionReport::default();
     let mut db_exec = db.clone();
 
@@ -100,26 +121,38 @@ pub fn execute_plan(
     let budget = config.max_intermediate_tuples;
     let order = &plan.order;
     let locals = &shuffled.locals;
-    let run = cluster.run(|w| {
+    let width = order.len();
+    // Per-worker payload: row data for the modes that return rows, `None`
+    // for `Count`/`Exists` — those gather counters only.
+    let run = cluster.run(|w| -> Result<(Option<Vec<Value>>, JoinCounters)> {
         let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
-        let join = match LeapfrogJoin::new(order, tries) {
-            Ok(j) => j,
-            Err(e) => return Err(e),
-        };
-        let mut rows: Vec<Value> = Vec::new();
-        let mut over = false;
-        let width = order.len();
-        let counters = join.run(|t| {
-            if rows.len() < budget.saturating_mul(width) {
-                rows.extend_from_slice(t);
-            } else {
-                over = true;
+        let join = LeapfrogJoin::new(order, tries)?;
+        match mode {
+            OutputMode::Rows | OutputMode::Limit(_) => {
+                let mut sink = RowBuffer::new(width).with_budget(budget);
+                if let OutputMode::Limit(n) = mode {
+                    sink = sink.with_limit(n);
+                }
+                let counters = join.join_into(&mut sink);
+                if sink.over_budget() {
+                    return Err(Error::BudgetExceeded {
+                        what: "join output tuples",
+                        limit: budget,
+                    });
+                }
+                Ok((Some(sink.into_flat()), counters))
             }
-        });
-        if over {
-            return Err(Error::BudgetExceeded { what: "join output tuples", limit: budget });
+            OutputMode::Count => {
+                let mut sink = CountSink::new();
+                let counters = join.join_into(&mut sink);
+                Ok((None, counters))
+            }
+            OutputMode::Exists => {
+                let mut sink = ExistsSink::new();
+                let counters = join.join_into(&mut sink);
+                Ok((None, counters))
+            }
         }
-        Ok((rows, counters))
     });
     report.computation_secs = run.makespan_secs;
 
@@ -127,14 +160,30 @@ pub fn execute_plan(
     let mut counters = JoinCounters::new(plan.order.len());
     for r in run.results {
         let (rows, c) = r?;
-        all_rows.extend_from_slice(&rows);
         counters.merge(&c);
+        if let Some(rows) = rows {
+            all_rows.extend_from_slice(&rows);
+        }
     }
-    report.output_tuples = counters.output_tuples;
+    let found_tuples = counters.output_tuples;
+    report.output_tuples = found_tuples;
     report.counters = counters;
-    let schema = Schema::new(plan.order.clone())?;
-    let result = Relation::from_flat(schema, all_rows)?;
-    Ok((result, report))
+    let output = match mode {
+        OutputMode::Rows => {
+            let schema = Schema::new(plan.order.clone())?;
+            QueryOutput::Rows(Relation::from_flat(schema, all_rows)?)
+        }
+        OutputMode::Limit(n) => {
+            // Each worker contributed at most n duplicate-free rows; the
+            // first n of the concatenation are an exact-size sample.
+            all_rows.truncate(n.saturating_mul(width));
+            let schema = Schema::new(plan.order.clone())?;
+            QueryOutput::Rows(Relation::from_flat(schema, all_rows)?)
+        }
+        OutputMode::Count => QueryOutput::Count(found_tuples),
+        OutputMode::Exists => QueryOutput::Exists(found_tuples > 0),
+    };
+    Ok((output, report))
 }
 
 /// Runs one HCube+Leapfrog round over the named relations and gathers the
@@ -234,11 +283,38 @@ mod tests {
         let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
         let cluster = Cluster::new(cfg.cluster.clone());
         let plan = optimize(&q, &db, &cfg, Strategy::CoOptimize).unwrap();
-        let (result, report) = execute_plan(&cluster, &db, &plan, &cfg).unwrap();
+        let (out, report) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Rows).unwrap();
+        let result = out.rows();
         let t = truth(&db, &q);
         assert_eq!(result.len(), t.len());
         assert_eq!(result.permute(t.schema().attrs()).unwrap(), t);
         assert_eq!(report.output_tuples as usize, t.len());
+    }
+
+    #[test]
+    fn q5_modes_agree_with_rows() {
+        let q = paper_query(PaperQuery::Q5);
+        let db = db_for(&q, 120, 29);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let plan = optimize(&q, &db, &cfg, Strategy::CoOptimize).unwrap();
+        let (rows, _) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Rows).unwrap();
+        let full = rows.rows();
+
+        let (count, crep) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Count).unwrap();
+        assert_eq!(count, QueryOutput::Count(full.len() as u64));
+        assert_eq!(crep.output_tuples as usize, full.len());
+
+        let (exists, _) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Exists).unwrap();
+        assert_eq!(exists, QueryOutput::Exists(!full.is_empty()));
+
+        let n = 5usize;
+        let (limited, _) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Limit(n)).unwrap();
+        let sample = limited.rows();
+        assert_eq!(sample.len(), n.min(full.len()));
+        for row in sample.rows() {
+            assert!(full.contains_row(row), "limit rows must be a subset of the full result");
+        }
     }
 
     #[test]
@@ -266,11 +342,11 @@ mod tests {
         if !adj_query::order::is_valid_order(&plan.tree, &plan.order) {
             plan.order = adj_query::order::valid_orders(&plan.tree)[0].clone();
         }
-        let (result, report) = execute_plan(&cluster, &db, &plan, &cfg).unwrap();
+        let (out, report) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Rows).unwrap();
         assert!(report.precompute_secs > 0.0);
         assert!(report.precompute_tuples > 0);
         let t = truth(&db, &q);
-        assert_eq!(result.len(), t.len());
+        assert_eq!(out.rows().len(), t.len());
     }
 
     #[test]
@@ -284,8 +360,11 @@ mod tests {
         };
         let cluster = Cluster::new(cfg.cluster.clone());
         let plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
-        let err = execute_plan(&cluster, &db, &plan, &cfg).unwrap_err();
+        let err = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Rows).unwrap_err();
         assert!(matches!(err, Error::BudgetExceeded { .. }));
+        // Count mode never buffers rows, so the same tiny cap passes.
+        let (out, _) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Count).unwrap();
+        assert!(matches!(out, QueryOutput::Count(_)));
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //! the lowest combined cost, using sampling-based cardinality estimates
 //! (`adj-sampling`).
 //!
-//! Entry point: [`Adj`] (configure once, [`Adj::execute`] per query), or the
-//! lower-level [`optimizer::optimize`] + [`executor::execute_plan`] pair.
+//! Entry point: [`Adj`] (configure once, [`Adj::execute`] per query, or
+//! [`Adj::execute_mode`] for `Count`/`Limit(n)`/`Exists` outputs that skip
+//! full materialization), or the lower-level [`optimizer::optimize`] +
+//! [`executor::execute_plan`] pair.
 
 pub mod cost;
 pub mod executor;
@@ -32,6 +34,9 @@ pub use executor::{execute_plan, ExecutionReport, Strategy};
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
 pub use yannakakis::{yannakakis, YannakakisReport};
+// The streaming-output vocabulary (defined in `adj-relational` so every
+// layer shares it) is part of this crate's public execution API.
+pub use adj_relational::{CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink};
 
 use adj_cluster::{Cluster, ClusterConfig};
 use adj_query::JoinQuery;
@@ -71,16 +76,31 @@ pub struct Adj {
     cluster: Arc<Cluster>,
 }
 
-/// Everything an ADJ run produces: the result, the chosen plan, and the
-/// cost breakdown (the row format of Tables II–IV).
+/// Everything an ADJ run produces: the output (shaped by the requested
+/// [`OutputMode`]), the chosen plan, and the cost breakdown (the row format
+/// of Tables II–IV).
 #[derive(Debug)]
 pub struct AdjOutcome {
-    /// The join result (gathered across workers).
-    pub result: Relation,
+    /// The query output: a gathered [`Relation`] in `Rows`/`Limit` modes, a
+    /// bare cardinality in `Count` mode, an emptiness bit in `Exists` mode.
+    /// (This replaces the pre-streaming `result: Relation` field.)
+    pub output: QueryOutput,
+    /// The requested output mode.
+    pub mode: OutputMode,
     /// The executed plan.
     pub plan: QueryPlan,
     /// Cost breakdown.
     pub report: ExecutionReport,
+}
+
+impl AdjOutcome {
+    /// The materialized result rows. Panics when the outcome was produced
+    /// in `Count`/`Exists` mode — the mechanical migration for call sites
+    /// of the old `outcome.result` field, all of which ran in what is now
+    /// [`OutputMode::Rows`].
+    pub fn rows(&self) -> &Relation {
+        self.output.rows()
+    }
 }
 
 impl Adj {
@@ -122,23 +142,47 @@ impl Adj {
     }
 
     /// Runs `query` over `db` with the co-optimization strategy (the paper's
-    /// ADJ proper): optimize → pre-compute → shuffle → join.
+    /// ADJ proper): optimize → pre-compute → shuffle → join, materializing
+    /// the full result ([`OutputMode::Rows`]).
     pub fn execute(&self, query: &JoinQuery, db: &Database) -> Result<AdjOutcome> {
         self.execute_with_strategy(query, db, Strategy::CoOptimize)
     }
 
+    /// Runs `query` with an explicit output mode: `Count`/`Exists` never
+    /// gather result tuples (workers ship counters only), `Limit(n)`
+    /// short-circuits each worker's enumeration after `n` rows.
+    pub fn execute_mode(
+        &self,
+        query: &JoinQuery,
+        db: &Database,
+        mode: OutputMode,
+    ) -> Result<AdjOutcome> {
+        self.execute_with(query, db, Strategy::CoOptimize, mode)
+    }
+
     /// Runs `query` with an explicit strategy ([`Strategy::CommFirst`] is
     /// the HCubeJ-style communication-first plan used as the paper's
-    /// baseline in Tables II–IV).
+    /// baseline in Tables II–IV), materializing the full result.
     pub fn execute_with_strategy(
         &self,
         query: &JoinQuery,
         db: &Database,
         strategy: Strategy,
     ) -> Result<AdjOutcome> {
+        self.execute_with(query, db, strategy, OutputMode::Rows)
+    }
+
+    /// The general form: explicit strategy *and* output mode.
+    pub fn execute_with(
+        &self,
+        query: &JoinQuery,
+        db: &Database,
+        strategy: Strategy,
+        mode: OutputMode,
+    ) -> Result<AdjOutcome> {
         let plan = self.plan(query, db, strategy)?;
-        let (result, report) = self.execute_prepared(&plan, db)?;
-        Ok(AdjOutcome { result, plan, report })
+        let (output, report) = self.execute_prepared(&plan, db, mode)?;
+        Ok(AdjOutcome { output, mode, plan, report })
     }
 
     /// Plan construction alone: optimize `query` over `db`'s statistics and
@@ -156,20 +200,22 @@ impl Adj {
     }
 
     /// Executes an already-constructed plan, borrowed — so a cached plan
-    /// can be re-executed any number of times without cloning it. The
-    /// returned report charges the plan's recorded optimization seconds, so
-    /// a first execution reproduces [`Adj::execute`] exactly; callers
-    /// re-executing a cached plan should zero `report.optimization_secs`
-    /// (as `adj-service` does on cache hits) since the search cost was
-    /// paid only once.
+    /// can be re-executed any number of times (and under any output mode:
+    /// plans are mode-independent) without cloning it. The returned report
+    /// charges the plan's recorded optimization seconds, so a first
+    /// execution reproduces [`Adj::execute`] exactly; callers re-executing
+    /// a cached plan should zero `report.optimization_secs` (as
+    /// `adj-service` does on cache hits) since the search cost was paid
+    /// only once.
     pub fn execute_prepared(
         &self,
         plan: &QueryPlan,
         db: &Database,
-    ) -> Result<(Relation, ExecutionReport)> {
-        let (result, mut report) = execute_plan(&self.cluster, db, plan, &self.config)?;
+        mode: OutputMode,
+    ) -> Result<(QueryOutput, ExecutionReport)> {
+        let (output, mut report) = execute_plan(&self.cluster, db, plan, &self.config, mode)?;
         report.optimization_secs = plan.optimization_secs;
-        Ok((result, report))
+        Ok((output, report))
     }
 }
 
@@ -201,8 +247,9 @@ mod tests {
             .unwrap()
             .join(db.get("R3").unwrap())
             .unwrap();
-        assert_eq!(out.result.len(), truth.len());
-        let back = out.result.permute(truth.schema().attrs()).unwrap();
+        assert_eq!(out.rows().len(), truth.len());
+        assert_eq!(out.mode, OutputMode::Rows);
+        let back = out.rows().permute(truth.schema().attrs()).unwrap();
         assert_eq!(back, truth);
     }
 
@@ -214,9 +261,23 @@ mod tests {
         let adj = Adj::with_workers(4);
         let co = adj.execute_with_strategy(&q, &db, Strategy::CoOptimize).unwrap();
         let cf = adj.execute_with_strategy(&q, &db, Strategy::CommFirst).unwrap();
-        assert_eq!(co.result.len(), cf.result.len(), "strategies must agree on the result");
-        let a = co.result.permute(cf.result.schema().attrs()).unwrap();
-        assert_eq!(a, cf.result);
+        assert_eq!(co.rows().len(), cf.rows().len(), "strategies must agree on the result");
+        let a = co.rows().permute(cf.rows().schema().attrs()).unwrap();
+        assert_eq!(a, cf.rows().clone());
+    }
+
+    #[test]
+    fn execute_mode_count_skips_gathering_rows() {
+        let q = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let db = q.instantiate(&g);
+        let adj = Adj::with_workers(4);
+        let full = adj.execute(&q, &db).unwrap();
+        let counted = adj.execute_mode(&q, &db, OutputMode::Count).unwrap();
+        assert_eq!(counted.output, QueryOutput::Count(full.rows().len() as u64));
+        assert_eq!(counted.output.tuples_returned(), 0, "count mode ships no tuples");
+        let exists = adj.execute_mode(&q, &db, OutputMode::Exists).unwrap();
+        assert_eq!(exists.output, QueryOutput::Exists(!full.rows().is_empty()));
     }
 
     #[test]

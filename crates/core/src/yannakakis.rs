@@ -1,5 +1,5 @@
 //! GHD-Yannakakis evaluation — the EmptyHeaded-style combination the paper's
-//! related-work section describes ([26], [27]): materialize the hypertree
+//! related-work section describes (\[26\], \[27\]): materialize the hypertree
 //! bags, then run Yannakakis' algorithm over the (acyclic) join tree of
 //! bags: a full semi-join reducer (upward + downward passes) followed by a
 //! bottom-up join whose intermediates never exceed `|output| · max|bag|`.
@@ -11,7 +11,7 @@
 //! plain HCubeJ.
 
 use adj_query::{GhdTree, JoinQuery};
-use adj_relational::{Database, Error, Relation, Result};
+use adj_relational::{Database, Error, OutputMode, QueryOutput, Relation, Result};
 
 /// Cost/diagnostic report of a Yannakakis run.
 #[derive(Debug, Clone, Default)]
@@ -22,15 +22,23 @@ pub struct YannakakisReport {
     pub reduced_tuples: u64,
 }
 
-/// Evaluates `query` over `db` by GHD-Yannakakis. `max_intermediate` bounds
-/// every materialized relation (bags and join intermediates).
+/// Evaluates `query` over `db` by GHD-Yannakakis, shaping the result by
+/// `mode`. `max_intermediate` bounds every materialized relation (bags and
+/// join intermediates).
+///
+/// Unlike [`execute_plan`](crate::execute_plan), Yannakakis' bottom-up join
+/// must materialize its tree intermediates regardless of mode — the mode
+/// only shapes what the *caller* receives (`Count`/`Exists` callers get no
+/// relation back; `Limit(n)` gets a truncated sample). It exists so the
+/// two evaluation paths expose one streaming contract.
 pub fn yannakakis(
     db: &Database,
     query: &JoinQuery,
     max_intermediate: usize,
-) -> Result<(Relation, YannakakisReport)> {
+    mode: OutputMode,
+) -> Result<(QueryOutput, YannakakisReport)> {
     let tree = GhdTree::decompose(&query.hypergraph(), 3);
-    yannakakis_with_tree(db, query, &tree, max_intermediate)
+    yannakakis_with_tree(db, query, &tree, max_intermediate, mode)
 }
 
 /// Same as [`yannakakis`], with a caller-provided hypertree.
@@ -39,7 +47,8 @@ pub fn yannakakis_with_tree(
     query: &JoinQuery,
     tree: &GhdTree,
     max_intermediate: usize,
-) -> Result<(Relation, YannakakisReport)> {
+    mode: OutputMode,
+) -> Result<(QueryOutput, YannakakisReport)> {
     let mut report = YannakakisReport::default();
 
     // Assign every atom to one covering node (edge-coverage guarantees one
@@ -109,7 +118,7 @@ pub fn yannakakis_with_tree(
             bags[v] = bags[v].join_budgeted(&child, max_intermediate)?;
         }
     }
-    Ok((bags.swap_remove(0), report))
+    Ok((QueryOutput::from_relation(bags.swap_remove(0), mode)?, report))
 }
 
 #[cfg(test)]
@@ -140,7 +149,8 @@ mod tests {
             let q = paper_query(pq);
             let db = db_for(&q, 150, 31);
             let expected = reference(&db, &q);
-            let (got, _) = yannakakis(&db, &q, usize::MAX).unwrap();
+            let (got, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Rows).unwrap();
+            let got = got.rows();
             assert_eq!(got.len(), expected.len(), "{pq:?}");
             assert_eq!(got.permute(expected.schema().attrs()).unwrap(), expected);
         }
@@ -152,10 +162,24 @@ mod tests {
             let q = paper_query(pq);
             let db = db_for(&q, 100, 23);
             let expected = reference(&db, &q);
-            let (got, report) = yannakakis(&db, &q, usize::MAX).unwrap();
-            assert_eq!(got.len(), expected.len(), "{pq:?}");
+            let (got, report) = yannakakis(&db, &q, usize::MAX, OutputMode::Rows).unwrap();
+            assert_eq!(got.rows().len(), expected.len(), "{pq:?}");
             assert!(report.bag_tuples > 0);
         }
+    }
+
+    #[test]
+    fn modes_agree_with_rows_output() {
+        let q = paper_query(PaperQuery::Q4);
+        let db = db_for(&q, 120, 23);
+        let (rows, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Rows).unwrap();
+        let full = rows.rows();
+        let (count, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Count).unwrap();
+        assert_eq!(count, QueryOutput::Count(full.len() as u64));
+        let (exists, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Exists).unwrap();
+        assert_eq!(exists, QueryOutput::Exists(!full.is_empty()));
+        let (limited, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Limit(3)).unwrap();
+        assert_eq!(limited.rows().len(), 3.min(full.len()));
     }
 
     #[test]
@@ -165,8 +189,8 @@ mod tests {
         let mut db = Database::new();
         db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (3, 9), (4, 9), (5, 9)]));
         db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &[(2, 7)]));
-        let (got, report) = yannakakis(&db, &q, usize::MAX).unwrap();
-        assert_eq!(got.len(), 1);
+        let (got, report) = yannakakis(&db, &q, usize::MAX, OutputMode::Rows).unwrap();
+        assert_eq!(got.rows().len(), 1);
         assert!(report.reduced_tuples >= 3, "dangling tuples must be reduced");
     }
 
@@ -174,7 +198,7 @@ mod tests {
     fn budget_trips_on_bag_blowup() {
         let q = paper_query(PaperQuery::Q5);
         let db = db_for(&q, 400, 13);
-        let err = yannakakis(&db, &q, 10).unwrap_err();
+        let err = yannakakis(&db, &q, 10, OutputMode::Rows).unwrap_err();
         assert!(matches!(err, Error::BudgetExceeded { .. }));
     }
 
@@ -185,7 +209,9 @@ mod tests {
         db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &[(1, 2)]));
         db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &[(9, 9)]));
         db.insert("R3", Relation::from_pairs(Attr(0), Attr(2), &[(1, 3)]));
-        let (got, _) = yannakakis(&db, &q, usize::MAX).unwrap();
-        assert!(got.is_empty());
+        let (got, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Rows).unwrap();
+        assert!(got.rows().is_empty());
+        let (none, _) = yannakakis(&db, &q, usize::MAX, OutputMode::Exists).unwrap();
+        assert_eq!(none, QueryOutput::Exists(false));
     }
 }

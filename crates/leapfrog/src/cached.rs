@@ -1,4 +1,4 @@
-//! CacheTrieJoin-style Leapfrog (the HCubeJ+Cache baseline, ref. [28]).
+//! CacheTrieJoin-style Leapfrog (the HCubeJ+Cache baseline, ref. \[28\]).
 //!
 //! The candidate set `val(t_i → A_{i+1})` depends only on the *relevant*
 //! prefix of the binding: the values of attributes that co-occur (in some

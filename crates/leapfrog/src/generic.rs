@@ -1,5 +1,5 @@
 //! Generic Join (NPRR) — the other worst-case-optimal join family the paper
-//! cites ([24], [25]). Included as an ablation against Leapfrog: instead of
+//! cites (\[24\], \[25\]). Included as an ablation against Leapfrog: instead of
 //! a k-way leapfrog intersection per level, Generic Join picks the
 //! *smallest* candidate run and probes the remaining relations for each of
 //! its values. Same worst-case guarantee, different constant factors —

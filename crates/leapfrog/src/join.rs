@@ -2,7 +2,7 @@
 
 use crate::counters::JoinCounters;
 use adj_relational::intersect::leapfrog_intersect;
-use adj_relational::{Attr, Error, Result, Trie, TrieCursor, Value};
+use adj_relational::{Attr, Error, FnSink, Result, RowSink, Trie, TrieCursor, Value};
 
 /// A multi-way join execution over tries.
 ///
@@ -68,14 +68,77 @@ impl<'a> LeapfrogJoin<'a> {
     /// Runs the join, invoking `emit` for every result tuple (values in
     /// `order`'s attribute order). Returns execution counters.
     pub fn run(&self, mut emit: impl FnMut(&[Value])) -> JoinCounters {
+        self.join_into(&mut FnSink(|t: &[Value]| emit(t)))
+    }
+
+    /// Runs the join, streaming every result tuple into `sink` (values in
+    /// `order`'s attribute order). The enumeration short-circuits as soon
+    /// as the sink saturates ([`RowSink::push`] returns `false` — e.g. a
+    /// `Limit(n)` buffer that is full, or an `Exists` probe that found its
+    /// witness), abandoning all remaining candidate bindings at every
+    /// level. Returns execution counters; `counters.output_tuples` counts
+    /// the tuples actually emitted, which on a short-circuited run is less
+    /// than the full result cardinality.
+    pub fn join_into(&self, sink: &mut dyn RowSink) -> JoinCounters {
         let mut counters = JoinCounters::new(self.levels());
-        if self.tries.iter().any(|t| t.tuples() == 0) {
+        if self.tries.iter().any(|t| t.tuples() == 0) || sink.saturated() {
             return counters;
         }
         let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
-        self.recurse(0, &mut cursors, &mut binding, &mut counters, &mut emit);
+        self.recurse_sink(0, &mut cursors, &mut binding, &mut counters, sink);
         counters
+    }
+
+    /// Sink-driven enumeration; returns `false` once the sink saturates so
+    /// every enclosing level stops iterating its candidates.
+    fn recurse_sink(
+        &self,
+        level: usize,
+        cursors: &mut [TrieCursor<'a>],
+        binding: &mut Vec<Value>,
+        counters: &mut JoinCounters,
+        sink: &mut dyn RowSink,
+    ) -> bool {
+        let ps = &self.participants[level];
+        let mut opened = 0usize;
+        let mut ok = true;
+        let mut keep_going = true;
+        for &p in ps {
+            if cursors[p].open() {
+                opened += 1;
+            } else {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
+            let mut vals: Vec<Value> = Vec::new();
+            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
+            counters.tuples_per_level[level] += vals.len() as u64;
+            let last = level + 1 == self.levels();
+            for v in vals {
+                for &p in ps {
+                    let hit = cursors[p].seek(v);
+                    debug_assert!(hit, "intersection value must exist in every run");
+                }
+                binding[level] = v;
+                keep_going = if last {
+                    counters.output_tuples += 1;
+                    sink.push(binding)
+                } else {
+                    self.recurse_sink(level + 1, cursors, binding, counters, sink)
+                };
+                if !keep_going {
+                    break;
+                }
+            }
+        }
+        for &p in ps.iter().take(opened) {
+            cursors[p].up();
+        }
+        keep_going
     }
 
     /// Runs the join but only counts results (skips emit overhead).
@@ -179,59 +242,19 @@ impl<'a> LeapfrogJoin<'a> {
             if self.levels() == 1 {
                 counters.output_tuples += 1;
             } else {
-                self.recurse(1, &mut cursors, &mut binding, &mut counters, &mut |_| {});
+                self.recurse_sink(
+                    1,
+                    &mut cursors,
+                    &mut binding,
+                    &mut counters,
+                    &mut FnSink(|_: &[Value]| {}),
+                );
             }
         }
         for &p in ps.iter().take(opened) {
             cursors[p].up();
         }
         (counters.output_tuples, counters)
-    }
-
-    fn recurse(
-        &self,
-        level: usize,
-        cursors: &mut [TrieCursor<'a>],
-        binding: &mut Vec<Value>,
-        counters: &mut JoinCounters,
-        emit: &mut impl FnMut(&[Value]),
-    ) {
-        let ps = &self.participants[level];
-        // Descend every participant into the children of its current node.
-        let mut opened = 0usize;
-        let mut ok = true;
-        for &p in ps {
-            if cursors[p].open() {
-                opened += 1;
-            } else {
-                ok = false;
-                break;
-            }
-        }
-        if ok {
-            // Intersect candidate runs (Algorithm 1 line 5).
-            let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
-            let mut vals: Vec<Value> = Vec::new();
-            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
-            counters.tuples_per_level[level] += vals.len() as u64;
-            let last = level + 1 == self.levels();
-            for v in vals {
-                for &p in ps {
-                    let hit = cursors[p].seek(v);
-                    debug_assert!(hit, "intersection value must exist in every run");
-                }
-                binding[level] = v;
-                if last {
-                    counters.output_tuples += 1;
-                    emit(binding);
-                } else {
-                    self.recurse(level + 1, cursors, binding, counters, emit);
-                }
-            }
-        }
-        for &p in ps.iter().take(opened) {
-            cursors[p].up();
-        }
     }
 }
 
@@ -381,6 +404,102 @@ mod tests {
         assert_eq!(sum, total);
         assert_eq!(join.count_with_first_value(1).0, 2); // both triangles start at a=1
         assert_eq!(join.count_with_first_value(99).0, 0);
+    }
+
+    /// Wraps a sink and counts how many rows the join actually emitted —
+    /// the probe the short-circuit tests assert on.
+    struct EmitProbe<S> {
+        inner: S,
+        emits: u64,
+    }
+
+    impl<S: RowSink> RowSink for EmitProbe<S> {
+        fn push(&mut self, row: &[Value]) -> bool {
+            self.emits += 1;
+            self.inner.push(row)
+        }
+        fn saturated(&self) -> bool {
+            self.inner.saturated()
+        }
+    }
+
+    #[test]
+    fn join_into_rows_matches_run() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut buf = adj_relational::RowBuffer::new(3);
+        let counters = join.join_into(&mut buf);
+        assert_eq!(counters.output_tuples, 2);
+        let rel = buf.into_relation(adj_relational::Schema::from_ids(&[0, 1, 2])).unwrap();
+        let mut via_run = Vec::new();
+        join.run(|t| via_run.push(t.to_vec()));
+        via_run.sort();
+        assert_eq!(rel.rows().map(|r| r.to_vec()).collect::<Vec<_>>(), via_run);
+    }
+
+    #[test]
+    fn exists_sink_short_circuits_enumeration() {
+        // A dense bipartite-ish graph with many triangles: Exists must stop
+        // after the first witness, emitting strictly fewer tuples than the
+        // full cardinality.
+        let edges: Vec<(Value, Value)> = (0..200u32)
+            .flat_map(|i| vec![(i % 23, (i * 7 + 1) % 23), (i % 23, (i * 11 + 5) % 23)])
+            .collect();
+        let r1 = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let r2 = Relation::from_pairs(Attr(1), Attr(2), &edges);
+        let r3 = Relation::from_pairs(Attr(0), Attr(2), &edges);
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (full, _) = join.count();
+        assert!(full > 1, "test graph must have many triangles (got {full})");
+
+        let mut probe = EmitProbe { inner: adj_relational::ExistsSink::new(), emits: 0 };
+        let counters = join.join_into(&mut probe);
+        assert!(probe.inner.found());
+        assert_eq!(probe.emits, 1, "exists stops at the first witness");
+        assert!(
+            counters.output_tuples < full,
+            "short-circuit must emit fewer than the full result ({} vs {full})",
+            counters.output_tuples
+        );
+    }
+
+    #[test]
+    fn limit_sink_short_circuits_at_n() {
+        let edges: Vec<(Value, Value)> = (0..200u32)
+            .flat_map(|i| vec![(i % 23, (i * 7 + 1) % 23), (i % 23, (i * 11 + 5) % 23)])
+            .collect();
+        let r1 = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let r2 = Relation::from_pairs(Attr(1), Attr(2), &edges);
+        let r3 = Relation::from_pairs(Attr(0), Attr(2), &edges);
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (full, _) = join.count();
+        let n = 3usize;
+        assert!(full as usize > n);
+
+        let mut probe =
+            EmitProbe { inner: adj_relational::RowBuffer::new(3).with_limit(n), emits: 0 };
+        join.join_into(&mut probe);
+        assert_eq!(probe.inner.len(), n);
+        assert_eq!(probe.emits, n as u64, "enumeration stops exactly at the limit");
+    }
+
+    #[test]
+    fn saturated_sink_skips_the_join_entirely() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut sink = adj_relational::ExistsSink::new();
+        sink.push(&[0, 0, 0]); // pre-saturate
+        let counters = join.join_into(&mut sink);
+        assert_eq!(counters.output_tuples, 0);
+        assert_eq!(counters.intersect_ops, 0);
     }
 
     #[test]

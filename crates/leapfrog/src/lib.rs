@@ -10,7 +10,7 @@
 //! Per-level extension counters ([`JoinCounters`]) feed the paper's Fig. 6
 //! (tail dominance), Fig. 8 (attribute-order pruning) and the β term of the
 //! cost model. [`cached::CachedJoin`] is the CacheTrieJoin-style variant the
-//! HCubeJ+Cache baseline uses (Kalinsky et al., cited as [28]).
+//! HCubeJ+Cache baseline uses (Kalinsky et al., cited as \[28\]).
 
 pub mod cached;
 pub mod counters;

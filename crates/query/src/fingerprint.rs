@@ -2,9 +2,9 @@
 //! cache.
 //!
 //! A fingerprint summarizes everything the ADJ optimizer consumes from a
-//! [`JoinQuery`](crate::JoinQuery) — and *only* that — so that two query
+//! [`JoinQuery`] — and *only* that — so that two query
 //! submissions with the same fingerprint (against the same database stats
-//! epoch) can safely share one optimized [`QueryPlan`]:
+//! epoch) can safely share one optimized `QueryPlan`:
 //!
 //! * **`plan_key`** hashes the atoms in declaration order: relation name +
 //!   the raw attribute ids of each atom's schema. The optimizer's output
@@ -27,6 +27,7 @@
 //! appear in service logs and benchmark artifacts.
 
 use crate::query::JoinQuery;
+use adj_relational::OutputMode;
 
 /// 64-bit FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -69,19 +70,32 @@ impl Default for Fnv1a {
     }
 }
 
-/// The canonical fingerprint of a [`JoinQuery`].
+/// The canonical fingerprint of a [`JoinQuery`] submission.
+///
+/// The fingerprint identifies a *submission* (structure **and** requested
+/// output mode), while its plan-relevant prefix — `plan_key` alone — keys
+/// the plan cache: ADJ plans are mode-independent (the mode only shapes
+/// what the executor's sinks keep), so a `COUNT` submission reuses the
+/// plan a `Rows` submission optimized, but their outcomes are distinct.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct QueryFingerprint {
     /// Hypergraph shape with first-occurrence attribute relabeling and
     /// relation names ignored (statistics/grouping key).
     pub shape: u64,
     /// Exact structural hash of the atom list (names + raw attribute ids),
-    /// the plan-interchangeability key.
+    /// the plan-interchangeability key. Mode-independent by design.
     pub plan_key: u64,
+    /// The requested output mode (not part of the plan cache key).
+    pub mode: OutputMode,
 }
 
 impl QueryFingerprint {
-    /// Computes the fingerprint of `query`.
+    /// Computes the fingerprint of `query` submitted in the given mode.
+    pub fn of_mode(query: &JoinQuery, mode: OutputMode) -> Self {
+        QueryFingerprint { mode, ..QueryFingerprint::of(query) }
+    }
+
+    /// Computes the fingerprint of `query` (in [`OutputMode::Rows`]).
     pub fn of(query: &JoinQuery) -> Self {
         // plan_key: atoms in declaration order, name + raw attr ids.
         let mut pk = Fnv1a::new();
@@ -116,12 +130,14 @@ impl QueryFingerprint {
             }
         }
 
-        QueryFingerprint { shape: sh.finish(), plan_key: pk.finish() }
+        QueryFingerprint { shape: sh.finish(), plan_key: pk.finish(), mode: OutputMode::Rows }
     }
 
-    /// Folds a database identity and statistics epoch into the plan key,
-    /// producing the final cache key: a plan is reusable only for the same
-    /// structural query against the same database state.
+    /// Folds a database identity and statistics epoch into the
+    /// plan-relevant prefix (`plan_key` — deliberately *not* the mode),
+    /// producing the final cache key: a plan is reusable for the same
+    /// structural query against the same database state, under any output
+    /// mode.
     pub fn cache_key(&self, db_tag: u64, stats_epoch: u64) -> u64 {
         let mut h = Fnv1a::new();
         h.write_u64(self.plan_key);
@@ -188,6 +204,24 @@ mod tests {
             QueryFingerprint::of(&b).plan_key,
             "atom order feeds the optimizer, so it must split the key"
         );
+    }
+
+    #[test]
+    fn modes_split_fingerprints_but_share_cache_keys() {
+        let q = paper_query(PaperQuery::Q1);
+        let rows = QueryFingerprint::of(&q);
+        let count = QueryFingerprint::of_mode(&q, OutputMode::Count);
+        let limited = QueryFingerprint::of_mode(&q, OutputMode::Limit(10));
+        assert_eq!(rows.mode, OutputMode::Rows);
+        assert_ne!(rows, count, "mode distinguishes submissions");
+        assert_ne!(limited, QueryFingerprint::of_mode(&q, OutputMode::Limit(11)));
+        assert_eq!(rows.plan_key, count.plan_key, "plans are mode-independent");
+        assert_eq!(
+            rows.cache_key(1, 0),
+            count.cache_key(1, 0),
+            "all modes share one plan-cache entry"
+        );
+        assert_eq!(rows.cache_key(1, 0), limited.cache_key(1, 0));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   hypertree `T` that bounds ADJ's candidate-relation search space;
 //! * [`order`] — attribute orders: full enumeration (what HCubeJ searches)
 //!   and hypertree-*valid* orders (ADJ's pruned space, Sec. III-A);
-//! * [`fingerprint`] — canonical query fingerprints, the plan-cache key of
+//! * [`fingerprint`](mod@fingerprint) — canonical query fingerprints, the plan-cache key of
 //!   `adj-service`.
 
 pub mod fingerprint;
@@ -28,6 +28,6 @@ pub use fingerprint::{fingerprint, QueryFingerprint};
 pub use ghd::{GhdNode, GhdTree};
 pub use hypergraph::Hypergraph;
 pub use order::{valid_orders, AttrOrder};
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_query_with_mode};
 pub use query::{Atom, JoinQuery};
 pub use workload::{paper_query, PaperQuery};

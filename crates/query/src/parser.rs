@@ -10,12 +10,127 @@
 //! accepted) and, when present, must bind exactly the attributes appearing
 //! in the body — natural joins have no projection (the paper's future-work
 //! section leaves select/project/join to later work).
+//!
+//! Query text may carry an **output-mode prefix** ([`parse_query_with_mode`])
+//! selecting what the execution returns instead of the full result:
+//!
+//! ```text
+//! COUNT(Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c))   -- cardinality only
+//! EXISTS(R1(a,b), R2(b,c))                        -- emptiness only
+//! LIMIT 10 (R1(a,b), R2(b,c))                     -- at most 10 rows
+//! ```
+//!
+//! Keywords are case-insensitive and the parentheses are optional
+//! (`COUNT R1(a,b), R2(b,c)` works). A parenthesized *atom* that merely
+//! shares a keyword's spelling (`COUNT(a,b)` as a relation named `COUNT`)
+//! is still parsed as an atom: the prefix form requires a nested `(` inside
+//! the wrapping parentheses.
 
 use crate::query::{Atom, JoinQuery};
-use adj_relational::{Attr, Error, Result, Schema};
+use adj_relational::{Attr, Error, OutputMode, Result, Schema};
+
+/// Parses a query string with an optional output-mode prefix
+/// (`COUNT(…)`, `EXISTS(…)`, `LIMIT k (…)`; see the module docs). Returns
+/// the query, the interned attribute names, and the requested
+/// [`OutputMode`] (`Rows` when no prefix is present).
+pub fn parse_query_with_mode(input: &str) -> Result<(JoinQuery, Vec<String>, OutputMode)> {
+    let (mode, body) = strip_mode_prefix(input)?;
+    let (query, names) = parse_query(body)?;
+    Ok((query, names, mode))
+}
+
+/// Recognizes an output-mode prefix and returns the remaining query text.
+fn strip_mode_prefix(input: &str) -> Result<(OutputMode, &str)> {
+    let s = input.trim();
+    for (kw, mode) in [("COUNT", OutputMode::Count), ("EXISTS", OutputMode::Exists)] {
+        if let Some(rest) = keyword_prefix(s, kw) {
+            if let Some(body) = unwrap_mode_body(rest) {
+                return Ok((mode, body));
+            }
+        }
+    }
+    if let Some(rest) = keyword_prefix(s, "LIMIT") {
+        // `LIMIT(a,b)` is an atom of a relation named LIMIT (mirroring the
+        // COUNT/EXISTS fallback); only `LIMIT <k> …` is the mode prefix.
+        if rest.starts_with('(') {
+            return Ok((OutputMode::Rows, s));
+        }
+        let rest = rest.trim_start();
+        let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+        if digits > 0 {
+            let n: usize =
+                rest[..digits].parse().map_err(|_| parse_err("LIMIT count out of range", rest))?;
+            let body = unwrap_mode_body(&rest[digits..])
+                .ok_or_else(|| parse_err("LIMIT needs a query after the count", rest))?;
+            return Ok((OutputMode::Limit(n), body));
+        }
+        return Err(parse_err("LIMIT needs a tuple count", rest));
+    }
+    Ok((OutputMode::Rows, s))
+}
+
+/// `keyword_prefix("COUNT(…)", "COUNT")` → the text after the keyword,
+/// provided the keyword is delimited (next char is `(`, whitespace, or
+/// end) so relation names like `COUNTRY` never match. Comparison is on
+/// raw bytes: a successful ASCII-case-insensitive match proves the
+/// boundary at `kw.len()` is a char boundary, so arbitrary (multibyte)
+/// query text can never panic here.
+fn keyword_prefix<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    if s.len() < kw.len() || !s.as_bytes()[..kw.len()].eq_ignore_ascii_case(kw.as_bytes()) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    match rest.chars().next() {
+        None | Some('(') => Some(rest),
+        Some(c) if c.is_whitespace() => Some(rest),
+        _ => None,
+    }
+}
+
+/// Unwraps the `(…)` around a mode prefix's query body, if present. To
+/// stay unambiguous with a plain *atom* named like a keyword
+/// (`COUNT(a,b)`), the wrapped form counts only when the inside holds a
+/// nested `(` — i.e. at least one atom of its own. Returns `None` when no
+/// body remains at all.
+fn unwrap_mode_body(rest: &str) -> Option<&str> {
+    let rest = rest.trim();
+    if rest.is_empty() {
+        return None;
+    }
+    if rest.starts_with('(') {
+        // Only a paren that wraps the *entire* remainder (balanced to the
+        // last char) and holds a nested atom is a mode wrapper; anything
+        // else (`(a,b)` attribute lists, unbalanced text) falls back to
+        // the plain parser under the keyword-named relation reading.
+        let inner = wrapping_parens(rest)?;
+        return inner.contains('(').then(|| inner.trim());
+    }
+    Some(rest)
+}
+
+/// If `s`'s leading `(` matches a `)` at its very end, the text between;
+/// `None` when the leading paren closes earlier or never.
+fn wrapping_parens(s: &str) -> Option<&str> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return (i == s.len() - 1).then(|| &s[1..i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
 
 /// Parses a query string into a [`JoinQuery`]. Returns the query and the
-/// interned attribute names (index = attribute id).
+/// interned attribute names (index = attribute id). Mode prefixes are
+/// *not* recognized here — use [`parse_query_with_mode`] for text that may
+/// carry `COUNT`/`LIMIT`/`EXISTS`.
 pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
     let (name, body) = match input.split_once(":-") {
         Some((head, body)) => {
@@ -151,6 +266,79 @@ mod tests {
         assert!(parse_query("Q(z) :- R1(a,b)").is_err());
         // full head fine
         assert!(parse_query("Q(a,b) :- R1(a,b)").is_ok());
+    }
+
+    #[test]
+    fn mode_prefixes_parse() {
+        let (q, _, m) =
+            parse_query_with_mode("COUNT(Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c))").unwrap();
+        assert_eq!(m, OutputMode::Count);
+        assert_eq!(q.atoms.len(), 3);
+
+        let (_, _, m) = parse_query_with_mode("exists R1(a,b), R2(b,c)").unwrap();
+        assert_eq!(m, OutputMode::Exists);
+
+        let (_, _, m) = parse_query_with_mode("LIMIT 10 (R1(a,b), R2(b,c))").unwrap();
+        assert_eq!(m, OutputMode::Limit(10));
+        let (_, _, m) = parse_query_with_mode("limit 3 R1(a,b)").unwrap();
+        assert_eq!(m, OutputMode::Limit(3));
+
+        // no prefix → Rows, and the query is unchanged
+        let (q, names, m) = parse_query_with_mode("Q(a,b) :- R1(a,b)").unwrap();
+        assert_eq!(m, OutputMode::Rows);
+        assert_eq!((q.atoms.len(), names.len()), (1, 2));
+    }
+
+    #[test]
+    fn mode_prefixes_spell_equivalent_queries() {
+        let (plain, _) = parse_query("R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        for text in [
+            "COUNT(R1(a,b), R2(b,c), R3(a,c))",
+            "COUNT R1(a,b), R2(b,c), R3(a,c)",
+            "EXISTS(R1(a,b), R2(b,c), R3(a,c))",
+            "LIMIT 5 (R1(a,b), R2(b,c), R3(a,c))",
+        ] {
+            let (q, _, _) = parse_query_with_mode(text).unwrap();
+            assert_eq!(q.hypergraph(), plain.hypergraph(), "{text}");
+        }
+    }
+
+    #[test]
+    fn keyword_named_relations_stay_atoms() {
+        // `COUNT(a,b)` is a relation named COUNT, not a mode prefix.
+        let (q, _, m) = parse_query_with_mode("COUNT(a,b), R2(b,c)").unwrap();
+        assert_eq!(m, OutputMode::Rows);
+        assert_eq!(q.atoms[0].name, "COUNT");
+        // ...same for LIMIT...
+        let (q, _, m) = parse_query_with_mode("LIMIT(a,b), R2(b,c)").unwrap();
+        assert_eq!(m, OutputMode::Rows);
+        assert_eq!(q.atoms[0].name, "LIMIT");
+        // ...and names merely *starting* with a keyword never match.
+        let (q, _, m) = parse_query_with_mode("EXISTSX(a,b)").unwrap();
+        assert_eq!(m, OutputMode::Rows);
+        assert_eq!(q.atoms[0].name, "EXISTSX");
+    }
+
+    #[test]
+    fn multibyte_text_never_panics() {
+        // Regression: keyword matching must never slice inside a multibyte
+        // char. Unicode relation names parse exactly as before (no mode
+        // prefix), and unparseable unicode text is an error, not a panic
+        // in a serving thread.
+        for text in ["ΩΩΩ(a,b)", "cØunt(a,b)", "LIMITΩ(a,b)", "Ω(a,b)"] {
+            let (q, _, m) = parse_query_with_mode(text).unwrap();
+            assert_eq!(m, OutputMode::Rows, "{text}");
+            assert_eq!(q.atoms.len(), 1, "{text}");
+        }
+        assert!(parse_query_with_mode("ΩΩΩΩΩ").is_err(), "no atom, but no panic either");
+    }
+
+    #[test]
+    fn malformed_mode_prefixes_error() {
+        assert!(parse_query_with_mode("LIMIT R1(a,b)").is_err(), "missing count");
+        assert!(parse_query_with_mode("LIMIT 99999999999999999999 R1(a,b)").is_err());
+        assert!(parse_query_with_mode("COUNT").is_err(), "no query after prefix");
+        assert!(parse_query_with_mode("COUNT(R1(a,b)").is_err(), "unbalanced wrapper");
     }
 
     #[test]

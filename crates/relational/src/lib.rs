@@ -15,7 +15,10 @@
 //!   implementation that pre-builds tries per block (Sec. V);
 //! * [`Database`] — a named collection of relations;
 //! * intersection kernels ([`intersect`]) shared by Leapfrog and by the
-//!   sampling estimator's `val(A)` computation (Sec. IV).
+//!   sampling estimator's `val(A)` computation (Sec. IV);
+//! * the streaming-output vocabulary ([`output`]): [`OutputMode`],
+//!   [`QueryOutput`], and the [`RowSink`] trait execution layers stream
+//!   result rows into instead of materializing everything.
 //!
 //! Everything is deterministic: relations normalize to sorted-dedup form so
 //! that two equal relations are byte-identical, which the test-suite and the
@@ -25,12 +28,14 @@ pub mod database;
 pub mod error;
 pub mod hash;
 pub mod intersect;
+pub mod output;
 pub mod relation;
 pub mod schema;
 pub mod trie;
 
 pub use database::Database;
 pub use error::{Error, Result};
+pub use output::{CountSink, ExistsSink, FnSink, OutputMode, QueryOutput, RowBuffer, RowSink};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
 pub use trie::{Trie, TrieCursor};

@@ -25,6 +25,7 @@
 use crate::ServiceError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Policy for arrivals beyond the concurrency limit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,11 @@ pub enum AdmissionPolicy {
     Queue {
         /// Maximum number of queries waiting for a slot.
         max_waiting: usize,
+        /// Longest a caller may wait for a slot before being shed with
+        /// [`ServiceError::QueueTimeout`]; `None` waits indefinitely. A
+        /// saturated service with a timeout can never park callers
+        /// forever.
+        timeout: Option<Duration>,
     },
     /// Never wait: reject as soon as all execution slots are busy.
     Reject,
@@ -49,6 +55,8 @@ pub struct AdmissionStats {
     /// Queries rejected because their memory estimate exceeded the
     /// per-query budget.
     pub rejected_memory: u64,
+    /// Queries shed because they waited out the queue timeout.
+    pub timed_out: u64,
     /// Queries currently executing.
     pub running: usize,
     /// Queries currently waiting for a slot.
@@ -77,6 +85,7 @@ pub struct AdmissionController {
     admitted: AtomicU64,
     rejected_capacity: AtomicU64,
     rejected_memory: AtomicU64,
+    timed_out: AtomicU64,
 }
 
 impl AdmissionController {
@@ -91,6 +100,7 @@ impl AdmissionController {
             admitted: AtomicU64::new(0),
             rejected_capacity: AtomicU64::new(0),
             rejected_memory: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
         }
     }
 
@@ -99,13 +109,14 @@ impl AdmissionController {
         self.max_concurrent
     }
 
-    /// Requests an execution slot, waiting if the policy allows it.
+    /// Requests an execution slot, waiting if the policy allows it (up to
+    /// the queue timeout, when one is configured).
     pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServiceError> {
         let mut occ = self.occupancy.lock().expect("admission lock poisoned");
         if occ.running >= self.max_concurrent {
-            let max_waiting = match self.policy {
-                AdmissionPolicy::Reject => 0,
-                AdmissionPolicy::Queue { max_waiting } => max_waiting,
+            let (max_waiting, timeout) = match self.policy {
+                AdmissionPolicy::Reject => (0, None),
+                AdmissionPolicy::Queue { max_waiting, timeout } => (max_waiting, timeout),
             };
             if occ.waiting >= max_waiting {
                 self.rejected_capacity.fetch_add(1, Ordering::Relaxed);
@@ -116,8 +127,24 @@ impl AdmissionController {
             }
             occ.waiting += 1;
             occ.peak_waiting = occ.peak_waiting.max(occ.waiting);
+            let deadline = timeout.map(|t| (t, Instant::now() + t));
             while occ.running >= self.max_concurrent {
-                occ = self.freed.wait(occ).expect("admission lock poisoned");
+                occ = match deadline {
+                    None => self.freed.wait(occ).expect("admission lock poisoned"),
+                    Some((configured, deadline)) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            occ.waiting -= 1;
+                            self.timed_out.fetch_add(1, Ordering::Relaxed);
+                            return Err(ServiceError::QueueTimeout { timeout: configured });
+                        }
+                        let (occ, _timed_out) = self
+                            .freed
+                            .wait_timeout(occ, deadline - now)
+                            .expect("admission lock poisoned");
+                        occ
+                    }
+                };
             }
             occ.waiting -= 1;
         }
@@ -140,6 +167,7 @@ impl AdmissionController {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected_capacity: self.rejected_capacity.load(Ordering::Relaxed),
             rejected_memory: self.rejected_memory.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
             running: occ.running,
             waiting: occ.waiting,
             peak_running: occ.peak_running,
@@ -192,7 +220,10 @@ mod tests {
 
     #[test]
     fn queue_policy_blocks_then_proceeds() {
-        let c = Arc::new(AdmissionController::new(1, AdmissionPolicy::Queue { max_waiting: 4 }));
+        let c = Arc::new(AdmissionController::new(
+            1,
+            AdmissionPolicy::Queue { max_waiting: 4, timeout: None },
+        ));
         let order = Arc::new(AtomicUsize::new(0));
         let permit = c.admit().unwrap();
         let t = {
@@ -218,8 +249,49 @@ mod tests {
     }
 
     #[test]
+    fn queue_timeout_sheds_the_waiter() {
+        let timeout = Duration::from_millis(20);
+        let c = AdmissionController::new(
+            1,
+            AdmissionPolicy::Queue { max_waiting: 4, timeout: Some(timeout) },
+        );
+        let _held = c.admit().unwrap();
+        let t0 = Instant::now();
+        let err = c.admit().unwrap_err();
+        assert!(matches!(err, ServiceError::QueueTimeout { .. }), "{err}");
+        assert!(err.is_rejection());
+        assert!(t0.elapsed() >= timeout, "must actually wait the timeout out");
+        let s = c.stats();
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.waiting, 0, "a shed waiter must leave the queue");
+        assert_eq!(s.admitted, 1);
+    }
+
+    #[test]
+    fn queue_timeout_admits_when_slot_frees_in_time() {
+        let c = Arc::new(AdmissionController::new(
+            1,
+            AdmissionPolicy::Queue { max_waiting: 4, timeout: Some(Duration::from_secs(30)) },
+        ));
+        let permit = c.admit().unwrap();
+        let waiter = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.admit().map(drop))
+        };
+        while c.stats().waiting == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(permit);
+        waiter.join().unwrap().expect("slot freed well before the timeout");
+        assert_eq!(c.stats().timed_out, 0);
+    }
+
+    #[test]
     fn queue_overflow_rejects() {
-        let c = Arc::new(AdmissionController::new(1, AdmissionPolicy::Queue { max_waiting: 1 }));
+        let c = Arc::new(AdmissionController::new(
+            1,
+            AdmissionPolicy::Queue { max_waiting: 1, timeout: None },
+        ));
         let permit = c.admit().unwrap();
         let waiter = {
             let c = Arc::clone(&c);
@@ -237,7 +309,10 @@ mod tests {
 
     #[test]
     fn concurrency_never_exceeds_limit() {
-        let c = Arc::new(AdmissionController::new(3, AdmissionPolicy::Queue { max_waiting: 64 }));
+        let c = Arc::new(AdmissionController::new(
+            3,
+            AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
+        ));
         let in_flight = Arc::new(AtomicUsize::new(0));
         let peak = Arc::new(AtomicUsize::new(0));
         std::thread::scope(|s| {

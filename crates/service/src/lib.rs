@@ -8,9 +8,13 @@
 //!
 //! * [`Service`] — the front door. Databases are registered under names;
 //!   queries arrive as [`JoinQuery`](adj_query::JoinQuery) values or as
-//!   query text (parsed by `adj_query::parser`), and run on one shared
+//!   query text (parsed by `adj_query::parser`), carry an
+//!   [`OutputMode`](adj_relational::OutputMode) (`Rows`, `Count`,
+//!   `Limit(n)`, `Exists` — text queries spell it as a `COUNT(…)` /
+//!   `LIMIT k (…)` / `EXISTS(…)` prefix), and run on one shared
 //!   [`Cluster`](adj_cluster::Cluster) handle instead of a fresh build per
-//!   call.
+//!   call. Non-`Rows` modes never gather the full result: `Count`/`Exists`
+//!   ship per-worker counters only.
 //! * [`PlanCache`](cache::PlanCache) — an LRU cache of optimized plans
 //!   keyed by the canonical
 //!   [`QueryFingerprint`](adj_query::QueryFingerprint) plus the target
@@ -27,7 +31,7 @@
 //!   [`ExecutionReport`](adj_core::ExecutionReport) breakdown:
 //!   optimization / pre-compute / communication / computation), cheaply
 //!   snapshotable for benches, tests, and dashboards.
-//! * [`WorkerPool`](pool::WorkerPool) — a fixed thread pool that drains a
+//! * [`WorkerPool`] — a fixed thread pool that drains a
 //!   submission queue through the service, for callers that want fire-and-
 //!   wait handles rather than blocking their own threads.
 //!
@@ -50,8 +54,13 @@
 //! let second = service.execute("toy", &q).unwrap();
 //! assert!(!first.cache_hit);
 //! assert!(second.cache_hit); // same shape, same epoch → plan reused
-//! assert_eq!(first.result, second.result);
-//! assert_eq!(first.result.len(), 1); // the 0-1-2 triangle
+//! assert_eq!(first.rows(), second.rows());
+//! assert_eq!(first.rows().len(), 1); // the 0-1-2 triangle
+//!
+//! // Output modes reuse the same cached plan but skip materialization:
+//! let counted = service.execute_text("toy", "COUNT(R1(a,b), R2(b,c), R3(a,c))").unwrap();
+//! assert!(counted.cache_hit);
+//! assert_eq!(counted.output.count(), Some(1));
 //! ```
 
 pub mod admission;
@@ -62,11 +71,12 @@ pub mod service;
 
 pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use cache::PlanCacheStats;
-pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
 pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
 pub use service::{Service, ServiceOutcome, ServiceStats};
 
 use adj_core::{AdjConfig, Strategy};
+use std::time::Duration;
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -91,7 +101,7 @@ impl Default for ServiceConfig {
             strategy: Strategy::CoOptimize,
             plan_cache_capacity: 128,
             max_concurrent: 4,
-            admission: AdmissionPolicy::Queue { max_waiting: 64 },
+            admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
         }
     }
 }
@@ -118,6 +128,14 @@ pub enum ServiceError {
         /// The per-query budget it exceeded.
         budget_bytes: usize,
     },
+    /// Admission control: the query waited the full
+    /// [`AdmissionPolicy::Queue`] `timeout` without an execution slot
+    /// freeing up — a saturated service sheds the caller instead of
+    /// parking it forever.
+    QueueTimeout {
+        /// The configured timeout that elapsed.
+        timeout: Duration,
+    },
     /// Parsing, planning, or execution failed in the underlying library.
     Exec(adj_relational::Error),
     /// The worker pool was shut down before the job completed.
@@ -136,6 +154,9 @@ impl std::fmt::Display for ServiceError {
                 "admission rejected: query needs ~{estimated_bytes} B, \
                  per-query budget is {budget_bytes} B"
             ),
+            ServiceError::QueueTimeout { timeout } => {
+                write!(f, "admission queue wait exceeded {timeout:?}")
+            }
             ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
             ServiceError::ShutDown => write!(f, "worker pool shut down"),
         }
@@ -161,6 +182,11 @@ impl ServiceError {
     /// Whether the error is an admission-control rejection (as opposed to a
     /// lookup, parse, or execution failure).
     pub fn is_rejection(&self) -> bool {
-        matches!(self, ServiceError::RejectedCapacity { .. } | ServiceError::RejectedMemory { .. })
+        matches!(
+            self,
+            ServiceError::RejectedCapacity { .. }
+                | ServiceError::RejectedMemory { .. }
+                | ServiceError::QueueTimeout { .. }
+        )
     }
 }

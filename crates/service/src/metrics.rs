@@ -15,6 +15,7 @@
 //! trade-off for fixed-memory concurrent histograms (cf. Prometheus/HDR).
 
 use adj_core::ExecutionReport;
+use adj_relational::OutputMode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two buckets (1 µs … ~2.3 h).
@@ -100,13 +101,38 @@ pub struct HistogramSnapshot {
     pub max_secs: f64,
 }
 
+/// Per-[`OutputMode`] served-query counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModeCounts {
+    /// Queries served in `Rows` mode.
+    pub rows: u64,
+    /// Queries served in `Count` mode.
+    pub count: u64,
+    /// Queries served in `Limit(n)` mode (any `n`).
+    pub limit: u64,
+    /// Queries served in `Exists` mode.
+    pub exists: u64,
+}
+
+impl ModeCounts {
+    /// Sum over all modes (equals `queries_ok`).
+    pub fn total(&self) -> u64 {
+        self.rows + self.count + self.limit + self.exists
+    }
+}
+
 /// The service-wide metrics registry.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
     queries_ok: AtomicU64,
     queries_failed: AtomicU64,
     queries_rejected: AtomicU64,
+    queries_rows: AtomicU64,
+    queries_count: AtomicU64,
+    queries_limit: AtomicU64,
+    queries_exists: AtomicU64,
     output_tuples: AtomicU64,
+    output_tuples_returned: AtomicU64,
     comm_tuples: AtomicU64,
     precompute_tuples: AtomicU64,
     /// End-to-end service-side latency (admission wait included).
@@ -129,9 +155,28 @@ impl ServiceMetrics {
         ServiceMetrics::default()
     }
 
-    /// Records one successfully served query.
-    pub fn record_success(&self, report: &ExecutionReport, queue_secs: f64, total_secs: f64) {
+    /// Records one successfully served query: its cost report, the output
+    /// mode it ran under, and how many tuples were actually shipped back
+    /// to the caller (0 in `Count`/`Exists` modes — the
+    /// `output_tuples_returned` gauge is how a dashboard sees streaming
+    /// modes saving result-transfer volume).
+    pub fn record_success(
+        &self,
+        report: &ExecutionReport,
+        mode: OutputMode,
+        tuples_returned: u64,
+        queue_secs: f64,
+        total_secs: f64,
+    ) {
         self.queries_ok.fetch_add(1, Ordering::Relaxed);
+        let by_mode = match mode {
+            OutputMode::Rows => &self.queries_rows,
+            OutputMode::Count => &self.queries_count,
+            OutputMode::Limit(_) => &self.queries_limit,
+            OutputMode::Exists => &self.queries_exists,
+        };
+        by_mode.fetch_add(1, Ordering::Relaxed);
+        self.output_tuples_returned.fetch_add(tuples_returned, Ordering::Relaxed);
         self.output_tuples.fetch_add(report.output_tuples, Ordering::Relaxed);
         self.comm_tuples.fetch_add(report.comm_tuples, Ordering::Relaxed);
         self.precompute_tuples.fetch_add(report.precompute_tuples, Ordering::Relaxed);
@@ -159,7 +204,14 @@ impl ServiceMetrics {
             queries_ok: self.queries_ok.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
             queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
+            by_mode: ModeCounts {
+                rows: self.queries_rows.load(Ordering::Relaxed),
+                count: self.queries_count.load(Ordering::Relaxed),
+                limit: self.queries_limit.load(Ordering::Relaxed),
+                exists: self.queries_exists.load(Ordering::Relaxed),
+            },
             output_tuples: self.output_tuples.load(Ordering::Relaxed),
+            output_tuples_returned: self.output_tuples_returned.load(Ordering::Relaxed),
             comm_tuples: self.comm_tuples.load(Ordering::Relaxed),
             precompute_tuples: self.precompute_tuples.load(Ordering::Relaxed),
             total: self.total.snapshot(),
@@ -181,8 +233,16 @@ pub struct MetricsSnapshot {
     pub queries_failed: u64,
     /// Queries rejected by admission control.
     pub queries_rejected: u64,
-    /// Total result tuples produced.
+    /// Served queries broken down by output mode.
+    pub by_mode: ModeCounts,
+    /// Total result tuples the joins *found* (full cardinalities in
+    /// `Rows`/`Count` modes; short-circuited tallies under `Limit`/
+    /// `Exists`).
     pub output_tuples: u64,
+    /// Total result tuples actually *returned* to callers — the gauge that
+    /// shows `Count`/`Exists` (0 per query) and `Limit(n)` (≤ n per query)
+    /// saving result-transfer volume.
+    pub output_tuples_returned: u64,
     /// Total tuple copies moved by final shuffles.
     pub comm_tuples: u64,
     /// Total tuple copies moved while pre-computing.
@@ -255,16 +315,33 @@ mod tests {
             computation_secs: 0.003,
             ..Default::default()
         };
-        m.record_success(&r, 0.0005, 0.01);
+        m.record_success(&r, OutputMode::Rows, 7, 0.0005, 0.01);
         m.record_failure();
         m.record_rejection();
         let s = m.snapshot();
         assert_eq!((s.queries_ok, s.queries_failed, s.queries_rejected), (1, 1, 1));
         assert_eq!(s.output_tuples, 7);
+        assert_eq!(s.output_tuples_returned, 7);
         assert_eq!(s.comm_tuples, 100);
         assert_eq!(s.total.count, 1);
         assert_eq!(s.optimization.count, 1);
         assert!(s.total.max_secs > 0.009);
+    }
+
+    #[test]
+    fn per_mode_counters_and_returned_gauge() {
+        let m = ServiceMetrics::new();
+        let r = ExecutionReport { output_tuples: 10, ..Default::default() };
+        m.record_success(&r, OutputMode::Rows, 10, 0.0, 0.001);
+        m.record_success(&r, OutputMode::Count, 0, 0.0, 0.001);
+        m.record_success(&r, OutputMode::Count, 0, 0.0, 0.001);
+        m.record_success(&r, OutputMode::Limit(3), 3, 0.0, 0.001);
+        m.record_success(&r, OutputMode::Exists, 0, 0.0, 0.001);
+        let s = m.snapshot();
+        assert_eq!(s.by_mode, ModeCounts { rows: 1, count: 2, limit: 1, exists: 1 });
+        assert_eq!(s.by_mode.total(), s.queries_ok);
+        assert_eq!(s.output_tuples, 50, "joins found 10 tuples every time");
+        assert_eq!(s.output_tuples_returned, 13, "but only rows/limit shipped any");
     }
 
     #[test]
@@ -276,7 +353,7 @@ mod tests {
                 s.spawn(move || {
                     let r = ExecutionReport::default();
                     for _ in 0..250 {
-                        m.record_success(&r, 0.0001, 0.0002);
+                        m.record_success(&r, OutputMode::Rows, 0, 0.0001, 0.0002);
                     }
                 });
             }

@@ -5,9 +5,10 @@
 //! execution. Callers that want *handles* instead — submit now, collect
 //! later, let a bounded set of threads do the carrying — wrap the service
 //! in a [`WorkerPool`]. The pool adds no second admission layer: its
-//! threads go through the same [`AdmissionController`]
-//! (crate::admission::AdmissionController) as direct callers, so
-//! `threads > max_concurrent` simply keeps the admission queue warm.
+//! threads go through the same
+//! [`AdmissionController`](crate::admission::AdmissionController) as
+//! direct callers, so `threads > max_concurrent` simply keeps the
+//! admission queue warm.
 //!
 //! Plumbing: one `mpsc` channel feeds jobs to the workers (receiver shared
 //! behind a mutex — the standard-library channel is single-consumer);
@@ -17,6 +18,7 @@
 use crate::service::{Service, ServiceOutcome};
 use crate::ServiceError;
 use adj_query::JoinQuery;
+use adj_relational::OutputMode;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -37,17 +39,29 @@ pub struct QueryRequest {
     pub database: String,
     /// The query.
     pub query: QueryInput,
+    /// Output mode. `None` means the default: [`OutputMode::Rows`] for
+    /// built queries, the text's own `COUNT(…)`/`LIMIT k (…)`/`EXISTS(…)`
+    /// prefix (or `Rows` without one) for textual queries. `Some(mode)`
+    /// forces `mode`, overriding any prefix in the text.
+    pub mode: Option<OutputMode>,
 }
 
 impl QueryRequest {
-    /// A request from query text.
+    /// A request from query text (any mode prefix in the text applies).
     pub fn text(database: impl Into<String>, text: impl Into<String>) -> Self {
-        QueryRequest { database: database.into(), query: QueryInput::Text(text.into()) }
+        QueryRequest { database: database.into(), query: QueryInput::Text(text.into()), mode: None }
     }
 
-    /// A request from a built query.
+    /// A request from a built query (served in [`OutputMode::Rows`]).
     pub fn query(database: impl Into<String>, query: JoinQuery) -> Self {
-        QueryRequest { database: database.into(), query: QueryInput::Query(query) }
+        QueryRequest { database: database.into(), query: QueryInput::Query(query), mode: None }
+    }
+
+    /// Forces an output mode, overriding the default (and any mode prefix
+    /// a textual query carries).
+    pub fn with_mode(mut self, mode: OutputMode) -> Self {
+        self.mode = Some(mode);
+        self
     }
 }
 
@@ -141,9 +155,22 @@ impl WorkerPool {
 }
 
 fn run_one(service: &Service, request: &QueryRequest) -> Result<ServiceOutcome, ServiceError> {
-    match &request.query {
-        QueryInput::Text(text) => service.execute_text(&request.database, text),
-        QueryInput::Query(query) => service.execute(&request.database, query),
+    match (&request.query, request.mode) {
+        (QueryInput::Text(text), None) => service.execute_text(&request.database, text),
+        (QueryInput::Text(text), Some(mode)) => {
+            // Parse through the same path as execute_text (so the text may
+            // still carry a prefix), then force the requested mode.
+            match adj_query::parse_query_with_mode(text) {
+                Ok((query, _, _)) => service.execute_mode(&request.database, &query, mode),
+                Err(e) => {
+                    service.note_parse_failure();
+                    Err(e.into())
+                }
+            }
+        }
+        (QueryInput::Query(query), mode) => {
+            service.execute_mode(&request.database, query, mode.unwrap_or(OutputMode::Rows))
+        }
     }
 }
 
@@ -190,7 +217,7 @@ mod tests {
         let pool = WorkerPool::new(service(), 2);
         let h = pool.submit(QueryRequest::query("g", paper_query(PaperQuery::Q1)));
         let out = h.wait().unwrap();
-        assert!(!out.result.is_empty());
+        assert!(!out.rows().is_empty());
         assert_eq!(pool.threads(), 2);
     }
 
@@ -207,9 +234,38 @@ mod tests {
         assert_eq!(results.len(), 4);
         let a = results[0].as_ref().unwrap();
         let b = results[1].as_ref().unwrap();
-        assert_eq!(a.result, b.result);
+        assert_eq!(a.rows(), b.rows());
         assert!(results[2].is_err());
         assert!(matches!(results[3].as_ref().unwrap_err(), ServiceError::UnknownDatabase(_)));
+    }
+
+    #[test]
+    fn mode_requests_flow_through_the_pool() {
+        let pool = WorkerPool::new(service(), 2);
+        let full = pool
+            .submit(QueryRequest::query("g", paper_query(PaperQuery::Q1)))
+            .wait()
+            .unwrap()
+            .rows()
+            .len() as u64;
+        // Built query with a forced mode.
+        let counted = pool
+            .submit(
+                QueryRequest::query("g", paper_query(PaperQuery::Q1)).with_mode(OutputMode::Count),
+            )
+            .wait()
+            .unwrap();
+        assert_eq!(counted.output, adj_relational::QueryOutput::Count(full));
+        // Text query whose mode rides in the text itself.
+        let text = "COUNT(Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c))";
+        let from_text = pool.submit(QueryRequest::text("g", text)).wait().unwrap();
+        assert_eq!(from_text.output, adj_relational::QueryOutput::Count(full));
+        // A forced mode overrides the text prefix.
+        let overridden = pool
+            .submit(QueryRequest::text("g", text).with_mode(OutputMode::Exists))
+            .wait()
+            .unwrap();
+        assert_eq!(overridden.output, adj_relational::QueryOutput::Exists(full > 0));
     }
 
     #[test]
@@ -219,7 +275,7 @@ mod tests {
             .submit(QueryRequest::query("g", paper_query(PaperQuery::Q1)))
             .wait()
             .unwrap()
-            .result
+            .rows()
             .len();
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -230,7 +286,7 @@ mod tests {
                             .submit(QueryRequest::query("g", paper_query(PaperQuery::Q1)))
                             .wait()
                             .unwrap();
-                        assert_eq!(out.result.len(), expected);
+                        assert_eq!(out.rows().len(), expected);
                     }
                 });
             }

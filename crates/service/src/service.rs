@@ -8,8 +8,8 @@ use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, QueryPlan};
 use adj_query::fingerprint::Fnv1a;
-use adj_query::{parse_query, JoinQuery, QueryFingerprint};
-use adj_relational::{Database, Relation};
+use adj_query::{parse_query_with_mode, JoinQuery, QueryFingerprint};
+use adj_relational::{Database, OutputMode, QueryOutput, Relation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -31,15 +31,20 @@ struct DbEntry {
 /// One served query's outcome.
 #[derive(Debug)]
 pub struct ServiceOutcome {
-    /// The join result (gathered across workers).
-    pub result: Relation,
+    /// The query output, shaped by the requested [`OutputMode`]: a
+    /// gathered relation in `Rows`/`Limit` modes, a bare cardinality for
+    /// `Count`, an emptiness bit for `Exists`. (This replaces the
+    /// pre-streaming `result: Relation` field.)
+    pub output: QueryOutput,
+    /// The output mode the query ran under.
+    pub mode: OutputMode,
     /// The per-phase cost breakdown. `optimization_secs` is 0 on cache
     /// hits — the search cost was paid by the miss that populated the
     /// entry.
     pub report: ExecutionReport,
-    /// The executed plan (shared with the cache).
+    /// The executed plan (shared with the cache, and across output modes).
     pub plan: Arc<QueryPlan>,
-    /// The query's canonical fingerprint.
+    /// The submission's canonical fingerprint (structure + mode).
     pub fingerprint: QueryFingerprint,
     /// Whether the plan came from the cache.
     pub cache_hit: bool,
@@ -47,6 +52,15 @@ pub struct ServiceOutcome {
     pub queue_secs: f64,
     /// End-to-end service-side seconds (queue wait + plan + execution).
     pub total_secs: f64,
+}
+
+impl ServiceOutcome {
+    /// The materialized result rows. Panics for `Count`/`Exists` outcomes
+    /// — the mechanical migration for call sites of the old `result`
+    /// field, all of which ran in what is now [`OutputMode::Rows`].
+    pub fn rows(&self) -> &Relation {
+        self.output.rows()
+    }
 }
 
 /// A combined point-in-time view of every service statistic.
@@ -164,13 +178,28 @@ impl Service {
         names
     }
 
-    /// Serves one parsed query against the named database. Blocks while
-    /// admission queues it (under [`AdmissionPolicy::Queue`]); returns a
+    /// Serves one parsed query against the named database, materializing
+    /// the full result ([`OutputMode::Rows`]). Blocks while admission
+    /// queues it (under
+    /// [`AdmissionPolicy::Queue`](crate::AdmissionPolicy)); returns a
     /// rejection error when admission turns it away.
     pub fn execute(
         &self,
         db_name: &str,
         query: &JoinQuery,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        self.execute_mode(db_name, query, OutputMode::Rows)
+    }
+
+    /// Serves one parsed query under an explicit output mode. All modes of
+    /// a query share one cached plan (plans are mode-independent); their
+    /// outcomes are distinct. `Count`/`Exists` never gather result tuples
+    /// from the workers.
+    pub fn execute_mode(
+        &self,
+        db_name: &str,
+        query: &JoinQuery,
+        mode: OutputMode,
     ) -> Result<ServiceOutcome, ServiceError> {
         let t_start = Instant::now();
         let entry = match self.lookup(db_name) {
@@ -206,8 +235,10 @@ impl Service {
         };
         let queue_secs = t_queue.elapsed().as_secs_f64();
 
-        // Plan: cached, or optimized now and published.
-        let fingerprint = QueryFingerprint::of(query);
+        // Plan: cached, or optimized now and published. The cache key uses
+        // the fingerprint's plan-relevant prefix only, so every output
+        // mode of a query shape shares one entry.
+        let fingerprint = QueryFingerprint::of_mode(query, mode);
         let key = fingerprint.cache_key(entry.tag, entry.epoch);
         let (plan, cache_hit) = match self.cache.get(key) {
             Some(plan) => (plan, true),
@@ -226,7 +257,7 @@ impl Service {
 
         // Execute on the shared cluster (borrowing the cached plan — no
         // per-query plan clone on the hot path).
-        let (result, mut report) = match self.adj.execute_prepared(&plan, &entry.db) {
+        let (output, mut report) = match self.adj.execute_prepared(&plan, &entry.db, mode) {
             Ok(o) => o,
             Err(e) => {
                 self.metrics.record_failure();
@@ -240,21 +271,46 @@ impl Service {
             report.optimization_secs = 0.0;
         }
         let total_secs = t_start.elapsed().as_secs_f64();
-        self.metrics.record_success(&report, queue_secs, total_secs);
-        Ok(ServiceOutcome { result, report, plan, fingerprint, cache_hit, queue_secs, total_secs })
+        self.metrics.record_success(
+            &report,
+            mode,
+            output.tuples_returned(),
+            queue_secs,
+            total_secs,
+        );
+        Ok(ServiceOutcome {
+            output,
+            mode,
+            report,
+            plan,
+            fingerprint,
+            cache_hit,
+            queue_secs,
+            total_secs,
+        })
     }
 
     /// Serves a textual query (`"Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)"`,
-    /// head optional) against the named database.
+    /// head optional) against the named database. The text may carry an
+    /// output-mode prefix — `COUNT(…)`, `LIMIT k (…)`, `EXISTS(…)` — which
+    /// selects the [`OutputMode`] exactly as
+    /// [`Service::execute_mode`] would.
     pub fn execute_text(&self, db_name: &str, text: &str) -> Result<ServiceOutcome, ServiceError> {
-        let (query, _attr_names) = match parse_query(text) {
+        let (query, _attr_names, mode) = match parse_query_with_mode(text) {
             Ok(parsed) => parsed,
             Err(e) => {
                 self.metrics.record_failure();
                 return Err(e.into());
             }
         };
-        self.execute(db_name, &query)
+        self.execute_mode(db_name, &query, mode)
+    }
+
+    /// Records a parse failure discovered outside [`Service::execute_text`]
+    /// (the worker pool's mode-override path parses on its own) so every
+    /// failed submission is visible in the metrics.
+    pub(crate) fn note_parse_failure(&self) {
+        self.metrics.record_failure();
     }
 
     /// Plan-cache counters.
@@ -341,9 +397,9 @@ mod tests {
         service.register_database("g", db.clone());
         let served = service.execute("g", &q).unwrap();
         let solo = Adj::with_workers(2).execute(&q, &db).unwrap();
-        assert_eq!(served.result.len(), solo.result.len());
-        let aligned = served.result.permute(solo.result.schema().attrs()).unwrap();
-        assert_eq!(aligned, solo.result);
+        assert_eq!(served.rows().len(), solo.rows().len());
+        let aligned = served.rows().permute(solo.rows().schema().attrs()).unwrap();
+        assert_eq!(&aligned, solo.rows());
     }
 
     #[test]
@@ -357,7 +413,7 @@ mod tests {
         let hit = service.execute("g", &q).unwrap();
         assert!(hit.cache_hit);
         assert_eq!(hit.report.optimization_secs, 0.0);
-        assert_eq!(hit.result, miss.result);
+        assert_eq!(hit.rows(), miss.rows());
         let stats = service.cache_stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
     }
@@ -377,9 +433,68 @@ mod tests {
         assert!(e2 > e1);
         let second = service.execute("g", &q).unwrap();
         assert!(!second.cache_hit, "epoch change must force a re-plan");
-        assert_ne!(first.result.len(), second.result.len());
+        assert_ne!(first.rows().len(), second.rows().len());
         let on_h = service.execute("h", &q4).unwrap();
         assert!(on_h.cache_hit, "invalidation must be scoped to the re-registered database");
+    }
+
+    #[test]
+    fn modes_share_one_cached_plan_but_not_outcomes() {
+        let q = paper_query(PaperQuery::Q4);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(120, 31)));
+
+        let rows = service.execute("g", &q).unwrap();
+        assert!(!rows.cache_hit);
+        let full = rows.rows().len() as u64;
+
+        let count = service.execute_mode("g", &q, OutputMode::Count).unwrap();
+        assert!(count.cache_hit, "count mode must reuse the Rows-mode plan");
+        assert_eq!(count.output, QueryOutput::Count(full));
+        assert_eq!(count.mode, OutputMode::Count);
+        assert_ne!(count.fingerprint, rows.fingerprint, "outcomes are mode-distinct");
+        assert_eq!(count.fingerprint.plan_key, rows.fingerprint.plan_key);
+        assert!(Arc::ptr_eq(&count.plan, &rows.plan), "literally one shared plan");
+
+        let exists = service.execute_mode("g", &q, OutputMode::Exists).unwrap();
+        assert!(exists.cache_hit);
+        assert_eq!(exists.output, QueryOutput::Exists(full > 0));
+
+        let limited = service.execute_mode("g", &q, OutputMode::Limit(4)).unwrap();
+        assert!(limited.cache_hit);
+        assert_eq!(limited.rows().len() as u64, 4.min(full));
+
+        let m = service.metrics();
+        assert_eq!(m.by_mode.rows, 1);
+        assert_eq!(m.by_mode.count, 1);
+        assert_eq!(m.by_mode.exists, 1);
+        assert_eq!(m.by_mode.limit, 1);
+        assert_eq!(
+            m.output_tuples_returned,
+            full + 4.min(full),
+            "only rows/limit ship tuples back"
+        );
+        assert_eq!(service.cache_stats().misses, 1, "one optimization served four modes");
+    }
+
+    #[test]
+    fn text_mode_prefixes_reach_the_executor() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(150, 41)));
+        let full = service.execute("g", &q).unwrap().rows().len() as u64;
+
+        let counted =
+            service.execute_text("g", "COUNT(Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c))").unwrap();
+        assert_eq!(counted.mode, OutputMode::Count);
+        assert_eq!(counted.output, QueryOutput::Count(full));
+        assert!(counted.cache_hit, "text COUNT shares the value-form plan");
+
+        let witness = service.execute_text("g", "EXISTS(R1(a,b), R2(b,c), R3(a,c))").unwrap();
+        assert_eq!(witness.output, QueryOutput::Exists(full > 0));
+
+        let sample = service.execute_text("g", "LIMIT 2 (R1(a,b), R2(b,c), R3(a,c))").unwrap();
+        assert_eq!(sample.rows().len() as u64, 2.min(full));
     }
 
     #[test]
@@ -405,7 +520,7 @@ mod tests {
         assert!(!a.cache_hit);
         assert!(b.cache_hit, "renamed variables are the same canonical query");
         assert_eq!(a.fingerprint, b.fingerprint);
-        assert_eq!(a.result, b.result);
+        assert_eq!(a.rows(), b.rows());
         // malformed text is an Exec error, not a panic
         assert!(service.execute_text("g", "R1(a,").is_err());
     }

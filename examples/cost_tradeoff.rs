@@ -31,7 +31,7 @@ fn main() {
                         r.precompute_secs,
                         r.communication_secs,
                         r.computation_secs,
-                        out.result.len(),
+                        out.rows().len(),
                         if out.plan.has_precompute() {
                             format!(", pre-computed bags: {:?}", out.plan.precompute)
                         } else {

@@ -70,7 +70,7 @@ fn main() {
         let out = adj.execute_with_strategy(&query, &db, strategy).unwrap();
         println!(
             "{label:>16}: {} results, total {:.4}s (pre {:.4}s, comm {:.4}s, comp {:.4}s)",
-            out.result.len(),
+            out.rows().len(),
             out.report.total_secs(),
             out.report.precompute_secs,
             out.report.communication_secs,

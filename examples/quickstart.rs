@@ -22,7 +22,7 @@ fn main() {
     let adj = Adj::with_workers(4);
     let out = adj.execute(&query, &db).expect("in-budget run");
 
-    println!("\nresult: {} triangles", out.result.len());
+    println!("\nresult: {} triangles", out.rows().len());
     println!(
         "plan:   order {:?}, {} pre-computed bag(s)",
         out.plan.order,
@@ -40,8 +40,8 @@ fn main() {
     println!("  total:         {:>8.4}s", out.report.total_secs());
 
     // 4. Show a few results (columns follow the plan's attribute order).
-    println!("\nfirst results, columns {}:", out.result.schema());
-    for row in out.result.rows().take(5) {
+    println!("\nfirst results, columns {}:", out.rows().schema());
+    for row in out.rows().rows().take(5) {
         println!("  triangle {row:?}");
     }
 }

@@ -28,11 +28,18 @@ fn main() {
 
     // 3. A mixed repeated-shape workload through the pool: 48 queries, 6
     //    submitter threads' worth of handles drained by 6 pool workers.
+    //    Every fourth query only wants the cardinality — `with_mode` keeps
+    //    it on the same cached plan but ships zero result tuples back.
     let pool = WorkerPool::new(Arc::clone(&service), 6);
     let requests: Vec<QueryRequest> = (0..48)
         .map(|i| {
             let shape = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7][i % 3];
-            QueryRequest::query(format!("{shape:?}"), paper_query(shape))
+            let req = QueryRequest::query(format!("{shape:?}"), paper_query(shape));
+            if i % 4 == 3 {
+                req.with_mode(OutputMode::Count)
+            } else {
+                req
+            }
         })
         .collect();
     let t0 = std::time::Instant::now();
@@ -46,7 +53,8 @@ fn main() {
             .find(|(i, _)| [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7][i % 3] == shape)
             .and_then(|(_, r)| r.as_ref().ok())
             .expect("every query succeeds");
-        println!("{label}: {} result tuples", out.result.len());
+        // `count()` reads the cardinality whatever the outcome's mode.
+        println!("{label}: {} result tuples", out.output.count().unwrap());
     }
 
     // 4. What serving bought us, straight from the registry.
@@ -72,5 +80,12 @@ fn main() {
         stats.metrics.optimization.mean_secs,
         stats.metrics.communication.mean_secs,
         stats.metrics.computation.mean_secs
+    );
+    println!(
+        "modes:      {} rows + {} count; {} tuples found, {} returned",
+        stats.metrics.by_mode.rows,
+        stats.metrics.by_mode.count,
+        stats.metrics.output_tuples,
+        stats.metrics.output_tuples_returned
     );
 }

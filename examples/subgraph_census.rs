@@ -26,7 +26,7 @@ fn main() {
             Ok(out) => println!(
                 "{:<6} {:>14} {:>10.3} {:>12} {:>10}",
                 pq.name(),
-                out.result.len(),
+                out.rows().len(),
                 out.report.total_secs(),
                 out.report.comm_tuples,
                 out.plan.precompute.len(),

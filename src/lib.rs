@@ -14,14 +14,14 @@
 //!
 //! | module (re-export) | crate | contents |
 //! |---|---|---|
-//! | [`relational`] | `adj-relational` | relations, schemas, tries, intersections |
+//! | [`relational`] | `adj-relational` | relations, schemas, tries, intersections, output modes & row sinks |
 //! | [`query`] | `adj-query` | join queries, hypergraphs, GHD/fhw, attribute orders, Q1–Q11 |
 //! | [`cluster`] | `adj-cluster` | the simulated shared-nothing cluster |
 //! | [`hcube`] | `adj-hcube` | HCube share optimizer + Push/Pull/Merge shuffles |
 //! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
 //! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
-//! | [`service`] | `adj-service` | concurrent query service: plan cache, admission control, metrics |
+//! | [`service`] | `adj-service` | concurrent query service: plan cache, admission control, metrics, output modes |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
 //! | [`datagen`] | `adj-datagen` | seeded stand-ins for the Table I datasets |
 //!
@@ -37,9 +37,27 @@
 //!
 //! let adj = Adj::with_workers(4);
 //! let out = adj.execute(&query, &db).unwrap();
-//! println!("{} triangles in {:.3}s", out.result.len(), out.report.total_secs());
-//! # assert!(out.result.len() > 0);
+//! println!("{} triangles in {:.3}s", out.rows().len(), out.report.total_secs());
+//! # assert!(out.rows().len() > 0);
+//!
+//! // Only need the number? Count mode never gathers a single tuple:
+//! let n = adj.execute_mode(&query, &db, OutputMode::Count).unwrap();
+//! assert_eq!(n.output, QueryOutput::Count(out.rows().len() as u64));
 //! ```
+//!
+//! ## Output modes
+//!
+//! Every execution entry point — [`Adj::execute_mode`](prelude::Adj::execute_mode),
+//! `execute_plan`/`yannakakis` in [`core`], `Service::execute_mode` and
+//! text queries prefixed `COUNT(…)` / `LIMIT k (…)` / `EXISTS(…)` in
+//! [`service`] — accepts an [`OutputMode`](prelude::OutputMode) choosing
+//! what comes back: the full relation (`Rows`), the cardinality alone
+//! (`Count` — per-worker counters, nothing materialized or gathered), a
+//! bounded sample (`Limit(n)` — Leapfrog short-circuits at `n` rows per
+//! worker), or bare emptiness (`Exists` — stops at the first witness).
+//! Results arrive as a [`QueryOutput`](prelude::QueryOutput); the old
+//! `outcome.result` field is now `outcome.output`, with `outcome.rows()`
+//! as the drop-in accessor for `Rows`-mode call sites.
 
 pub use adj_baselines as baselines;
 pub use adj_cluster as cluster;
@@ -57,8 +75,13 @@ pub mod prelude {
     pub use adj_cluster::{Cluster, ClusterConfig};
     pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, Strategy};
     pub use adj_datagen::Dataset;
-    pub use adj_query::{paper_query, parse_query, Atom, JoinQuery, PaperQuery, QueryFingerprint};
-    pub use adj_relational::{Attr, Database, Relation, Schema, Value};
+    pub use adj_query::{
+        paper_query, parse_query, parse_query_with_mode, Atom, JoinQuery, PaperQuery,
+        QueryFingerprint,
+    };
+    pub use adj_relational::{
+        Attr, Database, OutputMode, QueryOutput, Relation, RowSink, Schema, Value,
+    };
     pub use adj_sampling::{Sampler, SamplingConfig};
     pub use adj_service::{
         AdmissionPolicy, QueryRequest, Service, ServiceConfig, ServiceError, ServiceOutcome,

@@ -46,9 +46,9 @@ fn run_all_methods(query: PaperQuery, graph: &Relation, workers: usize) {
 
     let adj = Adj::with_workers(workers);
     let out = adj.execute_with_strategy(&q, &db, Strategy::CoOptimize).unwrap();
-    check_same("adj-coopt", &expected, &out.result);
+    check_same("adj-coopt", &expected, out.rows());
     let out = adj.execute_with_strategy(&q, &db, Strategy::CommFirst).unwrap();
-    check_same("adj-commfirst", &expected, &out.result);
+    check_same("adj-commfirst", &expected, out.rows());
 }
 
 #[test]
@@ -96,7 +96,7 @@ fn easy_queries_q7_to_q11() {
         let expected = reference(&db, &q);
         let adj = Adj::with_workers(4);
         let out = adj.execute(&q, &db).unwrap();
-        check_same(pq.name(), &expected, &out.result);
+        check_same(pq.name(), &expected, out.rows());
     }
 }
 
@@ -129,6 +129,6 @@ fn running_example_database_matches_paper() {
     let expected = reference(&db, &q);
     let adj = Adj::with_workers(4);
     let out = adj.execute(&q, &db).unwrap();
-    check_same("running example", &expected, &out.result);
-    assert!(!out.result.is_empty(), "the paper's example has results");
+    check_same("running example", &expected, out.rows());
+    assert!(!out.rows().is_empty(), "the paper's example has results");
 }

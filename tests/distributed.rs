@@ -16,7 +16,7 @@ fn result_invariant_under_worker_count() {
     for w in [1usize, 2, 3, 4, 7, 8] {
         let adj = Adj::with_workers(w);
         let out = adj.execute(&q, &db).unwrap();
-        counts.push(out.result.len());
+        counts.push(out.rows().len());
     }
     assert!(counts.iter().all(|&c| c == counts[0]), "{counts:?}");
 }
@@ -90,7 +90,7 @@ fn precompute_changes_rewritten_query_share() {
     // When a bag is pre-computed the rewritten query has fewer, wider
     // relations; the share optimizer may pick a different p. Verify the
     // plan pipeline is consistent end to end by forcing pre-computation.
-    use adj::core::{execute_plan, optimize, QueryPlan, Strategy};
+    use adj::core::{execute_plan, optimize, OutputMode, QueryPlan, Strategy};
     let q = paper_query(PaperQuery::Q6);
     let g = Dataset::AS.graph(0.01);
     let db = q.instantiate(&g);
@@ -110,11 +110,11 @@ fn precompute_changes_rewritten_query_share() {
     if !adj::query::order::is_valid_order(&plan.tree, &plan.order) {
         plan.order = adj::query::order::valid_orders(&plan.tree)[0].clone();
     }
-    let (forced, rep_forced) = execute_plan(&cluster, &db, &plan, &cfg).unwrap();
+    let (forced, rep_forced) = execute_plan(&cluster, &db, &plan, &cfg, OutputMode::Rows).unwrap();
     assert!(rep_forced.precompute_tuples > 0);
 
     let baseline = Adj::with_workers(cfg.cluster.num_workers)
         .execute_with_strategy(&q, &db, Strategy::CommFirst)
         .unwrap();
-    assert_eq!(forced.len(), baseline.result.len());
+    assert_eq!(forced.rows().len(), baseline.rows().len());
 }

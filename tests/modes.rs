@@ -1,0 +1,137 @@
+//! Mode-equivalence acceptance tests: for every paper shape and both
+//! plan-search strategies, the streaming output modes must agree exactly
+//! with the materialized `Rows` result — `Count` equals the cardinality,
+//! `Limit(n)` is an exact-size subset, `Exists` agrees with emptiness —
+//! and the `Limit`/`Exists` short-circuit must provably enumerate less
+//! than the full result.
+
+use adj::prelude::*;
+
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+const STRATEGIES: [Strategy; 2] = [Strategy::CoOptimize, Strategy::CommFirst];
+
+/// A deterministic test graph with plenty of matches for every shape.
+fn graph() -> Relation {
+    let edges: Vec<(Value, Value)> = (0..240u32)
+        .flat_map(|i| vec![(i % 31, (i * 7 + 1) % 31), ((i * 3) % 31, (i * 11 + 5) % 31)])
+        .collect();
+    Relation::from_pairs(Attr(0), Attr(1), &edges)
+}
+
+#[test]
+fn count_equals_materialized_cardinality() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    for shape in SHAPES {
+        for strategy in STRATEGIES {
+            let q = paper_query(shape);
+            let db = q.instantiate(&g);
+            let full = adj.execute_with(&q, &db, strategy, OutputMode::Rows).unwrap();
+            let counted = adj.execute_with(&q, &db, strategy, OutputMode::Count).unwrap();
+            assert_eq!(
+                counted.output,
+                QueryOutput::Count(full.rows().len() as u64),
+                "{shape:?}/{strategy:?}"
+            );
+            assert_eq!(
+                counted.output.tuples_returned(),
+                0,
+                "{shape:?}/{strategy:?}: count must ship no tuples"
+            );
+        }
+    }
+}
+
+#[test]
+fn limit_is_an_exact_size_subset() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    for shape in SHAPES {
+        for strategy in STRATEGIES {
+            let q = paper_query(shape);
+            let db = q.instantiate(&g);
+            let full = adj.execute_with(&q, &db, strategy, OutputMode::Rows).unwrap();
+            let full = full.rows();
+            // Under, at, and over the full cardinality.
+            for n in [3usize, full.len(), full.len() + 10] {
+                let limited = adj.execute_with(&q, &db, strategy, OutputMode::Limit(n)).unwrap();
+                let sample = limited.rows();
+                assert_eq!(
+                    sample.len(),
+                    n.min(full.len()),
+                    "{shape:?}/{strategy:?}/limit {n}: exact length"
+                );
+                // Two independent plannings may pick different attribute
+                // orders; align schemas before the subset check.
+                let aligned = sample.permute(full.schema().attrs()).unwrap();
+                for row in aligned.rows() {
+                    assert!(
+                        full.contains_row(row),
+                        "{shape:?}/{strategy:?}/limit {n}: row {row:?} not in the full result"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exists_agrees_with_emptiness() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    for shape in SHAPES {
+        for strategy in STRATEGIES {
+            let q = paper_query(shape);
+            let db = q.instantiate(&g);
+            let full = adj.execute_with(&q, &db, strategy, OutputMode::Rows).unwrap();
+            let witness = adj.execute_with(&q, &db, strategy, OutputMode::Exists).unwrap();
+            assert_eq!(
+                witness.output,
+                QueryOutput::Exists(!full.rows().is_empty()),
+                "{shape:?}/{strategy:?}"
+            );
+        }
+    }
+    // ...and on an input with no matches at all.
+    let q = paper_query(PaperQuery::Q1);
+    let mut db = Database::new();
+    db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &[(1, 2)]));
+    db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &[(9, 9)]));
+    db.insert("R3", Relation::from_pairs(Attr(0), Attr(2), &[(1, 3)]));
+    let none = adj.execute_mode(&q, &db, OutputMode::Exists).unwrap();
+    assert_eq!(none.output, QueryOutput::Exists(false));
+}
+
+/// The short-circuit acceptance criterion: `Exists`/`Limit` must stop the
+/// Leapfrog enumeration early, visibly emitting fewer tuples than the full
+/// cardinality (the executor's report carries the merged Leapfrog
+/// counters, so the emit tally is directly observable).
+#[test]
+fn exists_and_limit_short_circuit_the_enumeration() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    // Q7 (length-2 path) has the biggest output of the shapes here, so the
+    // short-circuit saving is unmistakable.
+    let q = paper_query(PaperQuery::Q7);
+    let db = q.instantiate(&g);
+
+    let full = adj.execute(&q, &db).unwrap();
+    let cardinality = full.rows().len() as u64;
+    assert_eq!(full.report.counters.output_tuples, cardinality);
+    assert!(cardinality > 8, "need a result large enough to short-circuit ({cardinality})");
+
+    let witness = adj.execute_mode(&q, &db, OutputMode::Exists).unwrap();
+    assert!(
+        witness.report.counters.output_tuples < cardinality,
+        "exists emitted {} of {cardinality} tuples — no short-circuit happened",
+        witness.report.counters.output_tuples
+    );
+
+    let limited = adj.execute_mode(&q, &db, OutputMode::Limit(2)).unwrap();
+    assert!(
+        limited.report.counters.output_tuples < cardinality,
+        "limit(2) emitted {} of {cardinality} tuples — no short-circuit happened",
+        limited.report.counters.output_tuples
+    );
+    assert_eq!(limited.rows().len(), 2);
+}

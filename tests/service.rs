@@ -56,7 +56,7 @@ fn concurrent_mixed_workload_matches_single_shot_and_hits_cache() {
             let q = paper_query(shape);
             let db = q.instantiate(&g);
             let out = Adj::with_workers(4).execute(&q, &db).unwrap();
-            (shape_db_name(shape), out.result)
+            (shape_db_name(shape), out.output.into_rows().unwrap())
         })
         .collect();
 
@@ -72,7 +72,7 @@ fn concurrent_mixed_workload_matches_single_shot_and_hits_cache() {
                     let expected = &truth[&shape_db_name(shape)];
                     // Byte-identical: align attribute order, then compare
                     // the full normalized tuple sets.
-                    let aligned = out.result.permute(expected.schema().attrs()).unwrap();
+                    let aligned = out.rows().permute(expected.schema().attrs()).unwrap();
                     assert_eq!(
                         &aligned, expected,
                         "thread {t} query {i} ({shape:?}) diverged from Adj::execute"
@@ -126,12 +126,45 @@ fn worker_pool_serves_mixed_workload() {
     for (i, r) in results.iter().enumerate() {
         let out = r.as_ref().unwrap();
         let shape = SHAPES[i % SHAPES.len()];
-        let len = out.result.len();
+        let len = out.rows().len();
         let prev = by_shape.entry(shape_db_name(shape)).or_insert(len);
         assert_eq!(*prev, len, "query {i} cardinality diverged");
     }
     assert_eq!(service.metrics().queries_ok, 24);
     assert!(service.cache_stats().hit_rate() > 0.5);
+}
+
+/// Text-level `COUNT(...)` flows through the worker pool: the mode prefix
+/// is parsed service-side, the plan is shared with the `Rows`-mode
+/// submissions, and the answer matches the materialized cardinality.
+#[test]
+fn text_count_through_the_worker_pool() {
+    let service = serving(2, 2);
+    let pool = WorkerPool::new(Arc::clone(&service), 3);
+    let db = shape_db_name(PaperQuery::Q1);
+    let full = pool
+        .submit(QueryRequest::query(&db, paper_query(PaperQuery::Q1)))
+        .wait()
+        .unwrap()
+        .rows()
+        .len() as u64;
+
+    let count_text = "COUNT(Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c))";
+    let results = pool.run_all((0..9).map(|_| QueryRequest::text(&db, count_text)));
+    for r in results {
+        let out = r.unwrap();
+        assert_eq!(out.mode, OutputMode::Count);
+        assert_eq!(out.output, QueryOutput::Count(full));
+        assert!(out.cache_hit, "COUNT text must reuse the Rows-mode plan");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.metrics.by_mode.count, 9);
+    assert_eq!(stats.metrics.by_mode.rows, 1);
+    assert_eq!(
+        stats.metrics.output_tuples_returned, full,
+        "only the one Rows query shipped tuples"
+    );
 }
 
 /// Text submissions and value submissions share one plan-cache entry.
@@ -148,7 +181,7 @@ fn text_and_value_submissions_share_plans() {
         .unwrap();
     assert!(!a.cache_hit);
     assert!(b.cache_hit, "text form of Q1 must hit the value form's plan");
-    assert_eq!(a.result, b.result);
+    assert_eq!(a.rows(), b.rows());
 }
 
 /// Admission rejects instead of OOMing: a tiny cluster memory limit turns
