@@ -74,7 +74,7 @@ fn run_inner(
     let order_ref = &order;
     let cache_cap = config.cache_capacity_values;
     let run = cluster.run(move |w| {
-        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
+        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| l.trie.as_ref()).collect();
         let mut rows: Vec<Value> = Vec::new();
         let mut over = false;
         let width = order_ref.len();

@@ -1,0 +1,229 @@
+//! Index-cache driver: replays the mixed repeated Q1/Q4/Q7 service workload
+//! three ways and emits `BENCH_index_cache.json`:
+//!
+//! * **cold** — every cache cold per query (the database is re-registered
+//!   before each execution, bumping the stats epoch): the query pays plan
+//!   optimization, the HCube shuffle, and the trie builds — the latency a
+//!   fresh shape sees;
+//! * **nocache steady state** — index cache disabled, plan cache warm:
+//!   what the service's repeated-query hot path looked like *before* the
+//!   index cache existed (optimization amortized, shuffle + build paid per
+//!   query);
+//! * **warm** — plan and index caches warm: the new hot path, joining over
+//!   cached `Arc<Trie>` handles.
+//!
+//! The headline `warm_speedup` is cold/warm; `index_only_speedup`
+//! (nocache/warm) isolates what the index cache itself buys over the old
+//! steady state.
+//!
+//! Environment:
+//! * `ADJ_SCALE`   — dataset scale (default 0.05, as the other binaries);
+//! * `ADJ_WORKERS` — simulated cluster width (default 4);
+//! * `ADJ_ROUNDS`  — measured passes over the shape mix (default 20);
+//! * `ADJ_BENCH_OUT` — output path (default `BENCH_index_cache.json`).
+
+use adj_bench::{adj_config, print_table, scale, workers};
+use adj_core::Strategy;
+use adj_datagen::Dataset;
+use adj_query::{paper_query, PaperQuery};
+use adj_relational::Relation;
+use adj_service::{Service, ServiceConfig};
+use std::time::Instant;
+
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn service(w: usize, index_cache_capacity_bytes: Option<usize>) -> Service {
+    Service::new(ServiceConfig {
+        adj: adj_config(w),
+        strategy: Strategy::CoOptimize,
+        index_cache_capacity_bytes,
+        ..Default::default()
+    })
+}
+
+fn register(service: &Service, graph: &Relation) {
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        service.register_database(format!("{shape:?}"), q.instantiate(graph));
+    }
+}
+
+/// Runs `rounds` passes over the shape mix, returning per-query latencies
+/// in seconds (pass order is shape-interleaved, like the service bench).
+fn measure(service: &Service, rounds: usize) -> Vec<f64> {
+    let mut lat = Vec::with_capacity(rounds * SHAPES.len());
+    for _ in 0..rounds {
+        for shape in SHAPES {
+            let q = paper_query(shape);
+            let t0 = Instant::now();
+            service.execute(&format!("{shape:?}"), &q).expect("bench query");
+            lat.push(t0.elapsed().as_secs_f64());
+        }
+    }
+    lat
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let rounds = env_usize("ADJ_ROUNDS", 20).max(1);
+    let out_path =
+        std::env::var("ADJ_BENCH_OUT").unwrap_or_else(|_| "BENCH_index_cache.json".to_string());
+    let w = workers();
+    let graph = Dataset::WB.graph(scale());
+
+    // Fully cold: re-registering before every query bumps the stats epoch,
+    // so plan and index caches never hit — each execution pays
+    // optimization + shuffle + build (registration itself is untimed).
+    let cold_service = service(w, None);
+    register(&cold_service, &graph);
+    let mut cold = Vec::with_capacity(rounds * SHAPES.len());
+    for _ in 0..rounds {
+        for shape in SHAPES {
+            let q = paper_query(shape);
+            let name = format!("{shape:?}");
+            cold_service.register_database(&name, q.instantiate(&graph));
+            let t0 = Instant::now();
+            cold_service.execute(&name, &q).expect("bench query");
+            cold.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    // Pre-index-cache steady state: index cache disabled; one throwaway
+    // pass warms the plan cache so only the per-query shuffle + build is
+    // measured.
+    let nocache_service = service(w, Some(0));
+    register(&nocache_service, &graph);
+    measure(&nocache_service, 1);
+    let mut nocache = measure(&nocache_service, rounds);
+
+    // Warm path: index cache enabled; the throwaway pass warms plans AND
+    // indexes, so every measured query runs the reuse path.
+    let warm_service = service(w, None);
+    register(&warm_service, &graph);
+    measure(&warm_service, 1);
+    let mut warm = measure(&warm_service, rounds);
+
+    let (cold_mean, nocache_mean, warm_mean) = (mean(&cold), mean(&nocache), mean(&warm));
+    cold.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    nocache.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    warm.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup = cold_mean / warm_mean;
+    let index_only_speedup = nocache_mean / warm_mean;
+    let stats = warm_service.stats();
+    let index = stats.index;
+
+    print_table(
+        "index cache: cold vs warm per-query latency",
+        &[
+            "metric".to_string(),
+            "cold (all caches cold)".to_string(),
+            "no index cache (plans warm)".to_string(),
+            "warm (all caches)".to_string(),
+        ],
+        &[
+            vec![
+                "mean s".into(),
+                format!("{cold_mean:.6}"),
+                format!("{nocache_mean:.6}"),
+                format!(
+                    "{warm_mean:.6} ({speedup:.2}x vs cold, {index_only_speedup:.2}x vs no-cache)"
+                ),
+            ],
+            vec![
+                "p50 s".into(),
+                format!("{:.6}", quantile(&cold, 0.5)),
+                format!("{:.6}", quantile(&nocache, 0.5)),
+                format!("{:.6}", quantile(&warm, 0.5)),
+            ],
+            vec![
+                "p99 s".into(),
+                format!("{:.6}", quantile(&cold, 0.99)),
+                format!("{:.6}", quantile(&nocache, 0.99)),
+                format!("{:.6}", quantile(&warm, 0.99)),
+            ],
+        ],
+    );
+    println!(
+        "\nindex cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} B resident (cap {} B)",
+        index.hits,
+        index.misses,
+        index.hit_rate() * 100.0,
+        index.len,
+        index.resident_bytes,
+        index.capacity_bytes
+    );
+    println!(
+        "reuse split: {} relations built, {} reused, {} bags reused, {} tuple copies never moved",
+        stats.metrics.index_relations_built,
+        stats.metrics.index_relations_reused,
+        stats.metrics.index_bags_reused,
+        index.tuples_saved
+    );
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"index_cache\",\n",
+            "  \"scale\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"queries_per_side\": {},\n",
+            "  \"cold_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"nocache_steady_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"warm_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"warm_speedup\": {:.3},\n",
+            "  \"index_only_speedup\": {:.3},\n",
+            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, ",
+            "\"entries\": {}, \"resident_bytes\": {}, \"capacity_bytes\": {}, ",
+            "\"evictions\": {}, \"tuples_saved\": {}}},\n",
+            "  \"reuse_split\": {{\"relations_built\": {}, \"relations_reused\": {}, ",
+            "\"bags_reused\": {}}},\n",
+            "  \"warm_phase_mean_secs\": {{\"communication\": {:.6}, \"index_build\": {:.6}, ",
+            "\"computation\": {:.6}}}\n",
+            "}}\n"
+        ),
+        scale(),
+        w,
+        rounds,
+        cold.len(),
+        cold_mean,
+        quantile(&cold, 0.5),
+        quantile(&cold, 0.99),
+        nocache_mean,
+        quantile(&nocache, 0.5),
+        quantile(&nocache, 0.99),
+        warm_mean,
+        quantile(&warm, 0.5),
+        quantile(&warm, 0.99),
+        speedup,
+        index_only_speedup,
+        index.hits,
+        index.misses,
+        index.hit_rate(),
+        index.len,
+        index.resident_bytes,
+        index.capacity_bytes,
+        index.evictions,
+        index.tuples_saved,
+        stats.metrics.index_relations_built,
+        stats.metrics.index_relations_reused,
+        stats.metrics.index_bags_reused,
+        stats.metrics.communication.mean_secs,
+        stats.metrics.index_build.mean_secs,
+        stats.metrics.computation.mean_secs,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

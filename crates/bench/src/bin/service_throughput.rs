@@ -82,6 +82,8 @@ fn main() {
             vec!["p90 s".into(), format!("{p90:.4}")],
             vec!["p99 s".into(), format!("{p99:.4}")],
             vec!["cache hit rate".into(), format!("{:.3}", stats.cache.hit_rate())],
+            vec!["index hit rate".into(), format!("{:.3}", stats.index.hit_rate())],
+            vec!["index resident B".into(), stats.index.resident_bytes.to_string()],
         ],
     );
 
@@ -98,6 +100,9 @@ fn main() {
             "  \"queries_per_sec\": {:.3},\n",
             "  \"latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}}},\n",
             "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, ",
+            "\"resident_bytes\": {}, \"evictions\": {}, \"tuples_saved\": {}, ",
+            "\"relations_built\": {}, \"relations_reused\": {}}},\n",
             "  \"admission\": {{\"admitted\": {}, \"peak_running\": {}, \"peak_waiting\": {}}},\n",
             "  \"phases_mean_secs\": {{\"optimization\": {:.6}, \"precompute\": {:.6}, ",
             "\"communication\": {:.6}, \"computation\": {:.6}}},\n",
@@ -117,6 +122,14 @@ fn main() {
         stats.cache.hits,
         stats.cache.misses,
         stats.cache.hit_rate(),
+        stats.index.hits,
+        stats.index.misses,
+        stats.index.hit_rate(),
+        stats.index.resident_bytes,
+        stats.index.evictions,
+        stats.index.tuples_saved,
+        stats.metrics.index_relations_built,
+        stats.metrics.index_relations_reused,
         stats.admission.admitted,
         stats.admission.peak_running,
         stats.admission.peak_waiting,

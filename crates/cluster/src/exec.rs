@@ -13,6 +13,12 @@ pub struct Cluster {
     config: ClusterConfig,
     comm: CommStats,
     cost_model: CostModel,
+    /// Whether [`Cluster::run`] spawns OS threads. On a single-hardware-
+    /// thread host the logical workers would serialize anyway, so the
+    /// per-query thread spawn/join cost (which dominates sub-millisecond
+    /// serving latencies) is skipped and workers run inline — per-worker
+    /// timing and makespan semantics are unchanged.
+    spawn_threads: bool,
 }
 
 /// Result of a parallel run: per-worker wall-clock seconds plus results.
@@ -35,7 +41,9 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Self {
         let cost_model =
             CostModel { alpha_tuples_per_sec: config.alpha_tuples_per_sec, ..Default::default() };
-        Cluster { config, comm: CommStats::new(), cost_model }
+        let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let spawn_threads = config.num_workers > 1 && parallelism > 1;
+        Cluster { config, comm: CommStats::new(), cost_model, spawn_threads }
     }
 
     /// Creates a cluster behind an [`Arc`](std::sync::Arc), the form
@@ -80,28 +88,40 @@ impl Cluster {
         F: Fn(WorkerId) -> R + Sync,
     {
         let n = self.config.num_workers;
-        let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..n)
-                .map(|w| {
-                    let f = &f;
-                    s.spawn(move || {
-                        let t0 = Instant::now();
-                        let r = f(w);
-                        (r, t0.elapsed().as_secs_f64())
-                    })
-                })
-                .collect();
-            for (w, h) in handles.into_iter().enumerate() {
-                slots[w] = Some(h.join().expect("worker thread panicked"));
-            }
-        });
         let mut results = Vec::with_capacity(n);
         let mut worker_secs = Vec::with_capacity(n);
-        for s in slots {
-            let (r, t) = s.expect("all workers joined");
-            results.push(r);
-            worker_secs.push(t);
+        if self.spawn_threads {
+            let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|w| {
+                        let f = &f;
+                        s.spawn(move || {
+                            let t0 = Instant::now();
+                            let r = f(w);
+                            (r, t0.elapsed().as_secs_f64())
+                        })
+                    })
+                    .collect();
+                for (w, h) in handles.into_iter().enumerate() {
+                    slots[w] = Some(h.join().expect("worker thread panicked"));
+                }
+            });
+            for s in slots {
+                let (r, t) = s.expect("all workers joined");
+                results.push(r);
+                worker_secs.push(t);
+            }
+        } else {
+            // Single hardware thread (or one worker): the logical workers
+            // would serialize anyway, so run them inline and keep the
+            // spawn/join cost off the serving hot path.
+            for w in 0..n {
+                let t0 = Instant::now();
+                let r = f(w);
+                worker_secs.push(t0.elapsed().as_secs_f64());
+                results.push(r);
+            }
         }
         let makespan_secs = worker_secs.iter().copied().fold(0.0, f64::max);
         let total_secs = worker_secs.iter().sum();

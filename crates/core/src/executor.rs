@@ -1,15 +1,25 @@
 //! Plan execution: pre-compute → shuffle → join, with the per-phase cost
 //! breakdown of Tables II–IV.
+//!
+//! [`execute_plan_cached`] additionally threads an
+//! [`IndexScope`] through *both* shuffle paths (the
+//! bag pre-computation rounds and the final one-round shuffle): warm
+//! relations reuse published `Arc<Trie>` handles instead of re-shuffling
+//! and rebuilding, warm bags skip their entire pre-computation round, and
+//! the report splits index work into built vs reused relations.
 
 use crate::plan::{PlanRelation, QueryPlan};
 use crate::AdjConfig;
 use adj_cluster::Cluster;
-use adj_hcube::{hcube_shuffle, optimize_share, HCubeImpl, HCubePlan, ShareInput};
-use adj_leapfrog::{JoinCounters, LeapfrogJoin};
+use adj_hcube::{
+    hcube_shuffle_cached, optimize_share, HCubeImpl, HCubePlan, IndexScope, ShareInput,
+};
+use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
     Attr, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation, Result,
-    RowBuffer, Schema, Value,
+    RowBuffer, Schema, Trie, Value,
 };
+use std::sync::Arc;
 
 /// Plan-search strategy (the two columns of Tables II–IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +53,19 @@ pub struct ExecutionReport {
     pub share: Vec<u32>,
     /// Aggregated Leapfrog counters across workers.
     pub counters: JoinCounters,
+    /// Measured seconds spent building local trie indexes (across the
+    /// pre-compute rounds and the final shuffle). Already included in
+    /// `precompute_secs`/`communication_secs`; broken out so the serving
+    /// layer can watch the index-build vs index-reuse split.
+    pub index_build_secs: f64,
+    /// Relations whose indexes this execution built.
+    pub index_relations_built: u64,
+    /// Relations served from the cross-query index cache (no shuffle, no
+    /// build).
+    pub index_relations_reused: u64,
+    /// Pre-computed bag relations served from the cache (their whole
+    /// shuffle + join round was skipped).
+    pub index_bags_reused: u64,
 }
 
 impl ExecutionReport {
@@ -81,12 +104,50 @@ pub fn execute_plan(
     config: &AdjConfig,
     mode: OutputMode,
 ) -> Result<(QueryOutput, ExecutionReport)> {
+    execute_plan_cached(cluster, db, plan, config, mode, None)
+}
+
+/// The stable cache identity of a pre-computed bag: member atom names plus
+/// the bag's attribute order fully determine its contents against a given
+/// database epoch, so distinct plans that pre-compute the same bag share
+/// one cached artifact — and the ambiguous per-query storage name
+/// (`ADJ_bag{v}`) never leaks into a cache key. Names are length-prefixed
+/// so no choice of relation names (commas included) can collide two
+/// distinct member lists onto one label.
+fn bag_label(names: &[String], order: &[Attr]) -> String {
+    let mut label = String::from("adj-bag:");
+    for n in names {
+        label.push_str(&format!("{}:{n},", n.len()));
+    }
+    label.push_str(&format!("@{order:?}"));
+    label
+}
+
+/// [`execute_plan`] with a cross-query index cache: warm relations join
+/// over the cache's `Arc<Trie>` handles (skipping their shuffle + sort +
+/// build), warm bags skip their whole pre-computation round, and cold
+/// artifacts are built once and published. Pass `None` to run fully cold.
+pub fn execute_plan_cached(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+    mode: OutputMode,
+    index: Option<&IndexScope<'_>>,
+) -> Result<(QueryOutput, ExecutionReport)> {
     let mut report = ExecutionReport::default();
-    let mut db_exec = db.clone();
+    // Per-query pre-computed bags are layered over the shared database as
+    // an overlay of `Arc<Relation>` handles — the database itself is never
+    // cloned per query. Also records each bag's content label, reused as
+    // its cache identity in the final shuffle (phase 1 and phase 2 must
+    // agree on it).
+    let mut bag_overlay: Vec<(String, Arc<Relation>)> = Vec::new();
+    let mut bag_labels: Vec<(String, String)> = Vec::new(); // storage name → label
 
     // ── Phase 1: pre-compute candidate relations (Sec. III: "for each
     // relation R'_j ∈ Qi that needs to be joined, we pre-compute and store
-    // it"). Each bag join is itself a one-round HCube+Leapfrog job.
+    // it"). Each bag join is itself a one-round HCube+Leapfrog job — unless
+    // the cache already holds this bag for the current database epoch.
     for rel in &plan.relations {
         let PlanRelation::Precomputed { name, atoms, .. } = rel else {
             continue;
@@ -98,7 +159,26 @@ pub fn execute_plan(
             .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
             .collect();
         let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
-        let (result, secs, tuples) = run_one_round(cluster, &db_exec, &names, &bag_order, config)?;
+        let label = bag_label(&names, &bag_order);
+        bag_labels.push((name.clone(), label.clone()));
+        if let Some(scope) = index {
+            if let Some(bag) = scope.cache.get_bag(&scope.bag_key(label.clone())) {
+                // Budget parity with the cold path: a cached bag over the
+                // caller's cap is rejected exactly like a fresh one.
+                if bag.len() > config.max_intermediate_tuples {
+                    return Err(Error::BudgetExceeded {
+                        what: "pre-computed relation size",
+                        limit: config.max_intermediate_tuples,
+                    });
+                }
+                report.index_bags_reused += 1;
+                bag_overlay.push((name.clone(), bag));
+                continue;
+            }
+        }
+        // Bag members are base atoms, so the round runs over `db` directly.
+        let (result, secs, tuples) =
+            run_one_round(cluster, db, &names, &bag_order, config, index, &mut report)?;
         report.precompute_secs += secs;
         report.precompute_tuples += tuples;
         if result.len() > config.max_intermediate_tuples {
@@ -107,16 +187,47 @@ pub fn execute_plan(
                 limit: config.max_intermediate_tuples,
             });
         }
-        db_exec.insert(name.clone(), result);
+        let result = Arc::new(result);
+        if let Some(scope) = index {
+            scope.cache.insert_bag(scope.bag_key(label), Arc::clone(&result));
+        }
+        bag_overlay.push((name.clone(), result));
     }
 
     // ── Phase 2 + 3: final one-round join over the rewritten query.
     let names = plan.shuffle_names();
-    let (share, hplan) = share_for(&db_exec, &names, plan.query.num_attrs(), cluster, config)?;
+    let (share, hplan) =
+        share_for(db, &bag_overlay, &names, plan.query.num_attrs(), cluster, config)?;
     report.share = share;
-    let shuffled = hcube_shuffle(cluster, &db_exec, &names, &hplan, &plan.order, HCubeImpl::Merge)?;
+    // Cache identities: base atoms by relation name; pre-computed bags by
+    // the content label recorded in phase 1 (never by the per-query
+    // `ADJ_bag{v}` storage name).
+    let cache_ids: Vec<Option<String>> = plan
+        .relations
+        .iter()
+        .map(|rel| match rel {
+            PlanRelation::Base(i) => Some(plan.query.atoms[*i].name.clone()),
+            PlanRelation::Precomputed { name, .. } => {
+                bag_labels.iter().find(|(stored, _)| stored == name).map(|(_, label)| label.clone())
+            }
+        })
+        .collect();
+    let shuffled = hcube_shuffle_cached(
+        cluster,
+        db,
+        &names,
+        &hplan,
+        &plan.order,
+        HCubeImpl::Merge,
+        index,
+        &cache_ids,
+        &bag_overlay,
+    )?;
     report.comm_tuples = shuffled.report.tuples;
     report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
+    report.index_build_secs += shuffled.report.build_secs;
+    report.index_relations_built += shuffled.report.built_relations;
+    report.index_relations_reused += shuffled.report.reused_relations;
 
     let budget = config.max_intermediate_tuples;
     let order = &plan.order;
@@ -125,15 +236,16 @@ pub fn execute_plan(
     // Per-worker payload: row data for the modes that return rows, `None`
     // for `Count`/`Exists` — those gather counters only.
     let run = cluster.run(|w| -> Result<(Option<Vec<Value>>, JoinCounters)> {
-        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
+        let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
         let join = LeapfrogJoin::new(order, tries)?;
+        let mut scratch = JoinScratch::new();
         match mode {
             OutputMode::Rows | OutputMode::Limit(_) => {
                 let mut sink = RowBuffer::new(width).with_budget(budget);
                 if let OutputMode::Limit(n) = mode {
                     sink = sink.with_limit(n);
                 }
-                let counters = join.join_into(&mut sink);
+                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
                 if sink.over_budget() {
                     return Err(Error::BudgetExceeded {
                         what: "join output tuples",
@@ -144,12 +256,12 @@ pub fn execute_plan(
             }
             OutputMode::Count => {
                 let mut sink = CountSink::new();
-                let counters = join.join_into(&mut sink);
+                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
                 Ok((None, counters))
             }
             OutputMode::Exists => {
                 let mut sink = ExistsSink::new();
-                let counters = join.join_into(&mut sink);
+                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
                 Ok((None, counters))
             }
         }
@@ -187,21 +299,40 @@ pub fn execute_plan(
 }
 
 /// Runs one HCube+Leapfrog round over the named relations and gathers the
-/// result. Used for bag pre-computation. Returns `(result, secs, tuples)`.
+/// result. Used for bag pre-computation; its shuffle consults the index
+/// cache too (bag members are base relations, so their indexes are shared
+/// with every other query touching them). Returns `(result, secs, tuples)`
+/// and accumulates the index build/reuse split into `report`.
 fn run_one_round(
     cluster: &Cluster,
     db: &Database,
     names: &[String],
     order: &[Attr],
     config: &AdjConfig,
+    index: Option<&IndexScope<'_>>,
+    report: &mut ExecutionReport,
 ) -> Result<(Relation, f64, u64)> {
     let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
-    let (_, hplan) = share_for(db, names, num_attrs, cluster, config)?;
-    let shuffled = hcube_shuffle(cluster, db, names, &hplan, order, HCubeImpl::Merge)?;
+    let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, config)?;
+    let cache_ids: Vec<Option<String>> = names.iter().map(|n| Some(n.clone())).collect();
+    let shuffled = hcube_shuffle_cached(
+        cluster,
+        db,
+        names,
+        &hplan,
+        order,
+        HCubeImpl::Merge,
+        index,
+        &cache_ids,
+        &[],
+    )?;
+    report.index_build_secs += shuffled.report.build_secs;
+    report.index_relations_built += shuffled.report.built_relations;
+    report.index_relations_reused += shuffled.report.reused_relations;
     let budget = config.max_intermediate_tuples;
     let locals = &shuffled.locals;
     let run = cluster.run(|w| {
-        let tries: Vec<&adj_relational::Trie> = locals[w].iter().map(|l| &l.trie).collect();
+        let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
         let join = LeapfrogJoin::new(order, tries)?;
         let mut rows: Vec<Value> = Vec::new();
         let mut over = false;
@@ -227,9 +358,11 @@ fn run_one_round(
     Ok((rel, secs, shuffled.report.tuples))
 }
 
-/// Optimizes the share vector for the named relations' *actual* sizes.
+/// Optimizes the share vector for the named relations' *actual* sizes
+/// (resolving pre-computed bags from the overlay before the database).
 fn share_for(
     db: &Database,
+    overlay: &[(String, Arc<Relation>)],
     names: &[String],
     num_attrs: usize,
     cluster: &Cluster,
@@ -237,7 +370,10 @@ fn share_for(
 ) -> Result<(Vec<u32>, HCubePlan)> {
     let mut relations = Vec::with_capacity(names.len());
     for n in names {
-        let r = db.get(n)?;
+        let r = match overlay.iter().find(|(name, _)| name == n) {
+            Some((_, rel)) => rel.as_ref(),
+            None => db.get(n)?,
+        };
         relations.push((r.schema().mask(), r.len()));
     }
     let input = ShareInput {
@@ -350,6 +486,57 @@ mod tests {
     }
 
     #[test]
+    fn warm_precompute_reuses_bags_and_tries() {
+        use adj_hcube::{IndexCache, IndexScope};
+        // Force pre-computation (as precompute_phase_populates_report does)
+        // so the bag-cache path is exercised.
+        let q = paper_query(PaperQuery::Q4);
+        let db = db_for(&q, 150, 31);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let mut plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
+        let c_mask: u64 = plan
+            .tree
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.is_single_edge())
+            .map(|(i, _)| 1u64 << i)
+            .sum();
+        plan.relations = QueryPlan::relations_for(&q, &plan.tree, c_mask);
+        plan.precompute = (0..plan.tree.len()).filter(|v| c_mask & (1 << v) != 0).collect();
+        if !adj_query::order::is_valid_order(&plan.tree, &plan.order) {
+            plan.order = adj_query::order::valid_orders(&plan.tree)[0].clone();
+        }
+
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 9, epoch: 0 };
+        let (cold_out, cold_rep) =
+            execute_plan_cached(&cluster, &db, &plan, &cfg, OutputMode::Rows, Some(&scope))
+                .unwrap();
+        assert!(cold_rep.precompute_secs > 0.0);
+        assert_eq!(cold_rep.index_bags_reused, 0);
+        assert!(cold_rep.index_relations_built > 0);
+
+        let (warm_out, warm_rep) =
+            execute_plan_cached(&cluster, &db, &plan, &cfg, OutputMode::Rows, Some(&scope))
+                .unwrap();
+        assert_eq!(cold_out, warm_out, "warm bag reuse must be byte-identical");
+        assert!(warm_rep.index_bags_reused > 0, "the pre-computed bag must come from the cache");
+        assert_eq!(warm_rep.index_relations_built, 0);
+        assert!(warm_rep.index_relations_reused > 0);
+        assert_eq!(warm_rep.precompute_tuples, 0, "no bag round ran, so nothing was shuffled");
+        assert_eq!(warm_rep.comm_tuples, 0);
+
+        // Budget parity: a cached bag over a smaller caller budget errors
+        // exactly like the cold path's post-round size check.
+        let tiny = AdjConfig { max_intermediate_tuples: 1, ..cfg.clone() };
+        let err = execute_plan_cached(&cluster, &db, &plan, &tiny, OutputMode::Count, Some(&scope))
+            .unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }));
+    }
+
+    #[test]
     fn budget_exceeded_on_tiny_cap() {
         let q = paper_query(PaperQuery::Q1);
         let db = db_for(&q, 200, 23);
@@ -374,7 +561,7 @@ mod tests {
         let cfg = AdjConfig { cluster: ClusterConfig::with_workers(8), ..Default::default() };
         let cluster = Cluster::new(cfg.cluster.clone());
         let names: Vec<String> = q.atoms.iter().map(|a| a.name.clone()).collect();
-        let (share, hplan) = share_for(&db, &names, 3, &cluster, &cfg).unwrap();
+        let (share, hplan) = share_for(&db, &[], &names, 3, &cluster, &cfg).unwrap();
         assert_eq!(share.len(), 3);
         assert!(hplan.num_cubes() >= 8);
     }

@@ -30,10 +30,13 @@ pub mod plan;
 pub mod yannakakis;
 
 pub use cost::{CostEstimator, CostParams};
-pub use executor::{execute_plan, ExecutionReport, Strategy};
+pub use executor::{execute_plan, execute_plan_cached, ExecutionReport, Strategy};
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
-pub use yannakakis::{yannakakis, YannakakisReport};
+pub use yannakakis::{yannakakis, yannakakis_cached, YannakakisReport};
+// The cross-query index cache (defined in `adj-hcube`, where the shuffle
+// consults it) is part of this crate's public execution API too.
+pub use adj_hcube::{IndexCache, IndexCacheStats, IndexScope};
 // The streaming-output vocabulary (defined in `adj-relational` so every
 // layer shares it) is part of this crate's public execution API.
 pub use adj_relational::{CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink};
@@ -213,7 +216,24 @@ impl Adj {
         db: &Database,
         mode: OutputMode,
     ) -> Result<(QueryOutput, ExecutionReport)> {
-        let (output, mut report) = execute_plan(&self.cluster, db, plan, &self.config, mode)?;
+        self.execute_prepared_cached(plan, db, mode, None)
+    }
+
+    /// [`Adj::execute_prepared`] with a cross-query index cache scope:
+    /// relations whose shuffled indexes (or pre-computed bags) are warm in
+    /// the cache for the scope's database epoch are reused instead of
+    /// re-shuffled and rebuilt. This is the serving hot path —
+    /// `adj-service` pairs its plan cache with an
+    /// [`IndexCache`] here.
+    pub fn execute_prepared_cached(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        mode: OutputMode,
+        index: Option<&IndexScope<'_>>,
+    ) -> Result<(QueryOutput, ExecutionReport)> {
+        let (output, mut report) =
+            execute_plan_cached(&self.cluster, db, plan, &self.config, mode, index)?;
         report.optimization_secs = plan.optimization_secs;
         Ok((output, report))
     }

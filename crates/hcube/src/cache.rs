@@ -1,0 +1,562 @@
+//! The cross-query index cache: shuffled partitions and built tries as
+//! first-class, reusable artifacts.
+//!
+//! Under serving traffic the database is immutable between queries, yet
+//! every execution re-runs the HCube shuffle and rebuilds the same
+//! level-wise tries — on a warm plan cache that communication phase dwarfs
+//! the join itself. The paper's Merge-HCube pre-builds sorted blocks so
+//! tries assemble by merge instead of sort (Sec. V); this cache takes the
+//! idea to its fixed point: once a relation has been shuffled and indexed
+//! for a given `(induced attribute order, share vector, worker count)`
+//! against a given database state, the per-worker [`Trie`]s are published
+//! as shared `Arc` handles and every later query with the same key joins
+//! over them directly — no routing, no sorting, no build.
+//!
+//! Two artifact kinds share one LRU byte budget:
+//!
+//! * **relation indexes** ([`RelationIndex`]) — the per-worker tries of one
+//!   shuffled relation, keyed by [`IndexKey`];
+//! * **bag relations** — materialized hypertree-bag joins (ADJ's
+//!   pre-computing phase, and GHD-Yannakakis bags), keyed by [`BagKey`].
+//!   Bag contents are a pure function of the base relations, the member
+//!   atoms, and the attribute order, so a stable label string identifies
+//!   them across queries.
+//!
+//! Keys fold in a database tag and its statistics epoch: re-registering a
+//! database bumps the epoch, so stale entries stop matching (and
+//! [`IndexCache::invalidate_db`] drops them eagerly). Eviction is
+//! least-recently-used over *bytes*, not entries, because the whole point
+//! of the budget is to charge index memory against the cluster's
+//! `memory_limit_bytes`.
+
+use adj_relational::hash::FxHashMap;
+use adj_relational::{Attr, Relation, Trie};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one cached relation index: the relation (or bag label), the
+/// induced attribute order its trie levels follow, the hypercube share
+/// vector and worker count that routed it, and the database state it was
+/// built against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexKey {
+    /// Stable tag of the owning database (hash of its name).
+    pub db_tag: u64,
+    /// The database's statistics epoch at build time.
+    pub epoch: u64,
+    /// Stable identity of the relation: its name for base relations, a
+    /// content-describing label for pre-computed bags.
+    pub relation: String,
+    /// The order-induced attribute permutation the trie levels follow.
+    pub induced: Vec<Attr>,
+    /// The share vector `p` of the shuffle that partitioned it.
+    pub share: Vec<u32>,
+    /// Worker count (the share vector alone does not fix the cube→worker
+    /// assignment).
+    pub num_workers: usize,
+}
+
+/// Identity of one cached bag relation (a materialized hypertree-bag join).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BagKey {
+    /// Stable tag of the owning database.
+    pub db_tag: u64,
+    /// The database's statistics epoch at build time.
+    pub epoch: u64,
+    /// Content-describing label: evaluation kind, member atom names, and
+    /// the attribute order of the result.
+    pub label: String,
+}
+
+/// One shuffled relation's reusable artifacts: per-worker tries plus the
+/// communication cost the original shuffle paid (so reports can state what
+/// a hit saved).
+#[derive(Debug)]
+pub struct RelationIndex {
+    /// `tries[w]` is worker `w`'s local fragment, indexed in the key's
+    /// induced order.
+    pub tries: Vec<Arc<Trie>>,
+    /// Delivered tuple copies the original shuffle moved for this relation.
+    pub tuples: u64,
+    /// Transfer units the original shuffle paid for this relation.
+    pub messages: u64,
+    /// Resident bytes across all workers' tries.
+    pub bytes: usize,
+}
+
+impl RelationIndex {
+    /// Builds the entry, computing its resident size.
+    pub fn new(tries: Vec<Arc<Trie>>, tuples: u64, messages: u64) -> Self {
+        let bytes = tries.iter().map(|t| t.size_bytes()).sum();
+        RelationIndex { tries, tuples, messages, bytes }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum EntryKey {
+    Index(IndexKey),
+    Bag(BagKey),
+}
+
+impl EntryKey {
+    fn db_tag(&self) -> u64 {
+        match self {
+            EntryKey::Index(k) => k.db_tag,
+            EntryKey::Bag(k) => k.db_tag,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Artifact {
+    Index(Arc<RelationIndex>),
+    Bag(Arc<Relation>),
+}
+
+#[derive(Debug)]
+struct Entry {
+    artifact: Artifact,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheMap {
+    map: FxHashMap<EntryKey, Entry>,
+    tick: u64,
+    resident_bytes: usize,
+}
+
+impl CacheMap {
+    /// Evicts least-recently-used entries until `need` more bytes fit under
+    /// `capacity`. Returns the number of entries evicted.
+    fn make_room(&mut self, need: usize, capacity: usize) -> u64 {
+        let mut evicted = 0u64;
+        while self.resident_bytes + need > capacity && !self.map.is_empty() {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map");
+            if let Some(e) = self.map.remove(&lru) {
+                self.resident_bytes -= e.bytes;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    fn insert(&mut self, key: EntryKey, artifact: Artifact, bytes: usize) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let fresh = self
+            .map
+            .insert(key, Entry { artifact, bytes, last_used: tick })
+            .map(|old| {
+                self.resident_bytes -= old.bytes;
+                false
+            })
+            .unwrap_or(true);
+        self.resident_bytes += bytes;
+        fresh
+    }
+
+    fn get(&mut self, key: &EntryKey) -> Option<Artifact> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.artifact.clone()
+        })
+    }
+}
+
+/// Counters describing index-cache behaviour since service start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCacheStats {
+    /// Lookups that found a reusable artifact.
+    pub hits: u64,
+    /// Lookups that required a fresh shuffle/build.
+    pub misses: u64,
+    /// Artifacts published.
+    pub insertions: u64,
+    /// Artifacts evicted to make room.
+    pub evictions: u64,
+    /// Artifacts dropped by explicit invalidation (database mutation).
+    pub invalidations: u64,
+    /// Tuple copies whose shuffle was skipped thanks to hits.
+    pub tuples_saved: u64,
+    /// Current resident bytes across all cached artifacts.
+    pub resident_bytes: usize,
+    /// The byte budget eviction enforces.
+    pub capacity_bytes: usize,
+    /// Current number of cached artifacts.
+    pub len: usize,
+}
+
+impl IndexCacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups happened yet.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A thread-safe, byte-budgeted LRU cache of shuffled relation indexes and
+/// materialized bag relations.
+#[derive(Debug)]
+pub struct IndexCache {
+    capacity_bytes: usize,
+    inner: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+    tuples_saved: AtomicU64,
+}
+
+impl IndexCache {
+    /// Creates a cache holding at most `capacity_bytes` of artifacts
+    /// (0 disables it: every lookup misses, every insert is dropped).
+    pub fn new(capacity_bytes: usize) -> Self {
+        IndexCache {
+            capacity_bytes,
+            inner: Mutex::new(CacheMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            tuples_saved: AtomicU64::new(0),
+        }
+    }
+
+    /// The byte budget.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// Looks up a relation index, refreshing its recency on a hit and
+    /// crediting the shuffle volume the hit saved.
+    pub fn get_index(&self, key: &IndexKey) -> Option<Arc<RelationIndex>> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let got =
+            self.inner.lock().expect("index cache poisoned").get(&EntryKey::Index(key.clone()));
+        match got {
+            Some(Artifact::Index(idx)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.tuples_saved.fetch_add(idx.tuples, Ordering::Relaxed);
+                Some(idx)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a relation index. Entries larger than the whole budget are
+    /// dropped; otherwise LRU entries are evicted until it fits. A
+    /// concurrent insert under the same key wins by arrival order — both
+    /// artifacts are equivalent by key construction.
+    pub fn insert_index(&self, key: IndexKey, index: Arc<RelationIndex>) {
+        let bytes = index.bytes;
+        self.insert_entry(EntryKey::Index(key), Artifact::Index(index), bytes);
+    }
+
+    /// Looks up a materialized bag relation.
+    pub fn get_bag(&self, key: &BagKey) -> Option<Arc<Relation>> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let got = self.inner.lock().expect("index cache poisoned").get(&EntryKey::Bag(key.clone()));
+        match got {
+            Some(Artifact::Bag(rel)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rel)
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a materialized bag relation.
+    pub fn insert_bag(&self, key: BagKey, rel: Arc<Relation>) {
+        let bytes = rel.size_bytes();
+        self.insert_entry(EntryKey::Bag(key), Artifact::Bag(rel), bytes);
+    }
+
+    fn insert_entry(&self, key: EntryKey, artifact: Artifact, bytes: usize) {
+        if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let evicted = inner.make_room(bytes, self.capacity_bytes);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        if inner.insert(key, artifact, bytes) {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops every artifact built against database `db_tag` — the
+    /// invalidation hook for database mutation (the epoch in every key
+    /// already stops stale entries from matching; this frees their bytes
+    /// eagerly).
+    pub fn invalidate_db(&self, db_tag: u64) {
+        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let before = inner.map.len();
+        let mut freed = 0usize;
+        inner.map.retain(|k, e| {
+            let keep = k.db_tag() != db_tag;
+            if !keep {
+                freed += e.bytes;
+            }
+            keep
+        });
+        let dropped = (before - inner.map.len()) as u64;
+        inner.resident_bytes -= freed;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Empties the cache.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let dropped = inner.map.len() as u64;
+        inner.map.clear();
+        inner.resident_bytes = 0;
+        self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// Current resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("index cache poisoned").resident_bytes
+    }
+
+    /// Current artifact count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("index cache poisoned").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A consistent snapshot of the counters.
+    pub fn stats(&self) -> IndexCacheStats {
+        let (resident_bytes, len) = {
+            let inner = self.inner.lock().expect("index cache poisoned");
+            (inner.resident_bytes, inner.map.len())
+        };
+        IndexCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            tuples_saved: self.tuples_saved.load(Ordering::Relaxed),
+            resident_bytes,
+            capacity_bytes: self.capacity_bytes,
+            len,
+        }
+    }
+}
+
+/// The scope a cache is consulted under: which cache, and which database
+/// state keys its entries. Threaded from the service front door down
+/// through the executor into the shuffle.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexScope<'a> {
+    /// The shared cache.
+    pub cache: &'a IndexCache,
+    /// Stable tag of the database being queried.
+    pub db_tag: u64,
+    /// The database's current statistics epoch.
+    pub epoch: u64,
+}
+
+impl<'a> IndexScope<'a> {
+    /// Builds an [`IndexKey`] in this scope.
+    pub fn index_key(
+        &self,
+        relation: impl Into<String>,
+        induced: Vec<Attr>,
+        share: &[u32],
+        num_workers: usize,
+    ) -> IndexKey {
+        IndexKey {
+            db_tag: self.db_tag,
+            epoch: self.epoch,
+            relation: relation.into(),
+            induced,
+            share: share.to_vec(),
+            num_workers,
+        }
+    }
+
+    /// Builds a [`BagKey`] in this scope.
+    pub fn bag_key(&self, label: impl Into<String>) -> BagKey {
+        BagKey { db_tag: self.db_tag, epoch: self.epoch, label: label.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adj_relational::{Relation, Value};
+
+    fn trie(n: u32) -> Arc<Trie> {
+        let rows: Vec<(Value, Value)> = (0..n).map(|i| (i, i + 1)).collect();
+        Arc::new(Trie::build(&Relation::from_pairs(Attr(0), Attr(1), &rows)))
+    }
+
+    fn key(tag: u64, epoch: u64, name: &str) -> IndexKey {
+        IndexKey {
+            db_tag: tag,
+            epoch,
+            relation: name.into(),
+            induced: vec![Attr(0), Attr(1)],
+            share: vec![2, 2],
+            num_workers: 4,
+        }
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = IndexCache::new(1 << 20);
+        let k = key(1, 0, "R1");
+        assert!(cache.get_index(&k).is_none());
+        let idx = Arc::new(RelationIndex::new(vec![trie(10)], 10, 1));
+        cache.insert_index(k.clone(), idx);
+        let hit = cache.get_index(&k).expect("hit");
+        assert_eq!(hit.tuples, 10);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert_eq!(s.tuples_saved, 10);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn epoch_and_share_split_keys() {
+        let cache = IndexCache::new(1 << 20);
+        let k = key(1, 0, "R1");
+        cache.insert_index(k.clone(), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        let mut stale = k.clone();
+        stale.epoch = 1;
+        assert!(cache.get_index(&stale).is_none(), "epoch bump must stop matching");
+        let mut other_share = k.clone();
+        other_share.share = vec![4, 1];
+        assert!(cache.get_index(&other_share).is_none());
+        let mut other_workers = k;
+        other_workers.num_workers = 8;
+        assert!(cache.get_index(&other_workers).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let t = trie(50);
+        let bytes = RelationIndex::new(vec![t.clone()], 0, 0).bytes;
+        // Room for exactly two entries.
+        let cache = IndexCache::new(bytes * 2 + 1);
+        for (i, name) in ["a", "b"].iter().enumerate() {
+            cache.insert_index(
+                key(1, 0, name),
+                Arc::new(RelationIndex::new(vec![t.clone()], i as u64, 0)),
+            );
+        }
+        assert!(cache.get_index(&key(1, 0, "a")).is_some()); // refresh a → b is LRU
+        cache.insert_index(key(1, 0, "c"), Arc::new(RelationIndex::new(vec![t.clone()], 2, 0)));
+        assert!(cache.get_index(&key(1, 0, "b")).is_none(), "b was least recently used");
+        assert!(cache.get_index(&key(1, 0, "a")).is_some());
+        assert!(cache.get_index(&key(1, 0, "c")).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= s.capacity_bytes);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_cached() {
+        let cache = IndexCache::new(8);
+        cache.insert_index(key(1, 0, "big"), Arc::new(RelationIndex::new(vec![trie(100)], 0, 0)));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = IndexCache::new(0);
+        let k = key(1, 0, "R1");
+        cache.insert_index(k.clone(), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        assert!(cache.get_index(&k).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn bags_share_the_budget_and_roundtrip() {
+        let cache = IndexCache::new(1 << 20);
+        let rel = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (3, 4)]);
+        let scope = IndexScope { cache: &cache, db_tag: 7, epoch: 3 };
+        let bk = scope.bag_key("adj:R4,R5@[1,2,4]");
+        assert!(cache.get_bag(&bk).is_none());
+        cache.insert_bag(bk.clone(), Arc::new(rel.clone()));
+        assert_eq!(*cache.get_bag(&bk).unwrap(), rel);
+        assert!(cache.resident_bytes() >= rel.size_bytes());
+        // different epoch: distinct bag
+        let stale = BagKey { epoch: 4, ..bk };
+        assert!(cache.get_bag(&stale).is_none());
+    }
+
+    #[test]
+    fn invalidate_is_scoped_to_one_database() {
+        let cache = IndexCache::new(1 << 20);
+        cache.insert_index(key(100, 0, "R1"), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        cache.insert_bag(
+            BagKey { db_tag: 100, epoch: 0, label: "adj:x".into() },
+            Arc::new(Relation::from_pairs(Attr(0), Attr(1), &[(1, 2)])),
+        );
+        cache.insert_index(key(200, 0, "R1"), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        cache.invalidate_db(100);
+        assert_eq!(cache.len(), 1, "only db 100's artifacts drop");
+        assert!(cache.get_index(&key(200, 0, "R1")).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+        let expected: usize = cache.stats().resident_bytes;
+        assert!(expected > 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let idx = Arc::new(RelationIndex::new(vec![trie(10)], 10, 1));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                let idx = Arc::clone(&idx);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let k = key(t, 0, &format!("R{}", (t * 100 + i) % 12));
+                        if cache.get_index(&k).is_none() {
+                            cache.insert_index(k, Arc::clone(&idx));
+                        }
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 400);
+        assert!(s.resident_bytes <= s.capacity_bytes);
+    }
+}

@@ -17,12 +17,21 @@
 //! * [`shuffle::hcube_shuffle`] — three implementations: the original
 //!   tuple-at-a-time **Push**, and the paper's optimized **Pull** (block
 //!   transfer) and **Merge** (block transfer with pre-built sorted blocks,
-//!   so local tries need only a k-way merge) — the subject of Fig. 9.
+//!   so local tries need only a k-way merge) — the subject of Fig. 9;
+//! * [`cache::IndexCache`] — the cross-query index cache: shuffled
+//!   partitions and built tries published as shared `Arc<Trie>` handles,
+//!   keyed by `(relation identity, induced order, share, workers, database
+//!   epoch)`, so [`shuffle::hcube_shuffle_cached`] skips routing, transfer,
+//!   and build entirely for warm relations.
 
+pub mod cache;
 pub mod plan;
 pub mod share;
 pub mod shuffle;
 
+pub use cache::{BagKey, IndexCache, IndexCacheStats, IndexKey, IndexScope, RelationIndex};
 pub use plan::HCubePlan;
 pub use share::{optimize_share, ShareInput};
-pub use shuffle::{hcube_shuffle, HCubeImpl, LocalRelation, ShuffleOutput, ShuffleReport};
+pub use shuffle::{
+    hcube_shuffle, hcube_shuffle_cached, HCubeImpl, LocalRelation, ShuffleOutput, ShuffleReport,
+};

@@ -14,11 +14,20 @@
 //!   "three arrays" observation) — modeled as a 0.5× per-message overhead.
 //!
 //! All three produce byte-identical local tries; only their costs differ.
+//!
+//! On top of the three implementations, [`hcube_shuffle_cached`] consults a
+//! cross-query [`IndexCache`](crate::IndexCache): relations whose
+//! `(identity, induced order, share, workers, db epoch)` key hits skip the
+//! routing, transfer, and build phases entirely and reuse the published
+//! per-worker `Arc<Trie>` handles; cold relations are shuffled and built
+//! once, then published for every later query.
 
+use crate::cache::{IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
 use adj_cluster::{Cluster, WorkerId};
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Trie, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which shuffle implementation to use.
@@ -47,30 +56,39 @@ impl HCubeImpl {
 }
 
 /// One relation as materialized on a worker after the shuffle: a trie in the
-/// query's (induced) attribute order.
+/// query's (induced) attribute order. The trie is an `Arc` handle — either
+/// freshly built for this query or shared with the cross-query index cache.
 #[derive(Debug, Clone)]
 pub struct LocalRelation {
     /// The atom / relation name.
     pub name: String,
     /// Local fragment, indexed as a trie.
-    pub trie: Trie,
+    pub trie: Arc<Trie>,
 }
 
 /// Cost breakdown of one shuffle.
 #[derive(Debug, Clone, Default)]
 pub struct ShuffleReport {
-    /// Delivered tuple copies (`Σ_R |R|·dup(R,p)` realized).
+    /// Delivered tuple copies (`Σ_R |R|·dup(R,p)` realized; cache hits move
+    /// nothing and contribute nothing here).
     pub tuples: u64,
     /// Transfer units (tuple copies for Push; blocks for Pull/Merge).
     pub messages: u64,
     /// Modeled communication seconds (α model + per-message overhead).
     pub comm_secs: f64,
     /// Measured makespan of the local build phase (sort + trie build, or
-    /// merge + trie build for Merge).
+    /// merge + trie build for Merge) over the *cold* relations; 0 when
+    /// every relation was served from the index cache.
     pub build_secs: f64,
     /// Measured seconds spent pre-building blocks (Merge only; happens once
     /// per stored relation, before query time).
     pub preprocess_secs: f64,
+    /// Relations whose indexes were built by this shuffle.
+    pub built_relations: u64,
+    /// Relations served from the index cache (no shuffle, no build).
+    pub reused_relations: u64,
+    /// Tuple copies that cache hits avoided moving.
+    pub tuples_saved: u64,
 }
 
 /// The result of a shuffle: per-worker local databases plus the cost report.
@@ -84,7 +102,7 @@ pub struct ShuffleOutput {
 
 /// Runs the HCube shuffle for the relations named in `atom_names` (each must
 /// exist in `db`), under `plan`, preparing tries in the induced order of
-/// `order`.
+/// `order`. Never consults an index cache — see [`hcube_shuffle_cached`].
 pub fn hcube_shuffle(
     cluster: &Cluster,
     db: &Database,
@@ -93,9 +111,47 @@ pub fn hcube_shuffle(
     order: &[Attr],
     impl_: HCubeImpl,
 ) -> Result<ShuffleOutput> {
+    hcube_shuffle_cached(cluster, db, atom_names, plan, order, impl_, None, &[], &[])
+}
+
+/// Resolves a relation by name against the overlay first, then the base
+/// database — so callers can layer per-query temporaries (pre-computed
+/// bags) over an immutable shared database without cloning it.
+fn resolve<'a>(
+    db: &'a Database,
+    overlay: &'a [(String, Arc<Relation>)],
+    name: &str,
+) -> Result<&'a Relation> {
+    if let Some((_, rel)) = overlay.iter().find(|(n, _)| n == name) {
+        return Ok(rel);
+    }
+    db.get(name)
+}
+
+/// [`hcube_shuffle`] with a cross-query index cache.
+///
+/// `cache_ids[ai]` is the stable cache identity of `atom_names[ai]` — its
+/// name for base relations, a content-describing label for per-query
+/// temporaries (pre-computed bags), or `None` to bypass the cache for that
+/// relation. When `cache` is `None` (or `cache_ids` is shorter than the
+/// atom list) everything runs cold, exactly as [`hcube_shuffle`].
+///
+/// `overlay` supplies per-query relations (pre-computed bags) resolved
+/// before `db`, so the shared database is never cloned per query.
+#[allow(clippy::too_many_arguments)]
+pub fn hcube_shuffle_cached(
+    cluster: &Cluster,
+    db: &Database,
+    atom_names: &[String],
+    plan: &HCubePlan,
+    order: &[Attr],
+    impl_: HCubeImpl,
+    cache: Option<&IndexScope<'_>>,
+    cache_ids: &[Option<String>],
+    overlay: &[(String, Arc<Relation>)],
+) -> Result<ShuffleOutput> {
     let n = cluster.num_workers();
     assert_eq!(n, plan.num_workers(), "plan sized for a different cluster");
-    cluster.comm().record_round();
 
     // Per atom: the induced (permuted) schema and the column permutation.
     struct AtomInfo {
@@ -106,7 +162,7 @@ pub fn hcube_shuffle(
     }
     let mut infos = Vec::with_capacity(atom_names.len());
     for name in atom_names {
-        let rel = db.get(name)?;
+        let rel = resolve(db, overlay, name)?;
         let schema = rel.schema().clone();
         let induced_attrs: Vec<Attr> =
             order.iter().copied().filter(|a| schema.contains(*a)).collect();
@@ -125,8 +181,30 @@ pub fn hcube_shuffle(
         });
     }
 
+    // Consult the cache: resolved atoms skip routing, transfer, and build.
+    let mut resolved: Vec<Option<Arc<RelationIndex>>> = vec![None; infos.len()];
+    let mut tuples_saved: u64 = 0;
+    if let Some(scope) = cache {
+        for (ai, info) in infos.iter().enumerate() {
+            let Some(Some(id)) = cache_ids.get(ai) else { continue };
+            let key = scope.index_key(id.clone(), info.induced.attrs().to_vec(), plan.share(), n);
+            if let Some(entry) = scope.cache.get_index(&key) {
+                tuples_saved += entry.tuples;
+                resolved[ai] = Some(entry);
+            }
+        }
+    }
+    let any_cold = resolved.iter().any(|r| r.is_none());
+    if any_cold {
+        // A cache-warm query performs no communication round at all.
+        cluster.comm().record_round();
+    }
+
     let mut tuples: u64 = 0;
     let mut messages: u64 = 0;
+    // Per-atom shares of the totals, for publishing per-relation entries.
+    let mut rel_tuples: Vec<u64> = vec![0; infos.len()];
+    let mut rel_messages: Vec<u64> = vec![0; infos.len()];
     let t_pre = Instant::now();
     let mut preprocess_secs = 0.0;
 
@@ -134,7 +212,7 @@ pub fn hcube_shuffle(
     // of pre-built sorted block relations (Merge).
     enum Inbox {
         Raw(Vec<Value>),
-        Blocks(Vec<std::sync::Arc<Relation>>),
+        Blocks(Vec<Arc<Relation>>),
     }
     let mut inboxes: Vec<Vec<Inbox>> = (0..n)
         .map(|_| {
@@ -149,7 +227,10 @@ pub fn hcube_shuffle(
         .collect();
 
     for (ai, info) in infos.iter().enumerate() {
-        let rel = db.get(&info.name)?;
+        if resolved[ai].is_some() {
+            continue; // served from the cache — nothing moves
+        }
+        let rel = resolve(db, overlay, &info.name)?;
         match impl_ {
             HCubeImpl::Push => {
                 let mut dests: Vec<WorkerId> = Vec::new();
@@ -161,8 +242,8 @@ pub fn hcube_shuffle(
                                 buf.push(row[p]);
                             }
                         }
-                        tuples += 1;
-                        messages += 1; // one message per delivered copy
+                        rel_tuples[ai] += 1;
+                        rel_messages[ai] += 1; // one message per delivered copy
                     }
                 }
             }
@@ -196,7 +277,7 @@ pub fn hcube_shuffle(
                     let prebuilt = if impl_ == HCubeImpl::Merge {
                         // Pre-build once (sorted, induced layout); counted
                         // as preprocessing below.
-                        Some(std::sync::Arc::new(
+                        Some(Arc::new(
                             Relation::from_flat(info.induced.clone(), data.clone())
                                 .expect("arity preserved"),
                         ))
@@ -208,22 +289,28 @@ pub fn hcube_shuffle(
                             Inbox::Raw(buf) => buf.extend_from_slice(&data),
                             Inbox::Blocks(bs) => bs.push(prebuilt.clone().unwrap()),
                         }
-                        tuples += block_tuples;
-                        messages += 1; // one message per block delivery
+                        rel_tuples[ai] += block_tuples;
+                        rel_messages[ai] += 1; // one message per block delivery
                     }
                 }
             }
         }
+        tuples += rel_tuples[ai];
+        messages += rel_messages[ai];
     }
-    if impl_ == HCubeImpl::Merge {
+    if impl_ == HCubeImpl::Merge && any_cold {
         preprocess_secs = t_pre.elapsed().as_secs_f64();
     }
-    cluster
-        .comm()
-        .record(tuples, tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64);
-    cluster.comm().record_messages(messages);
+    if any_cold {
+        cluster.comm().record(
+            tuples,
+            tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64,
+        );
+        cluster.comm().record_messages(messages);
+    }
 
-    // Memory budget: total bytes parked at each worker.
+    // Memory budget: total bytes parked at each worker (cached relations
+    // are charged to the index cache's own byte budget, not the inbox).
     if let Some(limit) = cluster.config().memory_limit_bytes {
         for wb in &inboxes {
             let bytes: usize = wb
@@ -239,35 +326,96 @@ pub fn hcube_shuffle(
         }
     }
 
-    // Local build phase, in parallel, measured.
-    let induced_schemas: Vec<Schema> = infos.iter().map(|i| i.induced.clone()).collect();
-    let names: Vec<String> = infos.iter().map(|i| i.name.clone()).collect();
-    let inboxes_ref = &inboxes;
-    let run = cluster.run(|w| {
-        let mut locals = Vec::with_capacity(names.len());
-        for (ai, name) in names.iter().enumerate() {
-            let trie = match &inboxes_ref[w][ai] {
-                Inbox::Raw(buf) => {
-                    // sort + dedup + trie build
-                    let rel = Relation::from_flat(induced_schemas[ai].clone(), buf.clone())
-                        .expect("arity preserved");
-                    Trie::build(&rel)
+    // Local build phase for the cold relations, in parallel, measured. On a
+    // fully warm shuffle there is nothing to build — the worker round (and
+    // its thread-spawn cost) is skipped entirely.
+    let (mut built, build_secs): (Vec<Vec<Option<Arc<Trie>>>>, f64) = if any_cold {
+        let induced_schemas: Vec<Schema> = infos.iter().map(|i| i.induced.clone()).collect();
+        let inboxes_ref = &inboxes;
+        let resolved_ref = &resolved;
+        let run = cluster.run(|w| -> Vec<Option<Arc<Trie>>> {
+            let mut built = Vec::with_capacity(infos.len());
+            for ai in 0..infos.len() {
+                if resolved_ref[ai].is_some() {
+                    built.push(None);
+                    continue;
                 }
-                Inbox::Blocks(bs) => {
-                    // k-way merge of pre-sorted blocks + linear trie build
-                    if bs.is_empty() {
-                        Trie::build(&Relation::empty(induced_schemas[ai].clone()))
-                    } else {
-                        let refs: Vec<&Relation> = bs.iter().map(|b| b.as_ref()).collect();
-                        let rel = Relation::merge_sorted(&refs).expect("same schema");
+                let trie = match &inboxes_ref[w][ai] {
+                    Inbox::Raw(buf) => {
+                        // sort + dedup + trie build
+                        let rel = Relation::from_flat(induced_schemas[ai].clone(), buf.clone())
+                            .expect("arity preserved");
                         Trie::build(&rel)
                     }
+                    Inbox::Blocks(bs) => {
+                        // k-way merge of pre-sorted blocks + linear trie build
+                        if bs.is_empty() {
+                            Trie::build(&Relation::empty(induced_schemas[ai].clone()))
+                        } else {
+                            let refs: Vec<&Relation> = bs.iter().map(|b| b.as_ref()).collect();
+                            let rel = Relation::merge_sorted(&refs).expect("same schema");
+                            Trie::build(&rel)
+                        }
+                    }
+                };
+                built.push(Some(Arc::new(trie)));
+            }
+            built
+        });
+        (run.results, run.makespan_secs)
+    } else {
+        (Vec::new(), 0.0)
+    };
+
+    // Assemble locals and publish the cold relations' indexes.
+    let mut locals: Vec<Vec<LocalRelation>> =
+        (0..n).map(|_| Vec::with_capacity(infos.len())).collect();
+    let mut built_relations = 0u64;
+    let mut reused_relations = 0u64;
+    for (ai, info) in infos.iter().enumerate() {
+        match &resolved[ai] {
+            Some(entry) => {
+                reused_relations += 1;
+                for (w, local) in locals.iter_mut().enumerate() {
+                    local.push(LocalRelation {
+                        name: info.name.clone(),
+                        trie: Arc::clone(&entry.tries[w]),
+                    });
                 }
-            };
-            locals.push(LocalRelation { name: name.clone(), trie });
+            }
+            None => {
+                built_relations += 1;
+                let tries: Vec<Arc<Trie>> = built
+                    .iter_mut()
+                    .map(|per_worker| per_worker[ai].take().expect("cold atom was built"))
+                    .collect();
+                if let Some(scope) = cache {
+                    if let Some(Some(id)) = cache_ids.get(ai) {
+                        let key = scope.index_key(
+                            id.clone(),
+                            info.induced.attrs().to_vec(),
+                            plan.share(),
+                            n,
+                        );
+                        scope.cache.insert_index(
+                            key,
+                            Arc::new(RelationIndex::new(
+                                tries.clone(),
+                                rel_tuples[ai],
+                                rel_messages[ai],
+                            )),
+                        );
+                    }
+                }
+                for (w, local) in locals.iter_mut().enumerate() {
+                    local.push(LocalRelation {
+                        name: info.name.clone(),
+                        trie: Arc::clone(&tries[w]),
+                    });
+                }
+            }
         }
-        locals
-    });
+    }
 
     let model = cluster.cost_model();
     let msg_overhead = match impl_ {
@@ -278,13 +426,16 @@ pub fn hcube_shuffle(
         model.comm_secs(tuples) + messages as f64 * model.per_message_secs * msg_overhead;
 
     Ok(ShuffleOutput {
-        locals: run.results,
+        locals,
         report: ShuffleReport {
             tuples,
             messages,
             comm_secs,
-            build_secs: run.makespan_secs,
+            build_secs,
             preprocess_secs,
+            built_relations,
+            reused_relations,
+            tuples_saved,
         },
     })
 }
@@ -292,6 +443,7 @@ pub fn hcube_shuffle(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::IndexCache;
     use adj_cluster::ClusterConfig;
     use adj_relational::Attr;
 
@@ -308,6 +460,10 @@ mod tests {
 
     fn order3() -> Vec<Attr> {
         vec![Attr(0), Attr(1), Attr(2)]
+    }
+
+    fn ids(names: &[String]) -> Vec<Option<String>> {
+        names.iter().map(|n| Some(n.clone())).collect()
     }
 
     #[test]
@@ -445,5 +601,138 @@ mod tests {
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let bad_order = vec![Attr(0), Attr(1)]; // attr 2 missing
         assert!(hcube_shuffle(&cluster, &db, &names, &plan, &bad_order, HCubeImpl::Pull).is_err());
+    }
+
+    #[test]
+    fn warm_shuffle_is_byte_identical_and_moves_nothing() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        let cold = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(cold.report.built_relations, 3);
+        assert_eq!(cold.report.reused_relations, 0);
+        assert!(cold.report.tuples > 0);
+
+        let warm = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(warm.report.reused_relations, 3);
+        assert_eq!(warm.report.built_relations, 0);
+        assert_eq!(warm.report.tuples, 0, "a warm shuffle moves nothing");
+        assert_eq!(warm.report.tuples_saved, cold.report.tuples);
+        assert_eq!(warm.report.build_secs, 0.0);
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(cold.locals[w][ai].trie, warm.locals[w][ai].trie);
+                assert!(
+                    Arc::ptr_eq(&cold.locals[w][ai].trie, &warm.locals[w][ai].trie),
+                    "warm locals must share the cached handle, not a copy"
+                );
+            }
+        }
+        assert_eq!(cache.stats().hits, 3);
+    }
+
+    #[test]
+    fn epoch_bump_forces_rebuild() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let cache = IndexCache::new(64 << 20);
+        let s0 = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&s0),
+            &ids(&names),
+            &[],
+        )
+        .unwrap();
+        let s1 = IndexScope { cache: &cache, db_tag: 1, epoch: 1 };
+        let out = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&s1),
+            &ids(&names),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.report.reused_relations, 0, "stale epoch must not serve");
+        assert_eq!(out.report.built_relations, 3);
+    }
+
+    #[test]
+    fn mixed_hit_and_miss_builds_only_the_cold_relation() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        // Warm only R1 and R3.
+        let partial = vec![Some("R1".to_string()), None, Some("R3".to_string())];
+        hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &partial,
+            &[],
+        )
+        .unwrap();
+        let out = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+        )
+        .unwrap();
+        assert_eq!(out.report.reused_relations, 2);
+        assert_eq!(out.report.built_relations, 1);
+        // The mixed shuffle is still byte-identical to a cold one.
+        let c2 = Cluster::new(ClusterConfig::with_workers(4));
+        let cold = hcube_shuffle(&c2, &db, &names, &plan, &order3(), HCubeImpl::Merge).unwrap();
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(out.locals[w][ai].trie, cold.locals[w][ai].trie);
+            }
+        }
     }
 }

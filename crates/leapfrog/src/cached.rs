@@ -10,15 +10,20 @@
 //! capacity knob lets the experiments reproduce that effect.
 
 use crate::counters::JoinCounters;
+use crate::join::validate_tries;
 use adj_relational::hash::FxHashMap;
 use adj_relational::intersect::leapfrog_intersect;
 use adj_relational::{Attr, Result, Trie, TrieCursor, Value};
+use std::borrow::Borrow;
 use std::rc::Rc;
 
-/// A Leapfrog join with per-level intersection caching.
-pub struct CachedJoin<'a> {
+/// A Leapfrog join with per-level intersection caching. Like
+/// [`crate::LeapfrogJoin`], the trie handle type `T` is anything that
+/// borrows a [`Trie`] (`&Trie` per-query locals or `Arc<Trie>` cache
+/// handles).
+pub struct CachedJoin<T: Borrow<Trie>> {
     order: Vec<Attr>,
-    tries: Vec<&'a Trie>,
+    tries: Vec<T>,
     participants: Vec<Vec<usize>>,
     /// For each level: positions (in `order`) of the earlier attributes the
     /// level's candidate set actually depends on.
@@ -27,31 +32,19 @@ pub struct CachedJoin<'a> {
     capacity_values: usize,
 }
 
-impl<'a> CachedJoin<'a> {
+impl<T: Borrow<Trie>> CachedJoin<T> {
     /// Creates a cached join; `capacity_values` bounds the total number of
     /// cached candidate values (0 = unlimited).
-    pub fn new(order: &[Attr], tries: Vec<&'a Trie>, capacity_values: usize) -> Result<Self> {
-        // Reuse LeapfrogJoin validation.
-        let base = crate::join::LeapfrogJoin::new(order, tries.clone())?;
-        drop(base);
-        let participants: Vec<Vec<usize>> = order
-            .iter()
-            .map(|a| {
-                tries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.schema().contains(*a))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
+    pub fn new(order: &[Attr], tries: Vec<T>, capacity_values: usize) -> Result<Self> {
+        // Shared validation with LeapfrogJoin — no throwaway join is built.
+        let participants = validate_tries(order, &tries)?;
         let relevant_prefix = order
             .iter()
             .enumerate()
             .map(|(lvl, _)| {
                 let mut rel = Vec::new();
                 for (earlier, &ea) in order.iter().enumerate().take(lvl) {
-                    if participants[lvl].iter().any(|&p| tries[p].schema().contains(ea)) {
+                    if participants[lvl].iter().any(|&p| tries[p].borrow().schema().contains(ea)) {
                         rel.push(earlier);
                     }
                 }
@@ -70,10 +63,11 @@ impl<'a> CachedJoin<'a> {
     /// Runs the join, returning `(output count, counters)`.
     pub fn count(&self) -> (u64, JoinCounters) {
         let mut counters = JoinCounters::new(self.order.len());
-        if self.tries.iter().any(|t| t.tuples() == 0) {
+        if self.tries.iter().any(|t| t.borrow().tuples() == 0) {
             return (0, counters);
         }
-        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding = vec![0 as Value; self.order.len()];
         let mut cache: Vec<FxHashMap<Vec<Value>, Rc<Vec<Value>>>> =
             (0..self.order.len()).map(|_| FxHashMap::default()).collect();
@@ -86,7 +80,7 @@ impl<'a> CachedJoin<'a> {
     fn recurse(
         &self,
         level: usize,
-        cursors: &mut [TrieCursor<'a>],
+        cursors: &mut [TrieCursor<'_>],
         binding: &mut Vec<Value>,
         counters: &mut JoinCounters,
         cache: &mut [FxHashMap<Vec<Value>, Rc<Vec<Value>>>],

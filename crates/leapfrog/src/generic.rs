@@ -7,44 +7,36 @@
 //! run is much smaller (see `benches/micro.rs`).
 
 use crate::counters::JoinCounters;
+use crate::join::validate_tries;
 use adj_relational::intersect::gallop;
 use adj_relational::{Attr, Result, Trie, TrieCursor, Value};
+use std::borrow::Borrow;
 
 /// A Generic-Join execution over the same trie inputs as
-/// [`crate::LeapfrogJoin`].
-pub struct GenericJoin<'a> {
+/// [`crate::LeapfrogJoin`] (and the same handle flexibility: `&Trie` or
+/// `Arc<Trie>`).
+pub struct GenericJoin<T: Borrow<Trie>> {
     order: Vec<Attr>,
-    tries: Vec<&'a Trie>,
+    tries: Vec<T>,
     participants: Vec<Vec<usize>>,
 }
 
-impl<'a> GenericJoin<'a> {
+impl<T: Borrow<Trie>> GenericJoin<T> {
     /// Creates a Generic Join; inputs validated exactly like
-    /// [`crate::LeapfrogJoin::new`].
-    pub fn new(order: &[Attr], tries: Vec<&'a Trie>) -> Result<Self> {
-        let base = crate::join::LeapfrogJoin::new(order, tries.clone())?;
-        drop(base);
-        let participants = order
-            .iter()
-            .map(|a| {
-                tries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.schema().contains(*a))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
+    /// [`crate::LeapfrogJoin::new`] (via the shared [`validate_tries`]).
+    pub fn new(order: &[Attr], tries: Vec<T>) -> Result<Self> {
+        let participants = validate_tries(order, &tries)?;
         Ok(GenericJoin { order: order.to_vec(), tries, participants })
     }
 
     /// Runs the join, invoking `emit` per result tuple.
     pub fn run(&self, mut emit: impl FnMut(&[Value])) -> JoinCounters {
         let mut counters = JoinCounters::new(self.order.len());
-        if self.tries.iter().any(|t| t.tuples() == 0) {
+        if self.tries.iter().any(|t| t.borrow().tuples() == 0) {
             return counters;
         }
-        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding = vec![0 as Value; self.order.len()];
         self.recurse(0, &mut cursors, &mut binding, &mut counters, &mut emit);
         counters
@@ -59,7 +51,7 @@ impl<'a> GenericJoin<'a> {
     fn recurse(
         &self,
         level: usize,
-        cursors: &mut [TrieCursor<'a>],
+        cursors: &mut [TrieCursor<'_>],
         binding: &mut Vec<Value>,
         counters: &mut JoinCounters,
         emit: &mut impl FnMut(&[Value]),

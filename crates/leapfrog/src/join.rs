@@ -3,6 +3,81 @@
 use crate::counters::JoinCounters;
 use adj_relational::intersect::leapfrog_intersect;
 use adj_relational::{Attr, Error, FnSink, Result, RowSink, Trie, TrieCursor, Value};
+use std::borrow::Borrow;
+
+/// Validates that every trie's level order is the order induced by the
+/// global attribute order `order` (the invariant HCube's shuffle
+/// establishes) and that every attribute is bound by at least one relation.
+/// Returns, for each query level, the indices of the participating tries.
+///
+/// Shared by [`LeapfrogJoin`], [`crate::CachedJoin`], and
+/// [`crate::GenericJoin`] so none of them has to construct (and drop) a
+/// sibling join just to reuse its constructor checks.
+pub fn validate_tries<T: Borrow<Trie>>(order: &[Attr], tries: &[T]) -> Result<Vec<Vec<usize>>> {
+    for t in tries {
+        let t: &Trie = t.borrow();
+        let induced: Vec<Attr> =
+            order.iter().copied().filter(|a| t.schema().contains(*a)).collect();
+        if induced != t.schema().attrs() {
+            return Err(Error::SchemaMismatch {
+                left: t.schema().to_string(),
+                right: format!("induced by order {order:?}"),
+            });
+        }
+    }
+    let participants: Vec<Vec<usize>> = order
+        .iter()
+        .map(|a| {
+            tries
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    let t: &Trie = (*t).borrow();
+                    t.schema().contains(*a)
+                })
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    // Every attribute must be bound by at least one relation.
+    for (lvl, ps) in participants.iter().enumerate() {
+        if ps.is_empty() {
+            return Err(Error::UnknownAttr {
+                attr: order[lvl].to_string(),
+                schema: "any input trie".to_string(),
+            });
+        }
+    }
+    Ok(participants)
+}
+
+/// Reusable per-level intersection output buffers.
+///
+/// The Leapfrog inner loop produces one candidate list per level per
+/// binding; allocating a fresh `Vec<Value>` for each would dominate
+/// steady-state enumeration on small per-worker fragments. A `JoinScratch`
+/// keeps one buffer per query level (reused across sibling bindings and
+/// across joins), so enumeration is allocation-free once the buffers reach
+/// their high-water marks.
+#[derive(Debug, Default)]
+pub struct JoinScratch {
+    levels: Vec<Vec<Value>>,
+}
+
+impl JoinScratch {
+    /// An empty scratch pool; buffers grow on first use.
+    pub fn new() -> Self {
+        JoinScratch::default()
+    }
+
+    /// Ensures one buffer per level, returning the slice of buffers.
+    fn for_levels(&mut self, levels: usize) -> &mut [Vec<Value>] {
+        if self.levels.len() < levels {
+            self.levels.resize_with(levels, Vec::new);
+        }
+        &mut self.levels[..levels]
+    }
+}
 
 /// A multi-way join execution over tries.
 ///
@@ -11,47 +86,22 @@ use adj_relational::{Attr, Error, FnSink, Result, RowSink, Trie, TrieCursor, Val
 /// establishes). The join itself walks the query levels `A_1 … A_n`,
 /// maintaining one cursor per relation, and at each level intersects the
 /// candidate runs of the relations containing that attribute.
-pub struct LeapfrogJoin<'a> {
+///
+/// The trie handle type `T` is anything that borrows a [`Trie`]: `&Trie`
+/// for per-query locals (the original contract), or `Arc<Trie>` for
+/// owned handles shared with a cross-query index cache — the join itself
+/// never cares who owns the index.
+pub struct LeapfrogJoin<T: Borrow<Trie>> {
     order: Vec<Attr>,
-    tries: Vec<&'a Trie>,
+    tries: Vec<T>,
     /// For each query level: indices of participating tries.
     participants: Vec<Vec<usize>>,
 }
 
-impl<'a> LeapfrogJoin<'a> {
+impl<T: Borrow<Trie>> LeapfrogJoin<T> {
     /// Creates a join over `tries` under the global attribute order.
-    pub fn new(order: &[Attr], tries: Vec<&'a Trie>) -> Result<Self> {
-        // Validate each trie's level order is order-induced.
-        for t in &tries {
-            let induced: Vec<Attr> =
-                order.iter().copied().filter(|a| t.schema().contains(*a)).collect();
-            if induced != t.schema().attrs() {
-                return Err(Error::SchemaMismatch {
-                    left: t.schema().to_string(),
-                    right: format!("induced by order {order:?}"),
-                });
-            }
-        }
-        let participants = order
-            .iter()
-            .map(|a| {
-                tries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.schema().contains(*a))
-                    .map(|(i, _)| i)
-                    .collect::<Vec<_>>()
-            })
-            .collect::<Vec<_>>();
-        // Every attribute must be bound by at least one relation.
-        for (lvl, ps) in participants.iter().enumerate() {
-            if ps.is_empty() {
-                return Err(Error::UnknownAttr {
-                    attr: order[lvl].to_string(),
-                    schema: "any input trie".to_string(),
-                });
-            }
-        }
+    pub fn new(order: &[Attr], tries: Vec<T>) -> Result<Self> {
+        let participants = validate_tries(order, &tries)?;
         Ok(LeapfrogJoin { order: order.to_vec(), tries, participants })
     }
 
@@ -80,25 +130,42 @@ impl<'a> LeapfrogJoin<'a> {
     /// the tuples actually emitted, which on a short-circuited run is less
     /// than the full result cardinality.
     pub fn join_into(&self, sink: &mut dyn RowSink) -> JoinCounters {
+        let mut scratch = JoinScratch::new();
+        self.join_into_with_scratch(sink, &mut scratch)
+    }
+
+    /// [`LeapfrogJoin::join_into`] with a caller-provided scratch pool, so
+    /// repeated joins (a serving hot path) reuse intersection buffers
+    /// instead of re-allocating them per query.
+    pub fn join_into_with_scratch(
+        &self,
+        sink: &mut dyn RowSink,
+        scratch: &mut JoinScratch,
+    ) -> JoinCounters {
         let mut counters = JoinCounters::new(self.levels());
-        if self.tries.iter().any(|t| t.tuples() == 0) || sink.saturated() {
+        if self.tries.iter().any(|t| t.borrow().tuples() == 0) || sink.saturated() {
             return counters;
         }
-        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
-        self.recurse_sink(0, &mut cursors, &mut binding, &mut counters, sink);
+        let bufs = scratch.for_levels(self.levels());
+        self.recurse_sink(0, &mut cursors, &mut binding, &mut counters, sink, bufs);
         counters
     }
 
     /// Sink-driven enumeration; returns `false` once the sink saturates so
-    /// every enclosing level stops iterating its candidates.
+    /// every enclosing level stops iterating its candidates. `scratch`
+    /// holds one intersection buffer per remaining level (`scratch[0]` is
+    /// this level's), reused across sibling bindings.
     fn recurse_sink(
         &self,
         level: usize,
-        cursors: &mut [TrieCursor<'a>],
+        cursors: &mut [TrieCursor<'_>],
         binding: &mut Vec<Value>,
         counters: &mut JoinCounters,
         sink: &mut dyn RowSink,
+        scratch: &mut [Vec<Value>],
     ) -> bool {
         let ps = &self.participants[level];
         let mut opened = 0usize;
@@ -113,12 +180,12 @@ impl<'a> LeapfrogJoin<'a> {
             }
         }
         if ok {
+            let (vals, deeper) = scratch.split_first_mut().expect("scratch sized to levels");
             let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
-            let mut vals: Vec<Value> = Vec::new();
-            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
+            counters.intersect_ops += leapfrog_intersect(&runs, vals);
             counters.tuples_per_level[level] += vals.len() as u64;
             let last = level + 1 == self.levels();
-            for v in vals {
+            for &v in vals.iter() {
                 for &p in ps {
                     let hit = cursors[p].seek(v);
                     debug_assert!(hit, "intersection value must exist in every run");
@@ -128,7 +195,7 @@ impl<'a> LeapfrogJoin<'a> {
                     counters.output_tuples += 1;
                     sink.push(binding)
                 } else {
-                    self.recurse_sink(level + 1, cursors, binding, counters, sink)
+                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper)
                 };
                 if !keep_going {
                     break;
@@ -154,23 +221,33 @@ impl<'a> LeapfrogJoin<'a> {
     /// cross-product-sized intermediate sets that would run for hours.
     pub fn count_with_budget(&self, max_total_bindings: u64) -> (bool, JoinCounters) {
         let mut counters = JoinCounters::new(self.levels());
-        if self.tries.iter().any(|t| t.tuples() == 0) {
+        if self.tries.iter().any(|t| t.borrow().tuples() == 0) {
             return (true, counters);
         }
-        let mut cursors: Vec<TrieCursor<'a>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
-        let completed =
-            self.recurse_budgeted(0, &mut cursors, &mut binding, &mut counters, max_total_bindings);
+        let mut scratch = JoinScratch::new();
+        let bufs = scratch.for_levels(self.levels());
+        let completed = self.recurse_budgeted(
+            0,
+            &mut cursors,
+            &mut binding,
+            &mut counters,
+            max_total_bindings,
+            bufs,
+        );
         (completed, counters)
     }
 
     fn recurse_budgeted(
         &self,
         level: usize,
-        cursors: &mut [TrieCursor<'a>],
+        cursors: &mut [TrieCursor<'_>],
         binding: &mut Vec<Value>,
         counters: &mut JoinCounters,
         budget: u64,
+        scratch: &mut [Vec<Value>],
     ) -> bool {
         let ps = &self.participants[level];
         let mut opened = 0usize;
@@ -185,9 +262,9 @@ impl<'a> LeapfrogJoin<'a> {
             }
         }
         if ok {
+            let (vals, deeper) = scratch.split_first_mut().expect("scratch sized to levels");
             let runs: Vec<&[Value]> = ps.iter().map(|&p| cursors[p].run()).collect();
-            let mut vals: Vec<Value> = Vec::new();
-            counters.intersect_ops += leapfrog_intersect(&runs, &mut vals);
+            counters.intersect_ops += leapfrog_intersect(&runs, vals);
             counters.tuples_per_level[level] += vals.len() as u64;
             let last = level + 1 == self.levels();
             if counters.total_tuples() > budget {
@@ -195,12 +272,13 @@ impl<'a> LeapfrogJoin<'a> {
             } else if last {
                 counters.output_tuples += vals.len() as u64;
             } else {
-                for v in vals {
+                for &v in vals.iter() {
                     for &p in ps {
                         cursors[p].seek(v);
                     }
                     binding[level] = v;
-                    if !self.recurse_budgeted(level + 1, cursors, binding, counters, budget) {
+                    if !self.recurse_budgeted(level + 1, cursors, binding, counters, budget, deeper)
+                    {
                         completed = false;
                         break;
                     }
@@ -219,10 +297,11 @@ impl<'a> LeapfrogJoin<'a> {
     /// `v` when present.
     pub fn count_with_first_value(&self, v: Value) -> (u64, JoinCounters) {
         let mut counters = JoinCounters::new(self.levels());
-        if self.tries.iter().any(|t| t.tuples() == 0) {
+        if self.tries.iter().any(|t| t.borrow().tuples() == 0) {
             return (0, counters);
         }
-        let mut cursors: Vec<TrieCursor<'_>> = self.tries.iter().map(|t| t.cursor()).collect();
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
         // Position level-0 participants at v.
         let ps = &self.participants[0];
@@ -242,12 +321,15 @@ impl<'a> LeapfrogJoin<'a> {
             if self.levels() == 1 {
                 counters.output_tuples += 1;
             } else {
+                let mut scratch = JoinScratch::new();
+                let bufs = scratch.for_levels(self.levels());
                 self.recurse_sink(
                     1,
                     &mut cursors,
                     &mut binding,
                     &mut counters,
                     &mut FnSink(|_: &[Value]| {}),
+                    &mut bufs[1..],
                 );
             }
         }
@@ -262,6 +344,7 @@ impl<'a> LeapfrogJoin<'a> {
 mod tests {
     use super::*;
     use adj_relational::{Relation, Schema};
+    use std::sync::Arc;
 
     fn order(ids: &[u32]) -> Vec<Attr> {
         ids.iter().map(|&i| Attr(i)).collect()
@@ -295,6 +378,37 @@ mod tests {
         assert_eq!(counters.output_tuples, 2);
         assert_eq!(counters.tuples_per_level.len(), 3);
         assert!(counters.intersect_ops > 0);
+    }
+
+    #[test]
+    fn owned_arc_handles_join_like_borrows() {
+        // The serving hot path joins over `Arc<Trie>` handles shared with
+        // the index cache; results must match the borrowed form exactly.
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let borrowed = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let handles: Vec<Arc<Trie>> = tries.iter().cloned().map(Arc::new).collect();
+        let owned = LeapfrogJoin::new(&ord, handles).unwrap();
+        let mut a = Vec::new();
+        borrowed.run(|t| a.push(t.to_vec()));
+        let mut b = Vec::new();
+        owned.run(|t| b.push(t.to_vec()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_across_joins_matches_fresh() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut scratch = JoinScratch::new();
+        for _ in 0..3 {
+            let mut buf = adj_relational::RowBuffer::new(3);
+            let counters = join.join_into_with_scratch(&mut buf, &mut scratch);
+            assert_eq!(counters.output_tuples, 2);
+        }
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod join;
 pub use cached::CachedJoin;
 pub use counters::JoinCounters;
 pub use generic::GenericJoin;
-pub use join::LeapfrogJoin;
+pub use join::{validate_tries, JoinScratch, LeapfrogJoin};

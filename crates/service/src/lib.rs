@@ -21,6 +21,13 @@
 //!   database's statistics epoch. Repeated query shapes skip GHD search,
 //!   cost sampling, and Algorithm 2 entirely; hit/miss/eviction counts are
 //!   exposed.
+//! * [`IndexCache`] — the cross-query *index*
+//!   cache, next to the plan cache: shuffled partitions, built tries, and
+//!   pre-computed bag relations are published as shared `Arc` handles keyed
+//!   by `(relation, induced order, share, workers, stats epoch)`. Warm
+//!   queries skip the HCube shuffle + sort + trie build entirely and join
+//!   over the cached handles; bytes are LRU-bounded and carved out of the
+//!   cluster memory budget the admission controller enforces.
 //! * [`AdmissionController`](admission::AdmissionController) — a
 //!   concurrency limit plus a per-query memory budget derived from
 //!   [`ClusterConfig::memory_limit_bytes`](adj_cluster::ClusterConfig):
@@ -69,6 +76,7 @@ pub mod metrics;
 pub mod pool;
 pub mod service;
 
+pub use adj_core::{IndexCache, IndexCacheStats};
 pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use cache::PlanCacheStats;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
@@ -88,6 +96,14 @@ pub struct ServiceConfig {
     pub strategy: Strategy,
     /// Plan-cache capacity in entries; 0 disables caching.
     pub plan_cache_capacity: usize,
+    /// Index-cache capacity in **bytes**, covering shuffled partitions,
+    /// built tries, and pre-computed bags. `Some(0)` disables index
+    /// caching; `None` derives the budget from the cluster memory limit
+    /// (half of `memory_limit_bytes × num_workers`, or 256 MiB when the
+    /// cluster is unlimited). Whatever the cache may hold is carved out of
+    /// the admission controller's per-query memory budget, so cache and
+    /// queries together never exceed the cluster limit.
+    pub index_cache_capacity_bytes: Option<usize>,
     /// Maximum queries executing concurrently on the shared cluster.
     pub max_concurrent: usize,
     /// What to do with arrivals beyond `max_concurrent`.
@@ -100,6 +116,7 @@ impl Default for ServiceConfig {
             adj: AdjConfig::default(),
             strategy: Strategy::CoOptimize,
             plan_cache_capacity: 128,
+            index_cache_capacity_bytes: None,
             max_concurrent: 4,
             admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
         }

@@ -135,6 +135,9 @@ pub struct ServiceMetrics {
     output_tuples_returned: AtomicU64,
     comm_tuples: AtomicU64,
     precompute_tuples: AtomicU64,
+    index_relations_built: AtomicU64,
+    index_relations_reused: AtomicU64,
+    index_bags_reused: AtomicU64,
     /// End-to-end service-side latency (admission wait included).
     pub total: Histogram,
     /// Time spent waiting for an admission slot.
@@ -147,6 +150,9 @@ pub struct ServiceMetrics {
     pub communication: Histogram,
     /// Leapfrog computation seconds (makespan).
     pub computation: Histogram,
+    /// Local trie index build seconds (0 when every relation came from the
+    /// index cache — the warm-path signature).
+    pub index_build: Histogram,
 }
 
 impl ServiceMetrics {
@@ -180,12 +186,16 @@ impl ServiceMetrics {
         self.output_tuples.fetch_add(report.output_tuples, Ordering::Relaxed);
         self.comm_tuples.fetch_add(report.comm_tuples, Ordering::Relaxed);
         self.precompute_tuples.fetch_add(report.precompute_tuples, Ordering::Relaxed);
+        self.index_relations_built.fetch_add(report.index_relations_built, Ordering::Relaxed);
+        self.index_relations_reused.fetch_add(report.index_relations_reused, Ordering::Relaxed);
+        self.index_bags_reused.fetch_add(report.index_bags_reused, Ordering::Relaxed);
         self.total.record_secs(total_secs);
         self.queue_wait.record_secs(queue_secs);
         self.optimization.record_secs(report.optimization_secs);
         self.precompute.record_secs(report.precompute_secs);
         self.communication.record_secs(report.communication_secs);
         self.computation.record_secs(report.computation_secs);
+        self.index_build.record_secs(report.index_build_secs);
     }
 
     /// Records a query that failed during planning or execution.
@@ -214,12 +224,16 @@ impl ServiceMetrics {
             output_tuples_returned: self.output_tuples_returned.load(Ordering::Relaxed),
             comm_tuples: self.comm_tuples.load(Ordering::Relaxed),
             precompute_tuples: self.precompute_tuples.load(Ordering::Relaxed),
+            index_relations_built: self.index_relations_built.load(Ordering::Relaxed),
+            index_relations_reused: self.index_relations_reused.load(Ordering::Relaxed),
+            index_bags_reused: self.index_bags_reused.load(Ordering::Relaxed),
             total: self.total.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
             optimization: self.optimization.snapshot(),
             precompute: self.precompute.snapshot(),
             communication: self.communication.snapshot(),
             computation: self.computation.snapshot(),
+            index_build: self.index_build.snapshot(),
         }
     }
 }
@@ -247,6 +261,13 @@ pub struct MetricsSnapshot {
     pub comm_tuples: u64,
     /// Total tuple copies moved while pre-computing.
     pub precompute_tuples: u64,
+    /// Relation indexes built (cold shuffle + sort + trie build paid).
+    pub index_relations_built: u64,
+    /// Relation indexes served from the index cache (nothing moved or
+    /// built).
+    pub index_relations_reused: u64,
+    /// Pre-computed bag relations served from the index cache.
+    pub index_bags_reused: u64,
     /// End-to-end latency summary.
     pub total: HistogramSnapshot,
     /// Admission-wait summary.
@@ -259,6 +280,9 @@ pub struct MetricsSnapshot {
     pub communication: HistogramSnapshot,
     /// Computation-phase summary.
     pub computation: HistogramSnapshot,
+    /// Index-build summary (the index_build vs index_reuse split: warm
+    /// queries record ~0 here).
+    pub index_build: HistogramSnapshot,
 }
 
 #[cfg(test)]

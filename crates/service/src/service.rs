@@ -6,7 +6,7 @@ use crate::cache::{PlanCache, PlanCacheStats};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
-use adj_core::{Adj, ExecutionReport, QueryPlan};
+use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
 use adj_query::fingerprint::Fnv1a;
 use adj_query::{parse_query_with_mode, JoinQuery, QueryFingerprint};
 use adj_relational::{Database, OutputMode, QueryOutput, Relation};
@@ -70,6 +70,8 @@ pub struct ServiceStats {
     pub metrics: MetricsSnapshot,
     /// Plan-cache counters.
     pub cache: PlanCacheStats,
+    /// Index-cache counters (hits/misses/evictions/resident bytes).
+    pub index: IndexCacheStats,
     /// Admission-control counters.
     pub admission: AdmissionStats,
 }
@@ -85,18 +87,29 @@ pub struct Service {
     adj: Adj,
     databases: RwLock<HashMap<String, Arc<DbEntry>>>,
     cache: PlanCache,
+    /// The cross-query index cache: shuffled partitions, built tries, and
+    /// pre-computed bag relations, shared by every database the service
+    /// hosts (keys carry the database tag + epoch).
+    index: IndexCache,
     admission: AdmissionController,
     metrics: ServiceMetrics,
     epoch: AtomicU64,
-    /// Cluster-wide memory divided by `max_concurrent`; `None` = unlimited.
+    /// Cluster-wide memory minus the index-cache budget, divided by
+    /// `max_concurrent`; `None` = unlimited.
     per_query_budget_bytes: Option<usize>,
 }
 
+/// Default index-cache budget when the cluster has no memory limit.
+const DEFAULT_INDEX_CACHE_BYTES: usize = 256 << 20;
+
 impl Service {
     /// Creates a service: builds the shared cluster once and derives the
-    /// per-query memory budget from
-    /// [`ClusterConfig::memory_limit_bytes`](adj_cluster::ClusterConfig)
-    /// (per-worker limit × workers ÷ `max_concurrent`).
+    /// memory budgets from
+    /// [`ClusterConfig::memory_limit_bytes`](adj_cluster::ClusterConfig) —
+    /// the index cache takes half of `per-worker limit × workers` (unless
+    /// [`ServiceConfig::index_cache_capacity_bytes`] overrides it) and the
+    /// remainder is split per query by `max_concurrent`, so cached indexes
+    /// and in-flight queries together stay under the cluster limit.
     pub fn new(config: ServiceConfig) -> Self {
         let cluster = Cluster::shared(config.adj.cluster.clone());
         Service::with_cluster(config, cluster)
@@ -110,13 +123,22 @@ impl Service {
         assert_send_sync::<Service>();
 
         let max_concurrent = config.max_concurrent.max(1);
-        let per_query_budget_bytes = cluster
+        let total_memory = cluster
             .config()
             .memory_limit_bytes
-            .map(|per_worker| per_worker.saturating_mul(cluster.num_workers()) / max_concurrent);
+            .map(|per_worker| per_worker.saturating_mul(cluster.num_workers()));
+        let index_capacity = config.index_cache_capacity_bytes.unwrap_or(match total_memory {
+            Some(total) => total / 2,
+            None => DEFAULT_INDEX_CACHE_BYTES,
+        });
+        // The cache's ceiling is charged against the cluster budget up
+        // front: queries share only what the cache can never occupy.
+        let per_query_budget_bytes =
+            total_memory.map(|total| total.saturating_sub(index_capacity) / max_concurrent);
         let adj = Adj::with_cluster(config.adj.clone(), cluster);
         Service {
             cache: PlanCache::new(config.plan_cache_capacity),
+            index: IndexCache::new(index_capacity),
             admission: AdmissionController::new(max_concurrent, config.admission),
             metrics: ServiceMetrics::new(),
             databases: RwLock::new(HashMap::new()),
@@ -157,17 +179,28 @@ impl Service {
             .expect("database registry poisoned")
             .insert(name, Arc::clone(&entry));
         if let Some(old) = replaced {
-            // Scoped: only this database's plans drop; other databases'
-            // cached plans stay warm.
+            // Scoped: only this database's plans and indexes drop; other
+            // databases' cached artifacts stay warm. (The epoch bump already
+            // stops stale entries from matching — eager invalidation frees
+            // their bytes instead of waiting for LRU pressure.)
             self.cache.invalidate_db(old.tag);
+            self.index.invalidate_db(old.tag);
         }
         epoch
     }
 
     /// Removes a database; queries against it fail with
-    /// [`ServiceError::UnknownDatabase`] from then on.
+    /// [`ServiceError::UnknownDatabase`] from then on. Its cached indexes
+    /// are dropped eagerly to free their bytes.
     pub fn drop_database(&self, name: &str) -> bool {
-        self.databases.write().expect("database registry poisoned").remove(name).is_some()
+        let removed = self.databases.write().expect("database registry poisoned").remove(name);
+        match removed {
+            Some(old) => {
+                self.index.invalidate_db(old.tag);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Registered database names (sorted, for determinism).
@@ -256,14 +289,18 @@ impl Service {
         };
 
         // Execute on the shared cluster (borrowing the cached plan — no
-        // per-query plan clone on the hot path).
-        let (output, mut report) = match self.adj.execute_prepared(&plan, &entry.db, mode) {
-            Ok(o) => o,
-            Err(e) => {
-                self.metrics.record_failure();
-                return Err(ServiceError::Exec(e));
-            }
-        };
+        // per-query plan clone on the hot path) under the index cache's
+        // scope: warm relations join over cached `Arc<Trie>` handles and
+        // skip the shuffle + build entirely.
+        let scope = IndexScope { cache: &self.index, db_tag: entry.tag, epoch: entry.epoch };
+        let (output, mut report) =
+            match self.adj.execute_prepared_cached(&plan, &entry.db, mode, Some(&scope)) {
+                Ok(o) => o,
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(ServiceError::Exec(e));
+                }
+            };
         drop(permit);
 
         if cache_hit {
@@ -318,6 +355,11 @@ impl Service {
         self.cache.stats()
     }
 
+    /// Index-cache counters (hits/misses/evictions/resident bytes).
+    pub fn index_cache_stats(&self) -> IndexCacheStats {
+        self.index.stats()
+    }
+
     /// Admission-control counters.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.admission.stats()
@@ -333,6 +375,7 @@ impl Service {
         ServiceStats {
             metrics: self.metrics.snapshot(),
             cache: self.cache.stats(),
+            index: self.index.stats(),
             admission: self.admission.stats(),
         }
     }
@@ -533,7 +576,9 @@ mod tests {
             adj: AdjConfig {
                 cluster: ClusterConfig {
                     num_workers: 2,
-                    memory_limit_bytes: Some(64), // 2 workers × 64 B ÷ 1 = 128 B
+                    // 2 workers × 64 B = 128 B total; half goes to the
+                    // index cache, leaving 64 B ÷ max_concurrent(1).
+                    memory_limit_bytes: Some(64),
                     ..Default::default()
                 },
                 ..Default::default()
@@ -542,7 +587,8 @@ mod tests {
             ..Default::default()
         };
         let service = Service::new(config);
-        assert_eq!(service.per_query_budget_bytes(), Some(128));
+        assert_eq!(service.index_cache_stats().capacity_bytes, 64);
+        assert_eq!(service.per_query_budget_bytes(), Some(64));
         service.register_database("g", db);
         let err = service.execute("g", &q).unwrap_err();
         assert!(matches!(err, ServiceError::RejectedMemory { .. }), "{err}");

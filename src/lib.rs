@@ -17,11 +17,11 @@
 //! | [`relational`] | `adj-relational` | relations, schemas, tries, intersections, output modes & row sinks |
 //! | [`query`] | `adj-query` | join queries, hypergraphs, GHD/fhw, attribute orders, Q1–Q11 |
 //! | [`cluster`] | `adj-cluster` | the simulated shared-nothing cluster |
-//! | [`hcube`] | `adj-hcube` | HCube share optimizer + Push/Pull/Merge shuffles |
+//! | [`hcube`] | `adj-hcube` | HCube share optimizer + Push/Pull/Merge shuffles + cross-query index cache |
 //! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
 //! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
-//! | [`service`] | `adj-service` | concurrent query service: plan cache, admission control, metrics, output modes |
+//! | [`service`] | `adj-service` | concurrent query service: plan + index caches, admission control, metrics, output modes |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
 //! | [`datagen`] | `adj-datagen` | seeded stand-ins for the Table I datasets |
 //!

@@ -1,0 +1,213 @@
+//! Index-cache acceptance tests: a warm cache must change *nothing* about
+//! results — byte-identical outputs on Q1/Q4/Q7 under both plan-search
+//! strategies and all four output modes — while provably skipping the
+//! shuffle + trie-build work; a database mutation (stats-epoch bump) must
+//! evict stale tries instead of serving them; and resident bytes must stay
+//! under the configured budget, with LRU eviction under pressure.
+
+use adj::prelude::*;
+use adj_core::AdjConfig;
+
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+const STRATEGIES: [Strategy; 2] = [Strategy::CoOptimize, Strategy::CommFirst];
+const MODES: [OutputMode; 4] =
+    [OutputMode::Rows, OutputMode::Count, OutputMode::Limit(5), OutputMode::Exists];
+
+fn graph(n: u32, m: u32) -> Relation {
+    let edges: Vec<(Value, Value)> = (0..n)
+        .flat_map(|i| vec![(i % m, (i * 7 + 1) % m), ((i * 3) % m, (i * 11 + 5) % m)])
+        .collect();
+    Relation::from_pairs(Attr(0), Attr(1), &edges)
+}
+
+fn service_with(strategy: Strategy) -> Service {
+    Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+        strategy,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn warm_results_byte_identical_across_shapes_strategies_and_modes() {
+    for strategy in STRATEGIES {
+        let service = service_with(strategy);
+        let g = graph(240, 31);
+        for shape in SHAPES {
+            let q = paper_query(shape);
+            service.register_database(format!("{shape:?}"), q.instantiate(&g));
+        }
+        for shape in SHAPES {
+            let q = paper_query(shape);
+            let name = format!("{shape:?}");
+            for mode in MODES {
+                let cold = service.execute_mode(&name, &q, mode).unwrap();
+                let warm = service.execute_mode(&name, &q, mode).unwrap();
+                assert_eq!(
+                    cold.output, warm.output,
+                    "{shape:?}/{strategy:?}/{mode:?}: warm output must be byte-identical"
+                );
+                assert!(
+                    warm.report.index_relations_built == 0,
+                    "{shape:?}/{strategy:?}/{mode:?}: warm query rebuilt an index"
+                );
+                assert!(
+                    warm.report.index_relations_reused > 0,
+                    "{shape:?}/{strategy:?}/{mode:?}: warm query reused nothing"
+                );
+                assert_eq!(
+                    warm.report.comm_tuples, 0,
+                    "{shape:?}/{strategy:?}/{mode:?}: warm query still shuffled tuples"
+                );
+            }
+        }
+        let stats = service.index_cache_stats();
+        assert!(stats.hits > 0, "{strategy:?}: the warm passes must hit the cache");
+        assert!(stats.resident_bytes > 0);
+        assert!(stats.resident_bytes <= stats.capacity_bytes);
+    }
+}
+
+#[test]
+fn warm_queries_match_an_uncached_adj_exactly() {
+    // Not just self-consistency: the cached service must agree with a
+    // plain single-shot Adj run that never sees a cache.
+    let service = service_with(Strategy::CoOptimize);
+    let g = graph(200, 29);
+    let solo = Adj::with_workers(2);
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        let db = q.instantiate(&g);
+        service.register_database(format!("{shape:?}"), db.clone());
+        let name = format!("{shape:?}");
+        service.execute(&name, &q).unwrap(); // cold pass populates the cache
+        let warm = service.execute(&name, &q).unwrap();
+        let truth = solo.execute(&q, &db).unwrap();
+        assert_eq!(
+            warm.rows().len(),
+            truth.rows().len(),
+            "{shape:?}: warm cardinality diverged from uncached execution"
+        );
+        let aligned = warm.rows().permute(truth.rows().schema().attrs()).unwrap();
+        assert_eq!(&aligned, truth.rows(), "{shape:?}");
+    }
+}
+
+#[test]
+fn database_mutation_evicts_stale_tries_instead_of_serving_them() {
+    let service = service_with(Strategy::CoOptimize);
+    let q = paper_query(PaperQuery::Q1);
+
+    let db_v1 = q.instantiate(&graph(120, 23));
+    service.register_database("g", db_v1.clone());
+    let first = service.execute("g", &q).unwrap();
+    let warm = service.execute("g", &q).unwrap();
+    assert!(warm.report.index_relations_reused > 0, "cache must be warm before the mutation");
+
+    // Mutate: new contents under the same name bump the stats epoch.
+    let db_v2 = q.instantiate(&graph(260, 41));
+    service.register_database("g", db_v2.clone());
+    let stats = service.index_cache_stats();
+    assert!(stats.invalidations > 0, "re-registration must eagerly drop stale index entries");
+
+    let after = service.execute("g", &q).unwrap();
+    assert_eq!(
+        after.report.index_relations_reused, 0,
+        "a stale trie must never be served after the epoch bump"
+    );
+    let truth = Adj::with_workers(2).execute(&q, &db_v2).unwrap();
+    assert_eq!(after.rows().len(), truth.rows().len(), "post-mutation result must reflect v2");
+    assert_ne!(
+        first.rows().len(),
+        after.rows().len(),
+        "test graphs must differ enough to expose stale serving"
+    );
+
+    // And the rebuilt entries serve the new contents warm.
+    let rewarmed = service.execute("g", &q).unwrap();
+    assert!(rewarmed.report.index_relations_reused > 0);
+    assert_eq!(rewarmed.rows(), after.rows());
+}
+
+#[test]
+fn dropping_a_database_frees_its_cached_bytes() {
+    let service = service_with(Strategy::CoOptimize);
+    let q = paper_query(PaperQuery::Q1);
+    service.register_database("g", q.instantiate(&graph(150, 23)));
+    service.execute("g", &q).unwrap();
+    assert!(service.index_cache_stats().resident_bytes > 0);
+    assert!(service.drop_database("g"));
+    assert_eq!(service.index_cache_stats().resident_bytes, 0);
+}
+
+#[test]
+fn resident_bytes_stay_under_a_tiny_budget_with_lru_eviction() {
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+        // Big enough for roughly one shape's tries, far too small for three.
+        index_cache_capacity_bytes: Some(4_000),
+        ..Default::default()
+    });
+    let g = graph(240, 31);
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        service.register_database(format!("{shape:?}"), q.instantiate(&g));
+    }
+    for _round in 0..2 {
+        for shape in SHAPES {
+            let q = paper_query(shape);
+            service.execute_mode(&format!("{shape:?}"), &q, OutputMode::Count).unwrap();
+        }
+    }
+    let stats = service.index_cache_stats();
+    assert!(
+        stats.resident_bytes <= stats.capacity_bytes,
+        "resident {} exceeds budget {}",
+        stats.resident_bytes,
+        stats.capacity_bytes
+    );
+    assert_eq!(stats.capacity_bytes, 4_000);
+    assert!(stats.evictions > 0, "three shapes cannot fit a one-shape budget without evicting");
+}
+
+#[test]
+fn index_cache_budget_is_carved_out_of_the_cluster_memory_limit() {
+    let per_worker = 1 << 20;
+    let workers = 2;
+    let max_concurrent = 4;
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig {
+            cluster: ClusterConfig {
+                num_workers: workers,
+                memory_limit_bytes: Some(per_worker),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        max_concurrent,
+        ..Default::default()
+    });
+    let total = per_worker * workers;
+    let cache = service.index_cache_stats().capacity_bytes;
+    let per_query = service.per_query_budget_bytes().expect("memory limit configured");
+    assert!(cache > 0);
+    assert!(
+        cache + per_query * max_concurrent <= total,
+        "cache ({cache}) + query budgets ({per_query}×{max_concurrent}) must fit under {total}"
+    );
+}
+
+#[test]
+fn service_metrics_expose_the_build_reuse_split() {
+    let service = service_with(Strategy::CoOptimize);
+    let q = paper_query(PaperQuery::Q4);
+    service.register_database("g", q.instantiate(&graph(150, 29)));
+    service.execute("g", &q).unwrap();
+    service.execute("g", &q).unwrap();
+    let m = service.metrics();
+    assert!(m.index_relations_built > 0, "the cold pass builds");
+    assert!(m.index_relations_reused > 0, "the warm pass reuses");
+    assert_eq!(m.index_build.count, 2, "every served query records an index_build observation");
+    let stats = service.stats();
+    assert_eq!(stats.index.hits, service.index_cache_stats().hits);
+}

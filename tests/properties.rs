@@ -162,7 +162,7 @@ fn hcube_distribution_transparency() {
         let out = hcube_shuffle(&cluster, &db, &names, &plan, &order, HCubeImpl::Merge).unwrap();
         let mut total = Vec::new();
         for w in 0..workers {
-            let tries: Vec<&Trie> = out.locals[w].iter().map(|l| &l.trie).collect();
+            let tries: Vec<&Trie> = out.locals[w].iter().map(|l| l.trie.as_ref()).collect();
             let join = adj_leapfrog::LeapfrogJoin::new(&order, tries).unwrap();
             join.run(|t| total.extend_from_slice(t));
         }
