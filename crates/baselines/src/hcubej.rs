@@ -59,6 +59,8 @@ fn run_inner(
         num_workers: cluster.num_workers(),
         memory_limit_bytes: cluster.config().memory_limit_bytes,
         bytes_per_value: 4,
+        hot: Vec::new(),
+        require_exact_product: false,
     };
     let share = optimize_share(&input)?;
     let hplan = HCubePlan::new(share, cluster.num_workers());
@@ -148,6 +150,8 @@ pub fn select_order_all(
         cluster.num_workers(),
         cluster.config().memory_limit_bytes,
         SamplingConfig { samples: config.order_samples, seed: 0xAD10 },
+        // The HCubeJ baseline predates skew hardening: plain hashing only.
+        adj_core::SkewConfig::disabled(),
     );
     let mut best: Option<(f64, Vec<Attr>)> = None;
     for o in all_orders(&attrs) {

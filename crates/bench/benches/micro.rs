@@ -74,6 +74,8 @@ fn bench_planning(c: &mut Criterion) {
         num_workers: 28,
         memory_limit_bytes: None,
         bytes_per_value: 4,
+        hot: Vec::new(),
+        require_exact_product: false,
     };
     g.bench_function("share_optimizer_q5_w28", |bch| {
         bch.iter(|| optimize_share(black_box(&input)))

@@ -31,6 +31,8 @@ fn main() {
             num_workers: w,
             memory_limit_bytes: None,
             bytes_per_value: 4,
+            hot: Vec::new(),
+            require_exact_product: false,
         };
         let share = optimize_share(&input).unwrap();
         let plan = HCubePlan::new(share, w);

@@ -16,11 +16,12 @@
 //! subsets many times across candidate orders.
 
 use crate::plan::PlanRelation;
-use adj_hcube::{optimize_share, ShareInput};
+use adj_hcube::{optimize_share, HotValues, ShareInput};
+use adj_query::lp::solve_min_max;
 use adj_query::{GhdTree, JoinQuery};
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, Database, Result};
-use adj_sampling::{Sampler, SamplingConfig};
+use adj_sampling::{detect_heavy_hitters, Sampler, SamplingConfig, SkewConfig, SkewProfile};
 use std::cell::RefCell;
 
 /// Calibration constants of the cost model.
@@ -57,6 +58,10 @@ pub struct CostEstimator<'a> {
     card_cache: RefCell<FxHashMap<u64, f64>>,
     /// attr id → |val(A)|.
     val_sizes: Vec<f64>,
+    /// Heavy-hitter statistics of the query's relations (sampled once at
+    /// construction) — feeds the max-partition term of `costC` and the
+    /// shuffle routing table of the final plan.
+    skew: SkewProfile,
     /// β measured from sampling runs (extensions/sec), once available.
     beta_measured: RefCell<Option<f64>>,
 }
@@ -73,6 +78,7 @@ impl<'a> CostEstimator<'a> {
         n_workers: usize,
         memory_limit_bytes: Option<usize>,
         sampling: SamplingConfig,
+        skew_cfg: SkewConfig,
     ) -> Self {
         let nattrs = query.num_attrs();
         let mut val_sizes = vec![1.0; nattrs];
@@ -80,6 +86,7 @@ impl<'a> CostEstimator<'a> {
             let vals = db.attribute_values(Attr(i as u32));
             *item = (vals.len() as f64).max(1.0);
         }
+        let skew = detect_heavy_hitters(db, query, &skew_cfg);
         CostEstimator {
             db,
             query,
@@ -91,8 +98,45 @@ impl<'a> CostEstimator<'a> {
             sampling,
             card_cache: RefCell::new(FxHashMap::default()),
             val_sizes,
+            skew,
             beta_measured: RefCell::new(None),
         }
+    }
+
+    /// The sampled heavy-hitter statistics of the query's relations.
+    pub fn skew_profile(&self) -> &SkewProfile {
+        &self.skew
+    }
+
+    /// The per-attribute hot-value routing table derived from the profile —
+    /// what the optimizer stores in the plan for the shuffle to act on.
+    pub fn hot_values(&self) -> HotValues {
+        let nattrs = self.query.num_attrs();
+        HotValues::new((0..nattrs).map(|a| self.skew.hot_values(Attr(a as u32))).collect())
+    }
+
+    /// Per-relation `(attribute id, hottest fraction)` lists for `rels`,
+    /// aligned with `rels` — the skew side-channel of the share program.
+    /// Pre-computed bags contribute no entries (their value distribution is
+    /// unknown until materialization; the share program stays conservative
+    /// about what it knows).
+    fn hot_fractions(&self, rels: &[PlanRelation]) -> Vec<Vec<(u32, f64)>> {
+        rels.iter()
+            .map(|r| match r {
+                PlanRelation::Base(i) => {
+                    let atom = &self.query.atoms[*i];
+                    atom.schema
+                        .attrs()
+                        .iter()
+                        .filter_map(|&a| {
+                            let f = self.skew.max_fraction(&atom.name, a);
+                            (f > 0.0).then_some((a.0, f))
+                        })
+                        .collect()
+                }
+                PlanRelation::Precomputed { .. } => Vec::new(),
+            })
+            .collect()
     }
 
     /// The measured extension rate β (Sec. III-B: "reusing statistics
@@ -178,6 +222,13 @@ impl<'a> CostEstimator<'a> {
     /// `costC`: communication seconds for shuffling the rewritten query's
     /// relations under the optimized share vector. Returns `(secs, share)`,
     /// or `(∞, empty)` when no share vector satisfies the memory budget.
+    ///
+    /// The charge is **max-partition aware**: a shuffle's wall-clock is set
+    /// by its fullest partition, so the seconds charged are
+    /// `max(total, max_cube · N*) / α` with the fullest cube estimated from
+    /// the sampled heavy-hitter fractions — under uniform data this is the
+    /// paper's `total / α` exactly, under skew it surfaces the hot-spot
+    /// latency cliff the total-only model hides.
     pub fn cost_c(&self, rels: &[PlanRelation]) -> (f64, Vec<u32>) {
         let input = ShareInput {
             num_attrs: self.query.num_attrs(),
@@ -192,10 +243,14 @@ impl<'a> CostEstimator<'a> {
             num_workers: self.n_workers,
             memory_limit_bytes: self.memory_limit_bytes,
             bytes_per_value: 4,
+            hot: self.hot_fractions(rels),
+            require_exact_product: false,
         };
         match optimize_share(&input) {
             Ok(p) => {
-                let secs = input.comm_cost(&p) as f64 / self.alpha;
+                let total = input.comm_cost(&p) as f64;
+                let hottest = input.max_cube_tuples(&p) * self.n_workers as f64;
+                let secs = total.max(hottest) / self.alpha;
                 (secs, p)
             }
             Err(_) => (f64::INFINITY, Vec::new()),
@@ -294,6 +349,35 @@ impl<'a> CostEstimator<'a> {
     }
 }
 
+/// The fractional lower bound on the fullest-partition tuple load of any
+/// share vector with `Π p_A ≤ N*` — the Beame–Koutris–Suciu share LP in
+/// log-space, solved with the epigraph min-max reduction
+/// ([`adj_query::lp::solve_min_max`]). No integer share (with a bijective
+/// cube→worker map) can receive less on its fullest cube under uniform
+/// hashing, so this is the yardstick the skew bench measures realized
+/// partition fill against. `None` when the LP is degenerate (no relations).
+pub fn fractional_max_cube_bound(input: &ShareInput) -> Option<f64> {
+    if input.relations.is_empty() || input.num_attrs == 0 {
+        return None;
+    }
+    let n = input.num_attrs;
+    // Variables y_A = ln p_A ≥ 0. Rows: per relation, its log per-cube load
+    // ln|R| − Σ_{A∈R} y_A. Constraint: Σ_A y_A ≤ ln N*.
+    let rows: Vec<(Vec<f64>, f64)> = input
+        .relations
+        .iter()
+        .map(|&(mask, size)| {
+            let c: Vec<f64> =
+                (0..n).map(|a| if mask & (1u64 << a) != 0 { -1.0 } else { 0.0 }).collect();
+            (c, (size.max(1) as f64).ln())
+        })
+        .collect();
+    let budget = vec![vec![-1.0; n]];
+    let rhs = vec![-(input.num_workers.max(1) as f64).ln()];
+    let (t, _) = solve_min_max(&rows, &budget, &rhs)?;
+    Some(t.exp())
+}
+
 /// Result alias re-exported for optimizer use.
 pub type CostResult<T> = Result<T>;
 
@@ -322,6 +406,7 @@ mod tests {
             4,
             None,
             SamplingConfig { samples: 128, seed: 5 },
+            SkewConfig::default(),
         )
     }
 
@@ -403,6 +488,80 @@ mod tests {
                 assert!(est.cost_m(v) > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn skew_profile_feeds_hot_values_and_cost_c() {
+        let q = paper_query(PaperQuery::Q1);
+        // A hub value (7) dominating both columns of every edge relation.
+        let mut pairs: Vec<(Value, Value)> = (0..300u32).map(|i| (7, i % 40 + 10)).collect();
+        pairs.extend((0..100u32).map(|i| (i % 40 + 10, 7)));
+        let db = q.instantiate(&Relation::from_pairs(Attr(0), Attr(1), &pairs));
+        let tree = GhdTree::decompose(&q.hypergraph(), 3);
+        let est = estimator(&db, &q, &tree);
+        assert!(!est.skew_profile().is_empty());
+        let hot = est.hot_values();
+        assert!(hot.is_hot(Attr(0), 7), "the hub must surface on attribute a");
+        // cost_c stays finite and produces a full share vector under skew.
+        let rels: Vec<PlanRelation> = (0..q.atoms.len()).map(PlanRelation::Base).collect();
+        let (secs, p) = est.cost_c(&rels);
+        assert!(secs.is_finite() && secs > 0.0);
+        assert_eq!(p.len(), q.num_attrs());
+    }
+
+    #[test]
+    fn skew_raises_the_communication_charge() {
+        let q = paper_query(PaperQuery::Q7);
+        let n = 300u32;
+        let uniform_pairs: Vec<(Value, Value)> =
+            (0..n).map(|i| (i, 1000 + (i * 7) % 150)).collect();
+        // Same cardinality, but one b-value carries 80% of the tuples: no
+        // hash partitioning of b can split a single value, so the fullest
+        // partition (and the skew-aware charge) must rise.
+        let mut hub_pairs: Vec<(Value, Value)> = (0..n * 4 / 5).map(|i| (i, 777)).collect();
+        hub_pairs.extend((n * 4 / 5..n).map(|i| (i, 1000 + (i * 7) % 150)));
+        let db_u = q.instantiate(&Relation::from_pairs(Attr(0), Attr(1), &uniform_pairs));
+        let db_s = q.instantiate(&Relation::from_pairs(Attr(0), Attr(1), &hub_pairs));
+        let tree = GhdTree::decompose(&q.hypergraph(), 3);
+        let rels: Vec<PlanRelation> = (0..q.atoms.len()).map(PlanRelation::Base).collect();
+        let (secs_u, _) = estimator(&db_u, &q, &tree).cost_c(&rels);
+        let (secs_s, _) = estimator(&db_s, &q, &tree).cost_c(&rels);
+        let sized = |db: &Database| -> usize {
+            q.atoms.iter().map(|a| db.get(&a.name).unwrap().len()).sum()
+        };
+        // Normalize per tuple: the skewed database must be charged more
+        // seconds per shuffled tuple — its fullest partition dominates.
+        let per_u = secs_u / sized(&db_u) as f64;
+        let per_s = secs_s / sized(&db_s) as f64;
+        assert!(
+            per_s > per_u * 1.2,
+            "skewed per-tuple charge {per_s:e} must exceed uniform {per_u:e}"
+        );
+    }
+
+    #[test]
+    fn fractional_bound_is_a_lower_bound_for_exact_shares() {
+        let input = ShareInput {
+            num_attrs: 3,
+            relations: vec![(0b011, 5_000), (0b110, 5_000), (0b101, 5_000)],
+            num_workers: 8,
+            memory_limit_bytes: None,
+            bytes_per_value: 4,
+            hot: Vec::new(),
+            require_exact_product: true,
+        };
+        let bound = fractional_max_cube_bound(&input).unwrap();
+        assert!(bound > 0.0);
+        let p = optimize_share(&input).unwrap();
+        assert!(
+            input.max_cube_tuples(&p) + 1e-6 >= bound,
+            "integer fullest-cube load {} can never beat the LP bound {bound}",
+            input.max_cube_tuples(&p)
+        );
+        // For the symmetric triangle on 8 workers the fractional share is
+        // p = (2,2,2) and the bound is one relation's per-cube load |R|/4
+        // (the LP bounds the largest single-relation contribution).
+        assert!((bound - 5_000.0 / 4.0).abs() < 1.0, "bound={bound}");
     }
 
     #[test]

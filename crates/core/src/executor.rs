@@ -12,7 +12,8 @@ use crate::plan::{PlanRelation, QueryPlan};
 use crate::AdjConfig;
 use adj_cluster::Cluster;
 use adj_hcube::{
-    hcube_shuffle_cached, optimize_share, HCubeImpl, HCubePlan, IndexScope, ShareInput,
+    hcube_shuffle_cached, optimize_share, HCubeImpl, HCubePlan, HotValues, IndexScope, ShareInput,
+    ShuffleReport,
 };
 use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
@@ -66,6 +67,17 @@ pub struct ExecutionReport {
     /// Pre-computed bag relations served from the cache (their whole
     /// shuffle + join round was skipped).
     pub index_bags_reused: u64,
+    /// Delivered tuple copies per worker, summed over every shuffle round
+    /// of this execution (bag pre-computation + final). Cache-warm
+    /// relations move nothing and contribute nothing — the fill describes
+    /// what this execution actually shuffled.
+    pub worker_tuples: Vec<u64>,
+    /// Heavy-hitter `(attribute, value)` entries in the plan's routing
+    /// table (0 when the input was uniform or detection was disabled).
+    pub hot_values: u64,
+    /// Tuple copies that took a heavy-hitter route (spread or broadcast)
+    /// instead of plain hashing.
+    pub hot_routed_tuples: u64,
 }
 
 impl ExecutionReport {
@@ -75,6 +87,44 @@ impl ExecutionReport {
             + self.precompute_secs
             + self.communication_secs
             + self.computation_secs
+    }
+
+    /// Tuple copies received by the fullest worker across this execution's
+    /// shuffles — the partition-fill ceiling skew hardening bounds.
+    pub fn max_partition_tuples(&self) -> u64 {
+        self.worker_tuples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean tuple copies per worker (0 when nothing moved).
+    pub fn mean_partition_tuples(&self) -> f64 {
+        if self.worker_tuples.is_empty() {
+            0.0
+        } else {
+            self.worker_tuples.iter().sum::<u64>() as f64 / self.worker_tuples.len() as f64
+        }
+    }
+
+    /// `max / mean` partition fill — 1.0 is perfectly balanced; plain
+    /// hashing of a heavy hitter sends this to `O(N*)`. 0 when nothing
+    /// moved (fully warm execution).
+    pub fn partition_balance(&self) -> f64 {
+        let mean = self.mean_partition_tuples();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_partition_tuples() as f64 / mean
+        }
+    }
+
+    /// Folds one shuffle round's fill and routing counters into the report.
+    fn absorb_shuffle(&mut self, shuffle: &ShuffleReport) {
+        if self.worker_tuples.len() < shuffle.worker_tuples.len() {
+            self.worker_tuples.resize(shuffle.worker_tuples.len(), 0);
+        }
+        for (acc, &w) in self.worker_tuples.iter_mut().zip(&shuffle.worker_tuples) {
+            *acc += w;
+        }
+        self.hot_routed_tuples += shuffle.hot_routed_tuples;
     }
 }
 
@@ -135,7 +185,16 @@ pub fn execute_plan_cached(
     mode: OutputMode,
     index: Option<&IndexScope<'_>>,
 ) -> Result<(QueryOutput, ExecutionReport)> {
-    let mut report = ExecutionReport::default();
+    let mut report = ExecutionReport { hot_values: plan.hot.len() as u64, ..Default::default() };
+
+    // `LIMIT 0` is a complete answer by definition: the empty relation over
+    // the plan's schema. Short-circuit before any admission-charged work —
+    // no share optimization, no shuffle, no worker dispatch.
+    if mode == OutputMode::Limit(0) {
+        let schema = Schema::new(plan.order.clone())?;
+        return Ok((QueryOutput::Rows(Relation::empty(schema)), report));
+    }
+
     // Per-query pre-computed bags are layered over the shared database as
     // an overlay of `Arc<Relation>` handles — the database itself is never
     // cloned per query. Also records each bag's content label, reused as
@@ -178,7 +237,7 @@ pub fn execute_plan_cached(
         }
         // Bag members are base atoms, so the round runs over `db` directly.
         let (result, secs, tuples) =
-            run_one_round(cluster, db, &names, &bag_order, config, index, &mut report)?;
+            run_one_round(cluster, db, &names, &bag_order, config, index, &plan.hot, &mut report)?;
         report.precompute_secs += secs;
         report.precompute_tuples += tuples;
         if result.len() > config.max_intermediate_tuples {
@@ -197,7 +256,7 @@ pub fn execute_plan_cached(
     // ── Phase 2 + 3: final one-round join over the rewritten query.
     let names = plan.shuffle_names();
     let (share, hplan) =
-        share_for(db, &bag_overlay, &names, plan.query.num_attrs(), cluster, config)?;
+        share_for(db, &bag_overlay, &names, plan.query.num_attrs(), cluster, &plan.hot)?;
     report.share = share;
     // Cache identities: base atoms by relation name; pre-computed bags by
     // the content label recorded in phase 1 (never by the per-query
@@ -222,12 +281,14 @@ pub fn execute_plan_cached(
         index,
         &cache_ids,
         &bag_overlay,
+        &plan.hot,
     )?;
     report.comm_tuples = shuffled.report.tuples;
     report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
     report.index_build_secs += shuffled.report.build_secs;
     report.index_relations_built += shuffled.report.built_relations;
     report.index_relations_reused += shuffled.report.reused_relations;
+    report.absorb_shuffle(&shuffled.report);
 
     let budget = config.max_intermediate_tuples;
     let order = &plan.order;
@@ -286,11 +347,17 @@ pub fn execute_plan_cached(
             QueryOutput::Rows(Relation::from_flat(schema, all_rows)?)
         }
         OutputMode::Limit(n) => {
-            // Each worker contributed at most n duplicate-free rows; the
-            // first n of the concatenation are an exact-size sample.
-            all_rows.truncate(n.saturating_mul(width));
+            // Each worker contributed its n lexicographically-smallest
+            // local rows (Leapfrog enumerates in sorted order), so the
+            // union contains the n globally-smallest result rows.
+            // Normalizing and keeping the first n therefore returns a
+            // *canonical* sample — deterministic across worker counts and
+            // partitionings, not an artifact of gather order.
             let schema = Schema::new(plan.order.clone())?;
-            QueryOutput::Rows(Relation::from_flat(schema, all_rows)?)
+            let gathered = Relation::from_flat(schema.clone(), all_rows)?;
+            let keep = n.min(gathered.len());
+            let flat = gathered.flat()[..keep * width].to_vec();
+            QueryOutput::Rows(Relation::from_flat(schema, flat)?)
         }
         OutputMode::Count => QueryOutput::Count(found_tuples),
         OutputMode::Exists => QueryOutput::Exists(found_tuples > 0),
@@ -303,6 +370,7 @@ pub fn execute_plan_cached(
 /// cache too (bag members are base relations, so their indexes are shared
 /// with every other query touching them). Returns `(result, secs, tuples)`
 /// and accumulates the index build/reuse split into `report`.
+#[allow(clippy::too_many_arguments)]
 fn run_one_round(
     cluster: &Cluster,
     db: &Database,
@@ -310,10 +378,11 @@ fn run_one_round(
     order: &[Attr],
     config: &AdjConfig,
     index: Option<&IndexScope<'_>>,
+    hot: &HotValues,
     report: &mut ExecutionReport,
 ) -> Result<(Relation, f64, u64)> {
     let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
-    let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, config)?;
+    let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, hot)?;
     let cache_ids: Vec<Option<String>> = names.iter().map(|n| Some(n.clone())).collect();
     let shuffled = hcube_shuffle_cached(
         cluster,
@@ -325,10 +394,12 @@ fn run_one_round(
         index,
         &cache_ids,
         &[],
+        hot,
     )?;
     report.index_build_secs += shuffled.report.build_secs;
     report.index_relations_built += shuffled.report.built_relations;
     report.index_relations_reused += shuffled.report.reused_relations;
+    report.absorb_shuffle(&shuffled.report);
     let budget = config.max_intermediate_tuples;
     let locals = &shuffled.locals;
     let run = cluster.run(|w| {
@@ -360,13 +431,21 @@ fn run_one_round(
 
 /// Optimizes the share vector for the named relations' *actual* sizes
 /// (resolving pre-computed bags from the overlay before the database).
+///
+/// When the plan carries a heavy-hitter routing table, the share is first
+/// solved under `Π p_A = N*` — the bijective cube→worker map the routing's
+/// spreader-ownership dedup rule requires (balance then comes from the
+/// routing itself, so the objective needs no skew term here). If no exact
+/// vector fits the memory budget, the optimizer falls back to the
+/// unconstrained program; the shuffle detects the non-bijective map and
+/// keeps hashing plainly, so correctness never depends on the fallback.
 fn share_for(
     db: &Database,
     overlay: &[(String, Arc<Relation>)],
     names: &[String],
     num_attrs: usize,
     cluster: &Cluster,
-    _config: &AdjConfig,
+    hot: &HotValues,
 ) -> Result<(Vec<u32>, HCubePlan)> {
     let mut relations = Vec::with_capacity(names.len());
     for n in names {
@@ -376,14 +455,28 @@ fn share_for(
         };
         relations.push((r.schema().mask(), r.len()));
     }
-    let input = ShareInput {
+    // The bijection is only needed when this round's relations actually
+    // contain a hot attribute — a bag round over cold attributes keeps the
+    // unconstrained share optimum (routing stays inert for it anyway).
+    let hot_mask = hot.attrs_mask();
+    let routing_engages = relations.iter().any(|&(mask, _)| mask & hot_mask != 0);
+    let mut input = ShareInput {
         num_attrs,
         relations,
         num_workers: cluster.num_workers(),
         memory_limit_bytes: cluster.config().memory_limit_bytes,
         bytes_per_value: 4,
+        hot: Vec::new(),
+        require_exact_product: routing_engages,
     };
-    let share = optimize_share(&input)?;
+    let share = match optimize_share(&input) {
+        Ok(p) => p,
+        Err(_) if input.require_exact_product => {
+            input.require_exact_product = false;
+            optimize_share(&input)?
+        }
+        Err(e) => return Err(e),
+    };
     let hplan = HCubePlan::new(share.clone(), cluster.num_workers());
     Ok((share, hplan))
 }
@@ -561,7 +654,7 @@ mod tests {
         let cfg = AdjConfig { cluster: ClusterConfig::with_workers(8), ..Default::default() };
         let cluster = Cluster::new(cfg.cluster.clone());
         let names: Vec<String> = q.atoms.iter().map(|a| a.name.clone()).collect();
-        let (share, hplan) = share_for(&db, &[], &names, 3, &cluster, &cfg).unwrap();
+        let (share, hplan) = share_for(&db, &[], &names, 3, &cluster, &HotValues::none()).unwrap();
         assert_eq!(share.len(), 3);
         assert!(hplan.num_cubes() >= 8);
     }

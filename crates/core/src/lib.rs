@@ -29,14 +29,17 @@ pub mod optimizer;
 pub mod plan;
 pub mod yannakakis;
 
-pub use cost::{CostEstimator, CostParams};
+pub use cost::{fractional_max_cube_bound, CostEstimator, CostParams};
 pub use executor::{execute_plan, execute_plan_cached, ExecutionReport, Strategy};
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
 pub use yannakakis::{yannakakis, yannakakis_cached, YannakakisReport};
 // The cross-query index cache (defined in `adj-hcube`, where the shuffle
 // consults it) is part of this crate's public execution API too.
-pub use adj_hcube::{IndexCache, IndexCacheStats, IndexScope};
+pub use adj_hcube::{HotValues, IndexCache, IndexCacheStats, IndexScope};
+// Heavy-hitter detection (defined in `adj-sampling`, next to the
+// cardinality estimator whose machinery it reuses).
+pub use adj_sampling::{SkewConfig, SkewProfile};
 // The streaming-output vocabulary (defined in `adj-relational` so every
 // layer shares it) is part of this crate's public execution API.
 pub use adj_relational::{CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink};
@@ -59,6 +62,12 @@ pub struct AdjConfig {
     /// Cap on materialized intermediate results (pre-computed relations and
     /// join outputs); mirrors the paper's 12h/OOM failure criterion.
     pub max_intermediate_tuples: usize,
+    /// Heavy-hitter detection settings. Detected hot values make the cost
+    /// model charge max-partition (not just total) shuffle load and arm the
+    /// HCube shuffle's spread/broadcast routing; results stay byte-identical
+    /// either way. [`SkewConfig::disabled()`] restores pure hash routing —
+    /// the naive baseline the skew bench compares against.
+    pub skew: SkewConfig,
 }
 
 impl Default for AdjConfig {
@@ -68,6 +77,7 @@ impl Default for AdjConfig {
             sampling: SamplingConfig { samples: 256, seed: 0xAD10 },
             cost: CostParams::default(),
             max_intermediate_tuples: 50_000_000,
+            skew: SkewConfig::default(),
         }
     }
 }

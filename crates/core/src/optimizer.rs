@@ -40,6 +40,7 @@ pub fn optimize(
         config.cluster.num_workers,
         config.cluster.memory_limit_bytes,
         config.sampling,
+        config.skew,
     );
 
     match strategy {
@@ -65,6 +66,7 @@ pub fn optimize(
                 precompute: Vec::new(),
                 relations,
                 order,
+                hot: estimator.hot_values(),
                 estimated_cost_secs: score,
                 optimization_secs: 0.0,
             })
@@ -148,6 +150,7 @@ fn algorithm2(
         precompute,
         relations,
         order,
+        hot: estimator.hot_values(),
         estimated_cost_secs: accumulated,
         optimization_secs: 0.0,
     })

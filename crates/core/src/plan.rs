@@ -1,5 +1,6 @@
 //! Query plans: the `(Qi, ord)` pairs of the paper's problem statement.
 
+use adj_hcube::HotValues;
 use adj_query::{GhdTree, JoinQuery};
 use adj_relational::{Attr, Schema};
 
@@ -56,6 +57,12 @@ pub struct QueryPlan {
     pub relations: Vec<PlanRelation>,
     /// The Leapfrog attribute order `ord` (valid for `tree`).
     pub order: Vec<Attr>,
+    /// Heavy-hitter values per attribute, detected against the database the
+    /// plan was optimized for. The executor hands this table to every HCube
+    /// shuffle of the plan so hot values are spread/broadcast across their
+    /// dimension instead of collapsing onto one coordinate; empty means
+    /// plain hashing everywhere.
+    pub hot: HotValues,
     /// The optimizer's estimated total cost in seconds (for diagnostics).
     pub estimated_cost_secs: f64,
     /// Wall-clock seconds spent constructing this plan (GHD search +

@@ -58,6 +58,74 @@ pub fn generate(cfg: &GraphConfig) -> Relation {
     Relation::from_pairs(Attr(0), Attr(1), &pairs)
 }
 
+/// Parameters of one Zipf/power-law graph — the adversarial heavy-hitter
+/// workload the skew-hardening bench and tests run on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfConfig {
+    /// Number of node ids (`0..nodes`); both endpoints draw from the same
+    /// id space so cyclic pattern queries still produce matches.
+    pub nodes: usize,
+    /// Edge draws before self-loop removal and set-semantics dedup.
+    pub edges: usize,
+    /// The Zipf exponent `z`: endpoint rank `r` is drawn with probability
+    /// `∝ (r+1)^−z`. `z = 0` is uniform; the paper-adjacent adversarial
+    /// setting is `z = 1.2`, where the top value alone carries ~18% of all
+    /// draws.
+    pub exponent: f64,
+    /// RNG seed; identical configs generate identical graphs.
+    pub seed: u64,
+}
+
+impl Default for ZipfConfig {
+    fn default() -> Self {
+        ZipfConfig { nodes: 2000, edges: 12_000, exponent: 1.2, seed: 0x21BF }
+    }
+}
+
+/// Generates a directed graph whose endpoints follow a Zipf(`z`) rank
+/// distribution: sources are drawn Zipf-ranked, targets mix a Zipf draw
+/// (probability ½ — hubs attract) with a uniform draw (tail spread, which
+/// keeps the hub's *distinct* neighborhood large enough to survive the
+/// relation's set semantics). Self-loops are removed and duplicates
+/// collapse by normal form.
+pub fn generate_zipf(cfg: &ZipfConfig) -> Relation {
+    assert!(cfg.nodes >= 2, "need at least two nodes");
+    assert!(cfg.exponent >= 0.0);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    // Inverse-CDF table over ranks: cum[r] = Σ_{k≤r} (k+1)^−z.
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0f64;
+    for r in 0..n {
+        total += ((r + 1) as f64).powf(-cfg.exponent);
+        cum.push(total);
+    }
+    let draw_zipf = |rng: &mut StdRng| -> Value {
+        let u = rng.gen_range(0.0..total);
+        cum.partition_point(|&c| c <= u) as Value
+    };
+    let mut pairs: Vec<(Value, Value)> = Vec::with_capacity(cfg.edges);
+    for _ in 0..cfg.edges {
+        let u = draw_zipf(&mut rng);
+        let v = if rng.gen_bool(0.5) { draw_zipf(&mut rng) } else { rng.gen_range(0..n) as Value };
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    Relation::from_pairs(Attr(0), Attr(1), &pairs)
+}
+
+/// Heavy-hitter diagnostic: the largest single-value share of column `col`
+/// (0 or 1), i.e. the fraction of tuples carrying the most frequent value.
+pub fn column_top_share(rel: &Relation, col: usize) -> f64 {
+    let mut counts: std::collections::HashMap<Value, usize> = Default::default();
+    for row in rel.rows() {
+        *counts.entry(row[col]).or_default() += 1;
+    }
+    let top = counts.values().copied().max().unwrap_or(0);
+    top as f64 / rel.len().max(1) as f64
+}
+
 /// Degree skew diagnostic: fraction of all edge endpoints landing on the
 /// top-1% highest-degree nodes. Used by tests and to document the datasets.
 pub fn top1pct_endpoint_share(rel: &Relation) -> f64 {
@@ -118,5 +186,35 @@ mod tests {
         let cfg = GraphConfig { nodes: 100, out_degree: 3, skew: 0.5, seed: 4 };
         let g = generate(&cfg);
         assert!(g.rows().all(|r| r[0] < 100 && r[1] < 100));
+    }
+
+    #[test]
+    fn zipf_produces_a_dominant_heavy_hitter() {
+        let g = generate_zipf(&ZipfConfig::default());
+        assert!(g.len() > 4000, "draw count survives dedup: {}", g.len());
+        assert!(g.rows().all(|r| r[0] != r[1] && r[0] < 2000 && r[1] < 2000));
+        // z = 1.2 puts a hard heavy hitter in the source column — far above
+        // the detector's 1/8 threshold even after set-semantics dedup.
+        let share = column_top_share(&g, 0);
+        assert!(share > 0.05, "top source value carries {share:.3}");
+    }
+
+    #[test]
+    fn zipf_exponent_is_the_skew_knob() {
+        let flat = generate_zipf(&ZipfConfig { exponent: 0.0, ..Default::default() });
+        let skewed = generate_zipf(&ZipfConfig { exponent: 1.2, ..Default::default() });
+        assert!(
+            column_top_share(&skewed, 0) > 5.0 * column_top_share(&flat, 0),
+            "z=1.2 ({:.4}) must dwarf z=0 ({:.4})",
+            column_top_share(&skewed, 0),
+            column_top_share(&flat, 0)
+        );
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let cfg = ZipfConfig::default();
+        assert_eq!(generate_zipf(&cfg), generate_zipf(&cfg));
+        assert_ne!(generate_zipf(&cfg), generate_zipf(&ZipfConfig { seed: 1, ..cfg }));
     }
 }

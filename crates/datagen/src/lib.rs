@@ -15,7 +15,7 @@
 pub mod generator;
 pub mod io;
 
-pub use generator::{generate, GraphConfig};
+pub use generator::{column_top_share, generate, generate_zipf, GraphConfig, ZipfConfig};
 pub use io::{load_edge_list, parse_edge_list, write_edge_list};
 
 use adj_relational::Relation;

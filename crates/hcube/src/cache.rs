@@ -54,6 +54,12 @@ pub struct IndexKey {
     /// Worker count (the share vector alone does not fix the cube→worker
     /// assignment).
     pub num_workers: usize,
+    /// Heavy-hitter routing tag of the shuffle that built the entry
+    /// ([`crate::ShuffleRouting::atom_tag`]): 0 for plain hashing, a
+    /// fingerprint of the hot-value table and this relation's
+    /// spread-vs-broadcast role otherwise — so skew-routed tries never
+    /// collide with hash-routed ones (their per-worker fragments differ).
+    pub route_tag: u64,
 }
 
 /// Identity of one cached bag relation (a materialized hypertree-bag join).
@@ -242,6 +248,28 @@ impl IndexCache {
         self.capacity_bytes
     }
 
+    /// Locks the map, *recovering* from lock poisoning instead of
+    /// propagating it. The cache is pure derived state — every entry can be
+    /// rebuilt from the database — so if a panic ever lands while the lock
+    /// is held (leaving the map possibly half-updated), the correct
+    /// response is to drop the whole map and carry on cold, not to wedge
+    /// every later query on the same `.expect("poisoned")`. The dropped
+    /// entries are counted as invalidations.
+    fn lock_recovering(&self) -> std::sync::MutexGuard<'_, CacheMap> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                let dropped = guard.map.len() as u64;
+                guard.map.clear();
+                guard.resident_bytes = 0;
+                self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+                self.inner.clear_poison();
+                guard
+            }
+        }
+    }
+
     /// Looks up a relation index, refreshing its recency on a hit and
     /// crediting the shuffle volume the hit saved.
     pub fn get_index(&self, key: &IndexKey) -> Option<Arc<RelationIndex>> {
@@ -249,8 +277,7 @@ impl IndexCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let got =
-            self.inner.lock().expect("index cache poisoned").get(&EntryKey::Index(key.clone()));
+        let got = self.lock_recovering().get(&EntryKey::Index(key.clone()));
         match got {
             Some(Artifact::Index(idx)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -279,7 +306,7 @@ impl IndexCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let got = self.inner.lock().expect("index cache poisoned").get(&EntryKey::Bag(key.clone()));
+        let got = self.lock_recovering().get(&EntryKey::Bag(key.clone()));
         match got {
             Some(Artifact::Bag(rel)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -302,7 +329,7 @@ impl IndexCache {
         if self.capacity_bytes == 0 || bytes > self.capacity_bytes {
             return;
         }
-        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let mut inner = self.lock_recovering();
         let evicted = inner.make_room(bytes, self.capacity_bytes);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -317,7 +344,7 @@ impl IndexCache {
     /// already stops stale entries from matching; this frees their bytes
     /// eagerly).
     pub fn invalidate_db(&self, db_tag: u64) {
-        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let mut inner = self.lock_recovering();
         let before = inner.map.len();
         let mut freed = 0usize;
         inner.map.retain(|k, e| {
@@ -334,7 +361,7 @@ impl IndexCache {
 
     /// Empties the cache.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("index cache poisoned");
+        let mut inner = self.lock_recovering();
         let dropped = inner.map.len() as u64;
         inner.map.clear();
         inner.resident_bytes = 0;
@@ -343,12 +370,12 @@ impl IndexCache {
 
     /// Current resident bytes.
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().expect("index cache poisoned").resident_bytes
+        self.lock_recovering().resident_bytes
     }
 
     /// Current artifact count.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("index cache poisoned").map.len()
+        self.lock_recovering().map.len()
     }
 
     /// Whether the cache is empty.
@@ -359,7 +386,7 @@ impl IndexCache {
     /// A consistent snapshot of the counters.
     pub fn stats(&self) -> IndexCacheStats {
         let (resident_bytes, len) = {
-            let inner = self.inner.lock().expect("index cache poisoned");
+            let inner = self.lock_recovering();
             (inner.resident_bytes, inner.map.len())
         };
         IndexCacheStats {
@@ -397,6 +424,7 @@ impl<'a> IndexScope<'a> {
         induced: Vec<Attr>,
         share: &[u32],
         num_workers: usize,
+        route_tag: u64,
     ) -> IndexKey {
         IndexKey {
             db_tag: self.db_tag,
@@ -405,6 +433,7 @@ impl<'a> IndexScope<'a> {
             induced,
             share: share.to_vec(),
             num_workers,
+            route_tag,
         }
     }
 
@@ -432,6 +461,7 @@ mod tests {
             induced: vec![Attr(0), Attr(1)],
             share: vec![2, 2],
             num_workers: 4,
+            route_tag: 0,
         }
     }
 
@@ -461,9 +491,42 @@ mod tests {
         let mut other_share = k.clone();
         other_share.share = vec![4, 1];
         assert!(cache.get_index(&other_share).is_none());
-        let mut other_workers = k;
+        let mut other_workers = k.clone();
         other_workers.num_workers = 8;
         assert!(cache.get_index(&other_workers).is_none());
+        let mut other_route = k;
+        other_route.route_tag = 0xBEEF;
+        assert!(
+            cache.get_index(&other_route).is_none(),
+            "skew-routed tries must not alias hash-routed ones"
+        );
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_by_clearing_not_wedging() {
+        // Regression: a panicking query used to poison the cache mutex and
+        // every later query then panicked on `.expect("poisoned")` —
+        // permanently wedging the service. Recovery drops the (suspect)
+        // contents and keeps serving cold.
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        cache.insert_index(key(1, 0, "R1"), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        assert_eq!(cache.len(), 1);
+        let poisoner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("query died while holding the cache lock");
+            })
+        };
+        assert!(poisoner.join().is_err(), "the thread must actually panic");
+        assert!(cache.inner.is_poisoned());
+        // No panic on any operation; the cache restarts empty and works.
+        assert!(cache.get_index(&key(1, 0, "R1")).is_none(), "suspect contents dropped");
+        assert!(!cache.inner.is_poisoned(), "poison cleared on first recovery");
+        assert_eq!(cache.len(), 0);
+        cache.insert_index(key(1, 0, "R2"), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        assert!(cache.get_index(&key(1, 0, "R2")).is_some(), "cache keeps serving after recovery");
+        assert_eq!(cache.stats().invalidations, 1, "dropped entries count as invalidations");
     }
 
     #[test]

@@ -21,13 +21,19 @@
 //! * [`cache::IndexCache`] — the cross-query index cache: shuffled
 //!   partitions and built tries published as shared `Arc<Trie>` handles,
 //!   keyed by `(relation identity, induced order, share, workers, database
-//!   epoch)`, so [`shuffle::hcube_shuffle_cached`] skips routing, transfer,
-//!   and build entirely for warm relations.
+//!   epoch, routing tag)`, so [`shuffle::hcube_shuffle_cached`] skips
+//!   routing, transfer, and build entirely for warm relations;
+//! * [`skew`] — heavy-hitter routing: hot join values are *spread* across
+//!   their hypercube dimension by one designated spreader relation and
+//!   *broadcast* by the others, so a skewed input no longer collapses onto
+//!   one coordinate, while spreader ownership keeps results byte-identical
+//!   (no binding is ever produced twice).
 
 pub mod cache;
 pub mod plan;
 pub mod share;
 pub mod shuffle;
+pub mod skew;
 
 pub use cache::{BagKey, IndexCache, IndexCacheStats, IndexKey, IndexScope, RelationIndex};
 pub use plan::HCubePlan;
@@ -35,3 +41,4 @@ pub use share::{optimize_share, ShareInput};
 pub use shuffle::{
     hcube_shuffle, hcube_shuffle_cached, HCubeImpl, LocalRelation, ShuffleOutput, ShuffleReport,
 };
+pub use skew::{HotDecision, HotValues, ShuffleRouting};

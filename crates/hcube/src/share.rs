@@ -13,6 +13,15 @@
 //! With ≤ 5 attributes and `N* ≤ 64` the feasible lattice is tiny, so we
 //! solve the program by exact enumeration rather than the paper's numeric
 //! solver — same optimum, and deterministic.
+//!
+//! **Skew.** The paper's objective charges *total* load, which silently
+//! assumes hashing spreads every relation evenly. One heavy-hitter join
+//! value concentrates its whole hash class on a single coordinate, so the
+//! optimizer here ranks share vectors by the estimated **fullest-partition
+//! load** first (computed from the per-relation heavy-hitter fractions in
+//! [`ShareInput::hot`]) and by total load second. Under uniform inputs the
+//! fullest partition is `total / N*` and the ranking degenerates to the
+//! paper's — the skew term only changes decisions when skew exists.
 
 use adj_relational::{Error, Result};
 
@@ -29,6 +38,16 @@ pub struct ShareInput {
     pub memory_limit_bytes: Option<usize>,
     /// Bytes per tuple value (4 for our `u32` values).
     pub bytes_per_value: usize,
+    /// Heavy-hitter fractions, aligned with `relations`: per relation, a
+    /// list of `(attribute id, largest hot-value fraction of that column)`.
+    /// Empty (or shorter than `relations`) means "assume uniform" — the
+    /// exact pre-skew behaviour.
+    pub hot: Vec<Vec<(u32, f64)>>,
+    /// Require `Π p_A = N*` exactly (a bijective cube→worker map) — the
+    /// precondition of heavy-hitter routing's spreader-ownership dedup
+    /// rule. When no such vector satisfies the memory budget the optimizer
+    /// errors, and callers fall back to plain hashing.
+    pub require_exact_product: bool,
 }
 
 impl ShareInput {
@@ -49,6 +68,48 @@ impl ShareInput {
                 bytes * frac(p, mask)
             })
             .sum()
+    }
+
+    /// Estimated tuple load of the *fullest* hypercube under `p` and plain
+    /// hashing. Per relation, the worst coordinate of a partitioned
+    /// attribute `A` receives its hottest value (fraction `f`) plus a
+    /// `1/p_A` share of the rest, so the worst-cube fraction is
+    /// `Π_{A ∈ R} (f_A + (1 − f_A)/p_A)`; with no skew information this is
+    /// exactly `frac(R, p)`, and summing over relations upper-bounds any
+    /// single cube's inbox.
+    pub fn max_cube_tuples(&self, p: &[u32]) -> f64 {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, &(mask, size))| {
+                let mut worst = 1.0f64;
+                for (a, &pa) in p.iter().enumerate() {
+                    if mask & (1u64 << a) == 0 || pa <= 1 {
+                        continue;
+                    }
+                    let f = self
+                        .hot
+                        .get(i)
+                        .and_then(|cols| {
+                            cols.iter().find(|&&(attr, _)| attr as usize == a).map(|&(_, f)| f)
+                        })
+                        .unwrap_or(0.0)
+                        .clamp(0.0, 1.0);
+                    worst *= f + (1.0 - f) / pa as f64;
+                }
+                size as f64 * worst
+            })
+            .sum()
+    }
+
+    /// The ranking load of a share vector: the larger of the average
+    /// per-worker load (`total / N*`) and the estimated fullest-partition
+    /// load — i.e. the makespan of the shuffle, which is what a latency
+    /// objective must charge. Uniform inputs make the two coincide up to
+    /// rounding, reproducing the paper's pure-total ranking.
+    pub fn makespan_load(&self, p: &[u32]) -> u64 {
+        let avg = self.comm_cost(p) as f64 / self.num_workers as f64;
+        avg.max(self.max_cube_tuples(p)).ceil() as u64
     }
 }
 
@@ -80,12 +141,16 @@ pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
     // Enumerate products up to cap; comm cost is monotone in every p_A, so
     // the optimum has a small product, but the memory constraint can force
     // finer partitioning — cap at 8·N* (plenty for the workloads here).
-    let cap = (8 * nw).max(64);
-    let mut best: Option<(u64, u64, Vec<u32>)> = None; // (cost, product, p)
+    let cap = if input.require_exact_product { nw.max(1) } else { (8 * nw).max(64) };
+    // Rank by (makespan load, total load, product, p): the fullest
+    // partition decides wall-clock, total load breaks ties (and equals the
+    // old objective on uniform inputs), product and the vector itself make
+    // the choice deterministic.
+    let mut best: Option<(u64, u64, u64, Vec<u32>)> = None;
 
     let mut p = vec![1u32; n];
     enumerate(&mut p, 0, 1, cap, &mut |p, product| {
-        if product < nw {
+        if product < nw || (input.require_exact_product && product != nw) {
             return;
         }
         if let Some(limit) = input.memory_limit_bytes {
@@ -93,14 +158,13 @@ pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
                 return;
             }
         }
-        let cost = input.comm_cost(p);
-        let key = (cost, product, p.to_vec());
+        let key = (input.makespan_load(p), input.comm_cost(p), product, p.to_vec());
         if best.as_ref().is_none_or(|b| key < *b) {
             best = Some(key);
         }
     });
 
-    best.map(|(_, _, p)| p).ok_or(Error::BudgetExceeded {
+    best.map(|(_, _, _, p)| p).ok_or(Error::BudgetExceeded {
         what: "no feasible HCube share vector under memory budget",
         limit: input.memory_limit_bytes.unwrap_or(0),
     })
@@ -138,6 +202,8 @@ mod tests {
             num_workers: workers,
             memory_limit_bytes: None,
             bytes_per_value: 4,
+            hot: Vec::new(),
+            require_exact_product: false,
         }
     }
 
@@ -181,6 +247,8 @@ mod tests {
             num_workers: 8,
             memory_limit_bytes: None,
             bytes_per_value: 4,
+            hot: Vec::new(),
+            require_exact_product: false,
         };
         let p = optimize_share(&input).unwrap();
         // dup(R3) = p_b must be 1
@@ -208,6 +276,60 @@ mod tests {
     fn infeasible_budget_errors() {
         let mut input = triangle(1_000_000, 2);
         input.memory_limit_bytes = Some(16); // absurd
+        assert!(optimize_share(&input).is_err());
+    }
+
+    #[test]
+    fn uniform_makespan_matches_average_load() {
+        let input = triangle(1000, 8);
+        let p = optimize_share(&input).unwrap();
+        let avg = input.comm_cost(&p) as f64 / 8.0;
+        assert!((input.max_cube_tuples(&p) - avg).abs() < 1e-6, "uniform → balanced cubes");
+        assert_eq!(input.makespan_load(&p), avg.ceil() as u64);
+    }
+
+    #[test]
+    fn hot_fraction_shifts_partitioning_off_the_skewed_attribute() {
+        // Two relations joining on b, sizes equal; b's column of R1 is 60%
+        // one value. The pure-total objective puts every partition on b
+        // (duplication-free); the max-partition term sees that a p_b-way
+        // split of R1 still leaves 60% on one coordinate and moves (part
+        // of) the sharing onto a/c instead.
+        let uniform = ShareInput {
+            num_attrs: 3,
+            relations: vec![(0b011, 10_000), (0b110, 10_000)],
+            num_workers: 8,
+            memory_limit_bytes: None,
+            bytes_per_value: 4,
+            hot: Vec::new(),
+            require_exact_product: false,
+        };
+        let p_uniform = optimize_share(&uniform).unwrap();
+        assert_eq!(p_uniform, vec![1, 8, 1], "total-load optimum shares only on b");
+
+        let mut skewed = uniform.clone();
+        skewed.hot = vec![vec![(1, 0.6)], vec![(1, 0.6)]];
+        let p_skewed = optimize_share(&skewed).unwrap();
+        assert!(p_skewed[0] > 1 || p_skewed[2] > 1, "skew must move shares off b: {p_skewed:?}");
+        assert!(
+            skewed.makespan_load(&p_skewed) < skewed.makespan_load(&[1, 8, 1]),
+            "chosen share must beat the naive one on the fullest partition"
+        );
+    }
+
+    #[test]
+    fn exact_product_constraint_is_honoured() {
+        for workers in [1usize, 4, 6, 7] {
+            let mut input = triangle(500, workers);
+            input.require_exact_product = true;
+            let p = optimize_share(&input).unwrap();
+            let prod: u64 = p.iter().map(|&x| x as u64).product();
+            assert_eq!(prod, workers as u64, "p={p:?}");
+        }
+        // Exact product + impossible memory → error, not a silent fallback.
+        let mut input = triangle(1_000_000, 4);
+        input.require_exact_product = true;
+        input.memory_limit_bytes = Some(16);
         assert!(optimize_share(&input).is_err());
     }
 

@@ -24,7 +24,8 @@
 
 use crate::cache::{IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
-use adj_cluster::{Cluster, WorkerId};
+use crate::skew::{HotValues, ShuffleRouting};
+use adj_cluster::Cluster;
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Trie, Value};
 use std::sync::Arc;
@@ -72,6 +73,13 @@ pub struct ShuffleReport {
     /// Delivered tuple copies (`Σ_R |R|·dup(R,p)` realized; cache hits move
     /// nothing and contribute nothing here).
     pub tuples: u64,
+    /// Delivered tuple copies per worker — the partition-fill vector the
+    /// skew stats (max/mean fill) are computed from. Empty on a fully warm
+    /// shuffle (nothing moved).
+    pub worker_tuples: Vec<u64>,
+    /// Tuple copies that took a heavy-hitter route (spread or broadcast)
+    /// instead of plain hashing.
+    pub hot_routed_tuples: u64,
     /// Transfer units (tuple copies for Push; blocks for Pull/Merge).
     pub messages: u64,
     /// Modeled communication seconds (α model + per-message overhead).
@@ -102,7 +110,8 @@ pub struct ShuffleOutput {
 
 /// Runs the HCube shuffle for the relations named in `atom_names` (each must
 /// exist in `db`), under `plan`, preparing tries in the induced order of
-/// `order`. Never consults an index cache — see [`hcube_shuffle_cached`].
+/// `order`. Never consults an index cache and routes every value by plain
+/// hashing — see [`hcube_shuffle_cached`].
 pub fn hcube_shuffle(
     cluster: &Cluster,
     db: &Database,
@@ -111,7 +120,18 @@ pub fn hcube_shuffle(
     order: &[Attr],
     impl_: HCubeImpl,
 ) -> Result<ShuffleOutput> {
-    hcube_shuffle_cached(cluster, db, atom_names, plan, order, impl_, None, &[], &[])
+    hcube_shuffle_cached(
+        cluster,
+        db,
+        atom_names,
+        plan,
+        order,
+        impl_,
+        None,
+        &[],
+        &[],
+        &HotValues::none(),
+    )
 }
 
 /// Resolves a relation by name against the overlay first, then the base
@@ -128,7 +148,8 @@ fn resolve<'a>(
     db.get(name)
 }
 
-/// [`hcube_shuffle`] with a cross-query index cache.
+/// [`hcube_shuffle`] with a cross-query index cache and a heavy-hitter
+/// routing table.
 ///
 /// `cache_ids[ai]` is the stable cache identity of `atom_names[ai]` — its
 /// name for base relations, a content-describing label for per-query
@@ -138,6 +159,14 @@ fn resolve<'a>(
 ///
 /// `overlay` supplies per-query relations (pre-computed bags) resolved
 /// before `db`, so the shared database is never cloned per query.
+///
+/// `hot` lists the heavy-hitter values per attribute. When non-empty *and*
+/// the plan maps cubes to workers bijectively (`Π p_A = N*` — the
+/// precondition of the spreader-ownership dedup rule, see
+/// [`crate::skew`]), hot tuples are spread/broadcast across their dimension
+/// instead of hashing onto one coordinate; otherwise the table is ignored
+/// and every value hashes plainly. Cache keys fold in each atom's routing
+/// role, so skew-routed tries never alias hash-routed ones.
 #[allow(clippy::too_many_arguments)]
 pub fn hcube_shuffle_cached(
     cluster: &Cluster,
@@ -149,14 +178,16 @@ pub fn hcube_shuffle_cached(
     cache: Option<&IndexScope<'_>>,
     cache_ids: &[Option<String>],
     overlay: &[(String, Arc<Relation>)],
+    hot: &HotValues,
 ) -> Result<ShuffleOutput> {
     let n = cluster.num_workers();
     assert_eq!(n, plan.num_workers(), "plan sized for a different cluster");
 
     // Per atom: the induced (permuted) schema and the column permutation.
+    // Routing and block grouping run entirely in the induced layout — the
+    // original schema only derives the permutation.
     struct AtomInfo {
         name: String,
-        schema: Schema,   // original
         induced: Schema,  // order-induced
         perm: Vec<usize>, // induced column -> original column
     }
@@ -173,13 +204,23 @@ pub fn hcube_shuffle_cached(
             });
         }
         let perm = induced_attrs.iter().map(|&a| schema.position(a).unwrap()).collect();
-        infos.push(AtomInfo {
-            name: name.clone(),
-            schema,
-            induced: Schema::new(induced_attrs)?,
-            perm,
-        });
+        infos.push(AtomInfo { name: name.clone(), induced: Schema::new(induced_attrs)?, perm });
     }
+
+    // Bind the heavy-hitter routing table to this shuffle's atom list: the
+    // largest relation containing a hot attribute spreads that dimension,
+    // everyone else containing it broadcasts. The spreader-ownership dedup
+    // rule needs a bijective cube→worker map, so the table stays inert
+    // unless `Π p_A = N*`.
+    let routing = if hot.is_empty() || plan.num_cubes() != n {
+        ShuffleRouting::default()
+    } else {
+        let atoms: Vec<(u64, usize)> = atom_names
+            .iter()
+            .map(|name| resolve(db, overlay, name).map(|r| (r.schema().mask(), r.len())))
+            .collect::<Result<_>>()?;
+        ShuffleRouting::bind(hot, &atoms)
+    };
 
     // Consult the cache: resolved atoms skip routing, transfer, and build.
     let mut resolved: Vec<Option<Arc<RelationIndex>>> = vec![None; infos.len()];
@@ -187,7 +228,13 @@ pub fn hcube_shuffle_cached(
     if let Some(scope) = cache {
         for (ai, info) in infos.iter().enumerate() {
             let Some(Some(id)) = cache_ids.get(ai) else { continue };
-            let key = scope.index_key(id.clone(), info.induced.attrs().to_vec(), plan.share(), n);
+            let key = scope.index_key(
+                id.clone(),
+                info.induced.attrs().to_vec(),
+                plan.share(),
+                n,
+                routing.atom_tag(ai),
+            );
             if let Some(entry) = scope.cache.get_index(&key) {
                 tuples_saved += entry.tuples;
                 resolved[ai] = Some(entry);
@@ -202,6 +249,9 @@ pub fn hcube_shuffle_cached(
 
     let mut tuples: u64 = 0;
     let mut messages: u64 = 0;
+    let mut hot_routed_tuples: u64 = 0;
+    // Delivered copies per worker: the partition-fill vector skew stats read.
+    let mut worker_tuples: Vec<u64> = vec![0; n];
     // Per-atom shares of the totals, for publishing per-relation entries.
     let mut rel_tuples: Vec<u64> = vec![0; infos.len()];
     let mut rel_messages: Vec<u64> = vec![0; infos.len()];
@@ -231,32 +281,45 @@ pub fn hcube_shuffle_cached(
             continue; // served from the cache — nothing moves
         }
         let rel = resolve(db, overlay, &info.name)?;
+        // Both paths route by per-attribute *coordinates* of the induced
+        // (permuted) row: the plain hash, a spread coordinate, or the
+        // broadcast marker — see `HCubePlan::tuple_coords`. Using the
+        // induced row everywhere keeps Push and Pull/Merge byte-identical
+        // under heavy-hitter routing too (the spread coordinate is a
+        // content hash of the row).
+        let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
+        let mut coords: Vec<u32> = Vec::with_capacity(info.perm.len());
         match impl_ {
             HCubeImpl::Push => {
-                let mut dests: Vec<WorkerId> = Vec::new();
                 for row in rel.rows() {
-                    plan.route_workers(&info.schema, row, &mut dests);
+                    prow.clear();
+                    prow.extend(info.perm.iter().map(|&p| row[p]));
+                    if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
+                        hot_routed_tuples += 1;
+                    }
+                    let dests = plan.block_workers(&info.induced, &coords);
                     for &w in &dests {
                         if let Inbox::Raw(buf) = &mut inboxes[w][ai] {
-                            for &p in &info.perm {
-                                buf.push(row[p]);
-                            }
+                            buf.extend_from_slice(&prow);
                         }
+                        worker_tuples[w] += 1;
                         rel_tuples[ai] += 1;
                         rel_messages[ai] += 1; // one message per delivered copy
                     }
                 }
             }
             HCubeImpl::Pull | HCubeImpl::Merge => {
-                // Group into blocks by hash signature. Blocks are keyed and
-                // stored in the *induced* (permuted) layout so that the
-                // block-id decode below matches the encode.
+                // Group into blocks by coordinate signature. Blocks are
+                // keyed and stored in the *induced* (permuted) layout so
+                // that the block-id decode below matches the encode.
                 let mut blocks: FxHashMap<u64, Vec<Value>> = FxHashMap::default();
-                let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
                 for row in rel.rows() {
                     prow.clear();
                     prow.extend(info.perm.iter().map(|&p| row[p]));
-                    let id = plan.block_id(&info.induced, &prow);
+                    if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
+                        hot_routed_tuples += 1;
+                    }
+                    let id = plan.encode_block(&info.induced, &coords);
                     blocks.entry(id).or_default().extend_from_slice(&prow);
                 }
                 let mut block_ids: Vec<u64> = blocks.keys().copied().collect();
@@ -264,16 +327,8 @@ pub fn hcube_shuffle_cached(
                 for id in block_ids {
                     let data = blocks.remove(&id).unwrap();
                     let block_tuples = (data.len() / info.perm.len().max(1)) as u64;
-                    // Per-attribute hashes of this block, in ORIGINAL
-                    // schema attr positions (block_workers expects them
-                    // aligned with schema.attrs()).
-                    let induced_hashes = plan.block_hashes(&info.induced, id);
-                    let mut orig_hashes = vec![0u32; info.schema.arity()];
-                    for (ic, &a) in info.induced.attrs().iter().enumerate() {
-                        let oc = info.schema.position(a).unwrap();
-                        orig_hashes[oc] = induced_hashes[ic];
-                    }
-                    let dests = plan.block_workers(&info.schema, &orig_hashes);
+                    let block_coords = plan.block_hashes(&info.induced, id);
+                    let dests = plan.block_workers(&info.induced, &block_coords);
                     let prebuilt = if impl_ == HCubeImpl::Merge {
                         // Pre-build once (sorted, induced layout); counted
                         // as preprocessing below.
@@ -289,6 +344,7 @@ pub fn hcube_shuffle_cached(
                             Inbox::Raw(buf) => buf.extend_from_slice(&data),
                             Inbox::Blocks(bs) => bs.push(prebuilt.clone().unwrap()),
                         }
+                        worker_tuples[w] += block_tuples;
                         rel_tuples[ai] += block_tuples;
                         rel_messages[ai] += 1; // one message per block delivery
                     }
@@ -396,6 +452,7 @@ pub fn hcube_shuffle_cached(
                             info.induced.attrs().to_vec(),
                             plan.share(),
                             n,
+                            routing.atom_tag(ai),
                         );
                         scope.cache.insert_index(
                             key,
@@ -429,6 +486,8 @@ pub fn hcube_shuffle_cached(
         locals,
         report: ShuffleReport {
             tuples,
+            worker_tuples: if tuples > 0 { worker_tuples } else { Vec::new() },
+            hot_routed_tuples,
             messages,
             comm_secs,
             build_secs,
@@ -620,6 +679,7 @@ mod tests {
             Some(&scope),
             &ids(&names),
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         assert_eq!(cold.report.built_relations, 3);
@@ -636,6 +696,7 @@ mod tests {
             Some(&scope),
             &ids(&names),
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         assert_eq!(warm.report.reused_relations, 3);
@@ -672,6 +733,7 @@ mod tests {
             Some(&s0),
             &ids(&names),
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         let s1 = IndexScope { cache: &cache, db_tag: 1, epoch: 1 };
@@ -685,10 +747,182 @@ mod tests {
             Some(&s1),
             &ids(&names),
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         assert_eq!(out.report.reused_relations, 0, "stale epoch must not serve");
         assert_eq!(out.report.built_relations, 3);
+    }
+
+    /// A triangle database where one value dominates R1's `a` column.
+    fn skewed_tri_db() -> (Database, Vec<String>) {
+        let mut hub: Vec<(Value, Value)> = (0..120u32).map(|i| (7, i + 100)).collect();
+        hub.extend((0..60u32).map(|i| (i % 23, (i * 11 + 1) % 23 + 300)));
+        let tail: Vec<(Value, Value)> =
+            (0..180u32).map(|i| (i % 40, (i * 13 + 5) % 40 + 100)).collect();
+        let mut db = Database::new();
+        db.insert("R1", Relation::from_pairs(Attr(0), Attr(1), &hub));
+        db.insert("R2", Relation::from_pairs(Attr(1), Attr(2), &tail));
+        db.insert("R3", Relation::from_pairs(Attr(0), Attr(2), &tail));
+        (db, vec!["R1".into(), "R2".into(), "R3".into()])
+    }
+
+    fn shuffle_hot(
+        db: &Database,
+        names: &[String],
+        plan: &HCubePlan,
+        impl_: HCubeImpl,
+        hot: &HotValues,
+    ) -> ShuffleOutput {
+        let cluster = Cluster::new(ClusterConfig::with_workers(plan.num_workers()));
+        hcube_shuffle_cached(&cluster, db, names, plan, &order3(), impl_, None, &[], &[], hot)
+            .unwrap()
+    }
+
+    #[test]
+    fn hot_routing_covers_all_tuples_and_balances_the_spreader() {
+        let (db, names) = skewed_tri_db();
+        // All partitioning on `a` (share 4 on attr 0) — the worst case for
+        // the hub value 7, which plain hashing pins to one coordinate.
+        let plan = HCubePlan::new(vec![4, 1, 1], 4);
+        let hot = HotValues::new(vec![vec![7], vec![], vec![]]);
+
+        let naive = shuffle_hot(&db, &names, &plan, HCubeImpl::Merge, &HotValues::none());
+        let routed = shuffle_hot(&db, &names, &plan, HCubeImpl::Merge, &hot);
+        assert!(routed.report.hot_routed_tuples > 0);
+        assert_eq!(naive.report.hot_routed_tuples, 0);
+
+        // Every original tuple still reaches some worker.
+        for (ai, name) in names.iter().enumerate() {
+            let original = db.get(name).unwrap();
+            let mut all = routed.locals[0][ai].trie.to_relation();
+            for w in 1..4 {
+                all = all.union(&routed.locals[w][ai].trie.to_relation()).unwrap();
+            }
+            let back = all.permute(original.schema().attrs()).unwrap();
+            assert_eq!(&back, original, "{name} lost tuples under hot routing");
+        }
+
+        // R1 is the spreader for `a` (largest relation containing it): its
+        // hub tuples now spread across the dimension, so the fullest
+        // partition shrinks versus naive hashing.
+        let max_naive = naive.report.worker_tuples.iter().copied().max().unwrap();
+        let max_routed = routed.report.worker_tuples.iter().copied().max().unwrap();
+        assert!(
+            max_routed < max_naive,
+            "routing must shrink the hottest partition: {max_routed} vs {max_naive}"
+        );
+        let mean_routed = routed.report.tuples as f64 / 4.0;
+        assert!(
+            (max_routed as f64) <= 2.0 * mean_routed,
+            "balanced shuffle: max {max_routed} vs mean {mean_routed}"
+        );
+    }
+
+    #[test]
+    fn hot_routing_is_identical_across_implementations() {
+        let (db, names) = skewed_tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let hot = HotValues::new(vec![vec![7], vec![], vec![]]);
+        let outs: Vec<ShuffleOutput> =
+            HCubeImpl::ALL.iter().map(|&i| shuffle_hot(&db, &names, &plan, i, &hot)).collect();
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(outs[0].locals[w][ai].trie, outs[1].locals[w][ai].trie);
+                assert_eq!(outs[1].locals[w][ai].trie, outs[2].locals[w][ai].trie);
+            }
+        }
+    }
+
+    #[test]
+    fn hot_routing_requires_bijective_cube_map() {
+        let (db, names) = skewed_tri_db();
+        // 8 cubes on 4 workers: the spreader-ownership rule does not apply,
+        // so the table must stay inert and locals must equal plain hashing.
+        let plan = HCubePlan::new(vec![4, 2, 1], 4);
+        let hot = HotValues::new(vec![vec![7], vec![], vec![]]);
+        let routed = shuffle_hot(&db, &names, &plan, HCubeImpl::Pull, &hot);
+        let naive = shuffle_hot(&db, &names, &plan, HCubeImpl::Pull, &HotValues::none());
+        assert_eq!(routed.report.hot_routed_tuples, 0);
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(routed.locals[w][ai].trie, naive.locals[w][ai].trie);
+            }
+        }
+    }
+
+    #[test]
+    fn routed_and_unrouted_cache_entries_never_alias() {
+        let (db, names) = skewed_tri_db();
+        let plan = HCubePlan::new(vec![4, 1, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 3, epoch: 0 };
+        let hot = HotValues::new(vec![vec![7], vec![], vec![]]);
+        let naive = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+            &HotValues::none(),
+        )
+        .unwrap();
+        assert_eq!(naive.report.built_relations, 3);
+        // Same relations, same share — but skew-routed: the relations that
+        // contain the hot attribute must rebuild, not reuse the hash-routed
+        // tries (their fragments differ per worker). R2(b,c) contains no
+        // hot attribute, so its fragments are byte-identical and its plain
+        // entry is safely reused.
+        let routed = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+            &hot,
+        )
+        .unwrap();
+        assert_eq!(routed.report.reused_relations, 1, "only the untouched R2 may alias");
+        assert_eq!(routed.report.built_relations, 2, "hot-attr relations must rebuild");
+        // And the routed entries are themselves reusable.
+        let warm = hcube_shuffle_cached(
+            &cluster,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            Some(&scope),
+            &ids(&names),
+            &[],
+            &hot,
+        )
+        .unwrap();
+        assert_eq!(warm.report.reused_relations, 3);
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(warm.locals[w][ai].trie, routed.locals[w][ai].trie);
+            }
+        }
+    }
+
+    #[test]
+    fn worker_tuples_sum_to_total() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![2, 2, 1], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let out = hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Pull).unwrap();
+        assert_eq!(out.report.worker_tuples.len(), 4);
+        assert_eq!(out.report.worker_tuples.iter().sum::<u64>(), out.report.tuples);
     }
 
     #[test]
@@ -710,6 +944,7 @@ mod tests {
             Some(&scope),
             &partial,
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         let out = hcube_shuffle_cached(
@@ -722,6 +957,7 @@ mod tests {
             Some(&scope),
             &ids(&names),
             &[],
+            &HotValues::none(),
         )
         .unwrap();
         assert_eq!(out.report.reused_relations, 2);

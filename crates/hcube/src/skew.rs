@@ -1,0 +1,334 @@
+//! Heavy-hitter routing for the HCube shuffle.
+//!
+//! Plain HCube hashing sends every tuple carrying a hot join value to the
+//! *same* coordinate of that value's dimension — the whole heavy hitter
+//! lands on one hypercube slice, which is both a load cliff and a memory
+//! hazard. The routing table here fixes that with the classic partial
+//! redistribution trade (PRPD-style), adapted to the hypercube:
+//!
+//! * per attribute `A` with detected hot values, exactly one participating
+//!   relation — the largest one containing `A`, the **spreader** — routes
+//!   its hot tuples by a content hash of the whole tuple, *spreading* them
+//!   evenly across the `p_A` coordinates instead of pinning them to
+//!   `h_A(v)`;
+//! * every other participating relation containing `A` *broadcasts* its
+//!   hot tuples across the dimension (coordinate `⋆`), so the spread
+//!   fragments still meet every joining tuple;
+//! * non-hot values hash exactly as before.
+//!
+//! **Duplicate elimination.** Broadcasting replicates tuples, so the same
+//! output binding could in principle be produced on every coordinate of the
+//! dimension. The rule that keeps results byte-identical is *spreader
+//! ownership*: for a binding whose value on `A` is hot, only the coordinate
+//! holding the spreader's (unreplicated) tuple can produce it — every other
+//! coordinate lacks that tuple, so the probe side emits each binding
+//! exactly once, with no post-hoc dedup pass. This requires the cube→worker
+//! map to be a bijection (`Π p_A = N*`); the executor enforces that when a
+//! routing table is active and falls back to plain hashing when no such
+//! share vector is feasible.
+
+use adj_relational::hash::{hash_row, FxHasher};
+use adj_relational::{Attr, Value};
+use std::hash::Hasher;
+
+/// Per-attribute hot-value sets — the query-level half of the routing
+/// table, derived from the sampling skew profile at plan time. Index =
+/// attribute id; each list is sorted and deduplicated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotValues {
+    per_attr: Vec<Vec<Value>>,
+}
+
+impl HotValues {
+    /// Builds the table from per-attribute hot-value lists (index =
+    /// attribute id). Lists are sorted and deduplicated.
+    pub fn new(mut per_attr: Vec<Vec<Value>>) -> Self {
+        for list in &mut per_attr {
+            list.sort_unstable();
+            list.dedup();
+        }
+        HotValues { per_attr }
+    }
+
+    /// An empty table (plain hashing everywhere).
+    pub fn none() -> Self {
+        HotValues::default()
+    }
+
+    /// Whether no value is hot anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.per_attr.iter().all(|v| v.is_empty())
+    }
+
+    /// Number of `(attribute, value)` entries.
+    pub fn len(&self) -> usize {
+        self.per_attr.iter().map(|v| v.len()).sum()
+    }
+
+    /// The hot values of `attr` (empty when none).
+    pub fn values(&self, attr: Attr) -> &[Value] {
+        self.per_attr.get(attr.index()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Bitmask of attributes carrying at least one hot value — lets callers
+    /// check whether a given relation set is touched by the table at all.
+    pub fn attrs_mask(&self) -> u64 {
+        self.per_attr
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .fold(0u64, |m, (a, _)| m | (1u64 << a))
+    }
+
+    /// Whether `value` is hot on `attr`.
+    #[inline]
+    pub fn is_hot(&self, attr: Attr, value: Value) -> bool {
+        self.per_attr.get(attr.index()).is_some_and(|v| v.binary_search(&value).is_ok())
+    }
+
+    /// A stable fingerprint of the table contents (0 for the empty table),
+    /// folded into index-cache keys so skew-routed tries never collide with
+    /// hash-routed ones.
+    pub fn fingerprint(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut h = FxHasher::default();
+        for (attr, values) in self.per_attr.iter().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            h.write_u64(attr as u64 + 1);
+            for &v in values {
+                h.write_u32(v);
+            }
+        }
+        h.finish() | 1 // never 0, so "routed" and "unrouted" keys differ
+    }
+}
+
+/// The routing decision for one (attribute, tuple) pair of one relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotDecision {
+    /// This relation is the dimension's spreader: route by a content hash
+    /// of the whole tuple.
+    Spread,
+    /// Another relation spreads this dimension: replicate across it.
+    Broadcast,
+}
+
+/// A routing table bound to one concrete shuffle: the hot values plus, per
+/// attribute, which participating atom (by index into the shuffle's atom
+/// list) spreads that dimension. Built by the shuffle itself so the
+/// spreader is always one of the relations actually being moved.
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleRouting {
+    hot: HotValues,
+    /// `spreader[attr_id]` = index of the spreading atom, if any relation
+    /// in this shuffle contains the attribute.
+    spreader: Vec<Option<usize>>,
+    /// Attribute masks of the shuffle's atoms — a decision only exists for
+    /// an atom's own attributes.
+    masks: Vec<u64>,
+}
+
+impl ShuffleRouting {
+    /// Binds `hot` to a shuffle's atom list. `atoms[i]` is
+    /// `(attribute mask, tuple count)` of the `i`-th shuffled relation; per
+    /// hot attribute the largest relation containing it (ties to the lowest
+    /// atom index) becomes the spreader.
+    pub fn bind(hot: &HotValues, atoms: &[(u64, usize)]) -> Self {
+        if hot.is_empty() {
+            return ShuffleRouting::default();
+        }
+        let n_attrs = hot.per_attr.len();
+        let mut spreader = vec![None; n_attrs];
+        for (attr, values) in hot.per_attr.iter().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            spreader[attr] = atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, &(mask, _))| mask & (1u64 << attr) != 0)
+                .max_by(|(ai, &(_, a)), (bi, &(_, b))| a.cmp(&b).then(bi.cmp(ai)))
+                .map(|(i, _)| i);
+        }
+        ShuffleRouting {
+            hot: hot.clone(),
+            spreader,
+            masks: atoms.iter().map(|&(mask, _)| mask).collect(),
+        }
+    }
+
+    /// Whether the table routes anything.
+    pub fn is_active(&self) -> bool {
+        !self.hot.is_empty() && self.spreader.iter().any(|s| s.is_some())
+    }
+
+    /// The bound hot values.
+    pub fn hot(&self) -> &HotValues {
+        &self.hot
+    }
+
+    /// The routing decision for atom `ai`'s tuples on `attr` carrying
+    /// `value`; `None` means plain hashing (including for attributes the
+    /// atom does not contain).
+    #[inline]
+    pub fn decision(&self, ai: usize, attr: Attr, value: Value) -> Option<HotDecision> {
+        if self.masks.get(ai).is_none_or(|m| m & (1u64 << attr.index()) == 0)
+            || !self.hot.is_hot(attr, value)
+        {
+            return None;
+        }
+        match self.spreader.get(attr.index()).copied().flatten() {
+            Some(s) if s == ai => Some(HotDecision::Spread),
+            Some(_) => Some(HotDecision::Broadcast),
+            // No shuffled relation contains the attribute: its dimension is
+            // free for everyone anyway.
+            None => None,
+        }
+    }
+
+    /// The cache-key tag of atom `ai`'s shuffled fragments. An atom's
+    /// fragments depend only on the hot values of its *own* attributes and
+    /// its spread-vs-broadcast role on each, so exactly that is folded: a
+    /// relation shuffled as spreader never aliases the same relation
+    /// shuffled as broadcaster, while an atom containing no hot attribute
+    /// keeps tag 0 — its fragments are byte-identical to the unrouted ones,
+    /// and the plain cache entry is safely reused.
+    pub fn atom_tag(&self, ai: usize) -> u64 {
+        if !self.is_active() {
+            return 0;
+        }
+        let Some(&mask) = self.masks.get(ai) else { return 0 };
+        let mut h = FxHasher::default();
+        let mut routed = false;
+        for (attr, values) in self.hot.per_attr.iter().enumerate() {
+            if values.is_empty() || mask & (1u64 << attr) == 0 {
+                continue;
+            }
+            let Some(s) = self.spreader[attr] else { continue };
+            routed = true;
+            h.write_u64(((attr as u64) << 2) | if s == ai { 1 } else { 2 });
+            for &v in values {
+                h.write_u32(v);
+            }
+        }
+        if !routed {
+            return 0;
+        }
+        h.finish() | 1
+    }
+}
+
+/// The content hash that spreads a hot tuple across its dimension: a
+/// per-attribute-salted hash of the whole tuple
+/// ([`adj_relational::hash::hash_row`]), reduced to `[p]`. Both the Push
+/// and the Pull/Merge paths call this on the *induced* (permuted) row, so
+/// all implementations route identically.
+#[inline]
+pub fn spread_coord(attr: Attr, row: &[Value], p: u32) -> u32 {
+    if p <= 1 {
+        return 0;
+    }
+    (hash_row(attr.0, row) % p as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_ab() -> HotValues {
+        HotValues::new(vec![vec![7, 3, 7], vec![], vec![11]])
+    }
+
+    #[test]
+    fn membership_and_normalization() {
+        let h = hot_ab();
+        assert!(!h.is_empty());
+        assert_eq!(h.len(), 3, "duplicates collapse");
+        assert_eq!(h.values(Attr(0)), &[3, 7]);
+        assert!(h.is_hot(Attr(0), 7));
+        assert!(!h.is_hot(Attr(0), 8));
+        assert!(!h.is_hot(Attr(1), 7));
+        assert!(h.is_hot(Attr(2), 11));
+        assert!(!h.is_hot(Attr(9), 11), "out-of-range attrs are never hot");
+    }
+
+    #[test]
+    fn fingerprints_distinguish_tables() {
+        assert_eq!(HotValues::none().fingerprint(), 0);
+        let a = hot_ab().fingerprint();
+        let b = HotValues::new(vec![vec![3], vec![], vec![11]]).fingerprint();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(a, hot_ab().fingerprint(), "stable across builds");
+    }
+
+    #[test]
+    fn spreader_is_the_largest_containing_relation() {
+        let hot = HotValues::new(vec![vec![1], vec![2], vec![]]);
+        // atoms: R0(a,b) small, R1(b,c) big, R2(a,c) medium
+        let atoms = [(0b011u64, 10), (0b110, 100), (0b101, 50)];
+        let r = ShuffleRouting::bind(&hot, &atoms);
+        assert!(r.is_active());
+        // attr a hot: contained in R0 (10) and R2 (50) → R2 spreads.
+        assert_eq!(r.decision(2, Attr(0), 1), Some(HotDecision::Spread));
+        assert_eq!(r.decision(0, Attr(0), 1), Some(HotDecision::Broadcast));
+        assert_eq!(r.decision(1, Attr(0), 1), None, "R1 does not contain a");
+        // attr b hot: R1 is largest.
+        assert_eq!(r.decision(1, Attr(1), 2), Some(HotDecision::Spread));
+        assert_eq!(r.decision(0, Attr(1), 2), Some(HotDecision::Broadcast));
+        // non-hot values hash plainly.
+        assert_eq!(r.decision(2, Attr(0), 99), None);
+        // per-atom cache tags split spreader from broadcaster roles.
+        assert_ne!(r.atom_tag(0), r.atom_tag(2));
+        assert_ne!(r.atom_tag(0), 0);
+    }
+
+    #[test]
+    fn untouched_atoms_keep_tag_zero_under_active_routing() {
+        // Only attr a is hot; R1(b,c) contains no hot attribute, so its
+        // fragments are byte-identical to an unrouted shuffle's and must
+        // alias the plain cache entry (tag 0).
+        let hot = HotValues::new(vec![vec![1], vec![], vec![]]);
+        let atoms = [(0b011u64, 10), (0b110, 100), (0b101, 50)];
+        let r = ShuffleRouting::bind(&hot, &atoms);
+        assert!(r.is_active());
+        assert_eq!(r.atom_tag(1), 0, "no hot attr in R1(b,c) → plain identity");
+        assert_ne!(r.atom_tag(0), 0);
+        assert_ne!(r.atom_tag(2), 0);
+    }
+
+    #[test]
+    fn size_ties_pick_the_lowest_atom_index() {
+        let hot = HotValues::new(vec![vec![1]]);
+        let atoms = [(0b1u64, 10), (0b1, 10)];
+        let r = ShuffleRouting::bind(&hot, &atoms);
+        assert_eq!(r.decision(0, Attr(0), 1), Some(HotDecision::Spread));
+        assert_eq!(r.decision(1, Attr(0), 1), Some(HotDecision::Broadcast));
+    }
+
+    #[test]
+    fn empty_table_is_inert() {
+        let r = ShuffleRouting::bind(&HotValues::none(), &[(0b11, 10)]);
+        assert!(!r.is_active());
+        assert_eq!(r.decision(0, Attr(0), 1), None);
+        assert_eq!(r.atom_tag(0), 0);
+    }
+
+    #[test]
+    fn spread_coord_is_deterministic_and_in_range() {
+        let row = [5u32, 9, 1];
+        for p in [1u32, 2, 3, 8] {
+            let c = spread_coord(Attr(1), &row, p);
+            assert!(c < p.max(1));
+            assert_eq!(c, spread_coord(Attr(1), &row, p));
+        }
+        // different attrs decorrelate
+        let spread: Vec<u32> = (0..64u32).map(|i| spread_coord(Attr(0), &[i, 2 * i], 4)).collect();
+        let distinct: std::collections::HashSet<_> = spread.iter().collect();
+        assert!(distinct.len() > 1, "content hash must actually spread");
+    }
+}

@@ -58,8 +58,14 @@ fn strip_mode_prefix(input: &str) -> Result<(OutputMode, &str)> {
         let rest = rest.trim_start();
         let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
         if digits > 0 {
-            let n: usize =
-                rest[..digits].parse().map_err(|_| parse_err("LIMIT count out of range", rest))?;
+            // Pinned-down edge semantics: `LIMIT 0 (…)` is a legal query
+            // whose answer is the empty relation (the executor
+            // short-circuits it without dispatching any worker), and a
+            // count too large for `usize` saturates — any limit at or above
+            // the result cardinality already means "all rows", so an
+            // absurdly large one is a valid way to spell that, not a parse
+            // error that 500s a serving thread.
+            let n: usize = rest[..digits].parse().unwrap_or(usize::MAX);
             let body = unwrap_mode_body(&rest[digits..])
                 .ok_or_else(|| parse_err("LIMIT needs a query after the count", rest))?;
             return Ok((OutputMode::Limit(n), body));
@@ -336,9 +342,22 @@ mod tests {
     #[test]
     fn malformed_mode_prefixes_error() {
         assert!(parse_query_with_mode("LIMIT R1(a,b)").is_err(), "missing count");
-        assert!(parse_query_with_mode("LIMIT 99999999999999999999 R1(a,b)").is_err());
         assert!(parse_query_with_mode("COUNT").is_err(), "no query after prefix");
         assert!(parse_query_with_mode("COUNT(R1(a,b)").is_err(), "unbalanced wrapper");
+    }
+
+    #[test]
+    fn limit_edge_counts_are_pinned_down() {
+        // LIMIT 0 is a legal query: Limit(0) mode, empty answer downstream.
+        let (q, _, m) = parse_query_with_mode("LIMIT 0 (R1(a,b), R2(b,c))").unwrap();
+        assert_eq!(m, OutputMode::Limit(0));
+        assert_eq!(q.atoms.len(), 2);
+        // A count too large for usize saturates to "all rows" instead of
+        // erroring — any limit ≥ the cardinality means the same thing.
+        let (_, _, m) = parse_query_with_mode("LIMIT 99999999999999999999 R1(a,b)").unwrap();
+        assert_eq!(m, OutputMode::Limit(usize::MAX));
+        let (_, _, m) = parse_query_with_mode(&format!("LIMIT {} R1(a,b)", usize::MAX)).unwrap();
+        assert_eq!(m, OutputMode::Limit(usize::MAX));
     }
 
     #[test]

@@ -20,6 +20,10 @@
 
 pub mod distributed;
 pub mod estimator;
+pub mod skew;
 
 pub use distributed::{estimate_distributed, DistributedReport};
 pub use estimator::{required_samples, CardinalityEstimate, Sampler, SamplingConfig};
+pub use skew::{
+    detect_heavy_hitters, ColumnSkew, HeavyHitter, RelationSkew, SkewConfig, SkewProfile,
+};

@@ -112,12 +112,35 @@ impl AdmissionController {
     /// Requests an execution slot, waiting if the policy allows it (up to
     /// the queue timeout, when one is configured).
     pub fn admit(&self) -> Result<AdmissionPermit<'_>, ServiceError> {
+        let (max_waiting, timeout) = match self.policy {
+            AdmissionPolicy::Reject => (0, None),
+            AdmissionPolicy::Queue { max_waiting, timeout } => (max_waiting, timeout),
+        };
+        self.admit_bounded(max_waiting, timeout)
+    }
+
+    /// [`AdmissionController::admit`] with an explicit per-call timeout
+    /// (overriding the policy's) — lets one controller serve callers with
+    /// different patience, and lets the race stress tests pit a
+    /// short-deadline waiter against a long one.
+    pub fn admit_with_timeout(
+        &self,
+        timeout: Option<Duration>,
+    ) -> Result<AdmissionPermit<'_>, ServiceError> {
+        let max_waiting = match self.policy {
+            AdmissionPolicy::Reject => 0,
+            AdmissionPolicy::Queue { max_waiting, .. } => max_waiting,
+        };
+        self.admit_bounded(max_waiting, timeout)
+    }
+
+    fn admit_bounded(
+        &self,
+        max_waiting: usize,
+        timeout: Option<Duration>,
+    ) -> Result<AdmissionPermit<'_>, ServiceError> {
         let mut occ = self.occupancy.lock().expect("admission lock poisoned");
         if occ.running >= self.max_concurrent {
-            let (max_waiting, timeout) = match self.policy {
-                AdmissionPolicy::Reject => (0, None),
-                AdmissionPolicy::Queue { max_waiting, timeout } => (max_waiting, timeout),
-            };
             if occ.waiting >= max_waiting {
                 self.rejected_capacity.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::RejectedCapacity {
@@ -135,7 +158,21 @@ impl AdmissionController {
                         let now = Instant::now();
                         if now >= deadline {
                             occ.waiting -= 1;
+                            let reraise = occ.waiting > 0;
                             self.timed_out.fetch_add(1, Ordering::Relaxed);
+                            drop(occ);
+                            // Lost-notification hand-off: `notify_one` from a
+                            // concurrent release may have chosen *this*
+                            // waiter, which is now leaving without taking
+                            // the slot. Without re-raising, the freed slot
+                            // would sit idle while another waiter sleeps out
+                            // its full timeout (or forever, with `None`) —
+                            // the leaked-slot race. A spurious wake-up is
+                            // harmless: woken waiters re-check `running`
+                            // under the lock.
+                            if reraise {
+                                self.freed.notify_one();
+                            }
                             return Err(ServiceError::QueueTimeout { timeout: configured });
                         }
                         let (occ, _timed_out) = self
@@ -305,6 +342,57 @@ mod tests {
         drop(permit);
         waiter.join().unwrap();
         assert_eq!(c.stats().rejected_capacity, 1);
+    }
+
+    /// Stress regression for the lost-notification/leaked-slot race: a
+    /// waiter that times out concurrently with a permit release may consume
+    /// the release's `notify_one`. Without the hand-off re-notify, the
+    /// remaining (long-timeout) waiter would sleep its whole timeout while
+    /// the slot sat free. Here the long waiter must always be admitted
+    /// promptly once the holder drops — across many racy iterations where
+    /// the short waiter's deadline coincides with the release.
+    #[test]
+    fn timeout_racing_a_release_never_strands_the_slot() {
+        for round in 0..60u64 {
+            let c = Arc::new(AdmissionController::new(
+                1,
+                AdmissionPolicy::Queue { max_waiting: 8, timeout: Some(Duration::from_secs(30)) },
+            ));
+            let holder = c.admit().unwrap();
+            // A short-timeout waiter whose deadline races the release below.
+            let short = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    c.admit_with_timeout(Some(Duration::from_micros(200 + round * 37))).map(drop)
+                })
+            };
+            // A long-timeout waiter that must not be stranded.
+            let long = {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let t0 = Instant::now();
+                    let permit = c.admit();
+                    (permit.map(drop), t0.elapsed())
+                })
+            };
+            // Let at least one waiter park, then release right around the
+            // short waiter's deadline so the notify and its timeout race.
+            while c.stats().waiting == 0 && c.stats().timed_out == 0 {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_micros(200 + round * 37));
+            drop(holder);
+            let _ = short.join().unwrap();
+            let (long_result, waited) = long.join().unwrap();
+            long_result.expect("long waiter must get the freed slot");
+            assert!(
+                waited < Duration::from_secs(10),
+                "round {round}: long waiter stalled {waited:?} with a free slot"
+            );
+            let s = c.stats();
+            assert_eq!(s.waiting, 0, "round {round}: no ghost waiters");
+            assert_eq!(s.running, 0, "round {round}: slot returned");
+        }
     }
 
     #[test]

@@ -21,6 +21,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Number of power-of-two buckets (1 µs … ~2.3 h).
 const BUCKETS: usize = 43;
 
+/// Recording ceiling: observations land in the last bucket at most. Clamping
+/// *before* the running sum keeps `sum_micros` overflow-free for any
+/// realistic observation count (2^42 µs ≈ 52 days per sample leaves room for
+/// ~4 million samples even in the worst case), so one absurd sample —
+/// `f64::INFINITY` seconds, a stuck clock — can never wreck the mean.
+const MAX_MICROS: u64 = 1 << (BUCKETS - 1);
+
 /// A fixed-bucket concurrent latency histogram.
 #[derive(Debug)]
 pub struct Histogram {
@@ -42,9 +49,13 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// Records one latency observation.
+    /// Records one latency observation. Saturates cleanly at both extremes:
+    /// zero/negative/NaN durations land in bucket 0 (≤ 1 µs), and anything
+    /// at or beyond the bucket range (multi-second and up to `+∞`) clamps
+    /// into the last bucket with its contribution to the mean capped at the
+    /// recording ceiling (`MAX_MICROS`, the last bucket's edge).
     pub fn record_secs(&self, secs: f64) {
-        let micros = (secs.max(0.0) * 1e6).round() as u64;
+        let micros = ((secs.max(0.0) * 1e6).round() as u64).min(MAX_MICROS);
         let idx =
             if micros == 0 { 0 } else { ((64 - micros.leading_zeros()) as usize).min(BUCKETS - 1) };
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
@@ -138,6 +149,11 @@ pub struct ServiceMetrics {
     index_relations_built: AtomicU64,
     index_relations_reused: AtomicU64,
     index_bags_reused: AtomicU64,
+    queries_skew_routed: AtomicU64,
+    hot_routed_tuples: AtomicU64,
+    partition_tuples_max: AtomicU64,
+    partition_fill_sum: AtomicU64,
+    partition_fill_slots: AtomicU64,
     /// End-to-end service-side latency (admission wait included).
     pub total: Histogram,
     /// Time spent waiting for an admission slot.
@@ -189,6 +205,14 @@ impl ServiceMetrics {
         self.index_relations_built.fetch_add(report.index_relations_built, Ordering::Relaxed);
         self.index_relations_reused.fetch_add(report.index_relations_reused, Ordering::Relaxed);
         self.index_bags_reused.fetch_add(report.index_bags_reused, Ordering::Relaxed);
+        if report.hot_values > 0 {
+            self.queries_skew_routed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.hot_routed_tuples.fetch_add(report.hot_routed_tuples, Ordering::Relaxed);
+        self.partition_tuples_max.fetch_max(report.max_partition_tuples(), Ordering::Relaxed);
+        self.partition_fill_sum
+            .fetch_add(report.worker_tuples.iter().sum::<u64>(), Ordering::Relaxed);
+        self.partition_fill_slots.fetch_add(report.worker_tuples.len() as u64, Ordering::Relaxed);
         self.total.record_secs(total_secs);
         self.queue_wait.record_secs(queue_secs);
         self.optimization.record_secs(report.optimization_secs);
@@ -227,6 +251,17 @@ impl ServiceMetrics {
             index_relations_built: self.index_relations_built.load(Ordering::Relaxed),
             index_relations_reused: self.index_relations_reused.load(Ordering::Relaxed),
             index_bags_reused: self.index_bags_reused.load(Ordering::Relaxed),
+            queries_skew_routed: self.queries_skew_routed.load(Ordering::Relaxed),
+            hot_routed_tuples: self.hot_routed_tuples.load(Ordering::Relaxed),
+            max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
+            mean_partition_tuples: {
+                let slots = self.partition_fill_slots.load(Ordering::Relaxed);
+                if slots == 0 {
+                    0.0
+                } else {
+                    self.partition_fill_sum.load(Ordering::Relaxed) as f64 / slots as f64
+                }
+            },
             total: self.total.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
             optimization: self.optimization.snapshot(),
@@ -268,6 +303,17 @@ pub struct MetricsSnapshot {
     pub index_relations_reused: u64,
     /// Pre-computed bag relations served from the index cache.
     pub index_bags_reused: u64,
+    /// Served queries whose plan carried a heavy-hitter routing table.
+    pub queries_skew_routed: u64,
+    /// Tuple copies that took a heavy-hitter route (spread or broadcast)
+    /// instead of plain hashing, across all served queries.
+    pub hot_routed_tuples: u64,
+    /// Fullest single-worker partition fill (delivered tuple copies)
+    /// observed on any served query — the hot-spot ceiling skew hardening
+    /// bounds.
+    pub max_partition_tuples: u64,
+    /// Mean partition fill per worker across all shuffles that moved data.
+    pub mean_partition_tuples: f64,
     /// End-to-end latency summary.
     pub total: HistogramSnapshot,
     /// Admission-wait summary.
@@ -326,6 +372,64 @@ mod tests {
         h.record_secs(0.0);
         assert_eq!(h.snapshot().count, 2);
         assert!((h.snapshot().p50_secs - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_extreme_saturates_cleanly() {
+        // Zero, negative, and NaN durations must all land in bucket 0 with
+        // a sane (1 µs upper-bound) quantile and a finite mean — a spinning
+        // clock or a subtraction gone negative must never corrupt stats.
+        let h = Histogram::default();
+        h.record_secs(0.0);
+        h.record_secs(-3.5);
+        h.record_secs(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_secs, 0.0);
+        assert!((s.p50_secs - 1e-6).abs() < 1e-12);
+        assert!((s.p99_secs - 1e-6).abs() < 1e-12);
+        assert_eq!(s.max_secs, 0.0);
+    }
+
+    #[test]
+    fn multi_second_extreme_saturates_into_the_last_bucket() {
+        // Multi-second, multi-day, and infinite samples clamp into the last
+        // log2 bucket; the running sum (hence the mean) stays finite and
+        // monotone instead of wrapping.
+        let h = Histogram::default();
+        h.record_secs(5.0); // a legitimate slow query
+        for _ in 0..100 {
+            h.record_secs(f64::INFINITY); // a wedged clock, 100 times over
+        }
+        h.record_secs(1e12); // a bogus huge-but-finite sample
+        let s = h.snapshot();
+        assert_eq!(s.count, 102);
+        let cap_secs = (super::MAX_MICROS as f64) * 1e-6;
+        assert!(s.max_secs <= cap_secs, "max {} must clamp at {cap_secs}", s.max_secs);
+        assert!(s.mean_secs.is_finite() && s.mean_secs > 0.0 && s.mean_secs <= cap_secs);
+        assert!(s.p99_secs.is_finite() && s.p99_secs > 5.0);
+        // The legitimate sample is still visible below the saturated mass.
+        assert!(s.p50_secs >= 5.0, "p50={}", s.p50_secs);
+    }
+
+    #[test]
+    fn skew_gauges_accumulate() {
+        let m = ServiceMetrics::new();
+        let balanced =
+            ExecutionReport { worker_tuples: vec![10, 10, 10, 10], ..Default::default() };
+        let skewed = ExecutionReport {
+            worker_tuples: vec![70, 10, 10, 10],
+            hot_values: 2,
+            hot_routed_tuples: 55,
+            ..Default::default()
+        };
+        m.record_success(&balanced, OutputMode::Rows, 0, 0.0, 0.001);
+        m.record_success(&skewed, OutputMode::Rows, 0, 0.0, 0.001);
+        let s = m.snapshot();
+        assert_eq!(s.queries_skew_routed, 1, "only the skewed plan carried hot values");
+        assert_eq!(s.hot_routed_tuples, 55);
+        assert_eq!(s.max_partition_tuples, 70);
+        assert!((s.mean_partition_tuples - 140.0 / 8.0).abs() < 1e-9);
     }
 
     #[test]

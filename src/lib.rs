@@ -73,7 +73,7 @@ pub use adj_service as service;
 /// The common imports for applications.
 pub mod prelude {
     pub use adj_cluster::{Cluster, ClusterConfig};
-    pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, Strategy};
+    pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, SkewConfig, Strategy};
     pub use adj_datagen::Dataset;
     pub use adj_query::{
         paper_query, parse_query, parse_query_with_mode, Atom, JoinQuery, PaperQuery,

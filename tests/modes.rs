@@ -102,6 +102,75 @@ fn exists_agrees_with_emptiness() {
     assert_eq!(none.output, QueryOutput::Exists(false));
 }
 
+/// `LIMIT 0` is answered from the plan alone: an empty relation over the
+/// plan's schema, with no shuffle, no communication round, and no worker
+/// dispatch at all.
+#[test]
+fn limit_zero_short_circuits_before_any_dispatch() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        let db = q.instantiate(&g);
+        let rounds_before = adj.cluster().comm().rounds();
+        let out = adj.execute_mode(&q, &db, OutputMode::Limit(0)).unwrap();
+        let rows = out.rows();
+        assert!(rows.is_empty(), "{shape:?}: LIMIT 0 returns the empty relation");
+        assert_eq!(rows.arity(), q.num_attrs(), "{shape:?}: schema still matches the plan");
+        assert_eq!(out.report.comm_tuples, 0, "{shape:?}: nothing shuffled");
+        assert_eq!(out.report.computation_secs, 0.0, "{shape:?}: no worker ran");
+        assert_eq!(
+            adj.cluster().comm().rounds(),
+            rounds_before,
+            "{shape:?}: no communication round was opened"
+        );
+    }
+    // The text form drives the same path.
+    let (q, _, mode) = parse_query_with_mode("LIMIT 0 (R1(a,b), R2(b,c), R3(a,c))").unwrap();
+    assert_eq!(mode, OutputMode::Limit(0));
+    let db = paper_query(PaperQuery::Q1).instantiate(&g);
+    let out = adj.execute_mode(&q, &db, mode).unwrap();
+    assert!(out.rows().is_empty());
+}
+
+/// `Limit(n)` returns a *canonical* sample — the n lexicographically
+/// smallest result rows under the plan's attribute order — so the selection
+/// is deterministic across worker counts and partitionings, not an artifact
+/// of which worker's buffer was gathered first.
+#[test]
+fn limit_selection_is_deterministic_across_worker_counts() {
+    let g = graph();
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        let db = q.instantiate(&g);
+        // CommFirst's order selection is independent of the cluster width,
+        // so every worker count plans the same attribute order.
+        let reference = Adj::with_workers(1)
+            .execute_with(&q, &db, Strategy::CommFirst, OutputMode::Limit(7))
+            .unwrap();
+        for workers in [2usize, 3, 4] {
+            let sample = Adj::with_workers(workers)
+                .execute_with(&q, &db, Strategy::CommFirst, OutputMode::Limit(7))
+                .unwrap();
+            assert_eq!(
+                sample.rows(),
+                reference.rows(),
+                "{shape:?}: {workers}-worker Limit sample differs from single-worker"
+            );
+        }
+        // And the sample is exactly the n smallest rows of the full result.
+        let full = Adj::with_workers(1)
+            .execute_with(&q, &db, Strategy::CommFirst, OutputMode::Rows)
+            .unwrap();
+        let full = full.rows();
+        let n = 7usize.min(full.len());
+        let width = full.arity();
+        let expect =
+            Relation::from_flat(full.schema().clone(), full.flat()[..n * width].to_vec()).unwrap();
+        assert_eq!(reference.rows(), &expect, "{shape:?}: sample must be the n smallest rows");
+    }
+}
+
 /// The short-circuit acceptance criterion: `Exists`/`Limit` must stop the
 /// Leapfrog enumeration early, visibly emitting fewer tuples than the full
 /// cardinality (the executor's report carries the merged Leapfrog
