@@ -27,6 +27,7 @@ pub fn run_bigjoin(
     query: &JoinQuery,
     config: &BaselineConfig,
 ) -> Result<(Relation, BaselineReport)> {
+    crate::reject_bound_terms(query)?;
     let mut report = BaselineReport::default();
     let n = cluster.num_workers();
     let order: Vec<Attr> = query.attrs();

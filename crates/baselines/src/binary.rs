@@ -20,6 +20,7 @@ pub fn run_binary_join(
     query: &JoinQuery,
     config: &BaselineConfig,
 ) -> Result<(Relation, BaselineReport)> {
+    crate::reject_bound_terms(query)?;
     let mut report = BaselineReport::default();
     let n = cluster.num_workers();
 

@@ -45,6 +45,7 @@ fn run_inner(
     config: &BaselineConfig,
     cached: bool,
 ) -> Result<(Relation, BaselineReport)> {
+    crate::reject_bound_terms(query)?;
     let mut report = BaselineReport::default();
     let order = select_order_all(db, query, cluster, config)?;
 
@@ -61,6 +62,7 @@ fn run_inner(
         bytes_per_value: 4,
         hot: Vec::new(),
         require_exact_product: false,
+        bound_mask: 0,
     };
     let share = optimize_share(&input)?;
     let hplan = HCubePlan::new(share, cluster.num_workers());

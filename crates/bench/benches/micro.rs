@@ -76,6 +76,7 @@ fn bench_planning(c: &mut Criterion) {
         bytes_per_value: 4,
         hot: Vec::new(),
         require_exact_product: false,
+        bound_mask: 0,
     };
     g.bench_function("share_optimizer_q5_w28", |bch| {
         bch.iter(|| optimize_share(black_box(&input)))

@@ -33,6 +33,7 @@ fn main() {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: false,
+            bound_mask: 0,
         };
         let share = optimize_share(&input).unwrap();
         let plan = HCubePlan::new(share, w);

@@ -1,0 +1,192 @@
+//! Prepared-query driver: bound "triangles through vertex v" served two
+//! ways on one warm service, emitting `BENCH_prepared.json`:
+//!
+//! * **baseline** — the pre-prepared-statement contract: run the *unbound*
+//!   triangle join (warm plan + index caches) and filter the materialized
+//!   result client-side to the requested vertex;
+//! * **bound** — the prepared path: one `prepare` of
+//!   `Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)`, then one `execute_bound` per
+//!   vertex. The binding pins `$v`'s share to 1, filters the shuffle
+//!   before routing, and constant-seeks the bound trie levels; the
+//!   binding-independent relation stays warm in the index cache across
+//!   every binding.
+//!
+//! The headline `bound_speedup` (baseline mean / bound mean) is gated at
+//! ≥ 2× — the acceptance bar for selection pushdown actually shrinking the
+//! work rather than merely relabeling it.
+//!
+//! Environment:
+//! * `ADJ_SCALE`    — dataset scale (default 0.05, as the other binaries);
+//! * `ADJ_WORKERS`  — simulated cluster width (default 4);
+//! * `ADJ_BINDINGS` — distinct vertices to bind (default 60);
+//! * `ADJ_BENCH_OUT` — output path (default `BENCH_prepared.json`).
+
+use adj_bench::{adj_config, print_table, scale, workers};
+use adj_core::Strategy;
+use adj_datagen::Dataset;
+use adj_query::{paper_query, parse_query, Bindings, PaperQuery};
+use adj_relational::{Attr, OutputMode, Value};
+use adj_service::{Service, ServiceConfig};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    sorted[((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let bindings = env_usize("ADJ_BINDINGS", 60).max(1);
+    let out_path =
+        std::env::var("ADJ_BENCH_OUT").unwrap_or_else(|_| "BENCH_prepared.json".to_string());
+    let w = workers();
+    let graph = Dataset::WB.graph(scale());
+    let unbound = paper_query(PaperQuery::Q1);
+    let db = unbound.instantiate(&graph);
+
+    let service = Service::new(ServiceConfig {
+        adj: adj_config(w),
+        strategy: Strategy::CoOptimize,
+        ..Default::default()
+    });
+    service.register_database("wb", db);
+
+    // The vertices to query: distinct source endpoints, cycled.
+    let mut vertices: Vec<Value> = graph.rows().map(|r| r[0]).collect();
+    vertices.sort_unstable();
+    vertices.dedup();
+    let vertices: Vec<Value> = (0..bindings).map(|i| vertices[(i * 7) % vertices.len()]).collect();
+
+    // Warm both paths' caches with one throwaway execution each.
+    let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let prepared = service.prepare("wb", &q).expect("prepare");
+    service.execute("wb", &unbound).expect("warm unbound");
+    service
+        .execute_bound(&prepared, &Bindings::new().set("v", vertices[0]), OutputMode::Rows)
+        .expect("warm bound");
+
+    // Baseline: full join + client-side filter, per vertex.
+    let mut baseline = Vec::with_capacity(vertices.len());
+    let mut baseline_rows = 0u64;
+    for &v in &vertices {
+        let t0 = Instant::now();
+        let out = service.execute("wb", &unbound).expect("baseline query");
+        let a_col = out.rows().schema().position(Attr(0)).expect("a column");
+        baseline_rows += out.rows().rows().filter(|r| r[a_col] == v).count() as u64;
+        baseline.push(t0.elapsed().as_secs_f64());
+    }
+
+    // Bound: one execute_bound per vertex through the shared prepared plan.
+    let mut bound = Vec::with_capacity(vertices.len());
+    let mut bound_rows = 0u64;
+    for &v in &vertices {
+        let b = Bindings::new().set("v", v);
+        let t0 = Instant::now();
+        let out = service.execute_bound(&prepared, &b, OutputMode::Rows).expect("bound query");
+        bound_rows += out.rows().len() as u64;
+        bound.push(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(bound_rows, baseline_rows, "bound results must equal the filtered baseline");
+
+    let (baseline_mean, bound_mean) = (mean(&baseline), mean(&bound));
+    let mut baseline_sorted = baseline.clone();
+    baseline_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut bound_sorted = bound.clone();
+    bound_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let speedup = baseline_mean / bound_mean;
+    let stats = service.stats();
+
+    print_table(
+        "prepared queries: bound vs full-join-then-filter latency",
+        &["metric".to_string(), "baseline (join+filter)".to_string(), "bound".to_string()],
+        &[
+            vec![
+                "mean s".into(),
+                format!("{baseline_mean:.6}"),
+                format!("{bound_mean:.6} ({speedup:.2}x)"),
+            ],
+            vec![
+                "p50 s".into(),
+                format!("{:.6}", quantile(&baseline_sorted, 0.5)),
+                format!("{:.6}", quantile(&bound_sorted, 0.5)),
+            ],
+            vec![
+                "p99 s".into(),
+                format!("{:.6}", quantile(&baseline_sorted, 0.99)),
+                format!("{:.6}", quantile(&bound_sorted, 0.99)),
+            ],
+        ],
+    );
+    println!(
+        "\n{} bindings over one prepared plan: plan cache {:.1}% hits, index cache {:.1}% hits, \
+         bound selectivity {:.4}, {} params bound",
+        vertices.len(),
+        stats.cache.hit_rate() * 100.0,
+        stats.index.hit_rate() * 100.0,
+        stats.metrics.bound_selectivity.unwrap_or(f64::NAN),
+        stats.metrics.params_bound,
+    );
+
+    // Acceptance gates — skipped on degenerate runs (a couple of bindings
+    // amortize nothing, and the hit rate is dominated by the warmup).
+    if vertices.len() >= 10 {
+        assert!(
+            speedup >= 2.0,
+            "selection pushdown must beat join-then-filter by ≥2x (got {speedup:.2}x)"
+        );
+        assert!(
+            stats.cache.hit_rate() > 0.9,
+            "distinct bindings must share one plan entry (hit rate {:.3})",
+            stats.cache.hit_rate()
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"prepared\",\n",
+            "  \"scale\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"bindings\": {},\n",
+            "  \"result_rows_per_side\": {},\n",
+            "  \"baseline_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"bound_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
+            "  \"bound_speedup\": {:.3},\n",
+            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+            "  \"bound_selectivity\": {:.6},\n",
+            "  \"params_bound\": {},\n",
+            "  \"queries_prepared\": {}\n",
+            "}}\n"
+        ),
+        scale(),
+        w,
+        vertices.len(),
+        baseline_rows,
+        baseline_mean,
+        quantile(&baseline_sorted, 0.5),
+        quantile(&baseline_sorted, 0.99),
+        bound_mean,
+        quantile(&bound_sorted, 0.5),
+        quantile(&bound_sorted, 0.99),
+        speedup,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.hit_rate(),
+        stats.index.hits,
+        stats.index.misses,
+        stats.index.hit_rate(),
+        stats.metrics.bound_selectivity.unwrap_or(0.0),
+        stats.metrics.params_bound,
+        stats.metrics.queries_prepared,
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    println!("\nwrote {out_path}");
+}

@@ -132,6 +132,7 @@ fn main() {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: true,
+            bound_mask: 0,
         };
         let lp_bound = fractional_max_cube_bound(&input).unwrap_or(0.0);
 

@@ -99,9 +99,10 @@ pub fn scale() -> f64 {
     std::env::var("ADJ_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.05)
 }
 
-/// Worker count from `ADJ_WORKERS` (default 4).
+/// Worker count from `ADJ_WORKERS` (default 4, clamped to ≥ 1 — a
+/// zero-worker cluster is a panic deep in the share plan, not a benchmark).
 pub fn workers() -> usize {
-    std::env::var("ADJ_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+    std::env::var("ADJ_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(4).max(1)
 }
 
 /// Budget caps sized for laptop-scale runs (reproduces the paper's failure

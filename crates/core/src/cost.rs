@@ -245,6 +245,7 @@ impl<'a> CostEstimator<'a> {
             bytes_per_value: 4,
             hot: self.hot_fractions(rels),
             require_exact_product: false,
+            bound_mask: 0,
         };
         match optimize_share(&input) {
             Ok(p) => {
@@ -549,6 +550,7 @@ mod tests {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: true,
+            bound_mask: 0,
         };
         let bound = fractional_max_cube_bound(&input).unwrap();
         assert!(bound > 0.0);

@@ -17,8 +17,8 @@ use adj_hcube::{
 };
 use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
-    Attr, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation, Result,
-    RowBuffer, Schema, Trie, Value,
+    Attr, BoundValues, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation,
+    Result, RowBuffer, Schema, Trie, Value,
 };
 use std::sync::Arc;
 
@@ -78,6 +78,14 @@ pub struct ExecutionReport {
     /// Tuple copies that took a heavy-hitter route (spread or broadcast)
     /// instead of plain hashing.
     pub hot_routed_tuples: u64,
+    /// Attributes this execution pinned to constants (inline literals plus
+    /// bound parameters); 0 on unbound executions.
+    pub bound_values: u64,
+    /// Tuples scanned in relations carrying a bound-constant filter, across
+    /// every shuffle round of this execution.
+    pub bound_scanned_tuples: u64,
+    /// Tuples that passed their bound-constant filter and were routed.
+    pub bound_kept_tuples: u64,
 }
 
 impl ExecutionReport {
@@ -116,6 +124,17 @@ impl ExecutionReport {
         }
     }
 
+    /// Realized selectivity of the binding's selection pushdown —
+    /// `kept / scanned` over the filtered relations — or `None` when the
+    /// execution filtered nothing (unbound, or fully warm).
+    pub fn bound_selectivity(&self) -> Option<f64> {
+        if self.bound_scanned_tuples == 0 {
+            None
+        } else {
+            Some(self.bound_kept_tuples as f64 / self.bound_scanned_tuples as f64)
+        }
+    }
+
     /// Folds one shuffle round's fill and routing counters into the report.
     fn absorb_shuffle(&mut self, shuffle: &ShuffleReport) {
         if self.worker_tuples.len() < shuffle.worker_tuples.len() {
@@ -125,6 +144,8 @@ impl ExecutionReport {
             *acc += w;
         }
         self.hot_routed_tuples += shuffle.hot_routed_tuples;
+        self.bound_scanned_tuples += shuffle.bound_scanned_tuples;
+        self.bound_kept_tuples += shuffle.bound_kept_tuples;
     }
 }
 
@@ -177,6 +198,11 @@ fn bag_label(names: &[String], order: &[Attr]) -> String {
 /// over the cache's `Arc<Trie>` handles (skipping their shuffle + sort +
 /// build), warm bags skip their whole pre-computation round, and cold
 /// artifacts are built once and published. Pass `None` to run fully cold.
+///
+/// Inline literal constants in the plan's query are honoured automatically
+/// (they resolve without a binding); `$name` parameters make this error
+/// with [`Error::UnboundParam`] — supply their values through
+/// [`execute_plan_bound`].
 pub fn execute_plan_cached(
     cluster: &Cluster,
     db: &Database,
@@ -185,7 +211,61 @@ pub fn execute_plan_cached(
     mode: OutputMode,
     index: Option<&IndexScope<'_>>,
 ) -> Result<(QueryOutput, ExecutionReport)> {
-    let mut report = ExecutionReport { hot_values: plan.hot.len() as u64, ..Default::default() };
+    execute_plan_bound(cluster, db, plan, config, mode, index, &BoundValues::none())
+}
+
+/// The general executor: [`execute_plan_cached`] plus a set of bound
+/// parameter values. The full binding — the query's inline literals merged
+/// with `params` — pushes selections down every layer:
+///
+/// * the **share program** drops bound attributes from the dimension grid
+///   (their share is pinned to 1 — a one-value dimension has nothing to
+///   partition);
+/// * the **HCube shuffle** filters non-matching tuples *before* routing
+///   them, so communication shrinks with the binding's selectivity (bound
+///   relations bypass the index cache; unbound relations of the same query
+///   stay warm across every binding);
+/// * **Leapfrog** seeks the constant at bound trie levels instead of
+///   intersecting candidate runs.
+///
+/// Results are byte-identical to running the unbound query and keeping the
+/// rows whose bound attributes equal the bound values.
+pub fn execute_plan_bound(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+    mode: OutputMode,
+    index: Option<&IndexScope<'_>>,
+    params: &BoundValues,
+) -> Result<(QueryOutput, ExecutionReport)> {
+    // Resolve the execution's full binding. `params` (the submission's
+    // resolved values — caller-bound parameters plus the submitted text's
+    // inline literals) takes priority; the plan's own literals fill any
+    // attr the caller left out, so executing a literal-bearing plan
+    // directly still honours its constants. The two can disagree because
+    // plans are shared across the whole *shape family* — `R1(7,b)…`,
+    // `R1(9,b)…`, and `R1($v,b)…` all resolve to one cached plan, and the
+    // submission's values, not the plan-owner's, are what this execution
+    // must answer for.
+    let mut pairs = params.pairs().to_vec();
+    for &(a, v) in plan.query.const_bindings()?.pairs() {
+        if params.get(a).is_none() {
+            pairs.push((a, v));
+        }
+    }
+    let bound = BoundValues::new(pairs)?;
+    // Every bound position of the shape must have a value by now.
+    for (name, attr) in plan.query.param_attrs() {
+        if bound.get(attr).is_none() {
+            return Err(Error::UnboundParam { name });
+        }
+    }
+    let mut report = ExecutionReport {
+        hot_values: plan.hot.len() as u64,
+        bound_values: bound.len() as u64,
+        ..Default::default()
+    };
 
     // `LIMIT 0` is a complete answer by definition: the empty relation over
     // the plan's schema. Short-circuit before any admission-charged work —
@@ -220,7 +300,11 @@ pub fn execute_plan_cached(
         let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
         let label = bag_label(&names, &bag_order);
         bag_labels.push((name.clone(), label.clone()));
-        if let Some(scope) = index {
+        // A bag touched by the binding is per-binding content: it bypasses
+        // the bag cache in both directions (same discipline as the
+        // shuffle's bound relations).
+        let bag_is_bound = bag_order.iter().any(|&a| bound.get(a).is_some());
+        if let (Some(scope), false) = (index, bag_is_bound) {
             if let Some(bag) = scope.cache.get_bag(&scope.bag_key(label.clone())) {
                 // Budget parity with the cold path: a cached bag over the
                 // caller's cap is rejected exactly like a fresh one.
@@ -236,8 +320,17 @@ pub fn execute_plan_cached(
             }
         }
         // Bag members are base atoms, so the round runs over `db` directly.
-        let (result, secs, tuples) =
-            run_one_round(cluster, db, &names, &bag_order, config, index, &plan.hot, &mut report)?;
+        let (result, secs, tuples) = run_one_round(
+            cluster,
+            db,
+            &names,
+            &bag_order,
+            config,
+            index,
+            &plan.hot,
+            &bound,
+            &mut report,
+        )?;
         report.precompute_secs += secs;
         report.precompute_tuples += tuples;
         if result.len() > config.max_intermediate_tuples {
@@ -247,7 +340,7 @@ pub fn execute_plan_cached(
             });
         }
         let result = Arc::new(result);
-        if let Some(scope) = index {
+        if let (Some(scope), false) = (index, bag_is_bound) {
             scope.cache.insert_bag(scope.bag_key(label), Arc::clone(&result));
         }
         bag_overlay.push((name.clone(), result));
@@ -255,8 +348,15 @@ pub fn execute_plan_cached(
 
     // ── Phase 2 + 3: final one-round join over the rewritten query.
     let names = plan.shuffle_names();
-    let (share, hplan) =
-        share_for(db, &bag_overlay, &names, plan.query.num_attrs(), cluster, &plan.hot)?;
+    let (share, hplan) = share_for(
+        db,
+        &bag_overlay,
+        &names,
+        plan.query.num_attrs(),
+        cluster,
+        &plan.hot,
+        bound.mask(),
+    )?;
     report.share = share;
     // Cache identities: base atoms by relation name; pre-computed bags by
     // the content label recorded in phase 1 (never by the per-query
@@ -282,6 +382,7 @@ pub fn execute_plan_cached(
         &cache_ids,
         &bag_overlay,
         &plan.hot,
+        &bound,
     )?;
     report.comm_tuples = shuffled.report.tuples;
     report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
@@ -296,9 +397,10 @@ pub fn execute_plan_cached(
     let width = order.len();
     // Per-worker payload: row data for the modes that return rows, `None`
     // for `Count`/`Exists` — those gather counters only.
+    let bound_ref = &bound;
     let run = cluster.run(|w| -> Result<(Option<Vec<Value>>, JoinCounters)> {
         let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
-        let join = LeapfrogJoin::new(order, tries)?;
+        let join = LeapfrogJoin::new(order, tries)?.with_bound(bound_ref);
         let mut scratch = JoinScratch::new();
         match mode {
             OutputMode::Rows | OutputMode::Limit(_) => {
@@ -379,10 +481,11 @@ fn run_one_round(
     config: &AdjConfig,
     index: Option<&IndexScope<'_>>,
     hot: &HotValues,
+    bound: &BoundValues,
     report: &mut ExecutionReport,
 ) -> Result<(Relation, f64, u64)> {
     let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
-    let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, hot)?;
+    let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, hot, bound.mask())?;
     let cache_ids: Vec<Option<String>> = names.iter().map(|n| Some(n.clone())).collect();
     let shuffled = hcube_shuffle_cached(
         cluster,
@@ -395,6 +498,7 @@ fn run_one_round(
         &cache_ids,
         &[],
         hot,
+        bound,
     )?;
     report.index_build_secs += shuffled.report.build_secs;
     report.index_relations_built += shuffled.report.built_relations;
@@ -404,7 +508,7 @@ fn run_one_round(
     let locals = &shuffled.locals;
     let run = cluster.run(|w| {
         let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
-        let join = LeapfrogJoin::new(order, tries)?;
+        let join = LeapfrogJoin::new(order, tries)?.with_bound(bound);
         let mut rows: Vec<Value> = Vec::new();
         let mut over = false;
         join.run(|t| {
@@ -446,6 +550,7 @@ fn share_for(
     num_attrs: usize,
     cluster: &Cluster,
     hot: &HotValues,
+    bound_mask: u64,
 ) -> Result<(Vec<u32>, HCubePlan)> {
     let mut relations = Vec::with_capacity(names.len());
     for n in names {
@@ -468,6 +573,7 @@ fn share_for(
         bytes_per_value: 4,
         hot: Vec::new(),
         require_exact_product: routing_engages,
+        bound_mask,
     };
     let share = match optimize_share(&input) {
         Ok(p) => p,
@@ -654,7 +760,8 @@ mod tests {
         let cfg = AdjConfig { cluster: ClusterConfig::with_workers(8), ..Default::default() };
         let cluster = Cluster::new(cfg.cluster.clone());
         let names: Vec<String> = q.atoms.iter().map(|a| a.name.clone()).collect();
-        let (share, hplan) = share_for(&db, &[], &names, 3, &cluster, &HotValues::none()).unwrap();
+        let (share, hplan) =
+            share_for(&db, &[], &names, 3, &cluster, &HotValues::none(), 0).unwrap();
         assert_eq!(share.len(), 3);
         assert!(hplan.num_cubes() >= 8);
     }

@@ -27,12 +27,16 @@ pub mod cost;
 pub mod executor;
 pub mod optimizer;
 pub mod plan;
+pub mod prepared;
 pub mod yannakakis;
 
 pub use cost::{fractional_max_cube_bound, CostEstimator, CostParams};
-pub use executor::{execute_plan, execute_plan_cached, ExecutionReport, Strategy};
+pub use executor::{
+    execute_plan, execute_plan_bound, execute_plan_cached, ExecutionReport, Strategy,
+};
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
+pub use prepared::Prepared;
 pub use yannakakis::{yannakakis, yannakakis_cached, YannakakisReport};
 // The cross-query index cache (defined in `adj-hcube`, where the shuffle
 // consults it) is part of this crate's public execution API too.
@@ -41,11 +45,14 @@ pub use adj_hcube::{HotValues, IndexCache, IndexCacheStats, IndexScope};
 // cardinality estimator whose machinery it reuses).
 pub use adj_sampling::{SkewConfig, SkewProfile};
 // The streaming-output vocabulary (defined in `adj-relational` so every
-// layer shares it) is part of this crate's public execution API.
-pub use adj_relational::{CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink};
+// layer shares it) is part of this crate's public execution API, as is the
+// bound-constant vocabulary of prepared queries.
+pub use adj_relational::{
+    BoundValues, CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink,
+};
 
 use adj_cluster::{Cluster, ClusterConfig};
-use adj_query::JoinQuery;
+use adj_query::{Bindings, JoinQuery};
 use adj_relational::{Database, Relation, Result};
 use adj_sampling::SamplingConfig;
 use std::sync::Arc;
@@ -242,10 +249,57 @@ impl Adj {
         mode: OutputMode,
         index: Option<&IndexScope<'_>>,
     ) -> Result<(QueryOutput, ExecutionReport)> {
+        self.execute_bound_cached(plan, db, mode, index, &BoundValues::none())
+    }
+
+    /// The bound serving hot path: [`Adj::execute_prepared_cached`] plus a
+    /// resolved set of parameter values (see
+    /// [`executor::execute_plan_bound`] for how the binding pushes
+    /// selections down the shuffle, the share program, and Leapfrog).
+    pub fn execute_bound_cached(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        mode: OutputMode,
+        index: Option<&IndexScope<'_>>,
+        params: &BoundValues,
+    ) -> Result<(QueryOutput, ExecutionReport)> {
         let (output, mut report) =
-            execute_plan_cached(&self.cluster, db, plan, &self.config, mode, index)?;
+            execute_plan_bound(&self.cluster, db, plan, &self.config, mode, index, params)?;
         report.optimization_secs = plan.optimization_secs;
         Ok((output, report))
+    }
+
+    /// Prepares a parameterized query: optimizes it once and returns the
+    /// [`Prepared`] statement whose plan every later binding reuses. The
+    /// plan is a pure function of the query's *shape* — parameter positions
+    /// and literal positions, never their values — so preparing
+    /// `R1($v,b), R2(b,c), R3($v,c)` once serves every vertex `$v` is ever
+    /// bound to.
+    pub fn prepare(
+        &self,
+        query: &JoinQuery,
+        db: &Database,
+        strategy: Strategy,
+    ) -> Result<Prepared> {
+        Ok(Prepared::new(self.plan(query, db, strategy)?))
+    }
+
+    /// Executes one binding of a prepared query: resolves `bindings`
+    /// against the statement's parameter table ([`Prepared::bind`]) and
+    /// runs the shared plan with the bound constants pushed down every
+    /// layer. Returns a full [`AdjOutcome`] per binding.
+    pub fn execute_bound(
+        &self,
+        prepared: &Prepared,
+        db: &Database,
+        bindings: &Bindings,
+        mode: OutputMode,
+    ) -> Result<AdjOutcome> {
+        let values = prepared.bind(bindings)?;
+        let (output, report) =
+            self.execute_bound_cached(&prepared.plan, db, mode, None, &values)?;
+        Ok(AdjOutcome { output, mode, plan: prepared.plan.clone(), report })
     }
 }
 

@@ -15,6 +15,37 @@ use adj_query::{GhdTree, JoinQuery};
 use adj_relational::{Database, Error, OutputMode, QueryOutput, Relation, Result};
 use std::sync::Arc;
 
+/// Prepared-query semantics for the baseline path: inline literals are
+/// honoured by filtering every *touched* relation at the source (selection
+/// pushdown before any bag join — equivalent to filter-then-join), and
+/// `$name` parameters error (this path has no binding channel). Returns an
+/// overlay of only the filtered relations — untouched ones keep being read
+/// from the shared database, never copied — empty when the query is
+/// unbound.
+fn bound_overlay(db: &Database, query: &JoinQuery) -> Result<Vec<(String, Relation)>> {
+    if let Some((name, _)) = query.param_attrs().into_iter().next() {
+        return Err(Error::UnboundParam { name });
+    }
+    let bound = query.const_bindings()?;
+    let mut overlay: Vec<(String, Relation)> = Vec::new();
+    if bound.is_empty() {
+        return Ok(overlay);
+    }
+    for atom in &query.atoms {
+        if overlay.iter().any(|(n, _)| n == &atom.name) {
+            continue;
+        }
+        let rel = db.get(&atom.name)?;
+        let schema = rel.schema();
+        if bound.touches(schema) {
+            let rows: Vec<&[adj_relational::Value]> =
+                rel.rows().filter(|r| bound.matches(schema, r)).collect();
+            overlay.push((atom.name.clone(), Relation::from_rows(schema.clone(), &rows)?));
+        }
+    }
+    Ok(overlay)
+}
+
 /// Cost/diagnostic report of a Yannakakis run.
 #[derive(Debug, Clone, Default)]
 pub struct YannakakisReport {
@@ -82,6 +113,18 @@ pub fn yannakakis_with_tree_cached(
 ) -> Result<(QueryOutput, YannakakisReport)> {
     let mut report = YannakakisReport::default();
 
+    // Bound terms: filter the sources up front. Filtered bags are
+    // per-binding content, so the (label-keyed) bag cache is bypassed for
+    // the whole run — a bound bag must never alias an unbound entry.
+    let overlay = bound_overlay(db, query)?;
+    let index = if overlay.is_empty() { index } else { None };
+    let resolve = |name: &str| -> Result<&Relation> {
+        match overlay.iter().find(|(n, _)| n == name) {
+            Some((_, rel)) => Ok(rel),
+            None => db.get(name),
+        }
+    };
+
     // Assign every atom to one covering node (edge-coverage guarantees one
     // exists); a bag's relation joins its λ atoms plus its assigned atoms.
     let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); tree.len()];
@@ -136,9 +179,9 @@ pub fn yannakakis_with_tree_cached(
         }
         let mut it = atom_ids.iter();
         let first = *it.next().expect("bags have at least one edge");
-        let mut acc = db.get(&query.atoms[first].name)?.clone();
+        let mut acc = resolve(&query.atoms[first].name)?.clone();
         for &ai in it {
-            acc = acc.join_budgeted(db.get(&query.atoms[ai].name)?, max_intermediate)?;
+            acc = acc.join_budgeted(resolve(&query.atoms[ai].name)?, max_intermediate)?;
         }
         if let (Some(scope), Some(label)) = (index, label) {
             scope.cache.insert_bag(scope.bag_key(label), Arc::new(acc.clone()));

@@ -60,6 +60,16 @@ pub struct IndexKey {
     /// spread-vs-broadcast role otherwise — so skew-routed tries never
     /// collide with hash-routed ones (their per-worker fragments differ).
     pub route_tag: u64,
+    /// Bound-constant tag
+    /// ([`BoundValues::tag_for`](adj_relational::BoundValues::tag_for)): 0
+    /// for unbound fragments, a value-bearing fingerprint of the bound
+    /// `attr = value` selections that filtered this relation otherwise —
+    /// the `route_tag`-discipline guarantee that a bound-level entry can
+    /// never alias an unbound one. In practice bound fragments are not
+    /// published at all (the shuffle bypasses the cache for them; see
+    /// [`crate::hcube_shuffle_cached`]), so shared entries always carry 0
+    /// here — this field is the belt to that suspenders.
+    pub bind_tag: u64,
 }
 
 /// Identity of one cached bag relation (a materialized hypertree-bag join).
@@ -418,6 +428,7 @@ pub struct IndexScope<'a> {
 
 impl<'a> IndexScope<'a> {
     /// Builds an [`IndexKey`] in this scope.
+    #[allow(clippy::too_many_arguments)]
     pub fn index_key(
         &self,
         relation: impl Into<String>,
@@ -425,6 +436,7 @@ impl<'a> IndexScope<'a> {
         share: &[u32],
         num_workers: usize,
         route_tag: u64,
+        bind_tag: u64,
     ) -> IndexKey {
         IndexKey {
             db_tag: self.db_tag,
@@ -434,6 +446,7 @@ impl<'a> IndexScope<'a> {
             share: share.to_vec(),
             num_workers,
             route_tag,
+            bind_tag,
         }
     }
 
@@ -462,6 +475,7 @@ mod tests {
             share: vec![2, 2],
             num_workers: 4,
             route_tag: 0,
+            bind_tag: 0,
         }
     }
 
@@ -494,11 +508,17 @@ mod tests {
         let mut other_workers = k.clone();
         other_workers.num_workers = 8;
         assert!(cache.get_index(&other_workers).is_none());
-        let mut other_route = k;
+        let mut other_route = k.clone();
         other_route.route_tag = 0xBEEF;
         assert!(
             cache.get_index(&other_route).is_none(),
             "skew-routed tries must not alias hash-routed ones"
+        );
+        let mut other_bind = k;
+        other_bind.bind_tag = 0xB0B | 1;
+        assert!(
+            cache.get_index(&other_bind).is_none(),
+            "bound-level entries must not alias unbound ones"
         );
     }
 

@@ -48,6 +48,14 @@ pub struct ShareInput {
     /// rule. When no such vector satisfies the memory budget the optimizer
     /// errors, and callers fall back to plain hashing.
     pub require_exact_product: bool,
+    /// Attributes fully bound to constants by a prepared-query binding.
+    /// A bound dimension holds exactly one value after the shuffle's
+    /// selection pushdown, so partitioning it is pure duplication: these
+    /// attributes are dropped from the dimension grid (pinned to share 1)
+    /// and the enumeration ranks only the free attributes' vectors. When
+    /// *every* attribute is bound the product requirement relaxes to 1 —
+    /// the single surviving cube is the whole answer.
+    pub bound_mask: u64,
 }
 
 impl ShareInput {
@@ -142,6 +150,10 @@ pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
     // the optimum has a small product, but the memory constraint can force
     // finer partitioning — cap at 8·N* (plenty for the workloads here).
     let cap = if input.require_exact_product { nw.max(1) } else { (8 * nw).max(64) };
+    // A fully-bound query has no free dimension left: the single cube is
+    // legal (one worker computes the one-point answer).
+    let any_free = (0..n).any(|i| input.bound_mask & (1 << i) == 0);
+    let needed = if any_free { nw } else { 1 };
     // Rank by (makespan load, total load, product, p): the fullest
     // partition decides wall-clock, total load breaks ties (and equals the
     // old objective on uniform inputs), product and the vector itself make
@@ -149,8 +161,8 @@ pub fn optimize_share(input: &ShareInput) -> Result<Vec<u32>> {
     let mut best: Option<(u64, u64, u64, Vec<u32>)> = None;
 
     let mut p = vec![1u32; n];
-    enumerate(&mut p, 0, 1, cap, &mut |p, product| {
-        if product < nw || (input.require_exact_product && product != nw) {
+    enumerate(&mut p, 0, 1, cap, input.bound_mask, &mut |p, product| {
+        if product < needed || (input.require_exact_product && product != needed) {
             return;
         }
         if let Some(limit) = input.memory_limit_bytes {
@@ -175,16 +187,23 @@ fn enumerate(
     idx: usize,
     product: u64,
     cap: u64,
+    bound_mask: u64,
     visit: &mut impl FnMut(&[u32], u64),
 ) {
     if idx == p.len() {
         visit(p, product);
         return;
     }
+    if bound_mask & (1 << idx) != 0 {
+        // Bound attribute: dropped from the dimension grid, share pinned 1.
+        p[idx] = 1;
+        enumerate(p, idx + 1, product, cap, bound_mask, visit);
+        return;
+    }
     let mut v = 1u64;
     while product * v <= cap {
         p[idx] = v as u32;
-        enumerate(p, idx + 1, product * v, cap, visit);
+        enumerate(p, idx + 1, product * v, cap, bound_mask, visit);
         v += 1;
     }
     p[idx] = 1;
@@ -204,6 +223,7 @@ mod tests {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: false,
+            bound_mask: 0,
         }
     }
 
@@ -249,6 +269,7 @@ mod tests {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: false,
+            bound_mask: 0,
         };
         let p = optimize_share(&input).unwrap();
         // dup(R3) = p_b must be 1
@@ -303,6 +324,7 @@ mod tests {
             bytes_per_value: 4,
             hot: Vec::new(),
             require_exact_product: false,
+            bound_mask: 0,
         };
         let p_uniform = optimize_share(&uniform).unwrap();
         assert_eq!(p_uniform, vec![1, 8, 1], "total-load optimum shares only on b");
@@ -331,6 +353,38 @@ mod tests {
         input.require_exact_product = true;
         input.memory_limit_bytes = Some(16);
         assert!(optimize_share(&input).is_err());
+    }
+
+    #[test]
+    fn bound_attributes_drop_out_of_the_dimension_grid() {
+        // Triangle with a bound: the optimum must pin p_a = 1 and reach
+        // N* = 8 over b, c alone.
+        let mut input = triangle(1000, 8);
+        input.bound_mask = 0b001;
+        let p = optimize_share(&input).unwrap();
+        assert_eq!(p[0], 1, "bound attr must not be partitioned: {p:?}");
+        let prod: u64 = p.iter().map(|&x| x as u64).product();
+        assert!(prod >= 8);
+
+        // Two bound attrs: all sharing lands on the last free one.
+        input.bound_mask = 0b011;
+        let p = optimize_share(&input).unwrap();
+        assert_eq!(&p[..2], &[1, 1], "p={p:?}");
+        assert_eq!(p[2], 8);
+
+        // Fully bound: a single cube is legal (one worker answers the
+        // one-point query) instead of an infeasibility error.
+        input.bound_mask = 0b111;
+        let p = optimize_share(&input).unwrap();
+        assert_eq!(p, vec![1, 1, 1]);
+
+        // Exact product composes: free attrs must multiply to N* exactly.
+        let mut exact = triangle(500, 4);
+        exact.require_exact_product = true;
+        exact.bound_mask = 0b001;
+        let p = optimize_share(&exact).unwrap();
+        assert_eq!(p[0], 1);
+        assert_eq!(p.iter().map(|&x| x as u64).product::<u64>(), 4);
     }
 
     #[test]

@@ -27,7 +27,7 @@ use crate::plan::HCubePlan;
 use crate::skew::{HotValues, ShuffleRouting};
 use adj_cluster::Cluster;
 use adj_relational::hash::FxHashMap;
-use adj_relational::{Attr, Database, Error, Relation, Result, Schema, Trie, Value};
+use adj_relational::{Attr, BoundValues, Database, Error, Relation, Result, Schema, Trie, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -97,6 +97,12 @@ pub struct ShuffleReport {
     pub reused_relations: u64,
     /// Tuple copies that cache hits avoided moving.
     pub tuples_saved: u64,
+    /// Tuples scanned in relations carrying a bound-constant filter (the
+    /// selection-pushdown denominators; 0 on unbound shuffles).
+    pub bound_scanned_tuples: u64,
+    /// Tuples that passed their bound-constant filter and were routed —
+    /// `bound_kept / bound_scanned` is the realized binding selectivity.
+    pub bound_kept_tuples: u64,
 }
 
 /// The result of a shuffle: per-worker local databases plus the cost report.
@@ -131,6 +137,7 @@ pub fn hcube_shuffle(
         &[],
         &[],
         &HotValues::none(),
+        &BoundValues::none(),
     )
 }
 
@@ -167,6 +174,19 @@ fn resolve<'a>(
 /// instead of hashing onto one coordinate; otherwise the table is ignored
 /// and every value hashes plainly. Cache keys fold in each atom's routing
 /// role, so skew-routed tries never alias hash-routed ones.
+///
+/// `bound` carries a prepared query's bound constants. Relations containing
+/// a bound attribute are filtered **before routing** — tuples failing an
+/// `attr = value` selection never enter an inbox, so the communication
+/// volume shrinks with the binding's selectivity. Bound relations also
+/// **bypass the index cache in both directions**: their fragments depend on
+/// the binding's values, and a serving workload binds unboundedly many
+/// distinct values, so caching per-binding artifacts would evict the
+/// valuable shared entries for one-shot gains (and a lookup per binding
+/// would bury the hit rate in structural misses). The value-bearing
+/// [`IndexKey::bind_tag`](crate::cache::IndexKey) guards the discipline:
+/// a bound fragment *cannot* alias an unbound entry even if a future path
+/// tried to publish one.
 #[allow(clippy::too_many_arguments)]
 pub fn hcube_shuffle_cached(
     cluster: &Cluster,
@@ -179,6 +199,7 @@ pub fn hcube_shuffle_cached(
     cache_ids: &[Option<String>],
     overlay: &[(String, Arc<Relation>)],
     hot: &HotValues,
+    bound: &BoundValues,
 ) -> Result<ShuffleOutput> {
     let n = cluster.num_workers();
     assert_eq!(n, plan.num_workers(), "plan sized for a different cluster");
@@ -190,6 +211,12 @@ pub fn hcube_shuffle_cached(
         name: String,
         induced: Schema,  // order-induced
         perm: Vec<usize>, // induced column -> original column
+        /// Bound-constant equality filters over the *induced* columns;
+        /// empty when no bound attribute touches this relation.
+        filters: Vec<(usize, Value)>,
+        /// Value-bearing binding tag ([`BoundValues::tag_for`]); non-zero
+        /// iff `filters` is non-empty.
+        bind_tag: u64,
     }
     let mut infos = Vec::with_capacity(atom_names.len());
     for name in atom_names {
@@ -204,7 +231,11 @@ pub fn hcube_shuffle_cached(
             });
         }
         let perm = induced_attrs.iter().map(|&a| schema.position(a).unwrap()).collect();
-        infos.push(AtomInfo { name: name.clone(), induced: Schema::new(induced_attrs)?, perm });
+        let induced = Schema::new(induced_attrs)?;
+        let filters = bound.filters_for(&induced);
+        let bind_tag = bound.tag_for(&induced);
+        debug_assert_eq!(filters.is_empty(), bind_tag == 0);
+        infos.push(AtomInfo { name: name.clone(), induced, perm, filters, bind_tag });
     }
 
     // Bind the heavy-hitter routing table to this shuffle's atom list: the
@@ -223,10 +254,15 @@ pub fn hcube_shuffle_cached(
     };
 
     // Consult the cache: resolved atoms skip routing, transfer, and build.
+    // Bound (filtered) atoms never consult it — their fragments are
+    // per-binding, see the function docs.
     let mut resolved: Vec<Option<Arc<RelationIndex>>> = vec![None; infos.len()];
     let mut tuples_saved: u64 = 0;
     if let Some(scope) = cache {
         for (ai, info) in infos.iter().enumerate() {
+            if info.bind_tag != 0 {
+                continue;
+            }
             let Some(Some(id)) = cache_ids.get(ai) else { continue };
             let key = scope.index_key(
                 id.clone(),
@@ -234,6 +270,7 @@ pub fn hcube_shuffle_cached(
                 plan.share(),
                 n,
                 routing.atom_tag(ai),
+                info.bind_tag,
             );
             if let Some(entry) = scope.cache.get_index(&key) {
                 tuples_saved += entry.tuples;
@@ -250,6 +287,8 @@ pub fn hcube_shuffle_cached(
     let mut tuples: u64 = 0;
     let mut messages: u64 = 0;
     let mut hot_routed_tuples: u64 = 0;
+    let mut bound_scanned_tuples: u64 = 0;
+    let mut bound_kept_tuples: u64 = 0;
     // Delivered copies per worker: the partition-fill vector skew stats read.
     let mut worker_tuples: Vec<u64> = vec![0; n];
     // Per-atom shares of the totals, for publishing per-relation entries.
@@ -289,11 +328,22 @@ pub fn hcube_shuffle_cached(
         // content hash of the row).
         let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
         let mut coords: Vec<u32> = Vec::with_capacity(info.perm.len());
+        // Selection pushdown: a tuple failing a bound equality never routes.
+        let keep = |prow: &[Value]| info.filters.iter().all(|&(c, v)| prow[c] == v);
+        if !info.filters.is_empty() {
+            bound_scanned_tuples += rel.len() as u64;
+        }
         match impl_ {
             HCubeImpl::Push => {
                 for row in rel.rows() {
                     prow.clear();
                     prow.extend(info.perm.iter().map(|&p| row[p]));
+                    if !info.filters.is_empty() {
+                        if !keep(&prow) {
+                            continue;
+                        }
+                        bound_kept_tuples += 1;
+                    }
                     if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
                         hot_routed_tuples += 1;
                     }
@@ -316,6 +366,12 @@ pub fn hcube_shuffle_cached(
                 for row in rel.rows() {
                     prow.clear();
                     prow.extend(info.perm.iter().map(|&p| row[p]));
+                    if !info.filters.is_empty() {
+                        if !keep(&prow) {
+                            continue;
+                        }
+                        bound_kept_tuples += 1;
+                    }
                     if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
                         hot_routed_tuples += 1;
                     }
@@ -446,22 +502,30 @@ pub fn hcube_shuffle_cached(
                     .map(|per_worker| per_worker[ai].take().expect("cold atom was built"))
                     .collect();
                 if let Some(scope) = cache {
-                    if let Some(Some(id)) = cache_ids.get(ai) {
-                        let key = scope.index_key(
-                            id.clone(),
-                            info.induced.attrs().to_vec(),
-                            plan.share(),
-                            n,
-                            routing.atom_tag(ai),
-                        );
-                        scope.cache.insert_index(
-                            key,
-                            Arc::new(RelationIndex::new(
-                                tries.clone(),
-                                rel_tuples[ai],
-                                rel_messages[ai],
-                            )),
-                        );
+                    if info.bind_tag == 0 {
+                        if let Some(Some(id)) = cache_ids.get(ai) {
+                            let key = scope.index_key(
+                                id.clone(),
+                                info.induced.attrs().to_vec(),
+                                plan.share(),
+                                n,
+                                routing.atom_tag(ai),
+                                info.bind_tag,
+                            );
+                            // The publish-side half of the keying
+                            // discipline: only binding-independent
+                            // fragments may enter the shared cache.
+                            debug_assert_eq!(key.bind_tag, 0);
+                            debug_assert!(info.filters.is_empty());
+                            scope.cache.insert_index(
+                                key,
+                                Arc::new(RelationIndex::new(
+                                    tries.clone(),
+                                    rel_tuples[ai],
+                                    rel_messages[ai],
+                                )),
+                            );
+                        }
                     }
                 }
                 for (w, local) in locals.iter_mut().enumerate() {
@@ -495,6 +559,8 @@ pub fn hcube_shuffle_cached(
             built_relations,
             reused_relations,
             tuples_saved,
+            bound_scanned_tuples,
+            bound_kept_tuples,
         },
     })
 }
@@ -680,6 +746,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(cold.report.built_relations, 3);
@@ -697,6 +764,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(warm.report.reused_relations, 3);
@@ -734,6 +802,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         let s1 = IndexScope { cache: &cache, db_tag: 1, epoch: 1 };
@@ -748,6 +817,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(out.report.reused_relations, 0, "stale epoch must not serve");
@@ -775,8 +845,20 @@ mod tests {
         hot: &HotValues,
     ) -> ShuffleOutput {
         let cluster = Cluster::new(ClusterConfig::with_workers(plan.num_workers()));
-        hcube_shuffle_cached(&cluster, db, names, plan, &order3(), impl_, None, &[], &[], hot)
-            .unwrap()
+        hcube_shuffle_cached(
+            &cluster,
+            db,
+            names,
+            plan,
+            &order3(),
+            impl_,
+            None,
+            &[],
+            &[],
+            hot,
+            &BoundValues::none(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -870,6 +952,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(naive.report.built_relations, 3);
@@ -889,6 +972,7 @@ mod tests {
             &ids(&names),
             &[],
             &hot,
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(routed.report.reused_relations, 1, "only the untouched R2 may alias");
@@ -905,12 +989,134 @@ mod tests {
             &ids(&names),
             &[],
             &hot,
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(warm.report.reused_relations, 3);
         for w in 0..4 {
             for ai in 0..names.len() {
                 assert_eq!(warm.locals[w][ai].trie, routed.locals[w][ai].trie);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_filter_drops_non_matching_tuples_before_routing() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![1, 2, 2], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let unbound =
+            hcube_shuffle(&cluster, &db, &names, &plan, &order3(), HCubeImpl::Merge).unwrap();
+
+        // Bind a = 7: R1(a,b) and R3(a,c) are filtered, R2(b,c) untouched.
+        let bound = BoundValues::new(vec![(Attr(0), 7)]).unwrap();
+        let c2 = Cluster::new(ClusterConfig::with_workers(4));
+        let out = hcube_shuffle_cached(
+            &c2,
+            &db,
+            &names,
+            &plan,
+            &order3(),
+            HCubeImpl::Merge,
+            None,
+            &[],
+            &[],
+            &HotValues::none(),
+            &bound,
+        )
+        .unwrap();
+        let r1 = db.get("R1").unwrap();
+        let r3 = db.get("R3").unwrap();
+        assert_eq!(out.report.bound_scanned_tuples, (r1.len() + r3.len()) as u64);
+        assert!(out.report.bound_kept_tuples < out.report.bound_scanned_tuples);
+        assert!(
+            out.report.tuples < unbound.report.tuples,
+            "selection pushdown must shrink the shuffle: {} vs {}",
+            out.report.tuples,
+            unbound.report.tuples
+        );
+
+        // Exactly the matching tuples survive, none are lost.
+        for (ai, name) in [(0usize, "R1"), (2, "R3")] {
+            let original = db.get(name).unwrap();
+            let mut all = out.locals[0][ai].trie.to_relation();
+            for w in 1..4 {
+                all = all.union(&out.locals[w][ai].trie.to_relation()).unwrap();
+            }
+            let back = all.permute(original.schema().attrs()).unwrap();
+            let expected: Vec<&[Value]> = original.rows().filter(|r| r[0] == 7).collect();
+            assert_eq!(
+                back.rows().collect::<Vec<_>>(),
+                expected,
+                "{name} must hold exactly the a=7 tuples"
+            );
+        }
+        // R2 contains no bound attribute: shuffled in full.
+        let mut all = out.locals[0][1].trie.to_relation();
+        for w in 1..4 {
+            all = all.union(&out.locals[w][1].trie.to_relation()).unwrap();
+        }
+        assert_eq!(&all.permute(&[Attr(1), Attr(2)]).unwrap(), db.get("R2").unwrap());
+    }
+
+    #[test]
+    fn bound_shuffles_bypass_the_shared_cache_without_aliasing() {
+        let (db, names) = tri_db();
+        let plan = HCubePlan::new(vec![1, 2, 2], 4);
+        let cluster = Cluster::new(ClusterConfig::with_workers(4));
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 5, epoch: 0 };
+        let run = |bound: &BoundValues| {
+            hcube_shuffle_cached(
+                &cluster,
+                &db,
+                &names,
+                &plan,
+                &order3(),
+                HCubeImpl::Merge,
+                Some(&scope),
+                &ids(&names),
+                &[],
+                &HotValues::none(),
+                bound,
+            )
+            .unwrap()
+        };
+        // Warm the unbound entries.
+        let cold = run(&BoundValues::none());
+        assert_eq!(cold.report.built_relations, 3);
+        assert_eq!(cache.len(), 3);
+
+        // A bound shuffle may reuse only the *untouched* relation (R2): the
+        // filtered ones build fresh per binding and publish nothing.
+        let bound = BoundValues::new(vec![(Attr(0), 7)]).unwrap();
+        let b1 = run(&bound);
+        assert_eq!(b1.report.reused_relations, 1, "only R2(b,c) is binding-independent");
+        assert_eq!(b1.report.built_relations, 2);
+        assert_eq!(cache.len(), 3, "bound fragments must never be published");
+        for w in 0..4 {
+            assert!(
+                b1.locals[w][0].trie.tuples() <= cold.locals[w][0].trie.tuples(),
+                "bound R1 fragments are a subset, never the cached full relation"
+            );
+        }
+
+        // The shared entries stay pristine: an unbound re-run is fully warm
+        // and byte-identical to the original cold shuffle.
+        let warm = run(&BoundValues::none());
+        assert_eq!(warm.report.reused_relations, 3);
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(warm.locals[w][ai].trie, cold.locals[w][ai].trie);
+            }
+        }
+
+        // And a *second* identical binding rebuilds its fragments
+        // identically (determinism of the bypass path).
+        let b2 = run(&bound);
+        for w in 0..4 {
+            for ai in 0..names.len() {
+                assert_eq!(b1.locals[w][ai].trie, b2.locals[w][ai].trie);
             }
         }
     }
@@ -945,6 +1151,7 @@ mod tests {
             &partial,
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         let out = hcube_shuffle_cached(
@@ -958,6 +1165,7 @@ mod tests {
             &ids(&names),
             &[],
             &HotValues::none(),
+            &BoundValues::none(),
         )
         .unwrap();
         assert_eq!(out.report.reused_relations, 2);

@@ -2,7 +2,7 @@
 
 use crate::counters::JoinCounters;
 use adj_relational::intersect::leapfrog_intersect;
-use adj_relational::{Attr, Error, FnSink, Result, RowSink, Trie, TrieCursor, Value};
+use adj_relational::{Attr, BoundValues, Error, FnSink, Result, RowSink, Trie, TrieCursor, Value};
 use std::borrow::Borrow;
 
 /// Validates that every trie's level order is the order induced by the
@@ -96,13 +96,33 @@ pub struct LeapfrogJoin<T: Borrow<Trie>> {
     tries: Vec<T>,
     /// For each query level: indices of participating tries.
     participants: Vec<Vec<usize>>,
+    /// For each query level: the constant a prepared-query binding pinned
+    /// the attribute to, if any. Bound levels *seek* the constant in every
+    /// participant instead of intersecting candidate runs — the whole
+    /// iterator frontier of the level collapses to one gallop per trie.
+    /// Empty (the default) means every level intersects normally.
+    bound: Vec<Option<Value>>,
 }
 
 impl<T: Borrow<Trie>> LeapfrogJoin<T> {
     /// Creates a join over `tries` under the global attribute order.
     pub fn new(order: &[Attr], tries: Vec<T>) -> Result<Self> {
         let participants = validate_tries(order, &tries)?;
-        Ok(LeapfrogJoin { order: order.to_vec(), tries, participants })
+        Ok(LeapfrogJoin { order: order.to_vec(), tries, participants, bound: Vec::new() })
+    }
+
+    /// Pins the levels named by `bound` to their constants: enumeration
+    /// seeks the value at those levels (via
+    /// [`TrieCursor::open_at`]) instead of intersecting. Attributes outside
+    /// the join's order are ignored (they were already handled upstream —
+    /// e.g. filtered out of a pre-computed bag).
+    pub fn with_bound(mut self, bound: &BoundValues) -> Self {
+        if bound.is_empty() {
+            self.bound = Vec::new();
+        } else {
+            self.bound = self.order.iter().map(|&a| bound.get(a)).collect();
+        }
+        self
     }
 
     /// Number of query levels.
@@ -171,6 +191,34 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
         let mut opened = 0usize;
         let mut ok = true;
         let mut keep_going = true;
+        if let Some(v) = self.bound.get(level).copied().flatten() {
+            // Bound level: seek the constant in every participant. A miss
+            // in any trie prunes the subtree without intersecting anything
+            // (`open_at` does not descend on a miss, so only hits unwind).
+            for &p in ps {
+                if cursors[p].open_at(v) {
+                    opened += 1;
+                } else {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                counters.tuples_per_level[level] += 1;
+                binding[level] = v;
+                let (_, deeper) = scratch.split_first_mut().expect("scratch sized to levels");
+                keep_going = if level + 1 == self.levels() {
+                    counters.output_tuples += 1;
+                    sink.push(binding)
+                } else {
+                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper)
+                };
+            }
+            for &p in ps.iter().take(opened) {
+                cursors[p].up();
+            }
+            return keep_going;
+        }
         for &p in ps {
             if cursors[p].open() {
                 opened += 1;
@@ -409,6 +457,86 @@ mod tests {
             let counters = join.join_into_with_scratch(&mut buf, &mut scratch);
             assert_eq!(counters.output_tuples, 2);
         }
+    }
+
+    #[test]
+    fn bound_level_seeks_match_filtered_enumeration() {
+        // Bound joins must equal "enumerate everything, keep rows with the
+        // constant" — on unfiltered tries, at every level position.
+        let edges: Vec<(Value, Value)> = (0..120u32)
+            .flat_map(|i| vec![(i % 29, (i * 7 + 1) % 29), (i % 29, (i * 11 + 5) % 29)])
+            .collect();
+        let r1 = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let r2 = Relation::from_pairs(Attr(1), Attr(2), &edges);
+        let r3 = Relation::from_pairs(Attr(0), Attr(2), &edges);
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let mut full: Vec<Vec<Value>> = Vec::new();
+        join.run(|t| full.push(t.to_vec()));
+
+        for (attr, col) in [(Attr(0), 0usize), (Attr(1), 1), (Attr(2), 2)] {
+            for v in [0u32, 3, 7, 999] {
+                let bound = BoundValues::new(vec![(attr, v)]).unwrap();
+                let bj =
+                    LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap().with_bound(&bound);
+                let mut got: Vec<Vec<Value>> = Vec::new();
+                let counters = bj.run(|t| got.push(t.to_vec()));
+                let expect: Vec<Vec<Value>> =
+                    full.iter().filter(|t| t[col] == v).cloned().collect();
+                assert_eq!(got, expect, "attr {attr} = {v}");
+                assert_eq!(counters.output_tuples as usize, expect.len());
+            }
+        }
+
+        // Two bound levels compose.
+        let bound = BoundValues::new(vec![(Attr(0), 3), (Attr(2), 7)]).unwrap();
+        let bj = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap().with_bound(&bound);
+        let mut got: Vec<Vec<Value>> = Vec::new();
+        bj.run(|t| got.push(t.to_vec()));
+        let expect: Vec<Vec<Value>> =
+            full.iter().filter(|t| t[0] == 3 && t[2] == 7).cloned().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bound_seek_skips_intersection_work() {
+        // A selective binding must do measurably less intersection work
+        // than the free enumeration — the "skip whole iterator frontiers"
+        // claim, visible in the counters.
+        let edges: Vec<(Value, Value)> = (0..400u32)
+            .flat_map(|i| vec![(i % 61, (i * 7 + 1) % 61), (i % 61, (i * 11 + 5) % 61)])
+            .collect();
+        let r1 = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let r2 = Relation::from_pairs(Attr(1), Attr(2), &edges);
+        let r3 = Relation::from_pairs(Attr(0), Attr(2), &edges);
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let free = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap();
+        let (_, free_counters) = free.count();
+        let bound = BoundValues::new(vec![(Attr(0), 5)]).unwrap();
+        let bj = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap().with_bound(&bound);
+        let (_, bound_counters) = bj.count();
+        assert!(
+            bound_counters.intersect_ops < free_counters.intersect_ops / 4,
+            "bound {} vs free {} intersect ops",
+            bound_counters.intersect_ops,
+            free_counters.intersect_ops
+        );
+        assert_eq!(bound_counters.tuples_per_level[0], 1, "level 0 collapses to one seek");
+    }
+
+    #[test]
+    fn bound_join_respects_sink_saturation() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let bound = BoundValues::new(vec![(Attr(0), 1)]).unwrap();
+        let join = LeapfrogJoin::new(&ord, tries.iter().collect()).unwrap().with_bound(&bound);
+        let mut probe = EmitProbe { inner: adj_relational::ExistsSink::new(), emits: 0 };
+        join.join_into(&mut probe);
+        assert!(probe.inner.found());
+        assert_eq!(probe.emits, 1, "exists still stops at the first witness on bound joins");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! output must be stable across processes and Rust releases — fingerprints
 //! appear in service logs and benchmark artifacts.
 
-use crate::query::JoinQuery;
+use crate::query::{JoinQuery, Term};
 use adj_relational::OutputMode;
 
 /// 64-bit FNV-1a offset basis.
@@ -96,8 +96,41 @@ impl QueryFingerprint {
     }
 
     /// Computes the fingerprint of `query` (in [`OutputMode::Rows`]).
+    ///
+    /// **Prepared queries key on the shape, never the values.** Each atom
+    /// position contributes a *term-kind* bit — free variable vs bound
+    /// (inline literal or `$param`) — but a constant's value and a
+    /// parameter's name never enter either hash. `R1(5,b)…`, `R1(7,b)…`,
+    /// and `R1($v,b)…` therefore share one `plan_key` (one cached plan, one
+    /// index-cache entry family serves every binding), while the fully
+    /// unbound `R1(a,b)…` keys separately (its executions pin no share
+    /// dimension).
     pub fn of(query: &JoinQuery) -> Self {
-        // plan_key: atoms in declaration order, name + raw attr ids.
+        // In debug builds, enforce the keying discipline mechanically:
+        // erasing every constant's value must not move the fingerprint.
+        #[cfg(debug_assertions)]
+        {
+            let erased = query.erase_bound_values();
+            if &erased != query {
+                let ef = QueryFingerprint::of(&erased);
+                let vf = QueryFingerprint::of_values(query);
+                debug_assert_eq!(
+                    (ef.plan_key, ef.shape),
+                    (vf.plan_key, vf.shape),
+                    "constant values must never leak into the fingerprint"
+                );
+                return vf;
+            }
+        }
+        QueryFingerprint::of_values(query)
+    }
+
+    /// The hash walk itself (value-independent by construction; the public
+    /// [`QueryFingerprint::of`] wraps it with the debug-build erasure
+    /// check).
+    fn of_values(query: &JoinQuery) -> Self {
+        // plan_key: atoms in declaration order, name + raw attr ids +
+        // per-position term kinds.
         let mut pk = Fnv1a::new();
         pk.write_u64(query.atoms.len() as u64);
         for atom in &query.atoms {
@@ -106,6 +139,9 @@ impl QueryFingerprint {
             pk.write_u64(atom.schema.arity() as u64);
             for a in atom.schema.attrs() {
                 pk.write_u64(a.index() as u64);
+            }
+            for t in &atom.terms {
+                pk.write(&[term_kind(t)]);
             }
         }
 
@@ -128,6 +164,9 @@ impl QueryFingerprint {
             for a in atom.schema.attrs() {
                 sh.write_u64(canon(a.index() as u32));
             }
+            for t in &atom.terms {
+                sh.write(&[term_kind(t)]);
+            }
         }
 
         QueryFingerprint { shape: sh.finish(), plan_key: pk.finish(), mode: OutputMode::Rows }
@@ -145,6 +184,16 @@ impl QueryFingerprint {
         h.write_u64(stats_epoch);
         h.finish()
     }
+}
+
+/// The fingerprint contribution of one term: only whether the position is
+/// free (0) or bound (1). A constant's value and a parameter's name stay
+/// out of every hash — that's what lets one plan serve unboundedly many
+/// bindings (the parameter's *identity* is already captured by its interned
+/// attribute id, so `R1($u,y),R2($u,z)` still keys apart from
+/// `R1($u,y),R2($v,z)`).
+fn term_kind(t: &Term) -> u8 {
+    u8::from(t.is_bound())
 }
 
 /// Convenience free function mirroring [`QueryFingerprint::of`].
@@ -222,6 +271,40 @@ mod tests {
             "all modes share one plan-cache entry"
         );
         assert_eq!(rows.cache_key(1, 0), limited.cache_key(1, 0));
+    }
+
+    #[test]
+    fn constants_never_leak_into_plan_key() {
+        // Distinct literal values: one shape, one plan key, one cache entry.
+        let (five, _) = parse_query("R1(5,b), R2(b,c), R3(5,c)").unwrap();
+        let (seven, _) = parse_query("R1(7,b), R2(b,c), R3(7,c)").unwrap();
+        let ff = QueryFingerprint::of(&five);
+        let fs = QueryFingerprint::of(&seven);
+        assert_eq!(ff, fs, "binding values must not forge distinct fingerprints");
+        assert_eq!(ff.cache_key(1, 0), fs.cache_key(1, 0));
+
+        // A parameter in the same positions is the same prepared shape.
+        let (param, _) = parse_query("R1($v,b), R2(b,c), R3($v,c)").unwrap();
+        assert_eq!(QueryFingerprint::of(&param).plan_key, ff.plan_key);
+
+        // ...and the parameter's *name* is naming, not structure.
+        let (renamed, _) = parse_query("R1($u,b), R2(b,c), R3($u,c)").unwrap();
+        assert_eq!(QueryFingerprint::of(&renamed), QueryFingerprint::of(&param));
+    }
+
+    #[test]
+    fn bound_positions_key_apart_from_free_ones() {
+        // The bound shape pins a share dimension and filters its relations;
+        // it must not share a plan-cache entry with the free shape.
+        let (bound, _) = parse_query("R1(5,b), R2(b,c), R3(5,c)").unwrap();
+        let (free, _) = parse_query("R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        assert_ne!(QueryFingerprint::of(&bound).plan_key, QueryFingerprint::of(&free).plan_key);
+        assert_ne!(QueryFingerprint::of(&bound).shape, QueryFingerprint::of(&free).shape);
+
+        // Param-vs-param sharing across *different* sharing patterns splits.
+        let (shared, _) = parse_query("R1($u,b), R2($u,c)").unwrap();
+        let (split, _) = parse_query("R1($u,b), R2($v,c)").unwrap();
+        assert_ne!(QueryFingerprint::of(&shared).plan_key, QueryFingerprint::of(&split).plan_key);
     }
 
     #[test]

@@ -25,9 +25,24 @@
 //! shares a keyword's spelling (`COUNT(a,b)` as a relation named `COUNT`)
 //! is still parsed as an atom: the prefix form requires a nested `(` inside
 //! the wrapping parentheses.
+//!
+//! Atom arguments follow the **three-valued term model** of prepared
+//! queries ([`Term`]): besides variables, a position may hold an inline
+//! integer literal (`R1(5,b)` — triangles through vertex 5) or a `$name`
+//! placeholder (`R1($v,b)` — bound per execution). Literals and
+//! placeholders are interned as attributes exactly like variables (by their
+//! spelling: every `$v` is one attribute, every `5` is one attribute), so
+//! the planner sees an ordinary natural join; the term list records which
+//! attributes are pinned. A head, when present, must bind exactly the
+//! *variable* attributes (constant columns are implicitly in the result —
+//! natural joins still have no projection).
+//!
+//! Parse failures report the **byte offset** of the offending token in the
+//! text handed to the entry point ([`Error::Parse`]), so a serving front
+//! door can point at the mistake instead of echoing the whole query.
 
-use crate::query::{Atom, JoinQuery};
-use adj_relational::{Attr, Error, OutputMode, Result, Schema};
+use crate::query::{Atom, JoinQuery, Term};
+use adj_relational::{Attr, Error, OutputMode, Result, Schema, Value};
 
 /// Parses a query string with an optional output-mode prefix
 /// (`COUNT(…)`, `EXISTS(…)`, `LIMIT k (…)`; see the module docs). Returns
@@ -35,7 +50,7 @@ use adj_relational::{Attr, Error, OutputMode, Result, Schema};
 /// [`OutputMode`] (`Rows` when no prefix is present).
 pub fn parse_query_with_mode(input: &str) -> Result<(JoinQuery, Vec<String>, OutputMode)> {
     let (mode, body) = strip_mode_prefix(input)?;
-    let (query, names) = parse_query(body)?;
+    let (query, names) = parse_query_in(input, body)?;
     Ok((query, names, mode))
 }
 
@@ -67,10 +82,10 @@ fn strip_mode_prefix(input: &str) -> Result<(OutputMode, &str)> {
             // error that 500s a serving thread.
             let n: usize = rest[..digits].parse().unwrap_or(usize::MAX);
             let body = unwrap_mode_body(&rest[digits..])
-                .ok_or_else(|| parse_err("LIMIT needs a query after the count", rest))?;
+                .ok_or_else(|| perr(input, rest, "LIMIT needs a query after the count"))?;
             return Ok((OutputMode::Limit(n), body));
         }
-        return Err(parse_err("LIMIT needs a tuple count", rest));
+        return Err(perr(input, rest, "LIMIT needs a tuple count"));
     }
     Ok((OutputMode::Rows, s))
 }
@@ -134,17 +149,25 @@ fn wrapping_parens(s: &str) -> Option<&str> {
 }
 
 /// Parses a query string into a [`JoinQuery`]. Returns the query and the
-/// interned attribute names (index = attribute id). Mode prefixes are
-/// *not* recognized here — use [`parse_query_with_mode`] for text that may
-/// carry `COUNT`/`LIMIT`/`EXISTS`.
+/// interned attribute names (index = attribute id; parameters intern as
+/// `"$name"`, literals by their spelling). Mode prefixes are *not*
+/// recognized here — use [`parse_query_with_mode`] for text that may carry
+/// `COUNT`/`LIMIT`/`EXISTS`.
 pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
-    let (name, body) = match input.split_once(":-") {
-        Some((head, body)) => {
+    parse_query_in(input, input)
+}
+
+/// The worker behind both entry points: parses `body`, reporting error
+/// offsets relative to `full` (the text the caller originally handed in,
+/// of which `body` is a suffix once a mode prefix was stripped).
+fn parse_query_in(full: &str, body: &str) -> Result<(JoinQuery, Vec<String>)> {
+    let (name, body_text) = match body.split_once(":-") {
+        Some((head, b)) => {
             let head = head.trim();
             let name = head.split('(').next().unwrap_or("Q").trim();
-            (if name.is_empty() { "Q" } else { name }.to_string(), body)
+            (if name.is_empty() { "Q" } else { name }.to_string(), b)
         }
-        None => ("Q".to_string(), input),
+        None => ("Q".to_string(), body),
     };
 
     let mut attr_names: Vec<String> = Vec::new();
@@ -158,39 +181,65 @@ pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
     };
 
     let mut atoms = Vec::new();
-    let mut rest = body.trim();
+    let mut rest = body_text.trim();
     while !rest.is_empty() {
-        let open = rest.find('(').ok_or_else(|| parse_err("expected '(' in atom", rest))?;
+        let open = rest.find('(').ok_or_else(|| perr(full, rest, "expected '(' in atom"))?;
         let rel_name = rest[..open].trim_matches([',', ' ', '\n', '\t']).trim();
         if rel_name.is_empty() {
-            return Err(parse_err("atom missing relation name", rest));
+            return Err(perr(full, rest, "atom missing relation name"));
         }
-        let close = rest.find(')').ok_or_else(|| parse_err("unclosed '(' in atom", rest))?;
+        let close = rest.find(')').ok_or_else(|| perr(full, rest, "unclosed '(' in atom"))?;
         if close < open {
-            return Err(parse_err("')' before '('", rest));
+            return Err(perr(full, &rest[close..], "')' before '('"));
         }
         let args = &rest[open + 1..close];
-        let mut ids = Vec::new();
+        let mut ids: Vec<u32> = Vec::new();
+        let mut terms: Vec<Term> = Vec::new();
         for raw in args.split(',') {
-            let ident = raw.trim();
-            if ident.is_empty() || !ident.chars().all(|c| c.is_alphanumeric() || c == '_') {
-                return Err(parse_err("bad attribute identifier", ident));
+            let tok = raw.trim();
+            if let Some(pname) = tok.strip_prefix('$') {
+                // `$name` placeholder: interned as the attribute "$name",
+                // so every occurrence of one parameter is one attribute.
+                if pname.is_empty() || !is_ident(pname) {
+                    return Err(perr(full, tok, "bad parameter name after '$'"));
+                }
+                ids.push(intern(tok));
+                terms.push(Term::Param(pname.to_string()));
+            } else if !tok.is_empty() && tok.chars().all(|c| c.is_ascii_digit()) {
+                // Integer literal: an attribute pinned to this value.
+                let v: Value = tok.parse().map_err(|_| {
+                    perr(full, tok, "integer literal out of range (max 4294967295)")
+                })?;
+                ids.push(intern(tok));
+                terms.push(Term::Const(v));
+            } else if is_ident(tok) {
+                let id = intern(tok);
+                ids.push(id);
+                terms.push(Term::Var(Attr(id)));
+            } else {
+                return Err(perr(
+                    full,
+                    if tok.is_empty() { raw } else { tok },
+                    "bad attribute identifier",
+                ));
             }
-            ids.push(intern(ident));
         }
         if ids.is_empty() {
-            return Err(parse_err("atom with no attributes", rel_name));
+            return Err(perr(full, rel_name, "atom with no attributes"));
         }
         let schema = Schema::new(ids.into_iter().map(Attr).collect())?;
-        atoms.push(Atom::new(rel_name, schema));
+        atoms.push(Atom::with_terms(rel_name, schema, terms));
         rest = rest[close + 1..].trim_start_matches([',', ' ', '\n', '\t']);
     }
     if atoms.is_empty() {
-        return Err(parse_err("query has no atoms", input));
+        return Err(perr(full, body, "query has no atoms"));
     }
 
-    // Validate the head (if it named attributes) covers exactly the body's.
-    if let Some((head, _)) = input.split_once(":-") {
+    // Validate the head (if it named attributes): it must bind exactly the
+    // body's *variable* attributes — no projection — though naming the
+    // constant/parameter attributes too is accepted (their columns are in
+    // the result regardless).
+    if let Some((head, _)) = body.split_once(":-") {
         if let (Some(open), Some(close)) = (head.find('('), head.find(')')) {
             let mut head_ids: Vec<u32> = Vec::new();
             for raw in head[open + 1..close].split(',') {
@@ -201,14 +250,27 @@ pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
                 match attr_names.iter().position(|n| n == ident) {
                     Some(i) => head_ids.push(i as u32),
                     None => {
-                        return Err(parse_err("head attribute not bound in body", ident));
+                        return Err(perr(full, ident, "head attribute not bound in body"));
                     }
                 }
             }
             head_ids.sort_unstable();
             head_ids.dedup();
-            if !head_ids.is_empty() && head_ids.len() != attr_names.len() {
-                return Err(parse_err("head must bind all body attributes (no projection)", head));
+            // Which attributes are variables comes from the terms the atom
+            // loop just classified — never re-derived from spellings.
+            let mut var_ids: Vec<u32> = atoms
+                .iter()
+                .flat_map(|a| a.terms.iter())
+                .filter_map(|t| match t {
+                    Term::Var(attr) => Some(attr.0),
+                    _ => None,
+                })
+                .collect();
+            var_ids.sort_unstable();
+            var_ids.dedup();
+            let all_ids: Vec<u32> = (0..attr_names.len() as u32).collect();
+            if !head_ids.is_empty() && head_ids != var_ids && head_ids != all_ids {
+                return Err(perr(full, head, "head must bind all body variables (no projection)"));
             }
         }
     }
@@ -216,11 +278,23 @@ pub fn parse_query(input: &str) -> Result<(JoinQuery, Vec<String>)> {
     Ok((JoinQuery::new(name, atoms), attr_names))
 }
 
-fn parse_err(msg: &str, what: &str) -> Error {
-    Error::UnknownAttr {
-        attr: format!("{msg}: '{}'", &what[..what.len().min(40)]),
-        schema: "<query string>".to_string(),
-    }
+/// A variable identifier: alphanumeric/underscore, at least one non-digit
+/// (an all-digit token is an integer literal).
+fn is_ident(tok: &str) -> bool {
+    !tok.is_empty()
+        && tok.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && !tok.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Builds a [`Error::Parse`] pointing at `at` — a subslice of `full` — so
+/// the error carries the byte offset and the offending token.
+fn perr(full: &str, at: &str, message: impl Into<String>) -> Error {
+    let offset = (at.as_ptr() as usize)
+        .checked_sub(full.as_ptr() as usize)
+        .filter(|&o| o <= full.len())
+        .unwrap_or(0);
+    let token: String = at.trim().chars().take(24).collect();
+    Error::Parse { offset, token, message: message.into() }
 }
 
 #[cfg(test)]
@@ -358,6 +432,85 @@ mod tests {
         assert_eq!(m, OutputMode::Limit(usize::MAX));
         let (_, _, m) = parse_query_with_mode(&format!("LIMIT {} R1(a,b)", usize::MAX)).unwrap();
         assert_eq!(m, OutputMode::Limit(usize::MAX));
+    }
+
+    #[test]
+    fn literals_and_params_parse_into_terms() {
+        use crate::query::Bindings;
+        let (q, names) = parse_query("Q(b,c) :- R1(5,b), R2(b,c), R3(5,c)").unwrap();
+        // "5" interns once, like a variable would.
+        assert_eq!(names, vec!["5", "b", "c"]);
+        assert_eq!(q.atoms[0].terms[0], Term::Const(5));
+        assert_eq!(q.atoms[0].terms[1], Term::Var(Attr(1)));
+        assert_eq!(q.const_bindings().unwrap().pairs(), &[(Attr(0), 5)]);
+        assert!(q.param_attrs().is_empty());
+
+        let (q, names) = parse_query("R1($v,b), R2(b,$w)").unwrap();
+        assert_eq!(names, vec!["$v", "b", "$w"]);
+        assert_eq!(q.atoms[0].terms[0], Term::Param("v".into()));
+        assert_eq!(q.param_attrs(), vec![("v".to_string(), Attr(0)), ("w".to_string(), Attr(2))]);
+        let bound = q.resolve_bindings(&Bindings::new().set("v", 1).set("w", 2)).unwrap();
+        assert_eq!(bound.pairs(), &[(Attr(0), 1), (Attr(2), 2)]);
+
+        // Repeated parameters share one attribute (equality by definition).
+        let (q, _) = parse_query("R1($v,b), R2($v,c)").unwrap();
+        assert_eq!(q.param_attrs().len(), 1);
+        assert_eq!(q.atoms[0].schema.attrs()[0], q.atoms[1].schema.attrs()[0]);
+    }
+
+    #[test]
+    fn bound_query_shape_matches_unbound() {
+        // A literal position is an ordinary attribute to the planner: the
+        // hypergraph of R1(5,b),R2(b,c),R3(5,c) equals R1(a,b),R2(b,c),R3(a,c).
+        let (bound, _) = parse_query("R1(5,b), R2(b,c), R3(5,c)").unwrap();
+        let (free, _) = parse_query("R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        assert_eq!(bound.hypergraph(), free.hypergraph());
+    }
+
+    #[test]
+    fn mixed_alnum_tokens_stay_variables() {
+        // Pre-literal texts like x1/v2 must keep parsing as variables; only
+        // all-digit tokens are constants.
+        let (q, names) = parse_query("R1(x1,b2), R2(b2,x1)").unwrap();
+        assert_eq!(names, vec!["x1", "b2"]);
+        assert!(!q.has_bound_terms());
+    }
+
+    #[test]
+    fn heads_cover_variables_not_constants() {
+        // Head binds the variables; the constant column is implicit.
+        assert!(parse_query("Q(b,c) :- R1(5,b), R2(b,c)").is_ok());
+        // Naming every attribute (incl. the literal) is accepted too.
+        assert!(parse_query("Q(5,b,c) :- R1(5,b), R2(b,c)").is_ok());
+        // Projection is still rejected.
+        assert!(parse_query("Q(b) :- R1(5,b), R2(b,c)").is_err());
+        // Params behave like constants for head purposes.
+        assert!(parse_query("Q(b,c) :- R1($v,b), R2(b,c)").is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets_and_tokens() {
+        let err = parse_query("R1(a,b), R2(b,c").unwrap_err();
+        let Error::Parse { offset, token, message } = &err else {
+            panic!("expected Error::Parse, got {err:?}")
+        };
+        assert_eq!(*offset, 9, "offset of the unclosed atom");
+        assert!(token.starts_with("R2(b,c"), "token: {token}");
+        assert!(message.contains("unclosed"));
+
+        // Offsets are relative to the text handed to the *entry point*,
+        // mode prefix included.
+        let err = parse_query_with_mode("COUNT(R1(a,b), R2(b,!c))").unwrap_err();
+        let Error::Parse { offset, token, .. } = &err else { panic!("{err:?}") };
+        assert_eq!(&"COUNT(R1(a,b), R2(b,!c))"[*offset..*offset + 2], "!c");
+        assert_eq!(token, "!c");
+
+        // Bad parameter and out-of-range literal point at their tokens.
+        let err = parse_query("R1($, b)").unwrap_err();
+        assert!(matches!(err, Error::Parse { offset: 3, .. }), "{err:?}");
+        let err = parse_query("R1(99999999999, b)").unwrap_err();
+        let Error::Parse { message, .. } = &err else { panic!("{err:?}") };
+        assert!(message.contains("out of range"));
     }
 
     #[test]

@@ -21,6 +21,17 @@ pub enum Error {
     DuplicateAttr(String),
     /// An operation exceeded a configured budget (memory or tuple cap).
     BudgetExceeded { what: &'static str, limit: usize },
+    /// Query text failed to parse. `offset` is the byte offset of the
+    /// offending token in the text handed to the parser entry point.
+    Parse { offset: usize, token: String, message: String },
+    /// A prepared query was executed without a value for parameter `$name`.
+    UnboundParam { name: String },
+    /// A binding supplied a value for a parameter the query does not have.
+    UnknownParam { name: String },
+    /// A well-formed request hit a code path that does not implement the
+    /// feature (e.g. bound constants on the comparison baselines, which
+    /// have no selection pushdown).
+    Unsupported { feature: &'static str, by: &'static str },
 }
 
 impl fmt::Display for Error {
@@ -39,6 +50,18 @@ impl fmt::Display for Error {
             Error::DuplicateAttr(a) => write!(f, "duplicate attribute in schema: {a}"),
             Error::BudgetExceeded { what, limit } => {
                 write!(f, "budget exceeded: {what} over limit {limit}")
+            }
+            Error::Parse { offset, token, message } => {
+                write!(f, "parse error at byte {offset} near '{token}': {message}")
+            }
+            Error::UnboundParam { name } => {
+                write!(f, "parameter ${name} was not bound to a value")
+            }
+            Error::UnknownParam { name } => {
+                write!(f, "no parameter ${name} in the prepared query")
+            }
+            Error::Unsupported { feature, by } => {
+                write!(f, "{feature} is not supported by {by}")
             }
         }
     }
@@ -61,5 +84,9 @@ mod tests {
         assert!(e.to_string().contains("R9"));
         let e = Error::BudgetExceeded { what: "intermediate tuples", limit: 10 };
         assert!(e.to_string().contains("intermediate tuples"));
+        let e = Error::Parse { offset: 12, token: "R1(".into(), message: "unclosed '('".into() };
+        assert!(e.to_string().contains("byte 12") && e.to_string().contains("R1("));
+        let e = Error::UnboundParam { name: "v".into() };
+        assert!(e.to_string().contains("$v"));
     }
 }

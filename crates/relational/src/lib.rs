@@ -24,6 +24,7 @@
 //! that two equal relations are byte-identical, which the test-suite and the
 //! experiment harness rely on.
 
+pub mod bind;
 pub mod database;
 pub mod error;
 pub mod hash;
@@ -33,6 +34,7 @@ pub mod relation;
 pub mod schema;
 pub mod trie;
 
+pub use bind::BoundValues;
 pub use database::Database;
 pub use error::{Error, Result};
 pub use output::{CountSink, ExistsSink, FnSink, OutputMode, QueryOutput, RowBuffer, RowSink};

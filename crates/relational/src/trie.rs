@@ -280,6 +280,24 @@ impl<'a> TrieCursor<'a> {
         }
     }
 
+    /// Descends into the children of the current node and gallops straight
+    /// to `target` — the constant-seek primitive bound (prepared-query)
+    /// Leapfrog levels use instead of intersecting candidate runs. Returns
+    /// `true` when positioned exactly at `target`; on `false` the cursor is
+    /// *not* descended (a failed constant seek prunes the whole subtree, so
+    /// callers never need to `up()` out of it). An empty trie never
+    /// descends.
+    pub fn open_at(&mut self, target: Value) -> bool {
+        if !self.open() {
+            return false;
+        }
+        if self.seek(target) {
+            return true;
+        }
+        self.up();
+        false
+    }
+
     /// The remaining sibling values from the current position (inclusive).
     /// Leapfrog's k-way intersection consumes these runs directly.
     #[inline]
@@ -366,6 +384,26 @@ mod tests {
         assert!(c.seek(9));
         c.next();
         assert!(c.at_end());
+    }
+
+    #[test]
+    fn open_at_seeks_constants_and_prunes_misses() {
+        let r = rel(&[0, 1], &[&[1, 5], &[1, 7], &[3, 2], &[3, 9]]);
+        let t = Trie::build(&r);
+        let mut c = t.cursor();
+        assert!(c.open_at(3), "root level holds 3");
+        assert_eq!(c.key(), 3);
+        assert!(c.open_at(9));
+        assert_eq!((c.depth(), c.key()), (2, 9));
+        c.up();
+        assert!(!c.open_at(5), "3's children are {{2,9}}");
+        assert_eq!(c.depth(), 1, "failed seek must not leave the level open");
+        c.up();
+        assert!(!c.open_at(2), "root holds {{1,3}} only");
+        assert_eq!(c.depth(), 0);
+        // empty trie: no descent, no panic
+        let empty = Trie::build(&Relation::empty(Schema::from_ids(&[0, 1])));
+        assert!(!empty.cursor().open_at(1));
     }
 
     #[test]

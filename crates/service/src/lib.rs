@@ -15,6 +15,12 @@
 //!   [`Cluster`](adj_cluster::Cluster) handle instead of a fresh build per
 //!   call. Non-`Rows` modes never gather the full result: `Count`/`Exists`
 //!   ship per-worker counters only.
+//! * [`PreparedQuery`] — the prepare/bind lifecycle: [`Service::prepare`]
+//!   optimizes a parameterized shape (`R1($v,b), R2(b,c), R3($v,c)` —
+//!   inline literals like `R1(7,b)` work too) once, and
+//!   [`Service::execute_bound`] serves each binding through the same
+//!   cached plan and warm index family, with the bound constants pushed
+//!   down the share program, the shuffle, and Leapfrog.
 //! * [`PlanCache`](cache::PlanCache) — an LRU cache of optimized plans
 //!   keyed by the canonical
 //!   [`QueryFingerprint`](adj_query::QueryFingerprint) plus the target
@@ -81,7 +87,7 @@ pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use cache::PlanCacheStats;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
 pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
-pub use service::{Service, ServiceOutcome, ServiceStats};
+pub use service::{PreparedQuery, Service, ServiceOutcome, ServiceStats};
 
 use adj_core::{AdjConfig, Strategy};
 use std::time::Duration;
@@ -153,6 +159,18 @@ pub enum ServiceError {
         /// The configured timeout that elapsed.
         timeout: Duration,
     },
+    /// Query text failed to parse: the byte offset of the offending token
+    /// (relative to the submitted text), the token itself, and what was
+    /// wrong with it. Distinct from [`ServiceError::Exec`] so a front door
+    /// can return a pointed 4xx instead of a stringly 500.
+    Parse {
+        /// Byte offset of the offending token in the submitted text.
+        offset: usize,
+        /// The offending token (truncated).
+        token: String,
+        /// What the parser expected.
+        message: String,
+    },
     /// Parsing, planning, or execution failed in the underlying library.
     Exec(adj_relational::Error),
     /// The worker pool was shut down before the job completed.
@@ -174,6 +192,9 @@ impl std::fmt::Display for ServiceError {
             ServiceError::QueueTimeout { timeout } => {
                 write!(f, "admission queue wait exceeded {timeout:?}")
             }
+            ServiceError::Parse { offset, token, message } => {
+                write!(f, "parse error at byte {offset} near '{token}': {message}")
+            }
             ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
             ServiceError::ShutDown => write!(f, "worker pool shut down"),
         }
@@ -191,7 +212,12 @@ impl std::error::Error for ServiceError {
 
 impl From<adj_relational::Error> for ServiceError {
     fn from(e: adj_relational::Error) -> Self {
-        ServiceError::Exec(e)
+        match e {
+            adj_relational::Error::Parse { offset, token, message } => {
+                ServiceError::Parse { offset, token, message }
+            }
+            other => ServiceError::Exec(other),
+        }
     }
 }
 

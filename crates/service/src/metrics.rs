@@ -149,6 +149,10 @@ pub struct ServiceMetrics {
     index_relations_built: AtomicU64,
     index_relations_reused: AtomicU64,
     index_bags_reused: AtomicU64,
+    queries_prepared: AtomicU64,
+    params_bound: AtomicU64,
+    bound_scanned_tuples: AtomicU64,
+    bound_kept_tuples: AtomicU64,
     queries_skew_routed: AtomicU64,
     hot_routed_tuples: AtomicU64,
     partition_tuples_max: AtomicU64,
@@ -205,6 +209,9 @@ impl ServiceMetrics {
         self.index_relations_built.fetch_add(report.index_relations_built, Ordering::Relaxed);
         self.index_relations_reused.fetch_add(report.index_relations_reused, Ordering::Relaxed);
         self.index_bags_reused.fetch_add(report.index_bags_reused, Ordering::Relaxed);
+        self.params_bound.fetch_add(report.bound_values, Ordering::Relaxed);
+        self.bound_scanned_tuples.fetch_add(report.bound_scanned_tuples, Ordering::Relaxed);
+        self.bound_kept_tuples.fetch_add(report.bound_kept_tuples, Ordering::Relaxed);
         if report.hot_values > 0 {
             self.queries_skew_routed.fetch_add(1, Ordering::Relaxed);
         }
@@ -225,6 +232,11 @@ impl ServiceMetrics {
     /// Records a query that failed during planning or execution.
     pub fn record_failure(&self) {
         self.queries_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a [`Service::prepare`](crate::Service::prepare) call.
+    pub fn record_prepare(&self) {
+        self.queries_prepared.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a query turned away by admission control.
@@ -251,6 +263,13 @@ impl ServiceMetrics {
             index_relations_built: self.index_relations_built.load(Ordering::Relaxed),
             index_relations_reused: self.index_relations_reused.load(Ordering::Relaxed),
             index_bags_reused: self.index_bags_reused.load(Ordering::Relaxed),
+            queries_prepared: self.queries_prepared.load(Ordering::Relaxed),
+            params_bound: self.params_bound.load(Ordering::Relaxed),
+            bound_selectivity: {
+                let scanned = self.bound_scanned_tuples.load(Ordering::Relaxed);
+                (scanned > 0)
+                    .then(|| self.bound_kept_tuples.load(Ordering::Relaxed) as f64 / scanned as f64)
+            },
             queries_skew_routed: self.queries_skew_routed.load(Ordering::Relaxed),
             hot_routed_tuples: self.hot_routed_tuples.load(Ordering::Relaxed),
             max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
@@ -303,6 +322,20 @@ pub struct MetricsSnapshot {
     pub index_relations_reused: u64,
     /// Pre-computed bag relations served from the index cache.
     pub index_bags_reused: u64,
+    /// Prepared statements created
+    /// ([`Service::prepare`](crate::Service::prepare) /
+    /// `prepare_text` calls).
+    pub queries_prepared: u64,
+    /// Constants pushed down across all served executions: bound `$name`
+    /// parameters plus resolved inline literals.
+    pub params_bound: u64,
+    /// Realized selection-pushdown selectivity, aggregated over every
+    /// bound shuffle: tuples kept ÷ tuples scanned in filtered relations;
+    /// `None` until a bound query has filtered anything (distinct from a
+    /// genuine 0.0, where bindings matched no tuple at all). Low is good —
+    /// it is the fraction of scanned tuples the bindings actually had to
+    /// move.
+    pub bound_selectivity: Option<f64>,
     /// Served queries whose plan carried a heavy-hitter routing table.
     pub queries_skew_routed: u64,
     /// Tuple copies that took a heavy-hitter route (spread or broadcast)

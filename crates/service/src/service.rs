@@ -8,8 +8,8 @@ use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
 use adj_query::fingerprint::Fnv1a;
-use adj_query::{parse_query_with_mode, JoinQuery, QueryFingerprint};
-use adj_relational::{Database, OutputMode, QueryOutput, Relation};
+use adj_query::{parse_query_with_mode, Bindings, JoinQuery, QueryFingerprint};
+use adj_relational::{Attr, BoundValues, Database, OutputMode, QueryOutput, Relation};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -60,6 +60,51 @@ impl ServiceOutcome {
     /// field, all of which ran in what is now [`OutputMode::Rows`].
     pub fn rows(&self) -> &Relation {
         self.output.rows()
+    }
+}
+
+/// A prepared statement at the service level: a query shape (with `$name`
+/// parameters and/or inline literals) validated and planned against a
+/// named database. Binding it is cheap — [`Service::execute_bound`] runs
+/// each binding through the shared plan-cache entry (and the shared
+/// index-cache entry family), so one preparation serves unboundedly many
+/// bindings.
+///
+/// The statement holds no pinned plan: each execution resolves the current
+/// cache entry, so re-registering the database transparently re-plans
+/// instead of serving stale state.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    /// The database the statement was prepared against.
+    db_name: String,
+    /// The parameterized query.
+    query: JoinQuery,
+    /// The `$name` parameters awaiting values, in first-occurrence order.
+    params: Vec<(String, Attr)>,
+    /// The Rows-mode fingerprint (every mode shares its `plan_key`).
+    fingerprint: QueryFingerprint,
+}
+
+impl PreparedQuery {
+    /// The database this statement targets.
+    pub fn db_name(&self) -> &str {
+        &self.db_name
+    }
+
+    /// The underlying parameterized query.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// The `$name` parameters awaiting bind-time values.
+    pub fn params(&self) -> &[(String, Attr)] {
+        &self.params
+    }
+
+    /// The statement's canonical fingerprint (shape only — no binding value
+    /// ever moves it).
+    pub fn fingerprint(&self) -> QueryFingerprint {
+        self.fingerprint
     }
 }
 
@@ -234,6 +279,121 @@ impl Service {
         query: &JoinQuery,
         mode: OutputMode,
     ) -> Result<ServiceOutcome, ServiceError> {
+        // Inline literals resolve without a binding; a query with `$name`
+        // parameters surfaces `UnboundParam` — prepare and bind it instead.
+        // The submission's own literals are resolved here (not from the
+        // cached plan) because the whole shape family shares one plan.
+        let values = match query.const_bindings() {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
+        // Validate the *submission's* parameters here, not downstream: the
+        // executor checks the cached plan owner's query, and a whole shape
+        // family (literal and `$param` members) shares one plan — a
+        // literal-owned entry must never let an unbound `$param` submission
+        // borrow its values. (The execute_bound path is covered by
+        // `resolve_bindings`, which demands a value for every parameter.)
+        // Checked term-by-term — no parameter table is allocated on the
+        // common unbound path.
+        for atom in &query.atoms {
+            for (term, &attr) in atom.terms.iter().zip(atom.schema.attrs()) {
+                if let adj_query::Term::Param(name) = term {
+                    if values.get(attr).is_none() {
+                        self.metrics.record_failure();
+                        return Err(ServiceError::Exec(adj_relational::Error::UnboundParam {
+                            name: name.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        self.execute_inner(db_name, query, mode, &values)
+    }
+
+    /// Prepares a parameterized query against a named database: validates
+    /// the database exists, optimizes the shape now (publishing the plan
+    /// into the cache, so the first bound execution is already a hit), and
+    /// returns the reusable statement.
+    pub fn prepare(&self, db_name: &str, query: &JoinQuery) -> Result<PreparedQuery, ServiceError> {
+        let entry = match self.lookup(db_name) {
+            Ok(e) => e,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e);
+            }
+        };
+        let fingerprint = QueryFingerprint::of(query);
+        let key = fingerprint.cache_key(entry.tag, entry.epoch);
+        if self.cache.get(key).is_none() {
+            let plan = match self.adj.plan(query, &entry.db, self.config.strategy) {
+                Ok(p) => Arc::new(p),
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(ServiceError::Exec(e));
+                }
+            };
+            self.cache.insert(key, entry.tag, plan);
+        }
+        self.metrics.record_prepare();
+        Ok(PreparedQuery {
+            db_name: db_name.to_string(),
+            params: query.param_attrs(),
+            query: query.clone(),
+            fingerprint,
+        })
+    }
+
+    /// [`Service::prepare`] from query text. The text may carry an
+    /// output-mode prefix, returned alongside so callers can honour it as
+    /// the statement's default mode.
+    pub fn prepare_text(
+        &self,
+        db_name: &str,
+        text: &str,
+    ) -> Result<(PreparedQuery, OutputMode), ServiceError> {
+        let (query, _names, mode) = match parse_query_with_mode(text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e.into());
+            }
+        };
+        Ok((self.prepare(db_name, &query)?, mode))
+    }
+
+    /// Executes one binding of a prepared statement: resolves `bindings`
+    /// against the statement's parameter table, then runs the shared
+    /// cached plan with the bound constants pushed down the whole stack
+    /// (share pinning, pre-routing shuffle filters, Leapfrog constant
+    /// seeks). Returns a full per-binding [`ServiceOutcome`]; all output
+    /// modes are available exactly as on [`Service::execute_mode`].
+    pub fn execute_bound(
+        &self,
+        prepared: &PreparedQuery,
+        bindings: &Bindings,
+        mode: OutputMode,
+    ) -> Result<ServiceOutcome, ServiceError> {
+        let values = match prepared.query.resolve_bindings(bindings) {
+            Ok(v) => v,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
+        self.execute_inner(&prepared.db_name, &prepared.query, mode, &values)
+    }
+
+    /// The shared serving path: admission → plan cache → bound execution.
+    fn execute_inner(
+        &self,
+        db_name: &str,
+        query: &JoinQuery,
+        mode: OutputMode,
+        values: &BoundValues,
+    ) -> Result<ServiceOutcome, ServiceError> {
         let t_start = Instant::now();
         let entry = match self.lookup(db_name) {
             Ok(e) => e,
@@ -270,8 +430,16 @@ impl Service {
 
         // Plan: cached, or optimized now and published. The cache key uses
         // the fingerprint's plan-relevant prefix only, so every output
-        // mode of a query shape shares one entry.
+        // mode — and every *binding* — of a query shape shares one entry.
         let fingerprint = QueryFingerprint::of_mode(query, mode);
+        // Keying discipline (PR 4's route_tag, applied to bindings): the
+        // plan key must be a pure function of the shape — erasing every
+        // constant's value must not move it.
+        debug_assert_eq!(
+            fingerprint.plan_key,
+            QueryFingerprint::of(&query.erase_bound_values()).plan_key,
+            "constants leaked into plan_key"
+        );
         let key = fingerprint.cache_key(entry.tag, entry.epoch);
         let (plan, cache_hit) = match self.cache.get(key) {
             Some(plan) => (plan, true),
@@ -294,7 +462,7 @@ impl Service {
         // skip the shuffle + build entirely.
         let scope = IndexScope { cache: &self.index, db_tag: entry.tag, epoch: entry.epoch };
         let (output, mut report) =
-            match self.adj.execute_prepared_cached(&plan, &entry.db, mode, Some(&scope)) {
+            match self.adj.execute_bound_cached(&plan, &entry.db, mode, Some(&scope), values) {
                 Ok(o) => o,
                 Err(e) => {
                     self.metrics.record_failure();
@@ -614,6 +782,114 @@ mod tests {
         assert!(m.output_tuples > 0);
         // optimization histogram: one real observation + two zeros (hits)
         assert_eq!(m.optimization.count, 3);
+    }
+
+    #[test]
+    fn prepared_statement_serves_many_bindings_from_one_plan() {
+        use adj_query::parse_query;
+        let tri = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let db = tri.instantiate(&g);
+        let service = small_service();
+        service.register_database("g", db);
+
+        // Oracle: the unbound triangles, filtered client-side per vertex.
+        let full = service.execute("g", &tri).unwrap();
+        let a_col = full.rows().schema().position(Attr(0)).unwrap();
+
+        let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+        let prepared = service.prepare("g", &q).unwrap();
+        assert_eq!(prepared.params().len(), 1);
+        let misses_before = service.cache_stats().misses;
+
+        for v in [0u32, 3, 7, 11, 40] {
+            let out =
+                service.execute_bound(&prepared, &Bindings::new().set("v", v), OutputMode::Rows);
+            let out = out.unwrap();
+            let expect = full.rows().rows().filter(|r| r[a_col] == v).count();
+            assert_eq!(out.rows().len(), expect, "binding v={v}");
+            assert!(out.cache_hit, "every binding must reuse the prepared plan");
+            assert!(out.rows().rows().all(|r| {
+                let p = out.rows().schema().position(Attr(0)).unwrap();
+                r[p] == v
+            }));
+
+            let count = service
+                .execute_bound(&prepared, &Bindings::new().set("v", v), OutputMode::Count)
+                .unwrap();
+            assert_eq!(count.output, QueryOutput::Count(expect as u64));
+        }
+        assert_eq!(
+            service.cache_stats().misses,
+            misses_before,
+            "no binding may forge a fresh plan-cache miss"
+        );
+
+        let m = service.metrics();
+        assert_eq!(m.queries_prepared, 1);
+        assert!(m.params_bound >= 10, "each bound execution binds $v");
+        let selectivity = m.bound_selectivity.expect("bound shuffles ran");
+        assert!(selectivity > 0.0 && selectivity < 1.0);
+    }
+
+    #[test]
+    fn inline_literals_flow_through_execute_text() {
+        let tri = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let db = tri.instantiate(&g);
+        let service = small_service();
+        service.register_database("g", db);
+        let full = service.execute("g", &tri).unwrap();
+        let a_col = full.rows().schema().position(Attr(0)).unwrap();
+        let expect = full.rows().rows().filter(|r| r[a_col] == 7).count() as u64;
+
+        let out = service.execute_text("g", "COUNT(R1(7,b), R2(b,c), R3(7,c))").unwrap();
+        assert_eq!(out.output, QueryOutput::Count(expect));
+        // A different literal is the same shape: one plan, a cache hit.
+        let other = service.execute_text("g", "COUNT(R1(11,b), R2(b,c), R3(11,c))").unwrap();
+        assert!(other.cache_hit, "distinct constants must share one cached plan");
+        assert_eq!(out.fingerprint, other.fingerprint);
+    }
+
+    #[test]
+    fn parse_failures_surface_as_typed_errors_with_offsets() {
+        let service = small_service();
+        let err = service.execute_text("g", "R1(a,b), R2(b,!c)").unwrap_err();
+        let ServiceError::Parse { offset, token, .. } = &err else {
+            panic!("expected ServiceError::Parse, got {err:?}")
+        };
+        assert_eq!(*offset, 14);
+        assert_eq!(token, "!c");
+        assert!(!err.is_rejection());
+        assert_eq!(service.metrics().queries_failed, 1);
+
+        // prepare_text reports parse errors the same way.
+        assert!(matches!(
+            service.prepare_text("g", "R1(a,").unwrap_err(),
+            ServiceError::Parse { .. }
+        ));
+    }
+
+    #[test]
+    fn unbound_params_error_instead_of_joining_free() {
+        let (q, _) = adj_query::parse_query("R1($v,b), R2(b,c)").unwrap();
+        let service = small_service();
+        service.register_database("g", paper_query(PaperQuery::Q7).instantiate(&graph(60, 13)));
+        let err = service.execute("g", &q).unwrap_err();
+        assert!(
+            matches!(&err, ServiceError::Exec(adj_relational::Error::UnboundParam { .. })),
+            "{err:?}"
+        );
+        // ...and a typo'd binding is caught, not ignored.
+        let prepared = service.prepare("g", &q).unwrap();
+        let err = service
+            .execute_bound(&prepared, &Bindings::new().set("w", 1), OutputMode::Rows)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Exec(adj_relational::Error::UnboundParam { .. })
+                | ServiceError::Exec(adj_relational::Error::UnknownParam { .. })
+        ));
     }
 
     #[test]

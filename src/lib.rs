@@ -73,18 +73,20 @@ pub use adj_service as service;
 /// The common imports for applications.
 pub mod prelude {
     pub use adj_cluster::{Cluster, ClusterConfig};
-    pub use adj_core::{Adj, AdjConfig, ExecutionReport, QueryPlan, SkewConfig, Strategy};
+    pub use adj_core::{
+        Adj, AdjConfig, ExecutionReport, Prepared, QueryPlan, SkewConfig, Strategy,
+    };
     pub use adj_datagen::Dataset;
     pub use adj_query::{
-        paper_query, parse_query, parse_query_with_mode, Atom, JoinQuery, PaperQuery,
-        QueryFingerprint,
+        paper_query, parse_query, parse_query_with_mode, Atom, Bindings, JoinQuery, PaperQuery,
+        QueryFingerprint, Term,
     };
     pub use adj_relational::{
-        Attr, Database, OutputMode, QueryOutput, Relation, RowSink, Schema, Value,
+        Attr, BoundValues, Database, OutputMode, QueryOutput, Relation, RowSink, Schema, Value,
     };
     pub use adj_sampling::{Sampler, SamplingConfig};
     pub use adj_service::{
-        AdmissionPolicy, QueryRequest, Service, ServiceConfig, ServiceError, ServiceOutcome,
-        WorkerPool,
+        AdmissionPolicy, PreparedQuery, QueryRequest, Service, ServiceConfig, ServiceError,
+        ServiceOutcome, WorkerPool,
     };
 }

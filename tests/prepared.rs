@@ -1,0 +1,295 @@
+//! Prepared-query acceptance tests.
+//!
+//! Ground truth is the **filter-then-full-join oracle**: a query bound at
+//! attribute `a = v` must return byte-for-byte the rows of the *unbound*
+//! join whose `a` column equals `v` — for every paper shape, both
+//! plan-search strategies, and all four output modes. On top of
+//! correctness, the serving contract: one prepared plan serves 50 distinct
+//! bindings with >90% plan-cache *and* index-cache hit rates, and bound
+//! executions never pollute the shared cache entries.
+
+use adj::prelude::*;
+
+const STRATEGIES: [Strategy; 2] = [Strategy::CoOptimize, Strategy::CommFirst];
+
+/// `(shape, bound-at-$v query text)`: the same shape with the `a` vertex
+/// turned into a parameter.
+const BOUND_SHAPES: [(PaperQuery, &str); 3] = [
+    (PaperQuery::Q1, "Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)"),
+    (PaperQuery::Q4, "Q(b,c,d,e) :- R1($v,b), R2(b,c), R3(c,d), R4(d,e), R5(e,$v), R6(b,e)"),
+    (PaperQuery::Q7, "Q(b,c) :- R1($v,b), R2(b,c)"),
+];
+
+/// A deterministic test graph with plenty of matches for every shape.
+fn graph() -> Relation {
+    let edges: Vec<(Value, Value)> = (0..240u32)
+        .flat_map(|i| vec![(i % 31, (i * 7 + 1) % 31), ((i * 3) % 31, (i * 11 + 5) % 31)])
+        .collect();
+    Relation::from_pairs(Attr(0), Attr(1), &edges)
+}
+
+/// The oracle: the unbound result filtered to rows whose `a` column is `v`,
+/// renormalized as a relation over the unbound result's schema.
+fn filter_oracle(full: &Relation, v: Value) -> Relation {
+    let a_col = full.schema().position(Attr(0)).expect("a in result");
+    let rows: Vec<Vec<Value>> = full.rows().filter(|r| r[a_col] == v).map(|r| r.to_vec()).collect();
+    let refs: Vec<&[Value]> = rows.iter().map(|r| r.as_slice()).collect();
+    Relation::from_rows(full.schema().clone(), &refs).unwrap()
+}
+
+#[test]
+fn bound_results_match_the_filter_then_join_oracle() {
+    let g = graph();
+    let adj = Adj::with_workers(4);
+    for (shape, text) in BOUND_SHAPES {
+        let unbound = paper_query(shape);
+        let db = unbound.instantiate(&g);
+        let (bound_q, _) = parse_query(text).unwrap();
+        for strategy in STRATEGIES {
+            let full = adj.execute_with_strategy(&unbound, &db, strategy).unwrap();
+            let full = full.rows();
+            let prepared = adj.prepare(&bound_q, &db, strategy).unwrap();
+            // A well-matched vertex, a sparse one, and an absent one.
+            for v in [1u32, 17, 30, 999] {
+                let oracle = filter_oracle(full, v);
+                let b = Bindings::new().set("v", v);
+
+                // Rows: byte-identical after schema alignment.
+                let rows = adj.execute_bound(&prepared, &db, &b, OutputMode::Rows).unwrap();
+                let aligned = rows.rows().permute(oracle.schema().attrs()).unwrap();
+                assert_eq!(aligned, oracle, "{shape:?}/{strategy:?}/v={v}: rows");
+                assert!(rows.report.bound_values > 0);
+
+                // Count / Exists: counters only, same answers.
+                let count = adj.execute_bound(&prepared, &db, &b, OutputMode::Count).unwrap();
+                assert_eq!(
+                    count.output,
+                    QueryOutput::Count(oracle.len() as u64),
+                    "{shape:?}/{strategy:?}/v={v}: count"
+                );
+                assert_eq!(count.output.tuples_returned(), 0);
+                let exists = adj.execute_bound(&prepared, &db, &b, OutputMode::Exists).unwrap();
+                assert_eq!(
+                    exists.output,
+                    QueryOutput::Exists(!oracle.is_empty()),
+                    "{shape:?}/{strategy:?}/v={v}: exists"
+                );
+
+                // Limit(n): the canonical n smallest rows of the bound
+                // result, under the bound plan's attribute order.
+                let n = 3usize;
+                let limited = adj.execute_bound(&prepared, &db, &b, OutputMode::Limit(n)).unwrap();
+                let expect = oracle.permute(limited.rows().schema().attrs()).unwrap();
+                let keep = n.min(expect.len());
+                let canonical = Relation::from_flat(
+                    expect.schema().clone(),
+                    expect.flat()[..keep * expect.schema().arity()].to_vec(),
+                )
+                .unwrap();
+                assert_eq!(
+                    limited.rows(),
+                    &canonical,
+                    "{shape:?}/{strategy:?}/v={v}: limit rows are the canonical sample"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn inline_literals_equal_bound_params() {
+    // `R1(7,b), …` must be exactly `R1($v,b), …` bound at v=7 — same
+    // results, same plan-cache entry (the fingerprint ignores values and
+    // treats literal and parameter positions alike).
+    let g = graph();
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() },
+        ..Default::default()
+    });
+    service.register_database("g", paper_query(PaperQuery::Q1).instantiate(&g));
+
+    let (param_q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let prepared = service.prepare("g", &param_q).unwrap();
+    let via_param =
+        service.execute_bound(&prepared, &Bindings::new().set("v", 7), OutputMode::Rows).unwrap();
+    let via_literal = service.execute_text("g", "Q(b,c) :- R1(7,b), R2(b,c), R3(7,c)").unwrap();
+    assert!(via_literal.cache_hit, "the literal text must hit the prepared plan");
+    assert_eq!(via_literal.fingerprint.plan_key, via_param.fingerprint.plan_key);
+    assert_eq!(via_literal.rows(), via_param.rows());
+}
+
+#[test]
+fn fifty_distinct_bindings_reuse_one_plan_and_index_family() {
+    let g = graph();
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() },
+        ..Default::default()
+    });
+    let unbound = paper_query(PaperQuery::Q1);
+    let db = unbound.instantiate(&g);
+    service.register_database("g", db.clone());
+    let full = Adj::with_workers(4).execute(&unbound, &db).unwrap();
+    let full = full.rows();
+
+    let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let prepared = service.prepare("g", &q).unwrap();
+
+    let modes = [OutputMode::Rows, OutputMode::Count, OutputMode::Limit(2), OutputMode::Exists];
+    for v in 0..50u32 {
+        let b = Bindings::new().set("v", v);
+        let mode = modes[v as usize % modes.len()];
+        let out = service.execute_bound(&prepared, &b, mode).unwrap();
+        assert!(out.cache_hit, "binding {v} must reuse the prepared plan");
+        let oracle = filter_oracle(full, v);
+        match mode {
+            OutputMode::Rows => {
+                let aligned = out.rows().permute(oracle.schema().attrs()).unwrap();
+                assert_eq!(aligned, oracle, "binding {v}");
+            }
+            OutputMode::Count => {
+                assert_eq!(out.output, QueryOutput::Count(oracle.len() as u64), "binding {v}");
+            }
+            OutputMode::Exists => {
+                assert_eq!(out.output, QueryOutput::Exists(!oracle.is_empty()), "binding {v}");
+            }
+            OutputMode::Limit(n) => {
+                assert_eq!(out.rows().len(), n.min(oracle.len()), "binding {v}");
+            }
+        }
+    }
+
+    let stats = service.stats();
+    assert!(
+        stats.cache.hit_rate() > 0.9,
+        "plan cache hit rate {:.3} must stay above 0.9 across distinct bindings",
+        stats.cache.hit_rate()
+    );
+    assert!(
+        stats.index.hit_rate() > 0.9,
+        "index cache hit rate {:.3} must stay above 0.9 — binding-independent \
+         relations are one warm entry family",
+        stats.index.hit_rate()
+    );
+    assert_eq!(stats.metrics.queries_prepared, 1);
+    assert_eq!(stats.metrics.queries_ok, 50);
+    assert!(stats.metrics.params_bound >= 50);
+    let selectivity = stats.metrics.bound_selectivity.expect("bound shuffles ran");
+    assert!(selectivity > 0.0 && selectivity < 0.5);
+}
+
+#[test]
+fn bound_executions_never_pollute_shared_cache_entries() {
+    // Interleave bound and unbound executions of the same shape family on
+    // one service: the unbound query must keep returning the full result
+    // (never a bound relation's filtered fragments), and the two shapes
+    // must key separately everywhere.
+    let g = graph();
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() },
+        ..Default::default()
+    });
+    let unbound = paper_query(PaperQuery::Q1);
+    let db = unbound.instantiate(&g);
+    service.register_database("g", db.clone());
+
+    let baseline = service.execute("g", &unbound).unwrap();
+    let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let prepared = service.prepare("g", &q).unwrap();
+    assert_ne!(
+        prepared.fingerprint().plan_key,
+        baseline.fingerprint.plan_key,
+        "bound and free shapes must not share a plan entry"
+    );
+
+    for v in [1u32, 5, 9] {
+        service.execute_bound(&prepared, &Bindings::new().set("v", v), OutputMode::Rows).unwrap();
+        let again = service.execute("g", &unbound).unwrap();
+        assert_eq!(
+            again.rows(),
+            baseline.rows(),
+            "unbound result drifted after binding v={v} — cache aliasing"
+        );
+        assert!(again.cache_hit);
+    }
+}
+
+#[test]
+fn unbound_param_never_borrows_a_sibling_literals_values() {
+    // Regression: the shape family `R1(7,b)…` / `R1($v,b)…` shares one
+    // cached plan. An unbound `$v` submission arriving *after* the literal
+    // member planted the plan must still fail with UnboundParam — never
+    // silently answer with the literal owner's 7.
+    let g = graph();
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+        ..Default::default()
+    });
+    service.register_database("g", paper_query(PaperQuery::Q1).instantiate(&g));
+    service.execute_text("g", "COUNT(R1(7,b), R2(b,c), R3(7,c))").unwrap();
+
+    let (param_q, _) = parse_query("R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let err = service.execute("g", &param_q).unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Exec(adj::relational::Error::UnboundParam { .. })),
+        "expected UnboundParam, got {err:?}"
+    );
+}
+
+#[test]
+fn yannakakis_honours_literals_and_rejects_free_params() {
+    use adj::core::{yannakakis, Adj};
+    let g = graph();
+    let q1 = paper_query(PaperQuery::Q1);
+    let db = q1.instantiate(&g);
+
+    let (lit_q, _) = parse_query("R1(7,b), R2(b,c), R3(7,c)").unwrap();
+    let (out, _) = yannakakis(&db, &lit_q, usize::MAX, OutputMode::Rows).unwrap();
+    let via_adj = Adj::with_workers(2).execute(&lit_q, &db).unwrap();
+    let aligned = out.rows().permute(via_adj.rows().schema().attrs()).unwrap();
+    assert_eq!(&aligned, via_adj.rows(), "yannakakis must apply the literal selection");
+
+    let (param_q, _) = parse_query("R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    let err = yannakakis(&db, &param_q, usize::MAX, OutputMode::Rows).unwrap_err();
+    assert!(matches!(err, adj::relational::Error::UnboundParam { .. }));
+}
+
+#[test]
+fn baselines_reject_bound_queries_instead_of_joining_free() {
+    use adj::baselines::{run_bigjoin, run_binary_join, run_hcubej, BaselineConfig};
+    let g = graph();
+    let db = paper_query(PaperQuery::Q1).instantiate(&g);
+    let cluster = Cluster::new(ClusterConfig::with_workers(2));
+    let cfg = BaselineConfig::default();
+    let (lit_q, _) = parse_query("R1(7,b), R2(b,c), R3(7,c)").unwrap();
+    let (param_q, _) = parse_query("R1($v,b), R2(b,c), R3($v,c)").unwrap();
+    for q in [&lit_q, &param_q] {
+        assert!(run_hcubej(&cluster, &db, q, &cfg).is_err(), "{q}");
+        assert!(run_bigjoin(&cluster, &db, q, &cfg).is_err(), "{q}");
+        assert!(run_binary_join(&cluster, &db, q, &cfg).is_err(), "{q}");
+    }
+}
+
+#[test]
+fn rebinding_works_across_database_reregistration() {
+    // A prepared statement holds no pinned plan: re-registering the
+    // database re-plans transparently and answers against the new data.
+    let service = Service::new(ServiceConfig {
+        adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+        ..Default::default()
+    });
+    let q7 = paper_query(PaperQuery::Q7);
+    let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c)").unwrap();
+
+    let g1 = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (2, 3)]);
+    service.register_database("g", q7.instantiate(&g1));
+    let prepared = service.prepare("g", &q).unwrap();
+    let b = Bindings::new().set("v", 1);
+    let first = service.execute_bound(&prepared, &b, OutputMode::Count).unwrap();
+    assert_eq!(first.output, QueryOutput::Count(1)); // 1→2→3
+
+    let g2 = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (2, 3), (1, 4), (4, 5), (2, 6)]);
+    service.register_database("g", q7.instantiate(&g2));
+    let second = service.execute_bound(&prepared, &b, OutputMode::Count).unwrap();
+    assert!(!second.cache_hit, "new epoch must re-plan");
+    assert_eq!(second.output, QueryOutput::Count(3)); // 1→2→{3,6}, 1→4→5
+}
