@@ -27,7 +27,7 @@ use adj_core::Strategy;
 use adj_datagen::Dataset;
 use adj_query::{paper_query, PaperQuery};
 use adj_relational::Relation;
-use adj_service::{Service, ServiceConfig};
+use adj_service::{json::JsonObject, Service, ServiceConfig};
 use std::time::Instant;
 
 const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
@@ -73,6 +73,13 @@ fn mean(xs: &[f64]) -> f64 {
 
 fn quantile(sorted: &[f64], p: f64) -> f64 {
     sorted[((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1]
+}
+
+/// A mean/p50/p99 latency summary as a JSON object string.
+fn latency_json(mean: f64, sorted: &[f64]) -> String {
+    let mut o = JsonObject::new();
+    o.f64("mean", mean).f64("p50", quantile(sorted, 0.5)).f64("p99", quantile(sorted, 0.99));
+    o.render()
 }
 
 fn main() {
@@ -171,59 +178,42 @@ fn main() {
         index.tuples_saved
     );
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"index_cache\",\n",
-            "  \"scale\": {},\n",
-            "  \"workers\": {},\n",
-            "  \"rounds\": {},\n",
-            "  \"queries_per_side\": {},\n",
-            "  \"cold_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"nocache_steady_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"warm_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"warm_speedup\": {:.3},\n",
-            "  \"index_only_speedup\": {:.3},\n",
-            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, ",
-            "\"entries\": {}, \"resident_bytes\": {}, \"capacity_bytes\": {}, ",
-            "\"evictions\": {}, \"tuples_saved\": {}}},\n",
-            "  \"reuse_split\": {{\"relations_built\": {}, \"relations_reused\": {}, ",
-            "\"bags_reused\": {}}},\n",
-            "  \"warm_phase_mean_secs\": {{\"communication\": {:.6}, \"index_build\": {:.6}, ",
-            "\"computation\": {:.6}}}\n",
-            "}}\n"
-        ),
-        scale(),
-        w,
-        rounds,
-        cold.len(),
-        cold_mean,
-        quantile(&cold, 0.5),
-        quantile(&cold, 0.99),
-        nocache_mean,
-        quantile(&nocache, 0.5),
-        quantile(&nocache, 0.99),
-        warm_mean,
-        quantile(&warm, 0.5),
-        quantile(&warm, 0.99),
-        speedup,
-        index_only_speedup,
-        index.hits,
-        index.misses,
-        index.hit_rate(),
-        index.len,
-        index.resident_bytes,
-        index.capacity_bytes,
-        index.evictions,
-        index.tuples_saved,
-        stats.metrics.index_relations_built,
-        stats.metrics.index_relations_reused,
-        stats.metrics.index_bags_reused,
-        stats.metrics.communication.mean_secs,
-        stats.metrics.index_build.mean_secs,
-        stats.metrics.computation.mean_secs,
-    );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    // The shared adj-service JSON writer — same fields the hand-rolled
+    // emitter produced, one serializer for every bench artifact.
+    let mut index_cache = JsonObject::new();
+    index_cache
+        .u64("hits", index.hits)
+        .u64("misses", index.misses)
+        .f64("hit_rate", index.hit_rate())
+        .usize("entries", index.len)
+        .usize("resident_bytes", index.resident_bytes)
+        .usize("capacity_bytes", index.capacity_bytes)
+        .u64("evictions", index.evictions)
+        .u64("tuples_saved", index.tuples_saved);
+    let mut reuse = JsonObject::new();
+    reuse
+        .u64("relations_built", stats.metrics.index_relations_built)
+        .u64("relations_reused", stats.metrics.index_relations_reused)
+        .u64("bags_reused", stats.metrics.index_bags_reused);
+    let mut warm_phases = JsonObject::new();
+    warm_phases
+        .f64("communication", stats.metrics.communication.mean_secs)
+        .f64("index_build", stats.metrics.index_build.mean_secs)
+        .f64("computation", stats.metrics.computation.mean_secs);
+    let mut json = JsonObject::new();
+    json.str("bench", "index_cache")
+        .f64("scale", scale())
+        .usize("workers", w)
+        .usize("rounds", rounds)
+        .usize("queries_per_side", cold.len())
+        .raw("cold_latency_secs", latency_json(cold_mean, &cold))
+        .raw("nocache_steady_latency_secs", latency_json(nocache_mean, &nocache))
+        .raw("warm_latency_secs", latency_json(warm_mean, &warm))
+        .f64("warm_speedup", speedup)
+        .f64("index_only_speedup", index_only_speedup)
+        .object("index_cache", &index_cache)
+        .object("reuse_split", &reuse)
+        .object("warm_phase_mean_secs", &warm_phases);
+    std::fs::write(&out_path, json.render() + "\n").expect("write bench output");
     println!("\nwrote {out_path}");
 }

@@ -26,7 +26,7 @@ use adj_core::Strategy;
 use adj_datagen::Dataset;
 use adj_query::{paper_query, parse_query, Bindings, PaperQuery};
 use adj_relational::{Attr, OutputMode, Value};
-use adj_service::{Service, ServiceConfig};
+use adj_service::{json::JsonObject, Service, ServiceConfig};
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -147,46 +147,35 @@ fn main() {
         );
     }
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"prepared\",\n",
-            "  \"scale\": {},\n",
-            "  \"workers\": {},\n",
-            "  \"bindings\": {},\n",
-            "  \"result_rows_per_side\": {},\n",
-            "  \"baseline_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"bound_latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"bound_speedup\": {:.3},\n",
-            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
-            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
-            "  \"bound_selectivity\": {:.6},\n",
-            "  \"params_bound\": {},\n",
-            "  \"queries_prepared\": {}\n",
-            "}}\n"
-        ),
-        scale(),
-        w,
-        vertices.len(),
-        baseline_rows,
-        baseline_mean,
-        quantile(&baseline_sorted, 0.5),
-        quantile(&baseline_sorted, 0.99),
-        bound_mean,
-        quantile(&bound_sorted, 0.5),
-        quantile(&bound_sorted, 0.99),
-        speedup,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.hit_rate(),
-        stats.index.hits,
-        stats.index.misses,
-        stats.index.hit_rate(),
-        stats.metrics.bound_selectivity.unwrap_or(0.0),
-        stats.metrics.params_bound,
-        stats.metrics.queries_prepared,
-    );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    // The shared adj-service JSON writer — same fields the hand-rolled
+    // emitter produced, one serializer for every bench artifact.
+    let latency = |mean: f64, sorted: &[f64]| {
+        let mut o = JsonObject::new();
+        o.f64("mean", mean).f64("p50", quantile(sorted, 0.5)).f64("p99", quantile(sorted, 0.99));
+        o.render()
+    };
+    let cache_json = |hits: u64, misses: u64, rate: f64| {
+        let mut o = JsonObject::new();
+        o.u64("hits", hits).u64("misses", misses).f64("hit_rate", rate);
+        o.render()
+    };
+    let mut json = JsonObject::new();
+    json.str("bench", "prepared")
+        .f64("scale", scale())
+        .usize("workers", w)
+        .usize("bindings", vertices.len())
+        .u64("result_rows_per_side", baseline_rows)
+        .raw("baseline_latency_secs", latency(baseline_mean, &baseline_sorted))
+        .raw("bound_latency_secs", latency(bound_mean, &bound_sorted))
+        .f64("bound_speedup", speedup)
+        .raw("plan_cache", cache_json(stats.cache.hits, stats.cache.misses, stats.cache.hit_rate()))
+        .raw(
+            "index_cache",
+            cache_json(stats.index.hits, stats.index.misses, stats.index.hit_rate()),
+        )
+        .f64("bound_selectivity", stats.metrics.bound_selectivity.unwrap_or(0.0))
+        .u64("params_bound", stats.metrics.params_bound)
+        .u64("queries_prepared", stats.metrics.queries_prepared);
+    std::fs::write(&out_path, json.render() + "\n").expect("write bench output");
     println!("\nwrote {out_path}");
 }

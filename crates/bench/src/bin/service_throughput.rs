@@ -15,7 +15,7 @@ use adj_bench::{adj_config, print_table, scale, workers};
 use adj_core::Strategy;
 use adj_datagen::Dataset;
 use adj_query::{paper_query, PaperQuery};
-use adj_service::{AdmissionPolicy, Service, ServiceConfig};
+use adj_service::{json::JsonObject, AdmissionPolicy, Service, ServiceConfig};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -87,59 +87,53 @@ fn main() {
         ],
     );
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"service_throughput\",\n",
-            "  \"scale\": {},\n",
-            "  \"workers\": {},\n",
-            "  \"clients\": {},\n",
-            "  \"queries\": {},\n",
-            "  \"wall_secs\": {:.6},\n",
-            "  \"queries_per_sec\": {:.3},\n",
-            "  \"latency_secs\": {{\"mean\": {:.6}, \"p50\": {:.6}, \"p90\": {:.6}, \"p99\": {:.6}}},\n",
-            "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
-            "  \"index_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, ",
-            "\"resident_bytes\": {}, \"evictions\": {}, \"tuples_saved\": {}, ",
-            "\"relations_built\": {}, \"relations_reused\": {}}},\n",
-            "  \"admission\": {{\"admitted\": {}, \"peak_running\": {}, \"peak_waiting\": {}}},\n",
-            "  \"phases_mean_secs\": {{\"optimization\": {:.6}, \"precompute\": {:.6}, ",
-            "\"communication\": {:.6}, \"computation\": {:.6}}},\n",
-            "  \"output_tuples\": {}\n",
-            "}}\n"
-        ),
-        scale(),
-        w,
-        clients,
-        served,
-        wall_secs,
-        qps,
-        mean,
-        p50,
-        p90,
-        p99,
-        stats.cache.hits,
-        stats.cache.misses,
-        stats.cache.hit_rate(),
-        stats.index.hits,
-        stats.index.misses,
-        stats.index.hit_rate(),
-        stats.index.resident_bytes,
-        stats.index.evictions,
-        stats.index.tuples_saved,
-        stats.metrics.index_relations_built,
-        stats.metrics.index_relations_reused,
-        stats.admission.admitted,
-        stats.admission.peak_running,
-        stats.admission.peak_waiting,
-        stats.metrics.optimization.mean_secs,
-        stats.metrics.precompute.mean_secs,
-        stats.metrics.communication.mean_secs,
-        stats.metrics.computation.mean_secs,
-        stats.metrics.output_tuples,
-    );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    // The shared adj-service JSON writer — same fields the hand-rolled
+    // emitter produced, plus the full metrics snapshot (histogram
+    // quantiles, mode counts, trace counters) under "metrics".
+    let mut latency = JsonObject::new();
+    latency.f64("mean", mean).f64("p50", p50).f64("p90", p90).f64("p99", p99);
+    let mut plan_cache = JsonObject::new();
+    plan_cache
+        .u64("hits", stats.cache.hits)
+        .u64("misses", stats.cache.misses)
+        .f64("hit_rate", stats.cache.hit_rate());
+    let mut index_cache = JsonObject::new();
+    index_cache
+        .u64("hits", stats.index.hits)
+        .u64("misses", stats.index.misses)
+        .f64("hit_rate", stats.index.hit_rate())
+        .usize("resident_bytes", stats.index.resident_bytes)
+        .u64("evictions", stats.index.evictions)
+        .u64("tuples_saved", stats.index.tuples_saved)
+        .u64("relations_built", stats.metrics.index_relations_built)
+        .u64("relations_reused", stats.metrics.index_relations_reused);
+    let mut admission = JsonObject::new();
+    admission
+        .u64("admitted", stats.admission.admitted)
+        .usize("peak_running", stats.admission.peak_running)
+        .usize("peak_waiting", stats.admission.peak_waiting);
+    let mut phases = JsonObject::new();
+    phases
+        .f64("optimization", stats.metrics.optimization.mean_secs)
+        .f64("precompute", stats.metrics.precompute.mean_secs)
+        .f64("communication", stats.metrics.communication.mean_secs)
+        .f64("computation", stats.metrics.computation.mean_secs);
+    let mut json = JsonObject::new();
+    json.str("bench", "service_throughput")
+        .f64("scale", scale())
+        .usize("workers", w)
+        .usize("clients", clients)
+        .usize("queries", served)
+        .f64("wall_secs", wall_secs)
+        .f64("queries_per_sec", qps)
+        .object("latency_secs", &latency)
+        .object("plan_cache", &plan_cache)
+        .object("index_cache", &index_cache)
+        .object("admission", &admission)
+        .object("phases_mean_secs", &phases)
+        .u64("output_tuples", stats.metrics.output_tuples)
+        .raw("metrics", stats.metrics.to_json());
+    std::fs::write(&out_path, json.render() + "\n").expect("write bench output");
     println!("\nwrote {out_path}");
 }
 

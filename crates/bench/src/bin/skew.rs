@@ -23,6 +23,7 @@ use adj_datagen::{column_top_share, generate_zipf, ZipfConfig};
 use adj_hcube::ShareInput;
 use adj_query::{paper_query, PaperQuery};
 use adj_relational::{OutputMode, Relation};
+use adj_service::json::{array, JsonObject};
 use std::time::Instant;
 
 const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
@@ -144,32 +145,26 @@ fn main() {
             format!("{:.4}s vs {:.4}s", naive.secs, balanced.secs),
             format!("{}", balanced.hot_values),
         ]);
-        per_query_json.push(format!(
-            concat!(
-                "    {{\"query\": \"{:?}\", \"output_tuples\": {},\n",
-                "     \"naive\": {{\"max_partition_tuples\": {}, \"mean_partition_tuples\": {:.2}, ",
-                "\"balance\": {:.4}, \"secs\": {:.6}, \"identical_to_oracle\": {}}},\n",
-                "     \"balanced\": {{\"max_partition_tuples\": {}, \"mean_partition_tuples\": {:.2}, ",
-                "\"balance\": {:.4}, \"secs\": {:.6}, \"identical_to_oracle\": {}, ",
-                "\"hot_values\": {}, \"hot_routed_tuples\": {}}},\n",
-                "     \"fractional_max_cube_bound\": {:.2}}}"
-            ),
-            shape,
-            oracle_rows.len(),
-            naive.max_fill,
-            naive.mean_fill,
-            naive.balance,
-            naive.secs,
-            naive_ok,
-            balanced.max_fill,
-            balanced.mean_fill,
-            balanced.balance,
-            balanced.secs,
-            balanced_ok,
-            balanced.hot_values,
-            balanced.hot_routed,
-            lp_bound,
-        ));
+        let side_json = |s: &Side, ok: bool, hot: bool| {
+            let mut o = JsonObject::new();
+            o.u64("max_partition_tuples", s.max_fill)
+                .f64("mean_partition_tuples", s.mean_fill)
+                .f64("balance", s.balance)
+                .f64("secs", s.secs)
+                .bool("identical_to_oracle", ok);
+            if hot {
+                o.u64("hot_values", s.hot_values).u64("hot_routed_tuples", s.hot_routed);
+            }
+            o.render()
+        };
+        let mut q_json = JsonObject::new();
+        q_json
+            .str("query", &format!("{shape:?}"))
+            .usize("output_tuples", oracle_rows.len())
+            .raw("naive", side_json(&naive, naive_ok, false))
+            .raw("balanced", side_json(&balanced, balanced_ok, true))
+            .f64("fractional_max_cube_bound", lp_bound);
+        per_query_json.push(q_json.render());
     }
 
     print_table(
@@ -193,29 +188,22 @@ fn main() {
     );
     assert!(worst_balanced_ratio <= 2.0, "balanced shuffle exceeded the 2x fullest-partition gate");
 
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"skew\",\n",
-            "  \"workers\": {},\n",
-            "  \"zipf\": {{\"nodes\": {}, \"edges_drawn\": {}, \"edges_distinct\": {}, ",
-            "\"exponent\": {}, \"top_source_share\": {:.4}}},\n",
-            "  \"reps\": {},\n",
-            "  \"worst_balanced_max_over_mean\": {:.4},\n",
-            "  \"acceptance_max_over_mean\": 2.0,\n",
-            "  \"queries\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        w,
-        nodes,
-        edges,
-        graph.len(),
-        z,
-        top_share,
-        reps,
-        worst_balanced_ratio,
-        per_query_json.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    // The shared adj-service JSON writer — same fields the hand-rolled
+    // emitter produced, one serializer for every bench artifact.
+    let mut zipf = JsonObject::new();
+    zipf.usize("nodes", nodes)
+        .usize("edges_drawn", edges)
+        .usize("edges_distinct", graph.len())
+        .f64("exponent", z)
+        .f64("top_source_share", top_share);
+    let mut json = JsonObject::new();
+    json.str("bench", "skew")
+        .usize("workers", w)
+        .object("zipf", &zipf)
+        .usize("reps", reps)
+        .f64("worst_balanced_max_over_mean", worst_balanced_ratio)
+        .f64("acceptance_max_over_mean", 2.0)
+        .raw("queries", array(per_query_json));
+    std::fs::write(&out_path, json.render() + "\n").expect("write bench output");
     println!("wrote {out_path}");
 }

@@ -17,6 +17,7 @@ use adj_bench::{adj_config, print_table, scale, workers};
 use adj_core::{Adj, OutputMode, Strategy};
 use adj_datagen::Dataset;
 use adj_query::{paper_query, PaperQuery};
+use adj_service::json::{array, JsonObject};
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -95,40 +96,24 @@ fn main() {
         "acceptance: Count ({count_secs:.6}s) must beat Rows ({rows_secs:.6}s)"
     );
 
-    // Hand-rolled JSON (no serde in the offline workspace).
-    let mode_json: Vec<String> = medians
-        .iter()
-        .zip(&returned_by_mode)
-        .map(|((label, _, median), returned)| {
-            format!(
-                "    {{\"mode\": \"{label}\", \"median_secs\": {median:.6}, \
-                 \"tuples_returned\": {returned}}}"
-            )
-        })
-        .collect();
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"streaming_modes\",\n",
-            "  \"query\": \"Q7\",\n",
-            "  \"dataset\": \"WB\",\n",
-            "  \"scale\": {},\n",
-            "  \"workers\": {},\n",
-            "  \"iterations\": {},\n",
-            "  \"limit_k\": {},\n",
-            "  \"output_tuples\": {},\n",
-            "  \"count_over_rows_ratio\": {:.4},\n",
-            "  \"modes\": [\n{}\n  ]\n",
-            "}}\n"
-        ),
-        scale(),
-        w,
-        iters,
-        limit_k,
-        output_tuples,
-        count_secs / rows_secs,
-        mode_json.join(",\n"),
-    );
-    std::fs::write(&out_path, &json).expect("write bench output");
+    // The shared adj-service JSON writer — same fields the hand-rolled
+    // emitter produced, one serializer for every bench artifact.
+    let mode_json = medians.iter().zip(&returned_by_mode).map(|((label, _, median), returned)| {
+        let mut o = JsonObject::new();
+        o.str("mode", label).f64("median_secs", *median).u64("tuples_returned", *returned);
+        o.render()
+    });
+    let mut json = JsonObject::new();
+    json.str("bench", "streaming_modes")
+        .str("query", "Q7")
+        .str("dataset", "WB")
+        .f64("scale", scale())
+        .usize("workers", w)
+        .usize("iterations", iters)
+        .usize("limit_k", limit_k)
+        .u64("output_tuples", output_tuples)
+        .f64("count_over_rows_ratio", count_secs / rows_secs)
+        .raw("modes", array(mode_json));
+    std::fs::write(&out_path, json.render() + "\n").expect("write bench output");
     println!("wrote {out_path}");
 }

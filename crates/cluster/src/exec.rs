@@ -2,6 +2,7 @@
 
 use crate::comm::{CommStats, CostModel};
 use crate::{ClusterConfig, WorkerId};
+use adj_trace::{lane_for_worker, SpanGuard, Tracer};
 use std::time::Instant;
 
 /// The simulated cluster: configuration + communication counters.
@@ -87,6 +88,20 @@ impl Cluster {
         R: Send,
         F: Fn(WorkerId) -> R + Sync,
     {
+        self.run_traced(&Tracer::disabled(), "worker", |w, _span| f(w))
+    }
+
+    /// [`Cluster::run`] recording one `name` span per worker on that
+    /// worker's trace lane (`w + 1` — see
+    /// [`lane_for_worker`]). The closure may
+    /// annotate its own span with counters (tuples joined, seeks, …); with
+    /// a disabled tracer the guard is inert and this is exactly
+    /// [`Cluster::run`].
+    pub fn run_traced<R, F>(&self, tracer: &Tracer, name: &'static str, f: F) -> RunReport<R>
+    where
+        R: Send,
+        F: Fn(WorkerId, &mut SpanGuard<'_>) -> R + Sync,
+    {
         let n = self.config.num_workers;
         let mut results = Vec::with_capacity(n);
         let mut worker_secs = Vec::with_capacity(n);
@@ -98,7 +113,9 @@ impl Cluster {
                         let f = &f;
                         s.spawn(move || {
                             let t0 = Instant::now();
-                            let r = f(w);
+                            let mut span = tracer.span(lane_for_worker(w), name);
+                            let r = f(w, &mut span);
+                            drop(span);
                             (r, t0.elapsed().as_secs_f64())
                         })
                     })
@@ -118,7 +135,9 @@ impl Cluster {
             // spawn/join cost off the serving hot path.
             for w in 0..n {
                 let t0 = Instant::now();
-                let r = f(w);
+                let mut span = tracer.span(lane_for_worker(w), name);
+                let r = f(w, &mut span);
+                drop(span);
                 worker_secs.push(t0.elapsed().as_secs_f64());
                 results.push(r);
             }
@@ -165,6 +184,24 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn run_traced_records_one_lane_per_worker() {
+        let c = Cluster::new(ClusterConfig::with_workers(3));
+        let tracer = Tracer::new(64);
+        let rep = c.run_traced(&tracer, "join", |w, span| {
+            span.arg("tuples", w as u64);
+            w
+        });
+        assert_eq!(rep.results, vec![0, 1, 2]);
+        let trace = tracer.finish();
+        let joins = trace.events_named("join");
+        assert_eq!(joins.len(), 3);
+        for w in 0..3 {
+            assert!(joins.iter().any(|e| e.lane == lane_for_worker(w)));
+        }
+        assert_eq!(trace.sum_arg("tuples"), 3); // workers contributed 0 + 1 + 2
     }
 
     #[test]

@@ -36,11 +36,24 @@ pub struct CostParams {
     pub beta_extend: f64,
     /// Per-tuple join-production rate for pre-computation work.
     pub join_tuples_per_sec: f64,
+    /// Fold the extension rate β *measured during sampling* into the cost
+    /// model (the paper's co-optimization calibrates machine constants
+    /// from the sampling run). On by default. Turn off to make planning a
+    /// pure function of the data: the measured rate moves with machine
+    /// load, so near-tie attribute orders can flip between otherwise
+    /// identical runs — exactly what plan-comparison tests and
+    /// overhead-gating benchmarks must not be exposed to.
+    pub measure_beta: bool,
 }
 
 impl Default for CostParams {
     fn default() -> Self {
-        CostParams { beta_trie: 4.0e7, beta_extend: 4.0e6, join_tuples_per_sec: 2.0e7 }
+        CostParams {
+            beta_trie: 4.0e7,
+            beta_extend: 4.0e6,
+            join_tuples_per_sec: 2.0e7,
+            measure_beta: true,
+        }
     }
 }
 
@@ -163,7 +176,7 @@ impl<'a> CostEstimator<'a> {
         let card = match Sampler::new(self.db, &sub, &order) {
             Ok(sampler) => match sampler.estimate(&self.sampling) {
                 Ok(est) => {
-                    if let Some(beta) = est.beta {
+                    if let (true, Some(beta)) = (self.params.measure_beta, est.beta) {
                         let mut m = self.beta_measured.borrow_mut();
                         *m = Some(match *m {
                             Some(prev) => 0.5 * (prev + beta),

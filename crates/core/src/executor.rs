@@ -12,15 +12,43 @@ use crate::plan::{PlanRelation, QueryPlan};
 use crate::AdjConfig;
 use adj_cluster::Cluster;
 use adj_hcube::{
-    hcube_shuffle_cached, optimize_share, HCubeImpl, HCubePlan, HotValues, IndexScope, ShareInput,
-    ShuffleReport,
+    hcube_shuffle_cached_traced, optimize_share, HCubeImpl, HCubePlan, HotValues, IndexScope,
+    ShareInput, ShuffleReport,
 };
 use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
     Attr, BoundValues, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation,
     Result, RowBuffer, Schema, Trie, Value,
 };
+use adj_trace::{Tracer, COORDINATOR_LANE};
+use std::borrow::Cow;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-trie-level span-arg key (`tuples_l0`, `seeks_l3`, …). The first
+/// eight levels — every practical join order — hit a static table so the
+/// gather span's per-level annotations record without allocating.
+fn level_key(kind: &str, i: usize) -> Cow<'static, str> {
+    const TUPLES: [&str; 8] = [
+        "tuples_l0",
+        "tuples_l1",
+        "tuples_l2",
+        "tuples_l3",
+        "tuples_l4",
+        "tuples_l5",
+        "tuples_l6",
+        "tuples_l7",
+    ];
+    const SEEKS: [&str; 8] = [
+        "seeks_l0", "seeks_l1", "seeks_l2", "seeks_l3", "seeks_l4", "seeks_l5", "seeks_l6",
+        "seeks_l7",
+    ];
+    match (kind, i) {
+        ("tuples", i) if i < TUPLES.len() => Cow::Borrowed(TUPLES[i]),
+        ("seeks", i) if i < SEEKS.len() => Cow::Borrowed(SEEKS[i]),
+        _ => Cow::Owned(format!("{kind}_l{i}")),
+    }
+}
 
 /// Plan-search strategy (the two columns of Tables II–IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +72,14 @@ pub struct ExecutionReport {
     pub communication_secs: f64,
     /// Leapfrog seconds (measured makespan over workers).
     pub computation_secs: f64,
+    /// Residual wall-clock seconds of the execution not attributed to the
+    /// three in-execution phases above: binding resolution, share
+    /// optimization, gather, and output shaping. Clamped at 0 — the
+    /// communication phase mixes *modeled* α-seconds into a measured wall,
+    /// so the identity can overshoot when the model dominates. With this
+    /// residual, [`ExecutionReport::total_secs`] accounts for the whole
+    /// measured execution instead of silently hiding the gap.
+    pub other_secs: f64,
     /// Tuple copies moved by the final shuffle.
     pub comm_tuples: u64,
     /// Tuple copies moved while pre-computing.
@@ -89,12 +125,15 @@ pub struct ExecutionReport {
 }
 
 impl ExecutionReport {
-    /// Total cost in seconds (the `Total` column).
+    /// Total cost in seconds (the `Total` column): the four phase columns
+    /// plus the `other_secs` residual, so the sum covers the execution
+    /// end-to-end.
     pub fn total_secs(&self) -> f64 {
         self.optimization_secs
             + self.precompute_secs
             + self.communication_secs
             + self.computation_secs
+            + self.other_secs
     }
 
     /// Tuple copies received by the fullest worker across this execution's
@@ -239,6 +278,29 @@ pub fn execute_plan_bound(
     index: Option<&IndexScope<'_>>,
     params: &BoundValues,
 ) -> Result<(QueryOutput, ExecutionReport)> {
+    execute_plan_traced(cluster, db, plan, config, mode, index, params, &Tracer::disabled())
+}
+
+/// [`execute_plan_bound`] recording a span timeline: a `precompute` span
+/// per bag round (`bag_cache_hit` instants for rounds the bag cache
+/// skipped), the shuffle's own spans (see
+/// [`hcube_shuffle_cached_traced`]), a `computation` span over the worker
+/// dispatch with one `join` span per worker lane (annotated with that
+/// worker's output tuples and trie-operation counts), and a `gather` span
+/// over the merge. With a disabled tracer this is exactly
+/// [`execute_plan_bound`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_traced(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+    mode: OutputMode,
+    index: Option<&IndexScope<'_>>,
+    params: &BoundValues,
+    tracer: &Tracer,
+) -> Result<(QueryOutput, ExecutionReport)> {
+    let t_exec = Instant::now();
     // Resolve the execution's full binding. `params` (the submission's
     // resolved values — caller-bound parameters plus the submitted text's
     // inline literals) takes priority; the plan's own literals fill any
@@ -272,6 +334,7 @@ pub fn execute_plan_bound(
     // no share optimization, no shuffle, no worker dispatch.
     if mode == OutputMode::Limit(0) {
         let schema = Schema::new(plan.order.clone())?;
+        report.other_secs = t_exec.elapsed().as_secs_f64();
         return Ok((QueryOutput::Rows(Relation::empty(schema)), report));
     }
 
@@ -314,12 +377,17 @@ pub fn execute_plan_bound(
                         limit: config.max_intermediate_tuples,
                     });
                 }
+                tracer.instant(COORDINATOR_LANE, "bag_cache_hit", &label);
                 report.index_bags_reused += 1;
                 bag_overlay.push((name.clone(), bag));
                 continue;
             }
         }
         // Bag members are base atoms, so the round runs over `db` directly.
+        let mut bag_span = tracer.span(COORDINATOR_LANE, "precompute");
+        if bag_span.is_recording() {
+            bag_span.detail(label.clone());
+        }
         let (result, secs, tuples) = run_one_round(
             cluster,
             db,
@@ -330,7 +398,11 @@ pub fn execute_plan_bound(
             &plan.hot,
             &bound,
             &mut report,
+            tracer,
         )?;
+        bag_span.arg("tuples", tuples);
+        bag_span.arg("result_tuples", result.len() as u64);
+        drop(bag_span);
         report.precompute_secs += secs;
         report.precompute_tuples += tuples;
         if result.len() > config.max_intermediate_tuples {
@@ -371,7 +443,7 @@ pub fn execute_plan_bound(
             }
         })
         .collect();
-    let shuffled = hcube_shuffle_cached(
+    let shuffled = hcube_shuffle_cached_traced(
         cluster,
         db,
         &names,
@@ -383,6 +455,7 @@ pub fn execute_plan_bound(
         &bag_overlay,
         &plan.hot,
         &bound,
+        tracer,
     )?;
     report.comm_tuples = shuffled.report.tuples;
     report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
@@ -398,39 +471,55 @@ pub fn execute_plan_bound(
     // Per-worker payload: row data for the modes that return rows, `None`
     // for `Count`/`Exists` — those gather counters only.
     let bound_ref = &bound;
-    let run = cluster.run(|w| -> Result<(Option<Vec<Value>>, JoinCounters)> {
-        let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
-        let join = LeapfrogJoin::new(order, tries)?.with_bound(bound_ref);
-        let mut scratch = JoinScratch::new();
-        match mode {
-            OutputMode::Rows | OutputMode::Limit(_) => {
-                let mut sink = RowBuffer::new(width).with_budget(budget);
-                if let OutputMode::Limit(n) = mode {
-                    sink = sink.with_limit(n);
+    let computation_span = tracer.span(COORDINATOR_LANE, "computation");
+    let run = cluster.run_traced(
+        tracer,
+        "join",
+        |w, span| -> Result<(Option<Vec<Value>>, JoinCounters)> {
+            let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
+            let join = LeapfrogJoin::new(order, tries)?.with_bound(bound_ref);
+            let mut scratch = JoinScratch::new();
+            let result = match mode {
+                OutputMode::Rows | OutputMode::Limit(_) => {
+                    let mut sink = RowBuffer::new(width).with_budget(budget);
+                    if let OutputMode::Limit(n) = mode {
+                        sink = sink.with_limit(n);
+                    }
+                    let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
+                    if sink.over_budget() {
+                        return Err(Error::BudgetExceeded {
+                            what: "join output tuples",
+                            limit: budget,
+                        });
+                    }
+                    (Some(sink.into_flat()), counters)
                 }
-                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
-                if sink.over_budget() {
-                    return Err(Error::BudgetExceeded {
-                        what: "join output tuples",
-                        limit: budget,
-                    });
+                OutputMode::Count => {
+                    let mut sink = CountSink::new();
+                    let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
+                    (None, counters)
                 }
-                Ok((Some(sink.into_flat()), counters))
+                OutputMode::Exists => {
+                    let mut sink = ExistsSink::new();
+                    let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
+                    (None, counters)
+                }
+            };
+            if span.is_recording() {
+                let c = &result.1;
+                span.arg("output_tuples", c.output_tuples);
+                span.arg("intersect_ops", c.intersect_ops);
+                span.arg("seeks", c.stats.total_seeks());
+                span.arg("opens", c.stats.total_opens());
+                span.arg("open_ats", c.stats.total_open_ats());
             }
-            OutputMode::Count => {
-                let mut sink = CountSink::new();
-                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
-                Ok((None, counters))
-            }
-            OutputMode::Exists => {
-                let mut sink = ExistsSink::new();
-                let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
-                Ok((None, counters))
-            }
-        }
-    });
+            Ok(result)
+        },
+    );
     report.computation_secs = run.makespan_secs;
+    drop(computation_span);
 
+    let mut gather_span = tracer.span(COORDINATOR_LANE, "gather");
     let mut all_rows: Vec<Value> = Vec::new();
     let mut counters = JoinCounters::new(plan.order.len());
     for r in run.results {
@@ -440,6 +529,16 @@ pub fn execute_plan_bound(
             all_rows.extend_from_slice(&rows);
         }
     }
+    if gather_span.is_recording() {
+        for (i, &t) in counters.tuples_per_level.iter().enumerate() {
+            gather_span.arg(level_key("tuples", i), t);
+        }
+        for (i, &s) in counters.stats.seeks_per_level.iter().enumerate() {
+            gather_span.arg(level_key("seeks", i), s);
+        }
+        gather_span.arg("output_tuples", counters.output_tuples);
+    }
+    drop(gather_span);
     let found_tuples = counters.output_tuples;
     report.output_tuples = found_tuples;
     report.counters = counters;
@@ -464,6 +563,14 @@ pub fn execute_plan_bound(
         OutputMode::Count => QueryOutput::Count(found_tuples),
         OutputMode::Exists => QueryOutput::Exists(found_tuples > 0),
     };
+    // Whatever the phase columns did not claim of the measured execution
+    // wall is the residual — see `ExecutionReport::other_secs` for why it
+    // clamps at 0.
+    report.other_secs = (t_exec.elapsed().as_secs_f64()
+        - report.precompute_secs
+        - report.communication_secs
+        - report.computation_secs)
+        .max(0.0);
     Ok((output, report))
 }
 
@@ -483,11 +590,12 @@ fn run_one_round(
     hot: &HotValues,
     bound: &BoundValues,
     report: &mut ExecutionReport,
+    tracer: &Tracer,
 ) -> Result<(Relation, f64, u64)> {
     let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
     let (_, hplan) = share_for(db, &[], names, num_attrs, cluster, hot, bound.mask())?;
     let cache_ids: Vec<Option<String>> = names.iter().map(|n| Some(n.clone())).collect();
-    let shuffled = hcube_shuffle_cached(
+    let shuffled = hcube_shuffle_cached_traced(
         cluster,
         db,
         names,
@@ -499,6 +607,7 @@ fn run_one_round(
         &[],
         hot,
         bound,
+        tracer,
     )?;
     report.index_build_secs += shuffled.report.build_secs;
     report.index_relations_built += shuffled.report.built_relations;
@@ -506,12 +615,12 @@ fn run_one_round(
     report.absorb_shuffle(&shuffled.report);
     let budget = config.max_intermediate_tuples;
     let locals = &shuffled.locals;
-    let run = cluster.run(|w| {
+    let run = cluster.run_traced(tracer, "bag_join", |w, span| {
         let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
         let join = LeapfrogJoin::new(order, tries)?.with_bound(bound);
         let mut rows: Vec<Value> = Vec::new();
         let mut over = false;
-        join.run(|t| {
+        let counters = join.run(|t| {
             if rows.len() < budget.saturating_mul(order.len()) {
                 rows.extend_from_slice(t);
             } else {
@@ -521,6 +630,7 @@ fn run_one_round(
         if over {
             return Err(Error::BudgetExceeded { what: "bag join output", limit: budget });
         }
+        span.arg("output_tuples", counters.output_tuples);
         Ok(rows)
     });
     let mut all: Vec<Value> = Vec::new();

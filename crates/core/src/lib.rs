@@ -32,7 +32,8 @@ pub mod yannakakis;
 
 pub use cost::{fractional_max_cube_bound, CostEstimator, CostParams};
 pub use executor::{
-    execute_plan, execute_plan_bound, execute_plan_cached, ExecutionReport, Strategy,
+    execute_plan, execute_plan_bound, execute_plan_cached, execute_plan_traced, ExecutionReport,
+    Strategy,
 };
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
@@ -50,6 +51,9 @@ pub use adj_sampling::{SkewConfig, SkewProfile};
 pub use adj_relational::{
     BoundValues, CountSink, ExistsSink, OutputMode, QueryOutput, RowBuffer, RowSink,
 };
+// The span-timeline vocabulary (defined in `adj-trace`), re-exported so
+// executors and the serving layer speak one tracing dialect.
+pub use adj_trace::{Event, QueryTrace, SpanGuard, Trace, Tracer, COORDINATOR_LANE};
 
 use adj_cluster::{Cluster, ClusterConfig};
 use adj_query::{Bindings, JoinQuery};
@@ -264,8 +268,33 @@ impl Adj {
         index: Option<&IndexScope<'_>>,
         params: &BoundValues,
     ) -> Result<(QueryOutput, ExecutionReport)> {
-        let (output, mut report) =
-            execute_plan_bound(&self.cluster, db, plan, &self.config, mode, index, params)?;
+        self.execute_bound_traced(plan, db, mode, index, params, &Tracer::disabled())
+    }
+
+    /// [`Adj::execute_bound_cached`] recording a span timeline into
+    /// `tracer`: the executor's phase spans on the coordinator lane plus
+    /// one lane per cluster worker (see
+    /// [`executor::execute_plan_traced`]). With a disabled tracer this is
+    /// exactly [`Adj::execute_bound_cached`].
+    pub fn execute_bound_traced(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        mode: OutputMode,
+        index: Option<&IndexScope<'_>>,
+        params: &BoundValues,
+        tracer: &Tracer,
+    ) -> Result<(QueryOutput, ExecutionReport)> {
+        let (output, mut report) = execute_plan_traced(
+            &self.cluster,
+            db,
+            plan,
+            &self.config,
+            mode,
+            index,
+            params,
+            tracer,
+        )?;
         report.optimization_secs = plan.optimization_secs;
         Ok((output, report))
     }
@@ -376,5 +405,15 @@ mod tests {
         assert!(r.communication_secs > 0.0);
         assert!(r.total_secs() >= r.communication_secs);
         assert!(r.comm_tuples > 0);
+        // The residual accounts for everything the phase columns missed:
+        // it is never negative, and the five components sum exactly to the
+        // reported total.
+        assert!(r.other_secs >= 0.0);
+        let phase_sum = r.optimization_secs
+            + r.precompute_secs
+            + r.communication_secs
+            + r.computation_secs
+            + r.other_secs;
+        assert_eq!(r.total_secs(), phase_sum);
     }
 }

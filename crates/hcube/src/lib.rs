@@ -39,6 +39,7 @@ pub use cache::{BagKey, IndexCache, IndexCacheStats, IndexKey, IndexScope, Relat
 pub use plan::HCubePlan;
 pub use share::{optimize_share, ShareInput};
 pub use shuffle::{
-    hcube_shuffle, hcube_shuffle_cached, HCubeImpl, LocalRelation, ShuffleOutput, ShuffleReport,
+    hcube_shuffle, hcube_shuffle_cached, hcube_shuffle_cached_traced, HCubeImpl, LocalRelation,
+    ShuffleOutput, ShuffleReport,
 };
 pub use skew::{HotDecision, HotValues, ShuffleRouting};

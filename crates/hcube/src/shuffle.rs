@@ -28,6 +28,7 @@ use crate::skew::{HotValues, ShuffleRouting};
 use adj_cluster::Cluster;
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, BoundValues, Database, Error, Relation, Result, Schema, Trie, Value};
+use adj_trace::{Tracer, COORDINATOR_LANE};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -201,6 +202,45 @@ pub fn hcube_shuffle_cached(
     hot: &HotValues,
     bound: &BoundValues,
 ) -> Result<ShuffleOutput> {
+    hcube_shuffle_cached_traced(
+        cluster,
+        db,
+        atom_names,
+        plan,
+        order,
+        impl_,
+        cache,
+        cache_ids,
+        overlay,
+        hot,
+        bound,
+        &Tracer::disabled(),
+    )
+}
+
+/// [`hcube_shuffle_cached`] recording a span timeline: one `shuffle` span
+/// on the coordinator lane (with tuple/message/reuse totals), an
+/// `index_cache_hit` / `index_cache_miss` instant per consulted
+/// [`IndexKey`](crate::cache::IndexKey), a `route` span over the
+/// filter-route-inbox pass, and a `build` span per worker lane over the
+/// cold relations' sort + trie builds. With a disabled tracer this is
+/// exactly [`hcube_shuffle_cached`].
+#[allow(clippy::too_many_arguments)]
+pub fn hcube_shuffle_cached_traced(
+    cluster: &Cluster,
+    db: &Database,
+    atom_names: &[String],
+    plan: &HCubePlan,
+    order: &[Attr],
+    impl_: HCubeImpl,
+    cache: Option<&IndexScope<'_>>,
+    cache_ids: &[Option<String>],
+    overlay: &[(String, Arc<Relation>)],
+    hot: &HotValues,
+    bound: &BoundValues,
+    tracer: &Tracer,
+) -> Result<ShuffleOutput> {
+    let mut shuffle_span = tracer.span(COORDINATOR_LANE, "shuffle");
     let n = cluster.num_workers();
     assert_eq!(n, plan.num_workers(), "plan sized for a different cluster");
 
@@ -273,8 +313,11 @@ pub fn hcube_shuffle_cached(
                 info.bind_tag,
             );
             if let Some(entry) = scope.cache.get_index(&key) {
+                tracer.instant(COORDINATOR_LANE, "index_cache_hit", id);
                 tuples_saved += entry.tuples;
                 resolved[ai] = Some(entry);
+            } else {
+                tracer.instant(COORDINATOR_LANE, "index_cache_miss", id);
             }
         }
     }
@@ -296,6 +339,7 @@ pub fn hcube_shuffle_cached(
     let mut rel_messages: Vec<u64> = vec![0; infos.len()];
     let t_pre = Instant::now();
     let mut preprocess_secs = 0.0;
+    let mut route_span = tracer.span(COORDINATOR_LANE, "route");
 
     // Per worker, per atom: either raw permuted values (Push/Pull) or a list
     // of pre-built sorted block relations (Merge).
@@ -413,6 +457,10 @@ pub fn hcube_shuffle_cached(
     if impl_ == HCubeImpl::Merge && any_cold {
         preprocess_secs = t_pre.elapsed().as_secs_f64();
     }
+    route_span.arg("tuples", tuples);
+    route_span.arg("messages", messages);
+    route_span.arg("hot_routed_tuples", hot_routed_tuples);
+    drop(route_span);
     if any_cold {
         cluster.comm().record(
             tuples,
@@ -445,7 +493,9 @@ pub fn hcube_shuffle_cached(
         let induced_schemas: Vec<Schema> = infos.iter().map(|i| i.induced.clone()).collect();
         let inboxes_ref = &inboxes;
         let resolved_ref = &resolved;
-        let run = cluster.run(|w| -> Vec<Option<Arc<Trie>>> {
+        let worker_tuples_ref = &worker_tuples;
+        let run = cluster.run_traced(tracer, "build", |w, span| -> Vec<Option<Arc<Trie>>> {
+            span.arg("inbox_tuples", worker_tuples_ref[w]);
             let mut built = Vec::with_capacity(infos.len());
             for ai in 0..infos.len() {
                 if resolved_ref[ai].is_some() {
@@ -545,6 +595,20 @@ pub fn hcube_shuffle_cached(
     };
     let comm_secs =
         model.comm_secs(tuples) + messages as f64 * model.per_message_secs * msg_overhead;
+
+    if shuffle_span.is_recording() {
+        shuffle_span.detail(atom_names.join(","));
+        shuffle_span.arg("tuples", tuples);
+        shuffle_span.arg(
+            "bytes",
+            tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64,
+        );
+        shuffle_span.arg("messages", messages);
+        shuffle_span.arg("built_relations", built_relations);
+        shuffle_span.arg("reused_relations", reused_relations);
+        shuffle_span.arg("tuples_saved", tuples_saved);
+    }
+    drop(shuffle_span);
 
     Ok(ShuffleOutput {
         locals,

@@ -18,12 +18,76 @@ pub struct JoinCounters {
     pub cache_hits: u64,
     /// Cache misses (cached variant only).
     pub cache_misses: u64,
+    /// Per-level trie-operation counts (seeks / opens / `open_at`s).
+    pub stats: JoinStats,
+}
+
+/// Per-trie-level operation counters: where Leapfrog's constant factors
+/// live. `tuples_per_level` says how many bindings each level produced;
+/// these say how many trie operations it took to produce them — the signal
+/// ROADMAP's SIMD/trie work needs to know which level to attack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// `TrieCursor::seek` calls per level (positioning each participant on
+    /// the next candidate value during the leapfrog dance).
+    pub seeks_per_level: Vec<u64>,
+    /// `TrieCursor::open` calls per level (descending into a child range
+    /// over the full domain).
+    pub opens_per_level: Vec<u64>,
+    /// `TrieCursor::open_at` calls per level (descending directly to a
+    /// bound constant, skipping the intersection entirely).
+    pub open_ats_per_level: Vec<u64>,
+}
+
+impl JoinStats {
+    /// Creates per-level stats for a query with `levels` attributes.
+    pub fn new(levels: usize) -> Self {
+        JoinStats {
+            seeks_per_level: vec![0; levels],
+            opens_per_level: vec![0; levels],
+            open_ats_per_level: vec![0; levels],
+        }
+    }
+
+    /// Total seek calls across levels.
+    pub fn total_seeks(&self) -> u64 {
+        self.seeks_per_level.iter().sum()
+    }
+
+    /// Total open calls across levels.
+    pub fn total_opens(&self) -> u64 {
+        self.opens_per_level.iter().sum()
+    }
+
+    /// Total `open_at` calls across levels.
+    pub fn total_open_ats(&self) -> u64 {
+        self.open_ats_per_level.iter().sum()
+    }
+
+    /// Merges another run's stats into this one (aggregating workers).
+    pub fn merge(&mut self, other: &JoinStats) {
+        fn add(into: &mut Vec<u64>, from: &[u64]) {
+            if into.len() < from.len() {
+                into.resize(from.len(), 0);
+            }
+            for (i, &v) in from.iter().enumerate() {
+                into[i] += v;
+            }
+        }
+        add(&mut self.seeks_per_level, &other.seeks_per_level);
+        add(&mut self.opens_per_level, &other.opens_per_level);
+        add(&mut self.open_ats_per_level, &other.open_ats_per_level);
+    }
 }
 
 impl JoinCounters {
     /// Creates counters for a query with `levels` attributes.
     pub fn new(levels: usize) -> Self {
-        JoinCounters { tuples_per_level: vec![0; levels], ..Default::default() }
+        JoinCounters {
+            tuples_per_level: vec![0; levels],
+            stats: JoinStats::new(levels),
+            ..Default::default()
+        }
     }
 
     /// Total intermediate tuples (all levels *before* the last; the last
@@ -54,6 +118,7 @@ impl JoinCounters {
         self.output_tuples += other.output_tuples;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.stats.merge(&other.stats);
     }
 }
 
@@ -67,6 +132,23 @@ mod tests {
         assert_eq!(c.intermediate_tuples(), 30);
         assert_eq!(c.total_tuples(), 60);
         assert_eq!(JoinCounters::default().intermediate_tuples(), 0);
+    }
+
+    #[test]
+    fn stats_merge_resizes_and_adds() {
+        let mut a = JoinStats::new(2);
+        a.seeks_per_level = vec![3, 4];
+        a.opens_per_level = vec![1, 1];
+        let mut b = JoinStats::new(3);
+        b.seeks_per_level = vec![10, 0, 7];
+        b.open_ats_per_level = vec![0, 2, 0];
+        a.merge(&b);
+        assert_eq!(a.seeks_per_level, vec![13, 4, 7]);
+        assert_eq!(a.opens_per_level, vec![1, 1, 0]);
+        assert_eq!(a.open_ats_per_level, vec![0, 2, 0]);
+        assert_eq!(a.total_seeks(), 24);
+        assert_eq!(a.total_opens(), 2);
+        assert_eq!(a.total_open_ats(), 2);
     }
 
     #[test]

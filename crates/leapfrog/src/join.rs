@@ -196,6 +196,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
             // in any trie prunes the subtree without intersecting anything
             // (`open_at` does not descend on a miss, so only hits unwind).
             for &p in ps {
+                counters.stats.open_ats_per_level[level] += 1;
                 if cursors[p].open_at(v) {
                     opened += 1;
                 } else {
@@ -220,6 +221,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
             return keep_going;
         }
         for &p in ps {
+            counters.stats.opens_per_level[level] += 1;
             if cursors[p].open() {
                 opened += 1;
             } else {
@@ -234,6 +236,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
             counters.tuples_per_level[level] += vals.len() as u64;
             let last = level + 1 == self.levels();
             for &v in vals.iter() {
+                counters.stats.seeks_per_level[level] += ps.len() as u64;
                 for &p in ps {
                     let hit = cursors[p].seek(v);
                     debug_assert!(hit, "intersection value must exist in every run");
@@ -302,6 +305,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
         let mut ok = true;
         let mut completed = true;
         for &p in ps {
+            counters.stats.opens_per_level[level] += 1;
             if cursors[p].open() {
                 opened += 1;
             } else {
@@ -321,6 +325,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
                 counters.output_tuples += vals.len() as u64;
             } else {
                 for &v in vals.iter() {
+                    counters.stats.seeks_per_level[level] += ps.len() as u64;
                     for &p in ps {
                         cursors[p].seek(v);
                     }
@@ -356,6 +361,8 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
         let mut ok = true;
         let mut opened = 0usize;
         for &p in ps {
+            counters.stats.opens_per_level[0] += 1;
+            counters.stats.seeks_per_level[0] += 1;
             if !cursors[p].open() || !cursors[p].seek(v) {
                 ok = false;
                 opened += 1;

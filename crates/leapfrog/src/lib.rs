@@ -18,6 +18,6 @@ pub mod generic;
 pub mod join;
 
 pub use cached::CachedJoin;
-pub use counters::JoinCounters;
+pub use counters::{JoinCounters, JoinStats};
 pub use generic::GenericJoin;
 pub use join::{validate_tries, JoinScratch, LeapfrogJoin};

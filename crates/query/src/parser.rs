@@ -49,13 +49,46 @@ use adj_relational::{Attr, Error, OutputMode, Result, Schema, Value};
 /// the query, the interned attribute names, and the requested
 /// [`OutputMode`] (`Rows` when no prefix is present).
 pub fn parse_query_with_mode(input: &str) -> Result<(JoinQuery, Vec<String>, OutputMode)> {
-    let (mode, body) = strip_mode_prefix(input)?;
+    let (mode, body) = strip_mode_prefix(input, input)?;
     let (query, names) = parse_query_in(input, body)?;
     Ok((query, names, mode))
 }
 
+/// What an `EXPLAIN` prefix asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainMode {
+    /// `EXPLAIN …` — render the chosen plan without executing the query.
+    Plan,
+    /// `EXPLAIN ANALYZE …` — execute the query and annotate the rendered
+    /// plan with measured actuals.
+    Analyze,
+}
+
+/// Parses a query string carrying an `EXPLAIN` / `EXPLAIN ANALYZE` prefix
+/// in front of the usual mode-prefixed query text
+/// (`EXPLAIN ANALYZE COUNT(R1(a,b), R2(b,c), R3(a,c))`). Returns `None`
+/// when no `EXPLAIN` prefix is present — the text is an ordinary query for
+/// [`parse_query_with_mode`]. Keywords follow the same discipline as
+/// `COUNT`/`LIMIT`: case-insensitive, optional wrapping parentheses, and a
+/// parenthesized *atom* merely named `EXPLAIN`/`ANALYZE` stays an atom.
+#[allow(clippy::type_complexity)]
+pub fn parse_query_explain(
+    input: &str,
+) -> Result<Option<(JoinQuery, Vec<String>, OutputMode, ExplainMode)>> {
+    let s = input.trim();
+    let Some(rest) = keyword_prefix(s, "EXPLAIN") else { return Ok(None) };
+    let Some(body) = unwrap_mode_body(rest) else { return Ok(None) };
+    let (explain, body) = match keyword_prefix(body, "ANALYZE").and_then(unwrap_mode_body) {
+        Some(inner) => (ExplainMode::Analyze, inner),
+        None => (ExplainMode::Plan, body),
+    };
+    let (mode, body) = strip_mode_prefix(input, body)?;
+    let (query, names) = parse_query_in(input, body)?;
+    Ok(Some((query, names, mode, explain)))
+}
+
 /// Recognizes an output-mode prefix and returns the remaining query text.
-fn strip_mode_prefix(input: &str) -> Result<(OutputMode, &str)> {
+fn strip_mode_prefix<'a>(full: &str, input: &'a str) -> Result<(OutputMode, &'a str)> {
     let s = input.trim();
     for (kw, mode) in [("COUNT", OutputMode::Count), ("EXISTS", OutputMode::Exists)] {
         if let Some(rest) = keyword_prefix(s, kw) {
@@ -82,10 +115,10 @@ fn strip_mode_prefix(input: &str) -> Result<(OutputMode, &str)> {
             // error that 500s a serving thread.
             let n: usize = rest[..digits].parse().unwrap_or(usize::MAX);
             let body = unwrap_mode_body(&rest[digits..])
-                .ok_or_else(|| perr(input, rest, "LIMIT needs a query after the count"))?;
+                .ok_or_else(|| perr(full, rest, "LIMIT needs a query after the count"))?;
             return Ok((OutputMode::Limit(n), body));
         }
-        return Err(perr(input, rest, "LIMIT needs a tuple count"));
+        return Err(perr(full, rest, "LIMIT needs a tuple count"));
     }
     Ok((OutputMode::Rows, s))
 }
@@ -397,6 +430,66 @@ mod tests {
         let (q, _, m) = parse_query_with_mode("EXISTSX(a,b)").unwrap();
         assert_eq!(m, OutputMode::Rows);
         assert_eq!(q.atoms[0].name, "EXISTSX");
+    }
+
+    #[test]
+    fn explain_prefixes_parse() {
+        let (q, _, m, e) =
+            parse_query_explain("EXPLAIN R1(a,b), R2(b,c), R3(a,c)").unwrap().unwrap();
+        assert_eq!((m, e), (OutputMode::Rows, ExplainMode::Plan));
+        assert_eq!(q.atoms.len(), 3);
+
+        // composes with mode prefixes, case-insensitively and wrapped
+        let (q, _, m, e) =
+            parse_query_explain("explain analyze COUNT(R1(a,b), R2(b,c))").unwrap().unwrap();
+        assert_eq!((m, e), (OutputMode::Count, ExplainMode::Analyze));
+        assert_eq!(q.atoms.len(), 2);
+
+        let (_, _, m, e) =
+            parse_query_explain("EXPLAIN(LIMIT 5 (R1(a,b), R2(b,c)))").unwrap().unwrap();
+        assert_eq!((m, e), (OutputMode::Limit(5), ExplainMode::Plan));
+
+        let (_, _, m, e) =
+            parse_query_explain("EXPLAIN ANALYZE (EXISTS R1(a,b))").unwrap().unwrap();
+        assert_eq!((m, e), (OutputMode::Exists, ExplainMode::Analyze));
+
+        // the explained query spells the same join as the plain text
+        let (plain, _) = parse_query("R1(a,b), R2(b,c)").unwrap();
+        let (q, _, _, _) = parse_query_explain("EXPLAIN COUNT(R1(a,b), R2(b,c))").unwrap().unwrap();
+        assert_eq!(q.atoms, plain.atoms);
+    }
+
+    #[test]
+    fn explain_named_relations_stay_atoms() {
+        // no EXPLAIN keyword at all → None, text is an ordinary query
+        assert!(parse_query_explain("COUNT(R1(a,b), R2(b,c))").unwrap().is_none());
+        // `EXPLAIN(a,b)` is a relation named EXPLAIN, not a prefix
+        assert!(parse_query_explain("EXPLAIN(a,b), R2(b,c)").unwrap().is_none());
+        let (q, _, m) = parse_query_with_mode("EXPLAIN(a,b), R2(b,c)").unwrap();
+        assert_eq!(m, OutputMode::Rows);
+        assert_eq!(q.atoms[0].name, "EXPLAIN");
+        // ...and `EXPLAIN ANALYZE(a,b)` explains an atom named ANALYZE
+        let (q, _, m, e) = parse_query_explain("EXPLAIN ANALYZE(a,b)").unwrap().unwrap();
+        assert_eq!((m, e), (OutputMode::Rows, ExplainMode::Plan));
+        assert_eq!(q.atoms[0].name, "ANALYZE");
+        // names merely starting with the keyword never match
+        assert!(parse_query_explain("EXPLAINX(a,b)").unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_explain_reports_offsets_in_the_original_text() {
+        // a LIMIT error inside an EXPLAIN body points into the full input
+        let err = parse_query_explain("EXPLAIN LIMIT R1(a,b)").unwrap_err();
+        match err {
+            Error::Parse { offset, message, .. } => {
+                assert_eq!(&"EXPLAIN LIMIT R1(a,b)"[offset..offset + 2], "R1");
+                assert!(message.contains("tuple count"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // bare EXPLAIN with nothing to explain is an ordinary parse error
+        assert!(parse_query_explain("EXPLAIN").is_ok_and(|o| o.is_none()));
+        assert!(parse_query_with_mode("EXPLAIN").is_err());
     }
 
     #[test]

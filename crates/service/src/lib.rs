@@ -78,19 +78,59 @@
 
 pub mod admission;
 pub mod cache;
+pub mod explain;
+pub mod json;
 pub mod metrics;
 pub mod pool;
 pub mod service;
 
 pub use adj_core::{IndexCache, IndexCacheStats};
+pub use adj_query::ExplainMode;
+pub use adj_trace::{Event, QueryTrace, Trace, Tracer};
 pub use admission::{AdmissionPolicy, AdmissionStats};
 pub use cache::PlanCacheStats;
+pub use json::execution_report_json;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
 pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
-pub use service::{PreparedQuery, Service, ServiceOutcome, ServiceStats};
+pub use service::{PreparedQuery, Service, ServiceOutcome, ServiceStats, SlowQuery};
 
 use adj_core::{AdjConfig, Strategy};
 use std::time::Duration;
+
+/// Tracing and slow-query-log settings of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct TraceSettings {
+    /// Trace every query. Off by default — with tracing off the tracer
+    /// handed through the execution stack is the no-op tracer (no
+    /// allocation, no atomics; every recording call is one branch).
+    pub enabled: bool,
+    /// Ring-buffer capacity in events per traced query. Overflowing events
+    /// are dropped and counted ([`Trace::events_dropped`],
+    /// `adj_trace_events_dropped_total`), never block execution. Buffers
+    /// of the same capacity are recycled through a per-thread pool, so in
+    /// steady state a traced query allocates nothing for its buffer;
+    /// typical queries record a few dozen events, leaving the default
+    /// (1024) ample headroom for pathological plans.
+    pub buffer_capacity: usize,
+    /// When set, any query slower than this (end-to-end, admission wait
+    /// included) is traced and kept in the slow-query log — tracing is
+    /// forced for *all* queries while a threshold is set, since whether a
+    /// query was slow is only known after it ran.
+    pub slow_query_threshold: Option<Duration>,
+    /// How many slow queries the log retains (the worst by latency).
+    pub slow_log_keep: usize,
+}
+
+impl Default for TraceSettings {
+    fn default() -> Self {
+        TraceSettings {
+            enabled: false,
+            buffer_capacity: 1024,
+            slow_query_threshold: None,
+            slow_log_keep: 8,
+        }
+    }
+}
 
 /// Configuration of a [`Service`].
 #[derive(Debug, Clone)]
@@ -114,6 +154,8 @@ pub struct ServiceConfig {
     pub max_concurrent: usize,
     /// What to do with arrivals beyond `max_concurrent`.
     pub admission: AdmissionPolicy,
+    /// Per-query tracing and the slow-query log.
+    pub trace: TraceSettings,
 }
 
 impl Default for ServiceConfig {
@@ -125,6 +167,7 @@ impl Default for ServiceConfig {
             index_cache_capacity_bytes: None,
             max_concurrent: 4,
             admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
+            trace: TraceSettings::default(),
         }
     }
 }

@@ -9,10 +9,13 @@
 //! *not* atomic across counters, which is fine for monitoring.
 //!
 //! Histograms use power-of-two microsecond buckets (bucket *i* holds
-//! latencies in `[2^(i-1), 2^i) µs`), covering 1 µs to ~2.3 hours in 43
-//! buckets. Quantiles are reported as the upper bound of the bucket the
-//! quantile falls in — at worst a 2× overestimate, which is the usual
-//! trade-off for fixed-memory concurrent histograms (cf. Prometheus/HDR).
+//! latencies in `(2^(i-1), 2^i] µs`), covering 1 µs to ~2.3 hours in 43
+//! buckets. Quantiles interpolate linearly *within* the winning bucket
+//! (rank position between the bucket's lower and upper bound, assuming a
+//! uniform spread of its observations) — the standard fixed-memory
+//! estimator (cf. Prometheus `histogram_quantile`), bounding the error by
+//! the bucket width instead of always reporting the upper edge (which
+//! overestimated by up to 2×).
 
 use adj_core::ExecutionReport;
 use adj_relational::OutputMode;
@@ -76,11 +79,16 @@ impl Histogram {
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    // upper bound of bucket i: 2^i µs (bucket 0 = ≤1 µs)
-                    return if i == 0 { 1e-6 } else { (1u64 << i) as f64 * 1e-6 };
+                if seen + c >= rank && c > 0 {
+                    // Bucket i spans (2^(i-1), 2^i] µs (bucket 0: (0, 1]).
+                    // Interpolate the rank's position through the bucket,
+                    // assuming its observations spread uniformly.
+                    let lower = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                    let upper = (1u64 << i) as f64;
+                    let through = (rank - seen) as f64 / c as f64;
+                    return (lower + through * (upper - lower)) * 1e-6;
                 }
+                seen += c;
             }
             self.max_micros.load(Ordering::Relaxed) as f64 * 1e-6
         };
@@ -102,11 +110,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Mean latency in seconds (exact — from the running sum, not buckets).
     pub mean_secs: f64,
-    /// Median, as the upper bound of its bucket.
+    /// Median, interpolated within its bucket.
     pub p50_secs: f64,
-    /// 90th percentile, as the upper bound of its bucket.
+    /// 90th percentile, interpolated within its bucket.
     pub p90_secs: f64,
-    /// 99th percentile, as the upper bound of its bucket.
+    /// 99th percentile, interpolated within its bucket.
     pub p99_secs: f64,
     /// Largest observation (exact).
     pub max_secs: f64,
@@ -155,6 +163,9 @@ pub struct ServiceMetrics {
     bound_kept_tuples: AtomicU64,
     queries_skew_routed: AtomicU64,
     hot_routed_tuples: AtomicU64,
+    queries_traced: AtomicU64,
+    trace_events_dropped: AtomicU64,
+    slow_queries_logged: AtomicU64,
     partition_tuples_max: AtomicU64,
     partition_fill_sum: AtomicU64,
     partition_fill_slots: AtomicU64,
@@ -244,6 +255,18 @@ impl ServiceMetrics {
         self.queries_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one traced query and how many of its events overflowed the
+    /// trace ring buffer (0 when the capacity sufficed).
+    pub fn record_trace(&self, events_dropped: u64) {
+        self.queries_traced.fetch_add(1, Ordering::Relaxed);
+        self.trace_events_dropped.fetch_add(events_dropped, Ordering::Relaxed);
+    }
+
+    /// Records a query admitted into the slow-query log.
+    pub fn record_slow_logged(&self) {
+        self.slow_queries_logged.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A point-in-time summary of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -272,6 +295,9 @@ impl ServiceMetrics {
             },
             queries_skew_routed: self.queries_skew_routed.load(Ordering::Relaxed),
             hot_routed_tuples: self.hot_routed_tuples.load(Ordering::Relaxed),
+            queries_traced: self.queries_traced.load(Ordering::Relaxed),
+            trace_events_dropped: self.trace_events_dropped.load(Ordering::Relaxed),
+            slow_queries_logged: self.slow_queries_logged.load(Ordering::Relaxed),
             max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
             mean_partition_tuples: {
                 let slots = self.partition_fill_slots.load(Ordering::Relaxed);
@@ -341,6 +367,16 @@ pub struct MetricsSnapshot {
     /// Tuple copies that took a heavy-hitter route (spread or broadcast)
     /// instead of plain hashing, across all served queries.
     pub hot_routed_tuples: u64,
+    /// Served queries that ran with an enabled tracer (configured tracing,
+    /// a slow-query threshold, or `EXPLAIN ANALYZE`).
+    pub queries_traced: u64,
+    /// Trace events lost to ring-buffer overflow across all traced
+    /// queries. Non-zero means the configured trace buffer capacity is too
+    /// small for the query shapes being served.
+    pub trace_events_dropped: u64,
+    /// Queries admitted into the slow-query log (exceeded the configured
+    /// latency threshold).
+    pub slow_queries_logged: u64,
     /// Fullest single-worker partition fill (delivered tuple copies)
     /// observed on any served query — the hot-spot ceiling skew hardening
     /// bounds.
@@ -364,6 +400,116 @@ pub struct MetricsSnapshot {
     pub index_build: HistogramSnapshot,
 }
 
+impl MetricsSnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `adj_*_total`, gauges bare, histogram
+    /// summaries as `adj_*_seconds{quantile="…"}` plus `_count`/`_sum`
+    /// series (sum reconstructed as mean × count). Serve this under
+    /// `/metrics` and any Prometheus-compatible scraper ingests it as-is.
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP adj_{name} {help}\n# TYPE adj_{name} counter\nadj_{name} {v}\n"
+            ));
+        };
+        counter("queries_ok_total", "Queries served successfully.", self.queries_ok);
+        counter("queries_failed_total", "Queries that failed.", self.queries_failed);
+        counter("queries_rejected_total", "Queries rejected by admission.", self.queries_rejected);
+        counter("queries_rows_total", "Queries served in Rows mode.", self.by_mode.rows);
+        counter("queries_count_total", "Queries served in Count mode.", self.by_mode.count);
+        counter("queries_limit_total", "Queries served in Limit mode.", self.by_mode.limit);
+        counter("queries_exists_total", "Queries served in Exists mode.", self.by_mode.exists);
+        counter("output_tuples_total", "Result tuples found by joins.", self.output_tuples);
+        counter(
+            "output_tuples_returned_total",
+            "Result tuples shipped to callers.",
+            self.output_tuples_returned,
+        );
+        counter("comm_tuples_total", "Tuples moved by final shuffles.", self.comm_tuples);
+        counter(
+            "precompute_tuples_total",
+            "Tuples moved while pre-computing.",
+            self.precompute_tuples,
+        );
+        counter(
+            "index_relations_built_total",
+            "Relation indexes built cold.",
+            self.index_relations_built,
+        );
+        counter(
+            "index_relations_reused_total",
+            "Relation indexes served from the index cache.",
+            self.index_relations_reused,
+        );
+        counter(
+            "index_bags_reused_total",
+            "Pre-computed bags served from the index cache.",
+            self.index_bags_reused,
+        );
+        counter("queries_prepared_total", "Prepared statements created.", self.queries_prepared);
+        counter("params_bound_total", "Constants pushed down at bind time.", self.params_bound);
+        counter(
+            "queries_skew_routed_total",
+            "Queries whose plan carried a heavy-hitter routing table.",
+            self.queries_skew_routed,
+        );
+        counter(
+            "hot_routed_tuples_total",
+            "Tuples routed via heavy-hitter spread/broadcast.",
+            self.hot_routed_tuples,
+        );
+        counter("queries_traced_total", "Queries that ran with tracing on.", self.queries_traced);
+        counter(
+            "trace_events_dropped_total",
+            "Trace events lost to ring-buffer overflow.",
+            self.trace_events_dropped,
+        );
+        counter(
+            "slow_queries_logged_total",
+            "Queries admitted into the slow-query log.",
+            self.slow_queries_logged,
+        );
+        out.push_str(&format!(
+            "# HELP adj_max_partition_tuples Fullest single-worker partition fill observed.\n\
+             # TYPE adj_max_partition_tuples gauge\n\
+             adj_max_partition_tuples {}\n",
+            self.max_partition_tuples
+        ));
+        out.push_str(&format!(
+            "# HELP adj_mean_partition_tuples Mean partition fill per worker.\n\
+             # TYPE adj_mean_partition_tuples gauge\n\
+             adj_mean_partition_tuples {}\n",
+            self.mean_partition_tuples
+        ));
+        if let Some(s) = self.bound_selectivity {
+            out.push_str(&format!(
+                "# HELP adj_bound_selectivity Tuples kept over scanned in bound shuffles.\n\
+                 # TYPE adj_bound_selectivity gauge\nadj_bound_selectivity {s}\n"
+            ));
+        }
+        for (name, help, h) in [
+            ("total_latency", "End-to-end service-side latency.", &self.total),
+            ("queue_wait", "Admission-wait latency.", &self.queue_wait),
+            ("optimization", "Plan-search latency.", &self.optimization),
+            ("precompute", "Bag pre-computation latency.", &self.precompute),
+            ("communication", "Final-shuffle latency.", &self.communication),
+            ("computation", "Leapfrog join latency.", &self.computation),
+            ("index_build", "Local trie build latency.", &self.index_build),
+        ] {
+            out.push_str(&format!(
+                "# HELP adj_{name}_seconds {help}\n# TYPE adj_{name}_seconds summary\n"
+            ));
+            for (q, v) in [("0.5", h.p50_secs), ("0.9", h.p90_secs), ("0.99", h.p99_secs)] {
+                out.push_str(&format!("adj_{name}_seconds{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("adj_{name}_seconds_count {}\n", h.count));
+            out.push_str(&format!("adj_{name}_seconds_sum {}\n", h.mean_secs * h.count as f64));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,11 +526,16 @@ mod tests {
         }
         let s = h.snapshot();
         assert_eq!(s.count, 100);
-        // median in the fast bucket: upper bound 1024 µs
-        assert!((s.p50_secs - 1024e-6).abs() < 1e-9, "p50={}", s.p50_secs);
-        // p99 lands among the slow: bucket upper bound ≥ 0.5 s
-        assert!(s.p99_secs >= 0.5, "p99={}", s.p99_secs);
-        assert!(s.p99_secs <= 1.1, "p99={}", s.p99_secs);
+        // median in the fast bucket (512, 1024]µs: rank 50 of its 90
+        // observations interpolates to 512 + (50/90)·512 µs ≈ 796.4 µs —
+        // within the bucket, not pinned to its upper edge.
+        let expect_p50 = 512e-6 * (1.0 + 50.0 / 90.0);
+        assert!((s.p50_secs - expect_p50).abs() < 1e-9, "p50={}", s.p50_secs);
+        assert!(s.p50_secs > 512e-6 && s.p50_secs < 1024e-6, "p50={}", s.p50_secs);
+        // p99 lands among the slow: 500 ms sits in (262144, 524288]µs, and
+        // rank 99 is the 9th of that bucket's 10 observations.
+        let expect_p99 = 262144e-6 * (1.0 + 9.0 / 10.0);
+        assert!((s.p99_secs - expect_p99).abs() < 1e-9, "p99={}", s.p99_secs);
         assert!((s.max_secs - 0.5).abs() < 1e-6);
         let mean = (90.0 * 0.001 + 10.0 * 0.5) / 100.0;
         assert!((s.mean_secs - mean).abs() < 1e-6);
@@ -404,7 +555,8 @@ mod tests {
         h.record_secs(1e-9);
         h.record_secs(0.0);
         assert_eq!(h.snapshot().count, 2);
-        assert!((h.snapshot().p50_secs - 1e-6).abs() < 1e-12);
+        // bucket 0 spans (0, 1]µs; rank 1 of 2 interpolates to 0.5 µs
+        assert!((h.snapshot().p50_secs - 0.5e-6).abs() < 1e-12);
     }
 
     #[test]
@@ -419,7 +571,9 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 3);
         assert_eq!(s.mean_secs, 0.0);
-        assert!((s.p50_secs - 1e-6).abs() < 1e-12);
+        // all three land in bucket 0 (0, 1]µs: rank 2 of 3 → ⅔ µs, rank 3
+        // of 3 → the bucket's upper edge
+        assert!((s.p50_secs - (2.0 / 3.0) * 1e-6).abs() < 1e-12);
         assert!((s.p99_secs - 1e-6).abs() < 1e-12);
         assert_eq!(s.max_secs, 0.0);
     }
@@ -503,6 +657,40 @@ mod tests {
         assert_eq!(s.by_mode.total(), s.queries_ok);
         assert_eq!(s.output_tuples, 50, "joins found 10 tuples every time");
         assert_eq!(s.output_tuples_returned, 13, "but only rows/limit shipped any");
+    }
+
+    #[test]
+    fn trace_counters_accumulate() {
+        let m = ServiceMetrics::new();
+        m.record_trace(0);
+        m.record_trace(7);
+        m.record_slow_logged();
+        let s = m.snapshot();
+        assert_eq!(s.queries_traced, 2);
+        assert_eq!(s.trace_events_dropped, 7);
+        assert_eq!(s.slow_queries_logged, 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = ServiceMetrics::new();
+        let r = ExecutionReport { output_tuples: 3, ..Default::default() };
+        m.record_success(&r, OutputMode::Rows, 3, 0.0001, 0.002);
+        m.record_trace(1);
+        let text = m.snapshot().to_prometheus_text();
+        assert!(text.contains("# TYPE adj_queries_ok_total counter"));
+        assert!(text.contains("adj_queries_ok_total 1\n"));
+        assert!(text.contains("adj_queries_traced_total 1\n"));
+        assert!(text.contains("adj_trace_events_dropped_total 1\n"));
+        assert!(text.contains("# TYPE adj_total_latency_seconds summary"));
+        assert!(text.contains("adj_total_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("adj_total_latency_seconds_count 1\n"));
+        // every non-comment line is `name{labels}? value`
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("name value pair");
+            assert!(name.starts_with("adj_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 
     #[test]

@@ -3,16 +3,20 @@
 
 use crate::admission::AdmissionController;
 use crate::cache::{PlanCache, PlanCacheStats};
+use crate::explain;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
 use adj_query::fingerprint::Fnv1a;
-use adj_query::{parse_query_with_mode, Bindings, JoinQuery, QueryFingerprint};
+use adj_query::{
+    parse_query_explain, parse_query_with_mode, Bindings, ExplainMode, JoinQuery, QueryFingerprint,
+};
 use adj_relational::{Attr, BoundValues, Database, OutputMode, QueryOutput, Relation};
+use adj_trace::{QueryTrace, Trace, Tracer, COORDINATOR_LANE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// A registered database: immutable contents plus the statistics epoch the
@@ -52,6 +56,13 @@ pub struct ServiceOutcome {
     pub queue_secs: f64,
     /// End-to-end service-side seconds (queue wait + plan + execution).
     pub total_secs: f64,
+    /// The query's span timeline, when it ran with tracing enabled
+    /// ([`TraceSettings`](crate::TraceSettings), a slow-query threshold,
+    /// or `EXPLAIN ANALYZE`); `None` otherwise. The handle materializes
+    /// the sorted timeline on first access (it dereferences to
+    /// [`Trace`]); render with [`Trace::to_chrome_json`] for Perfetto /
+    /// `chrome://tracing`.
+    pub trace: Option<QueryTrace>,
 }
 
 impl ServiceOutcome {
@@ -108,6 +119,25 @@ impl PreparedQuery {
     }
 }
 
+/// One entry of the slow-query log: a query that exceeded the configured
+/// [`TraceSettings::slow_query_threshold`](crate::TraceSettings), with its
+/// full span timeline attached.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The database the query ran against.
+    pub db_name: String,
+    /// The query's canonical fingerprint (structure + mode).
+    pub fingerprint: QueryFingerprint,
+    /// The output mode it ran under.
+    pub mode: OutputMode,
+    /// End-to-end service-side seconds (what tripped the threshold).
+    pub total_secs: f64,
+    /// Seconds of that spent waiting for admission.
+    pub queue_secs: f64,
+    /// The span timeline recorded while it ran.
+    pub trace: Trace,
+}
+
 /// A combined point-in-time view of every service statistic.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
@@ -138,6 +168,9 @@ pub struct Service {
     index: IndexCache,
     admission: AdmissionController,
     metrics: ServiceMetrics,
+    /// The worst-latency traced queries, sorted slowest first, capped at
+    /// [`TraceSettings::slow_log_keep`](crate::TraceSettings).
+    slow_log: Mutex<Vec<SlowQuery>>,
     epoch: AtomicU64,
     /// Cluster-wide memory minus the index-cache budget, divided by
     /// `max_concurrent`; `None` = unlimited.
@@ -186,6 +219,7 @@ impl Service {
             index: IndexCache::new(index_capacity),
             admission: AdmissionController::new(max_concurrent, config.admission),
             metrics: ServiceMetrics::new(),
+            slow_log: Mutex::new(Vec::new()),
             databases: RwLock::new(HashMap::new()),
             epoch: AtomicU64::new(0),
             per_query_budget_bytes,
@@ -279,10 +313,25 @@ impl Service {
         query: &JoinQuery,
         mode: OutputMode,
     ) -> Result<ServiceOutcome, ServiceError> {
-        // Inline literals resolve without a binding; a query with `$name`
-        // parameters surfaces `UnboundParam` — prepare and bind it instead.
-        // The submission's own literals are resolved here (not from the
-        // cached plan) because the whole shape family shares one plan.
+        let values = self.validated_const_bindings(query)?;
+        self.execute_inner(db_name, query, mode, &values, false)
+    }
+
+    /// Resolves a direct (non-prepared) submission's inline literals and
+    /// rejects unbound `$name` parameters.
+    ///
+    /// Inline literals resolve without a binding; a query with `$name`
+    /// parameters surfaces `UnboundParam` — prepare and bind it instead.
+    /// The submission's own literals are resolved here (not from the
+    /// cached plan) because the whole shape family shares one plan.
+    /// Parameters are validated here, not downstream: the executor checks
+    /// the cached plan owner's query, and a whole shape family (literal
+    /// and `$param` members) shares one plan — a literal-owned entry must
+    /// never let an unbound `$param` submission borrow its values. (The
+    /// execute_bound path is covered by `resolve_bindings`, which demands
+    /// a value for every parameter.) Checked term-by-term — no parameter
+    /// table is allocated on the common unbound path.
+    fn validated_const_bindings(&self, query: &JoinQuery) -> Result<BoundValues, ServiceError> {
         let values = match query.const_bindings() {
             Ok(v) => v,
             Err(e) => {
@@ -290,14 +339,6 @@ impl Service {
                 return Err(ServiceError::Exec(e));
             }
         };
-        // Validate the *submission's* parameters here, not downstream: the
-        // executor checks the cached plan owner's query, and a whole shape
-        // family (literal and `$param` members) shares one plan — a
-        // literal-owned entry must never let an unbound `$param` submission
-        // borrow its values. (The execute_bound path is covered by
-        // `resolve_bindings`, which demands a value for every parameter.)
-        // Checked term-by-term — no parameter table is allocated on the
-        // common unbound path.
         for atom in &query.atoms {
             for (term, &attr) in atom.terms.iter().zip(atom.schema.attrs()) {
                 if let adj_query::Term::Param(name) = term {
@@ -310,7 +351,7 @@ impl Service {
                 }
             }
         }
-        self.execute_inner(db_name, query, mode, &values)
+        Ok(values)
     }
 
     /// Prepares a parameterized query against a named database: validates
@@ -383,18 +424,28 @@ impl Service {
                 return Err(ServiceError::Exec(e));
             }
         };
-        self.execute_inner(&prepared.db_name, &prepared.query, mode, &values)
+        self.execute_inner(&prepared.db_name, &prepared.query, mode, &values, false)
     }
 
     /// The shared serving path: admission → plan cache → bound execution.
+    /// `force_trace` turns tracing on for this query regardless of the
+    /// configured [`TraceSettings`](crate::TraceSettings) (the
+    /// `EXPLAIN ANALYZE` path needs the actuals).
     fn execute_inner(
         &self,
         db_name: &str,
         query: &JoinQuery,
         mode: OutputMode,
         values: &BoundValues,
+        force_trace: bool,
     ) -> Result<ServiceOutcome, ServiceError> {
         let t_start = Instant::now();
+        let settings = &self.config.trace;
+        let tracer = if force_trace || settings.enabled || settings.slow_query_threshold.is_some() {
+            Tracer::new(settings.buffer_capacity)
+        } else {
+            Tracer::disabled()
+        };
         let entry = match self.lookup(db_name) {
             Ok(e) => e,
             Err(e) => {
@@ -419,6 +470,7 @@ impl Service {
 
         // Concurrency admission.
         let t_queue = Instant::now();
+        let mut admit_span = tracer.span(COORDINATOR_LANE, "admission_wait");
         let permit = match self.admission.admit() {
             Ok(p) => p,
             Err(e) => {
@@ -427,6 +479,12 @@ impl Service {
             }
         };
         let queue_secs = t_queue.elapsed().as_secs_f64();
+        if queue_secs < 1e-6 {
+            // Admission was immediate; a zero-width span would only add
+            // timeline noise — its absence is the "never waited" signal.
+            admit_span.discard();
+        }
+        drop(admit_span);
 
         // Plan: cached, or optimized now and published. The cache key uses
         // the fingerprint's plan-relevant prefix only, so every output
@@ -441,9 +499,11 @@ impl Service {
             "constants leaked into plan_key"
         );
         let key = fingerprint.cache_key(entry.tag, entry.epoch);
+        let mut lookup_span = tracer.span(COORDINATOR_LANE, "plan_lookup");
         let (plan, cache_hit) = match self.cache.get(key) {
             Some(plan) => (plan, true),
             None => {
+                let mut optimize_span = tracer.span(COORDINATOR_LANE, "optimize");
                 let plan = match self.adj.plan(query, &entry.db, self.config.strategy) {
                     Ok(p) => Arc::new(p),
                     Err(e) => {
@@ -451,24 +511,32 @@ impl Service {
                         return Err(ServiceError::Exec(e));
                     }
                 };
+                if optimize_span.is_recording() {
+                    optimize_span.arg("relations", plan.relations.len() as u64);
+                    optimize_span.arg("precomputed_bags", plan.precompute.len() as u64);
+                }
+                drop(optimize_span);
                 self.cache.insert(key, entry.tag, Arc::clone(&plan));
                 (plan, false)
             }
         };
+        lookup_span.arg("hit", cache_hit as u64);
+        drop(lookup_span);
 
         // Execute on the shared cluster (borrowing the cached plan — no
         // per-query plan clone on the hot path) under the index cache's
         // scope: warm relations join over cached `Arc<Trie>` handles and
         // skip the shuffle + build entirely.
         let scope = IndexScope { cache: &self.index, db_tag: entry.tag, epoch: entry.epoch };
-        let (output, mut report) =
-            match self.adj.execute_bound_cached(&plan, &entry.db, mode, Some(&scope), values) {
-                Ok(o) => o,
-                Err(e) => {
-                    self.metrics.record_failure();
-                    return Err(ServiceError::Exec(e));
-                }
-            };
+        let executed =
+            self.adj.execute_bound_traced(&plan, &entry.db, mode, Some(&scope), values, &tracer);
+        let (output, mut report) = match executed {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
         drop(permit);
 
         if cache_hit {
@@ -483,6 +551,26 @@ impl Service {
             queue_secs,
             total_secs,
         );
+        let trace = tracer.enabled().then(|| {
+            // Recording stops here, but the buffer is NOT drained: the
+            // handle materializes the sorted timeline on first read, so
+            // queries whose trace nobody inspects never pay collection
+            // cost on the serving path.
+            self.metrics.record_trace(tracer.events_dropped());
+            QueryTrace::new(&tracer)
+        });
+        if let (Some(trace), Some(threshold)) = (&trace, settings.slow_query_threshold) {
+            if total_secs >= threshold.as_secs_f64() {
+                self.note_slow(SlowQuery {
+                    db_name: db_name.to_string(),
+                    fingerprint,
+                    mode,
+                    total_secs,
+                    queue_secs,
+                    trace: trace.snapshot(),
+                });
+            }
+        }
         Ok(ServiceOutcome {
             output,
             mode,
@@ -492,7 +580,34 @@ impl Service {
             cache_hit,
             queue_secs,
             total_secs,
+            trace,
         })
+    }
+
+    /// Inserts one over-threshold query into the slow-query log, keeping
+    /// the configured number of worst offenders (slowest first).
+    fn note_slow(&self, slow: SlowQuery) {
+        self.metrics.record_slow_logged();
+        let keep = self.config.trace.slow_log_keep;
+        if keep == 0 {
+            return;
+        }
+        let mut log = self.slow_log.lock().expect("slow-query log poisoned");
+        let at = log
+            .binary_search_by(|e| {
+                slow.total_secs.partial_cmp(&e.total_secs).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or_else(|i| i);
+        log.insert(at, slow);
+        log.truncate(keep);
+    }
+
+    /// The slow-query log: the worst traced queries over the configured
+    /// threshold, slowest first. Empty unless
+    /// [`TraceSettings::slow_query_threshold`](crate::TraceSettings) is
+    /// set.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.lock().expect("slow-query log poisoned").clone()
     }
 
     /// Serves a textual query (`"Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)"`,
@@ -500,7 +615,27 @@ impl Service {
     /// output-mode prefix — `COUNT(…)`, `LIMIT k (…)`, `EXISTS(…)` — which
     /// selects the [`OutputMode`] exactly as
     /// [`Service::execute_mode`] would.
+    /// `EXPLAIN`-prefixed text is rejected with a pointed parse error —
+    /// its result is a rendered plan, not a [`ServiceOutcome`]; submit it
+    /// through [`Service::explain_text`] instead.
     pub fn execute_text(&self, db_name: &str, text: &str) -> Result<ServiceOutcome, ServiceError> {
+        match parse_query_explain(text) {
+            Ok(None) => {}
+            Ok(Some(_)) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Parse {
+                    offset: text.len() - text.trim_start().len(),
+                    token: "EXPLAIN".to_string(),
+                    message: "EXPLAIN returns a rendered plan, not rows — submit it via \
+                              Service::explain_text"
+                        .to_string(),
+                });
+            }
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e.into());
+            }
+        }
         let (query, _attr_names, mode) = match parse_query_with_mode(text) {
             Ok(parsed) => parsed,
             Err(e) => {
@@ -509,6 +644,85 @@ impl Service {
             }
         };
         self.execute_mode(db_name, &query, mode)
+    }
+
+    /// Serves `EXPLAIN` / `EXPLAIN ANALYZE` query text: renders the chosen
+    /// plan as an indented text tree (shares, attribute order, routing,
+    /// bag structure). Under plain `EXPLAIN` the query is planned (through
+    /// the plan cache) but **not executed**; under `EXPLAIN ANALYZE` it
+    /// executes with tracing forced on and the rendering is annotated with
+    /// measured actuals — per-phase seconds, tuples moved, cache reuse,
+    /// per-trie-level operation counts, per-worker fill and join-span
+    /// times. Text without an `EXPLAIN` prefix is treated as plain
+    /// `EXPLAIN`.
+    pub fn explain_text(&self, db_name: &str, text: &str) -> Result<String, ServiceError> {
+        let parsed = match parse_query_explain(text) {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e.into());
+            }
+        };
+        let (query, names, mode, explain) = match parsed {
+            Some(p) => p,
+            None => match parse_query_with_mode(text) {
+                Ok((q, n, m)) => (q, n, m, ExplainMode::Plan),
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(e.into());
+                }
+            },
+        };
+        match explain {
+            ExplainMode::Plan => {
+                let entry = match self.lookup(db_name) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        self.metrics.record_failure();
+                        return Err(e);
+                    }
+                };
+                let fingerprint = QueryFingerprint::of(&query);
+                let key = fingerprint.cache_key(entry.tag, entry.epoch);
+                let plan = match self.cache.get(key) {
+                    Some(p) => p,
+                    None => {
+                        let plan = match self.adj.plan(&query, &entry.db, self.config.strategy) {
+                            Ok(p) => Arc::new(p),
+                            Err(e) => {
+                                self.metrics.record_failure();
+                                return Err(ServiceError::Exec(e));
+                            }
+                        };
+                        self.cache.insert(key, entry.tag, Arc::clone(&plan));
+                        plan
+                    }
+                };
+                Ok(explain::render(
+                    &plan,
+                    &names,
+                    db_name,
+                    self.config.strategy,
+                    mode,
+                    explain,
+                    None,
+                ))
+            }
+            ExplainMode::Analyze => {
+                let values = self.validated_const_bindings(&query)?;
+                let outcome = self.execute_inner(db_name, &query, mode, &values, true)?;
+                let trace = outcome.trace.as_ref().expect("forced tracing always yields a trace");
+                Ok(explain::render(
+                    &outcome.plan,
+                    &names,
+                    db_name,
+                    self.config.strategy,
+                    mode,
+                    explain,
+                    Some((&outcome.report, trace)),
+                ))
+            }
+        }
     }
 
     /// Records a parse failure discovered outside [`Service::execute_text`]
@@ -593,10 +807,20 @@ mod tests {
 
     fn small_service() -> Service {
         let config = ServiceConfig {
-            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..pinned_adj() },
             ..Default::default()
         };
         Service::new(config)
+    }
+
+    /// An `AdjConfig` whose cost model skips the sampling-time β
+    /// measurement, so tests that compare two independently-planned
+    /// services see identical plans regardless of machine load.
+    fn pinned_adj() -> AdjConfig {
+        AdjConfig {
+            cost: adj_core::CostParams { measure_beta: false, ..Default::default() },
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -890,6 +1114,107 @@ mod tests {
             ServiceError::Exec(adj_relational::Error::UnboundParam { .. })
                 | ServiceError::Exec(adj_relational::Error::UnknownParam { .. })
         ));
+    }
+
+    #[test]
+    fn tracing_off_by_default_on_when_configured() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        let out = service.execute("g", &q).unwrap();
+        assert!(out.trace.is_none(), "tracing must be off by default");
+        assert_eq!(service.metrics().queries_traced, 0);
+
+        let config = ServiceConfig {
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..pinned_adj() },
+            trace: crate::TraceSettings { enabled: true, ..Default::default() },
+            ..Default::default()
+        };
+        let service = Service::new(config);
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        let traced = service.execute("g", &q).unwrap();
+        let trace = traced.trace.clone().expect("configured tracing must attach a trace");
+        assert!(trace.is_well_formed(), "spans must nest per lane");
+        assert_eq!(trace.events_dropped, 0);
+        // coordinator phases and one lane per worker are all present
+        // (admission_wait is absent by design: the query never waited)
+        for name in ["plan_lookup", "shuffle", "computation", "gather"] {
+            assert!(!trace.events_named(name).is_empty(), "missing span {name}");
+        }
+        assert!(trace.lanes().len() >= 3, "coordinator + 2 worker lanes: {:?}", trace.lanes());
+        assert_eq!(service.metrics().queries_traced, 1);
+        // results are identical with tracing on
+        let plain = small_service();
+        plain.register_database("g", q.instantiate(&graph(100, 23)));
+        assert_eq!(traced.rows(), plain.execute("g", &q).unwrap().rows());
+    }
+
+    #[test]
+    fn slow_query_log_keeps_the_worst() {
+        let q = paper_query(PaperQuery::Q4);
+        let config = ServiceConfig {
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..Default::default() },
+            trace: crate::TraceSettings {
+                slow_query_threshold: Some(std::time::Duration::ZERO),
+                slow_log_keep: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let service = Service::new(config);
+        service.register_database("g", q.instantiate(&graph(120, 31)));
+        for _ in 0..3 {
+            service.execute("g", &q).unwrap();
+        }
+        let slow = service.slow_queries();
+        assert_eq!(slow.len(), 2, "log must cap at slow_log_keep");
+        assert!(slow[0].total_secs >= slow[1].total_secs, "slowest first");
+        assert!(!slow[0].trace.events.is_empty(), "entries carry their trace");
+        assert_eq!(slow[0].db_name, "g");
+        let m = service.metrics();
+        assert_eq!(m.slow_queries_logged, 3, "every over-threshold query counts");
+        assert_eq!(m.queries_traced, 3, "a threshold forces tracing on");
+    }
+
+    #[test]
+    fn execute_text_rejects_explain_with_a_pointed_error() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        let err = service.execute_text("g", "EXPLAIN R1(a,b), R2(b,c), R3(a,c)").unwrap_err();
+        let ServiceError::Parse { token, message, .. } = &err else {
+            panic!("expected a pointed parse error, got {err:?}")
+        };
+        assert_eq!(token, "EXPLAIN");
+        assert!(message.contains("explain_text"), "{message}");
+        // a relation merely *named* EXPLAIN still executes
+        assert_eq!(service.metrics().queries_failed, 1);
+    }
+
+    #[test]
+    fn explain_text_renders_plan_and_analyze_renders_actuals() {
+        let q = paper_query(PaperQuery::Q4);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(120, 31)));
+
+        let plan_only =
+            service.explain_text("g", "EXPLAIN COUNT(R1(a,b), R2(b,c), R3(c,d))").unwrap();
+        assert!(plan_only.starts_with("EXPLAIN mode=Count"));
+        assert!(plan_only.contains("hypertree:"));
+        assert!(!plan_only.contains("actuals:"), "plain EXPLAIN must not execute");
+        assert_eq!(service.metrics().queries_ok, 0, "plain EXPLAIN serves no query");
+
+        let analyzed =
+            service.explain_text("g", "EXPLAIN ANALYZE COUNT(R1(a,b), R2(b,c), R3(c,d))").unwrap();
+        assert!(analyzed.starts_with("EXPLAIN ANALYZE mode=Count"));
+        assert!(analyzed.contains("actuals:"));
+        assert!(analyzed.contains("level 0 ("), "per-trie-level actuals: {analyzed}");
+        assert!(analyzed.contains("worker join spans: w0="), "{analyzed}");
+        assert!(analyzed.contains("partition fill: w0="), "{analyzed}");
+        let m = service.metrics();
+        assert_eq!(m.queries_ok, 1, "ANALYZE executes the query");
+        assert_eq!(m.queries_traced, 1, "ANALYZE forces tracing");
+        assert!(service.explain_text("g", "EXPLAIN R1(a,").is_err());
     }
 
     #[test]

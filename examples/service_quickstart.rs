@@ -113,4 +113,12 @@ fn main() {
         warm.report.comm_tuples,
         warm.report.index_build_secs
     );
+
+    // 6. Where did the time go? `EXPLAIN ANALYZE` runs the query with
+    //    tracing forced and renders the plan tree with per-phase,
+    //    per-worker, and per-trie-level actuals — no config change needed.
+    let analyzed = service
+        .explain_text("Q1", "EXPLAIN ANALYZE COUNT(R1(a,b), R2(b,c), R3(a,c))")
+        .expect("explain analyze");
+    println!("\n{analyzed}");
 }

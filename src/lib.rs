@@ -20,6 +20,7 @@
 //! | [`hcube`] | `adj-hcube` | HCube share optimizer + Push/Pull/Merge shuffles + cross-query index cache |
 //! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
 //! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
+//! | [`trace`] | `adj-trace` | zero-dependency lock-free per-query span/event tracing |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
 //! | [`service`] | `adj-service` | concurrent query service: plan + index caches, admission control, metrics, output modes |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
@@ -69,17 +70,18 @@ pub use adj_query as query;
 pub use adj_relational as relational;
 pub use adj_sampling as sampling;
 pub use adj_service as service;
+pub use adj_trace as trace;
 
 /// The common imports for applications.
 pub mod prelude {
     pub use adj_cluster::{Cluster, ClusterConfig};
     pub use adj_core::{
-        Adj, AdjConfig, ExecutionReport, Prepared, QueryPlan, SkewConfig, Strategy,
+        Adj, AdjConfig, CostParams, ExecutionReport, Prepared, QueryPlan, SkewConfig, Strategy,
     };
     pub use adj_datagen::Dataset;
     pub use adj_query::{
-        paper_query, parse_query, parse_query_with_mode, Atom, Bindings, JoinQuery, PaperQuery,
-        QueryFingerprint, Term,
+        paper_query, parse_query, parse_query_explain, parse_query_with_mode, Atom, Bindings,
+        ExplainMode, JoinQuery, PaperQuery, QueryFingerprint, Term,
     };
     pub use adj_relational::{
         Attr, BoundValues, Database, OutputMode, QueryOutput, Relation, RowSink, Schema, Value,
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use adj_sampling::{Sampler, SamplingConfig};
     pub use adj_service::{
         AdmissionPolicy, PreparedQuery, QueryRequest, Service, ServiceConfig, ServiceError,
-        ServiceOutcome, WorkerPool,
+        ServiceOutcome, SlowQuery, TraceSettings, WorkerPool,
     };
+    pub use adj_trace::{Event, QueryTrace, SpanGuard, Trace, Tracer, COORDINATOR_LANE};
 }
