@@ -223,13 +223,21 @@ pub fn execute_plan(
 /// one cached artifact — and the ambiguous per-query storage name
 /// (`ADJ_bag{v}`) never leaks into a cache key. Names are length-prefixed
 /// so no choice of relation names (commas included) can collide two
-/// distinct member lists onto one label.
-fn bag_label(names: &[String], order: &[Attr]) -> String {
+/// distinct member lists onto one label. When an [`IndexScope`] is present,
+/// the members' delta-sequence digest is folded in, so a bag goes stale
+/// exactly when one of *its* relations mutates — mutations elsewhere in the
+/// database leave it warm (the per-relation replacement for the global
+/// epoch bump).
+fn bag_label(names: &[String], order: &[Attr], index: Option<&IndexScope<'_>>) -> String {
     let mut label = String::from("adj-bag:");
     for n in names {
         label.push_str(&format!("{}:{n},", n.len()));
     }
     label.push_str(&format!("@{order:?}"));
+    if let Some(scope) = index {
+        let digest = scope.version_digest(names.iter().map(|s| s.as_str()));
+        label.push_str(&format!("#v{digest:016x}"));
+    }
     label
 }
 
@@ -361,7 +369,7 @@ pub fn execute_plan_traced(
             .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
             .collect();
         let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
-        let label = bag_label(&names, &bag_order);
+        let label = bag_label(&names, &bag_order, index);
         bag_labels.push((name.clone(), label.clone()));
         // A bag touched by the binding is per-binding content: it bypasses
         // the bag cache in both directions (same discipline as the
@@ -668,7 +676,13 @@ fn share_for(
             Some((_, rel)) => rel.as_ref(),
             None => db.get(n)?,
         };
-        relations.push((r.schema().mask(), r.len()));
+        // The share program wants coarse cardinalities, not exact counts:
+        // quantizing to the next power of two keeps the chosen share
+        // stable while a relation grows or shrinks within its bucket, so
+        // index fragments patched forward across a delta batch keep
+        // matching instead of being orphaned by a near-tie flip between
+        // equal-cost share vectors.
+        relations.push((r.schema().mask(), r.len().next_power_of_two()));
     }
     // The bijection is only needed when this round's relations actually
     // contain a hot attribute — a bag round over cold attributes keeps the
@@ -819,7 +833,7 @@ mod tests {
         }
 
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 9, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 9, epoch: 0, versions: &[] };
         let (cold_out, cold_rep) =
             execute_plan_cached(&cluster, &db, &plan, &cfg, OutputMode::Rows, Some(&scope))
                 .unwrap();
@@ -843,6 +857,34 @@ mod tests {
         let err = execute_plan_cached(&cluster, &db, &plan, &tiny, OutputMode::Count, Some(&scope))
             .unwrap_err();
         assert!(matches!(err, Error::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn per_relation_versions_invalidate_only_the_mutated_relation() {
+        use adj_hcube::{IndexCache, IndexScope};
+        let q = paper_query(PaperQuery::Q1);
+        let db = db_for(&q, 150, 23);
+        let cfg = AdjConfig { cluster: ClusterConfig::with_workers(4), ..Default::default() };
+        let cluster = Cluster::new(cfg.cluster.clone());
+        let plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
+        let cache = IndexCache::new(64 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 9, epoch: 0, versions: &[] };
+        let (_, cold) =
+            execute_plan_cached(&cluster, &db, &plan, &cfg, OutputMode::Count, Some(&scope))
+                .unwrap();
+        let atoms = cold.index_relations_built;
+        assert!(atoms > 0);
+
+        // Bump one relation's sequence: only its entry misses, the others
+        // stay warm (the old epoch-bump design rebuilt everything).
+        let name = q.atoms[0].name.clone();
+        let versions = vec![(name, 1u64)];
+        let bumped = IndexScope { cache: &cache, db_tag: 9, epoch: 0, versions: &versions };
+        let (_, rep) =
+            execute_plan_cached(&cluster, &db, &plan, &cfg, OutputMode::Count, Some(&bumped))
+                .unwrap();
+        assert_eq!(rep.index_relations_built, 1, "only the mutated relation rebuilds");
+        assert_eq!(rep.index_relations_reused, atoms - 1);
     }
 
     #[test]

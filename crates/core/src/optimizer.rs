@@ -13,7 +13,7 @@ use crate::cost::CostEstimator;
 use crate::executor::Strategy;
 use crate::plan::QueryPlan;
 use crate::AdjConfig;
-use adj_query::order::{all_orders, new_attrs_per_step};
+use adj_query::order::{all_orders, hoist_bound, new_attrs_per_step};
 use adj_query::{GhdTree, JoinQuery};
 use adj_relational::{Attr, Database, Error, Result};
 
@@ -57,7 +57,11 @@ pub fn optimize(
                     best = Some((s, o));
                 }
             }
-            let (score, order) = best.expect("non-empty query");
+            let (score, mut order) = best.expect("non-empty query");
+            // Prepared/bound follow-up: seek constants before intersecting.
+            // Any permutation is acceptable in this strategy's search space,
+            // so the whole order may be hoisted.
+            hoist_bound(&mut order, bound_attr_mask(query)?);
             let relations = QueryPlan::relations_for(query, &tree, 0);
             Ok(QueryPlan {
                 query: query.clone(),
@@ -140,7 +144,7 @@ fn algorithm2(
     }
 
     let traversal: Vec<usize> = tail_rev.iter().rev().copied().collect();
-    let order = derive_order(tree, &traversal, estimator);
+    let order = derive_order(tree, &traversal, estimator, bound_attr_mask(query)?);
     let precompute: Vec<usize> = (0..n_star).filter(|v| c_mask & (1 << v) != 0).collect();
     let relations = QueryPlan::relations_for(query, tree, c_mask);
     Ok(QueryPlan {
@@ -177,14 +181,35 @@ fn nodes_connected(adj: &[Vec<usize>], mask: u64) -> bool {
     seen == mask
 }
 
+/// The attributes a plan's executions will always have a single value for:
+/// inline-literal positions plus `$name` parameter positions. Value-erased
+/// shape queries report the same mask, so every member of a plan-cache
+/// shape family agrees on it.
+fn bound_attr_mask(query: &JoinQuery) -> Result<u64> {
+    let mut mask = query.const_bindings()?.mask();
+    for (_, a) in query.param_attrs() {
+        mask |= a.mask();
+    }
+    Ok(mask)
+}
+
 /// Turns a traversal order into a concrete attribute order: per node, the
 /// fresh attributes sorted most-selective-first (ascending `|val(A)|`) —
-/// the within-node choice the paper defers to [11].
-fn derive_order(tree: &GhdTree, traversal: &[usize], estimator: &CostEstimator<'_>) -> Vec<Attr> {
+/// the within-node choice the paper defers to [11] — then bound attributes
+/// hoisted to the front of the node's block (a free within-node permutation,
+/// so validity is preserved) so Leapfrog seeks constants before
+/// intersecting.
+fn derive_order(
+    tree: &GhdTree,
+    traversal: &[usize],
+    estimator: &CostEstimator<'_>,
+    bound_mask: u64,
+) -> Vec<Attr> {
     let steps = new_attrs_per_step(tree, traversal);
     let mut order = Vec::new();
     for mut step in steps {
         estimator.order_attrs_by_selectivity(&mut step);
+        hoist_bound(&mut step, bound_mask);
         order.extend(step);
     }
     order
@@ -248,6 +273,50 @@ mod tests {
         let plan = optimize(&q, &db, &cfg, Strategy::CoOptimize).unwrap();
         assert_eq!(plan.tree.len(), 1);
         assert_eq!(plan.order.len(), 3);
+    }
+
+    #[test]
+    fn bound_attrs_hoist_to_the_front_of_the_order() {
+        // Triangle with one literal-pinned position: the bound attribute
+        // must lead the order under both strategies, and the order must
+        // stay valid for the hypertree.
+        let (q, _) = adj_query::parse_query("R1(a,b), R2(b,c), R3(5,c)").unwrap();
+        let bound = q
+            .atoms
+            .iter()
+            .flat_map(|at| at.terms.iter().zip(at.schema.attrs()))
+            .find(|(t, _)| t.is_bound())
+            .map(|(_, &a)| a)
+            .expect("query has a bound position");
+        let db = db_for(&q, 150, 37);
+        let cfg = AdjConfig::default();
+
+        // CommFirst hoists the whole order: the bound attribute leads.
+        let plan = optimize(&q, &db, &cfg, Strategy::CommFirst).unwrap();
+        assert_eq!(plan.order[0], bound, "CommFirst order {:?}", plan.order);
+
+        // CoOptimize hoists within each hypernode's fresh block (the tree
+        // may have several bags): the bound attribute leads its block and
+        // the order stays valid.
+        let plan = optimize(&q, &db, &cfg, Strategy::CoOptimize).unwrap();
+        assert!(is_valid_order(&plan.tree, &plan.order));
+        for step in new_attrs_per_step(&plan.tree, &plan.traversal) {
+            if step.contains(&bound) {
+                let start = plan.order.iter().position(|&a| a == bound).unwrap();
+                let block_start = plan
+                    .order
+                    .iter()
+                    .position(|a| step.contains(a))
+                    .expect("block appears in order");
+                assert_eq!(start, block_start, "bound attr must lead its block");
+            }
+        }
+
+        // The value-erased shape query hoists identically, so a cached plan
+        // built from the erased form serves every literal in the family.
+        let erased = q.erase_bound_values();
+        let plan = optimize(&erased, &db, &cfg, Strategy::CommFirst).unwrap();
+        assert_eq!(plan.order[0], bound);
     }
 
     #[test]

@@ -308,7 +308,7 @@ mod tests {
         let q = paper_query(PaperQuery::Q4); // cyclic → multi-atom bags
         let db = db_for(&q, 100, 23);
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 5, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 5, epoch: 0, versions: &[] };
         let (cold, cr) =
             yannakakis_cached(&db, &q, usize::MAX, OutputMode::Rows, Some(&scope)).unwrap();
         assert_eq!(cr.bags_reused, 0);
@@ -318,7 +318,7 @@ mod tests {
         assert!(wr.bags_reused > 0, "multi-atom bags must come from the cache");
         assert_eq!(wr.bag_tuples, cr.bag_tuples);
         // A different epoch must not serve the stale bags.
-        let s1 = IndexScope { cache: &cache, db_tag: 5, epoch: 1 };
+        let s1 = IndexScope { cache: &cache, db_tag: 5, epoch: 1, versions: &[] };
         let (_, er) = yannakakis_cached(&db, &q, usize::MAX, OutputMode::Rows, Some(&s1)).unwrap();
         assert_eq!(er.bags_reused, 0);
         // Budget parity: a cached bag over a smaller caller budget errors

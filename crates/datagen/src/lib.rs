@@ -14,9 +14,11 @@
 
 pub mod generator;
 pub mod io;
+pub mod stream;
 
 pub use generator::{column_top_share, generate, generate_zipf, GraphConfig, ZipfConfig};
 pub use io::{load_edge_list, parse_edge_list, write_edge_list};
+pub use stream::{update_stream, UpdateBatch, UpdateStreamConfig};
 
 use adj_relational::Relation;
 

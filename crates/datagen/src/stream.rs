@@ -1,0 +1,215 @@
+//! Seeded update streams: the dynamic-data workload generator.
+//!
+//! Produces a deterministic sequence of interleaved insert/delete batches
+//! against a base graph. Inserts draw fresh Zipf-distributed edges (the
+//! same rank distribution as [`generate_zipf`](crate::generate_zipf), so a
+//! skewed base stays skewed as it churns); deletes draw uniformly from the
+//! rows *live at that point in the stream* — a delete never targets a row
+//! that a previous batch already removed or that never existed, so
+//! replaying the stream against any consumer with set semantics is
+//! well-defined and oracle-comparable batch by batch.
+
+use adj_relational::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Parameters of one update stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateStreamConfig {
+    /// Number of batches to emit.
+    pub batches: usize,
+    /// Fresh edges inserted per batch (before self-loop/duplicate
+    /// rejection retries; the batch always reaches this count unless the
+    /// id space is exhausted).
+    pub inserts_per_batch: usize,
+    /// Live rows deleted per batch (capped at the live count).
+    pub deletes_per_batch: usize,
+    /// Node-id space and Zipf exponent the inserted edges draw from.
+    /// Typically the same values the base graph was generated with.
+    pub nodes: usize,
+    /// Zipf exponent for inserted edge endpoints (0 = uniform).
+    pub exponent: f64,
+    /// RNG seed; identical configs over identical bases generate
+    /// identical streams.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        UpdateStreamConfig {
+            batches: 8,
+            inserts_per_batch: 64,
+            deletes_per_batch: 32,
+            nodes: 2000,
+            exponent: 1.2,
+            seed: 0xD_E17A,
+        }
+    }
+}
+
+/// One batch of the stream: rows to insert, then rows to delete — the
+/// shape [`Database::insert_rows`](adj_relational::Database::insert_rows) /
+/// `delete_rows` and `Service::mutate` consume directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Rows to insert (fresh: not live when the batch is reached).
+    pub inserts: Vec<Vec<Value>>,
+    /// Rows to delete (live when the batch is reached; inserts of the
+    /// *same* batch are not delete candidates, so a batch never cancels
+    /// itself).
+    pub deletes: Vec<Vec<Value>>,
+}
+
+/// Generates a deterministic update stream against `base` (a binary edge
+/// relation). See the module docs for the live-set discipline.
+pub fn update_stream(base: &Relation, cfg: &UpdateStreamConfig) -> Vec<UpdateBatch> {
+    assert_eq!(base.arity(), 2, "update streams model binary edge relations");
+    assert!(cfg.nodes >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Inverse-CDF table over ranks, as in the Zipf graph generator.
+    let mut cum = Vec::with_capacity(cfg.nodes);
+    let mut total = 0.0f64;
+    for r in 0..cfg.nodes {
+        total += ((r + 1) as f64).powf(-cfg.exponent);
+        cum.push(total);
+    }
+
+    // The live-set model the deletes draw from.
+    let mut live: Vec<(Value, Value)> = base.rows().map(|r| (r[0], r[1])).collect();
+    let mut member: HashSet<(Value, Value)> = live.iter().copied().collect();
+
+    let mut batches = Vec::with_capacity(cfg.batches);
+    for _ in 0..cfg.batches {
+        let mut inserts = Vec::with_capacity(cfg.inserts_per_batch);
+        let mut fresh: HashSet<(Value, Value)> = HashSet::new();
+        let mut attempts = 0usize;
+        while inserts.len() < cfg.inserts_per_batch && attempts < cfg.inserts_per_batch * 64 {
+            attempts += 1;
+            let u = cum.partition_point(|&c| c <= rng.gen_range(0.0..total)) as Value;
+            let v = if rng.gen_bool(0.5) {
+                cum.partition_point(|&c| c <= rng.gen_range(0.0..total)) as Value
+            } else {
+                rng.gen_range(0..cfg.nodes) as Value
+            };
+            if u != v && !member.contains(&(u, v)) && fresh.insert((u, v)) {
+                inserts.push(vec![u, v]);
+            }
+        }
+
+        // Deletes draw from rows live *before* this batch, so a batch
+        // never deletes its own inserts.
+        let mut deletes = Vec::with_capacity(cfg.deletes_per_batch);
+        for _ in 0..cfg.deletes_per_batch {
+            if live.is_empty() {
+                break;
+            }
+            let i = rng.gen_range(0..live.len());
+            let row = live.swap_remove(i);
+            member.remove(&row);
+            deletes.push(vec![row.0, row.1]);
+        }
+
+        for row in &inserts {
+            let edge = (row[0], row[1]);
+            member.insert(edge);
+            live.push(edge);
+        }
+        batches.push(UpdateBatch { inserts, deletes });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_zipf, ZipfConfig};
+    use adj_relational::Database;
+
+    fn base() -> Relation {
+        generate_zipf(&ZipfConfig { nodes: 500, edges: 3000, ..Default::default() })
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let g = base();
+        let cfg = UpdateStreamConfig { nodes: 500, ..Default::default() };
+        assert_eq!(update_stream(&g, &cfg), update_stream(&g, &cfg));
+        let other = UpdateStreamConfig { seed: 7, ..cfg };
+        assert_ne!(update_stream(&g, &cfg), update_stream(&g, &other));
+    }
+
+    #[test]
+    fn batches_honour_the_configured_shape() {
+        let g = base();
+        let cfg = UpdateStreamConfig {
+            batches: 5,
+            inserts_per_batch: 40,
+            deletes_per_batch: 15,
+            nodes: 500,
+            ..Default::default()
+        };
+        let stream = update_stream(&g, &cfg);
+        assert_eq!(stream.len(), 5);
+        for b in &stream {
+            assert_eq!(b.inserts.len(), 40);
+            assert_eq!(b.deletes.len(), 15);
+            assert!(b.inserts.iter().all(|r| r.len() == 2 && r[0] != r[1]));
+        }
+    }
+
+    #[test]
+    fn replaying_against_a_database_is_exact() {
+        // Every delete hits a live row and every insert is novel, so the
+        // tuple count moves by exactly (inserts − deletes) per batch.
+        let g = base();
+        let cfg = UpdateStreamConfig {
+            batches: 6,
+            inserts_per_batch: 30,
+            deletes_per_batch: 20,
+            nodes: 500,
+            ..Default::default()
+        };
+        let mut db = Database::new();
+        db.insert("R", g.clone());
+        let mut expected = g.len();
+        for batch in update_stream(&g, &cfg) {
+            let ins: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
+            let del: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
+            assert_eq!(db.insert_rows("R", &ins).unwrap(), ins.len(), "inserts are novel");
+            assert_eq!(db.delete_rows("R", &del).unwrap(), del.len(), "deletes are live");
+            expected = expected + ins.len() - del.len();
+            assert_eq!(db.get("R").unwrap().len(), expected);
+        }
+    }
+
+    #[test]
+    fn inserted_edges_follow_the_skew_knob() {
+        let g = base();
+        let flat = UpdateStreamConfig {
+            batches: 1,
+            inserts_per_batch: 2000,
+            deletes_per_batch: 0,
+            nodes: 500,
+            exponent: 0.0,
+            ..Default::default()
+        };
+        let skewed = UpdateStreamConfig { exponent: 1.4, ..flat };
+        let count_top = |stream: &[UpdateBatch]| {
+            let mut counts = std::collections::HashMap::new();
+            for b in stream {
+                for r in &b.inserts {
+                    *counts.entry(r[0]).or_insert(0usize) += 1;
+                }
+            }
+            counts.values().copied().max().unwrap_or(0)
+        };
+        let flat_top = count_top(&update_stream(&g, &flat));
+        let skewed_top = count_top(&update_stream(&g, &skewed));
+        assert!(
+            skewed_top > 3 * flat_top,
+            "z=1.4 top source ({skewed_top}) must dwarf z=0 ({flat_top})"
+        );
+    }
+}

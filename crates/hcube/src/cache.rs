@@ -70,6 +70,13 @@ pub struct IndexKey {
     /// [`crate::hcube_shuffle_cached`]), so shared entries always carry 0
     /// here — this field is the belt to that suspenders.
     pub bind_tag: u64,
+    /// The relation's delta sequence (`adj-delta`'s per-relation batch
+    /// counter) at build time. Mutating a relation bumps only *its*
+    /// sequence, so entries for other relations keep matching — this is the
+    /// per-relation replacement for the global epoch bump. Patched entries
+    /// ([`crate::patch_relation_indexes`]) are republished under the new
+    /// sequence.
+    pub delta_seq: u64,
 }
 
 /// Identity of one cached bag relation (a materialized hypertree-bag join).
@@ -369,6 +376,37 @@ impl IndexCache {
         self.invalidations.fetch_add(dropped, Ordering::Relaxed);
     }
 
+    /// Removes and returns every relation-index entry for `relation` in
+    /// database `db_tag`, regardless of epoch or delta sequence — the
+    /// harvest step of warm-cache patching: the caller re-routes the delta
+    /// tuples into each taken entry and republishes it under the new
+    /// sequence. Taken entries count as invalidations (republication counts
+    /// as insertion), so the net cache churn stays visible in the stats.
+    /// Bag artifacts are left alone: their labels fold the relation
+    /// versions, so stale bags simply stop matching and age out via LRU.
+    pub fn take_indexes_for(
+        &self,
+        db_tag: u64,
+        relation: &str,
+    ) -> Vec<(IndexKey, Arc<RelationIndex>)> {
+        let mut inner = self.lock_recovering();
+        let mut taken = Vec::new();
+        let mut freed = 0usize;
+        inner.map.retain(|k, e| match (k, &e.artifact) {
+            (EntryKey::Index(ik), Artifact::Index(idx))
+                if ik.db_tag == db_tag && ik.relation == relation =>
+            {
+                freed += e.bytes;
+                taken.push((ik.clone(), Arc::clone(idx)));
+                false
+            }
+            _ => true,
+        });
+        inner.resident_bytes -= freed;
+        self.invalidations.fetch_add(taken.len() as u64, Ordering::Relaxed);
+        taken
+    }
+
     /// Empties the cache.
     pub fn clear(&self) {
         let mut inner = self.lock_recovering();
@@ -424,10 +462,42 @@ pub struct IndexScope<'a> {
     pub db_tag: u64,
     /// The database's current statistics epoch.
     pub epoch: u64,
+    /// Per-relation delta sequences (`(name, seq)` pairs) of the database
+    /// state being queried. Relations absent from the slice are at sequence
+    /// 0 — an empty slice is the never-mutated database.
+    pub versions: &'a [(String, u64)],
 }
 
 impl<'a> IndexScope<'a> {
-    /// Builds an [`IndexKey`] in this scope.
+    /// The delta sequence of `relation` in this scope (0 if never mutated).
+    pub fn delta_seq_for(&self, relation: &str) -> u64 {
+        self.versions.iter().find(|(n, _)| n == relation).map_or(0, |&(_, s)| s)
+    }
+
+    /// FNV-1a digest of the delta sequences of the given relations — folded
+    /// into bag labels (and plan-cache keys at the service layer) so an
+    /// artifact derived from several relations goes stale exactly when one
+    /// of *them* mutates, not when any unrelated relation does.
+    pub fn version_digest<'s>(&self, relations: impl IntoIterator<Item = &'s str>) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for name in relations {
+            for &b in name.as_bytes() {
+                fold(b);
+            }
+            fold(0xff);
+            for b in self.delta_seq_for(name).to_le_bytes() {
+                fold(b);
+            }
+        }
+        h
+    }
+
+    /// Builds an [`IndexKey`] in this scope, stamping the relation's current
+    /// delta sequence.
     #[allow(clippy::too_many_arguments)]
     pub fn index_key(
         &self,
@@ -438,15 +508,18 @@ impl<'a> IndexScope<'a> {
         route_tag: u64,
         bind_tag: u64,
     ) -> IndexKey {
+        let relation = relation.into();
+        let delta_seq = self.delta_seq_for(&relation);
         IndexKey {
             db_tag: self.db_tag,
             epoch: self.epoch,
-            relation: relation.into(),
+            relation,
             induced,
             share: share.to_vec(),
             num_workers,
             route_tag,
             bind_tag,
+            delta_seq,
         }
     }
 
@@ -476,6 +549,7 @@ mod tests {
             num_workers: 4,
             route_tag: 0,
             bind_tag: 0,
+            delta_seq: 0,
         }
     }
 
@@ -514,11 +588,57 @@ mod tests {
             cache.get_index(&other_route).is_none(),
             "skew-routed tries must not alias hash-routed ones"
         );
-        let mut other_bind = k;
+        let mut other_bind = k.clone();
         other_bind.bind_tag = 0xB0B | 1;
         assert!(
             cache.get_index(&other_bind).is_none(),
             "bound-level entries must not alias unbound ones"
+        );
+        let mut other_seq = k;
+        other_seq.delta_seq = 3;
+        assert!(
+            cache.get_index(&other_seq).is_none(),
+            "a mutated relation's entries must stop matching"
+        );
+    }
+
+    #[test]
+    fn take_indexes_for_harvests_one_relation() {
+        let cache = IndexCache::new(1 << 20);
+        cache.insert_index(key(1, 0, "R1"), Arc::new(RelationIndex::new(vec![trie(5)], 5, 1)));
+        let mut seq1 = key(1, 0, "R1");
+        seq1.delta_seq = 1;
+        cache.insert_index(seq1, Arc::new(RelationIndex::new(vec![trie(6)], 6, 1)));
+        cache.insert_index(key(1, 0, "R2"), Arc::new(RelationIndex::new(vec![trie(7)], 7, 1)));
+        cache.insert_index(key(2, 0, "R1"), Arc::new(RelationIndex::new(vec![trie(8)], 8, 1)));
+        let taken = cache.take_indexes_for(1, "R1");
+        assert_eq!(taken.len(), 2, "both sequences of db 1's R1 come out");
+        assert_eq!(cache.len(), 2, "other relation and other db stay");
+        assert!(cache.get_index(&key(1, 0, "R2")).is_some());
+        assert!(cache.get_index(&key(2, 0, "R1")).is_some());
+        assert_eq!(cache.stats().invalidations, 2);
+        let resident = cache.resident_bytes();
+        assert!(resident > 0, "freed bytes must be subtracted, not leaked");
+    }
+
+    #[test]
+    fn scope_versions_stamp_keys_and_digests() {
+        let cache = IndexCache::new(1 << 20);
+        let versions = vec![("R1".to_string(), 4u64)];
+        let scope = IndexScope { cache: &cache, db_tag: 7, epoch: 3, versions: &versions };
+        assert_eq!(scope.delta_seq_for("R1"), 4);
+        assert_eq!(scope.delta_seq_for("R2"), 0, "unmutated relations sit at 0");
+        let k = scope.index_key("R1", vec![Attr(0)], &[2], 4, 0, 0);
+        assert_eq!(k.delta_seq, 4);
+        assert_eq!(scope.index_key("R2", vec![Attr(0)], &[2], 4, 0, 0).delta_seq, 0);
+        let d1 = scope.version_digest(["R1", "R2"]);
+        assert_ne!(d1, scope.version_digest(["R2"]), "member set changes the digest");
+        let fresh = IndexScope { cache: &cache, db_tag: 7, epoch: 3, versions: &[] };
+        assert_ne!(d1, fresh.version_digest(["R1", "R2"]), "sequence changes the digest");
+        assert_eq!(
+            scope.version_digest(["R2"]),
+            fresh.version_digest(["R2"]),
+            "digest over unmutated relations is stable"
         );
     }
 
@@ -592,7 +712,7 @@ mod tests {
     fn bags_share_the_budget_and_roundtrip() {
         let cache = IndexCache::new(1 << 20);
         let rel = Relation::from_pairs(Attr(0), Attr(1), &[(1, 2), (3, 4)]);
-        let scope = IndexScope { cache: &cache, db_tag: 7, epoch: 3 };
+        let scope = IndexScope { cache: &cache, db_tag: 7, epoch: 3, versions: &[] };
         let bk = scope.bag_key("adj:R4,R5@[1,2,4]");
         assert!(cache.get_bag(&bk).is_none());
         cache.insert_bag(bk.clone(), Arc::new(rel.clone()));

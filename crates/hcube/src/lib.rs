@@ -30,12 +30,14 @@
 //!   (no binding is ever produced twice).
 
 pub mod cache;
+pub mod patch;
 pub mod plan;
 pub mod share;
 pub mod shuffle;
 pub mod skew;
 
 pub use cache::{BagKey, IndexCache, IndexCacheStats, IndexKey, IndexScope, RelationIndex};
+pub use patch::{patch_relation_indexes, PatchOutcome};
 pub use plan::HCubePlan;
 pub use share::{optimize_share, ShareInput};
 pub use shuffle::{

@@ -1,0 +1,247 @@
+//! Warm-cache patching: route only the delta through a cached entry.
+//!
+//! When a relation mutates, its cached [`RelationIndex`] entries are not
+//! discarded — the delta batch is tiny compared to the base, and the base's
+//! shuffled placement is fully determined by the entry's own
+//! [`IndexKey`]: the share vector is indexed by attribute id, the induced
+//! order fixes the trie layout, and `route_tag == 0` entries used plain hash
+//! routing. So each entry can be brought forward *in place*: permute the
+//! insert/tombstone runs into the entry's induced order, route them with the
+//! same coordinate arithmetic the original shuffle used, and per worker
+//! merge the (sorted) delta into the fragment's re-emitted sorted run —
+//! a linear merge + linear trie rebuild, no global sort, no communication
+//! round. The result is republished under the relation's new delta
+//! sequence, so the very next query hits warm.
+//!
+//! Entries that are *not* reconstructible from their key are dropped
+//! instead: skew-routed fragments (`route_tag != 0` — the spreader
+//! assignment depended on the full shuffle's atom list) and bound fragments
+//! (`bind_tag != 0` — never published in practice), plus entries from an
+//! older stats epoch.
+
+use crate::cache::{IndexKey, IndexScope, RelationIndex};
+use crate::plan::HCubePlan;
+use adj_relational::{Relation, Schema, Trie, Value};
+use std::sync::Arc;
+
+/// What [`patch_relation_indexes`] did to one relation's cached entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchOutcome {
+    /// Entries brought forward to the new delta sequence.
+    pub patched: usize,
+    /// Entries discarded because their fragments are not reconstructible
+    /// from the key alone (skew-routed, bound, or stale-epoch entries).
+    pub dropped: usize,
+    /// Delta tuple copies delivered across all patched entries (the
+    /// communication the shuffle would have charged for them).
+    pub tuples_routed: u64,
+}
+
+/// Takes every cached index entry of `relation` (in `scope`'s database),
+/// routes the delta runs into the reconstructible ones, and republishes
+/// them under the relation's current delta sequence in `scope.versions`.
+///
+/// `inserts` and `deletes` carry the *batch* delta in the relation's own
+/// schema; rows in `deletes` absent from a fragment are ignored (tombstone
+/// of a missing row), rows in `inserts` already present are absorbed.
+pub fn patch_relation_indexes(
+    scope: &IndexScope<'_>,
+    relation: &str,
+    inserts: &Relation,
+    deletes: &Relation,
+) -> PatchOutcome {
+    let mut out = PatchOutcome::default();
+    let new_seq = scope.delta_seq_for(relation);
+    for (key, entry) in scope.cache.take_indexes_for(scope.db_tag, relation) {
+        if key.route_tag != 0 || key.bind_tag != 0 || key.epoch != scope.epoch {
+            out.dropped += 1;
+            continue;
+        }
+        if key.delta_seq == new_seq {
+            // Already current (idempotent re-patch); keep it untouched.
+            scope.cache.insert_index(key, entry);
+            continue;
+        }
+        match patch_one(&key, &entry, inserts, deletes, new_seq) {
+            Some((new_key, new_entry, routed)) => {
+                scope.cache.insert_index(new_key, new_entry);
+                out.patched += 1;
+                out.tuples_routed += routed;
+            }
+            None => out.dropped += 1,
+        }
+    }
+    out
+}
+
+/// Routes the delta into one entry; `None` when the delta does not fit the
+/// entry's induced layout (schema changed under the relation name).
+fn patch_one(
+    key: &IndexKey,
+    entry: &RelationIndex,
+    inserts: &Relation,
+    deletes: &Relation,
+    new_seq: u64,
+) -> Option<(IndexKey, Arc<RelationIndex>, u64)> {
+    let induced = Schema::new(key.induced.clone()).ok()?;
+    let ins_p = inserts.permute(induced.attrs()).ok()?;
+    let del_p = deletes.permute(induced.attrs()).ok()?;
+    let plan = HCubePlan::new(key.share.clone(), key.num_workers);
+
+    // Plain-hash routing, exactly as the original (route_tag == 0) shuffle:
+    // fixed coordinates on the relation's own attributes, broadcast on the
+    // rest.
+    let mut routed: u64 = 0;
+    let mut route = |rel: &Relation| -> Vec<Vec<Value>> {
+        let mut per_worker: Vec<Vec<Value>> = vec![Vec::new(); key.num_workers];
+        let mut dests = Vec::new();
+        for row in rel.rows() {
+            plan.route_workers(&induced, row, &mut dests);
+            for &w in &dests {
+                per_worker[w].extend_from_slice(row);
+                routed += 1;
+            }
+        }
+        per_worker
+    };
+    let ins_w = route(&ins_p);
+    let del_w = route(&del_p);
+
+    let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(key.num_workers);
+    for (w, old) in entry.tries.iter().enumerate() {
+        if ins_w[w].is_empty() && del_w[w].is_empty() {
+            tries.push(Arc::clone(old)); // untouched fragment rides along
+            continue;
+        }
+        let ins_rel = Relation::from_flat(induced.clone(), ins_w[w].clone()).ok()?;
+        let del_rel = Relation::from_flat(induced.clone(), del_w[w].clone()).ok()?;
+        let merged = Relation::merge_sorted(&[&old.to_relation(), &ins_rel])
+            .and_then(|u| u.subtract(&del_rel))
+            .ok()?;
+        tries.push(Arc::new(Trie::build(&merged)));
+    }
+    let new_key = IndexKey { delta_seq: new_seq, ..key.clone() };
+    let new_entry =
+        Arc::new(RelationIndex::new(tries, entry.tuples + routed, entry.messages + routed));
+    Some((new_key, new_entry, routed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::IndexCache;
+
+    fn rel(ids: &[u32], rows: &[&[Value]]) -> Relation {
+        Relation::from_rows(Schema::from_ids(ids), rows).unwrap()
+    }
+
+    /// Reference: route a full relation the way the plain shuffle does and
+    /// build per-worker tries.
+    fn fragments(r: &Relation, plan: &HCubePlan) -> Vec<Arc<Trie>> {
+        let mut per_worker: Vec<Vec<Value>> = vec![Vec::new(); plan.num_workers()];
+        let mut dests = Vec::new();
+        for row in r.rows() {
+            plan.route_workers(r.schema(), row, &mut dests);
+            for &w in &dests {
+                per_worker[w].extend_from_slice(row);
+            }
+        }
+        per_worker
+            .into_iter()
+            .map(|buf| {
+                Arc::new(Trie::build(&Relation::from_flat(r.schema().clone(), buf).unwrap()))
+            })
+            .collect()
+    }
+
+    fn key_for(r: &Relation, plan: &HCubePlan, delta_seq: u64) -> IndexKey {
+        IndexKey {
+            db_tag: 1,
+            epoch: 0,
+            relation: "R".into(),
+            induced: r.schema().attrs().to_vec(),
+            share: plan.share().to_vec(),
+            num_workers: plan.num_workers(),
+            route_tag: 0,
+            bind_tag: 0,
+            delta_seq,
+        }
+    }
+
+    #[test]
+    fn patched_fragments_match_fresh_shuffle_of_effective_relation() {
+        let base =
+            rel(&[0, 1], &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6], &[6, 7], &[7, 8], &[8, 9]]);
+        let plan = HCubePlan::new(vec![2, 2], 4);
+        let cache = IndexCache::new(1 << 20);
+        cache.insert_index(
+            key_for(&base, &plan, 0),
+            Arc::new(RelationIndex::new(fragments(&base, &plan), 8, 8)),
+        );
+
+        let inserts = rel(&[0, 1], &[&[9, 1], &[1, 9]]);
+        let deletes = rel(&[0, 1], &[&[2, 3], &[42, 42]]); // one real, one missing
+        let versions = vec![("R".to_string(), 1u64)];
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &versions };
+        let out = patch_relation_indexes(&scope, "R", &inserts, &deletes);
+        assert_eq!((out.patched, out.dropped), (1, 0));
+        assert!(out.tuples_routed >= 4);
+
+        // old sequence no longer matches; new one does
+        assert!(cache.get_index(&key_for(&base, &plan, 0)).is_none());
+        let patched = cache.get_index(&key_for(&base, &plan, 1)).expect("patched entry");
+
+        let effective =
+            Relation::merge_sorted(&[&base, &inserts]).unwrap().subtract(&deletes).unwrap();
+        let expected = fragments(&effective, &plan);
+        for (w, (got, want)) in patched.tries.iter().zip(&expected).enumerate() {
+            assert_eq!(got.to_relation(), want.to_relation(), "worker {w} fragment diverged");
+        }
+        assert!(patched.bytes > 0);
+    }
+
+    #[test]
+    fn skew_routed_and_stale_epoch_entries_drop() {
+        let base = rel(&[0, 1], &[&[1, 2], &[2, 3]]);
+        let plan = HCubePlan::new(vec![2, 2], 4);
+        let cache = IndexCache::new(1 << 20);
+        let mut hot = key_for(&base, &plan, 0);
+        hot.route_tag = 0xBEEF;
+        cache.insert_index(hot, Arc::new(RelationIndex::new(fragments(&base, &plan), 2, 2)));
+        let mut stale = key_for(&base, &plan, 0);
+        stale.epoch = 7;
+        cache.insert_index(stale, Arc::new(RelationIndex::new(fragments(&base, &plan), 2, 2)));
+
+        let none = Relation::empty(Schema::from_ids(&[0, 1]));
+        let ins = rel(&[0, 1], &[&[5, 5]]);
+        let versions = vec![("R".to_string(), 1u64)];
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &versions };
+        let out = patch_relation_indexes(&scope, "R", &ins, &none);
+        assert_eq!((out.patched, out.dropped), (0, 2));
+        assert!(cache.is_empty(), "unreconstructible entries must not survive");
+    }
+
+    #[test]
+    fn untouched_workers_share_the_old_trie() {
+        // Share (4,1) on 4 workers: each tuple lands on exactly one worker,
+        // so a one-row delta rebuilds exactly one fragment.
+        let base = rel(&[0, 1], &[&[1, 2], &[2, 3], &[3, 4], &[4, 5], &[5, 6], &[6, 7]]);
+        let plan = HCubePlan::new(vec![4, 1], 4);
+        let cache = IndexCache::new(1 << 20);
+        let frags = fragments(&base, &plan);
+        cache.insert_index(
+            key_for(&base, &plan, 0),
+            Arc::new(RelationIndex::new(frags.clone(), 6, 6)),
+        );
+        let ins = rel(&[0, 1], &[&[1, 99]]);
+        let none = Relation::empty(Schema::from_ids(&[0, 1]));
+        let versions = vec![("R".to_string(), 1u64)];
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &versions };
+        let out = patch_relation_indexes(&scope, "R", &ins, &none);
+        assert_eq!(out.patched, 1);
+        let patched = cache.get_index(&key_for(&base, &plan, 1)).unwrap();
+        let rebuilt: Vec<bool> =
+            patched.tries.iter().zip(&frags).map(|(a, b)| !Arc::ptr_eq(a, b)).collect();
+        assert_eq!(rebuilt.iter().filter(|&&r| r).count(), 1, "exactly one fragment rebuilt");
+    }
+}

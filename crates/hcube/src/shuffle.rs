@@ -798,7 +798,7 @@ mod tests {
         let plan = HCubePlan::new(vec![2, 2, 1], 4);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &[] };
         let cold = hcube_shuffle_cached(
             &cluster,
             &db,
@@ -854,7 +854,7 @@ mod tests {
         let plan = HCubePlan::new(vec![2, 2, 1], 4);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let cache = IndexCache::new(64 << 20);
-        let s0 = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        let s0 = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &[] };
         hcube_shuffle_cached(
             &cluster,
             &db,
@@ -869,7 +869,7 @@ mod tests {
             &BoundValues::none(),
         )
         .unwrap();
-        let s1 = IndexScope { cache: &cache, db_tag: 1, epoch: 1 };
+        let s1 = IndexScope { cache: &cache, db_tag: 1, epoch: 1, versions: &[] };
         let out = hcube_shuffle_cached(
             &cluster,
             &db,
@@ -1003,7 +1003,7 @@ mod tests {
         let plan = HCubePlan::new(vec![4, 1, 1], 4);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 3, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 3, epoch: 0, versions: &[] };
         let hot = HotValues::new(vec![vec![7], vec![], vec![]]);
         let naive = hcube_shuffle_cached(
             &cluster,
@@ -1129,7 +1129,7 @@ mod tests {
         let plan = HCubePlan::new(vec![1, 2, 2], 4);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 5, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 5, epoch: 0, versions: &[] };
         let run = |bound: &BoundValues| {
             hcube_shuffle_cached(
                 &cluster,
@@ -1201,7 +1201,7 @@ mod tests {
         let plan = HCubePlan::new(vec![2, 2, 1], 4);
         let cluster = Cluster::new(ClusterConfig::with_workers(4));
         let cache = IndexCache::new(64 << 20);
-        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0 };
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &[] };
         // Warm only R1 and R3.
         let partial = vec![Some("R1".to_string()), None, Some("R3".to_string())];
         hcube_shuffle_cached(

@@ -96,6 +96,29 @@ pub fn new_attrs_per_step(tree: &GhdTree, traversal: &[usize]) -> Vec<Vec<Attr>>
         .collect()
 }
 
+/// Stable-partitions `order` in place so attributes in `bound_mask` come
+/// first, preserving the relative order within each group.
+///
+/// Bound attributes carry exactly one runtime value, so putting them at the
+/// front lets Leapfrog resolve them with one constant seek (`open_at`)
+/// before any intersection work — and every level below then intersects
+/// pre-filtered runs. Hoisting within a hypernode's fresh-attribute block
+/// keeps a valid order valid (the block stays contiguous); hoisting a whole
+/// order is safe whenever all permutations are acceptable (the
+/// communication-first planner's `n!` space, single-bag trees).
+pub fn hoist_bound(order: &mut [Attr], bound_mask: u64) {
+    if bound_mask == 0 {
+        return;
+    }
+    let mut hoisted: Vec<Attr> = Vec::with_capacity(order.len());
+    hoisted.extend(order.iter().copied().filter(|a| a.mask() & bound_mask != 0));
+    if hoisted.is_empty() || hoisted.len() == order.len() {
+        return;
+    }
+    hoisted.extend(order.iter().copied().filter(|a| a.mask() & bound_mask == 0));
+    order.copy_from_slice(&hoisted);
+}
+
 /// All *valid* attribute orders under hypertree `T` (Sec. III-A): follow some
 /// traversal order of the hypernodes; within a hypernode the new attributes
 /// may be permuted freely.
@@ -247,6 +270,29 @@ mod tests {
         for o in all_orders(&attrs) {
             assert!(is_valid_order(&t, &o));
         }
+    }
+
+    #[test]
+    fn hoist_bound_stable_partitions() {
+        let mut o: AttrOrder = vec![Attr(2), Attr(0), Attr(3), Attr(1)];
+        hoist_bound(&mut o, Attr(0).mask() | Attr(1).mask());
+        assert_eq!(o, vec![Attr(0), Attr(1), Attr(2), Attr(3)]);
+        // no bound attrs: untouched
+        let mut o2: AttrOrder = vec![Attr(2), Attr(0)];
+        hoist_bound(&mut o2, 0);
+        assert_eq!(o2, vec![Attr(2), Attr(0)]);
+        // all bound: untouched
+        let mut o3: AttrOrder = vec![Attr(2), Attr(0)];
+        hoist_bound(&mut o3, !0);
+        assert_eq!(o3, vec![Attr(2), Attr(0)]);
+        // hoisting within a hypernode's fresh block keeps validity: in the
+        // example tree the order abcde starts with node va's block {a,b,c}
+        let t = example_tree();
+        let mut o4: AttrOrder = vec![Attr(0), Attr(1), Attr(2), Attr(3), Attr(4)];
+        assert!(is_valid_order(&t, &o4));
+        hoist_bound(&mut o4[..3], Attr(2).mask());
+        assert_eq!(o4, vec![Attr(2), Attr(0), Attr(1), Attr(3), Attr(4)]);
+        assert!(is_valid_order(&t, &o4));
     }
 
     #[test]

@@ -31,6 +31,38 @@ impl Database {
         }
     }
 
+    /// Inserts a batch of tuples into the named relation (set semantics:
+    /// rows already present are absorbed). The rows must match the stored
+    /// relation's arity; they are merged into normal form in one pass. This
+    /// is the single-node face of the delta-overlay mutation path — the
+    /// serving layer's `Service::mutate` builds on the same kernels.
+    pub fn insert_rows(&mut self, name: &str, rows: &[&[Value]]) -> Result<usize> {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_string()))?;
+        let delta = Relation::from_rows(self.relations[i].schema().clone(), rows)?;
+        let before = self.relations[i].len();
+        self.relations[i] = Relation::merge_sorted(&[&self.relations[i], &delta])?;
+        Ok(self.relations[i].len() - before)
+    }
+
+    /// Deletes a batch of tuples from the named relation. Rows not present
+    /// are ignored (a tombstone of a missing row is a no-op, not an error).
+    /// Returns how many tuples were actually removed.
+    pub fn delete_rows(&mut self, name: &str, rows: &[&[Value]]) -> Result<usize> {
+        let i = self
+            .names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| Error::NoSuchRelation(name.to_string()))?;
+        let tombstones = Relation::from_rows(self.relations[i].schema().clone(), rows)?;
+        let before = self.relations[i].len();
+        self.relations[i] = self.relations[i].subtract(&tombstones)?;
+        Ok(before - self.relations[i].len())
+    }
+
     /// Looks up a relation by name.
     pub fn get(&self, name: &str) -> Result<&Relation> {
         self.names
@@ -127,6 +159,22 @@ mod tests {
         assert_eq!(db.get("R1").unwrap().len(), 2);
         assert_eq!(db.len(), 1);
         assert!(db.get("R2").is_err());
+    }
+
+    #[test]
+    fn insert_and_delete_rows_mutate_in_place() {
+        let mut db = Database::new();
+        db.insert("R1", rel(&[0, 1], &[&[1, 2], &[3, 4]]));
+        // inserting one new and one existing row adds exactly one tuple
+        assert_eq!(db.insert_rows("R1", &[&[5, 6], &[1, 2]]).unwrap(), 1);
+        assert_eq!(db.get("R1").unwrap().len(), 3);
+        // deleting one present and one missing row removes exactly one
+        assert_eq!(db.delete_rows("R1", &[&[3, 4], &[9, 9]]).unwrap(), 1);
+        let r = db.get("R1").unwrap();
+        assert!(r.contains_row(&[1, 2]) && r.contains_row(&[5, 6]) && !r.contains_row(&[3, 4]));
+        // unknown relation and ragged rows error
+        assert!(db.insert_rows("nope", &[&[1, 2]]).is_err());
+        assert!(db.delete_rows("R1", &[&[1]]).is_err());
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Merge-on-read cursor over a base trie plus a delta overlay.
+//!
+//! The delta-overlay mutation path (crate `adj-delta`) keeps a relation as an
+//! immutable base plus sorted insert and tombstone runs. [`MergedCursor`]
+//! presents the *effective* relation — `(base ∪ inserts) \ tombstones` — via
+//! the same navigation interface as [`TrieCursor`] (`open`/`up`/`seek`/
+//! `next`/`open_at`), so Leapfrog-style consumers can traverse a mutated
+//! relation without compacting it first.
+//!
+//! Tombstones are suppressed at seek time: a key is surfaced only if at least
+//! one tuple below it survives the tombstone set. A tombstone for a row that
+//! exists in neither base nor inserts never surfaces anywhere (deleting a
+//! missing row is a no-op by construction — iteration only covers
+//! `base ∪ inserts`).
+//!
+//! The one deliberate omission versus [`TrieCursor`] is the borrowed-run
+//! accessors (`run`/`remaining`): a merged level is not a contiguous slice of
+//! either source, so there is no slice to borrow. The distributed execution
+//! path therefore materializes the effective relation before shuffling, and
+//! this cursor serves the single-node / serving-layer read path.
+
+use crate::error::{Error, Result};
+use crate::trie::{Trie, TrieCursor};
+use crate::Value;
+
+/// Navigation cursor over `(base ∪ inserts) \ tombstones`, where all three
+/// tries share one schema (and hence one attribute order).
+#[derive(Clone)]
+pub struct MergedCursor<'a> {
+    base_t: &'a Trie,
+    ins_t: &'a Trie,
+    tomb: &'a Trie,
+    base: TrieCursor<'a>,
+    ins: TrieCursor<'a>,
+    arity: usize,
+    depth: usize,
+    /// Per open level: whether the base / insert cursor descended into it.
+    b_open: Vec<bool>,
+    i_open: Vec<bool>,
+    /// Per open level: the current merged key (valid while `!ended`).
+    keys: Vec<Value>,
+    /// Per open level: whether the merged sibling run is exhausted.
+    ended: Vec<bool>,
+}
+
+impl<'a> MergedCursor<'a> {
+    /// Opens a merged cursor at the root. All three tries must share the
+    /// same schema; pass empty tries (over the same schema) for absent
+    /// overlay sides.
+    pub fn new(base: &'a Trie, inserts: &'a Trie, tombstones: &'a Trie) -> Result<Self> {
+        for other in [inserts, tombstones] {
+            if other.schema() != base.schema() {
+                return Err(Error::SchemaMismatch {
+                    left: base.schema().to_string(),
+                    right: other.schema().to_string(),
+                });
+            }
+        }
+        let arity = base.arity();
+        Ok(MergedCursor {
+            base_t: base,
+            ins_t: inserts,
+            tomb: tombstones,
+            base: base.cursor(),
+            ins: inserts.cursor(),
+            arity,
+            depth: 0,
+            b_open: Vec::with_capacity(arity),
+            i_open: Vec::with_capacity(arity),
+            keys: Vec::with_capacity(arity),
+            ended: Vec::with_capacity(arity),
+        })
+    }
+
+    /// Current depth (number of open levels).
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Descends into the children of the current node (or the root level),
+    /// positioning at the first *visible* child. Returns `false` (and does
+    /// not descend) when no visible child exists — only possible at the root,
+    /// since interior keys are surfaced only when a visible tuple survives
+    /// below them.
+    pub fn open(&mut self) -> bool {
+        debug_assert!(self.depth < self.arity, "open past leaf level");
+        let (b_desc, i_desc) = if self.depth == 0 {
+            (self.base.open(), self.ins.open())
+        } else {
+            let k = self.keys[self.depth - 1];
+            let l = self.depth - 1;
+            let b =
+                self.b_open[l] && !self.base.at_end() && self.base.key() == k && self.base.open();
+            let i = self.i_open[l] && !self.ins.at_end() && self.ins.key() == k && self.ins.open();
+            (b, i)
+        };
+        if !b_desc && !i_desc {
+            return false;
+        }
+        self.b_open.push(b_desc);
+        self.i_open.push(i_desc);
+        self.keys.push(0);
+        self.ended.push(false);
+        self.depth += 1;
+        self.settle();
+        if self.ended[self.depth - 1] {
+            // Every child is tombstoned (root of a fully-deleted trie).
+            self.up();
+            return false;
+        }
+        true
+    }
+
+    /// Returns to the parent level.
+    pub fn up(&mut self) {
+        debug_assert!(self.depth > 0, "up at root");
+        let l = self.depth - 1;
+        if self.b_open[l] {
+            self.base.up();
+        }
+        if self.i_open[l] {
+            self.ins.up();
+        }
+        self.b_open.pop();
+        self.i_open.pop();
+        self.keys.pop();
+        self.ended.pop();
+        self.depth -= 1;
+    }
+
+    /// Whether the merged sibling run at the current level is exhausted.
+    #[inline]
+    pub fn at_end(&self) -> bool {
+        self.ended[self.depth - 1]
+    }
+
+    /// The value at the current position. Caller must ensure `!at_end()`.
+    #[inline]
+    pub fn key(&self) -> Value {
+        debug_assert!(!self.at_end());
+        self.keys[self.depth - 1]
+    }
+
+    /// Advances to the next visible sibling.
+    pub fn next(&mut self) {
+        let l = self.depth - 1;
+        debug_assert!(!self.ended[l]);
+        let k = self.keys[l];
+        if self.b_open[l] && !self.base.at_end() && self.base.key() == k {
+            self.base.next();
+        }
+        if self.i_open[l] && !self.ins.at_end() && self.ins.key() == k {
+            self.ins.next();
+        }
+        self.settle();
+    }
+
+    /// Seeks to the least visible sibling `>= target`. Returns `true` if
+    /// positioned exactly at `target`.
+    pub fn seek(&mut self, target: Value) -> bool {
+        let l = self.depth - 1;
+        if self.ended[l] {
+            return false;
+        }
+        if self.keys[l] >= target {
+            return self.keys[l] == target;
+        }
+        if self.b_open[l] && !self.base.at_end() {
+            self.base.seek(target);
+        }
+        if self.i_open[l] && !self.ins.at_end() {
+            self.ins.seek(target);
+        }
+        self.settle();
+        !self.ended[l] && self.keys[l] == target
+    }
+
+    /// Descends into the children of the current node and seeks straight to
+    /// `target` (the bound-constant primitive). Returns `true` when
+    /// positioned exactly at a visible `target`; on `false` the cursor is
+    /// *not* left descended.
+    pub fn open_at(&mut self, target: Value) -> bool {
+        if !self.open() {
+            return false;
+        }
+        if self.seek(target) {
+            return true;
+        }
+        self.up();
+        false
+    }
+
+    /// Positions the current level at the smallest visible key reachable
+    /// from the sources' current positions, or marks the level ended.
+    fn settle(&mut self) {
+        let l = self.depth - 1;
+        loop {
+            let bk =
+                if self.b_open[l] && !self.base.at_end() { Some(self.base.key()) } else { None };
+            let ik = if self.i_open[l] && !self.ins.at_end() { Some(self.ins.key()) } else { None };
+            let k = match (bk, ik) {
+                (None, None) => {
+                    self.ended[l] = true;
+                    return;
+                }
+                (Some(b), None) => b,
+                (None, Some(i)) => i,
+                (Some(b), Some(i)) => b.min(i),
+            };
+            if self.visible(k) {
+                self.keys[l] = k;
+                self.ended[l] = false;
+                return;
+            }
+            if bk == Some(k) {
+                self.base.next();
+            }
+            if ik == Some(k) {
+                self.ins.next();
+            }
+        }
+    }
+
+    /// Whether key `k` at the current level has at least one surviving tuple
+    /// below it.
+    fn visible(&self, k: Value) -> bool {
+        if self.tomb.tuples() == 0 {
+            return true;
+        }
+        let l = self.depth - 1;
+        let mut q: Vec<Value> = Vec::with_capacity(self.arity);
+        q.extend_from_slice(&self.keys[..l]);
+        q.push(k);
+        self.exists_visible(&mut q)
+    }
+
+    /// `q` is a prefix present in `base ∪ inserts`; decides whether any
+    /// completion of `q` survives the tombstones. Recursion only enters
+    /// subtrees the tombstone trie actually touches, so the walk is bounded
+    /// by the overlap of the overlay with the tombstone set.
+    fn exists_visible(&self, q: &mut Vec<Value>) -> bool {
+        if q.len() == self.arity {
+            return !trie_contains_row(self.tomb, q);
+        }
+        if self.tomb.run_for_prefix(q).is_none() {
+            return true;
+        }
+        let b = self.base_t.run_for_prefix(q).unwrap_or(&[]);
+        let i = self.ins_t.run_for_prefix(q).unwrap_or(&[]);
+        let (mut x, mut y) = (0usize, 0usize);
+        loop {
+            let v = match (b.get(x), i.get(y)) {
+                (None, None) => return false,
+                (Some(&a), None) => {
+                    x += 1;
+                    a
+                }
+                (None, Some(&c)) => {
+                    y += 1;
+                    c
+                }
+                (Some(&a), Some(&c)) => {
+                    if a < c {
+                        x += 1;
+                        a
+                    } else if c < a {
+                        y += 1;
+                        c
+                    } else {
+                        x += 1;
+                        y += 1;
+                        a
+                    }
+                }
+            };
+            q.push(v);
+            let vis = self.exists_visible(q);
+            q.pop();
+            if vis {
+                return true;
+            }
+        }
+    }
+}
+
+/// Whether `row` (full arity) is present in `trie`.
+fn trie_contains_row(trie: &Trie, row: &[Value]) -> bool {
+    if trie.tuples() == 0 {
+        return false;
+    }
+    let arity = trie.arity();
+    debug_assert_eq!(row.len(), arity);
+    match trie.run_for_prefix(&row[..arity - 1]) {
+        Some(run) => run.binary_search(&row[arity - 1]).is_ok(),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Relation;
+    use crate::schema::Schema;
+
+    fn rel(ids: &[u32], rows: &[&[Value]]) -> Relation {
+        Relation::from_rows(Schema::from_ids(ids), rows).unwrap()
+    }
+
+    /// Effective relation the merged cursor must be equivalent to.
+    fn effective(base: &Relation, ins: &Relation, tomb: &Relation) -> Relation {
+        Relation::merge_sorted(&[base, ins]).unwrap().subtract(tomb).unwrap()
+    }
+
+    fn dfs_merged(
+        c: &mut MergedCursor<'_>,
+        arity: usize,
+        prefix: &mut Vec<Value>,
+        out: &mut Vec<Vec<Value>>,
+    ) {
+        if !c.open() {
+            return;
+        }
+        while !c.at_end() {
+            prefix.push(c.key());
+            if prefix.len() == arity {
+                out.push(prefix.clone());
+            } else {
+                dfs_merged(c, arity, prefix, out);
+            }
+            prefix.pop();
+            c.next();
+        }
+        c.up();
+    }
+
+    fn merged_rows(base: &Relation, ins: &Relation, tomb: &Relation) -> Vec<Vec<Value>> {
+        let (bt, it, tt) = (Trie::build(base), Trie::build(ins), Trie::build(tomb));
+        let mut c = MergedCursor::new(&bt, &it, &tt).unwrap();
+        let mut out = Vec::new();
+        dfs_merged(&mut c, bt.arity(), &mut Vec::new(), &mut out);
+        assert_eq!(c.depth(), 0, "dfs must return to root");
+        out
+    }
+
+    fn rows_of(r: &Relation) -> Vec<Vec<Value>> {
+        r.rows().map(|row| row.to_vec()).collect()
+    }
+
+    #[test]
+    fn enumeration_matches_compacted_relation() {
+        let base = rel(
+            &[0, 1, 2],
+            &[&[1, 2, 1], &[1, 2, 2], &[1, 3, 5], &[2, 1, 1], &[2, 1, 4], &[4, 2, 6]],
+        );
+        // inserts: a brand-new subtree, an extension of an existing prefix,
+        // and a duplicate of a base row
+        let ins = rel(&[0, 1, 2], &[&[0, 9, 9], &[1, 2, 3], &[2, 1, 1]]);
+        // tombstones: a base row, an inserted row, a whole base subtree
+        // (both rows under prefix [1,2] minus survivors), and a missing row
+        let tomb = rel(&[0, 1, 2], &[&[1, 2, 1], &[1, 2, 2], &[1, 2, 3], &[2, 1, 4], &[7, 7, 7]]);
+        let eff = effective(&base, &ins, &tomb);
+        assert_eq!(merged_rows(&base, &ins, &tomb), rows_of(&eff));
+        // prefix [1,2] lost every child: level-1 key 2 under 1 must not surface
+        let bt = Trie::build(&base);
+        let it = Trie::build(&ins);
+        let tt = Trie::build(&tomb);
+        let mut c = MergedCursor::new(&bt, &it, &tt).unwrap();
+        assert!(c.open() && c.seek(1));
+        assert!(c.open());
+        assert_eq!(c.key(), 3, "subtree [1,2,*] fully tombstoned");
+    }
+
+    #[test]
+    fn pure_base_and_pure_insert_passthrough() {
+        let base = rel(&[0, 1], &[&[1, 5], &[1, 7], &[3, 2]]);
+        let none = Relation::empty(Schema::from_ids(&[0, 1]));
+        assert_eq!(merged_rows(&base, &none, &none), rows_of(&base));
+        assert_eq!(merged_rows(&none, &base, &none), rows_of(&base));
+    }
+
+    #[test]
+    fn fully_tombstoned_root_refuses_open() {
+        let base = rel(&[0, 1], &[&[1, 5], &[3, 2]]);
+        let ins = Relation::empty(Schema::from_ids(&[0, 1]));
+        let tomb = base.clone();
+        let (bt, it, tt) = (Trie::build(&base), Trie::build(&ins), Trie::build(&tomb));
+        let mut c = MergedCursor::new(&bt, &it, &tt).unwrap();
+        assert!(!c.open());
+        assert_eq!(c.depth(), 0);
+        assert!(!c.open_at(1));
+    }
+
+    #[test]
+    fn seek_skips_tombstoned_keys() {
+        let base = rel(&[0, 1], &[&[1, 5], &[2, 6], &[3, 7], &[5, 8]]);
+        let ins = rel(&[0, 1], &[&[4, 9]]);
+        let tomb = rel(&[0, 1], &[&[2, 6], &[4, 9]]);
+        let (bt, it, tt) = (Trie::build(&base), Trie::build(&ins), Trie::build(&tomb));
+        let mut c = MergedCursor::new(&bt, &it, &tt).unwrap();
+        assert!(c.open());
+        // seek(2) lands on 3: key 2 is fully tombstoned
+        assert!(!c.seek(2));
+        assert_eq!(c.key(), 3);
+        assert!(c.seek(3));
+        // seek(4) skips the tombstoned insert-only key, lands on 5
+        assert!(!c.seek(4));
+        assert_eq!(c.key(), 5);
+        c.next();
+        assert!(c.at_end());
+        assert!(!c.seek(9), "seek past end stays ended");
+        c.up();
+    }
+
+    #[test]
+    fn open_at_respects_tombstones() {
+        let base = rel(&[0, 1], &[&[1, 5], &[1, 7], &[3, 2]]);
+        let ins = rel(&[0, 1], &[&[1, 6]]);
+        let tomb = rel(&[0, 1], &[&[1, 5], &[3, 2]]);
+        let (bt, it, tt) = (Trie::build(&base), Trie::build(&ins), Trie::build(&tomb));
+        let mut c = MergedCursor::new(&bt, &it, &tt).unwrap();
+        assert!(!c.open_at(3), "subtree of 3 fully tombstoned");
+        assert_eq!(c.depth(), 0, "failed open_at must not descend");
+        assert!(c.open_at(1));
+        assert!(!c.open_at(5), "leaf [1,5] tombstoned");
+        assert!(c.open_at(6), "inserted leaf visible");
+        assert_eq!((c.depth(), c.key()), (2, 6));
+        c.up();
+        assert!(c.open_at(7), "surviving base leaf visible");
+    }
+
+    #[test]
+    fn tombstone_of_missing_row_is_inert() {
+        let base = rel(&[0, 1], &[&[1, 5]]);
+        let ins = Relation::empty(Schema::from_ids(&[0, 1]));
+        let tomb = rel(&[0, 1], &[&[9, 9]]);
+        assert_eq!(merged_rows(&base, &ins, &tomb), rows_of(&base));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let base = Trie::build(&rel(&[0, 1], &[&[1, 5]]));
+        let other = Trie::build(&Relation::empty(Schema::from_ids(&[0, 2])));
+        let ok = Trie::build(&Relation::empty(Schema::from_ids(&[0, 1])));
+        assert!(MergedCursor::new(&base, &other, &ok).is_err());
+        assert!(MergedCursor::new(&base, &ok, &other).is_err());
+    }
+}

@@ -426,6 +426,53 @@ impl Relation {
         Ok(Relation { schema, data })
     }
 
+    /// Set difference `self \ other` over the same attribute set (column
+    /// order may differ; the result uses `self`'s order). Both inputs are in
+    /// normal form, so this is a single merge pass — the tombstone-
+    /// application kernel of the delta-overlay mutation path, where a sorted
+    /// tombstone run is subtracted from a base run without re-sorting.
+    pub fn subtract(&self, other: &Relation) -> Result<Relation> {
+        if self.schema.mask() != other.schema.mask() {
+            return Err(Error::SchemaMismatch {
+                left: self.schema.to_string(),
+                right: other.schema.to_string(),
+            });
+        }
+        if other.is_empty() || self.is_empty() {
+            return Ok(self.clone());
+        }
+        let permuted;
+        let other = if other.schema == self.schema {
+            other
+        } else {
+            permuted = other.permute(self.schema.attrs())?;
+            &permuted
+        };
+        let arity = self.arity();
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = Vec::with_capacity(a.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let ra = &a[i..i + arity];
+            let rb = &b[j..j + arity];
+            match ra.cmp(rb) {
+                std::cmp::Ordering::Less => {
+                    out.extend_from_slice(ra);
+                    i += arity;
+                }
+                std::cmp::Ordering::Greater => j += arity,
+                std::cmp::Ordering::Equal => {
+                    i += arity;
+                    j += arity;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        // Filtering a sorted-dedup run preserves the invariant; skip re-sort.
+        Ok(Relation { schema: self.schema.clone(), data: out })
+    }
+
     /// Selects tuples where `attr == value`. Used by the sampler to pin the
     /// sampled attribute (`T_{A=a}` in Eq. (4)).
     pub fn select_eq(&self, attr: Attr, value: Value) -> Result<Relation> {
@@ -642,6 +689,26 @@ mod tests {
         let b = rel(&[0, 2], &[&[1, 2]]);
         assert!(Relation::merge_sorted(&[&a, &b]).is_err());
         assert!(Relation::merge_sorted(&[]).is_err());
+    }
+
+    #[test]
+    fn subtract_is_set_difference() {
+        let a = rel(&[0, 1], &[&[1, 2], &[3, 4], &[5, 6], &[9, 9]]);
+        let b = rel(&[0, 1], &[&[3, 4], &[9, 9], &[7, 7]]);
+        let d = a.subtract(&b).unwrap();
+        assert_eq!(d, rel(&[0, 1], &[&[1, 2], &[5, 6]]));
+        // subtracting rows that are absent is a no-op
+        let missing = rel(&[0, 1], &[&[100, 100]]);
+        assert_eq!(a.subtract(&missing).unwrap(), a);
+        // permuted column order still subtracts the same tuple set
+        let bp = rel(&[1, 0], &[&[4, 3], &[9, 9]]);
+        assert_eq!(a.subtract(&bp).unwrap(), rel(&[0, 1], &[&[1, 2], &[5, 6]]));
+        // empty edge cases
+        assert_eq!(a.subtract(&Relation::empty(a.schema().clone())).unwrap(), a);
+        let empty = Relation::empty(a.schema().clone());
+        assert!(empty.subtract(&a).unwrap().is_empty());
+        // schema mismatch is an error
+        assert!(a.subtract(&rel(&[0, 2], &[&[1, 2]])).is_err());
     }
 
     #[test]

@@ -25,5 +25,6 @@ pub mod skew;
 pub use distributed::{estimate_distributed, DistributedReport};
 pub use estimator::{required_samples, CardinalityEstimate, Sampler, SamplingConfig};
 pub use skew::{
-    detect_heavy_hitters, ColumnSkew, HeavyHitter, RelationSkew, SkewConfig, SkewProfile,
+    detect_heavy_hitters, sample_relation, ColumnSkew, HeavyHitter, RelationSkew, SkewConfig,
+    SkewProfile,
 };

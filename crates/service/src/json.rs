@@ -186,6 +186,10 @@ impl MetricsSnapshot {
             .u64("queries_traced", self.queries_traced)
             .u64("trace_events_dropped", self.trace_events_dropped)
             .u64("slow_queries_logged", self.slow_queries_logged)
+            .u64("mutations_applied", self.mutations_applied)
+            .u64("delta_overlay_tuples", self.delta_overlay_tuples)
+            .u64("index_entries_patched", self.index_entries_patched)
+            .u64("compactions", self.compactions)
             .raw("total", self.total.to_json())
             .raw("queue_wait", self.queue_wait.to_json())
             .raw("optimization", self.optimization.to_json())

@@ -85,6 +85,7 @@ pub mod pool;
 pub mod service;
 
 pub use adj_core::{IndexCache, IndexCacheStats};
+pub use adj_delta::{DeltaConfig, MutationBatch};
 pub use adj_query::ExplainMode;
 pub use adj_trace::{Event, QueryTrace, Trace, Tracer};
 pub use admission::{AdmissionPolicy, AdmissionStats};
@@ -92,7 +93,9 @@ pub use cache::PlanCacheStats;
 pub use json::execution_report_json;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
 pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
-pub use service::{PreparedQuery, Service, ServiceOutcome, ServiceStats, SlowQuery};
+pub use service::{
+    MutationOutcome, PreparedQuery, Service, ServiceOutcome, ServiceStats, SlowQuery,
+};
 
 use adj_core::{AdjConfig, Strategy};
 use std::time::Duration;
@@ -156,6 +159,9 @@ pub struct ServiceConfig {
     pub admission: AdmissionPolicy,
     /// Per-query tracing and the slow-query log.
     pub trace: TraceSettings,
+    /// Delta-overlay growth and compaction knobs for
+    /// [`Service::mutate`]-ed relations.
+    pub delta: DeltaConfig,
 }
 
 impl Default for ServiceConfig {
@@ -168,6 +174,7 @@ impl Default for ServiceConfig {
             max_concurrent: 4,
             admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
             trace: TraceSettings::default(),
+            delta: DeltaConfig::default(),
         }
     }
 }

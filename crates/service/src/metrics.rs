@@ -166,6 +166,10 @@ pub struct ServiceMetrics {
     queries_traced: AtomicU64,
     trace_events_dropped: AtomicU64,
     slow_queries_logged: AtomicU64,
+    mutations_applied: AtomicU64,
+    delta_overlay_tuples: AtomicU64,
+    index_entries_patched: AtomicU64,
+    compactions: AtomicU64,
     partition_tuples_max: AtomicU64,
     partition_fill_sum: AtomicU64,
     partition_fill_slots: AtomicU64,
@@ -267,6 +271,19 @@ impl ServiceMetrics {
         self.slow_queries_logged.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one served mutation batch: how many warm index-cache
+    /// entries were patched forward, whether the overlay compacted, and
+    /// the resulting overlay-tuple residency across all databases (a
+    /// gauge — the last write wins).
+    pub fn record_mutation(&self, entries_patched: u64, compacted: bool, overlay_tuples: u64) {
+        self.mutations_applied.fetch_add(1, Ordering::Relaxed);
+        self.index_entries_patched.fetch_add(entries_patched, Ordering::Relaxed);
+        if compacted {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+        }
+        self.delta_overlay_tuples.store(overlay_tuples, Ordering::Relaxed);
+    }
+
     /// A point-in-time summary of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -298,6 +315,10 @@ impl ServiceMetrics {
             queries_traced: self.queries_traced.load(Ordering::Relaxed),
             trace_events_dropped: self.trace_events_dropped.load(Ordering::Relaxed),
             slow_queries_logged: self.slow_queries_logged.load(Ordering::Relaxed),
+            mutations_applied: self.mutations_applied.load(Ordering::Relaxed),
+            delta_overlay_tuples: self.delta_overlay_tuples.load(Ordering::Relaxed),
+            index_entries_patched: self.index_entries_patched.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
             max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
             mean_partition_tuples: {
                 let slots = self.partition_fill_slots.load(Ordering::Relaxed);
@@ -377,6 +398,17 @@ pub struct MetricsSnapshot {
     /// Queries admitted into the slow-query log (exceeded the configured
     /// latency threshold).
     pub slow_queries_logged: u64,
+    /// Mutation batches served (`Service::mutate` calls that applied).
+    pub mutations_applied: u64,
+    /// Overlay tuples (insert + tombstone runs) currently resident across
+    /// all registered databases — falls back to 0 after compactions fold
+    /// the overlays away.
+    pub delta_overlay_tuples: u64,
+    /// Warm index-cache entries patched forward to a new delta sequence
+    /// instead of being discarded.
+    pub index_entries_patched: u64,
+    /// Delta overlays folded into their base (size- or drift-triggered).
+    pub compactions: u64,
     /// Fullest single-worker partition fill (delivered tuple copies)
     /// observed on any served query — the hot-spot ceiling skew hardening
     /// bounds.
@@ -470,6 +502,19 @@ impl MetricsSnapshot {
             "Queries admitted into the slow-query log.",
             self.slow_queries_logged,
         );
+        counter("mutations_applied_total", "Mutation batches served.", self.mutations_applied);
+        counter(
+            "index_entries_patched_total",
+            "Warm index-cache entries patched forward across mutations.",
+            self.index_entries_patched,
+        );
+        counter("compactions_total", "Delta overlays folded into their base.", self.compactions);
+        out.push_str(&format!(
+            "# HELP adj_delta_overlay_tuples Overlay tuples resident across databases.\n\
+             # TYPE adj_delta_overlay_tuples gauge\n\
+             adj_delta_overlay_tuples {}\n",
+            self.delta_overlay_tuples
+        ));
         out.push_str(&format!(
             "# HELP adj_max_partition_tuples Fullest single-worker partition fill observed.\n\
              # TYPE adj_max_partition_tuples gauge\n\

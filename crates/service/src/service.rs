@@ -8,21 +8,31 @@ use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
+use adj_delta::{DeltaRelation, MutationBatch};
+use adj_hcube::patch_relation_indexes;
 use adj_query::fingerprint::Fnv1a;
 use adj_query::{
     parse_query_explain, parse_query_with_mode, Bindings, ExplainMode, JoinQuery, QueryFingerprint,
 };
-use adj_relational::{Attr, BoundValues, Database, OutputMode, QueryOutput, Relation};
+use adj_relational::{Attr, BoundValues, Database, OutputMode, QueryOutput, Relation, Value};
+use adj_sampling::sample_relation;
 use adj_trace::{QueryTrace, Trace, Tracer, COORDINATOR_LANE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
-/// A registered database: immutable contents plus the statistics epoch the
-/// plan cache keys on.
+/// A registered database: an immutable serving snapshot plus the
+/// statistics epoch and per-relation delta versions the caches key on.
+///
+/// Mutation is copy-on-write: [`Service::mutate`] builds a fresh entry
+/// (always-effective contents, updated overlays and versions) and swaps it
+/// into the registry atomically, so in-flight queries keep reading the
+/// snapshot they started on.
 #[derive(Debug)]
 struct DbEntry {
+    /// The always-effective contents: every mutated relation is stored
+    /// post-overlay, so the optimizer and executor see materialized data.
     db: Database,
     /// Stable hash of the database *name* (folds into cache keys so equal
     /// epochs on different databases never collide).
@@ -30,6 +40,90 @@ struct DbEntry {
     /// Monotonic registration stamp: re-registering a name bumps this, so
     /// every plan optimized against the old contents stops matching.
     epoch: u64,
+    /// Delta overlays of mutated relations (absent until first mutation).
+    deltas: HashMap<String, DeltaState>,
+    /// Per-relation delta sequences, in the [`IndexScope`] slice form.
+    /// Relations never mutated are absent (sequence 0).
+    versions: Vec<(String, u64)>,
+}
+
+/// One relation's overlay plus the skew baseline it was born under.
+#[derive(Debug, Clone)]
+struct DeltaState {
+    delta: DeltaRelation,
+    /// Largest heavy-hitter fraction sampled when the overlay was created
+    /// (or last re-baselined at compaction). Mutations that push the
+    /// current fraction materially past this have drifted away from the
+    /// statistics the cached fragments' shares were chosen under.
+    baseline_max_fraction: f64,
+}
+
+/// Drift threshold: compact + invalidate when the mutated relation's
+/// largest heavy-hitter fraction exceeds the baseline by this factor (and
+/// clears the detector's own reporting floor).
+const SKEW_DRIFT_FACTOR: f64 = 1.5;
+
+impl DbEntry {
+    /// The plan-cache stats token for `query`: the registration epoch alone
+    /// while the database has never mutated (so pre-mutation keys are
+    /// byte-stable), otherwise the epoch folded with the delta sequence of
+    /// every relation the query references. A batch on `R1` thereby
+    /// re-plans only the shapes that read `R1`; everything else keeps
+    /// hitting its cached plan.
+    fn stats_token(&self, query: &JoinQuery) -> u64 {
+        // Only atoms whose relation has actually mutated fold into the
+        // token. A query over never-mutated relations keeps the bare
+        // epoch — byte-identical to its pre-mutation key — so mutating R3
+        // re-plans only the shapes that read R3, and a shape over R1/R2
+        // keeps its plan (the per-relation replacement for the global
+        // epoch bump). Re-planning against the new effective contents
+        // keeps the serving path oracle-equivalent in every output mode:
+        // `Limit`'s canonical sample is defined by the plan's attribute
+        // order, so the plan must be the one a full re-register would
+        // derive.
+        let mut mutated: Vec<(&str, u64)> = Vec::new();
+        for atom in &query.atoms {
+            if let Some(&(_, seq)) = self.versions.iter().find(|(n, _)| n == &atom.name) {
+                if seq > 0 && !mutated.iter().any(|&(n, _)| n == atom.name) {
+                    mutated.push((&atom.name, seq));
+                }
+            }
+        }
+        if mutated.is_empty() {
+            return self.epoch;
+        }
+        let mut h = Fnv1a::new();
+        h.write(&self.epoch.to_le_bytes());
+        for (name, seq) in mutated {
+            h.write(name.as_bytes());
+            h.write(&[0xff]);
+            h.write(&seq.to_le_bytes());
+        }
+        h.finish()
+    }
+}
+
+/// What one [`Service::mutate`] batch did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The mutated relation.
+    pub relation: String,
+    /// Rows newly visible in the effective relation.
+    pub inserted: usize,
+    /// Rows removed from the effective relation.
+    pub deleted: usize,
+    /// The relation's delta sequence after the batch.
+    pub seq: u64,
+    /// Warm index-cache entries patched forward to the new sequence.
+    pub entries_patched: usize,
+    /// Index-cache entries dropped (skew-routed/bound/stale entries the
+    /// patcher cannot reconstruct, or everything under a drift-triggered
+    /// compaction).
+    pub entries_dropped: usize,
+    /// Whether the overlay was folded into the base this batch.
+    pub compacted: bool,
+    /// Overlay tuples (inserts + tombstones) remaining after the batch.
+    pub overlay_tuples: usize,
 }
 
 /// One served query's outcome.
@@ -251,7 +345,13 @@ impl Service {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let mut tag = Fnv1a::new();
         tag.write(name.as_bytes());
-        let entry = Arc::new(DbEntry { db, tag: tag.finish(), epoch });
+        let entry = Arc::new(DbEntry {
+            db,
+            tag: tag.finish(),
+            epoch,
+            deltas: HashMap::new(),
+            versions: Vec::new(),
+        });
         let replaced = self
             .databases
             .write()
@@ -354,6 +454,172 @@ impl Service {
         Ok(values)
     }
 
+    /// Applies one mutation batch to a relation of a registered database —
+    /// the dynamic-data front door. The batch lands in the relation's
+    /// delta overlay ([`DeltaRelation`]): inserts and tombstones become
+    /// sorted runs versioned by a per-relation sequence number, and the
+    /// serving snapshot is atomically replaced with the new effective
+    /// contents (copy-on-write; in-flight queries finish on the old one).
+    ///
+    /// Warm index-cache entries of the mutated relation are **patched**,
+    /// not discarded: only the delta tuples are routed through each cached
+    /// entry's own share layout and merged into the affected fragments,
+    /// republished under the new sequence — so the very next query over
+    /// the relation hits warm instead of paying a cold shuffle. Plans are
+    /// re-keyed per relation (see `DbEntry::stats_token`): only shapes
+    /// reading the mutated relation re-plan, and the fresh plan — derived
+    /// from the same effective contents a full re-register would serve —
+    /// lands back on the patched fragments because execution-time share
+    /// selection is quantized against small cardinality changes.
+    ///
+    /// The overlay compacts into the base when it outgrows
+    /// [`ServiceConfig::delta`](crate::ServiceConfig) — invisibly to the
+    /// caches, since compaction changes neither the effective contents nor
+    /// the sequence. A *skew drift* past the overlay-birth baseline
+    /// (re-sampled incrementally, only for the mutated relation) instead
+    /// triggers a targeted invalidation + compaction: the cached
+    /// fragments' fill is drifting past the max-partition statistics their
+    /// shares were chosen under, so the next query re-shuffles with fresh
+    /// stats rather than keep patching a layout that no longer fits.
+    pub fn mutate(
+        &self,
+        db_name: &str,
+        batch: &MutationBatch,
+    ) -> Result<MutationOutcome, ServiceError> {
+        let mut dbs = self.databases.write().expect("database registry poisoned");
+        let entry = match dbs.get(db_name) {
+            Some(e) => Arc::clone(e),
+            None => {
+                self.metrics.record_failure();
+                return Err(ServiceError::UnknownDatabase(db_name.to_string()));
+            }
+        };
+        let skew_cfg = self.config.adj.skew;
+        let mut deltas = entry.deltas.clone();
+        if !deltas.contains_key(&batch.relation) {
+            let base = match entry.db.get(&batch.relation) {
+                Ok(r) => r.clone(),
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(ServiceError::Exec(e));
+                }
+            };
+            let baseline = sample_relation(&batch.relation, &base, &skew_cfg).max_fraction();
+            deltas.insert(
+                batch.relation.clone(),
+                DeltaState { delta: DeltaRelation::new(base), baseline_max_fraction: baseline },
+            );
+        }
+        let state = deltas.get_mut(&batch.relation).expect("just ensured");
+        let applied = match state.delta.apply(&batch.inserts, &batch.deletes) {
+            Ok(o) => o,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
+        if batch.is_empty() {
+            // Nothing changed: no sequence bump, no cache work, no new
+            // snapshot — but the call still counts in the metrics.
+            let outcome = MutationOutcome {
+                relation: batch.relation.clone(),
+                inserted: 0,
+                deleted: 0,
+                seq: applied.seq,
+                entries_patched: 0,
+                entries_dropped: 0,
+                compacted: false,
+                overlay_tuples: state.delta.overlay_tuples(),
+            };
+            self.metrics.record_mutation(0, false, Self::total_overlay_tuples(&dbs));
+            return Ok(outcome);
+        }
+
+        let mut db = entry.db.clone();
+        db.insert(batch.relation.clone(), state.delta.effective());
+        let mut versions = entry.versions.clone();
+        match versions.iter_mut().find(|(n, _)| n == &batch.relation) {
+            Some(slot) => slot.1 = applied.seq,
+            None => versions.push((batch.relation.clone(), applied.seq)),
+        }
+
+        // Incremental skew stats: re-sample only the mutated relation.
+        let current_max = sample_relation(
+            &batch.relation,
+            db.get(&batch.relation).expect("just inserted"),
+            &skew_cfg,
+        )
+        .max_fraction();
+        let drifted = current_max >= skew_cfg.min_fraction
+            && current_max > state.baseline_max_fraction * SKEW_DRIFT_FACTOR;
+
+        let (entries_patched, entries_dropped);
+        let mut compacted = false;
+        if drifted {
+            // Targeted invalidation: only this relation's warm entries
+            // drop; every other cached artifact stays warm. The fold
+            // re-baselines the detector at the new skew level.
+            entries_dropped = self.index.take_indexes_for(entry.tag, &batch.relation).len();
+            entries_patched = 0;
+            state.delta.compact();
+            state.baseline_max_fraction = current_max;
+            compacted = true;
+        } else {
+            // Route only the batch through each warm entry's own layout.
+            let schema = state.delta.schema().clone();
+            let ins_rows: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
+            let del_rows: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
+            let ins =
+                Relation::from_rows(schema.clone(), &ins_rows).expect("rows validated by apply");
+            let del = Relation::from_rows(schema, &del_rows).expect("rows validated by apply");
+            let scope = IndexScope {
+                cache: &self.index,
+                db_tag: entry.tag,
+                epoch: entry.epoch,
+                versions: &versions,
+            };
+            let patch = patch_relation_indexes(&scope, &batch.relation, &ins, &del);
+            entries_patched = patch.patched;
+            entries_dropped = patch.dropped;
+            if state.delta.needs_compaction(&self.config.delta) {
+                // Size-triggered fold: effective contents and sequence are
+                // unchanged, so the (just-patched) cache entries stay
+                // valid across it.
+                state.delta.compact();
+                state.baseline_max_fraction = current_max;
+                compacted = true;
+            }
+        }
+
+        let outcome = MutationOutcome {
+            relation: batch.relation.clone(),
+            inserted: applied.inserted,
+            deleted: applied.deleted,
+            seq: applied.seq,
+            entries_patched,
+            entries_dropped,
+            compacted,
+            overlay_tuples: state.delta.overlay_tuples(),
+        };
+        let new_entry =
+            Arc::new(DbEntry { db, tag: entry.tag, epoch: entry.epoch, deltas, versions });
+        dbs.insert(db_name.to_string(), new_entry);
+        self.metrics.record_mutation(
+            entries_patched as u64,
+            compacted,
+            Self::total_overlay_tuples(&dbs),
+        );
+        Ok(outcome)
+    }
+
+    /// Overlay tuples currently resident across every registered database
+    /// (the `adj_delta_overlay_tuples` gauge).
+    fn total_overlay_tuples(dbs: &HashMap<String, Arc<DbEntry>>) -> u64 {
+        dbs.values()
+            .map(|e| e.deltas.values().map(|s| s.delta.overlay_tuples() as u64).sum::<u64>())
+            .sum()
+    }
+
     /// Prepares a parameterized query against a named database: validates
     /// the database exists, optimizes the shape now (publishing the plan
     /// into the cache, so the first bound execution is already a hit), and
@@ -367,7 +633,7 @@ impl Service {
             }
         };
         let fingerprint = QueryFingerprint::of(query);
-        let key = fingerprint.cache_key(entry.tag, entry.epoch);
+        let key = fingerprint.cache_key(entry.tag, entry.stats_token(query));
         if self.cache.get(key).is_none() {
             let plan = match self.adj.plan(query, &entry.db, self.config.strategy) {
                 Ok(p) => Arc::new(p),
@@ -498,7 +764,7 @@ impl Service {
             QueryFingerprint::of(&query.erase_bound_values()).plan_key,
             "constants leaked into plan_key"
         );
-        let key = fingerprint.cache_key(entry.tag, entry.epoch);
+        let key = fingerprint.cache_key(entry.tag, entry.stats_token(query));
         let mut lookup_span = tracer.span(COORDINATOR_LANE, "plan_lookup");
         let (plan, cache_hit) = match self.cache.get(key) {
             Some(plan) => (plan, true),
@@ -527,7 +793,12 @@ impl Service {
         // per-query plan clone on the hot path) under the index cache's
         // scope: warm relations join over cached `Arc<Trie>` handles and
         // skip the shuffle + build entirely.
-        let scope = IndexScope { cache: &self.index, db_tag: entry.tag, epoch: entry.epoch };
+        let scope = IndexScope {
+            cache: &self.index,
+            db_tag: entry.tag,
+            epoch: entry.epoch,
+            versions: &entry.versions,
+        };
         let executed =
             self.adj.execute_bound_traced(&plan, &entry.db, mode, Some(&scope), values, &tracer);
         let (output, mut report) = match executed {
@@ -683,7 +954,7 @@ impl Service {
                     }
                 };
                 let fingerprint = QueryFingerprint::of(&query);
-                let key = fingerprint.cache_key(entry.tag, entry.epoch);
+                let key = fingerprint.cache_key(entry.tag, entry.stats_token(&query));
                 let plan = match self.cache.get(key) {
                     Some(p) => p,
                     None => {
@@ -1226,5 +1497,211 @@ mod tests {
         assert!(service.drop_database("g"));
         assert!(!service.drop_database("g"));
         assert!(service.execute("g", &q).is_err());
+    }
+
+    #[test]
+    fn mutate_then_query_matches_full_reregister() {
+        let q = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&g));
+        service.execute("g", &q).unwrap(); // warm plan + indexes
+
+        // Grow a brand-new triangle 500-501-502: R1(a,b), R2(b,c), R3(a,c).
+        let outcome = service
+            .mutate("g", &MutationBatch::new("R1").insert(&[500, 501]).delete(&[0, 1]))
+            .unwrap();
+        assert_eq!(outcome.seq, 1);
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(outcome.deleted, 1);
+        service.mutate("g", &MutationBatch::new("R2").insert(&[501, 502])).unwrap();
+        service.mutate("g", &MutationBatch::new("R3").insert(&[500, 502])).unwrap();
+        let mutated = service.execute("g", &q).unwrap();
+
+        // Oracle: a fresh service over a database mutated the slow way.
+        let mut db = q.instantiate(&g);
+        db.insert_rows("R1", &[&[500, 501]]).unwrap();
+        db.delete_rows("R1", &[&[0, 1]]).unwrap();
+        db.insert_rows("R2", &[&[501, 502]]).unwrap();
+        db.insert_rows("R3", &[&[500, 502]]).unwrap();
+        let oracle = small_service();
+        oracle.register_database("g", db);
+        let expected = oracle.execute("g", &q).unwrap();
+
+        let aligned = mutated.rows().permute(expected.rows().schema().attrs()).unwrap();
+        assert_eq!(&aligned, expected.rows());
+        assert!(
+            mutated.rows().rows().any(|r| r.contains(&500) && r.contains(&501) && r.contains(&502)),
+            "the inserted triangle must be visible"
+        );
+    }
+
+    #[test]
+    fn mutation_re_keys_only_the_mutated_relation() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(120, 31)));
+        let path = "P(a,b,c) :- R1(a,b), R2(b,c)";
+        service.execute("g", &q).unwrap();
+        service.execute_text("g", path).unwrap();
+        assert!(service.execute("g", &q).unwrap().cache_hit);
+        assert!(service.execute_text("g", path).unwrap().cache_hit);
+
+        service.mutate("g", &MutationBatch::new("R3").insert(&[900, 901])).unwrap();
+        let triangle = service.execute("g", &q).unwrap();
+        assert!(!triangle.cache_hit, "shapes reading R3 must re-plan on its new stats");
+        let untouched = service.execute_text("g", path).unwrap();
+        assert!(untouched.cache_hit, "shapes not reading R3 must keep their plan");
+        assert!(service.execute("g", &q).unwrap().cache_hit, "the re-keyed plan is cached");
+    }
+
+    #[test]
+    fn warm_index_entries_are_patched_not_dropped() {
+        let q = paper_query(PaperQuery::Q1);
+        let g = graph(150, 41);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&g));
+        let cold = service.execute("g", &q).unwrap();
+        assert!(cold.report.index_relations_built > 0);
+
+        let batch = MutationBatch::new("R1").insert(&[700, 701]).delete(&[0, 1]);
+        let outcome = service.mutate("g", &batch).unwrap();
+        assert!(outcome.entries_patched > 0, "warm entries must be patched forward");
+        assert_eq!(outcome.entries_dropped, 0);
+        assert!(!outcome.compacted);
+        assert!(outcome.overlay_tuples > 0, "the overlay holds the delta runs");
+
+        let warm = service.execute("g", &q).unwrap();
+        assert_eq!(
+            warm.report.index_relations_built, 0,
+            "every index must be served warm after patching"
+        );
+        assert!(warm.report.index_relations_reused > 0);
+
+        let mut db = q.instantiate(&g);
+        db.insert_rows("R1", &[&[700, 701]]).unwrap();
+        db.delete_rows("R1", &[&[0, 1]]).unwrap();
+        let oracle = small_service();
+        oracle.register_database("g", db);
+        let expected = oracle.execute("g", &q).unwrap();
+        let aligned = warm.rows().permute(expected.rows().schema().attrs()).unwrap();
+        assert_eq!(&aligned, expected.rows());
+    }
+
+    #[test]
+    fn size_triggered_compaction_is_invisible_to_warm_caches() {
+        let q = paper_query(PaperQuery::Q1);
+        let config = ServiceConfig {
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..pinned_adj() },
+            // Any non-empty overlay immediately outgrows this budget.
+            delta: crate::DeltaConfig { max_overlay_fraction: 0.0, min_overlay_tuples: 1 },
+            ..Default::default()
+        };
+        let service = Service::new(config);
+        service.register_database("g", q.instantiate(&graph(150, 41)));
+        let cold = service.execute("g", &q).unwrap();
+
+        let outcome = service.mutate("g", &MutationBatch::new("R1").insert(&[800, 801])).unwrap();
+        assert!(outcome.compacted);
+        assert_eq!(outcome.overlay_tuples, 0, "the fold leaves an empty overlay");
+        assert!(outcome.entries_patched > 0, "patching happens before the fold");
+
+        let warm = service.execute("g", &q).unwrap();
+        assert!(!warm.cache_hit, "the mutated relation re-keys this shape");
+        assert_eq!(warm.plan.order, cold.plan.order, "identical effective stats, same plan");
+        assert_eq!(
+            warm.report.index_relations_built, 0,
+            "compaction keeps contents and sequence, so patched entries stay valid"
+        );
+        assert!(!warm.rows().is_empty());
+
+        // A second mutation keeps working against the folded base.
+        let again = service.mutate("g", &MutationBatch::new("R1").delete(&[800, 801])).unwrap();
+        assert_eq!(again.seq, 2);
+        assert_eq!(again.deleted, 1);
+    }
+
+    #[test]
+    fn skew_drift_triggers_targeted_invalidation() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(150, 41)));
+        service.execute("g", &q).unwrap(); // warm entries exist
+
+        // Pile a heavy hitter onto R1: node 7 jumps far past the uniform
+        // baseline fraction, so the cached share layout no longer fits.
+        let mut batch = MutationBatch::new("R1");
+        for i in 0..120u32 {
+            batch = batch.insert(&[7, 1000 + i]);
+        }
+        let outcome = service.mutate("g", &batch).unwrap();
+        assert!(outcome.compacted, "drift must fold + re-baseline");
+        assert!(outcome.entries_dropped > 0, "drifted entries are dropped, not patched");
+        assert_eq!(outcome.entries_patched, 0);
+
+        let requeried = service.execute("g", &q).unwrap();
+        assert!(
+            requeried.report.index_relations_built > 0,
+            "the next query re-shuffles under fresh statistics"
+        );
+
+        // Re-baselined: an ordinary follow-up batch is not drift again.
+        // (Its entries may still drop rather than patch: the re-planned
+        // query routes the heavy hitter, and hot-routed fragments cannot
+        // be patched by plain hashing.)
+        let follow = service.mutate("g", &MutationBatch::new("R1").insert(&[2, 3])).unwrap();
+        assert!(!follow.compacted, "one small insert past the new baseline is not drift");
+        assert_eq!(follow.seq, 2);
+    }
+
+    #[test]
+    fn empty_batches_and_bad_targets_are_handled() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        service.execute("g", &q).unwrap();
+        assert!(service.execute("g", &q).unwrap().cache_hit);
+
+        let noop = service.mutate("g", &MutationBatch::new("R1")).unwrap();
+        assert_eq!((noop.seq, noop.inserted, noop.deleted), (0, 0, 0));
+        assert!(service.execute("g", &q).unwrap().cache_hit, "no-op must not re-key plans");
+
+        // Deleting a missing row is absorbed, not an error.
+        let inert = service.mutate("g", &MutationBatch::new("R1").delete(&[999, 999])).unwrap();
+        assert_eq!(inert.deleted, 0);
+
+        assert!(matches!(
+            service.mutate("nope", &MutationBatch::new("R1").insert(&[1, 2])),
+            Err(ServiceError::UnknownDatabase(_))
+        ));
+        assert!(service.mutate("g", &MutationBatch::new("R9").insert(&[1, 2])).is_err());
+        assert!(
+            service.mutate("g", &MutationBatch::new("R1").insert(&[1, 2, 3])).is_err(),
+            "arity mismatch must surface as an error"
+        );
+    }
+
+    #[test]
+    fn mutation_metrics_and_prometheus_rows_flow() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(150, 41)));
+        service.execute("g", &q).unwrap();
+        service.mutate("g", &MutationBatch::new("R1").insert(&[600, 601])).unwrap();
+
+        let m = service.metrics();
+        assert_eq!(m.mutations_applied, 1);
+        assert!(m.index_entries_patched > 0);
+        assert!(m.delta_overlay_tuples > 0);
+        assert_eq!(m.compactions, 0);
+
+        let text = m.to_prometheus_text();
+        assert!(text.contains("mutations_applied_total"));
+        assert!(text.contains("index_entries_patched_total"));
+        assert!(text.contains("compactions_total"));
+        assert!(text.contains("adj_delta_overlay_tuples"));
+        let json = m.to_json();
+        assert!(json.contains("\"mutations_applied\":1"));
+        assert!(json.contains("\"delta_overlay_tuples\""));
     }
 }

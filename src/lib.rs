@@ -64,6 +64,7 @@ pub use adj_baselines as baselines;
 pub use adj_cluster as cluster;
 pub use adj_core as core;
 pub use adj_datagen as datagen;
+pub use adj_delta as delta;
 pub use adj_hcube as hcube;
 pub use adj_leapfrog as leapfrog;
 pub use adj_query as query;
@@ -78,7 +79,8 @@ pub mod prelude {
     pub use adj_core::{
         Adj, AdjConfig, CostParams, ExecutionReport, Prepared, QueryPlan, SkewConfig, Strategy,
     };
-    pub use adj_datagen::Dataset;
+    pub use adj_datagen::{update_stream, Dataset, UpdateBatch, UpdateStreamConfig};
+    pub use adj_delta::{DeltaConfig, DeltaRelation, MutationBatch};
     pub use adj_query::{
         paper_query, parse_query, parse_query_explain, parse_query_with_mode, Atom, Bindings,
         ExplainMode, JoinQuery, PaperQuery, QueryFingerprint, Term,
@@ -88,8 +90,8 @@ pub mod prelude {
     };
     pub use adj_sampling::{Sampler, SamplingConfig};
     pub use adj_service::{
-        AdmissionPolicy, PreparedQuery, QueryRequest, Service, ServiceConfig, ServiceError,
-        ServiceOutcome, SlowQuery, TraceSettings, WorkerPool,
+        AdmissionPolicy, MutationOutcome, PreparedQuery, QueryRequest, Service, ServiceConfig,
+        ServiceError, ServiceOutcome, SlowQuery, TraceSettings, WorkerPool,
     };
     pub use adj_trace::{Event, QueryTrace, SpanGuard, Trace, Tracer, COORDINATOR_LANE};
 }

@@ -1,0 +1,253 @@
+//! Dynamic-data oracle matrix: a service mutated through `Service::mutate`
+//! must answer every query byte-identically to a service whose database was
+//! fully re-registered with the same effective contents — across query
+//! shapes, plan strategies, and all four output modes — plus the edge cases
+//! (tombstones of missing rows, empty batches, compaction boundaries).
+
+use adj::prelude::*;
+use std::sync::Arc;
+
+const SHAPES: [PaperQuery; 3] = [PaperQuery::Q1, PaperQuery::Q4, PaperQuery::Q7];
+const STRATEGIES: [Strategy; 2] = [Strategy::CoOptimize, Strategy::CommFirst];
+
+/// A deterministic, mildly-skewed test graph.
+fn graph() -> Relation {
+    let edges: Vec<(Value, Value)> = (0..300u32)
+        .flat_map(|i| vec![(i % 37, (i * 7 + 1) % 37), ((i * 3) % 37, (i * 11 + 5) % 37)])
+        .collect();
+    Relation::from_pairs(Attr(0), Attr(1), &edges)
+}
+
+/// A service with pinned cost sampling, so two services over identical
+/// contents independently derive identical plans (the precondition for
+/// byte-identical `Limit` results).
+fn pinned_service(strategy: Strategy, delta: DeltaConfig) -> Service {
+    Service::new(ServiceConfig {
+        adj: AdjConfig {
+            cluster: ClusterConfig::with_workers(2),
+            cost: CostParams { measure_beta: false, ..Default::default() },
+            ..Default::default()
+        },
+        strategy,
+        delta,
+        ..Default::default()
+    })
+}
+
+/// Asserts the mutated service and the oracle agree in all four output
+/// modes for `q`.
+fn assert_modes_agree(mutated: &Service, oracle: &Service, q: &JoinQuery, label: &str) {
+    let a = mutated.execute("db", q).unwrap();
+    let b = oracle.execute("db", q).unwrap();
+    let aligned = a.rows().permute(b.rows().schema().attrs()).unwrap();
+    assert_eq!(&aligned, b.rows(), "{label}: Rows diverged");
+
+    for mode in [OutputMode::Count, OutputMode::Exists, OutputMode::Limit(5)] {
+        let a = mutated.execute_mode("db", q, mode).unwrap();
+        let b = oracle.execute_mode("db", q, mode).unwrap();
+        match mode {
+            OutputMode::Limit(_) => {
+                let aligned = a.rows().permute(b.rows().schema().attrs()).unwrap();
+                assert_eq!(&aligned, b.rows(), "{label}: Limit diverged");
+            }
+            _ => assert_eq!(a.output, b.output, "{label}: {mode:?} diverged"),
+        }
+    }
+}
+
+/// The matrix: Q1/Q4/Q7 × both strategies × all four output modes, over a
+/// seeded update stream applied batch-by-batch through `Service::mutate`
+/// and mirrored into a full re-register oracle.
+#[test]
+fn mutate_then_query_matches_full_reregister_everywhere() {
+    let g = graph();
+    let stream_cfg = UpdateStreamConfig {
+        batches: 3,
+        inserts_per_batch: 12,
+        deletes_per_batch: 8,
+        nodes: 37,
+        exponent: 0.4,
+        ..Default::default()
+    };
+    for shape in SHAPES {
+        let q = paper_query(shape);
+        for strategy in STRATEGIES {
+            let mutated = pinned_service(strategy, DeltaConfig::default());
+            mutated.register_database("db", q.instantiate(&g));
+            mutated.execute("db", &q).unwrap(); // warm plan + indexes
+
+            let mut oracle_db = q.instantiate(&g);
+            for (i, batch) in update_stream(&g, &stream_cfg).iter().enumerate() {
+                let ins: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
+                let del: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
+
+                let mut m = MutationBatch::new("R1");
+                for r in &batch.inserts {
+                    m = m.insert(r);
+                }
+                for r in &batch.deletes {
+                    m = m.delete(r);
+                }
+                let outcome = mutated.mutate("db", &m).unwrap();
+                assert_eq!(outcome.seq, (i + 1) as u64);
+                assert_eq!(outcome.inserted, ins.len());
+                assert_eq!(outcome.deleted, del.len());
+
+                oracle_db.insert_rows("R1", &ins).unwrap();
+                oracle_db.delete_rows("R1", &del).unwrap();
+                let oracle = pinned_service(strategy, DeltaConfig::default());
+                oracle.register_database("db", oracle_db.clone());
+
+                assert_modes_agree(
+                    &mutated,
+                    &oracle,
+                    &q,
+                    &format!("{shape:?}/{strategy:?}/batch {i}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tombstones_of_missing_rows_are_inert() {
+    let g = graph();
+    let q = paper_query(PaperQuery::Q1);
+    let mutated = pinned_service(Strategy::CoOptimize, DeltaConfig::default());
+    mutated.register_database("db", q.instantiate(&g));
+    let before = mutated.execute("db", &q).unwrap();
+
+    // Rows that were never in R1: the delete must be absorbed silently.
+    let outcome = mutated
+        .mutate("db", &MutationBatch::new("R1").delete(&[9000, 9001]).delete(&[9002, 9003]))
+        .unwrap();
+    assert_eq!(outcome.deleted, 0);
+    assert_eq!(outcome.overlay_tuples, 0, "inert tombstones must not inflate the overlay");
+
+    let after = mutated.execute("db", &q).unwrap();
+    let aligned = after.rows().permute(before.rows().schema().attrs()).unwrap();
+    assert_eq!(&aligned, before.rows(), "missing-row deletes must not change any result");
+
+    // Deleting a row, then tombstoning it again: second batch is inert too.
+    let row = [0, 1];
+    let first = mutated.mutate("db", &MutationBatch::new("R1").delete(&row)).unwrap();
+    assert_eq!(first.deleted, 1);
+    let second = mutated.mutate("db", &MutationBatch::new("R1").delete(&row)).unwrap();
+    assert_eq!(second.deleted, 0);
+}
+
+#[test]
+fn empty_batches_change_nothing_anywhere() {
+    let g = graph();
+    let q = paper_query(PaperQuery::Q4);
+    let mutated = pinned_service(Strategy::CoOptimize, DeltaConfig::default());
+    mutated.register_database("db", q.instantiate(&g));
+    let before = mutated.execute("db", &q).unwrap();
+
+    let outcome = mutated.mutate("db", &MutationBatch::new("R1")).unwrap();
+    assert_eq!((outcome.seq, outcome.inserted, outcome.deleted), (0, 0, 0));
+    assert!(!outcome.compacted);
+
+    let after = mutated.execute("db", &q).unwrap();
+    assert!(after.cache_hit, "an empty batch must not invalidate the plan");
+    let aligned = after.rows().permute(before.rows().schema().attrs()).unwrap();
+    assert_eq!(&aligned, before.rows());
+}
+
+#[test]
+fn compaction_boundaries_preserve_the_oracle() {
+    // An aggressive compaction config: the overlay folds every few
+    // batches, exercising patch→fold→patch cycling mid-stream.
+    let g = graph();
+    let q = paper_query(PaperQuery::Q1);
+    let delta = DeltaConfig { max_overlay_fraction: 0.05, min_overlay_tuples: 8 };
+    let mutated = pinned_service(Strategy::CoOptimize, delta);
+    mutated.register_database("db", q.instantiate(&g));
+    mutated.execute("db", &q).unwrap();
+
+    let stream_cfg = UpdateStreamConfig {
+        batches: 4,
+        inserts_per_batch: 20,
+        deletes_per_batch: 10,
+        nodes: 37,
+        exponent: 0.4,
+        ..Default::default()
+    };
+    let mut oracle_db = q.instantiate(&g);
+    let mut compactions = 0usize;
+    for batch in update_stream(&g, &stream_cfg) {
+        let ins: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
+        let del: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
+        let mut m = MutationBatch::new("R1");
+        for r in &batch.inserts {
+            m = m.insert(r);
+        }
+        for r in &batch.deletes {
+            m = m.delete(r);
+        }
+        let outcome = mutated.mutate("db", &m).unwrap();
+        compactions += outcome.compacted as usize;
+        if outcome.compacted {
+            assert_eq!(outcome.overlay_tuples, 0, "a fold leaves an empty overlay");
+        }
+        oracle_db.insert_rows("R1", &ins).unwrap();
+        oracle_db.delete_rows("R1", &del).unwrap();
+
+        let oracle = pinned_service(Strategy::CoOptimize, DeltaConfig::default());
+        oracle.register_database("db", oracle_db.clone());
+        assert_modes_agree(&mutated, &oracle, &q, "compaction-boundary batch");
+    }
+    assert!(compactions > 0, "the aggressive config must actually compact mid-stream");
+    assert!(mutated.metrics().compactions >= compactions as u64);
+}
+
+/// Mutations interleaved with concurrent queries: every query observes
+/// either the pre- or post-batch snapshot, never a torn state.
+#[test]
+fn concurrent_queries_see_consistent_snapshots() {
+    let g = graph();
+    let q = paper_query(PaperQuery::Q1);
+    let service = Arc::new(pinned_service(Strategy::CoOptimize, DeltaConfig::default()));
+    service.register_database("db", q.instantiate(&g));
+    let base_count = match service.execute_mode("db", &q, OutputMode::Count).unwrap().output {
+        QueryOutput::Count(n) => n,
+        other => panic!("unexpected output {other:?}"),
+    };
+
+    // The mutation adds a fresh triangle 600-601-602 to all three
+    // relations; queries concurrently poll the count.
+    std::thread::scope(|s| {
+        let svc = Arc::clone(&service);
+        s.spawn(move || {
+            for rel in ["R1", "R2", "R3"] {
+                let edge: [Value; 2] = match rel {
+                    "R1" => [600, 601],
+                    "R2" => [601, 602],
+                    _ => [600, 602],
+                };
+                svc.mutate("db", &MutationBatch::new(rel).insert(&edge)).unwrap();
+            }
+        });
+        let svc = Arc::clone(&service);
+        let q = &q;
+        s.spawn(move || {
+            for _ in 0..20 {
+                let out = svc.execute_mode("db", q, OutputMode::Count).unwrap();
+                match out.output {
+                    QueryOutput::Count(n) => {
+                        assert!(
+                            n == base_count || n == base_count + 1,
+                            "count {n} is neither pre- nor post-mutation ({base_count})"
+                        );
+                    }
+                    other => panic!("unexpected output {other:?}"),
+                }
+            }
+        });
+    });
+    let final_count = match service.execute_mode("db", &q, OutputMode::Count).unwrap().output {
+        QueryOutput::Count(n) => n,
+        other => panic!("unexpected output {other:?}"),
+    };
+    assert_eq!(final_count, base_count + 1, "the grown triangle must be visible at the end");
+}
