@@ -17,7 +17,11 @@
 //! instead: skew-routed fragments (`route_tag != 0` — the spreader
 //! assignment depended on the full shuffle's atom list) and bound fragments
 //! (`bind_tag != 0` — never published in practice), plus entries from an
-//! older stats epoch.
+//! older stats epoch. Entries more than one sequence behind are also
+//! dropped: only the current batch's delta is in hand, so an entry that
+//! missed an earlier batch (a query serving an old snapshot can publish
+//! its index after later mutations ran) cannot be brought forward — only
+//! `delta_seq == new_seq - 1` entries are patchable.
 
 use crate::cache::{IndexKey, IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
@@ -30,10 +34,11 @@ pub struct PatchOutcome {
     /// Entries brought forward to the new delta sequence.
     pub patched: usize,
     /// Entries discarded because their fragments are not reconstructible
-    /// from the key alone (skew-routed, bound, or stale-epoch entries).
+    /// from the key alone (skew-routed, bound, or stale-epoch entries) or
+    /// because they lag the current sequence by more than one batch.
     pub dropped: usize,
-    /// Delta tuple copies delivered across all patched entries (the
-    /// communication the shuffle would have charged for them).
+    /// Delta tuple copies (inserts and tombstones) delivered across all
+    /// patched entries — the total routing work this patch pass did.
     pub tuples_routed: u64,
 }
 
@@ -60,6 +65,14 @@ pub fn patch_relation_indexes(
         if key.delta_seq == new_seq {
             // Already current (idempotent re-patch); keep it untouched.
             scope.cache.insert_index(key, entry);
+            continue;
+        }
+        if new_seq == 0 || key.delta_seq != new_seq - 1 {
+            // The entry skipped at least one batch (e.g. a query over an
+            // old snapshot published it after later mutations ran). Only
+            // the current batch's delta is in hand, so routing it in
+            // would silently lose the intermediate batches — drop.
+            out.dropped += 1;
             continue;
         }
         match patch_one(&key, &entry, inserts, deletes, new_seq) {
@@ -90,11 +103,13 @@ fn patch_one(
 
     // Plain-hash routing, exactly as the original (route_tag == 0) shuffle:
     // fixed coordinates on the relation's own attributes, broadcast on the
-    // rest.
-    let mut routed: u64 = 0;
-    let mut route = |rel: &Relation| -> Vec<Vec<Value>> {
+    // rest. Insert and tombstone deliveries are counted apart: both are
+    // routing work, but only inserts grow the fragments, so only they feed
+    // the entry's tuples/messages shuffle-savings credit.
+    let route = |rel: &Relation| -> (Vec<Vec<Value>>, u64) {
         let mut per_worker: Vec<Vec<Value>> = vec![Vec::new(); key.num_workers];
         let mut dests = Vec::new();
+        let mut routed: u64 = 0;
         for row in rel.rows() {
             plan.route_workers(&induced, row, &mut dests);
             for &w in &dests {
@@ -102,10 +117,10 @@ fn patch_one(
                 routed += 1;
             }
         }
-        per_worker
+        (per_worker, routed)
     };
-    let ins_w = route(&ins_p);
-    let del_w = route(&del_p);
+    let (ins_w, ins_routed) = route(&ins_p);
+    let (del_w, del_routed) = route(&del_p);
 
     let mut tries: Vec<Arc<Trie>> = Vec::with_capacity(key.num_workers);
     for (w, old) in entry.tries.iter().enumerate() {
@@ -122,8 +137,8 @@ fn patch_one(
     }
     let new_key = IndexKey { delta_seq: new_seq, ..key.clone() };
     let new_entry =
-        Arc::new(RelationIndex::new(tries, entry.tuples + routed, entry.messages + routed));
-    Some((new_key, new_entry, routed))
+        Arc::new(RelationIndex::new(tries, entry.tuples + ins_routed, entry.messages + ins_routed));
+    Some((new_key, new_entry, ins_routed + del_routed))
 }
 
 #[cfg(test)]
@@ -186,6 +201,12 @@ mod tests {
         let out = patch_relation_indexes(&scope, "R", &inserts, &deletes);
         assert_eq!((out.patched, out.dropped), (1, 0));
         assert!(out.tuples_routed >= 4);
+        // Both attrs are share dimensions, so every row lands on exactly
+        // one worker: 2 insert + 2 delete deliveries were routed, but only
+        // the inserts may feed the entry's shuffle-savings credit.
+        let patched_stats = cache.get_index(&key_for(&base, &plan, 1)).expect("patched entry");
+        assert_eq!(patched_stats.tuples, 8 + 2, "delete routing must not inflate tuples");
+        assert_eq!(patched_stats.messages, 8 + 2);
 
         // old sequence no longer matches; new one does
         assert!(cache.get_index(&key_for(&base, &plan, 0)).is_none());
@@ -219,6 +240,41 @@ mod tests {
         let out = patch_relation_indexes(&scope, "R", &ins, &none);
         assert_eq!((out.patched, out.dropped), (0, 2));
         assert!(cache.is_empty(), "unreconstructible entries must not survive");
+    }
+
+    #[test]
+    fn entries_lagging_more_than_one_batch_drop() {
+        let base = rel(&[0, 1], &[&[1, 2], &[2, 3], &[3, 4], &[4, 5]]);
+        let plan = HCubePlan::new(vec![2, 2], 4);
+        let cache = IndexCache::new(1 << 20);
+        // A query serving the seq-0 snapshot published its entry *after*
+        // batches 1 and 2 ran (lookup clones the Arc outside the registry
+        // lock). Patching it with batch 3's delta alone would silently
+        // lose the intermediate batches — it must drop instead.
+        cache.insert_index(
+            key_for(&base, &plan, 0),
+            Arc::new(RelationIndex::new(fragments(&base, &plan), 4, 4)),
+        );
+        // The entry one behind the new sequence is patchable as usual.
+        cache.insert_index(
+            key_for(&base, &plan, 2),
+            Arc::new(RelationIndex::new(fragments(&base, &plan), 4, 4)),
+        );
+
+        let ins = rel(&[0, 1], &[&[9, 9]]);
+        let none = Relation::empty(Schema::from_ids(&[0, 1]));
+        let versions = vec![("R".to_string(), 3u64)];
+        let scope = IndexScope { cache: &cache, db_tag: 1, epoch: 0, versions: &versions };
+        let out = patch_relation_indexes(&scope, "R", &ins, &none);
+        assert_eq!((out.patched, out.dropped), (1, 1));
+        assert!(cache.get_index(&key_for(&base, &plan, 0)).is_none(), "stale entry must drop");
+
+        let patched = cache.get_index(&key_for(&base, &plan, 3)).expect("current entry patched");
+        let effective = Relation::merge_sorted(&[&base, &ins]).unwrap();
+        for (w, (got, want)) in patched.tries.iter().zip(&fragments(&effective, &plan)).enumerate()
+        {
+            assert_eq!(got.to_relation(), want.to_relation(), "worker {w} fragment diverged");
+        }
     }
 
     #[test]

@@ -265,6 +265,11 @@ pub struct Service {
     /// The worst-latency traced queries, sorted slowest first, capped at
     /// [`TraceSettings::slow_log_keep`](crate::TraceSettings).
     slow_log: Mutex<Vec<SlowQuery>>,
+    /// Per-database mutation serialization (see [`Service::mutate`]): the
+    /// heavy batch work runs outside the registry lock, so concurrent
+    /// batches against one database are ordered here instead. Doors are
+    /// keyed by name and never removed (bounded by distinct names hosted).
+    mutation_doors: Mutex<HashMap<String, Arc<Mutex<()>>>>,
     epoch: AtomicU64,
     /// Cluster-wide memory minus the index-cache budget, divided by
     /// `max_concurrent`; `None` = unlimited.
@@ -314,6 +319,7 @@ impl Service {
             admission: AdmissionController::new(max_concurrent, config.admission),
             metrics: ServiceMetrics::new(),
             slow_log: Mutex::new(Vec::new()),
+            mutation_doors: Mutex::new(HashMap::new()),
             databases: RwLock::new(HashMap::new()),
             epoch: AtomicU64::new(0),
             per_query_budget_bytes,
@@ -481,135 +487,178 @@ impl Service {
     /// fragments' fill is drifting past the max-partition statistics their
     /// shares were chosen under, so the next query re-shuffles with fresh
     /// stats rather than keep patching a layout that no longer fits.
+    ///
+    /// Batches against one database are serialized by a per-database
+    /// mutation door, **not** by the registry lock: all the O(|relation|)
+    /// work — baseline sampling, overlay application, snapshot
+    /// materialization, cache patching — runs against a read-locked clone
+    /// of the entry, and the registry's write lock is taken only for the
+    /// final copy-on-write swap. Queries keep acquiring the registry read
+    /// lock freely for the whole duration of a batch.
     pub fn mutate(
         &self,
         db_name: &str,
         batch: &MutationBatch,
     ) -> Result<MutationOutcome, ServiceError> {
-        let mut dbs = self.databases.write().expect("database registry poisoned");
-        let entry = match dbs.get(db_name) {
-            Some(e) => Arc::clone(e),
-            None => {
-                self.metrics.record_failure();
-                return Err(ServiceError::UnknownDatabase(db_name.to_string()));
-            }
+        let door = {
+            let mut doors = self.mutation_doors.lock().expect("mutation doors poisoned");
+            Arc::clone(doors.entry(db_name.to_string()).or_default())
         };
-        let skew_cfg = self.config.adj.skew;
-        let mut deltas = entry.deltas.clone();
-        if !deltas.contains_key(&batch.relation) {
-            let base = match entry.db.get(&batch.relation) {
-                Ok(r) => r.clone(),
+        let _serialized = door.lock().expect("mutation door poisoned");
+
+        loop {
+            let entry = match self.lookup(db_name) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(e);
+                }
+            };
+
+            // Empty batch: nothing changes — no sequence bump, no cache
+            // work, no new snapshot, and crucially no overlay creation (a
+            // never-mutated relation must not pay a base clone + skew scan
+            // for a no-op) — but the call still validates the relation and
+            // counts in the metrics.
+            if batch.is_empty() {
+                let (seq, overlay_tuples) = match entry.deltas.get(&batch.relation) {
+                    Some(state) => (state.delta.seq(), state.delta.overlay_tuples()),
+                    None => match entry.db.get(&batch.relation) {
+                        Ok(_) => (0, 0),
+                        Err(e) => {
+                            self.metrics.record_failure();
+                            return Err(ServiceError::Exec(e));
+                        }
+                    },
+                };
+                let dbs = self.databases.read().expect("database registry poisoned");
+                self.metrics.record_mutation(0, false, Self::total_overlay_tuples(&dbs));
+                return Ok(MutationOutcome {
+                    relation: batch.relation.clone(),
+                    inserted: 0,
+                    deleted: 0,
+                    seq,
+                    entries_patched: 0,
+                    entries_dropped: 0,
+                    compacted: false,
+                    overlay_tuples,
+                });
+            }
+
+            let skew_cfg = self.config.adj.skew;
+            let mut deltas = entry.deltas.clone();
+            if !deltas.contains_key(&batch.relation) {
+                let base = match entry.db.get(&batch.relation) {
+                    Ok(r) => r.clone(),
+                    Err(e) => {
+                        self.metrics.record_failure();
+                        return Err(ServiceError::Exec(e));
+                    }
+                };
+                let baseline = sample_relation(&batch.relation, &base, &skew_cfg).max_fraction();
+                deltas.insert(
+                    batch.relation.clone(),
+                    DeltaState { delta: DeltaRelation::new(base), baseline_max_fraction: baseline },
+                );
+            }
+            let state = deltas.get_mut(&batch.relation).expect("just ensured");
+            let applied = match state.delta.apply(&batch.inserts, &batch.deletes) {
+                Ok(o) => o,
                 Err(e) => {
                     self.metrics.record_failure();
                     return Err(ServiceError::Exec(e));
                 }
             };
-            let baseline = sample_relation(&batch.relation, &base, &skew_cfg).max_fraction();
-            deltas.insert(
-                batch.relation.clone(),
-                DeltaState { delta: DeltaRelation::new(base), baseline_max_fraction: baseline },
-            );
-        }
-        let state = deltas.get_mut(&batch.relation).expect("just ensured");
-        let applied = match state.delta.apply(&batch.inserts, &batch.deletes) {
-            Ok(o) => o,
-            Err(e) => {
-                self.metrics.record_failure();
-                return Err(ServiceError::Exec(e));
+
+            let mut db = entry.db.clone();
+            db.insert(batch.relation.clone(), state.delta.effective());
+            let mut versions = entry.versions.clone();
+            match versions.iter_mut().find(|(n, _)| n == &batch.relation) {
+                Some(slot) => slot.1 = applied.seq,
+                None => versions.push((batch.relation.clone(), applied.seq)),
             }
-        };
-        if batch.is_empty() {
-            // Nothing changed: no sequence bump, no cache work, no new
-            // snapshot — but the call still counts in the metrics.
-            let outcome = MutationOutcome {
-                relation: batch.relation.clone(),
-                inserted: 0,
-                deleted: 0,
-                seq: applied.seq,
-                entries_patched: 0,
-                entries_dropped: 0,
-                compacted: false,
-                overlay_tuples: state.delta.overlay_tuples(),
-            };
-            self.metrics.record_mutation(0, false, Self::total_overlay_tuples(&dbs));
-            return Ok(outcome);
-        }
 
-        let mut db = entry.db.clone();
-        db.insert(batch.relation.clone(), state.delta.effective());
-        let mut versions = entry.versions.clone();
-        match versions.iter_mut().find(|(n, _)| n == &batch.relation) {
-            Some(slot) => slot.1 = applied.seq,
-            None => versions.push((batch.relation.clone(), applied.seq)),
-        }
+            // Incremental skew stats: re-sample only the mutated relation.
+            let current_max = sample_relation(
+                &batch.relation,
+                db.get(&batch.relation).expect("just inserted"),
+                &skew_cfg,
+            )
+            .max_fraction();
+            let drifted = current_max >= skew_cfg.min_fraction
+                && current_max > state.baseline_max_fraction * SKEW_DRIFT_FACTOR;
 
-        // Incremental skew stats: re-sample only the mutated relation.
-        let current_max = sample_relation(
-            &batch.relation,
-            db.get(&batch.relation).expect("just inserted"),
-            &skew_cfg,
-        )
-        .max_fraction();
-        let drifted = current_max >= skew_cfg.min_fraction
-            && current_max > state.baseline_max_fraction * SKEW_DRIFT_FACTOR;
-
-        let (entries_patched, entries_dropped);
-        let mut compacted = false;
-        if drifted {
-            // Targeted invalidation: only this relation's warm entries
-            // drop; every other cached artifact stays warm. The fold
-            // re-baselines the detector at the new skew level.
-            entries_dropped = self.index.take_indexes_for(entry.tag, &batch.relation).len();
-            entries_patched = 0;
-            state.delta.compact();
-            state.baseline_max_fraction = current_max;
-            compacted = true;
-        } else {
-            // Route only the batch through each warm entry's own layout.
-            let schema = state.delta.schema().clone();
-            let ins_rows: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
-            let del_rows: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
-            let ins =
-                Relation::from_rows(schema.clone(), &ins_rows).expect("rows validated by apply");
-            let del = Relation::from_rows(schema, &del_rows).expect("rows validated by apply");
-            let scope = IndexScope {
-                cache: &self.index,
-                db_tag: entry.tag,
-                epoch: entry.epoch,
-                versions: &versions,
-            };
-            let patch = patch_relation_indexes(&scope, &batch.relation, &ins, &del);
-            entries_patched = patch.patched;
-            entries_dropped = patch.dropped;
-            if state.delta.needs_compaction(&self.config.delta) {
-                // Size-triggered fold: effective contents and sequence are
-                // unchanged, so the (just-patched) cache entries stay
-                // valid across it.
+            let (entries_patched, entries_dropped);
+            let mut compacted = false;
+            if drifted {
+                // Targeted invalidation: only this relation's warm entries
+                // drop; every other cached artifact stays warm. The fold
+                // re-baselines the detector at the new skew level.
+                entries_dropped = self.index.take_indexes_for(entry.tag, &batch.relation).len();
+                entries_patched = 0;
                 state.delta.compact();
                 state.baseline_max_fraction = current_max;
                 compacted = true;
+            } else {
+                // Route only the batch through each warm entry's own layout.
+                let schema = state.delta.schema().clone();
+                let ins_rows: Vec<&[Value]> = batch.inserts.iter().map(|r| r.as_slice()).collect();
+                let del_rows: Vec<&[Value]> = batch.deletes.iter().map(|r| r.as_slice()).collect();
+                let ins = Relation::from_rows(schema.clone(), &ins_rows)
+                    .expect("rows validated by apply");
+                let del = Relation::from_rows(schema, &del_rows).expect("rows validated by apply");
+                let scope = IndexScope {
+                    cache: &self.index,
+                    db_tag: entry.tag,
+                    epoch: entry.epoch,
+                    versions: &versions,
+                };
+                let patch = patch_relation_indexes(&scope, &batch.relation, &ins, &del);
+                entries_patched = patch.patched;
+                entries_dropped = patch.dropped;
+                if state.delta.needs_compaction(&self.config.delta) {
+                    // Size-triggered fold: effective contents and sequence
+                    // are unchanged, so the (just-patched) cache entries
+                    // stay valid across it.
+                    state.delta.compact();
+                    state.baseline_max_fraction = current_max;
+                    compacted = true;
+                }
+            }
+
+            let outcome = MutationOutcome {
+                relation: batch.relation.clone(),
+                inserted: applied.inserted,
+                deleted: applied.deleted,
+                seq: applied.seq,
+                entries_patched,
+                entries_dropped,
+                compacted,
+                overlay_tuples: state.delta.overlay_tuples(),
+            };
+            let new_entry =
+                Arc::new(DbEntry { db, tag: entry.tag, epoch: entry.epoch, deltas, versions });
+
+            // Registry write lock only for the final swap — and only if
+            // the database is still the registration the batch was built
+            // on. A concurrent register/drop of the same name supersedes
+            // the snapshot: redo the batch against the current entry (its
+            // fresh epoch orphans this attempt's patched cache entries, so
+            // they can never serve a query and age out on next harvest).
+            let mut dbs = self.databases.write().expect("database registry poisoned");
+            match dbs.get(db_name) {
+                Some(current) if Arc::ptr_eq(current, &entry) => {
+                    dbs.insert(db_name.to_string(), new_entry);
+                    self.metrics.record_mutation(
+                        entries_patched as u64,
+                        compacted,
+                        Self::total_overlay_tuples(&dbs),
+                    );
+                    return Ok(outcome);
+                }
+                _ => continue,
             }
         }
-
-        let outcome = MutationOutcome {
-            relation: batch.relation.clone(),
-            inserted: applied.inserted,
-            deleted: applied.deleted,
-            seq: applied.seq,
-            entries_patched,
-            entries_dropped,
-            compacted,
-            overlay_tuples: state.delta.overlay_tuples(),
-        };
-        let new_entry =
-            Arc::new(DbEntry { db, tag: entry.tag, epoch: entry.epoch, deltas, versions });
-        dbs.insert(db_name.to_string(), new_entry);
-        self.metrics.record_mutation(
-            entries_patched as u64,
-            compacted,
-            Self::total_overlay_tuples(&dbs),
-        );
-        Ok(outcome)
     }
 
     /// Overlay tuples currently resident across every registered database

@@ -152,6 +152,17 @@ fn empty_batches_change_nothing_anywhere() {
     assert!(after.cache_hit, "an empty batch must not invalidate the plan");
     let aligned = after.rows().permute(before.rows().schema().attrs()).unwrap();
     assert_eq!(&aligned, before.rows());
+
+    // The no-op fast path still validates the relation name...
+    assert!(mutated.mutate("db", &MutationBatch::new("NoSuchRelation")).is_err());
+
+    // ...and after a real batch it reports the live sequence and overlay
+    // without touching either.
+    let real = mutated.mutate("db", &MutationBatch::new("R1").insert(&[9999, 9998])).unwrap();
+    let noop = mutated.mutate("db", &MutationBatch::new("R1")).unwrap();
+    assert_eq!(noop.seq, real.seq, "no-op must not bump the sequence");
+    assert_eq!(noop.overlay_tuples, real.overlay_tuples);
+    assert_eq!((noop.inserted, noop.deleted, noop.entries_patched), (0, 0, 0));
 }
 
 #[test]
