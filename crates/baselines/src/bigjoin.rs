@@ -124,7 +124,8 @@ pub fn run_bigjoin(
         let mut parts: Vec<Relation> = Vec::with_capacity(n);
         let schema = Schema::new(order[..width].to_vec())?;
         let mut total = 0usize;
-        for (rows, ops) in run.results {
+        for r in run.results {
+            let (rows, ops) = r.map_err(Error::from)?;
             report.counters.intersect_ops += ops;
             total += rows.len() / width;
             parts.push(Relation::from_flat(schema.clone(), rows)?);
@@ -139,7 +140,7 @@ pub fn run_bigjoin(
         bindings = PartitionedRelation::from_parts(schema, parts)?;
     }
 
-    let (tuples, _bytes, rounds) = cluster.comm().take();
+    let (tuples, _bytes, rounds, _messages) = cluster.comm().take();
     report.comm_tuples = tuples;
     report.rounds = rounds;
     report.comm_secs = cluster.cost_model().comm_secs_with_rounds(tuples, rounds);

@@ -57,7 +57,7 @@ pub fn run_binary_join(
         let mut parts = Vec::with_capacity(n);
         let mut total = 0usize;
         for r in run.results {
-            let p = r?;
+            let p = r.map_err(Error::from)??;
             total += p.len();
             parts.push(p);
         }
@@ -71,7 +71,7 @@ pub fn run_binary_join(
         acc = PartitionedRelation::from_parts(schema, parts)?;
     }
 
-    let (tuples, _bytes, rounds) = cluster.comm().take();
+    let (tuples, _bytes, rounds, _messages) = cluster.comm().take();
     report.comm_tuples = tuples;
     report.rounds = rounds;
     report.comm_secs = cluster.cost_model().comm_secs_with_rounds(tuples, rounds);

@@ -119,7 +119,7 @@ fn run_inner(
     let mut all: Vec<Value> = Vec::new();
     let mut counters = JoinCounters::new(order.len());
     for r in run.results {
-        let (rows, c) = r?;
+        let (rows, c) = r.map_err(Error::from)??;
         all.extend_from_slice(&rows);
         counters.merge(&c);
     }

@@ -66,15 +66,17 @@ impl CommStats {
         self.rounds.load(Ordering::Relaxed)
     }
 
-    /// Snapshot-and-reset, returning `(tuples, bytes, rounds)`. Used between
-    /// experiment phases to attribute communication to pre-computing vs. the
-    /// final join (Tables II–IV break these out separately).
-    pub fn take(&self) -> (u64, u64, u64) {
-        self.messages.store(0, Ordering::Relaxed);
+    /// Snapshot-and-reset, returning `(tuples, bytes, rounds, messages)`.
+    /// Used between experiment phases to attribute communication to
+    /// pre-computing vs. the final join (Tables II–IV break these out
+    /// separately); the message count resets with the rest so per-phase
+    /// attribution can't silently drop it.
+    pub fn take(&self) -> (u64, u64, u64, u64) {
         (
             self.tuples.swap(0, Ordering::Relaxed),
             self.bytes.swap(0, Ordering::Relaxed),
             self.rounds.swap(0, Ordering::Relaxed),
+            self.messages.swap(0, Ordering::Relaxed),
         )
     }
 
@@ -142,11 +144,12 @@ mod tests {
     }
 
     #[test]
-    fn take_resets() {
+    fn take_resets_and_returns_all_four_counters() {
         let c = CommStats::new();
         c.record(7, 56);
-        assert_eq!(c.take(), (7, 56, 0));
-        assert_eq!(c.tuples(), 0);
+        c.record_messages(3);
+        assert_eq!(c.take(), (7, 56, 0, 3));
+        assert_eq!(c.snapshot(), (0, 0, 0, 0));
     }
 
     #[test]

@@ -3,7 +3,50 @@
 use crate::comm::{CommStats, CostModel};
 use crate::{ClusterConfig, WorkerId};
 use adj_trace::{lane_for_worker, SpanGuard, Tracer};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+
+/// A worker closure that panicked instead of returning. The panic is
+/// caught inside [`Cluster::run`] — it never unwinds through the
+/// coordinator — and surfaces here as data: the worker id and the panic
+/// message (string payloads are preserved verbatim).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// The worker whose closure panicked.
+    pub worker: WorkerId,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl WorkerFailure {
+    fn from_payload(worker: WorkerId, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+            (*s).to_string()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        WorkerFailure { worker, message }
+    }
+}
+
+impl std::fmt::Display for WorkerFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for WorkerFailure {}
+
+impl From<WorkerFailure> for adj_relational::Error {
+    fn from(failure: WorkerFailure) -> Self {
+        adj_relational::Error::WorkerPanicked {
+            worker: Some(failure.worker),
+            message: failure.message,
+        }
+    }
+}
 
 /// The simulated cluster: configuration + communication counters.
 ///
@@ -25,8 +68,11 @@ pub struct Cluster {
 /// Result of a parallel run: per-worker wall-clock seconds plus results.
 #[derive(Debug)]
 pub struct RunReport<R> {
-    /// Per-worker results, indexed by worker id.
-    pub results: Vec<R>,
+    /// Per-worker results, indexed by worker id: the closure's return
+    /// value, or the [`WorkerFailure`] describing its caught panic. A
+    /// failed worker never takes down its siblings — every worker's slot
+    /// is present either way.
+    pub results: Vec<Result<R, WorkerFailure>>,
     /// Per-worker wall-clock seconds.
     pub worker_secs: Vec<f64>,
     /// Max over workers — the job's elapsed computation time ("last
@@ -37,14 +83,42 @@ pub struct RunReport<R> {
     pub total_secs: f64,
 }
 
+impl<R> RunReport<R> {
+    /// The first worker failure, if any worker panicked.
+    pub fn first_failure(&self) -> Option<&WorkerFailure> {
+        self.results.iter().find_map(|r| r.as_ref().err())
+    }
+
+    /// All per-worker results, or the first failure — the gather idiom for
+    /// callers that need every worker to have succeeded.
+    pub fn into_results(self) -> Result<Vec<R>, WorkerFailure> {
+        self.results.into_iter().collect()
+    }
+}
+
 impl Cluster {
-    /// Creates a cluster with the given configuration.
+    /// Creates a cluster with the given configuration. Fails fast (with a
+    /// clear panic message) on a degenerate configuration — use
+    /// [`Cluster::try_new`] to get the typed error instead.
     pub fn new(config: ClusterConfig) -> Self {
+        match Cluster::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid cluster configuration: {e}"),
+        }
+    }
+
+    /// Creates a cluster, returning a typed
+    /// [`InvalidConfig`](adj_relational::Error::InvalidConfig) error on a
+    /// degenerate configuration (zero workers, non-finite or non-positive
+    /// α, zero memory budget) instead of panicking deep in share solving
+    /// or partitioning later.
+    pub fn try_new(config: ClusterConfig) -> Result<Self, adj_relational::Error> {
+        config.validate()?;
         let cost_model =
             CostModel { alpha_tuples_per_sec: config.alpha_tuples_per_sec, ..Default::default() };
         let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let spawn_threads = config.num_workers > 1 && parallelism > 1;
-        Cluster { config, comm: CommStats::new(), cost_model, spawn_threads }
+        Ok(Cluster { config, comm: CommStats::new(), cost_model, spawn_threads })
     }
 
     /// Creates a cluster behind an [`Arc`](std::sync::Arc), the form
@@ -58,6 +132,14 @@ impl Cluster {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Cluster>();
         std::sync::Arc::new(Cluster::new(config))
+    }
+
+    /// [`Cluster::shared`] with the typed validation error of
+    /// [`Cluster::try_new`].
+    pub fn try_shared(
+        config: ClusterConfig,
+    ) -> Result<std::sync::Arc<Self>, adj_relational::Error> {
+        Ok(std::sync::Arc::new(Cluster::try_new(config)?))
     }
 
     /// Number of workers.
@@ -105,23 +187,37 @@ impl Cluster {
         let n = self.config.num_workers;
         let mut results = Vec::with_capacity(n);
         let mut worker_secs = Vec::with_capacity(n);
+        // Each worker closure runs under `catch_unwind`: a panicking worker
+        // surfaces as a `WorkerFailure` in its result slot instead of
+        // unwinding through the coordinator (and, on the spawn path,
+        // instead of aborting the join). `AssertUnwindSafe` is sound here
+        // because a failed slot's partial state is never observed — the
+        // closure's only output is its (discarded) return value.
+        let guarded = |w: WorkerId| {
+            let t0 = Instant::now();
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut span = tracer.span(lane_for_worker(w), name);
+                let r = f(w, &mut span);
+                drop(span);
+                r
+            }));
+            (
+                r.map_err(|payload| WorkerFailure::from_payload(w, payload)),
+                t0.elapsed().as_secs_f64(),
+            )
+        };
         if self.spawn_threads {
-            let mut slots: Vec<Option<(R, f64)>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<(Result<R, WorkerFailure>, f64)>> =
+                (0..n).map(|_| None).collect();
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n)
                     .map(|w| {
-                        let f = &f;
-                        s.spawn(move || {
-                            let t0 = Instant::now();
-                            let mut span = tracer.span(lane_for_worker(w), name);
-                            let r = f(w, &mut span);
-                            drop(span);
-                            (r, t0.elapsed().as_secs_f64())
-                        })
+                        let guarded = &guarded;
+                        s.spawn(move || guarded(w))
                     })
                     .collect();
                 for (w, h) in handles.into_iter().enumerate() {
-                    slots[w] = Some(h.join().expect("worker thread panicked"));
+                    slots[w] = Some(h.join().expect("worker panics are caught inside the closure"));
                 }
             });
             for s in slots {
@@ -134,11 +230,8 @@ impl Cluster {
             // would serialize anyway, so run them inline and keep the
             // spawn/join cost off the serving hot path.
             for w in 0..n {
-                let t0 = Instant::now();
-                let mut span = tracer.span(lane_for_worker(w), name);
-                let r = f(w, &mut span);
-                drop(span);
-                worker_secs.push(t0.elapsed().as_secs_f64());
+                let (r, t) = guarded(w);
+                worker_secs.push(t);
                 results.push(r);
             }
         }
@@ -156,10 +249,11 @@ mod tests {
     fn run_executes_every_worker_in_order() {
         let c = Cluster::new(ClusterConfig::with_workers(5));
         let rep = c.run(|w| w * 10);
-        assert_eq!(rep.results, vec![0, 10, 20, 30, 40]);
+        assert!(rep.first_failure().is_none());
         assert_eq!(rep.worker_secs.len(), 5);
         assert!(rep.makespan_secs >= 0.0);
         assert!(rep.total_secs >= rep.makespan_secs);
+        assert_eq!(rep.into_results().unwrap(), vec![0, 10, 20, 30, 40]);
     }
 
     #[test]
@@ -180,10 +274,49 @@ mod tests {
                 let c = std::sync::Arc::clone(&c);
                 s.spawn(move || {
                     let rep = c.run(|w| w + 1);
-                    assert_eq!(rep.results, vec![1, 2]);
+                    assert_eq!(rep.into_results().unwrap(), vec![1, 2]);
                 });
             }
         });
+    }
+
+    #[test]
+    fn panicking_worker_is_isolated_to_its_slot() {
+        let c = Cluster::new(ClusterConfig::with_workers(4));
+        let rep = c.run(|w| {
+            if w == 2 {
+                // resume_unwind: quiet (no panic-hook stderr), typed payload.
+                std::panic::resume_unwind(Box::new("injected worker fault".to_string()));
+            }
+            w * 10
+        });
+        assert_eq!(rep.results.len(), 4, "every worker keeps its slot");
+        assert_eq!(rep.worker_secs.len(), 4);
+        for w in [0usize, 1, 3] {
+            assert_eq!(rep.results[w], Ok(w * 10), "siblings of a failed worker are unaffected");
+        }
+        let failure = rep.first_failure().expect("worker 2 failed");
+        assert_eq!(failure.worker, 2);
+        assert_eq!(failure.message, "injected worker fault");
+        let err: adj_relational::Error = rep.into_results().unwrap_err().into();
+        assert_eq!(
+            err,
+            adj_relational::Error::WorkerPanicked {
+                worker: Some(2),
+                message: "injected worker fault".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn inline_path_catches_panics_too() {
+        // One worker forces the inline (no-spawn) path.
+        let c = Cluster::new(ClusterConfig::with_workers(1));
+        assert!(!c.spawn_threads);
+        let rep = c
+            .run(|_w| -> usize { std::panic::resume_unwind(Box::new("inline fault".to_string())) });
+        let failure = rep.first_failure().expect("the only worker failed");
+        assert_eq!((failure.worker, failure.message.as_str()), (0, "inline fault"));
     }
 
     #[test]
@@ -194,7 +327,7 @@ mod tests {
             span.arg("tuples", w as u64);
             w
         });
-        assert_eq!(rep.results, vec![0, 1, 2]);
+        assert_eq!(rep.into_results().unwrap(), vec![0, 1, 2]);
         let trace = tracer.finish();
         let joins = trace.events_named("join");
         assert_eq!(joins.len(), 3);

@@ -23,7 +23,7 @@ pub mod exec;
 pub mod partition;
 
 pub use comm::{CommStats, CostModel};
-pub use exec::{Cluster, RunReport};
+pub use exec::{Cluster, RunReport, WorkerFailure};
 pub use partition::{PartitionedDatabase, PartitionedRelation};
 
 /// Identifier of a logical worker (`0..num_workers`).
@@ -58,5 +58,78 @@ impl ClusterConfig {
     /// Convenience constructor with `num_workers` and defaults otherwise.
     pub fn with_workers(num_workers: usize) -> Self {
         ClusterConfig { num_workers, ..Default::default() }
+    }
+
+    /// Validates the configuration, returning a typed
+    /// [`InvalidConfig`](adj_relational::Error::InvalidConfig) instead of
+    /// letting a zero worker count or a non-finite α panic deep inside
+    /// share solving or partitioning. Checked at [`Cluster`] construction.
+    pub fn validate(&self) -> Result<(), adj_relational::Error> {
+        let invalid = |message: String| Err(adj_relational::Error::InvalidConfig { message });
+        if self.num_workers == 0 {
+            return invalid("num_workers must be at least 1".to_string());
+        }
+        if !self.alpha_tuples_per_sec.is_finite() || self.alpha_tuples_per_sec <= 0.0 {
+            return invalid(format!(
+                "alpha_tuples_per_sec must be finite and positive, got {}",
+                self.alpha_tuples_per_sec
+            ));
+        }
+        if self.memory_limit_bytes == Some(0) {
+            return invalid(
+                "memory_limit_bytes must be positive (use None for unlimited)".to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_degenerate_configs() {
+        assert!(ClusterConfig::default().validate().is_ok());
+        assert!(ClusterConfig::with_workers(1).validate().is_ok());
+
+        let reject = |c: ClusterConfig, needle: &str| {
+            let err = c.validate().unwrap_err();
+            let adj_relational::Error::InvalidConfig { message } = &err else {
+                panic!("expected InvalidConfig, got {err:?}")
+            };
+            assert!(message.contains(needle), "{message} should mention {needle}");
+        };
+        reject(ClusterConfig::with_workers(0), "num_workers");
+        reject(
+            ClusterConfig { alpha_tuples_per_sec: 0.0, ..Default::default() },
+            "alpha_tuples_per_sec",
+        );
+        reject(
+            ClusterConfig { alpha_tuples_per_sec: f64::NAN, ..Default::default() },
+            "alpha_tuples_per_sec",
+        );
+        reject(
+            ClusterConfig { alpha_tuples_per_sec: -1.0, ..Default::default() },
+            "alpha_tuples_per_sec",
+        );
+        reject(
+            ClusterConfig { memory_limit_bytes: Some(0), ..Default::default() },
+            "memory_limit_bytes",
+        );
+    }
+
+    #[test]
+    fn cluster_construction_is_gated_on_validation() {
+        assert!(Cluster::try_new(ClusterConfig::with_workers(0)).is_err());
+        assert!(Cluster::try_shared(ClusterConfig::with_workers(0)).is_err());
+        assert_eq!(Cluster::try_new(ClusterConfig::with_workers(2)).unwrap().num_workers(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cluster configuration")]
+    fn infallible_constructor_fails_fast_with_a_clear_message() {
+        let _ =
+            Cluster::new(ClusterConfig { alpha_tuples_per_sec: f64::NAN, ..Default::default() });
     }
 }

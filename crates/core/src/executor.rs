@@ -11,6 +11,7 @@
 use crate::plan::{PlanRelation, QueryPlan};
 use crate::AdjConfig;
 use adj_cluster::Cluster;
+use adj_faults::{CancelToken, FaultSite};
 use adj_hcube::{
     hcube_shuffle_cached_traced, optimize_share, HCubeImpl, HCubePlan, HotValues, IndexScope,
     ShareInput, ShuffleReport,
@@ -18,7 +19,7 @@ use adj_hcube::{
 use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
     Attr, BoundValues, CountSink, Database, Error, ExistsSink, OutputMode, QueryOutput, Relation,
-    Result, RowBuffer, Schema, Trie, Value,
+    Result, RowBuffer, RowSink, Schema, Trie, Value,
 };
 use adj_trace::{Tracer, COORDINATOR_LANE};
 use std::borrow::Cow;
@@ -50,8 +51,59 @@ fn level_key(kind: &str, i: usize) -> Cow<'static, str> {
     }
 }
 
+/// How often worker join sinks poll the cancellation token: one relaxed
+/// atomic load (plus the fault-injection gate) per this many emitted rows.
+const SINK_CHECK_EVERY: u64 = 1024;
+
+/// Maps a fired token onto the workspace error type.
+fn cancel_err(c: adj_faults::Cancelled) -> Error {
+    Error::Cancelled { deadline_exceeded: c.deadline }
+}
+
+/// A [`RowSink`] adapter that polls a [`CancelToken`] (and the
+/// `JoinEnumerate` fault-injection site) every [`SINK_CHECK_EVERY`] rows,
+/// saturating when the token fires so Leapfrog stops enumerating instead of
+/// completing a doomed result. The worker re-checks the token after the
+/// join, so a stop here always surfaces as [`Error::Cancelled`] — never as
+/// a silently truncated result.
+struct CancelSink<'a, S> {
+    inner: S,
+    cancel: &'a CancelToken,
+    rows_since_check: u64,
+    stopped: bool,
+}
+
+impl<'a, S: RowSink> CancelSink<'a, S> {
+    fn new(inner: S, cancel: &'a CancelToken) -> Self {
+        CancelSink { inner, cancel, rows_since_check: 0, stopped: false }
+    }
+
+    fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: RowSink> RowSink for CancelSink<'_, S> {
+    fn push(&mut self, row: &[Value]) -> bool {
+        self.rows_since_check += 1;
+        if self.rows_since_check >= SINK_CHECK_EVERY {
+            self.rows_since_check = 0;
+            adj_faults::inject(FaultSite::JoinEnumerate, self.cancel);
+            if self.cancel.check().is_err() {
+                self.stopped = true;
+                return false;
+            }
+        }
+        self.inner.push(row)
+    }
+
+    fn saturated(&self) -> bool {
+        self.stopped || self.inner.saturated()
+    }
+}
+
 /// Plan-search strategy (the two columns of Tables II–IV).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// ADJ's co-optimization of pre-computing + communication + computation.
     CoOptimize,
@@ -308,6 +360,45 @@ pub fn execute_plan_traced(
     params: &BoundValues,
     tracer: &Tracer,
 ) -> Result<(QueryOutput, ExecutionReport)> {
+    execute_plan_cancellable(
+        cluster,
+        db,
+        plan,
+        config,
+        mode,
+        index,
+        params,
+        &CancelToken::none(),
+        tracer,
+    )
+}
+
+/// The fully general executor: [`execute_plan_traced`] plus a cooperative
+/// [`CancelToken`].
+///
+/// The token is polled at every fault-injection checkpoint of the execution
+/// — per cold atom and every few thousand routed rows in the shuffle, per
+/// worker and every `SINK_CHECK_EVERY` (1024) emitted rows during join
+/// enumeration — so a fired token (explicit cancel or elapsed deadline)
+/// aborts within a bounded amount of work and surfaces as
+/// [`Error::Cancelled`]. A cancelled execution never publishes partial
+/// artifacts: the shuffle checks the token before inserting into the index
+/// cache, and bag publication happens only after its round completed.
+/// Worker panics are likewise isolated per slot
+/// ([`adj_cluster::WorkerFailure`]) and surface as
+/// [`Error::WorkerPanicked`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_cancellable(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+    mode: OutputMode,
+    index: Option<&IndexScope<'_>>,
+    params: &BoundValues,
+    cancel: &CancelToken,
+    tracer: &Tracer,
+) -> Result<(QueryOutput, ExecutionReport)> {
     let t_exec = Instant::now();
     // Resolve the execution's full binding. `params` (the submission's
     // resolved values — caller-bound parameters plus the submitted text's
@@ -406,6 +497,7 @@ pub fn execute_plan_traced(
             &plan.hot,
             &bound,
             &mut report,
+            cancel,
             tracer,
         )?;
         bag_span.arg("tuples", tuples);
@@ -463,6 +555,7 @@ pub fn execute_plan_traced(
         &bag_overlay,
         &plan.hot,
         &bound,
+        cancel,
         tracer,
     )?;
     report.comm_tuples = shuffled.report.tuples;
@@ -484,32 +577,43 @@ pub fn execute_plan_traced(
         tracer,
         "join",
         |w, span| -> Result<(Option<Vec<Value>>, JoinCounters)> {
+            // At least one fault/cancellation checkpoint per worker, then
+            // one per SINK_CHECK_EVERY emitted rows inside the sinks.
+            adj_faults::inject(FaultSite::JoinEnumerate, cancel);
+            cancel.check().map_err(cancel_err)?;
             let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
             let join = LeapfrogJoin::new(order, tries)?.with_bound(bound_ref);
             let mut scratch = JoinScratch::new();
             let result = match mode {
                 OutputMode::Rows | OutputMode::Limit(_) => {
-                    let mut sink = RowBuffer::new(width).with_budget(budget);
+                    let mut inner = RowBuffer::new(width).with_budget(budget);
                     if let OutputMode::Limit(n) = mode {
-                        sink = sink.with_limit(n);
+                        inner = inner.with_limit(n);
                     }
+                    let mut sink = CancelSink::new(inner, cancel);
                     let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
-                    if sink.over_budget() {
+                    let inner = sink.into_inner();
+                    // Distinguish a cancelled enumeration from a genuinely
+                    // over-budget one before interpreting the buffer.
+                    cancel.check().map_err(cancel_err)?;
+                    if inner.over_budget() {
                         return Err(Error::BudgetExceeded {
                             what: "join output tuples",
                             limit: budget,
                         });
                     }
-                    (Some(sink.into_flat()), counters)
+                    (Some(inner.into_flat()), counters)
                 }
                 OutputMode::Count => {
-                    let mut sink = CountSink::new();
+                    let mut sink = CancelSink::new(CountSink::new(), cancel);
                     let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
+                    cancel.check().map_err(cancel_err)?;
                     (None, counters)
                 }
                 OutputMode::Exists => {
-                    let mut sink = ExistsSink::new();
+                    let mut sink = CancelSink::new(ExistsSink::new(), cancel);
                     let counters = join.join_into_with_scratch(&mut sink, &mut scratch);
+                    cancel.check().map_err(cancel_err)?;
                     (None, counters)
                 }
             };
@@ -531,7 +635,9 @@ pub fn execute_plan_traced(
     let mut all_rows: Vec<Value> = Vec::new();
     let mut counters = JoinCounters::new(plan.order.len());
     for r in run.results {
-        let (rows, c) = r?;
+        // Outer layer: panic isolation (a poisoned worker fails only this
+        // query); inner layer: the worker's own typed result.
+        let (rows, c) = r.map_err(Error::from)??;
         counters.merge(&c);
         if let Some(rows) = rows {
             all_rows.extend_from_slice(&rows);
@@ -598,6 +704,7 @@ fn run_one_round(
     hot: &HotValues,
     bound: &BoundValues,
     report: &mut ExecutionReport,
+    cancel: &CancelToken,
     tracer: &Tracer,
 ) -> Result<(Relation, f64, u64)> {
     let num_attrs = order.iter().map(|a| a.index() + 1).max().unwrap_or(1);
@@ -615,6 +722,7 @@ fn run_one_round(
         &[],
         hot,
         bound,
+        cancel,
         tracer,
     )?;
     report.index_build_secs += shuffled.report.build_secs;
@@ -624,6 +732,8 @@ fn run_one_round(
     let budget = config.max_intermediate_tuples;
     let locals = &shuffled.locals;
     let run = cluster.run_traced(tracer, "bag_join", |w, span| {
+        adj_faults::inject(FaultSite::JoinEnumerate, cancel);
+        cancel.check().map_err(cancel_err)?;
         let tries: Vec<Arc<Trie>> = locals[w].iter().map(|l| Arc::clone(&l.trie)).collect();
         let join = LeapfrogJoin::new(order, tries)?.with_bound(bound);
         let mut rows: Vec<Value> = Vec::new();
@@ -643,7 +753,7 @@ fn run_one_round(
     });
     let mut all: Vec<Value> = Vec::new();
     for r in run.results {
-        all.extend_from_slice(&r?);
+        all.extend_from_slice(&r.map_err(Error::from)??);
     }
     let schema = Schema::new(order.to_vec())?;
     let rel = Relation::from_flat(schema, all)?;

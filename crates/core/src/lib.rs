@@ -32,8 +32,8 @@ pub mod yannakakis;
 
 pub use cost::{fractional_max_cube_bound, CostEstimator, CostParams};
 pub use executor::{
-    execute_plan, execute_plan_bound, execute_plan_cached, execute_plan_traced, ExecutionReport,
-    Strategy,
+    execute_plan, execute_plan_bound, execute_plan_cached, execute_plan_cancellable,
+    execute_plan_traced, ExecutionReport, Strategy,
 };
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};
@@ -42,6 +42,10 @@ pub use yannakakis::{yannakakis, yannakakis_cached, YannakakisReport};
 // The cross-query index cache (defined in `adj-hcube`, where the shuffle
 // consults it) is part of this crate's public execution API too.
 pub use adj_hcube::{HotValues, IndexCache, IndexCacheStats, IndexScope};
+// Cooperative cancellation and the deterministic fault-injection harness
+// (defined in `adj-faults` so every layer can place checkpoints), part of
+// this crate's public execution API for the serving layer's deadline hook.
+pub use adj_faults::{CancelToken, Cancelled, FaultAction, FaultPlan, FaultSite, InstalledFaults};
 // Heavy-hitter detection (defined in `adj-sampling`, next to the
 // cardinality estimator whose machinery it reuses).
 pub use adj_sampling::{SkewConfig, SkewProfile};
@@ -285,7 +289,27 @@ impl Adj {
         params: &BoundValues,
         tracer: &Tracer,
     ) -> Result<(QueryOutput, ExecutionReport)> {
-        let (output, mut report) = execute_plan_traced(
+        self.execute_bound_cancellable(plan, db, mode, index, params, &CancelToken::none(), tracer)
+    }
+
+    /// [`Adj::execute_bound_traced`] plus a cooperative [`CancelToken`]:
+    /// the token is polled throughout the shuffle's routing loops and the
+    /// workers' join enumeration, so a fired token (explicit cancel or
+    /// elapsed deadline) aborts within a bounded amount of work with
+    /// [`adj_relational::Error::Cancelled`] and never publishes partial
+    /// cache artifacts. This is the serving layer's deadline hook.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_bound_cancellable(
+        &self,
+        plan: &QueryPlan,
+        db: &Database,
+        mode: OutputMode,
+        index: Option<&IndexScope<'_>>,
+        params: &BoundValues,
+        cancel: &CancelToken,
+        tracer: &Tracer,
+    ) -> Result<(QueryOutput, ExecutionReport)> {
+        let (output, mut report) = executor::execute_plan_cancellable(
             &self.cluster,
             db,
             plan,
@@ -293,6 +317,7 @@ impl Adj {
             mode,
             index,
             params,
+            cancel,
             tracer,
         )?;
         report.optimization_secs = plan.optimization_secs;

@@ -26,6 +26,7 @@ use crate::cache::{IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
 use crate::skew::{HotValues, ShuffleRouting};
 use adj_cluster::Cluster;
+use adj_faults::{CancelToken, FaultSite};
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, BoundValues, Database, Error, Relation, Result, Schema, Trie, Value};
 use adj_trace::{Tracer, COORDINATOR_LANE};
@@ -214,11 +215,34 @@ pub fn hcube_shuffle_cached(
         overlay,
         hot,
         bound,
+        &CancelToken::none(),
         &Tracer::disabled(),
     )
 }
 
-/// [`hcube_shuffle_cached`] recording a span timeline: one `shuffle` span
+/// How often the routing loops poll the [`CancelToken`]: one relaxed atomic
+/// load (plus the fault-injection gate) every this many routed rows, so the
+/// cancellation latency is bounded without a measurable per-row cost.
+const CANCEL_CHECK_EVERY: u64 = 4096;
+
+/// Fault-injection checkpoint + cooperative cancellation poll, mapped onto
+/// the workspace error type.
+#[inline]
+fn checkpoint(site: FaultSite, cancel: &CancelToken) -> Result<()> {
+    adj_faults::inject(site, cancel);
+    cancel.check().map_err(|c| Error::Cancelled { deadline_exceeded: c.deadline })
+}
+
+/// [`hcube_shuffle_cached`] with a cancellation token and a span timeline.
+///
+/// `cancel` is polled every `CANCEL_CHECK_EVERY` (4096) routed rows and once per
+/// atom / build phase; a fired token aborts the shuffle with
+/// [`Error::Cancelled`] **before** anything is published to the index cache,
+/// so a cancelled query never leaves partial artifacts behind. A panicking
+/// build worker is likewise isolated ([`adj_cluster::WorkerFailure`]) and
+/// surfaces as [`Error::WorkerPanicked`] with nothing published.
+///
+/// The span timeline: one `shuffle` span
 /// on the coordinator lane (with tuple/message/reuse totals), an
 /// `index_cache_hit` / `index_cache_miss` instant per consulted
 /// [`IndexKey`](crate::cache::IndexKey), a `route` span over the
@@ -238,6 +262,7 @@ pub fn hcube_shuffle_cached_traced(
     overlay: &[(String, Arc<Relation>)],
     hot: &HotValues,
     bound: &BoundValues,
+    cancel: &CancelToken,
     tracer: &Tracer,
 ) -> Result<ShuffleOutput> {
     let mut shuffle_span = tracer.span(COORDINATOR_LANE, "shuffle");
@@ -359,10 +384,14 @@ pub fn hcube_shuffle_cached_traced(
         })
         .collect();
 
+    let mut rows_since_check: u64 = 0;
     for (ai, info) in infos.iter().enumerate() {
         if resolved[ai].is_some() {
             continue; // served from the cache — nothing moves
         }
+        // At least one cancellation checkpoint per cold atom, then one per
+        // CANCEL_CHECK_EVERY scanned rows inside the routing loops.
+        checkpoint(FaultSite::ShuffleRoute, cancel)?;
         let rel = resolve(db, overlay, &info.name)?;
         // Both paths route by per-attribute *coordinates* of the induced
         // (permuted) row: the plain hash, a spread coordinate, or the
@@ -380,6 +409,11 @@ pub fn hcube_shuffle_cached_traced(
         match impl_ {
             HCubeImpl::Push => {
                 for row in rel.rows() {
+                    rows_since_check += 1;
+                    if rows_since_check >= CANCEL_CHECK_EVERY {
+                        rows_since_check = 0;
+                        checkpoint(FaultSite::ShuffleRoute, cancel)?;
+                    }
                     prow.clear();
                     prow.extend(info.perm.iter().map(|&p| row[p]));
                     if !info.filters.is_empty() {
@@ -408,6 +442,11 @@ pub fn hcube_shuffle_cached_traced(
                 // that the block-id decode below matches the encode.
                 let mut blocks: FxHashMap<u64, Vec<Value>> = FxHashMap::default();
                 for row in rel.rows() {
+                    rows_since_check += 1;
+                    if rows_since_check >= CANCEL_CHECK_EVERY {
+                        rows_since_check = 0;
+                        checkpoint(FaultSite::ShuffleRoute, cancel)?;
+                    }
                     prow.clear();
                     prow.extend(info.perm.iter().map(|&p| row[p]));
                     if !info.filters.is_empty() {
@@ -496,6 +535,7 @@ pub fn hcube_shuffle_cached_traced(
         let worker_tuples_ref = &worker_tuples;
         let run = cluster.run_traced(tracer, "build", |w, span| -> Vec<Option<Arc<Trie>>> {
             span.arg("inbox_tuples", worker_tuples_ref[w]);
+            adj_faults::inject(FaultSite::TrieBuild, cancel);
             let mut built = Vec::with_capacity(infos.len());
             for ai in 0..infos.len() {
                 if resolved_ref[ai].is_some() {
@@ -524,10 +564,18 @@ pub fn hcube_shuffle_cached_traced(
             }
             built
         });
-        (run.results, run.makespan_secs)
+        // A panicking build worker fails the whole query *here*, before any
+        // trie is published to the index cache — siblings finished normally
+        // (their results are simply dropped) and the next query rebuilds
+        // from scratch against an uncorrupted cache.
+        let makespan = run.makespan_secs;
+        (run.into_results().map_err(Error::from)?, makespan)
     } else {
         (Vec::new(), 0.0)
     };
+    // A Cancel fault injected during the build (or a deadline that elapsed
+    // while workers ran) aborts before assembly for the same reason.
+    cancel.check().map_err(|c| Error::Cancelled { deadline_exceeded: c.deadline })?;
 
     // Assemble locals and publish the cold relations' indexes.
     let mut locals: Vec<Vec<LocalRelation>> =

@@ -32,6 +32,18 @@ pub enum Error {
     /// feature (e.g. bound constants on the comparison baselines, which
     /// have no selection pushdown).
     Unsupported { feature: &'static str, by: &'static str },
+    /// The query was cooperatively cancelled mid-execution — by its
+    /// deadline elapsing (`deadline_exceeded`) or by an explicit
+    /// cancellation request.
+    Cancelled { deadline_exceeded: bool },
+    /// A cluster worker closure panicked; the failure was isolated to this
+    /// query. `worker` is `None` when the panic happened on the
+    /// coordinator thread (routing, gather, mutation apply).
+    WorkerPanicked { worker: Option<usize>, message: String },
+    /// A configuration value is unusable (zero workers, non-finite α,
+    /// zero memory budget) — reported at construction instead of as a
+    /// panic deep inside share solving or partitioning.
+    InvalidConfig { message: String },
 }
 
 impl fmt::Display for Error {
@@ -63,6 +75,18 @@ impl fmt::Display for Error {
             Error::Unsupported { feature, by } => {
                 write!(f, "{feature} is not supported by {by}")
             }
+            Error::Cancelled { deadline_exceeded } => {
+                if *deadline_exceeded {
+                    write!(f, "query deadline exceeded")
+                } else {
+                    write!(f, "query cancelled")
+                }
+            }
+            Error::WorkerPanicked { worker, message } => match worker {
+                Some(w) => write!(f, "worker {w} panicked: {message}"),
+                None => write!(f, "coordinator panicked: {message}"),
+            },
+            Error::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }
     }
 }
@@ -88,5 +112,13 @@ mod tests {
         assert!(e.to_string().contains("byte 12") && e.to_string().contains("R1("));
         let e = Error::UnboundParam { name: "v".into() };
         assert!(e.to_string().contains("$v"));
+        let e = Error::Cancelled { deadline_exceeded: true };
+        assert!(e.to_string().contains("deadline"));
+        let e = Error::Cancelled { deadline_exceeded: false };
+        assert!(e.to_string().contains("cancelled"));
+        let e = Error::WorkerPanicked { worker: Some(3), message: "boom".into() };
+        assert!(e.to_string().contains("worker 3") && e.to_string().contains("boom"));
+        let e = Error::InvalidConfig { message: "0 workers".into() };
+        assert!(e.to_string().contains("0 workers"));
     }
 }

@@ -132,9 +132,12 @@ pub fn estimate_distributed(
 
     let mut sum = 0u64;
     let mut counters = JoinCounters::new(levels);
-    for (s, c) in &run.results {
+    for r in run.results {
+        // A panicking sampling worker fails the estimate (and the query
+        // using it) with a typed error instead of aborting the process.
+        let (s, c) = r.map_err(adj_relational::Error::from)?;
         sum += s;
-        counters.merge(c);
+        counters.merge(&c);
     }
     let scale = values.len() as f64 / k as f64;
     let extensions = counters.total_tuples();

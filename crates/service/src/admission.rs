@@ -24,8 +24,20 @@
 
 use crate::ServiceError;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Acquires the occupancy lock, recovering from poison. The lock guards
+/// two counters and two high-water marks — all updated atomically enough
+/// that any interrupted critical section leaves them valid — and the
+/// service isolates panics to their query, so refusing admission forever
+/// after one caught panic would be strictly worse than recovering.
+fn lock_recovering(m: &Mutex<Occupancy>) -> MutexGuard<'_, Occupancy> {
+    m.lock().unwrap_or_else(|e| {
+        m.clear_poison();
+        e.into_inner()
+    })
+}
 
 /// Policy for arrivals beyond the concurrency limit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,7 +151,7 @@ impl AdmissionController {
         max_waiting: usize,
         timeout: Option<Duration>,
     ) -> Result<AdmissionPermit<'_>, ServiceError> {
-        let mut occ = self.occupancy.lock().expect("admission lock poisoned");
+        let mut occ = lock_recovering(&self.occupancy);
         if occ.running >= self.max_concurrent {
             if occ.waiting >= max_waiting {
                 self.rejected_capacity.fetch_add(1, Ordering::Relaxed);
@@ -153,7 +165,10 @@ impl AdmissionController {
             let deadline = timeout.map(|t| (t, Instant::now() + t));
             while occ.running >= self.max_concurrent {
                 occ = match deadline {
-                    None => self.freed.wait(occ).expect("admission lock poisoned"),
+                    None => self.freed.wait(occ).unwrap_or_else(|e| {
+                        self.occupancy.clear_poison();
+                        e.into_inner()
+                    }),
                     Some((configured, deadline)) => {
                         let now = Instant::now();
                         if now >= deadline {
@@ -175,10 +190,11 @@ impl AdmissionController {
                             }
                             return Err(ServiceError::QueueTimeout { timeout: configured });
                         }
-                        let (occ, _timed_out) = self
-                            .freed
-                            .wait_timeout(occ, deadline - now)
-                            .expect("admission lock poisoned");
+                        let (occ, _timed_out) =
+                            self.freed.wait_timeout(occ, deadline - now).unwrap_or_else(|e| {
+                                self.occupancy.clear_poison();
+                                e.into_inner()
+                            });
                         occ
                     }
                 };
@@ -199,7 +215,7 @@ impl AdmissionController {
 
     /// A consistent snapshot of the counters.
     pub fn stats(&self) -> AdmissionStats {
-        let occ = self.occupancy.lock().expect("admission lock poisoned");
+        let occ = lock_recovering(&self.occupancy);
         AdmissionStats {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected_capacity: self.rejected_capacity.load(Ordering::Relaxed),
@@ -213,7 +229,7 @@ impl AdmissionController {
     }
 
     fn release(&self) {
-        let mut occ = self.occupancy.lock().expect("admission lock poisoned");
+        let mut occ = lock_recovering(&self.occupancy);
         debug_assert!(occ.running > 0, "release without matching admit");
         occ.running -= 1;
         drop(occ);
@@ -393,6 +409,23 @@ mod tests {
             assert_eq!(s.waiting, 0, "round {round}: no ghost waiters");
             assert_eq!(s.running, 0, "round {round}: slot returned");
         }
+    }
+
+    #[test]
+    fn poisoned_admission_lock_recovers() {
+        let c = AdmissionController::new(1, AdmissionPolicy::Reject);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = c.occupancy.lock().unwrap();
+            panic!("poison the occupancy lock");
+        }));
+        assert!(c.occupancy.is_poisoned());
+        // Admission, release, and stats all recover instead of wedging.
+        let p = c.admit().expect("admission must survive a poisoned lock");
+        drop(p);
+        assert!(!c.occupancy.is_poisoned(), "recovery must clear the poison");
+        let s = c.stats();
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.running, 0);
     }
 
     #[test]

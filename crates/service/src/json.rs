@@ -190,6 +190,9 @@ impl MetricsSnapshot {
             .u64("delta_overlay_tuples", self.delta_overlay_tuples)
             .u64("index_entries_patched", self.index_entries_patched)
             .u64("compactions", self.compactions)
+            .u64("worker_panics_caught", self.worker_panics_caught)
+            .u64("queries_deadline_exceeded", self.queries_deadline_exceeded)
+            .u64("queries_cancelled", self.queries_cancelled)
             .raw("total", self.total.to_json())
             .raw("queue_wait", self.queue_wait.to_json())
             .raw("optimization", self.optimization.to_json())
@@ -268,6 +271,9 @@ mod tests {
         assert!(json.contains("\"queries_ok\":3"));
         assert!(json.contains("\"by_mode\":{"));
         assert!(json.contains("\"bound_selectivity\":null"));
+        assert!(json.contains("\"worker_panics_caught\":0"));
+        assert!(json.contains("\"queries_deadline_exceeded\":0"));
+        assert!(json.contains("\"queries_cancelled\":0"));
         assert!(json.contains("\"total\":{\"count\":0"));
 
         let r = ExecutionReport { output_tuples: 9, share: vec![2, 2, 1], ..Default::default() };

@@ -162,6 +162,15 @@ pub struct ServiceConfig {
     /// Delta-overlay growth and compaction knobs for
     /// [`Service::mutate`]-ed relations.
     pub delta: DeltaConfig,
+    /// Default per-query deadline, measured from submission (admission wait
+    /// included). A query that outlives it is cooperatively cancelled at
+    /// the next checkpoint — the shuffle's routing loops and the workers'
+    /// join sinks poll the token every few thousand rows — and fails with
+    /// [`ServiceError::DeadlineExceeded`], leaving no partial cache
+    /// artifacts behind. `None` (the default) disables the deadline;
+    /// individual requests override it via
+    /// [`QueryRequest::deadline`](crate::pool::QueryRequest).
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -175,6 +184,7 @@ impl Default for ServiceConfig {
             admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },
             trace: TraceSettings::default(),
             delta: DeltaConfig::default(),
+            default_deadline: None,
         }
     }
 }
@@ -221,6 +231,29 @@ pub enum ServiceError {
         /// What the parser expected.
         message: String,
     },
+    /// The query outlived its deadline (the request's own or the service's
+    /// [`default_deadline`](ServiceConfig::default_deadline)) and was
+    /// cooperatively cancelled at the next checkpoint. No partial cache
+    /// artifacts were published; an identical resubmission runs clean.
+    DeadlineExceeded {
+        /// The deadline that elapsed, when known (requests cancelled
+        /// explicitly mid-flight carry `None`).
+        deadline: Option<Duration>,
+    },
+    /// The query was cancelled explicitly (not by a deadline) before it
+    /// completed.
+    Cancelled,
+    /// A panic during this query's execution — in a cluster worker closure
+    /// or on the coordinator path — was caught and isolated to this query.
+    /// The service, its caches, and every other in-flight query keep
+    /// running; nothing partial was published.
+    WorkerPanicked {
+        /// The worker slot that panicked, or `None` for a coordinator-side
+        /// panic (routing, gather, mutation apply).
+        worker: Option<usize>,
+        /// The panic payload, stringified.
+        message: String,
+    },
     /// Parsing, planning, or execution failed in the underlying library.
     Exec(adj_relational::Error),
     /// The worker pool was shut down before the job completed.
@@ -245,6 +278,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Parse { offset, token, message } => {
                 write!(f, "parse error at byte {offset} near '{token}': {message}")
             }
+            ServiceError::DeadlineExceeded { deadline } => match deadline {
+                Some(d) => write!(f, "query deadline of {d:?} exceeded"),
+                None => write!(f, "query deadline exceeded"),
+            },
+            ServiceError::Cancelled => write!(f, "query cancelled"),
+            ServiceError::WorkerPanicked { worker, message } => match worker {
+                Some(w) => write!(f, "worker {w} panicked (isolated to this query): {message}"),
+                None => write!(f, "coordinator panicked (isolated to this query): {message}"),
+            },
             ServiceError::Exec(e) => write!(f, "execution failed: {e}"),
             ServiceError::ShutDown => write!(f, "worker pool shut down"),
         }
@@ -265,6 +307,18 @@ impl From<adj_relational::Error> for ServiceError {
         match e {
             adj_relational::Error::Parse { offset, token, message } => {
                 ServiceError::Parse { offset, token, message }
+            }
+            adj_relational::Error::Cancelled { deadline_exceeded: true } => {
+                // The executor knows *that* the deadline elapsed, not its
+                // length; the service fills the Duration in where it knows
+                // the request's effective deadline.
+                ServiceError::DeadlineExceeded { deadline: None }
+            }
+            adj_relational::Error::Cancelled { deadline_exceeded: false } => {
+                ServiceError::Cancelled
+            }
+            adj_relational::Error::WorkerPanicked { worker, message } => {
+                ServiceError::WorkerPanicked { worker, message }
             }
             other => ServiceError::Exec(other),
         }

@@ -170,6 +170,9 @@ pub struct ServiceMetrics {
     delta_overlay_tuples: AtomicU64,
     index_entries_patched: AtomicU64,
     compactions: AtomicU64,
+    worker_panics_caught: AtomicU64,
+    queries_deadline_exceeded: AtomicU64,
+    queries_cancelled: AtomicU64,
     partition_tuples_max: AtomicU64,
     partition_fill_sum: AtomicU64,
     partition_fill_slots: AtomicU64,
@@ -259,6 +262,23 @@ impl ServiceMetrics {
         self.queries_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a worker (or coordinator) panic that was caught and isolated
+    /// to its query. The query also counts as failed
+    /// ([`record_failure`](Self::record_failure) is the caller's job).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query stopped because its deadline passed.
+    pub fn record_deadline_exceeded(&self) {
+        self.queries_deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query stopped by explicit cancellation.
+    pub fn record_cancelled(&self) {
+        self.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one traced query and how many of its events overflowed the
     /// trace ring buffer (0 when the capacity sufficed).
     pub fn record_trace(&self, events_dropped: u64) {
@@ -319,6 +339,9 @@ impl ServiceMetrics {
             delta_overlay_tuples: self.delta_overlay_tuples.load(Ordering::Relaxed),
             index_entries_patched: self.index_entries_patched.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
+            worker_panics_caught: self.worker_panics_caught.load(Ordering::Relaxed),
+            queries_deadline_exceeded: self.queries_deadline_exceeded.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
             max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
             mean_partition_tuples: {
                 let slots = self.partition_fill_slots.load(Ordering::Relaxed);
@@ -409,6 +432,16 @@ pub struct MetricsSnapshot {
     pub index_entries_patched: u64,
     /// Delta overlays folded into their base (size- or drift-triggered).
     pub compactions: u64,
+    /// Worker (or coordinator) panics caught and isolated to their query —
+    /// each also counts under `queries_failed`. Non-zero means a bug fired
+    /// in production without taking the process down.
+    pub worker_panics_caught: u64,
+    /// Queries stopped because their deadline passed (admission wait
+    /// included).
+    pub queries_deadline_exceeded: u64,
+    /// Queries stopped by explicit cancellation (a fault-plan `Cancel` or a
+    /// manually triggered token — distinct from deadline expiry).
+    pub queries_cancelled: u64,
     /// Fullest single-worker partition fill (delivered tuple copies)
     /// observed on any served query — the hot-spot ceiling skew hardening
     /// bounds.
@@ -509,6 +542,21 @@ impl MetricsSnapshot {
             self.index_entries_patched,
         );
         counter("compactions_total", "Delta overlays folded into their base.", self.compactions);
+        counter(
+            "worker_panics_caught_total",
+            "Worker panics caught and isolated to their query.",
+            self.worker_panics_caught,
+        );
+        counter(
+            "queries_deadline_exceeded_total",
+            "Queries stopped because their deadline passed.",
+            self.queries_deadline_exceeded,
+        );
+        counter(
+            "queries_cancelled_total",
+            "Queries stopped by explicit cancellation.",
+            self.queries_cancelled,
+        );
         out.push_str(&format!(
             "# HELP adj_delta_overlay_tuples Overlay tuples resident across databases.\n\
              # TYPE adj_delta_overlay_tuples gauge\n\
@@ -714,6 +762,26 @@ mod tests {
         assert_eq!(s.queries_traced, 2);
         assert_eq!(s.trace_events_dropped, 7);
         assert_eq!(s.slow_queries_logged, 1);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_export() {
+        let m = ServiceMetrics::new();
+        m.record_worker_panic();
+        m.record_failure();
+        m.record_deadline_exceeded();
+        m.record_failure();
+        m.record_cancelled();
+        m.record_failure();
+        let s = m.snapshot();
+        assert_eq!(s.worker_panics_caught, 1);
+        assert_eq!(s.queries_deadline_exceeded, 1);
+        assert_eq!(s.queries_cancelled, 1);
+        assert_eq!(s.queries_failed, 3);
+        let text = s.to_prometheus_text();
+        assert!(text.contains("adj_worker_panics_caught_total 1\n"));
+        assert!(text.contains("adj_queries_deadline_exceeded_total 1\n"));
+        assert!(text.contains("adj_queries_cancelled_total 1\n"));
     }
 
     #[test]

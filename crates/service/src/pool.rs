@@ -22,6 +22,7 @@ use adj_relational::OutputMode;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A query in either accepted form.
 #[derive(Debug, Clone)]
@@ -44,23 +45,45 @@ pub struct QueryRequest {
     /// prefix (or `Rows` without one) for textual queries. `Some(mode)`
     /// forces `mode`, overriding any prefix in the text.
     pub mode: Option<OutputMode>,
+    /// Per-query deadline, measured from when a worker picks the request
+    /// up (admission wait included). `None` falls back to
+    /// [`ServiceConfig::default_deadline`](crate::ServiceConfig).
+    pub deadline: Option<Duration>,
 }
 
 impl QueryRequest {
     /// A request from query text (any mode prefix in the text applies).
     pub fn text(database: impl Into<String>, text: impl Into<String>) -> Self {
-        QueryRequest { database: database.into(), query: QueryInput::Text(text.into()), mode: None }
+        QueryRequest {
+            database: database.into(),
+            query: QueryInput::Text(text.into()),
+            mode: None,
+            deadline: None,
+        }
     }
 
     /// A request from a built query (served in [`OutputMode::Rows`]).
     pub fn query(database: impl Into<String>, query: JoinQuery) -> Self {
-        QueryRequest { database: database.into(), query: QueryInput::Query(query), mode: None }
+        QueryRequest {
+            database: database.into(),
+            query: QueryInput::Query(query),
+            mode: None,
+            deadline: None,
+        }
     }
 
     /// Forces an output mode, overriding the default (and any mode prefix
     /// a textual query carries).
     pub fn with_mode(mut self, mode: OutputMode) -> Self {
         self.mode = Some(mode);
+        self
+    }
+
+    /// Sets a per-query deadline; past it the query stops at its next
+    /// cancellation checkpoint with
+    /// [`ServiceError::DeadlineExceeded`](crate::ServiceError).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -103,11 +126,19 @@ impl WorkerPool {
                 std::thread::Builder::new()
                     .name(format!("adj-service-worker-{i}"))
                     .spawn(move || loop {
-                        // Hold the lock only to dequeue, never while serving.
-                        let job = match rx.lock().expect("pool queue poisoned").recv() {
+                        // Hold the lock only to dequeue, never while serving
+                        // (recovering from poison: `recv` itself cannot
+                        // panic, but a sibling worker's unwind between
+                        // lock and recv must not wedge the whole pool).
+                        let guard = rx.lock().unwrap_or_else(|e| {
+                            rx.clear_poison();
+                            e.into_inner()
+                        });
+                        let job = match guard.recv() {
                             Ok(job) => job,
                             Err(_) => return, // queue closed: pool dropped
                         };
+                        drop(guard);
                         let result = run_one(&service, &job.request);
                         // The submitter may have dropped its handle; that
                         // just means nobody reads the outcome.
@@ -155,22 +186,34 @@ impl WorkerPool {
 }
 
 fn run_one(service: &Service, request: &QueryRequest) -> Result<ServiceOutcome, ServiceError> {
+    let deadline = request.deadline;
     match (&request.query, request.mode) {
-        (QueryInput::Text(text), None) => service.execute_text(&request.database, text),
-        (QueryInput::Text(text), Some(mode)) => {
+        (QueryInput::Text(text), None) if deadline.is_none() => {
+            service.execute_text(&request.database, text)
+        }
+        (QueryInput::Text(text), forced) => {
             // Parse through the same path as execute_text (so the text may
-            // still carry a prefix), then force the requested mode.
+            // still carry a prefix), then force the requested mode (when
+            // one was set) and thread the deadline through.
             match adj_query::parse_query_with_mode(text) {
-                Ok((query, _, _)) => service.execute_mode(&request.database, &query, mode),
+                Ok((query, _, parsed_mode)) => service.execute_mode_with_deadline(
+                    &request.database,
+                    &query,
+                    forced.unwrap_or(parsed_mode),
+                    deadline,
+                ),
                 Err(e) => {
                     service.note_parse_failure();
                     Err(e.into())
                 }
             }
         }
-        (QueryInput::Query(query), mode) => {
-            service.execute_mode(&request.database, query, mode.unwrap_or(OutputMode::Rows))
-        }
+        (QueryInput::Query(query), mode) => service.execute_mode_with_deadline(
+            &request.database,
+            query,
+            mode.unwrap_or(OutputMode::Rows),
+            deadline,
+        ),
     }
 }
 

@@ -9,6 +9,7 @@ use crate::{AdmissionStats, ServiceConfig, ServiceError};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
 use adj_delta::{DeltaRelation, MutationBatch};
+use adj_faults::{CancelToken, FaultSite};
 use adj_hcube::patch_relation_indexes;
 use adj_query::fingerprint::Fnv1a;
 use adj_query::{
@@ -18,9 +19,51 @@ use adj_relational::{Attr, BoundValues, Database, OutputMode, QueryOutput, Relat
 use adj_sampling::sample_relation;
 use adj_trace::{QueryTrace, Trace, Tracer, COORDINATOR_LANE};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// Acquires a mutex, recovering from poison: the service catches panics and
+/// isolates them to their query, so a poisoned lock only means some holder
+/// panicked mid-critical-section — every structure guarded here (registry
+/// map, slow log, door map) is valid after any partial update, and refusing
+/// service forever (the `.unwrap()` default) would turn one isolated panic
+/// into a permanently wedged service.
+fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| {
+        m.clear_poison();
+        e.into_inner()
+    })
+}
+
+/// [`lock_recovering`] for a read lock.
+fn read_recovering<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| {
+        l.clear_poison();
+        e.into_inner()
+    })
+}
+
+/// [`lock_recovering`] for a write lock.
+fn write_recovering<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| {
+        l.clear_poison();
+        e.into_inner()
+    })
+}
+
+/// Renders a caught panic payload (`String` / `&str` panics — the common
+/// cases — verbatim; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// A registered database: an immutable serving snapshot plus the
 /// statistics epoch and per-relation delta versions the caches key on.
@@ -358,11 +401,7 @@ impl Service {
             deltas: HashMap::new(),
             versions: Vec::new(),
         });
-        let replaced = self
-            .databases
-            .write()
-            .expect("database registry poisoned")
-            .insert(name, Arc::clone(&entry));
+        let replaced = write_recovering(&self.databases).insert(name, Arc::clone(&entry));
         if let Some(old) = replaced {
             // Scoped: only this database's plans and indexes drop; other
             // databases' cached artifacts stay warm. (The epoch bump already
@@ -378,7 +417,7 @@ impl Service {
     /// [`ServiceError::UnknownDatabase`] from then on. Its cached indexes
     /// are dropped eagerly to free their bytes.
     pub fn drop_database(&self, name: &str) -> bool {
-        let removed = self.databases.write().expect("database registry poisoned").remove(name);
+        let removed = write_recovering(&self.databases).remove(name);
         match removed {
             Some(old) => {
                 self.index.invalidate_db(old.tag);
@@ -390,8 +429,7 @@ impl Service {
 
     /// Registered database names (sorted, for determinism).
     pub fn database_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.databases.read().expect("database registry poisoned").keys().cloned().collect();
+        let mut names: Vec<String> = read_recovering(&self.databases).keys().cloned().collect();
         names.sort();
         names
     }
@@ -419,8 +457,24 @@ impl Service {
         query: &JoinQuery,
         mode: OutputMode,
     ) -> Result<ServiceOutcome, ServiceError> {
+        self.execute_mode_with_deadline(db_name, query, mode, None)
+    }
+
+    /// [`Service::execute_mode`] with a per-query deadline, measured from
+    /// submission (admission wait included). `None` falls back to
+    /// [`ServiceConfig::default_deadline`]; `Some` overrides it. Past the
+    /// deadline the query stops at its next cancellation checkpoint and
+    /// fails with [`ServiceError::DeadlineExceeded`] — no partial artifact
+    /// is ever published.
+    pub fn execute_mode_with_deadline(
+        &self,
+        db_name: &str,
+        query: &JoinQuery,
+        mode: OutputMode,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceOutcome, ServiceError> {
         let values = self.validated_const_bindings(query)?;
-        self.execute_inner(db_name, query, mode, &values, false)
+        self.execute_inner(db_name, query, mode, &values, false, deadline)
     }
 
     /// Resolves a direct (non-prepared) submission's inline literals and
@@ -501,11 +555,39 @@ impl Service {
         batch: &MutationBatch,
     ) -> Result<MutationOutcome, ServiceError> {
         let door = {
-            let mut doors = self.mutation_doors.lock().expect("mutation doors poisoned");
+            let mut doors = lock_recovering(&self.mutation_doors);
             Arc::clone(doors.entry(db_name.to_string()).or_default())
         };
-        let _serialized = door.lock().expect("mutation door poisoned");
+        let _serialized = lock_recovering(&door);
 
+        match catch_unwind(AssertUnwindSafe(|| self.mutate_locked(db_name, batch))) {
+            Ok(result) => result,
+            Err(payload) => {
+                // A panic mid-batch never reached the registry swap, so the
+                // old snapshot is still what every query serves. Its warm
+                // index entries may have been partially patched forward to
+                // a sequence that will never be registered — drop the
+                // mutated relation's entries so nothing half-patched can
+                // linger (the next query rebuilds cold, correctly). The
+                // door guard unlocks on return; `lock_recovering` clears
+                // the poison the unwind left behind.
+                if let Ok(entry) = self.lookup(db_name) {
+                    self.index.take_indexes_for(entry.tag, &batch.relation);
+                }
+                self.metrics.record_worker_panic();
+                self.metrics.record_failure();
+                Err(ServiceError::WorkerPanicked { worker: None, message: panic_message(payload) })
+            }
+        }
+    }
+
+    /// The batch work of [`Service::mutate`], run under the per-database
+    /// door with panics isolated by the caller.
+    fn mutate_locked(
+        &self,
+        db_name: &str,
+        batch: &MutationBatch,
+    ) -> Result<MutationOutcome, ServiceError> {
         loop {
             let entry = match self.lookup(db_name) {
                 Ok(e) => e,
@@ -531,7 +613,7 @@ impl Service {
                         }
                     },
                 };
-                let dbs = self.databases.read().expect("database registry poisoned");
+                let dbs = read_recovering(&self.databases);
                 self.metrics.record_mutation(0, false, Self::total_overlay_tuples(&dbs));
                 return Ok(MutationOutcome {
                     relation: batch.relation.clone(),
@@ -543,6 +625,18 @@ impl Service {
                     compacted: false,
                     overlay_tuples,
                 });
+            }
+
+            // Fault-injection checkpoint: a planned `Panic` here unwinds
+            // into `mutate`'s catch (old snapshot stays servable, door
+            // un-wedged); a planned `Cancel` aborts the batch before any
+            // state is touched.
+            let inject_token = CancelToken::manual();
+            adj_faults::inject(FaultSite::MutationApply, &inject_token);
+            if inject_token.check().is_err() {
+                self.metrics.record_failure();
+                self.metrics.record_cancelled();
+                return Err(ServiceError::Cancelled);
             }
 
             let skew_cfg = self.config.adj.skew;
@@ -645,7 +739,7 @@ impl Service {
             // the snapshot: redo the batch against the current entry (its
             // fresh epoch orphans this attempt's patched cache entries, so
             // they can never serve a query and age out on next harvest).
-            let mut dbs = self.databases.write().expect("database registry poisoned");
+            let mut dbs = write_recovering(&self.databases);
             match dbs.get(db_name) {
                 Some(current) if Arc::ptr_eq(current, &entry) => {
                     dbs.insert(db_name.to_string(), new_entry);
@@ -732,6 +826,18 @@ impl Service {
         bindings: &Bindings,
         mode: OutputMode,
     ) -> Result<ServiceOutcome, ServiceError> {
+        self.execute_bound_with_deadline(prepared, bindings, mode, None)
+    }
+
+    /// [`Service::execute_bound`] with a per-query deadline (see
+    /// [`Service::execute_mode_with_deadline`] for the semantics).
+    pub fn execute_bound_with_deadline(
+        &self,
+        prepared: &PreparedQuery,
+        bindings: &Bindings,
+        mode: OutputMode,
+        deadline: Option<Duration>,
+    ) -> Result<ServiceOutcome, ServiceError> {
         let values = match prepared.query.resolve_bindings(bindings) {
             Ok(v) => v,
             Err(e) => {
@@ -739,7 +845,7 @@ impl Service {
                 return Err(ServiceError::Exec(e));
             }
         };
-        self.execute_inner(&prepared.db_name, &prepared.query, mode, &values, false)
+        self.execute_inner(&prepared.db_name, &prepared.query, mode, &values, false, deadline)
     }
 
     /// The shared serving path: admission → plan cache → bound execution.
@@ -753,8 +859,16 @@ impl Service {
         mode: OutputMode,
         values: &BoundValues,
         force_trace: bool,
+        deadline: Option<Duration>,
     ) -> Result<ServiceOutcome, ServiceError> {
         let t_start = Instant::now();
+        // Always a real (non-`none`) token: fault plans drive `Cancel`
+        // injections through it even when no deadline is set.
+        let effective_deadline = deadline.or(self.config.default_deadline);
+        let cancel = match effective_deadline {
+            Some(d) => CancelToken::with_deadline(t_start + d),
+            None => CancelToken::manual(),
+        };
         let settings = &self.config.trace;
         let tracer = if force_trace || settings.enabled || settings.slow_query_threshold.is_some() {
             Tracer::new(settings.buffer_capacity)
@@ -794,6 +908,12 @@ impl Service {
             }
         };
         let queue_secs = t_queue.elapsed().as_secs_f64();
+        // A deadline that expired while queued fails here — before any
+        // planning or execution work is charged to a query that can no
+        // longer finish in time.
+        if let Err(c) = cancel.check() {
+            return Err(self.fail_cancelled(c, effective_deadline));
+        }
         if queue_secs < 1e-6 {
             // Admission was immediate; a zero-width span would only add
             // timeline noise — its absence is the "never waited" signal.
@@ -848,13 +968,33 @@ impl Service {
             epoch: entry.epoch,
             versions: &entry.versions,
         };
-        let executed =
-            self.adj.execute_bound_traced(&plan, &entry.db, mode, Some(&scope), values, &tracer);
+        // `catch_unwind` here isolates *coordinator-side* panics (routing,
+        // gather, yannakakis) to this query; worker panics are already
+        // caught per-worker inside `Cluster::run` and surface as typed
+        // `Err(WorkerPanicked)` results. Either way the process survives
+        // and no partial artifact was published (the shuffle checks worker
+        // results and the token *before* assembling or caching anything).
+        let executed = catch_unwind(AssertUnwindSafe(|| {
+            self.adj.execute_bound_cancellable(
+                &plan,
+                &entry.db,
+                mode,
+                Some(&scope),
+                values,
+                &cancel,
+                &tracer,
+            )
+        }));
         let (output, mut report) = match executed {
-            Ok(o) => o,
-            Err(e) => {
+            Ok(Ok(o)) => o,
+            Ok(Err(e)) => return Err(self.fail_exec(e, effective_deadline)),
+            Err(payload) => {
                 self.metrics.record_failure();
-                return Err(ServiceError::Exec(e));
+                self.metrics.record_worker_panic();
+                return Err(ServiceError::WorkerPanicked {
+                    worker: None,
+                    message: panic_message(payload),
+                });
             }
         };
         drop(permit);
@@ -904,6 +1044,48 @@ impl Service {
         })
     }
 
+    /// Maps an execution-layer error into its service error, recording the
+    /// failure plus the specific fault counter (panic / deadline / cancel)
+    /// it represents.
+    fn fail_exec(
+        &self,
+        e: adj_relational::Error,
+        effective_deadline: Option<Duration>,
+    ) -> ServiceError {
+        self.metrics.record_failure();
+        match ServiceError::from(e) {
+            ServiceError::DeadlineExceeded { .. } => {
+                self.metrics.record_deadline_exceeded();
+                ServiceError::DeadlineExceeded { deadline: effective_deadline }
+            }
+            ServiceError::Cancelled => {
+                self.metrics.record_cancelled();
+                ServiceError::Cancelled
+            }
+            ServiceError::WorkerPanicked { worker, message } => {
+                self.metrics.record_worker_panic();
+                ServiceError::WorkerPanicked { worker, message }
+            }
+            other => other,
+        }
+    }
+
+    /// Records and shapes a cancellation observed directly on the token.
+    fn fail_cancelled(
+        &self,
+        c: adj_faults::Cancelled,
+        effective_deadline: Option<Duration>,
+    ) -> ServiceError {
+        self.metrics.record_failure();
+        if c.deadline {
+            self.metrics.record_deadline_exceeded();
+            ServiceError::DeadlineExceeded { deadline: effective_deadline }
+        } else {
+            self.metrics.record_cancelled();
+            ServiceError::Cancelled
+        }
+    }
+
     /// Inserts one over-threshold query into the slow-query log, keeping
     /// the configured number of worst offenders (slowest first).
     fn note_slow(&self, slow: SlowQuery) {
@@ -912,7 +1094,7 @@ impl Service {
         if keep == 0 {
             return;
         }
-        let mut log = self.slow_log.lock().expect("slow-query log poisoned");
+        let mut log = lock_recovering(&self.slow_log);
         let at = log
             .binary_search_by(|e| {
                 slow.total_secs.partial_cmp(&e.total_secs).unwrap_or(std::cmp::Ordering::Equal)
@@ -927,7 +1109,7 @@ impl Service {
     /// [`TraceSettings::slow_query_threshold`](crate::TraceSettings) is
     /// set.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
-        self.slow_log.lock().expect("slow-query log poisoned").clone()
+        lock_recovering(&self.slow_log).clone()
     }
 
     /// Serves a textual query (`"Q(a,b,c) :- R1(a,b), R2(b,c), R3(a,c)"`,
@@ -1030,7 +1212,7 @@ impl Service {
             }
             ExplainMode::Analyze => {
                 let values = self.validated_const_bindings(&query)?;
-                let outcome = self.execute_inner(db_name, &query, mode, &values, true)?;
+                let outcome = self.execute_inner(db_name, &query, mode, &values, true, None)?;
                 let trace = outcome.trace.as_ref().expect("forced tracing always yields a trace");
                 Ok(explain::render(
                     &outcome.plan,
@@ -1083,9 +1265,7 @@ impl Service {
     }
 
     fn lookup(&self, db_name: &str) -> Result<Arc<DbEntry>, ServiceError> {
-        self.databases
-            .read()
-            .expect("database registry poisoned")
+        read_recovering(&self.databases)
             .get(db_name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownDatabase(db_name.to_string()))
@@ -1728,6 +1908,173 @@ mod tests {
             service.mutate("g", &MutationBatch::new("R1").insert(&[1, 2, 3])).is_err(),
             "arity mismatch must surface as an error"
         );
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed_counted_and_overridable() {
+        let q = paper_query(PaperQuery::Q1);
+        let config = ServiceConfig {
+            adj: AdjConfig { cluster: ClusterConfig::with_workers(2), ..pinned_adj() },
+            default_deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let service = Service::new(config);
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+
+        // The default deadline of zero has always already passed.
+        let err = service.execute("g", &q).unwrap_err();
+        assert!(
+            matches!(err, ServiceError::DeadlineExceeded { deadline: Some(d) } if d == Duration::ZERO),
+            "{err}"
+        );
+        assert!(!err.is_rejection(), "a deadline failure is not an admission rejection");
+
+        // A generous per-query deadline overrides the hopeless default.
+        let out = service
+            .execute_mode_with_deadline("g", &q, OutputMode::Rows, Some(Duration::from_secs(60)))
+            .unwrap();
+        assert!(!out.rows().is_empty());
+
+        let m = service.metrics();
+        assert_eq!(m.queries_deadline_exceeded, 1);
+        assert_eq!(m.queries_failed, 1);
+        assert_eq!(m.queries_ok, 1);
+        assert_eq!(m.queries_cancelled, 0, "deadline expiry is not explicit cancellation");
+    }
+
+    #[test]
+    fn mutate_racing_register_and_drop_stays_consistent() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = Arc::new(small_service());
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+
+        // Churn the registration under concurrent mutators: the CoW swap is
+        // ptr_eq-guarded, so a superseded batch must retry against the
+        // current entry (or report UnknownDatabase after a drop) — never
+        // publish into a replaced snapshot, never deadlock, never panic.
+        std::thread::scope(|s| {
+            let churn = {
+                let service = Arc::clone(&service);
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..30u32 {
+                        if i % 7 == 6 {
+                            service.drop_database("g");
+                        }
+                        service.register_database("g", q.instantiate(&graph(100, 23)));
+                    }
+                })
+            };
+            for t in 0..2u32 {
+                let service = Arc::clone(&service);
+                s.spawn(move || {
+                    for i in 0..30u32 {
+                        let row = 2000 + t * 100 + i;
+                        let batch = MutationBatch::new("R1").insert(&[row, row + 1]);
+                        match service.mutate("g", &batch) {
+                            Ok(_) | Err(ServiceError::UnknownDatabase(_)) => {}
+                            Err(e) => panic!("unexpected mutate error under churn: {e}"),
+                        }
+                    }
+                });
+            }
+            churn.join().unwrap();
+        });
+
+        // The service is fully functional afterwards: a fresh registration
+        // mutates and serves, matching a from-scratch oracle.
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+        service.mutate("g", &MutationBatch::new("R1").insert(&[500, 501])).unwrap();
+        let served = service.execute("g", &q).unwrap();
+        let mut db = q.instantiate(&graph(100, 23));
+        db.insert_rows("R1", &[&[500, 501]]).unwrap();
+        let oracle = small_service();
+        oracle.register_database("g", db);
+        let expected = oracle.execute("g", &q).unwrap();
+        let aligned = served.rows().permute(expected.rows().schema().attrs()).unwrap();
+        assert_eq!(&aligned, expected.rows());
+    }
+
+    #[test]
+    fn mutation_panic_is_isolated_and_the_service_keeps_serving() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(150, 41)));
+        let before = service.execute("g", &q).unwrap();
+
+        let batch = MutationBatch::new("R1").insert(&[700, 701]);
+        {
+            let faults = adj_faults::install(
+                adj_faults::FaultPlan::new().panic_at(FaultSite::MutationApply, 0),
+            );
+            let err = service.mutate("g", &batch).unwrap_err();
+            assert!(matches!(err, ServiceError::WorkerPanicked { worker: None, .. }), "{err}");
+            assert!(faults.all_fired(), "the panic arm must have fired");
+        }
+
+        // The old snapshot is still what queries see, and the mutation door
+        // is un-wedged: the retry applies cleanly and serves the new state.
+        let after_panic = service.execute("g", &q).unwrap();
+        assert_eq!(after_panic.rows().len(), before.rows().len());
+        let outcome = service.mutate("g", &batch).unwrap();
+        assert_eq!(outcome.seq, 1);
+        assert_eq!(outcome.inserted, 1);
+
+        let m = service.metrics();
+        assert_eq!(m.worker_panics_caught, 1);
+        assert!(m.queries_failed >= 1);
+    }
+
+    #[test]
+    fn mutation_cancel_injection_aborts_the_batch_cleanly() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+
+        let batch = MutationBatch::new("R1").insert(&[600, 601]);
+        {
+            let _faults = adj_faults::install(
+                adj_faults::FaultPlan::new().cancel_at(FaultSite::MutationApply, 0),
+            );
+            let err = service.mutate("g", &batch).unwrap_err();
+            assert!(matches!(err, ServiceError::Cancelled), "{err}");
+        }
+        assert_eq!(service.metrics().queries_cancelled, 1);
+
+        // Nothing was applied: the retry starts at sequence 1.
+        let outcome = service.mutate("g", &batch).unwrap();
+        assert_eq!(outcome.seq, 1);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_wedging_the_service() {
+        let q = paper_query(PaperQuery::Q1);
+        let service = small_service();
+        service.register_database("g", q.instantiate(&graph(100, 23)));
+
+        // Poison every internal lock the way a panicking holder would.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = service.databases.write().unwrap();
+            panic!("poison the registry");
+        }));
+        assert!(service.databases.is_poisoned());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = service.slow_log.lock().unwrap();
+            panic!("poison the slow log");
+        }));
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = service.mutation_doors.lock().unwrap();
+            panic!("poison the door map");
+        }));
+
+        // Every path recovers: lookups, queries, the slow log, mutations.
+        assert_eq!(service.database_names(), vec!["g".to_string()]);
+        assert!(!service.databases.is_poisoned(), "recovery must clear the poison");
+        assert!(!service.execute("g", &q).unwrap().rows().is_empty());
+        assert!(service.slow_queries().is_empty());
+        service.mutate("g", &MutationBatch::new("R1").insert(&[300, 301])).unwrap();
+        service.register_database("h", q.instantiate(&graph(50, 11)));
+        assert!(service.drop_database("h"));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`leapfrog`] | `adj-leapfrog` | Leapfrog Triejoin (+ cached variant) |
 //! | [`sampling`] | `adj-sampling` | sampling-based cardinality estimation |
 //! | [`trace`] | `adj-trace` | zero-dependency lock-free per-query span/event tracing |
+//! | [`faults`] | `adj-faults` | cancellation tokens + deterministic fault injection |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
 //! | [`service`] | `adj-service` | concurrent query service: plan + index caches, admission control, metrics, output modes |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
@@ -65,6 +66,7 @@ pub use adj_cluster as cluster;
 pub use adj_core as core;
 pub use adj_datagen as datagen;
 pub use adj_delta as delta;
+pub use adj_faults as faults;
 pub use adj_hcube as hcube;
 pub use adj_leapfrog as leapfrog;
 pub use adj_query as query;
@@ -81,6 +83,7 @@ pub mod prelude {
     };
     pub use adj_datagen::{update_stream, Dataset, UpdateBatch, UpdateStreamConfig};
     pub use adj_delta::{DeltaConfig, DeltaRelation, MutationBatch};
+    pub use adj_faults::{CancelToken, FaultAction, FaultPlan, FaultSite};
     pub use adj_query::{
         paper_query, parse_query, parse_query_explain, parse_query_with_mode, Atom, Bindings,
         ExplainMode, JoinQuery, PaperQuery, QueryFingerprint, Term,
