@@ -1,9 +1,13 @@
 //! Parallel per-worker execution with timing.
 
 use crate::comm::{CommStats, CostModel};
+use crate::transport::TransportRound;
 use crate::{ClusterConfig, WorkerId};
+use adj_relational::Schema;
 use adj_trace::{lane_for_worker, SpanGuard, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A worker closure that panicked instead of returning. The panic is
@@ -63,6 +67,30 @@ pub struct Cluster {
     /// serving latencies) is skipped and workers run inline — per-worker
     /// timing and makespan semantics are unchanged.
     spawn_threads: bool,
+    /// Current worker width. Starts at `config.num_workers`; movable within
+    /// `config.worker_range` by [`Cluster::resize`].
+    width: AtomicUsize,
+    /// Queries currently executing ([`Cluster::begin_query`] guards).
+    /// A resize is only admitted when this is zero — a mid-query width
+    /// change would tear partition maps out from under the shuffle.
+    in_flight: AtomicUsize,
+    /// Linearizes query admission against resizes: `begin_query` holds it
+    /// for the increment, `resize` for the whole check-and-store.
+    resize_gate: Mutex<()>,
+}
+
+/// RAII marker for a query in flight on a [`Cluster`] — while any guard is
+/// live, [`Cluster::resize`] is rejected. Obtained from
+/// [`Cluster::begin_query`]; dropping it releases the slot.
+#[derive(Debug)]
+pub struct QueryGuard<'a> {
+    cluster: &'a Cluster,
+}
+
+impl Drop for QueryGuard<'_> {
+    fn drop(&mut self) {
+        self.cluster.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Result of a parallel run: per-worker wall-clock seconds plus results.
@@ -118,7 +146,16 @@ impl Cluster {
             CostModel { alpha_tuples_per_sec: config.alpha_tuples_per_sec, ..Default::default() };
         let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let spawn_threads = config.num_workers > 1 && parallelism > 1;
-        Ok(Cluster { config, comm: CommStats::new(), cost_model, spawn_threads })
+        let width = AtomicUsize::new(config.num_workers);
+        Ok(Cluster {
+            config,
+            comm: CommStats::new(),
+            cost_model,
+            spawn_threads,
+            width,
+            in_flight: AtomicUsize::new(0),
+            resize_gate: Mutex::new(()),
+        })
     }
 
     /// Creates a cluster behind an [`Arc`](std::sync::Arc), the form
@@ -142,9 +179,48 @@ impl Cluster {
         Ok(std::sync::Arc::new(Cluster::try_new(config)?))
     }
 
-    /// Number of workers.
+    /// Current number of workers (the configured width until a
+    /// [`resize`](Cluster::resize) moves it).
     pub fn num_workers(&self) -> usize {
-        self.config.num_workers
+        self.width.load(Ordering::SeqCst)
+    }
+
+    /// Queries currently in flight (live [`QueryGuard`]s).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Marks a query as in flight, pinning the worker width until the
+    /// returned guard drops. Callers partition, shuffle, and join against
+    /// `num_workers()` as observed *after* this call; the guard keeps a
+    /// concurrent [`resize`](Cluster::resize) from changing it mid-query.
+    pub fn begin_query(&self) -> QueryGuard<'_> {
+        // Taking the gate orders the increment against a concurrent
+        // resize's check-and-store: either the resize sees us and rejects,
+        // or we observe the new width.
+        let _gate = self.resize_gate.lock().unwrap_or_else(|e| e.into_inner());
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        QueryGuard { cluster: self }
+    }
+
+    /// Changes the worker width to `n`. Requires an elastic configuration
+    /// (`worker_range`), `n` within that range, and no query in flight —
+    /// a width change under a running query would tear its partition maps.
+    pub fn resize(&self, n: usize) -> Result<(), adj_relational::Error> {
+        let invalid = |message: String| Err(adj_relational::Error::InvalidConfig { message });
+        let Some((min, max)) = self.config.worker_range else {
+            return invalid("cluster is not elastic (no worker_range configured)".to_string());
+        };
+        if n < min || n > max {
+            return invalid(format!("resize to {n} outside worker_range [{min}, {max}]"));
+        }
+        let _gate = self.resize_gate.lock().unwrap_or_else(|e| e.into_inner());
+        let busy = self.in_flight.load(Ordering::SeqCst);
+        if busy > 0 {
+            return invalid(format!("cannot resize with {busy} queries in flight"));
+        }
+        self.width.store(n, Ordering::SeqCst);
+        Ok(())
     }
 
     /// The configuration.
@@ -184,61 +260,144 @@ impl Cluster {
         R: Send,
         F: Fn(WorkerId, &mut SpanGuard<'_>) -> R + Sync,
     {
-        let n = self.config.num_workers;
-        let mut results = Vec::with_capacity(n);
-        let mut worker_secs = Vec::with_capacity(n);
-        // Each worker closure runs under `catch_unwind`: a panicking worker
-        // surfaces as a `WorkerFailure` in its result slot instead of
-        // unwinding through the coordinator (and, on the spawn path,
-        // instead of aborting the join). `AssertUnwindSafe` is sound here
-        // because a failed slot's partial state is never observed — the
-        // closure's only output is its (discarded) return value.
-        let guarded = |w: WorkerId| {
-            let t0 = Instant::now();
-            let r = catch_unwind(AssertUnwindSafe(|| {
-                let mut span = tracer.span(lane_for_worker(w), name);
-                let r = f(w, &mut span);
-                drop(span);
-                r
-            }));
-            (
-                r.map_err(|payload| WorkerFailure::from_payload(w, payload)),
-                t0.elapsed().as_secs_f64(),
-            )
-        };
+        let n = self.num_workers();
         if self.spawn_threads {
             let mut slots: Vec<Option<(Result<R, WorkerFailure>, f64)>> =
                 (0..n).map(|_| None).collect();
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n)
                     .map(|w| {
-                        let guarded = &guarded;
-                        s.spawn(move || guarded(w))
+                        let f = &f;
+                        s.spawn(move || run_worker(tracer, name, f, w))
                     })
                     .collect();
                 for (w, h) in handles.into_iter().enumerate() {
                     slots[w] = Some(h.join().expect("worker panics are caught inside the closure"));
                 }
             });
-            for s in slots {
-                let (r, t) = s.expect("all workers joined");
-                results.push(r);
-                worker_secs.push(t);
-            }
+            collect_report(slots.into_iter().map(|s| s.expect("all workers joined")))
         } else {
             // Single hardware thread (or one worker): the logical workers
             // would serialize anyway, so run them inline and keep the
             // spawn/join cost off the serving hot path.
-            for w in 0..n {
-                let (r, t) = guarded(w);
-                worker_secs.push(t);
-                results.push(r);
+            collect_report((0..n).map(|w| run_worker(tracer, name, &f, w)))
+        }
+    }
+
+    /// Opens one shuffle round over the configured transport backend.
+    /// `schemas` is the induced layout of each relation in the round — the
+    /// serialized backend decodes frames back into these schemas. The
+    /// round records traffic on this cluster's [`CommStats`] lazily:
+    /// untouched (fully warm) rounds record 0 rounds / 0 messages /
+    /// 0 bytes on both backends.
+    pub fn open_round(&self, schemas: Vec<Schema>) -> TransportRound<'_> {
+        TransportRound::new(self.config.transport, schemas, self.num_workers(), &self.comm)
+    }
+
+    /// Runs a shuffle round with delivery and consumption pipelined:
+    /// `coordinator` routes batches into `round` while each worker `w`
+    /// runs `f(w, span)`, receiving from `round.recv(w)` and building as
+    /// relations complete. With OS threads available (and
+    /// `pipeline_shuffle` on) the coordinator and workers genuinely
+    /// overlap; otherwise the coordinator runs first and workers drain the
+    /// buffered lanes inline — identical results, no overlap.
+    ///
+    /// The round is always closed before workers are joined (coordinator
+    /// panic path included), so receivers can never block forever. A
+    /// coordinator panic resumes on the calling thread *after* all workers
+    /// finish.
+    pub fn run_pipelined<T, R, C, F>(
+        &self,
+        tracer: &Tracer,
+        name: &'static str,
+        round: &TransportRound<'_>,
+        coordinator: C,
+        f: F,
+    ) -> (T, RunReport<R>)
+    where
+        T: Send,
+        R: Send,
+        C: FnOnce() -> T + Send,
+        F: Fn(WorkerId, &mut SpanGuard<'_>) -> R + Sync,
+    {
+        let n = self.num_workers();
+        let overlap = self.spawn_threads && self.config.pipeline_shuffle;
+        if overlap {
+            let mut slots: Vec<Option<(Result<R, WorkerFailure>, f64)>> =
+                (0..n).map(|_| None).collect();
+            let coord_out = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|w| {
+                        let f = &f;
+                        s.spawn(move || run_worker(tracer, name, f, w))
+                    })
+                    .collect();
+                // The coordinator runs on the calling thread while workers
+                // consume; its panic must not leak past `round.close()` or
+                // the workers would block on their lanes forever.
+                let out = catch_unwind(AssertUnwindSafe(coordinator));
+                round.close();
+                for (w, h) in handles.into_iter().enumerate() {
+                    slots[w] = Some(h.join().expect("worker panics are caught inside the closure"));
+                }
+                out
+            });
+            let report = collect_report(slots.into_iter().map(|s| s.expect("all workers joined")));
+            match coord_out {
+                Ok(t) => (t, report),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        } else {
+            // No overlap available: route everything first, then drain the
+            // buffered lanes worker by worker.
+            let coord_out = catch_unwind(AssertUnwindSafe(coordinator));
+            round.close();
+            let report = collect_report((0..n).map(|w| run_worker(tracer, name, &f, w)));
+            match coord_out {
+                Ok(t) => (t, report),
+                Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        let makespan_secs = worker_secs.iter().copied().fold(0.0, f64::max);
-        let total_secs = worker_secs.iter().sum();
-        RunReport { results, worker_secs, makespan_secs, total_secs }
     }
+}
+
+/// Runs one worker closure under timing, tracing, and panic isolation.
+/// Each worker runs under `catch_unwind`: a panicking worker surfaces as a
+/// `WorkerFailure` in its result slot instead of unwinding through the
+/// coordinator (and, on the spawn path, instead of aborting the join).
+/// `AssertUnwindSafe` is sound here because a failed slot's partial state
+/// is never observed — the closure's only output is its (discarded)
+/// return value.
+fn run_worker<R, F>(
+    tracer: &Tracer,
+    name: &'static str,
+    f: &F,
+    w: WorkerId,
+) -> (Result<R, WorkerFailure>, f64)
+where
+    F: Fn(WorkerId, &mut SpanGuard<'_>) -> R + Sync,
+{
+    let t0 = Instant::now();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        let mut span = tracer.span(lane_for_worker(w), name);
+        let r = f(w, &mut span);
+        drop(span);
+        r
+    }));
+    (r.map_err(|payload| WorkerFailure::from_payload(w, payload)), t0.elapsed().as_secs_f64())
+}
+
+/// Folds per-worker `(result, seconds)` pairs into a [`RunReport`].
+fn collect_report<R>(slots: impl Iterator<Item = (Result<R, WorkerFailure>, f64)>) -> RunReport<R> {
+    let mut results = Vec::new();
+    let mut worker_secs = Vec::new();
+    for (r, t) in slots {
+        results.push(r);
+        worker_secs.push(t);
+    }
+    let makespan_secs = worker_secs.iter().copied().fold(0.0, f64::max);
+    let total_secs = worker_secs.iter().sum();
+    RunReport { results, worker_secs, makespan_secs, total_secs }
 }
 
 #[cfg(test)]
@@ -335,6 +494,124 @@ mod tests {
             assert!(joins.iter().any(|e| e.lane == lane_for_worker(w)));
         }
         assert_eq!(trace.sum_arg("tuples"), 3); // workers contributed 0 + 1 + 2
+    }
+
+    #[test]
+    fn resize_moves_width_within_range_only() {
+        let c = Cluster::new(ClusterConfig::with_worker_range(4, 2, 8));
+        assert_eq!(c.num_workers(), 4);
+        c.resize(8).unwrap();
+        assert_eq!(c.num_workers(), 8);
+        assert_eq!(c.run(|w| w).into_results().unwrap().len(), 8);
+        c.resize(2).unwrap();
+        assert_eq!(c.num_workers(), 2);
+        assert!(c.resize(1).is_err(), "below range");
+        assert!(c.resize(9).is_err(), "above range");
+        assert_eq!(c.num_workers(), 2, "failed resizes leave width untouched");
+    }
+
+    #[test]
+    fn resize_requires_an_elastic_config() {
+        let c = Cluster::new(ClusterConfig::with_workers(4));
+        let err = c.resize(2).unwrap_err();
+        let adj_relational::Error::InvalidConfig { message } = &err else {
+            panic!("expected InvalidConfig, got {err:?}")
+        };
+        assert!(message.contains("elastic"), "{message}");
+    }
+
+    #[test]
+    fn resize_is_rejected_while_a_query_is_in_flight() {
+        let c = Cluster::new(ClusterConfig::with_worker_range(4, 2, 8));
+        let guard = c.begin_query();
+        assert_eq!(c.in_flight(), 1);
+        let err = c.resize(2).unwrap_err();
+        let adj_relational::Error::InvalidConfig { message } = &err else {
+            panic!("expected InvalidConfig, got {err:?}")
+        };
+        assert!(message.contains("in flight"), "{message}");
+        assert_eq!(c.num_workers(), 4);
+        drop(guard);
+        assert_eq!(c.in_flight(), 0);
+        c.resize(2).unwrap();
+        assert_eq!(c.num_workers(), 2);
+    }
+
+    #[test]
+    fn run_pipelined_delivers_batches_to_building_workers() {
+        use crate::transport::{BatchPayload, Delivery, RoutedBatch, TransportKind};
+        use adj_relational::Attr;
+        for kind in [TransportKind::InProcess, TransportKind::Serialized] {
+            let mut cfg = ClusterConfig::with_workers(2);
+            cfg.transport = kind;
+            let c = Cluster::new(cfg);
+            let schemas = vec![Schema::new(vec![Attr(0), Attr(1)]).unwrap()];
+            let round = c.open_round(schemas);
+            let (sent, run) = c.run_pipelined(
+                &Tracer::disabled(),
+                "build",
+                &round,
+                || {
+                    for w in 0..2usize {
+                        round.send(
+                            w,
+                            RoutedBatch {
+                                relation: 0,
+                                tuples: 1,
+                                messages: 1,
+                                payload: BatchPayload::Rows(vec![w as u32, 7]),
+                            },
+                        );
+                    }
+                    round.finish_relation(0);
+                    2u64
+                },
+                |w, _span| {
+                    let mut rows = Vec::new();
+                    let mut done = false;
+                    while let Some(d) = round.recv(w) {
+                        match d {
+                            Delivery::Batch(b) => match b.payload {
+                                BatchPayload::Rows(v) => rows.extend(v),
+                                BatchPayload::SortedBlock(_) => unreachable!(),
+                            },
+                            Delivery::RelationDone(0) => done = true,
+                            Delivery::RelationDone(_) => unreachable!(),
+                        }
+                    }
+                    assert!(done, "{kind:?}: worker {w} missed the relation-done marker");
+                    rows
+                },
+            );
+            assert_eq!(sent, 2);
+            let rows = run.into_results().unwrap();
+            assert_eq!(rows[0], vec![0, 7], "{kind:?}");
+            assert_eq!(rows[1], vec![1, 7], "{kind:?}");
+            let (tuples, _bytes, rounds, messages) = c.comm().take();
+            assert_eq!((tuples, rounds, messages), (2, 1, 2), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn run_pipelined_coordinator_panic_still_joins_workers() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let round = c.open_round(Vec::new());
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            c.run_pipelined(
+                &Tracer::disabled(),
+                "build",
+                &round,
+                || -> () { std::panic::resume_unwind(Box::new("coordinator fault".to_string())) },
+                |w, _span| {
+                    // Drain to end-of-round; must terminate despite the
+                    // coordinator panic.
+                    while round.recv(w).is_some() {}
+                    w
+                },
+            )
+        }));
+        let payload = out.unwrap_err();
+        assert_eq!(payload.downcast_ref::<String>().unwrap(), "coordinator fault");
     }
 
     #[test]

@@ -174,6 +174,16 @@ pub struct ExecutionReport {
     pub bound_scanned_tuples: u64,
     /// Tuples that passed their bound-constant filter and were routed.
     pub bound_kept_tuples: u64,
+    /// Encoded frame bytes that crossed the wire across every shuffle round
+    /// of this execution — real serialized bytes on the
+    /// `TransportKind::Serialized` backend, 0 on the zero-copy in-process
+    /// backend and on fully warm executions.
+    pub wire_bytes: u64,
+    /// Modeled seconds saved by pipelining shuffle delivery with trie
+    /// building, summed over this execution's shuffle rounds. Already
+    /// subtracted from `precompute_secs`/`communication_secs`; broken out so
+    /// the serving layer can watch the overlap win.
+    pub pipeline_overlap_secs: f64,
 }
 
 impl ExecutionReport {
@@ -237,6 +247,8 @@ impl ExecutionReport {
         self.hot_routed_tuples += shuffle.hot_routed_tuples;
         self.bound_scanned_tuples += shuffle.bound_scanned_tuples;
         self.bound_kept_tuples += shuffle.bound_kept_tuples;
+        self.wire_bytes += shuffle.wire_bytes;
+        self.pipeline_overlap_secs += shuffle.overlap_secs;
     }
 }
 
@@ -400,6 +412,10 @@ pub fn execute_plan_cancellable(
     tracer: &Tracer,
 ) -> Result<(QueryOutput, ExecutionReport)> {
     let t_exec = Instant::now();
+    // Pin the worker width for the whole execution: while this guard is
+    // live, `Cluster::resize` is rejected, so every phase below sees one
+    // consistent `num_workers()`.
+    let _active = cluster.begin_query();
     // Resolve the execution's full binding. `params` (the submission's
     // resolved values — caller-bound parameters plus the submitted text's
     // inline literals) takes priority; the plan's own literals fill any
@@ -559,7 +575,12 @@ pub fn execute_plan_cancellable(
         tracer,
     )?;
     report.comm_tuples = shuffled.report.tuples;
-    report.communication_secs = shuffled.report.comm_secs + shuffled.report.build_secs;
+    // The pipelined schedule's span: modeled comm + measured build, minus
+    // the modeled delivery/build overlap (clamped — overlap can't exceed
+    // the phases it hides behind).
+    report.communication_secs = (shuffled.report.comm_secs + shuffled.report.build_secs
+        - shuffled.report.overlap_secs)
+        .max(0.0);
     report.index_build_secs += shuffled.report.build_secs;
     report.index_relations_built += shuffled.report.built_relations;
     report.index_relations_reused += shuffled.report.reused_relations;
@@ -757,7 +778,12 @@ fn run_one_round(
     }
     let schema = Schema::new(order.to_vec())?;
     let rel = Relation::from_flat(schema, all)?;
-    let secs = shuffled.report.comm_secs + shuffled.report.build_secs + run.makespan_secs;
+    // Pipelined schedule for the round's shuffle (comm + build − overlap,
+    // clamped), plus the measured bag join on top.
+    let secs = (shuffled.report.comm_secs + shuffled.report.build_secs
+        - shuffled.report.overlap_secs)
+        .max(0.0)
+        + run.makespan_secs;
     Ok((rel, secs, shuffled.report.tuples))
 }
 

@@ -142,14 +142,20 @@ pub enum FaultSite {
     JoinEnumerate,
     /// The heavy section of a mutation batch (overlay apply + cache patch).
     MutationApply,
+    /// The coordinator's per-batch transport send (encode + delivery).
+    TransportSend,
+    /// A worker's per-batch transport receive (decode + append).
+    TransportRecv,
 }
 
 /// All sites, for seeded plans and exhaustive test matrices.
-pub const ALL_SITES: [FaultSite; 4] = [
+pub const ALL_SITES: [FaultSite; 6] = [
     FaultSite::ShuffleRoute,
     FaultSite::TrieBuild,
     FaultSite::JoinEnumerate,
     FaultSite::MutationApply,
+    FaultSite::TransportSend,
+    FaultSite::TransportRecv,
 ];
 
 impl FaultSite {
@@ -159,6 +165,8 @@ impl FaultSite {
             FaultSite::TrieBuild => 1,
             FaultSite::JoinEnumerate => 2,
             FaultSite::MutationApply => 3,
+            FaultSite::TransportSend => 4,
+            FaultSite::TransportRecv => 5,
         }
     }
 }

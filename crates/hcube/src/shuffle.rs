@@ -25,7 +25,7 @@
 use crate::cache::{IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
 use crate::skew::{HotValues, ShuffleRouting};
-use adj_cluster::Cluster;
+use adj_cluster::{BatchPayload, Cluster, Delivery, RoutedBatch};
 use adj_faults::{CancelToken, FaultSite};
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, BoundValues, Database, Error, Relation, Result, Schema, Trie, Value};
@@ -84,8 +84,18 @@ pub struct ShuffleReport {
     pub hot_routed_tuples: u64,
     /// Transfer units (tuple copies for Push; blocks for Pull/Merge).
     pub messages: u64,
+    /// Encoded frame bytes that crossed the wire — real serialized bytes on
+    /// the [`TransportKind::Serialized`](adj_cluster::TransportKind)
+    /// backend, 0 on the zero-copy in-process backend and on warm shuffles.
+    pub wire_bytes: u64,
     /// Modeled communication seconds (α model + per-message overhead).
     pub comm_secs: f64,
+    /// Modeled seconds saved by pipelining delivery with trie building
+    /// (per-relation completion markers let receivers build relation `i`
+    /// while relations `i+1..` are still in flight). 0 when
+    /// `pipeline_shuffle` is off or everything was warm. Subtract from
+    /// `comm_secs + build_secs` for the pipelined schedule's span.
+    pub overlap_secs: f64,
     /// Measured makespan of the local build phase (sort + trie build, or
     /// merge + trie build for Merge) over the *cold* relations; 0 when
     /// every relation was served from the index cache.
@@ -347,232 +357,390 @@ pub fn hcube_shuffle_cached_traced(
         }
     }
     let any_cold = resolved.iter().any(|r| r.is_none());
-    if any_cold {
-        // A cache-warm query performs no communication round at all.
-        cluster.comm().record_round();
+    let cold: Vec<bool> = resolved.iter().map(|r| r.is_none()).collect();
+    let n_atoms = infos.len();
+
+    // What the routing pass produced (the coordinator side of the round).
+    struct RouteOutcome {
+        tuples: u64,
+        messages: u64,
+        hot_routed_tuples: u64,
+        bound_scanned_tuples: u64,
+        bound_kept_tuples: u64,
+        worker_tuples: Vec<u64>,
+        rel_tuples: Vec<u64>,
+        rel_messages: Vec<u64>,
+        preprocess_secs: f64,
+    }
+    // What one worker built (the receiver side of the round).
+    struct WorkerBuild {
+        tries: Vec<Option<Arc<Trie>>>,
+        rel_build_secs: Vec<f64>,
+        active_secs: f64,
+        recv_tuples: u64,
     }
 
-    let mut tuples: u64 = 0;
-    let mut messages: u64 = 0;
-    let mut hot_routed_tuples: u64 = 0;
-    let mut bound_scanned_tuples: u64 = 0;
-    let mut bound_kept_tuples: u64 = 0;
-    // Delivered copies per worker: the partition-fill vector skew stats read.
-    let mut worker_tuples: Vec<u64> = vec![0; n];
-    // Per-atom shares of the totals, for publishing per-relation entries.
-    let mut rel_tuples: Vec<u64> = vec![0; infos.len()];
-    let mut rel_messages: Vec<u64> = vec![0; infos.len()];
-    let t_pre = Instant::now();
-    let mut preprocess_secs = 0.0;
-    let mut route_span = tracer.span(COORDINATOR_LANE, "route");
-
-    // Per worker, per atom: either raw permuted values (Push/Pull) or a list
-    // of pre-built sorted block relations (Merge).
-    enum Inbox {
-        Raw(Vec<Value>),
-        Blocks(Vec<Arc<Relation>>),
-    }
-    let mut inboxes: Vec<Vec<Inbox>> = (0..n)
-        .map(|_| {
-            infos
-                .iter()
-                .map(|_| match impl_ {
-                    HCubeImpl::Merge => Inbox::Blocks(Vec::new()),
-                    _ => Inbox::Raw(Vec::new()),
-                })
-                .collect()
-        })
-        .collect();
-
-    let mut rows_since_check: u64 = 0;
-    for (ai, info) in infos.iter().enumerate() {
-        if resolved[ai].is_some() {
-            continue; // served from the cache — nothing moves
-        }
-        // At least one cancellation checkpoint per cold atom, then one per
-        // CANCEL_CHECK_EVERY scanned rows inside the routing loops.
-        checkpoint(FaultSite::ShuffleRoute, cancel)?;
-        let rel = resolve(db, overlay, &info.name)?;
-        // Both paths route by per-attribute *coordinates* of the induced
-        // (permuted) row: the plain hash, a spread coordinate, or the
-        // broadcast marker — see `HCubePlan::tuple_coords`. Using the
-        // induced row everywhere keeps Push and Pull/Merge byte-identical
-        // under heavy-hitter routing too (the spread coordinate is a
-        // content hash of the row).
-        let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
-        let mut coords: Vec<u32> = Vec::with_capacity(info.perm.len());
-        // Selection pushdown: a tuple failing a bound equality never routes.
-        let keep = |prow: &[Value]| info.filters.iter().all(|&(c, v)| prow[c] == v);
-        if !info.filters.is_empty() {
-            bound_scanned_tuples += rel.len() as u64;
-        }
-        match impl_ {
-            HCubeImpl::Push => {
-                for row in rel.rows() {
-                    rows_since_check += 1;
-                    if rows_since_check >= CANCEL_CHECK_EVERY {
-                        rows_since_check = 0;
-                        checkpoint(FaultSite::ShuffleRoute, cancel)?;
-                    }
-                    prow.clear();
-                    prow.extend(info.perm.iter().map(|&p| row[p]));
-                    if !info.filters.is_empty() {
-                        if !keep(&prow) {
-                            continue;
-                        }
-                        bound_kept_tuples += 1;
-                    }
-                    if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
-                        hot_routed_tuples += 1;
-                    }
-                    let dests = plan.block_workers(&info.induced, &coords);
-                    for &w in &dests {
-                        if let Inbox::Raw(buf) = &mut inboxes[w][ai] {
-                            buf.extend_from_slice(&prow);
-                        }
-                        worker_tuples[w] += 1;
-                        rel_tuples[ai] += 1;
-                        rel_messages[ai] += 1; // one message per delivered copy
-                    }
-                }
-            }
-            HCubeImpl::Pull | HCubeImpl::Merge => {
-                // Group into blocks by coordinate signature. Blocks are
-                // keyed and stored in the *induced* (permuted) layout so
-                // that the block-id decode below matches the encode.
-                let mut blocks: FxHashMap<u64, Vec<Value>> = FxHashMap::default();
-                for row in rel.rows() {
-                    rows_since_check += 1;
-                    if rows_since_check >= CANCEL_CHECK_EVERY {
-                        rows_since_check = 0;
-                        checkpoint(FaultSite::ShuffleRoute, cancel)?;
-                    }
-                    prow.clear();
-                    prow.extend(info.perm.iter().map(|&p| row[p]));
-                    if !info.filters.is_empty() {
-                        if !keep(&prow) {
-                            continue;
-                        }
-                        bound_kept_tuples += 1;
-                    }
-                    if plan.tuple_coords(&info.induced, &prow, ai, &routing, &mut coords) {
-                        hot_routed_tuples += 1;
-                    }
-                    let id = plan.encode_block(&info.induced, &coords);
-                    blocks.entry(id).or_default().extend_from_slice(&prow);
-                }
-                let mut block_ids: Vec<u64> = blocks.keys().copied().collect();
-                block_ids.sort_unstable(); // determinism
-                for id in block_ids {
-                    let data = blocks.remove(&id).unwrap();
-                    let block_tuples = (data.len() / info.perm.len().max(1)) as u64;
-                    let block_coords = plan.block_hashes(&info.induced, id);
-                    let dests = plan.block_workers(&info.induced, &block_coords);
-                    let prebuilt = if impl_ == HCubeImpl::Merge {
-                        // Pre-build once (sorted, induced layout); counted
-                        // as preprocessing below.
-                        Some(Arc::new(
-                            Relation::from_flat(info.induced.clone(), data.clone())
-                                .expect("arity preserved"),
-                        ))
-                    } else {
-                        None
-                    };
-                    for &w in &dests {
-                        match &mut inboxes[w][ai] {
-                            Inbox::Raw(buf) => buf.extend_from_slice(&data),
-                            Inbox::Blocks(bs) => bs.push(prebuilt.clone().unwrap()),
-                        }
-                        worker_tuples[w] += block_tuples;
-                        rel_tuples[ai] += block_tuples;
-                        rel_messages[ai] += 1; // one message per block delivery
-                    }
-                }
-            }
-        }
-        tuples += rel_tuples[ai];
-        messages += rel_messages[ai];
-    }
-    if impl_ == HCubeImpl::Merge && any_cold {
-        preprocess_secs = t_pre.elapsed().as_secs_f64();
-    }
-    route_span.arg("tuples", tuples);
-    route_span.arg("messages", messages);
-    route_span.arg("hot_routed_tuples", hot_routed_tuples);
-    drop(route_span);
-    if any_cold {
-        cluster.comm().record(
-            tuples,
-            tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64,
-        );
-        cluster.comm().record_messages(messages);
-    }
-
-    // Memory budget: total bytes parked at each worker (cached relations
-    // are charged to the index cache's own byte budget, not the inbox).
-    if let Some(limit) = cluster.config().memory_limit_bytes {
-        for wb in &inboxes {
-            let bytes: usize = wb
-                .iter()
-                .map(|ib| match ib {
-                    Inbox::Raw(v) => v.len() * 4,
-                    Inbox::Blocks(bs) => bs.iter().map(|b| b.size_bytes()).sum(),
-                })
-                .sum();
-            if bytes > limit {
-                return Err(Error::BudgetExceeded { what: "worker memory", limit });
-            }
-        }
-    }
-
-    // Local build phase for the cold relations, in parallel, measured. On a
-    // fully warm shuffle there is nothing to build — the worker round (and
-    // its thread-spawn cost) is skipped entirely.
-    let (mut built, build_secs): (Vec<Vec<Option<Arc<Trie>>>>, f64) = if any_cold {
+    // Routing, delivery, and the per-worker builds, pipelined through the
+    // cluster's transport: the coordinator routes each cold relation and
+    // broadcasts a relation-done marker when its last batch is sent, so
+    // receivers start that relation's trie build while later relations are
+    // still in flight. On a fully warm shuffle nothing below runs — the
+    // round is never opened, so the transport records 0 rounds, 0 messages,
+    // and 0 bytes (the warm-path contract, asserted by the oracle tests).
+    let memory_limit = cluster.config().memory_limit_bytes;
+    let (mut built, outcome, build_secs, bytes_moved, wire_bytes, overlap_secs) = if any_cold {
         let induced_schemas: Vec<Schema> = infos.iter().map(|i| i.induced.clone()).collect();
-        let inboxes_ref = &inboxes;
-        let resolved_ref = &resolved;
-        let worker_tuples_ref = &worker_tuples;
-        let run = cluster.run_traced(tracer, "build", |w, span| -> Vec<Option<Arc<Trie>>> {
-            span.arg("inbox_tuples", worker_tuples_ref[w]);
-            adj_faults::inject(FaultSite::TrieBuild, cancel);
-            let mut built = Vec::with_capacity(infos.len());
-            for ai in 0..infos.len() {
-                if resolved_ref[ai].is_some() {
-                    built.push(None);
-                    continue;
+        let round = cluster.open_round(induced_schemas.clone());
+        let round_ref = &round;
+        let infos_ref = &infos;
+        let cold_ref = &cold;
+        let routing_ref = &routing;
+        let schemas_ref = &induced_schemas;
+
+        let coordinator = || -> Result<RouteOutcome> {
+            let mut route_span = tracer.span(COORDINATOR_LANE, "route");
+            let t_pre = Instant::now();
+            let mut tuples: u64 = 0;
+            let mut messages: u64 = 0;
+            let mut hot_routed_tuples: u64 = 0;
+            let mut bound_scanned_tuples: u64 = 0;
+            let mut bound_kept_tuples: u64 = 0;
+            // Delivered copies per worker: the partition-fill vector the
+            // skew stats read.
+            let mut worker_tuples: Vec<u64> = vec![0; n];
+            // Per-atom shares of the totals, for per-relation cache entries.
+            let mut rel_tuples: Vec<u64> = vec![0; n_atoms];
+            let mut rel_messages: Vec<u64> = vec![0; n_atoms];
+            // Payload bytes parked at each worker so far, for the memory
+            // budget (cached relations are charged to the index cache's own
+            // byte budget, not the inbox). Modeled payload bytes on both
+            // backends so the budget doesn't shift with framing overhead.
+            let mut worker_bytes: Vec<u64> = vec![0; n];
+            let mut rows_since_check: u64 = 0;
+            for (ai, info) in infos_ref.iter().enumerate() {
+                if !cold_ref[ai] {
+                    continue; // served from the cache — nothing moves
                 }
-                let trie = match &inboxes_ref[w][ai] {
-                    Inbox::Raw(buf) => {
-                        // sort + dedup + trie build
-                        let rel = Relation::from_flat(induced_schemas[ai].clone(), buf.clone())
-                            .expect("arity preserved");
-                        Trie::build(&rel)
-                    }
-                    Inbox::Blocks(bs) => {
-                        // k-way merge of pre-sorted blocks + linear trie build
-                        if bs.is_empty() {
-                            Trie::build(&Relation::empty(induced_schemas[ai].clone()))
-                        } else {
-                            let refs: Vec<&Relation> = bs.iter().map(|b| b.as_ref()).collect();
-                            let rel = Relation::merge_sorted(&refs).expect("same schema");
-                            Trie::build(&rel)
+                // At least one cancellation checkpoint per cold atom, then
+                // one per CANCEL_CHECK_EVERY scanned rows inside the
+                // routing loops, plus one per sent batch.
+                checkpoint(FaultSite::ShuffleRoute, cancel)?;
+                let rel = resolve(db, overlay, &info.name)?;
+                // Both paths route by per-attribute *coordinates* of the
+                // induced (permuted) row: the plain hash, a spread
+                // coordinate, or the broadcast marker — see
+                // `HCubePlan::tuple_coords`. Using the induced row
+                // everywhere keeps Push and Pull/Merge byte-identical under
+                // heavy-hitter routing too (the spread coordinate is a
+                // content hash of the row).
+                let mut prow: Vec<Value> = Vec::with_capacity(info.perm.len());
+                let mut coords: Vec<u32> = Vec::with_capacity(info.perm.len());
+                // Selection pushdown: a tuple failing a bound equality
+                // never routes.
+                let keep = |prow: &[Value]| info.filters.iter().all(|&(c, v)| prow[c] == v);
+                if !info.filters.is_empty() {
+                    bound_scanned_tuples += rel.len() as u64;
+                }
+                match impl_ {
+                    HCubeImpl::Push => {
+                        // Per-delivery message accounting is preserved, but
+                        // tuples travel in flushed batches so the transport
+                        // isn't hit once per copy.
+                        const PUSH_BATCH_TUPLES: u64 = 2048;
+                        let mut pending: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
+                        let mut pending_cnt: Vec<u64> = vec![0; n];
+                        for row in rel.rows() {
+                            rows_since_check += 1;
+                            if rows_since_check >= CANCEL_CHECK_EVERY {
+                                rows_since_check = 0;
+                                checkpoint(FaultSite::ShuffleRoute, cancel)?;
+                            }
+                            prow.clear();
+                            prow.extend(info.perm.iter().map(|&p| row[p]));
+                            if !info.filters.is_empty() {
+                                if !keep(&prow) {
+                                    continue;
+                                }
+                                bound_kept_tuples += 1;
+                            }
+                            if plan.tuple_coords(&info.induced, &prow, ai, routing_ref, &mut coords)
+                            {
+                                hot_routed_tuples += 1;
+                            }
+                            let dests = plan.block_workers(&info.induced, &coords);
+                            for &w in &dests {
+                                pending[w].extend_from_slice(&prow);
+                                pending_cnt[w] += 1;
+                                worker_tuples[w] += 1;
+                                rel_tuples[ai] += 1;
+                                rel_messages[ai] += 1; // one message per copy
+                                if pending_cnt[w] >= PUSH_BATCH_TUPLES {
+                                    checkpoint(FaultSite::TransportSend, cancel)?;
+                                    let data = std::mem::take(&mut pending[w]);
+                                    worker_bytes[w] += data.len() as u64 * 4;
+                                    round_ref.send(
+                                        w,
+                                        RoutedBatch {
+                                            relation: ai,
+                                            tuples: pending_cnt[w],
+                                            messages: pending_cnt[w],
+                                            payload: BatchPayload::Rows(data),
+                                        },
+                                    );
+                                    pending_cnt[w] = 0;
+                                }
+                            }
+                        }
+                        for w in 0..n {
+                            if pending_cnt[w] > 0 {
+                                checkpoint(FaultSite::TransportSend, cancel)?;
+                                let data = std::mem::take(&mut pending[w]);
+                                worker_bytes[w] += data.len() as u64 * 4;
+                                round_ref.send(
+                                    w,
+                                    RoutedBatch {
+                                        relation: ai,
+                                        tuples: pending_cnt[w],
+                                        messages: pending_cnt[w],
+                                        payload: BatchPayload::Rows(data),
+                                    },
+                                );
+                                pending_cnt[w] = 0;
+                            }
                         }
                     }
-                };
-                built.push(Some(Arc::new(trie)));
+                    HCubeImpl::Pull | HCubeImpl::Merge => {
+                        // Group into blocks by coordinate signature. Blocks
+                        // are keyed and stored in the *induced* (permuted)
+                        // layout so that the block-id decode below matches
+                        // the encode.
+                        let mut blocks: FxHashMap<u64, Vec<Value>> = FxHashMap::default();
+                        for row in rel.rows() {
+                            rows_since_check += 1;
+                            if rows_since_check >= CANCEL_CHECK_EVERY {
+                                rows_since_check = 0;
+                                checkpoint(FaultSite::ShuffleRoute, cancel)?;
+                            }
+                            prow.clear();
+                            prow.extend(info.perm.iter().map(|&p| row[p]));
+                            if !info.filters.is_empty() {
+                                if !keep(&prow) {
+                                    continue;
+                                }
+                                bound_kept_tuples += 1;
+                            }
+                            if plan.tuple_coords(&info.induced, &prow, ai, routing_ref, &mut coords)
+                            {
+                                hot_routed_tuples += 1;
+                            }
+                            let id = plan.encode_block(&info.induced, &coords);
+                            blocks.entry(id).or_default().extend_from_slice(&prow);
+                        }
+                        let mut block_ids: Vec<u64> = blocks.keys().copied().collect();
+                        block_ids.sort_unstable(); // determinism
+                        for id in block_ids {
+                            let data = blocks.remove(&id).unwrap();
+                            let block_tuples = (data.len() / info.perm.len().max(1)) as u64;
+                            let block_coords = plan.block_hashes(&info.induced, id);
+                            let dests = plan.block_workers(&info.induced, &block_coords);
+                            let prebuilt = if impl_ == HCubeImpl::Merge {
+                                // Pre-build once (sorted, induced layout);
+                                // counted as preprocessing below.
+                                Some(Arc::new(
+                                    Relation::from_flat(info.induced.clone(), data.clone())
+                                        .expect("arity preserved"),
+                                ))
+                            } else {
+                                None
+                            };
+                            for &w in &dests {
+                                checkpoint(FaultSite::TransportSend, cancel)?;
+                                let batch = match &prebuilt {
+                                    Some(block) => {
+                                        worker_bytes[w] += block.size_bytes() as u64;
+                                        RoutedBatch {
+                                            relation: ai,
+                                            tuples: block_tuples,
+                                            messages: 1, // one per block delivery
+                                            payload: BatchPayload::SortedBlock(Arc::clone(block)),
+                                        }
+                                    }
+                                    None => {
+                                        worker_bytes[w] += data.len() as u64 * 4;
+                                        RoutedBatch {
+                                            relation: ai,
+                                            tuples: block_tuples,
+                                            messages: 1, // one per block delivery
+                                            payload: BatchPayload::Rows(data.clone()),
+                                        }
+                                    }
+                                };
+                                round_ref.send(w, batch);
+                                worker_tuples[w] += block_tuples;
+                                rel_tuples[ai] += block_tuples;
+                                rel_messages[ai] += 1;
+                            }
+                        }
+                    }
+                }
+                // The relation's last batch is out: let receivers build it.
+                round_ref.finish_relation(ai);
+                if let Some(limit) = memory_limit {
+                    if worker_bytes.iter().any(|&b| b as usize > limit) {
+                        return Err(Error::BudgetExceeded { what: "worker memory", limit });
+                    }
+                }
+                tuples += rel_tuples[ai];
+                messages += rel_messages[ai];
             }
-            built
-        });
+            let preprocess_secs =
+                if impl_ == HCubeImpl::Merge { t_pre.elapsed().as_secs_f64() } else { 0.0 };
+            route_span.arg("tuples", tuples);
+            route_span.arg("messages", messages);
+            route_span.arg("hot_routed_tuples", hot_routed_tuples);
+            route_span.arg("frames", round_ref.frames_sent());
+            drop(route_span);
+            Ok(RouteOutcome {
+                tuples,
+                messages,
+                hot_routed_tuples,
+                bound_scanned_tuples,
+                bound_kept_tuples,
+                worker_tuples,
+                rel_tuples,
+                rel_messages,
+                preprocess_secs,
+            })
+        };
+
+        let worker = |w: usize, span: &mut adj_trace::SpanGuard<'_>| -> Result<WorkerBuild> {
+            adj_faults::inject(FaultSite::TrieBuild, cancel);
+            let mut raw: Vec<Vec<Value>> = (0..n_atoms).map(|_| Vec::new()).collect();
+            let mut blocks: Vec<Vec<Arc<Relation>>> = (0..n_atoms).map(|_| Vec::new()).collect();
+            let mut tries: Vec<Option<Arc<Trie>>> = vec![None; n_atoms];
+            let mut rel_build_secs = vec![0.0f64; n_atoms];
+            let mut active_secs = 0.0f64;
+            let mut recv_tuples = 0u64;
+            let mut batches = 0u64;
+            while let Some(delivery) = round_ref.recv(w) {
+                // Time only the handling, not the wait for the coordinator:
+                // `active_secs` is this worker's computation share.
+                let t0 = Instant::now();
+                match delivery {
+                    Delivery::Batch(batch) => {
+                        checkpoint(FaultSite::TransportRecv, cancel)?;
+                        recv_tuples += batch.tuples;
+                        batches += 1;
+                        match batch.payload {
+                            BatchPayload::Rows(v) => raw[batch.relation].extend_from_slice(&v),
+                            BatchPayload::SortedBlock(b) => blocks[batch.relation].push(b),
+                        }
+                    }
+                    Delivery::RelationDone(ai) => {
+                        // The relation's last batch landed — build its trie
+                        // now, overlapping with delivery of later relations.
+                        let trie = if blocks[ai].is_empty() {
+                            // sort + dedup + trie build
+                            let rel = Relation::from_flat(
+                                schemas_ref[ai].clone(),
+                                std::mem::take(&mut raw[ai]),
+                            )
+                            .expect("arity preserved");
+                            Trie::build(&rel)
+                        } else {
+                            // k-way merge of pre-sorted blocks + linear build
+                            let refs: Vec<&Relation> =
+                                blocks[ai].iter().map(|b| b.as_ref()).collect();
+                            let rel = Relation::merge_sorted(&refs).expect("same schema");
+                            blocks[ai].clear();
+                            Trie::build(&rel)
+                        };
+                        tries[ai] = Some(Arc::new(trie));
+                        rel_build_secs[ai] = t0.elapsed().as_secs_f64();
+                    }
+                }
+                active_secs += t0.elapsed().as_secs_f64();
+            }
+            span.arg("inbox_tuples", recv_tuples);
+            span.arg("batches", batches);
+            Ok(WorkerBuild { tries, rel_build_secs, active_secs, recv_tuples })
+        };
+
+        let (coord_out, run) = cluster.run_pipelined(tracer, "build", &round, coordinator, worker);
+        // Coordinator errors (cancellation mid-route, budget breach) are
+        // surfaced first — they were the cause; worker-side errors are
+        // downstream of the round ending early.
+        let route_outcome = coord_out?;
         // A panicking build worker fails the whole query *here*, before any
         // trie is published to the index cache — siblings finished normally
         // (their results are simply dropped) and the next query rebuilds
         // from scratch against an uncorrupted cache.
-        let makespan = run.makespan_secs;
-        (run.into_results().map_err(Error::from)?, makespan)
+        let results = run.into_results().map_err(Error::from)?;
+        let mut builds: Vec<WorkerBuild> = Vec::with_capacity(results.len());
+        for r in results {
+            builds.push(r?);
+        }
+        let build_secs = builds.iter().map(|b| b.active_secs).fold(0.0, f64::max);
+        debug_assert_eq!(
+            builds.iter().map(|b| b.recv_tuples).sum::<u64>(),
+            route_outcome.tuples,
+            "every routed copy is delivered"
+        );
+
+        // Modeled pipelining overlap: with per-relation completion markers,
+        // relation i's build (measured, max over workers) overlaps the
+        // delivery of relations i+1.. (α-modeled, the repo's communication
+        // currency). `barrier` is the serialized schedule, `done` the
+        // 2-stage pipeline's finish time; their gap is the overlap win.
+        let model = cluster.cost_model();
+        let msg_overhead = match impl_ {
+            HCubeImpl::Merge => 0.5,
+            _ => 1.0,
+        };
+        let mut barrier = 0.0f64;
+        let mut route_acc = 0.0f64;
+        let mut done = 0.0f64;
+        for (ai, &is_cold) in cold.iter().enumerate() {
+            if !is_cold {
+                continue;
+            }
+            let c_i = model.comm_secs(route_outcome.rel_tuples[ai])
+                + route_outcome.rel_messages[ai] as f64 * model.per_message_secs * msg_overhead;
+            let b_i = builds.iter().map(|b| b.rel_build_secs[ai]).fold(0.0, f64::max);
+            route_acc += c_i;
+            done = done.max(route_acc) + b_i;
+            barrier += c_i + b_i;
+        }
+        let overlap_secs =
+            if cluster.config().pipeline_shuffle { (barrier - done).max(0.0) } else { 0.0 };
+
+        let built: Vec<Vec<Option<Arc<Trie>>>> = builds.into_iter().map(|b| b.tries).collect();
+        (built, route_outcome, build_secs, round.bytes_sent(), round.wire_bytes(), overlap_secs)
     } else {
-        (Vec::new(), 0.0)
+        let empty = RouteOutcome {
+            tuples: 0,
+            messages: 0,
+            hot_routed_tuples: 0,
+            bound_scanned_tuples: 0,
+            bound_kept_tuples: 0,
+            worker_tuples: vec![0; n],
+            rel_tuples: vec![0; n_atoms],
+            rel_messages: vec![0; n_atoms],
+            preprocess_secs: 0.0,
+        };
+        (Vec::new(), empty, 0.0, 0, 0, 0.0)
     };
+    let RouteOutcome {
+        tuples,
+        messages,
+        hot_routed_tuples,
+        bound_scanned_tuples,
+        bound_kept_tuples,
+        worker_tuples,
+        rel_tuples,
+        rel_messages,
+        preprocess_secs,
+    } = outcome;
     // A Cancel fault injected during the build (or a deadline that elapsed
     // while workers ran) aborts before assembly for the same reason.
     cancel.check().map_err(|c| Error::Cancelled { deadline_exceeded: c.deadline })?;
@@ -647,10 +815,8 @@ pub fn hcube_shuffle_cached_traced(
     if shuffle_span.is_recording() {
         shuffle_span.detail(atom_names.join(","));
         shuffle_span.arg("tuples", tuples);
-        shuffle_span.arg(
-            "bytes",
-            tuples * 4 * infos.iter().map(|i| i.perm.len()).max().unwrap_or(1) as u64,
-        );
+        shuffle_span.arg("bytes", bytes_moved);
+        shuffle_span.arg("wire_bytes", wire_bytes);
         shuffle_span.arg("messages", messages);
         shuffle_span.arg("built_relations", built_relations);
         shuffle_span.arg("reused_relations", reused_relations);
@@ -665,7 +831,9 @@ pub fn hcube_shuffle_cached_traced(
             worker_tuples: if tuples > 0 { worker_tuples } else { Vec::new() },
             hot_routed_tuples,
             messages,
+            wire_bytes,
             comm_secs,
+            overlap_secs,
             build_secs,
             preprocess_secs,
             built_relations,

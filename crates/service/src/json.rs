@@ -183,6 +183,9 @@ impl MetricsSnapshot {
             .u64("hot_routed_tuples", self.hot_routed_tuples)
             .u64("max_partition_tuples", self.max_partition_tuples)
             .f64("mean_partition_tuples", self.mean_partition_tuples)
+            .u64("wire_bytes", self.wire_bytes)
+            .f64("pipeline_overlap_secs", self.pipeline_overlap_secs)
+            .u64("cluster_resizes", self.cluster_resizes)
             .u64("queries_traced", self.queries_traced)
             .u64("trace_events_dropped", self.trace_events_dropped)
             .u64("slow_queries_logged", self.slow_queries_logged)
@@ -215,6 +218,8 @@ pub fn execution_report_json(r: &ExecutionReport) -> String {
         .f64("other_secs", r.other_secs)
         .f64("total_secs", r.total_secs())
         .u64("comm_tuples", r.comm_tuples)
+        .u64("wire_bytes", r.wire_bytes)
+        .f64("pipeline_overlap_secs", r.pipeline_overlap_secs)
         .u64("precompute_tuples", r.precompute_tuples)
         .u64("output_tuples", r.output_tuples)
         .raw("share", array_u64(&r.share.iter().map(|&s| s as u64).collect::<Vec<_>>()))

@@ -84,6 +84,7 @@ pub mod metrics;
 pub mod pool;
 pub mod service;
 
+pub use adj_cluster::TransportKind;
 pub use adj_core::{IndexCache, IndexCacheStats};
 pub use adj_delta::{DeltaConfig, MutationBatch};
 pub use adj_query::ExplainMode;
@@ -164,13 +165,28 @@ pub struct ServiceConfig {
     pub delta: DeltaConfig,
     /// Default per-query deadline, measured from submission (admission wait
     /// included). A query that outlives it is cooperatively cancelled at
-    /// the next checkpoint — the shuffle's routing loops and the workers'
-    /// join sinks poll the token every few thousand rows — and fails with
-    /// [`ServiceError::DeadlineExceeded`], leaving no partial cache
-    /// artifacts behind. `None` (the default) disables the deadline;
-    /// individual requests override it via
+    /// the next checkpoint — the shuffle's routing loops, the transport
+    /// send/receive loops, and the workers' join sinks poll the token —
+    /// and fails with [`ServiceError::DeadlineExceeded`], leaving no
+    /// partial cache artifacts behind. `None` (the default) disables the
+    /// deadline; individual requests override it via
     /// [`QueryRequest::deadline`](crate::pool::QueryRequest).
     pub default_deadline: Option<Duration>,
+    /// How shuffle rounds move routed batches:
+    /// [`TransportKind::InProcess`] (the zero-copy default) or
+    /// [`TransportKind::Serialized`] (length-prefixed wire frames with
+    /// real byte accounting). Applied to the cluster at [`Service::new`];
+    /// overrides whatever `adj.cluster.transport` says. See the README's
+    /// "Cluster & transports" section.
+    pub transport: TransportKind,
+    /// Elastic worker width `(min, max)`. When set, [`Service::new`]
+    /// configures the cluster's `worker_range` (clamping the starting
+    /// width into it) and cold queries may trigger a
+    /// [`Cluster::resize`](adj_cluster::Cluster::resize): queue pressure
+    /// shrinks the width (narrower queries drain a backlog faster on a
+    /// shared box), heavy partition fill grows it. `None` (the default)
+    /// keeps the width fixed.
+    pub elastic_workers: Option<(usize, usize)>,
 }
 
 impl Default for ServiceConfig {
@@ -185,6 +201,8 @@ impl Default for ServiceConfig {
             trace: TraceSettings::default(),
             delta: DeltaConfig::default(),
             default_deadline: None,
+            transport: TransportKind::InProcess,
+            elastic_workers: None,
         }
     }
 }

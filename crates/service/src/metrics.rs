@@ -176,6 +176,9 @@ pub struct ServiceMetrics {
     partition_tuples_max: AtomicU64,
     partition_fill_sum: AtomicU64,
     partition_fill_slots: AtomicU64,
+    wire_bytes: AtomicU64,
+    pipeline_overlap_micros: AtomicU64,
+    cluster_resizes: AtomicU64,
     /// End-to-end service-side latency (admission wait included).
     pub total: Histogram,
     /// Time spent waiting for an admission slot.
@@ -238,6 +241,9 @@ impl ServiceMetrics {
         self.partition_fill_sum
             .fetch_add(report.worker_tuples.iter().sum::<u64>(), Ordering::Relaxed);
         self.partition_fill_slots.fetch_add(report.worker_tuples.len() as u64, Ordering::Relaxed);
+        self.wire_bytes.fetch_add(report.wire_bytes, Ordering::Relaxed);
+        self.pipeline_overlap_micros
+            .fetch_add((report.pipeline_overlap_secs * 1e6) as u64, Ordering::Relaxed);
         self.total.record_secs(total_secs);
         self.queue_wait.record_secs(queue_secs);
         self.optimization.record_secs(report.optimization_secs);
@@ -304,6 +310,19 @@ impl ServiceMetrics {
         self.delta_overlay_tuples.store(overlay_tuples, Ordering::Relaxed);
     }
 
+    /// Records one applied elastic-width change
+    /// ([`Cluster::resize`](adj_cluster::Cluster::resize) accepted).
+    pub fn record_resize(&self) {
+        self.cluster_resizes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fullest single-worker partition fill recorded so far — the
+    /// `max_partition_tuples` gauge without paying for a full snapshot
+    /// (the elastic-width heuristic reads this on every cold query).
+    pub fn max_partition_tuples(&self) -> u64 {
+        self.partition_tuples_max.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time summary of everything.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -351,6 +370,10 @@ impl ServiceMetrics {
                     self.partition_fill_sum.load(Ordering::Relaxed) as f64 / slots as f64
                 }
             },
+            wire_bytes: self.wire_bytes.load(Ordering::Relaxed),
+            pipeline_overlap_secs: self.pipeline_overlap_micros.load(Ordering::Relaxed) as f64
+                / 1e6,
+            cluster_resizes: self.cluster_resizes.load(Ordering::Relaxed),
             total: self.total.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
             optimization: self.optimization.snapshot(),
@@ -448,6 +471,17 @@ pub struct MetricsSnapshot {
     pub max_partition_tuples: u64,
     /// Mean partition fill per worker across all shuffles that moved data.
     pub mean_partition_tuples: f64,
+    /// Real serialized bytes put on the wire by shuffles — 0 under the
+    /// in-process transport (which moves `Arc`s, not bytes) and for fully
+    /// warm queries on any transport.
+    pub wire_bytes: u64,
+    /// Modeled seconds saved by pipelining shuffle delivery with trie
+    /// builds, summed over served queries (already subtracted from the
+    /// communication histograms — this is the win, broken out).
+    pub pipeline_overlap_secs: f64,
+    /// Elastic worker-width changes applied (accepted
+    /// [`Cluster::resize`](adj_cluster::Cluster::resize) calls).
+    pub cluster_resizes: u64,
     /// End-to-end latency summary.
     pub total: HistogramSnapshot,
     /// Admission-wait summary.
@@ -557,6 +591,18 @@ impl MetricsSnapshot {
             "Queries stopped by explicit cancellation.",
             self.queries_cancelled,
         );
+        counter("wire_bytes_total", "Serialized bytes moved by shuffles.", self.wire_bytes);
+        counter(
+            "cluster_resizes_total",
+            "Elastic worker-width changes applied.",
+            self.cluster_resizes,
+        );
+        out.push_str(&format!(
+            "# HELP adj_pipeline_overlap_seconds_total Modeled seconds saved by pipelined shuffles.\n\
+             # TYPE adj_pipeline_overlap_seconds_total counter\n\
+             adj_pipeline_overlap_seconds_total {}\n",
+            self.pipeline_overlap_secs
+        ));
         out.push_str(&format!(
             "# HELP adj_delta_overlay_tuples Overlay tuples resident across databases.\n\
              # TYPE adj_delta_overlay_tuples gauge\n\

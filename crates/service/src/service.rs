@@ -331,13 +331,26 @@ impl Service {
     /// remainder is split per query by `max_concurrent`, so cached indexes
     /// and in-flight queries together stay under the cluster limit.
     pub fn new(config: ServiceConfig) -> Self {
-        let cluster = Cluster::shared(config.adj.cluster.clone());
+        // The service-level transport/elasticity knobs are applied to the
+        // cluster here, where the cluster is built. `with_cluster` callers
+        // own their cluster's configuration and these knobs are ignored.
+        let mut cluster_config = config.adj.cluster.clone();
+        cluster_config.transport = config.transport;
+        if let Some((min, max)) = config.elastic_workers {
+            let min = min.max(1);
+            let max = max.max(min);
+            cluster_config.num_workers = cluster_config.num_workers.clamp(min, max);
+            cluster_config.worker_range = Some((min, max));
+        }
+        let cluster = Cluster::shared(cluster_config);
         Service::with_cluster(config, cluster)
     }
 
     /// Creates a service over an existing cluster handle (shared with
     /// other components, e.g. a bench harness inspecting
-    /// [`CommStats`](adj_cluster::CommStats) directly).
+    /// [`CommStats`](adj_cluster::CommStats) directly). The caller's
+    /// cluster configuration wins: [`ServiceConfig::transport`] and
+    /// [`ServiceConfig::elastic_workers`] are **not** applied here.
     pub fn with_cluster(config: ServiceConfig, cluster: Arc<Cluster>) -> Self {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Service>();
@@ -384,6 +397,34 @@ impl Service {
     /// The per-query memory budget, if the cluster has a memory limit.
     pub fn per_query_budget_bytes(&self) -> Option<usize> {
         self.per_query_budget_bytes
+    }
+
+    /// Elastic-width heuristic, consulted once per *cold* query (a
+    /// plan-cache miss is the one moment a width change is free: no cached
+    /// plan assumes the old share grid yet, and the optimizer solves shares
+    /// for whatever width sticks). Queue pressure shrinks the cluster —
+    /// narrower queries release admission slots sooner — while a history of
+    /// heavy partition fill grows it, capping the per-worker inbox. No-op
+    /// unless [`ServiceConfig::elastic_workers`] configured a range;
+    /// `Cluster::resize` refuses while queries are in flight, and a refusal
+    /// here is simply skipped, never an error.
+    fn maybe_resize(&self) {
+        const HEAVY_PARTITION_TUPLES: u64 = 65_536;
+        let cluster = self.adj.cluster();
+        let Some((min, max)) = cluster.config().worker_range else {
+            return;
+        };
+        let current = cluster.num_workers();
+        let want = if self.admission.stats().waiting > 0 {
+            (current / 2).max(min)
+        } else if self.metrics.max_partition_tuples() > HEAVY_PARTITION_TUPLES {
+            (current * 2).min(max)
+        } else {
+            return;
+        };
+        if want != current && cluster.resize(want).is_ok() {
+            self.metrics.record_resize();
+        }
     }
 
     /// Registers (or replaces) a database under `name` and returns its
@@ -957,6 +998,13 @@ impl Service {
         };
         lookup_span.arg("hit", cache_hit as u64);
         drop(lookup_span);
+
+        // A cold shape is the cheapest moment to re-fit the worker width:
+        // no cached plan or index family assumes the old width yet, and the
+        // optimizer below will solve shares for whatever width sticks.
+        if !cache_hit {
+            self.maybe_resize();
+        }
 
         // Execute on the shared cluster (borrowing the cached plan — no
         // per-query plan clone on the hot path) under the index cache's

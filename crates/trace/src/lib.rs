@@ -72,6 +72,21 @@ pub fn lane_for_worker(worker: usize) -> Lane {
     worker as Lane + 1
 }
 
+/// Well-known span/instant names of the transport-backed shuffle timeline,
+/// so dashboards and tests don't scatter string literals:
+///
+/// * [`SPAN_SHUFFLE`] (coordinator lane) — the whole cached shuffle, with
+///   `tuples` / `bytes` / `wire_bytes` / `messages` / reuse args;
+/// * [`SPAN_ROUTE`] (coordinator lane) — the filter-route-send pass, with a
+///   `frames` arg counting transport frames (batches + relation markers);
+/// * [`SPAN_BUILD`] (worker lanes) — one per worker, covering its receive +
+///   per-relation trie builds, with `inbox_tuples` and `batches` args.
+pub const SPAN_SHUFFLE: &str = "shuffle";
+/// See [`SPAN_SHUFFLE`].
+pub const SPAN_ROUTE: &str = "route";
+/// See [`SPAN_SHUFFLE`].
+pub const SPAN_BUILD: &str = "build";
+
 /// One numeric key/value annotation on an event.
 pub type Arg = (Cow<'static, str>, u64);
 

@@ -77,7 +77,7 @@ pub use adj_trace as trace;
 
 /// The common imports for applications.
 pub mod prelude {
-    pub use adj_cluster::{Cluster, ClusterConfig};
+    pub use adj_cluster::{Cluster, ClusterConfig, TransportKind};
     pub use adj_core::{
         Adj, AdjConfig, CostParams, ExecutionReport, Prepared, QueryPlan, SkewConfig, Strategy,
     };
