@@ -1,0 +1,32 @@
+//! # adj-batch — batched multi-query execution
+//!
+//! Serving traffic against a prepared query is many *bindings* of one
+//! *shape*: the plan, the attribute order, and — crucially — the shuffled
+//! trie indexes are identical across bindings; only the bound constants
+//! differ. The single-binding hot path already amortizes planning (plan
+//! cache) and indexes (index cache), but still pays per binding for
+//! admission, shuffle consultation, worker dispatch, and a from-the-root
+//! cursor descent per bound level.
+//!
+//! This crate amortizes those per-binding costs across a whole
+//! [`BindingBatch`]:
+//!
+//! * the plan's bags and final shuffle run **once**, *unbound* — so every
+//!   relation keeps its cacheable identity (`bind_tag = 0`) and the whole
+//!   batch shares one set of warm tries;
+//! * each worker drives a [`adj_leapfrog::BatchedLeapfrog`] over its local
+//!   tries: bindings are visited in sorted order and bound-prefix cursors
+//!   *gallop forward* from the previous binding's position instead of
+//!   re-descending from the trie root;
+//! * results demultiplex per binding through the existing
+//!   [`adj_relational::RowSink`] / [`adj_relational::OutputMode`] contract,
+//!   byte-identical to executing each binding alone.
+//!
+//! [`execute_plan_batch`] is the executor; `adj-service` wraps it with one
+//! admission slot, one deadline, and one trace span tree per batch.
+
+pub mod binding;
+pub mod exec;
+
+pub use binding::BindingBatch;
+pub use exec::execute_plan_batch;

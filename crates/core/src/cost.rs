@@ -71,6 +71,12 @@ pub struct CostEstimator<'a> {
     card_cache: RefCell<FxHashMap<u64, f64>>,
     /// attr id → |val(A)|.
     val_sizes: Vec<f64>,
+    /// Attributes every execution of this query binds to a single value
+    /// (inline literals + `$name` parameters). Relations touching them are
+    /// filtered down before shuffling, so their *priced* sizes shrink by
+    /// the bound attributes' selectivity — and the share program drops the
+    /// bound dimensions from its grid.
+    bound_mask: u64,
     /// Heavy-hitter statistics of the query's relations (sampled once at
     /// construction) — feeds the max-partition term of `costC` and the
     /// shuffle routing table of the final plan.
@@ -100,6 +106,14 @@ impl<'a> CostEstimator<'a> {
             *item = (vals.len() as f64).max(1.0);
         }
         let skew = detect_heavy_hitters(db, query, &skew_cfg);
+        // Self-derived rather than passed in: the mask is a pure function
+        // of the query's term kinds, so every construction site prices the
+        // same filtered sizes. A conflicting-constant query reports mask 0
+        // here; the optimizer surfaces the real error before planning.
+        let mut bound_mask = query.const_bindings().map(|b| b.mask()).unwrap_or(0);
+        for (_, a) in query.param_attrs() {
+            bound_mask |= a.mask();
+        }
         CostEstimator {
             db,
             query,
@@ -111,9 +125,34 @@ impl<'a> CostEstimator<'a> {
             sampling,
             card_cache: RefCell::new(FxHashMap::default()),
             val_sizes,
+            bound_mask,
             skew,
             beta_measured: RefCell::new(None),
         }
+    }
+
+    /// The query's bound-attribute mask (literal + parameter positions).
+    pub fn bound_mask(&self) -> u64 {
+        self.bound_mask
+    }
+
+    /// Discounts a relation's tuple count for the bound-constant selections
+    /// that filter it before any shuffle: each bound attribute the schema
+    /// touches keeps roughly `1/|val(A)|` of the tuples under uniformity.
+    /// Clamped at one tuple so a heavily bound relation never prices as
+    /// free.
+    fn bound_discount(&self, schema_mask: u64, size: f64) -> f64 {
+        let touched = self.bound_mask & schema_mask;
+        if touched == 0 || size <= 0.0 {
+            return size;
+        }
+        let mut discounted = size;
+        for (a, val) in self.val_sizes.iter().enumerate() {
+            if touched & (1u64 << a) != 0 {
+                discounted /= val;
+            }
+        }
+        discounted.max(1.0)
     }
 
     /// The sampled heavy-hitter statistics of the query's relations.
@@ -220,16 +259,19 @@ impl<'a> CostEstimator<'a> {
         card
     }
 
-    /// Estimated tuple count of a plan relation.
+    /// Estimated tuple count of a plan relation, priced post-binding: a
+    /// relation touching bound attributes is filtered before it is ever
+    /// shuffled, so its cost-relevant size is the filtered one.
     pub fn relation_size(&self, rel: &PlanRelation) -> f64 {
-        match rel {
+        let raw = match rel {
             PlanRelation::Base(i) => {
                 self.db.get(&self.query.atoms[*i].name).map(|r| r.len() as f64).unwrap_or(0.0)
             }
             PlanRelation::Precomputed { node, .. } => {
                 self.subjoin_cardinality(self.tree.nodes[*node].edges)
             }
-        }
+        };
+        self.bound_discount(rel.schema(self.query).mask(), raw)
     }
 
     /// `costC`: communication seconds for shuffling the rewritten query's
@@ -258,7 +300,7 @@ impl<'a> CostEstimator<'a> {
             bytes_per_value: 4,
             hot: self.hot_fractions(rels),
             require_exact_product: false,
-            bound_mask: 0,
+            bound_mask: self.bound_mask,
         };
         match optimize_share(&input) {
             Ok(p) => {
@@ -277,8 +319,9 @@ impl<'a> CostEstimator<'a> {
         let bag = &self.tree.nodes[node];
         let mut input_tuples = 0.0;
         for i in bag.edge_indices() {
-            input_tuples +=
-                self.db.get(&self.query.atoms[i].name).map(|r| r.len() as f64).unwrap_or(0.0);
+            let atom = &self.query.atoms[i];
+            let raw = self.db.get(&atom.name).map(|r| r.len() as f64).unwrap_or(0.0);
+            input_tuples += self.bound_discount(atom.schema.mask(), raw);
         }
         let output = self.subjoin_cardinality(bag.edges);
         let comm = input_tuples / self.alpha;
@@ -577,6 +620,35 @@ mod tests {
         // p = (2,2,2) and the bound is one relation's per-cube load |R|/4
         // (the LP bounds the largest single-relation contribution).
         assert!((bound - 5_000.0 / 4.0).abs() < 1.0, "bound={bound}");
+    }
+
+    #[test]
+    fn bound_attrs_shrink_priced_sizes_and_costs() {
+        // The same shape, once free and once with `a` bound ($v literal
+        // position): bound pricing must see smaller relation sizes for the
+        // relations touching `a` and a cheaper communication charge.
+        let (free, _) = adj_query::parse_query("R1(a,b), R2(b,c), R3(a,c)").unwrap();
+        let (bound, _) = adj_query::parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+        let edges: Vec<(Value, Value)> = (0..300u32).map(|i| (i % 40, (i * 7 + 1) % 40)).collect();
+        let g = Relation::from_pairs(Attr(0), Attr(1), &edges);
+        let (db_f, db_b) = (free.instantiate(&g), bound.instantiate(&g));
+        let tree_f = GhdTree::decompose(&free.hypergraph(), 3);
+        let tree_b = GhdTree::decompose(&bound.hypergraph(), 3);
+        let est_f = estimator(&db_f, &free, &tree_f);
+        let est_b = estimator(&db_b, &bound, &tree_b);
+        assert_eq!(est_f.bound_mask(), 0);
+        assert_eq!(est_b.bound_mask(), Attr(0).mask(), "only the $v position is bound");
+        let rels_f: Vec<PlanRelation> = (0..free.atoms.len()).map(PlanRelation::Base).collect();
+        let rels_b: Vec<PlanRelation> = (0..bound.atoms.len()).map(PlanRelation::Base).collect();
+        // R1 touches the bound attribute: its priced size must shrink by
+        // roughly |val(a)|; R2 (b,c only) must price identically.
+        let r1_f = est_f.relation_size(&rels_f[0]);
+        let r1_b = est_b.relation_size(&rels_b[0]);
+        assert!(r1_b < r1_f / 2.0, "bound R1 priced {r1_b}, free {r1_f}");
+        assert_eq!(est_f.relation_size(&rels_f[1]), est_b.relation_size(&rels_b[1]));
+        let (cc_f, _) = est_f.cost_c(&rels_f);
+        let (cc_b, _) = est_b.cost_c(&rels_b);
+        assert!(cc_b < cc_f, "bound communication charge {cc_b} must undercut the free one {cc_f}");
     }
 
     #[test]

@@ -13,8 +13,8 @@ use crate::AdjConfig;
 use adj_cluster::Cluster;
 use adj_faults::{CancelToken, FaultSite};
 use adj_hcube::{
-    hcube_shuffle_cached_traced, optimize_share, HCubeImpl, HCubePlan, HotValues, IndexScope,
-    ShareInput, ShuffleReport,
+    hcube_shuffle_cached_traced, optimize_share, CacheLookup, HCubeImpl, HCubePlan, HotValues,
+    IndexScope, LocalRelation, ShareInput, ShuffleReport,
 };
 use adj_leapfrog::{JoinCounters, JoinScratch, LeapfrogJoin};
 use adj_relational::{
@@ -453,142 +453,11 @@ pub fn execute_plan_cancellable(
         return Ok((QueryOutput::Rows(Relation::empty(schema)), report));
     }
 
-    // Per-query pre-computed bags are layered over the shared database as
-    // an overlay of `Arc<Relation>` handles — the database itself is never
-    // cloned per query. Also records each bag's content label, reused as
-    // its cache identity in the final shuffle (phase 1 and phase 2 must
-    // agree on it).
-    let mut bag_overlay: Vec<(String, Arc<Relation>)> = Vec::new();
-    let mut bag_labels: Vec<(String, String)> = Vec::new(); // storage name → label
-
-    // ── Phase 1: pre-compute candidate relations (Sec. III: "for each
-    // relation R'_j ∈ Qi that needs to be joined, we pre-compute and store
-    // it"). Each bag join is itself a one-round HCube+Leapfrog job — unless
-    // the cache already holds this bag for the current database epoch.
-    for rel in &plan.relations {
-        let PlanRelation::Precomputed { name, atoms, .. } = rel else {
-            continue;
-        };
-        let bag_order: Vec<Attr> = plan
-            .order
-            .iter()
-            .copied()
-            .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
-            .collect();
-        let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
-        let label = bag_label(&names, &bag_order, index);
-        bag_labels.push((name.clone(), label.clone()));
-        // A bag touched by the binding is per-binding content: it bypasses
-        // the bag cache in both directions (same discipline as the
-        // shuffle's bound relations).
-        let bag_is_bound = bag_order.iter().any(|&a| bound.get(a).is_some());
-        if let (Some(scope), false) = (index, bag_is_bound) {
-            if let Some(bag) = scope.cache.get_bag(&scope.bag_key(label.clone())) {
-                // Budget parity with the cold path: a cached bag over the
-                // caller's cap is rejected exactly like a fresh one.
-                if bag.len() > config.max_intermediate_tuples {
-                    return Err(Error::BudgetExceeded {
-                        what: "pre-computed relation size",
-                        limit: config.max_intermediate_tuples,
-                    });
-                }
-                tracer.instant(COORDINATOR_LANE, "bag_cache_hit", &label);
-                report.index_bags_reused += 1;
-                bag_overlay.push((name.clone(), bag));
-                continue;
-            }
-        }
-        // Bag members are base atoms, so the round runs over `db` directly.
-        let mut bag_span = tracer.span(COORDINATOR_LANE, "precompute");
-        if bag_span.is_recording() {
-            bag_span.detail(label.clone());
-        }
-        let (result, secs, tuples) = run_one_round(
-            cluster,
-            db,
-            &names,
-            &bag_order,
-            config,
-            index,
-            &plan.hot,
-            &bound,
-            &mut report,
-            cancel,
-            tracer,
-        )?;
-        bag_span.arg("tuples", tuples);
-        bag_span.arg("result_tuples", result.len() as u64);
-        drop(bag_span);
-        report.precompute_secs += secs;
-        report.precompute_tuples += tuples;
-        if result.len() > config.max_intermediate_tuples {
-            return Err(Error::BudgetExceeded {
-                what: "pre-computed relation size",
-                limit: config.max_intermediate_tuples,
-            });
-        }
-        let result = Arc::new(result);
-        if let (Some(scope), false) = (index, bag_is_bound) {
-            scope.cache.insert_bag(scope.bag_key(label), Arc::clone(&result));
-        }
-        bag_overlay.push((name.clone(), result));
-    }
-
-    // ── Phase 2 + 3: final one-round join over the rewritten query.
-    let names = plan.shuffle_names();
-    let (share, hplan) = share_for(
-        db,
-        &bag_overlay,
-        &names,
-        plan.query.num_attrs(),
-        cluster,
-        &plan.hot,
-        bound.mask(),
-    )?;
-    report.share = share;
-    // Cache identities: base atoms by relation name; pre-computed bags by
-    // the content label recorded in phase 1 (never by the per-query
-    // `ADJ_bag{v}` storage name).
-    let cache_ids: Vec<Option<String>> = plan
-        .relations
-        .iter()
-        .map(|rel| match rel {
-            PlanRelation::Base(i) => Some(plan.query.atoms[*i].name.clone()),
-            PlanRelation::Precomputed { name, .. } => {
-                bag_labels.iter().find(|(stored, _)| stored == name).map(|(_, label)| label.clone())
-            }
-        })
-        .collect();
-    let shuffled = hcube_shuffle_cached_traced(
-        cluster,
-        db,
-        &names,
-        &hplan,
-        &plan.order,
-        HCubeImpl::Merge,
-        index,
-        &cache_ids,
-        &bag_overlay,
-        &plan.hot,
-        &bound,
-        cancel,
-        tracer,
-    )?;
-    report.comm_tuples = shuffled.report.tuples;
-    // The pipelined schedule's span: modeled comm + measured build, minus
-    // the modeled delivery/build overlap (clamped — overlap can't exceed
-    // the phases it hides behind).
-    report.communication_secs = (shuffled.report.comm_secs + shuffled.report.build_secs
-        - shuffled.report.overlap_secs)
-        .max(0.0);
-    report.index_build_secs += shuffled.report.build_secs;
-    report.index_relations_built += shuffled.report.built_relations;
-    report.index_relations_reused += shuffled.report.reused_relations;
-    report.absorb_shuffle(&shuffled.report);
+    let locals =
+        prepare_plan_locals(cluster, db, plan, config, index, &bound, &mut report, cancel, tracer)?;
 
     let budget = config.max_intermediate_tuples;
     let order = &plan.order;
-    let locals = &shuffled.locals;
     let width = order.len();
     // Per-worker payload: row data for the modes that return rows, `None`
     // for `Count`/`Exists` — those gather counters only.
@@ -707,6 +576,170 @@ pub fn execute_plan_cancellable(
         - report.computation_secs)
         .max(0.0);
     Ok((output, report))
+}
+
+/// Phases 1–2 of plan execution: pre-computes (or reuses) the plan's bag
+/// relations and runs the final HCube shuffle, returning every worker's
+/// local tries ready for Leapfrog. The pre-compute and communication
+/// columns (plus cache/fill counters) accumulate into `report`.
+///
+/// This is the shared front half of [`execute_plan_cancellable`], public so
+/// batched execution (`adj-batch`) can shuffle a prepared query **once** —
+/// with an empty `bound`, keeping every relation index-cacheable — and then
+/// run many bound joins over the same locals. Callers must hold
+/// [`Cluster::begin_query`] across this call *and* every join over the
+/// returned locals, so the worker width stays pinned for the whole
+/// execution.
+#[allow(clippy::too_many_arguments)]
+pub fn prepare_plan_locals(
+    cluster: &Cluster,
+    db: &Database,
+    plan: &QueryPlan,
+    config: &AdjConfig,
+    index: Option<&IndexScope<'_>>,
+    bound: &BoundValues,
+    report: &mut ExecutionReport,
+    cancel: &CancelToken,
+    tracer: &Tracer,
+) -> Result<Vec<Vec<LocalRelation>>> {
+    // Per-query pre-computed bags are layered over the shared database as
+    // an overlay of `Arc<Relation>` handles — the database itself is never
+    // cloned per query. Also records each bag's content label, reused as
+    // its cache identity in the final shuffle (phase 1 and phase 2 must
+    // agree on it).
+    let mut bag_overlay: Vec<(String, Arc<Relation>)> = Vec::new();
+    let mut bag_labels: Vec<(String, String)> = Vec::new(); // storage name → label
+
+    // ── Phase 1: pre-compute candidate relations (Sec. III: "for each
+    // relation R'_j ∈ Qi that needs to be joined, we pre-compute and store
+    // it"). Each bag join is itself a one-round HCube+Leapfrog job — unless
+    // the cache already holds this bag for the current database epoch.
+    for rel in &plan.relations {
+        let PlanRelation::Precomputed { name, atoms, .. } = rel else {
+            continue;
+        };
+        let bag_order: Vec<Attr> = plan
+            .order
+            .iter()
+            .copied()
+            .filter(|a| atoms.iter().any(|&i| plan.query.atoms[i].schema.contains(*a)))
+            .collect();
+        let names: Vec<String> = atoms.iter().map(|&i| plan.query.atoms[i].name.clone()).collect();
+        let label = bag_label(&names, &bag_order, index);
+        bag_labels.push((name.clone(), label.clone()));
+        // A bag touched by the binding is per-binding content: it bypasses
+        // the bag cache in both directions (same discipline as the
+        // shuffle's bound relations).
+        let bag_is_bound = bag_order.iter().any(|&a| bound.get(a).is_some());
+        // A cold miss claims the bag key, so concurrent queries that need
+        // the same bag wait for this build instead of running the round N
+        // times (request coalescing). At most one bag claim is ever held —
+        // it is published (or abandoned by drop, on any error path) before
+        // the next bag is consulted — and bag holders only ever wait on
+        // *index* claims inside `run_one_round`, never the reverse, so the
+        // claim hierarchy stays cycle-free.
+        let mut bag_claim = None;
+        if let (Some(scope), false) = (index, bag_is_bound) {
+            match scope.cache.get_bag_or_claim(&scope.bag_key(label.clone()), cancel) {
+                CacheLookup::Hit { value: bag, coalesced } => {
+                    // Budget parity with the cold path: a cached bag over
+                    // the caller's cap is rejected exactly like a fresh one.
+                    if bag.len() > config.max_intermediate_tuples {
+                        return Err(Error::BudgetExceeded {
+                            what: "pre-computed relation size",
+                            limit: config.max_intermediate_tuples,
+                        });
+                    }
+                    let hit = if coalesced { "bag_cache_coalesced" } else { "bag_cache_hit" };
+                    tracer.instant(COORDINATOR_LANE, hit, &label);
+                    report.index_bags_reused += 1;
+                    bag_overlay.push((name.clone(), bag));
+                    continue;
+                }
+                CacheLookup::Miss(claim) => bag_claim = claim,
+            }
+        }
+        // Bag members are base atoms, so the round runs over `db` directly.
+        let mut bag_span = tracer.span(COORDINATOR_LANE, "precompute");
+        if bag_span.is_recording() {
+            bag_span.detail(label.clone());
+        }
+        let (result, secs, tuples) = run_one_round(
+            cluster, db, &names, &bag_order, config, index, &plan.hot, bound, report, cancel,
+            tracer,
+        )?;
+        bag_span.arg("tuples", tuples);
+        bag_span.arg("result_tuples", result.len() as u64);
+        drop(bag_span);
+        report.precompute_secs += secs;
+        report.precompute_tuples += tuples;
+        if result.len() > config.max_intermediate_tuples {
+            return Err(Error::BudgetExceeded {
+                what: "pre-computed relation size",
+                limit: config.max_intermediate_tuples,
+            });
+        }
+        let result = Arc::new(result);
+        if let Some(claim) = bag_claim {
+            claim.publish_bag(Arc::clone(&result));
+        } else if let (Some(scope), false) = (index, bag_is_bound) {
+            scope.cache.insert_bag(scope.bag_key(label), Arc::clone(&result));
+        }
+        bag_overlay.push((name.clone(), result));
+    }
+
+    // ── Phase 2 + 3: final one-round join over the rewritten query.
+    let names = plan.shuffle_names();
+    let (share, hplan) = share_for(
+        db,
+        &bag_overlay,
+        &names,
+        plan.query.num_attrs(),
+        cluster,
+        &plan.hot,
+        bound.mask(),
+    )?;
+    report.share = share;
+    // Cache identities: base atoms by relation name; pre-computed bags by
+    // the content label recorded in phase 1 (never by the per-query
+    // `ADJ_bag{v}` storage name).
+    let cache_ids: Vec<Option<String>> = plan
+        .relations
+        .iter()
+        .map(|rel| match rel {
+            PlanRelation::Base(i) => Some(plan.query.atoms[*i].name.clone()),
+            PlanRelation::Precomputed { name, .. } => {
+                bag_labels.iter().find(|(stored, _)| stored == name).map(|(_, label)| label.clone())
+            }
+        })
+        .collect();
+    let shuffled = hcube_shuffle_cached_traced(
+        cluster,
+        db,
+        &names,
+        &hplan,
+        &plan.order,
+        HCubeImpl::Merge,
+        index,
+        &cache_ids,
+        &bag_overlay,
+        &plan.hot,
+        bound,
+        cancel,
+        tracer,
+    )?;
+    report.comm_tuples = shuffled.report.tuples;
+    // The pipelined schedule's span: modeled comm + measured build, minus
+    // the modeled delivery/build overlap (clamped — overlap can't exceed
+    // the phases it hides behind).
+    report.communication_secs = (shuffled.report.comm_secs + shuffled.report.build_secs
+        - shuffled.report.overlap_secs)
+        .max(0.0);
+    report.index_build_secs += shuffled.report.build_secs;
+    report.index_relations_built += shuffled.report.built_relations;
+    report.index_relations_reused += shuffled.report.reused_relations;
+    report.absorb_shuffle(&shuffled.report);
+    Ok(shuffled.locals)
 }
 
 /// Runs one HCube+Leapfrog round over the named relations and gathers the

@@ -33,7 +33,7 @@ pub mod yannakakis;
 pub use cost::{fractional_max_cube_bound, CostEstimator, CostParams};
 pub use executor::{
     execute_plan, execute_plan_bound, execute_plan_cached, execute_plan_cancellable,
-    execute_plan_traced, ExecutionReport, Strategy,
+    execute_plan_traced, prepare_plan_locals, ExecutionReport, Strategy,
 };
 pub use optimizer::optimize;
 pub use plan::{PlanRelation, QueryPlan};

@@ -1,0 +1,138 @@
+//! Seeded Zipf-skewed binding workloads: the serving-traffic generator for
+//! prepared-query benches.
+//!
+//! Serving traffic is dominated by re-binding a few hot vertices — the same
+//! celebrities, hubs, and trending pages show up in query parameters far
+//! more often than the long tail. [`binding_workload`] models that: it
+//! ranks the *actual* vertices of a relation column by descending
+//! frequency (the graph's own hubs come first) and draws bindings from a
+//! Zipf distribution over those ranks, so a skewed workload re-binds hot
+//! vertices exactly the way a result cache hopes for and a uniform one
+//! (`exponent = 0`) defeats it. Identical configs over identical relations
+//! produce identical workloads.
+
+use adj_relational::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one binding workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BindingWorkloadConfig {
+    /// Number of bindings to draw.
+    pub count: usize,
+    /// Which column of the relation supplies the candidate values.
+    pub column: usize,
+    /// Zipf exponent over the frequency-ranked candidate values: 0 draws
+    /// uniformly, higher concentrates the workload on the hottest
+    /// vertices.
+    pub exponent: f64,
+    /// RNG seed; identical configs generate identical workloads.
+    pub seed: u64,
+}
+
+impl Default for BindingWorkloadConfig {
+    fn default() -> Self {
+        BindingWorkloadConfig { count: 1000, column: 0, exponent: 1.2, seed: 0xB1_4D }
+    }
+}
+
+/// Draws `cfg.count` binding values from `rel`'s `cfg.column`, Zipf-skewed
+/// toward the column's most frequent values. Every drawn value occurs in
+/// the relation, so bound executions exercise real join work rather than
+/// empty seeks. Panics if the column is out of range or the relation is
+/// empty.
+pub fn binding_workload(rel: &Relation, cfg: &BindingWorkloadConfig) -> Vec<Value> {
+    assert!(cfg.column < rel.arity(), "column {} out of range", cfg.column);
+    assert!(!rel.is_empty(), "cannot sample bindings from an empty relation");
+
+    // Frequency-rank the column's distinct values: rank 0 = hottest vertex.
+    let mut counts: Vec<(Value, usize)> = {
+        let mut sorted: Vec<Value> = rel.rows().map(|r| r[cfg.column]).collect();
+        sorted.sort_unstable();
+        let mut out: Vec<(Value, usize)> = Vec::new();
+        for v in sorted {
+            match out.last_mut() {
+                Some((last, n)) if *last == v => *n += 1,
+                _ => out.push((v, 1)),
+            }
+        }
+        out
+    };
+    // Descending frequency, value-ascending tiebreak for determinism.
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let ranked: Vec<Value> = counts.into_iter().map(|(v, _)| v).collect();
+
+    // Inverse-CDF table over ranks, as in the Zipf graph generator.
+    let mut cum = Vec::with_capacity(ranked.len());
+    let mut total = 0.0f64;
+    for r in 0..ranked.len() {
+        total += ((r + 1) as f64).powf(-cfg.exponent);
+        cum.push(total);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.count)
+        .map(|_| ranked[cum.partition_point(|&c| c <= rng.gen_range(0.0..total))])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_zipf, ZipfConfig};
+    use std::collections::HashMap;
+
+    fn base() -> Relation {
+        generate_zipf(&ZipfConfig { nodes: 400, edges: 4000, ..Default::default() })
+    }
+
+    fn top_share(workload: &[Value]) -> f64 {
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        for &v in workload {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts.values().copied().max().unwrap_or(0) as f64 / workload.len().max(1) as f64
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let g = base();
+        let cfg = BindingWorkloadConfig::default();
+        assert_eq!(binding_workload(&g, &cfg), binding_workload(&g, &cfg));
+        let other = BindingWorkloadConfig { seed: 7, ..cfg };
+        assert_ne!(binding_workload(&g, &cfg), binding_workload(&g, &other));
+    }
+
+    #[test]
+    fn every_binding_occurs_in_the_relation() {
+        let g = base();
+        let cfg = BindingWorkloadConfig { count: 500, ..Default::default() };
+        let sources: std::collections::HashSet<Value> = g.rows().map(|r| r[0]).collect();
+        for v in binding_workload(&g, &cfg) {
+            assert!(sources.contains(&v), "binding {v} must be a real vertex");
+        }
+    }
+
+    #[test]
+    fn exponent_concentrates_on_hot_vertices() {
+        let g = base();
+        let flat = BindingWorkloadConfig { count: 3000, exponent: 0.0, ..Default::default() };
+        let skewed = BindingWorkloadConfig { exponent: 1.4, ..flat };
+        let flat_top = top_share(&binding_workload(&g, &flat));
+        let skewed_top = top_share(&binding_workload(&g, &skewed));
+        assert!(
+            skewed_top > 3.0 * flat_top,
+            "z=1.4 top share ({skewed_top:.3}) must dwarf z=0 ({flat_top:.3})"
+        );
+    }
+
+    #[test]
+    fn column_selects_the_value_pool() {
+        let g = base();
+        let cfg = BindingWorkloadConfig { count: 200, column: 1, ..Default::default() };
+        let targets: std::collections::HashSet<Value> = g.rows().map(|r| r[1]).collect();
+        for v in binding_workload(&g, &cfg) {
+            assert!(targets.contains(&v));
+        }
+    }
+}

@@ -12,10 +12,12 @@
 //! node emits `out_degree` edges; with probability `skew` an endpoint is
 //! chosen proportionally to degree (creating hubs), otherwise uniformly.
 
+pub mod bindings;
 pub mod generator;
 pub mod io;
 pub mod stream;
 
+pub use bindings::{binding_workload, BindingWorkloadConfig};
 pub use generator::{column_top_share, generate, generate_zipf, GraphConfig, ZipfConfig};
 pub use io::{load_edge_list, parse_edge_list, write_edge_list};
 pub use stream::{update_stream, UpdateBatch, UpdateStreamConfig};

@@ -29,16 +29,18 @@
 //! of the budget is to charge index memory against the cluster's
 //! `memory_limit_bytes`.
 
+use adj_faults::CancelToken;
 use adj_relational::hash::FxHashMap;
 use adj_relational::{Attr, Relation, Trie};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// Identity of one cached relation index: the relation (or bag label), the
 /// induced attribute order its trie levels follow, the hypercube share
 /// vector and worker count that routed it, and the database state it was
 /// built against.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IndexKey {
     /// Stable tag of the owning database (hash of its name).
     pub db_tag: u64,
@@ -80,7 +82,7 @@ pub struct IndexKey {
 }
 
 /// Identity of one cached bag relation (a materialized hypertree-bag join).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BagKey {
     /// Stable tag of the owning database.
     pub db_tag: u64,
@@ -195,6 +197,94 @@ impl CacheMap {
     }
 }
 
+/// One in-flight build registration: concurrent misses on the same key
+/// wait here until the builder publishes (or abandons) its claim.
+#[derive(Debug, Default)]
+struct PendingBuild {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// How often a coalesced waiter re-polls its [`CancelToken`] while blocked
+/// on another query's in-flight build. Builds are milliseconds-scale, so a
+/// short poll keeps deadline latency tight without busy-waiting.
+const PENDING_POLL: Duration = Duration::from_millis(1);
+
+/// Outcome of a coalescing lookup ([`IndexCache::get_index_or_claim`] /
+/// [`IndexCache::get_bag_or_claim`]).
+#[derive(Debug)]
+pub enum CacheLookup<'a, T> {
+    /// A reusable artifact. `coalesced` is true when this lookup blocked on
+    /// a concurrent in-flight build and reused its result instead of
+    /// running a redundant build of its own.
+    Hit {
+        /// The cached artifact.
+        value: T,
+        /// Whether the artifact came from a build this lookup waited for.
+        coalesced: bool,
+    },
+    /// Nothing cached. When `Some`, the claim registers this caller as the
+    /// key's one in-flight builder: concurrent misses on the same key block
+    /// until the claim publishes or drops. `None` means coalescing is
+    /// unavailable for this miss (the cache is disabled, the wait was
+    /// interrupted by cancellation, or the caller already claimed an equal
+    /// key) — build without any publishing obligation.
+    Miss(Option<BuildClaim<'a>>),
+}
+
+/// Exclusive permission to build one cache entry, handed out by
+/// [`IndexCache::get_index_or_claim`] / [`IndexCache::get_bag_or_claim`] on
+/// a cold miss. Publish the built artifact through
+/// [`BuildClaim::publish_index`] / [`BuildClaim::publish_bag`]; dropping an
+/// unpublished claim (error, cancellation, panic unwind) *abandons* the
+/// build — waiters wake, re-check the cache, and the first one through
+/// becomes the new builder, so an aborted query never strands the key.
+///
+/// Deadlock discipline for holders: a query may hold several *index* claims
+/// at once only when it acquired them in sorted key order, and may wait on
+/// an index claim while holding a *bag* claim — but never the reverse
+/// (nothing waits on a bag while holding an index claim), and at most one
+/// bag claim is held at a time. The shuffle and the executor's bag loop
+/// both follow this; see `hcube_shuffle_cached`.
+#[derive(Debug)]
+pub struct BuildClaim<'a> {
+    cache: &'a IndexCache,
+    key: Option<EntryKey>,
+}
+
+impl BuildClaim<'_> {
+    /// Publishes a built relation index under the claimed key and releases
+    /// every coalesced waiter. No-op if the claim was for a bag key.
+    pub fn publish_index(mut self, index: Arc<RelationIndex>) {
+        let Some(key) = self.key.take() else { return };
+        debug_assert!(matches!(key, EntryKey::Index(_)), "claim kind mismatch");
+        let bytes = index.bytes;
+        self.cache.insert_entry(key.clone(), Artifact::Index(index), bytes);
+        self.cache.finish_pending(&key);
+    }
+
+    /// Publishes a materialized bag relation under the claimed key and
+    /// releases every coalesced waiter. No-op if the claim was for an
+    /// index key.
+    pub fn publish_bag(mut self, rel: Arc<Relation>) {
+        let Some(key) = self.key.take() else { return };
+        debug_assert!(matches!(key, EntryKey::Bag(_)), "claim kind mismatch");
+        let bytes = rel.size_bytes();
+        self.cache.insert_entry(key.clone(), Artifact::Bag(rel), bytes);
+        self.cache.finish_pending(&key);
+    }
+}
+
+impl Drop for BuildClaim<'_> {
+    fn drop(&mut self) {
+        // Not published: abandon. Waiters wake, find the cache still cold,
+        // and race to claim the key themselves.
+        if let Some(key) = self.key.take() {
+            self.cache.finish_pending(&key);
+        }
+    }
+}
+
 /// Counters describing index-cache behaviour since service start.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IndexCacheStats {
@@ -210,6 +300,10 @@ pub struct IndexCacheStats {
     pub invalidations: u64,
     /// Tuple copies whose shuffle was skipped thanks to hits.
     pub tuples_saved: u64,
+    /// Redundant builds avoided by request coalescing: lookups that missed
+    /// while an equal key was already being built, blocked on that build,
+    /// and reused its published artifact.
+    pub coalesced_builds: u64,
     /// Current resident bytes across all cached artifacts.
     pub resident_bytes: usize,
     /// The byte budget eviction enforces.
@@ -236,12 +330,17 @@ impl IndexCacheStats {
 pub struct IndexCache {
     capacity_bytes: usize,
     inner: Mutex<CacheMap>,
+    /// In-flight builds, for request coalescing: a key is present exactly
+    /// while one claimant is building it. Guarded separately from `inner`
+    /// so waiters never block cache traffic.
+    pending: Mutex<FxHashMap<EntryKey, Arc<PendingBuild>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
     tuples_saved: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl IndexCache {
@@ -251,12 +350,14 @@ impl IndexCache {
         IndexCache {
             capacity_bytes,
             inner: Mutex::new(CacheMap::default()),
+            pending: Mutex::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             tuples_saved: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -340,6 +441,123 @@ impl IndexCache {
     pub fn insert_bag(&self, key: BagKey, rel: Arc<Relation>) {
         let bytes = rel.size_bytes();
         self.insert_entry(EntryKey::Bag(key), Artifact::Bag(rel), bytes);
+    }
+
+    /// Coalescing relation-index lookup: a hit behaves like
+    /// [`IndexCache::get_index`]; a *cold* miss hands back a [`BuildClaim`]
+    /// registering this caller as the key's one in-flight builder, and a
+    /// miss that finds a build already in flight blocks (polling `cancel`)
+    /// until that build publishes, then returns its artifact as a
+    /// `coalesced` hit. See [`BuildClaim`] for the holder's deadlock
+    /// discipline.
+    pub fn get_index_or_claim(
+        &self,
+        key: &IndexKey,
+        cancel: &CancelToken,
+    ) -> CacheLookup<'_, Arc<RelationIndex>> {
+        match self.lookup_or_claim(EntryKey::Index(key.clone()), cancel) {
+            CacheLookup::Hit { value: Artifact::Index(idx), coalesced } => {
+                CacheLookup::Hit { value: idx, coalesced }
+            }
+            // EntryKey carries the artifact kind, so an Index key can never
+            // resolve to a Bag artifact.
+            CacheLookup::Hit { .. } => unreachable!("index key resolved to a bag artifact"),
+            CacheLookup::Miss(claim) => CacheLookup::Miss(claim),
+        }
+    }
+
+    /// Coalescing bag lookup; see [`IndexCache::get_index_or_claim`].
+    pub fn get_bag_or_claim(
+        &self,
+        key: &BagKey,
+        cancel: &CancelToken,
+    ) -> CacheLookup<'_, Arc<Relation>> {
+        match self.lookup_or_claim(EntryKey::Bag(key.clone()), cancel) {
+            CacheLookup::Hit { value: Artifact::Bag(rel), coalesced } => {
+                CacheLookup::Hit { value: rel, coalesced }
+            }
+            CacheLookup::Hit { .. } => unreachable!("bag key resolved to an index artifact"),
+            CacheLookup::Miss(claim) => CacheLookup::Miss(claim),
+        }
+    }
+
+    fn lock_pending(&self) -> MutexGuard<'_, FxHashMap<EntryKey, Arc<PendingBuild>>> {
+        // The registry holds only liveness slots — every claimant removes
+        // its own slot via `finish_pending` (publish or Drop), so after a
+        // panic the map is still structurally sound; just take it back.
+        self.pending.lock().unwrap_or_else(|poisoned| {
+            self.pending.clear_poison();
+            poisoned.into_inner()
+        })
+    }
+
+    /// Marks `key`'s in-flight build finished (published or abandoned) and
+    /// wakes every coalesced waiter.
+    fn finish_pending(&self, key: &EntryKey) {
+        let slot = self.lock_pending().remove(key);
+        if let Some(slot) = slot {
+            let mut done = slot.done.lock().unwrap_or_else(|poisoned| {
+                slot.done.clear_poison();
+                poisoned.into_inner()
+            });
+            *done = true;
+            slot.cv.notify_all();
+        }
+    }
+
+    fn lookup_or_claim(&self, key: EntryKey, cancel: &CancelToken) -> CacheLookup<'_, Artifact> {
+        if self.capacity_bytes == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return CacheLookup::Miss(None);
+        }
+        let mut waited = false;
+        loop {
+            if let Some(artifact) = self.lock_recovering().get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Artifact::Index(idx) = &artifact {
+                    self.tuples_saved.fetch_add(idx.tuples, Ordering::Relaxed);
+                }
+                if waited {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
+                return CacheLookup::Hit { value: artifact, coalesced: waited };
+            }
+            let slot = {
+                let mut pending = self.lock_pending();
+                match pending.get(&key) {
+                    Some(slot) => Arc::clone(slot),
+                    None => {
+                        pending.insert(key.clone(), Arc::new(PendingBuild::default()));
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return CacheLookup::Miss(Some(BuildClaim { cache: self, key: Some(key) }));
+                    }
+                }
+            };
+            // Another query is building this key right now: wait for it,
+            // polling the token so a deadline fires promptly. On
+            // cancellation, give up coalescing rather than block past the
+            // deadline — the caller's next cancellation checkpoint raises
+            // the error before any redundant build gets far.
+            waited = true;
+            let mut done = slot.done.lock().unwrap_or_else(|poisoned| {
+                slot.done.clear_poison();
+                poisoned.into_inner()
+            });
+            while !*done {
+                if cancel.check().is_err() {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return CacheLookup::Miss(None);
+                }
+                let (guard, _timeout) =
+                    slot.cv.wait_timeout(done, PENDING_POLL).unwrap_or_else(|poisoned| {
+                        slot.done.clear_poison();
+                        poisoned.into_inner()
+                    });
+                done = guard;
+            }
+            // The build finished: published (the retry hits), abandoned or
+            // already evicted (the retry claims and this caller builds).
+        }
     }
 
     fn insert_entry(&self, key: EntryKey, artifact: Artifact, bytes: usize) {
@@ -444,6 +662,7 @@ impl IndexCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
             tuples_saved: self.tuples_saved.load(Ordering::Relaxed),
+            coalesced_builds: self.coalesced.load(Ordering::Relaxed),
             resident_bytes,
             capacity_bytes: self.capacity_bytes,
             len,
@@ -738,6 +957,119 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 2);
         let expected: usize = cache.stats().resident_bytes;
         assert!(expected > 0);
+    }
+
+    #[test]
+    fn coalesced_miss_waits_for_one_build() {
+        // N threads race a cold key: exactly one gets a claim and builds;
+        // the rest block on it and come back as coalesced hits.
+        const THREADS: usize = 8;
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let k = key(1, 0, "R1");
+        let built = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                let cache = Arc::clone(&cache);
+                let built = Arc::clone(&built);
+                let k = k.clone();
+                s.spawn(move || match cache.get_index_or_claim(&k, &CancelToken::none()) {
+                    CacheLookup::Miss(Some(claim)) => {
+                        built.fetch_add(1, Ordering::Relaxed);
+                        // Simulate a build long enough for every other
+                        // thread to arrive and block.
+                        std::thread::sleep(Duration::from_millis(20));
+                        claim.publish_index(Arc::new(RelationIndex::new(vec![trie(10)], 10, 1)));
+                    }
+                    CacheLookup::Miss(None) => panic!("coalescing must engage"),
+                    CacheLookup::Hit { .. } => {}
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 1, "exactly one thread builds");
+        let s = cache.stats();
+        assert_eq!(s.insertions, 1);
+        assert_eq!(s.misses, 1, "waiters resolve as hits, not misses");
+        assert_eq!(s.hits, (THREADS - 1) as u64);
+        assert_eq!(s.coalesced_builds, (THREADS - 1) as u64);
+    }
+
+    #[test]
+    fn abandoned_claim_wakes_waiters_who_reclaim() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let k = key(1, 0, "R1");
+        let claim = match cache.get_index_or_claim(&k, &CancelToken::none()) {
+            CacheLookup::Miss(Some(c)) => c,
+            _ => panic!("cold key must hand out a claim"),
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let k = k.clone();
+            std::thread::spawn(move || {
+                match cache.get_index_or_claim(&k, &CancelToken::none()) {
+                    CacheLookup::Miss(Some(claim)) => {
+                        // The waiter inherits the build; publishing serves
+                        // later lookups normally.
+                        claim.publish_index(Arc::new(RelationIndex::new(vec![trie(4)], 4, 1)));
+                        true
+                    }
+                    _ => false,
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(claim); // build failed — abandon without publishing
+        assert!(
+            waiter.join().expect("waiter must not hang"),
+            "waiter should reclaim the abandoned key"
+        );
+        assert!(cache.get_index(&k).is_some());
+        assert_eq!(cache.stats().coalesced_builds, 0, "an abandoned wait is not a coalesced hit");
+    }
+
+    #[test]
+    fn cancelled_waiter_stops_blocking() {
+        let cache = Arc::new(IndexCache::new(1 << 20));
+        let k = key(1, 0, "R1");
+        let _claim = match cache.get_index_or_claim(&k, &CancelToken::none()) {
+            CacheLookup::Miss(Some(c)) => c,
+            _ => panic!("cold key must hand out a claim"),
+        };
+        let cancel = CancelToken::manual();
+        cancel.cancel();
+        // The build never finishes, but the cancelled waiter returns
+        // promptly with a claimless miss instead of hanging.
+        match cache.get_index_or_claim(&k, &cancel) {
+            CacheLookup::Miss(None) => {}
+            other => panic!("cancelled wait must give up coalescing, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn zero_capacity_never_claims() {
+        let cache = IndexCache::new(0);
+        match cache.get_index_or_claim(&key(1, 0, "R1"), &CancelToken::none()) {
+            CacheLookup::Miss(None) => {}
+            other => panic!("disabled cache must not coalesce, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn bag_claims_roundtrip() {
+        let cache = IndexCache::new(1 << 20);
+        let scope = IndexScope { cache: &cache, db_tag: 7, epoch: 3, versions: &[] };
+        let bk = scope.bag_key("adj:R4,R5@[1,2,4]");
+        let rel = Arc::new(Relation::from_pairs(Attr(0), Attr(1), &[(1, 2)]));
+        match cache.get_bag_or_claim(&bk, &CancelToken::none()) {
+            CacheLookup::Miss(Some(claim)) => claim.publish_bag(Arc::clone(&rel)),
+            other => panic!("cold bag must hand out a claim, got {other:?}"),
+        }
+        match cache.get_bag_or_claim(&bk, &CancelToken::none()) {
+            CacheLookup::Hit { value, coalesced } => {
+                assert_eq!(*value, *rel);
+                assert!(!coalesced, "an uncontended hit is not coalesced");
+            }
+            other => panic!("published bag must hit, got {other:?}"),
+        };
     }
 
     #[test]

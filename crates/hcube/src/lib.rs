@@ -36,7 +36,10 @@ pub mod share;
 pub mod shuffle;
 pub mod skew;
 
-pub use cache::{BagKey, IndexCache, IndexCacheStats, IndexKey, IndexScope, RelationIndex};
+pub use cache::{
+    BagKey, BuildClaim, CacheLookup, IndexCache, IndexCacheStats, IndexKey, IndexScope,
+    RelationIndex,
+};
 pub use patch::{patch_relation_indexes, PatchOutcome};
 pub use plan::HCubePlan;
 pub use share::{optimize_share, ShareInput};

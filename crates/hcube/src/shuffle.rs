@@ -22,7 +22,7 @@
 //! per-worker `Arc<Trie>` handles; cold relations are shuffled and built
 //! once, then published for every later query.
 
-use crate::cache::{IndexScope, RelationIndex};
+use crate::cache::{BuildClaim, CacheLookup, IndexKey, IndexScope, RelationIndex};
 use crate::plan::HCubePlan;
 use crate::skew::{HotValues, ShuffleRouting};
 use adj_cluster::{BatchPayload, Cluster, Delivery, RoutedBatch};
@@ -255,7 +255,7 @@ fn checkpoint(site: FaultSite, cancel: &CancelToken) -> Result<()> {
 /// The span timeline: one `shuffle` span
 /// on the coordinator lane (with tuple/message/reuse totals), an
 /// `index_cache_hit` / `index_cache_miss` instant per consulted
-/// [`IndexKey`](crate::cache::IndexKey), a `route` span over the
+/// [`IndexKey`], a `route` span over the
 /// filter-route-inbox pass, and a `build` span per worker lane over the
 /// cold relations' sort + trie builds. With a disabled tracer this is
 /// exactly [`hcube_shuffle_cached`].
@@ -330,29 +330,62 @@ pub fn hcube_shuffle_cached_traced(
 
     // Consult the cache: resolved atoms skip routing, transfer, and build.
     // Bound (filtered) atoms never consult it — their fragments are
-    // per-binding, see the function docs.
+    // per-binding, see the function docs. Cold atoms come back with a
+    // [`BuildClaim`] registering this shuffle as the key's one in-flight
+    // builder, so a concurrent query that misses the same key blocks on
+    // this build instead of shuffling the relation again (request
+    // coalescing); the claims are published at assembly or abandoned by
+    // drop on any error path. Claims are acquired in *sorted key order* so
+    // two shuffles contending on overlapping atom sets can never
+    // hold-and-wait in a cycle.
     let mut resolved: Vec<Option<Arc<RelationIndex>>> = vec![None; infos.len()];
+    let mut claims: Vec<Option<BuildClaim<'_>>> = (0..infos.len()).map(|_| None).collect();
     let mut tuples_saved: u64 = 0;
     if let Some(scope) = cache {
-        for (ai, info) in infos.iter().enumerate() {
-            if info.bind_tag != 0 {
+        let mut keyed: Vec<(usize, IndexKey)> = infos
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.bind_tag == 0)
+            .filter_map(|(ai, info)| {
+                let Some(Some(id)) = cache_ids.get(ai) else { return None };
+                let key = scope.index_key(
+                    id.clone(),
+                    info.induced.attrs().to_vec(),
+                    plan.share(),
+                    n,
+                    routing.atom_tag(ai),
+                    info.bind_tag,
+                );
+                Some((ai, key))
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.1.cmp(&b.1));
+        for i in 0..keyed.len() {
+            let (ai, ref key) = keyed[i];
+            let id = key.relation.as_str();
+            // A self-join can put the same relation under the same induced
+            // order twice; waiting on our own claim would deadlock, so the
+            // duplicate reuses the first atom's outcome (a cold duplicate
+            // builds redundantly and publishes over the equal entry).
+            if i > 0 && keyed[i - 1].1 == *key {
+                let prev = resolved[keyed[i - 1].0].clone();
+                if let Some(entry) = &prev {
+                    tuples_saved += entry.tuples;
+                }
+                resolved[ai] = prev;
                 continue;
             }
-            let Some(Some(id)) = cache_ids.get(ai) else { continue };
-            let key = scope.index_key(
-                id.clone(),
-                info.induced.attrs().to_vec(),
-                plan.share(),
-                n,
-                routing.atom_tag(ai),
-                info.bind_tag,
-            );
-            if let Some(entry) = scope.cache.get_index(&key) {
-                tracer.instant(COORDINATOR_LANE, "index_cache_hit", id);
-                tuples_saved += entry.tuples;
-                resolved[ai] = Some(entry);
-            } else {
-                tracer.instant(COORDINATOR_LANE, "index_cache_miss", id);
+            match scope.cache.get_index_or_claim(key, cancel) {
+                CacheLookup::Hit { value, coalesced } => {
+                    let label = if coalesced { "index_cache_coalesced" } else { "index_cache_hit" };
+                    tracer.instant(COORDINATOR_LANE, label, id);
+                    tuples_saved += value.tuples;
+                    resolved[ai] = Some(value);
+                }
+                CacheLookup::Miss(claim) => {
+                    tracer.instant(COORDINATOR_LANE, "index_cache_miss", id);
+                    claims[ai] = claim;
+                }
             }
         }
     }
@@ -767,7 +800,20 @@ pub fn hcube_shuffle_cached_traced(
                     .iter_mut()
                     .map(|per_worker| per_worker[ai].take().expect("cold atom was built"))
                     .collect();
-                if let Some(scope) = cache {
+                if let Some(claim) = claims[ai].take() {
+                    // Publish through the claim: the entry lands in the
+                    // cache and every coalesced waiter wakes with it.
+                    debug_assert_eq!(info.bind_tag, 0);
+                    debug_assert!(info.filters.is_empty());
+                    claim.publish_index(Arc::new(RelationIndex::new(
+                        tries.clone(),
+                        rel_tuples[ai],
+                        rel_messages[ai],
+                    )));
+                } else if let Some(scope) = cache {
+                    // Claimless cold build (disabled cache, a wait
+                    // interrupted by cancellation, or a duplicate key in
+                    // this shuffle): plain publish, no waiters to wake.
                     if info.bind_tag == 0 {
                         if let Some(Some(id)) = cache_ids.get(ai) {
                             let key = scope.index_key(

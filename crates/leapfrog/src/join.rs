@@ -170,14 +170,17 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
             self.tries.iter().map(|t| t.borrow().cursor()).collect();
         let mut binding: Vec<Value> = vec![0; self.levels()];
         let bufs = scratch.for_levels(self.levels());
-        self.recurse_sink(0, &mut cursors, &mut binding, &mut counters, sink, bufs);
+        self.recurse_sink(0, &mut cursors, &mut binding, &mut counters, sink, bufs, &self.bound);
         counters
     }
 
     /// Sink-driven enumeration; returns `false` once the sink saturates so
     /// every enclosing level stops iterating its candidates. `scratch`
     /// holds one intersection buffer per remaining level (`scratch[0]` is
-    /// this level's), reused across sibling bindings.
+    /// this level's), reused across sibling bindings. `bound` maps levels
+    /// to pinned constants — usually `self.bound`, but [`BatchedLeapfrog`]
+    /// swaps in a fresh constant vector per batched binding.
+    #[allow(clippy::too_many_arguments)]
     fn recurse_sink(
         &self,
         level: usize,
@@ -186,12 +189,13 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
         counters: &mut JoinCounters,
         sink: &mut dyn RowSink,
         scratch: &mut [Vec<Value>],
+        bound: &[Option<Value>],
     ) -> bool {
         let ps = &self.participants[level];
         let mut opened = 0usize;
         let mut ok = true;
         let mut keep_going = true;
-        if let Some(v) = self.bound.get(level).copied().flatten() {
+        if let Some(v) = bound.get(level).copied().flatten() {
             // Bound level: seek the constant in every participant. A miss
             // in any trie prunes the subtree without intersecting anything
             // (`open_at` does not descend on a miss, so only hits unwind).
@@ -212,7 +216,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
                     counters.output_tuples += 1;
                     sink.push(binding)
                 } else {
-                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper)
+                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper, bound)
                 };
             }
             for &p in ps.iter().take(opened) {
@@ -246,7 +250,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
                     counters.output_tuples += 1;
                     sink.push(binding)
                 } else {
-                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper)
+                    self.recurse_sink(level + 1, cursors, binding, counters, sink, deeper, bound)
                 };
                 if !keep_going {
                     break;
@@ -385,6 +389,7 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
                     &mut counters,
                     &mut FnSink(|_: &[Value]| {}),
                     &mut bufs[1..],
+                    &self.bound,
                 );
             }
         }
@@ -392,6 +397,230 @@ impl<T: Borrow<Trie>> LeapfrogJoin<T> {
             cursors[p].up();
         }
         (counters.output_tuples, counters)
+    }
+}
+
+/// What a [`BatchedLeapfrog::run_batch`] run produced.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Number of leading bindings fully enumerated. Bindings are processed
+    /// strictly in input (sorted) order, so `bindings[..completed]` have
+    /// complete results in their sinks and `bindings[completed..]` were not
+    /// run (or, for `bindings[completed]` exactly, may hold a truncated
+    /// prefix if `stop` fired mid-binding). `completed == bindings.len()`
+    /// means the batch ran to the end.
+    pub completed: usize,
+    /// Aggregate execution counters for the whole batch.
+    pub counters: JoinCounters,
+}
+
+/// A batched Leapfrog driver: one prepared join shape, many bindings.
+///
+/// Executes every binding of a `BindingBatch`-style sorted, deduplicated
+/// binding list over **shared** cursors: the tries are opened once and the
+/// bindings are visited in ascending order, so at each *bound-prefix* level
+/// the cursor is already positioned at (or just past) the previous binding's
+/// value and `seek` gallops **forward** from there instead of re-descending
+/// from the trie root. Across a batch of `n` bindings over a run of length
+/// `m` that is `O(m)` total movement per cursor instead of `O(n log m)`
+/// root re-seeks — the vectorized-execution win of batched serving.
+///
+/// Only the maximal *prefix* of the attribute order consisting of bound
+/// levels gets cursor reuse (deeper bound levels sit under free levels
+/// whose context changes per binding, so they re-position exactly like the
+/// single-binding bound path). The optimizer hoists bound attributes to the
+/// front of the order, so in practice the prefix covers every parameter.
+///
+/// Results demultiplex per binding: each binding streams into its own
+/// [`RowSink`], so the existing `OutputMode` machinery (rows / limit /
+/// exists / count) applies unchanged per binding.
+pub struct BatchedLeapfrog<T: Borrow<Trie>> {
+    join: LeapfrogJoin<T>,
+    /// Levels of the order the batch binds, ascending.
+    bound_levels: Vec<usize>,
+    /// Length of the maximal bound *prefix* of the order — the levels whose
+    /// cursors survive from binding to binding with forward-only galloping.
+    prefix_len: usize,
+}
+
+impl<T: Borrow<Trie>> BatchedLeapfrog<T> {
+    /// Creates a batched join over `tries` under the global attribute
+    /// order, binding `bound_attrs` per batch entry. Every bound attribute
+    /// must appear in `order`.
+    pub fn new(order: &[Attr], tries: Vec<T>, bound_attrs: &[Attr]) -> Result<Self> {
+        let join = LeapfrogJoin::new(order, tries)?;
+        let mut bound_levels = Vec::with_capacity(bound_attrs.len());
+        for &a in bound_attrs {
+            match order.iter().position(|&o| o == a) {
+                Some(l) => bound_levels.push(l),
+                None => {
+                    return Err(Error::UnknownAttr {
+                        attr: a.to_string(),
+                        schema: format!("order {order:?}"),
+                    })
+                }
+            }
+        }
+        bound_levels.sort_unstable();
+        bound_levels.dedup();
+        let prefix_len = bound_levels.iter().enumerate().take_while(|&(i, &l)| i == l).count();
+        Ok(BatchedLeapfrog { join, bound_levels, prefix_len })
+    }
+
+    /// The global attribute order.
+    pub fn order(&self) -> &[Attr] {
+        self.join.order()
+    }
+
+    /// Levels of the order the batch binds, ascending.
+    pub fn bound_levels(&self) -> &[usize] {
+        &self.bound_levels
+    }
+
+    /// How many leading levels of the order are bound — the levels that get
+    /// monotone cursor reuse across bindings.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Executes every binding, demultiplexing results into `sinks[i]`.
+    ///
+    /// `bindings[i]` holds the constants for [`Self::bound_levels`] (same
+    /// ascending-level order) and the list must be **strictly ascending**
+    /// lexicographically — i.e. sorted and deduplicated; this is asserted.
+    /// A binding whose prefix constant misses every trie completes with an
+    /// empty result (no enumeration). `stop` is polled between bindings;
+    /// once it returns `true` the run aborts and the outcome reports how
+    /// many leading bindings completed (a binding during which `stop`
+    /// flipped is conservatively reported incomplete, since a cancelling
+    /// sink may have truncated its output).
+    pub fn run_batch(
+        &self,
+        bindings: &[Vec<Value>],
+        sinks: &mut [&mut dyn RowSink],
+        scratch: &mut JoinScratch,
+        stop: &mut dyn FnMut() -> bool,
+    ) -> BatchOutcome {
+        assert_eq!(bindings.len(), sinks.len(), "one sink per binding");
+        for b in bindings {
+            assert_eq!(b.len(), self.bound_levels.len(), "binding arity != bound attrs");
+        }
+        for w in bindings.windows(2) {
+            assert!(w[0] < w[1], "bindings must be sorted and deduplicated");
+        }
+
+        let levels = self.join.levels();
+        let mut counters = JoinCounters::new(levels);
+        if bindings.is_empty() {
+            return BatchOutcome { completed: 0, counters };
+        }
+        if self.join.tries.iter().any(|t| t.borrow().tuples() == 0) {
+            // Every binding trivially completes with an empty result.
+            return BatchOutcome { completed: bindings.len(), counters };
+        }
+
+        let mut cursors: Vec<TrieCursor<'_>> =
+            self.join.tries.iter().map(|t| t.borrow().cursor()).collect();
+        let mut binding_buf: Vec<Value> = vec![0; levels];
+        // Per-binding constants for bound levels *behind* free levels; the
+        // recursion handles those with the single-binding bound path.
+        let mut interior: Vec<Option<Value>> = vec![None; levels];
+        let bufs = scratch.for_levels(levels);
+
+        let p = self.prefix_len;
+        // Prefix cursor state shared across bindings: `open_depth` levels
+        // have open runs, the first `hit_depth` of those are positioned
+        // exactly at `last`'s values (a miss leaves deeper levels closed),
+        // and `last[lev]` is the value most recently *sought* at `lev`.
+        let mut open_depth = 0usize;
+        let mut hit_depth = 0usize;
+        let mut last: Vec<Value> = vec![0; p];
+        let mut completed = 0usize;
+
+        for (i, b) in bindings.iter().enumerate() {
+            if stop() {
+                break;
+            }
+            if sinks[i].saturated() {
+                completed = i + 1;
+                continue;
+            }
+
+            // Longest reusable prefix: levels whose value matches the
+            // previous binding AND whose cursors are positioned exactly.
+            let mut reuse = 0usize;
+            if i > 0 {
+                while reuse < hit_depth && b[reuse] == last[reuse] {
+                    reuse += 1;
+                }
+            }
+            // Close levels opened under a now-stale parent context. Level
+            // `reuse` itself stays open: its run is unchanged (everything
+            // above it matches) and sorted bindings only move it forward.
+            while open_depth > reuse + 1 {
+                open_depth -= 1;
+                for &q in &self.join.participants[open_depth] {
+                    cursors[q].up();
+                }
+            }
+
+            let mut ok = true;
+            for lev in reuse..p {
+                if lev >= open_depth {
+                    for &q in &self.join.participants[lev] {
+                        counters.stats.opens_per_level[lev] += 1;
+                        let descended = cursors[q].open();
+                        debug_assert!(descended, "interior trie rows always have children");
+                    }
+                    open_depth = lev + 1;
+                }
+                let target = b[lev];
+                let mut hit = true;
+                // No early break: every cursor must advance to >= target so
+                // the next binding's forward seek stays valid.
+                for &q in &self.join.participants[lev] {
+                    counters.stats.seeks_per_level[lev] += 1;
+                    if !cursors[q].seek(target) {
+                        hit = false;
+                    }
+                }
+                last[lev] = target;
+                if hit {
+                    counters.tuples_per_level[lev] += 1;
+                    binding_buf[lev] = target;
+                    hit_depth = lev + 1;
+                } else {
+                    hit_depth = lev;
+                    ok = false;
+                    break;
+                }
+            }
+
+            if ok {
+                for (k, &lev) in self.bound_levels.iter().enumerate().skip(p) {
+                    interior[lev] = Some(b[k]);
+                }
+                if p == levels {
+                    counters.output_tuples += 1;
+                    sinks[i].push(&binding_buf);
+                } else {
+                    self.join.recurse_sink(
+                        p,
+                        &mut cursors,
+                        &mut binding_buf,
+                        &mut counters,
+                        &mut *sinks[i],
+                        &mut bufs[p..],
+                        &interior,
+                    );
+                }
+            }
+            if stop() {
+                break;
+            }
+            completed = i + 1;
+        }
+        BatchOutcome { completed, counters }
     }
 }
 
@@ -749,6 +978,251 @@ mod tests {
         let counters = join.join_into(&mut sink);
         assert_eq!(counters.output_tuples, 0);
         assert_eq!(counters.intersect_ops, 0);
+    }
+
+    /// Dense pseudo-random triangle inputs shared by the batched tests.
+    fn batch_graph() -> (Relation, Relation, Relation) {
+        let edges: Vec<(Value, Value)> = (0..400u32)
+            .flat_map(|i| vec![(i % 53, (i * 7 + 1) % 53), (i % 53, (i * 11 + 5) % 53)])
+            .collect();
+        (
+            Relation::from_pairs(Attr(0), Attr(1), &edges),
+            Relation::from_pairs(Attr(1), Attr(2), &edges),
+            Relation::from_pairs(Attr(0), Attr(2), &edges),
+        )
+    }
+
+    /// Runs `batched` over `bindings` into row buffers and returns the
+    /// per-binding rows plus the outcome.
+    fn run_batched(
+        batched: &BatchedLeapfrog<&Trie>,
+        bindings: &[Vec<Value>],
+    ) -> (Vec<Vec<Vec<Value>>>, BatchOutcome) {
+        let mut buffers: Vec<adj_relational::RowBuffer> = bindings
+            .iter()
+            .map(|_| adj_relational::RowBuffer::new(batched.order().len()))
+            .collect();
+        let mut sinks: Vec<&mut dyn RowSink> =
+            buffers.iter_mut().map(|b| b as &mut dyn RowSink).collect();
+        let mut scratch = JoinScratch::new();
+        let outcome = batched.run_batch(bindings, &mut sinks, &mut scratch, &mut || false);
+        drop(sinks);
+        let rows = buffers
+            .into_iter()
+            .map(|b| {
+                b.into_relation(Schema::from_ids(&[0, 1, 2]))
+                    .unwrap()
+                    .rows()
+                    .map(|r| r.to_vec())
+                    .collect()
+            })
+            .collect();
+        (rows, outcome)
+    }
+
+    /// Oracle: one `with_bound` join per binding.
+    fn looped_bound(
+        ord: &[Attr],
+        tries: &[Trie],
+        attrs: &[Attr],
+        bindings: &[Vec<Value>],
+    ) -> (Vec<Vec<Vec<Value>>>, JoinCounters) {
+        let mut all = Vec::new();
+        let mut total = JoinCounters::new(ord.len());
+        for b in bindings {
+            let bound =
+                BoundValues::new(attrs.iter().copied().zip(b.iter().copied()).collect()).unwrap();
+            let join = LeapfrogJoin::new(ord, tries.iter().collect()).unwrap().with_bound(&bound);
+            let mut rows = Vec::new();
+            let c = join.run(|t| rows.push(t.to_vec()));
+            total.merge(&c);
+            all.push(rows);
+        }
+        (all, total)
+    }
+
+    #[test]
+    fn batched_matches_looped_bound_joins() {
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        // Sorted, deduplicated, with values present and absent (99, 200).
+        let bindings: Vec<Vec<Value>> =
+            [0u32, 1, 2, 3, 5, 7, 11, 13, 29, 52, 99, 200].iter().map(|&v| vec![v]).collect();
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0)]).unwrap();
+        assert_eq!(batched.prefix_len(), 1);
+        let (got, outcome) = run_batched(&batched, &bindings);
+        let (expect, _) = looped_bound(&ord, &tries, &[Attr(0)], &bindings);
+        assert_eq!(got, expect);
+        assert_eq!(outcome.completed, bindings.len());
+        let total: usize = expect.iter().map(|r| r.len()).sum();
+        assert_eq!(outcome.counters.output_tuples as usize, total);
+    }
+
+    #[test]
+    fn batched_interior_bound_attr_matches_loop() {
+        // Binding attr 1 under order [0,1,2]: no bound prefix, the interior
+        // bound path must still demultiplex correctly per binding.
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let bindings: Vec<Vec<Value>> = [0u32, 4, 9, 17, 99].iter().map(|&v| vec![v]).collect();
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(1)]).unwrap();
+        assert_eq!(batched.prefix_len(), 0);
+        let (got, outcome) = run_batched(&batched, &bindings);
+        let (expect, _) = looped_bound(&ord, &tries, &[Attr(1)], &bindings);
+        assert_eq!(got, expect);
+        assert_eq!(outcome.completed, bindings.len());
+    }
+
+    #[test]
+    fn batched_two_level_prefix_matches_loop() {
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        // Lexicographically sorted two-value bindings sharing first values,
+        // so the level-0 cursor is reused across consecutive bindings.
+        let bindings: Vec<Vec<Value>> = vec![
+            vec![1, 8],
+            vec![1, 12],
+            vec![1, 30],
+            vec![2, 8],
+            vec![2, 23],
+            vec![5, 1],
+            vec![5, 99],
+            vec![40, 2],
+        ];
+        let batched =
+            BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0), Attr(1)]).unwrap();
+        assert_eq!(batched.prefix_len(), 2);
+        let (got, outcome) = run_batched(&batched, &bindings);
+        let (expect, _) = looped_bound(&ord, &tries, &[Attr(0), Attr(1)], &bindings);
+        assert_eq!(got, expect);
+        assert_eq!(outcome.completed, bindings.len());
+    }
+
+    #[test]
+    fn batched_prefix_opens_runs_once() {
+        // The monotone-forward claim, visible in counters: the batched run
+        // opens the level-0 runs once for the whole batch, where the looped
+        // oracle re-descends from the root for every binding.
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let bindings: Vec<Vec<Value>> = (0..40u32).map(|v| vec![v]).collect();
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0)]).unwrap();
+        let (_, outcome) = run_batched(&batched, &bindings);
+        let (_, looped) = looped_bound(&ord, &tries, &[Attr(0)], &bindings);
+        let level0_participants = 2; // R1(0,1) and R3(0,2) contain attr 0
+        assert_eq!(outcome.counters.stats.opens_per_level[0], level0_participants);
+        assert_eq!(
+            looped.stats.open_ats_per_level[0],
+            bindings.len() as u64 * level0_participants,
+            "the loop re-descends per binding"
+        );
+    }
+
+    #[test]
+    fn batched_stop_reports_partial_completion() {
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let bindings: Vec<Vec<Value>> = (0..10u32).map(|v| vec![v]).collect();
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0)]).unwrap();
+        let mut buffers: Vec<adj_relational::RowBuffer> =
+            bindings.iter().map(|_| adj_relational::RowBuffer::new(3)).collect();
+        let mut sinks: Vec<&mut dyn RowSink> =
+            buffers.iter_mut().map(|b| b as &mut dyn RowSink).collect();
+        let mut scratch = JoinScratch::new();
+        let mut polls = 0usize;
+        let outcome = batched.run_batch(&bindings, &mut sinks, &mut scratch, &mut || {
+            polls += 1;
+            polls > 6
+        });
+        assert!(outcome.completed < bindings.len(), "stop must abort the batch");
+        // Completed bindings hold exactly the oracle rows.
+        let (expect, _) = looped_bound(&ord, &tries, &[Attr(0)], &bindings);
+        drop(sinks);
+        for (i, buf) in buffers.into_iter().enumerate().take(outcome.completed) {
+            let rows: Vec<Vec<Value>> = buf
+                .into_relation(Schema::from_ids(&[0, 1, 2]))
+                .unwrap()
+                .rows()
+                .map(|r| r.to_vec())
+                .collect();
+            assert_eq!(rows, expect[i], "binding {i} completed before the stop");
+        }
+    }
+
+    #[test]
+    fn batched_empty_batch_and_empty_trie() {
+        let (r1, r2, _) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let empty = Relation::empty(Schema::from_ids(&[0, 2]));
+        let t1 = r1.trie_under_order(&ord).unwrap();
+        let t2 = r2.trie_under_order(&ord).unwrap();
+        let t3 = Trie::build(&empty);
+        let batched = BatchedLeapfrog::new(&ord, vec![&t1, &t2, &t3], &[Attr(0)]).unwrap();
+
+        let mut scratch = JoinScratch::new();
+        let outcome = batched.run_batch(&[], &mut [], &mut scratch, &mut || false);
+        assert_eq!(outcome.completed, 0);
+
+        let bindings = vec![vec![1u32], vec![2]];
+        let mut buffers = [adj_relational::RowBuffer::new(3), adj_relational::RowBuffer::new(3)];
+        let mut sinks: Vec<&mut dyn RowSink> =
+            buffers.iter_mut().map(|b| b as &mut dyn RowSink).collect();
+        let outcome = batched.run_batch(&bindings, &mut sinks, &mut scratch, &mut || false);
+        assert_eq!(outcome.completed, 2, "empty inputs complete every binding with no rows");
+        drop(sinks);
+        assert!(buffers.iter().all(|b| b.is_empty()));
+    }
+
+    #[test]
+    fn batched_per_binding_sinks_saturate_independently() {
+        let (r1, r2, r3) = batch_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let bindings: Vec<Vec<Value>> = (0..8u32).map(|v| vec![v]).collect();
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0)]).unwrap();
+        let mut probes: Vec<EmitProbe<adj_relational::ExistsSink>> = bindings
+            .iter()
+            .map(|_| EmitProbe { inner: adj_relational::ExistsSink::new(), emits: 0 })
+            .collect();
+        let mut sinks: Vec<&mut dyn RowSink> =
+            probes.iter_mut().map(|p| p as &mut dyn RowSink).collect();
+        let mut scratch = JoinScratch::new();
+        let outcome = batched.run_batch(&bindings, &mut sinks, &mut scratch, &mut || false);
+        assert_eq!(outcome.completed, bindings.len());
+        drop(sinks);
+        let (expect, _) = looped_bound(&ord, &tries, &[Attr(0)], &bindings);
+        for (i, probe) in probes.iter().enumerate() {
+            assert_eq!(probe.inner.found(), !expect[i].is_empty(), "binding {i} existence");
+            assert!(probe.emits <= 1, "exists stops at the first witness per binding");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and deduplicated")]
+    fn batched_rejects_unsorted_bindings() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        let batched = BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(0)]).unwrap();
+        let bindings = vec![vec![3u32], vec![1]];
+        let mut buffers = [adj_relational::RowBuffer::new(3), adj_relational::RowBuffer::new(3)];
+        let mut sinks: Vec<&mut dyn RowSink> =
+            buffers.iter_mut().map(|b| b as &mut dyn RowSink).collect();
+        let mut scratch = JoinScratch::new();
+        batched.run_batch(&bindings, &mut sinks, &mut scratch, &mut || false);
+    }
+
+    #[test]
+    fn batched_rejects_unknown_bound_attr() {
+        let (r1, r2, r3) = triangle_graph();
+        let ord = order(&[0, 1, 2]);
+        let tries = tries_for(&[&r1, &r2, &r3], &ord);
+        assert!(BatchedLeapfrog::new(&ord, tries.iter().collect(), &[Attr(9)]).is_err());
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod join;
 pub use cached::CachedJoin;
 pub use counters::{JoinCounters, JoinStats};
 pub use generic::GenericJoin;
-pub use join::{validate_tries, JoinScratch, LeapfrogJoin};
+pub use join::{validate_tries, BatchOutcome, BatchedLeapfrog, JoinScratch, LeapfrogJoin};

@@ -196,6 +196,9 @@ impl MetricsSnapshot {
             .u64("worker_panics_caught", self.worker_panics_caught)
             .u64("queries_deadline_exceeded", self.queries_deadline_exceeded)
             .u64("queries_cancelled", self.queries_cancelled)
+            .u64("batch_bindings_executed", self.batch_bindings_executed)
+            .u64("result_cache_hits", self.result_cache_hits)
+            .u64("coalesced_builds", self.coalesced_builds)
             .raw("total", self.total.to_json())
             .raw("queue_wait", self.queue_wait.to_json())
             .raw("optimization", self.optimization.to_json())
@@ -279,6 +282,9 @@ mod tests {
         assert!(json.contains("\"worker_panics_caught\":0"));
         assert!(json.contains("\"queries_deadline_exceeded\":0"));
         assert!(json.contains("\"queries_cancelled\":0"));
+        assert!(json.contains("\"batch_bindings_executed\":0"));
+        assert!(json.contains("\"result_cache_hits\":0"));
+        assert!(json.contains("\"coalesced_builds\":0"));
         assert!(json.contains("\"total\":{\"count\":0"));
 
         let r = ExecutionReport { output_tuples: 9, share: vec![2, 2, 1], ..Default::default() };

@@ -82,8 +82,10 @@ pub mod explain;
 pub mod json;
 pub mod metrics;
 pub mod pool;
+pub mod result_cache;
 pub mod service;
 
+pub use adj_batch::BindingBatch;
 pub use adj_cluster::TransportKind;
 pub use adj_core::{IndexCache, IndexCacheStats};
 pub use adj_delta::{DeltaConfig, MutationBatch};
@@ -94,8 +96,9 @@ pub use cache::PlanCacheStats;
 pub use json::execution_report_json;
 pub use metrics::{HistogramSnapshot, MetricsSnapshot, ModeCounts};
 pub use pool::{JobHandle, QueryInput, QueryRequest, WorkerPool};
+pub use result_cache::ResultCacheStats;
 pub use service::{
-    MutationOutcome, PreparedQuery, Service, ServiceOutcome, ServiceStats, SlowQuery,
+    BatchOutcome, MutationOutcome, PreparedQuery, Service, ServiceOutcome, ServiceStats, SlowQuery,
 };
 
 use adj_core::{AdjConfig, Strategy};
@@ -146,6 +149,12 @@ pub struct ServiceConfig {
     pub strategy: Strategy,
     /// Plan-cache capacity in entries; 0 disables caching.
     pub plan_cache_capacity: usize,
+    /// Per-binding result-cache capacity in entries
+    /// ([`ResultCache`](result_cache::ResultCache) — finished
+    /// [`QueryOutput`](adj_relational::QueryOutput)s keyed by plan entry +
+    /// mode + binding values, serving re-bound hot vertices on the batched
+    /// path without executing); 0 disables it.
+    pub result_cache_capacity: usize,
     /// Index-cache capacity in **bytes**, covering shuffled partitions,
     /// built tries, and pre-computed bags. `Some(0)` disables index
     /// caching; `None` derives the budget from the cluster memory limit
@@ -195,6 +204,7 @@ impl Default for ServiceConfig {
             adj: AdjConfig::default(),
             strategy: Strategy::CoOptimize,
             plan_cache_capacity: 128,
+            result_cache_capacity: 1024,
             index_cache_capacity_bytes: None,
             max_concurrent: 4,
             admission: AdmissionPolicy::Queue { max_waiting: 64, timeout: None },

@@ -173,6 +173,8 @@ pub struct ServiceMetrics {
     worker_panics_caught: AtomicU64,
     queries_deadline_exceeded: AtomicU64,
     queries_cancelled: AtomicU64,
+    batch_bindings_executed: AtomicU64,
+    result_cache_hits: AtomicU64,
     partition_tuples_max: AtomicU64,
     partition_fill_sum: AtomicU64,
     partition_fill_slots: AtomicU64,
@@ -310,6 +312,16 @@ impl ServiceMetrics {
         self.delta_overlay_tuples.store(overlay_tuples, Ordering::Relaxed);
     }
 
+    /// Records one served [`Service::execute_batch`](crate::Service)
+    /// call: how many binding submissions it answered (duplicates and
+    /// result-cache hits included — every submission the batched path
+    /// served) and how many of those came straight out of the per-binding
+    /// result LRU without executing.
+    pub fn record_batch(&self, bindings: u64, cache_hits: u64) {
+        self.batch_bindings_executed.fetch_add(bindings, Ordering::Relaxed);
+        self.result_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
+    }
+
     /// Records one applied elastic-width change
     /// ([`Cluster::resize`](adj_cluster::Cluster::resize) accepted).
     pub fn record_resize(&self) {
@@ -361,6 +373,11 @@ impl ServiceMetrics {
             worker_panics_caught: self.worker_panics_caught.load(Ordering::Relaxed),
             queries_deadline_exceeded: self.queries_deadline_exceeded.load(Ordering::Relaxed),
             queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
+            batch_bindings_executed: self.batch_bindings_executed.load(Ordering::Relaxed),
+            result_cache_hits: self.result_cache_hits.load(Ordering::Relaxed),
+            // The registry does not own the index cache; the service fills
+            // this in from `IndexCacheStats` when assembling its snapshot.
+            coalesced_builds: 0,
             max_partition_tuples: self.partition_tuples_max.load(Ordering::Relaxed),
             mean_partition_tuples: {
                 let slots = self.partition_fill_slots.load(Ordering::Relaxed);
@@ -465,6 +482,20 @@ pub struct MetricsSnapshot {
     /// Queries stopped by explicit cancellation (a fault-plan `Cancel` or a
     /// manually triggered token — distinct from deadline expiry).
     pub queries_cancelled: u64,
+    /// Binding submissions served through the batched execution path
+    /// (`Service::execute_batch`) — duplicates and result-cache hits
+    /// included.
+    pub batch_bindings_executed: u64,
+    /// Binding submissions answered straight from the per-binding result
+    /// LRU without executing. The batch hit rate is this over
+    /// `batch_bindings_executed`.
+    pub result_cache_hits: u64,
+    /// Index/bag builds avoided by request coalescing: concurrent misses on
+    /// one cold cache entry collapse onto a single builder and the rest
+    /// wait for its published handle. (Sourced from
+    /// [`IndexCacheStats`](adj_core::IndexCacheStats) at snapshot time —
+    /// 0 in snapshots taken directly off a bare `ServiceMetrics`.)
+    pub coalesced_builds: u64,
     /// Fullest single-worker partition fill (delivered tuple copies)
     /// observed on any served query — the hot-spot ceiling skew hardening
     /// bounds.
@@ -590,6 +621,21 @@ impl MetricsSnapshot {
             "queries_cancelled_total",
             "Queries stopped by explicit cancellation.",
             self.queries_cancelled,
+        );
+        counter(
+            "batch_bindings_executed_total",
+            "Binding submissions served through the batched execution path.",
+            self.batch_bindings_executed,
+        );
+        counter(
+            "result_cache_hits_total",
+            "Binding submissions answered from the per-binding result cache.",
+            self.result_cache_hits,
+        );
+        counter(
+            "coalesced_builds_total",
+            "Index/bag builds avoided by request coalescing.",
+            self.coalesced_builds,
         );
         counter("wire_bytes_total", "Serialized bytes moved by shuffles.", self.wire_bytes);
         counter(
@@ -828,6 +874,21 @@ mod tests {
         assert!(text.contains("adj_worker_panics_caught_total 1\n"));
         assert!(text.contains("adj_queries_deadline_exceeded_total 1\n"));
         assert!(text.contains("adj_queries_cancelled_total 1\n"));
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_export() {
+        let m = ServiceMetrics::new();
+        m.record_batch(100, 40);
+        m.record_batch(50, 50);
+        let s = m.snapshot();
+        assert_eq!(s.batch_bindings_executed, 150);
+        assert_eq!(s.result_cache_hits, 90);
+        assert_eq!(s.coalesced_builds, 0, "filled in by the service, not the registry");
+        let text = s.to_prometheus_text();
+        assert!(text.contains("adj_batch_bindings_executed_total 150\n"));
+        assert!(text.contains("adj_result_cache_hits_total 90\n"));
+        assert!(text.contains("adj_coalesced_builds_total 0\n"));
     }
 
     #[test]

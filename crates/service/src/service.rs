@@ -5,7 +5,9 @@ use crate::admission::AdmissionController;
 use crate::cache::{PlanCache, PlanCacheStats};
 use crate::explain;
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::result_cache::{ResultCache, ResultCacheStats};
 use crate::{AdmissionStats, ServiceConfig, ServiceError};
+use adj_batch::{execute_plan_batch, BindingBatch};
 use adj_cluster::Cluster;
 use adj_core::{Adj, ExecutionReport, IndexCache, IndexCacheStats, IndexScope, QueryPlan};
 use adj_delta::{DeltaRelation, MutationBatch};
@@ -254,6 +256,19 @@ impl PreparedQuery {
     pub fn fingerprint(&self) -> QueryFingerprint {
         self.fingerprint
     }
+
+    /// Resolves `bindings` against the statement's parameter table into
+    /// the constant set an execution would push down — without executing
+    /// anything. Every `$name` parameter must receive a value
+    /// ([`Error::UnboundParam`](adj_relational::Error) names the first one
+    /// missing) and every supplied name must exist in the statement
+    /// ([`Error::UnknownParam`](adj_relational::Error) rejects typos
+    /// instead of silently ignoring them). The returned [`BoundValues`]
+    /// also folds the shape's inline literals, exactly as
+    /// [`Service::execute_bound`] would.
+    pub fn bind(&self, bindings: &Bindings) -> adj_relational::Result<BoundValues> {
+        self.query.resolve_bindings(bindings)
+    }
 }
 
 /// One entry of the slow-query log: a query that exceeded the configured
@@ -284,8 +299,46 @@ pub struct ServiceStats {
     pub cache: PlanCacheStats,
     /// Index-cache counters (hits/misses/evictions/resident bytes).
     pub index: IndexCacheStats,
+    /// Per-binding result-cache counters.
+    pub results: ResultCacheStats,
     /// Admission-control counters.
     pub admission: AdmissionStats,
+}
+
+/// One served binding batch's outcome: per-submission results plus the
+/// batch-level accounting shared by all of them.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per submission, **aligned with the submission order**.
+    /// Per-binding errors carry partial-batch outcomes: on a mid-batch
+    /// deadline or cancel, bindings that completed keep their outputs and
+    /// the rest observe the typed deadline/cancel error.
+    pub results: Vec<Result<QueryOutput, ServiceError>>,
+    /// The output mode every binding ran under.
+    pub mode: OutputMode,
+    /// The batch's aggregate cost report: **one** bag pre-computation and
+    /// **one** unbound shuffle for the whole batch, plus the batched join.
+    /// Zeroed when every submission was served from the result cache.
+    pub report: ExecutionReport,
+    /// The executed plan (shared with the plan cache).
+    pub plan: Arc<QueryPlan>,
+    /// The statement's canonical fingerprint under this mode.
+    pub fingerprint: QueryFingerprint,
+    /// Whether the plan came from the plan cache.
+    pub cache_hit: bool,
+    /// Submissions answered from the per-binding result LRU.
+    pub result_cache_hits: usize,
+    /// Distinct bindings the batched driver actually executed (after
+    /// dedup and result-cache skimming).
+    pub unique_executed: usize,
+    /// Seconds spent waiting for the batch's one admission slot.
+    pub queue_secs: f64,
+    /// End-to-end service-side seconds for the whole batch.
+    pub total_secs: f64,
+    /// The batch's span timeline — one trace tree covering admission, plan
+    /// lookup, the shared shuffle, and the batched join — when tracing was
+    /// on; `None` otherwise.
+    pub trace: Option<QueryTrace>,
 }
 
 /// A long-lived query service over one shared simulated cluster.
@@ -303,6 +356,9 @@ pub struct Service {
     /// pre-computed bag relations, shared by every database the service
     /// hosts (keys carry the database tag + epoch).
     index: IndexCache,
+    /// The per-binding result LRU: finished [`QueryOutput`]s keyed by plan
+    /// cache key + mode + binding values, for re-bound hot vertices.
+    results: ResultCache,
     admission: AdmissionController,
     metrics: ServiceMetrics,
     /// The worst-latency traced queries, sorted slowest first, capped at
@@ -372,6 +428,7 @@ impl Service {
         Service {
             cache: PlanCache::new(config.plan_cache_capacity),
             index: IndexCache::new(index_capacity),
+            results: ResultCache::new(config.result_cache_capacity),
             admission: AdmissionController::new(max_concurrent, config.admission),
             metrics: ServiceMetrics::new(),
             slow_log: Mutex::new(Vec::new()),
@@ -447,9 +504,13 @@ impl Service {
             // Scoped: only this database's plans and indexes drop; other
             // databases' cached artifacts stay warm. (The epoch bump already
             // stops stale entries from matching — eager invalidation frees
-            // their bytes instead of waiting for LRU pressure.)
+            // their bytes instead of waiting for LRU pressure.) Cached
+            // per-binding results key on the plan cache key (tag + stats
+            // token folded in), so the new epoch orphans them; the blunt
+            // clear frees their memory now instead of under LRU pressure.
             self.cache.invalidate_db(old.tag);
             self.index.invalidate_db(old.tag);
+            self.results.clear();
         }
         epoch
     }
@@ -889,6 +950,323 @@ impl Service {
         self.execute_inner(&prepared.db_name, &prepared.query, mode, &values, false, deadline)
     }
 
+    /// Executes a whole batch of bindings of one prepared statement under
+    /// **one** admission slot, **one** deadline, and **one** trace span
+    /// tree. The submissions are normalized into a [`BindingBatch`]
+    /// (duplicates collapse onto one execution), warm bindings are answered
+    /// from the per-binding result LRU, and the remainder runs through
+    /// [`execute_plan_batch`]: one bag pre-computation pass and one
+    /// *unbound* shuffle shared by every binding, then a batched Leapfrog
+    /// join that visits the bindings in sorted order with forward-galloping
+    /// cursor reuse. Results come back **aligned with the submission
+    /// order** and byte-identical to looping [`Service::execute_bound`]
+    /// over the same submissions.
+    ///
+    /// The outer `Err` is a whole-batch failure (unknown database,
+    /// admission rejection, a malformed binding, planning or shuffle
+    /// failure, a worker panic). Per-binding errors inside
+    /// [`BatchOutcome::results`] carry partial outcomes: on a mid-batch
+    /// deadline or cancellation, bindings that completed keep their
+    /// results and the rest observe the typed deadline/cancel error.
+    pub fn execute_batch(
+        &self,
+        prepared: &PreparedQuery,
+        bindings: &[Bindings],
+        mode: OutputMode,
+    ) -> Result<BatchOutcome, ServiceError> {
+        self.execute_batch_with_deadline(prepared, bindings, mode, None)
+    }
+
+    /// [`Service::execute_batch`] with one deadline covering the whole
+    /// batch, measured from submission (admission wait included). `None`
+    /// falls back to [`ServiceConfig::default_deadline`](crate::ServiceConfig).
+    pub fn execute_batch_with_deadline(
+        &self,
+        prepared: &PreparedQuery,
+        bindings: &[Bindings],
+        mode: OutputMode,
+        deadline: Option<Duration>,
+    ) -> Result<BatchOutcome, ServiceError> {
+        let t_start = Instant::now();
+        let effective_deadline = deadline.or(self.config.default_deadline);
+        let cancel = match effective_deadline {
+            Some(d) => CancelToken::with_deadline(t_start + d),
+            None => CancelToken::manual(),
+        };
+        let settings = &self.config.trace;
+        let tracer = if settings.enabled || settings.slow_query_threshold.is_some() {
+            Tracer::new(settings.buffer_capacity)
+        } else {
+            Tracer::disabled()
+        };
+
+        // Resolve every submission up front: a malformed binding (missing
+        // or unknown `$name`) fails the whole batch before any slot is
+        // held — batch inputs are validated as one request.
+        let mut resolved = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            match prepared.query.resolve_bindings(b) {
+                Ok(v) => resolved.push(v),
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(ServiceError::Exec(e));
+                }
+            }
+        }
+        let batch = match BindingBatch::new(resolved) {
+            Ok(b) => b,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(ServiceError::Exec(e));
+            }
+        };
+
+        let entry = match self.lookup(&prepared.db_name) {
+            Ok(e) => e,
+            Err(e) => {
+                self.metrics.record_failure();
+                return Err(e);
+            }
+        };
+
+        // Memory admission: the batch shares one shuffle, so its input
+        // footprint is the same one query's — charged once, not per
+        // binding.
+        if let Some(budget) = self.per_query_budget_bytes {
+            let estimated = Self::estimate_input_bytes(&entry.db, &prepared.query);
+            if estimated > budget {
+                self.admission.note_memory_rejection();
+                self.metrics.record_rejection();
+                return Err(ServiceError::RejectedMemory {
+                    estimated_bytes: estimated,
+                    budget_bytes: budget,
+                });
+            }
+        }
+
+        // One admission slot for the whole batch.
+        let t_queue = Instant::now();
+        let mut admit_span = tracer.span(COORDINATOR_LANE, "admission_wait");
+        let permit = match self.admission.admit() {
+            Ok(p) => p,
+            Err(e) => {
+                self.metrics.record_rejection();
+                return Err(e);
+            }
+        };
+        let queue_secs = t_queue.elapsed().as_secs_f64();
+        if let Err(c) = cancel.check() {
+            return Err(self.fail_cancelled(c, effective_deadline));
+        }
+        if queue_secs < 1e-6 {
+            admit_span.discard();
+        }
+        drop(admit_span);
+
+        // One plan lookup: every binding shares the statement's entry.
+        let fingerprint = QueryFingerprint::of_mode(&prepared.query, mode);
+        let key = fingerprint.cache_key(entry.tag, entry.stats_token(&prepared.query));
+        let mut lookup_span = tracer.span(COORDINATOR_LANE, "plan_lookup");
+        let (plan, cache_hit) = match self.cache.get(key) {
+            Some(plan) => (plan, true),
+            None => {
+                let mut optimize_span = tracer.span(COORDINATOR_LANE, "optimize");
+                let plan = match self.adj.plan(&prepared.query, &entry.db, self.config.strategy) {
+                    Ok(p) => Arc::new(p),
+                    Err(e) => {
+                        self.metrics.record_failure();
+                        return Err(ServiceError::Exec(e));
+                    }
+                };
+                if optimize_span.is_recording() {
+                    optimize_span.arg("relations", plan.relations.len() as u64);
+                }
+                drop(optimize_span);
+                self.cache.insert(key, entry.tag, Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+        lookup_span.arg("hit", cache_hit as u64);
+        drop(lookup_span);
+        if !cache_hit {
+            self.maybe_resize();
+        }
+
+        // Skim the result LRU: warm uniques are answered without
+        // executing; the cold remainder forms the driver batch. Per-unique
+        // outcomes hold the library error type (cloneable) and are mapped
+        // to ServiceError per submission at demux.
+        let mut unique_results: Vec<Option<Result<QueryOutput, adj_relational::Error>>> =
+            vec![None; batch.unique_len()];
+        let mut cold = Vec::new();
+        let mut cold_slots = Vec::new();
+        for (u, b) in batch.unique().iter().enumerate() {
+            match self.results.get(Self::result_key(key, mode, b)) {
+                Some(out) => unique_results[u] = Some(Ok(out)),
+                None => {
+                    cold.push(b.clone());
+                    cold_slots.push(u);
+                }
+            }
+        }
+        let result_cache_hits =
+            batch.slot_of().iter().filter(|&&u| unique_results[u].is_some()).count();
+        let unique_executed = cold.len();
+
+        let mut report = ExecutionReport::default();
+        if !cold.is_empty() {
+            // `cold` holds distinct, already-sorted bindings, so the inner
+            // batch's submission order is its unique order: result `k`
+            // belongs to `cold_slots[k]`.
+            let cold_batch = match BindingBatch::new(cold) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.metrics.record_failure();
+                    return Err(ServiceError::Exec(e));
+                }
+            };
+            let scope = IndexScope {
+                cache: &self.index,
+                db_tag: entry.tag,
+                epoch: entry.epoch,
+                versions: &entry.versions,
+            };
+            let executed = catch_unwind(AssertUnwindSafe(|| {
+                execute_plan_batch(
+                    self.adj.cluster(),
+                    &entry.db,
+                    &plan,
+                    self.adj.config(),
+                    mode,
+                    Some(&scope),
+                    &cold_batch,
+                    &cancel,
+                    &tracer,
+                )
+            }));
+            match executed {
+                Ok(Ok((slot_results, batch_report))) => {
+                    report = batch_report;
+                    for (k, res) in slot_results.into_iter().enumerate() {
+                        let u = cold_slots[k];
+                        if let Ok(out) = &res {
+                            self.results.insert(
+                                Self::result_key(key, mode, &batch.unique()[u]),
+                                out.clone(),
+                            );
+                        }
+                        unique_results[u] = Some(res);
+                    }
+                }
+                Ok(Err(e)) => return Err(self.fail_exec(e, effective_deadline)),
+                Err(payload) => {
+                    self.metrics.record_failure();
+                    self.metrics.record_worker_panic();
+                    return Err(ServiceError::WorkerPanicked {
+                        worker: None,
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        }
+        drop(permit);
+
+        // Demultiplex per submission, mapping library errors into service
+        // errors (filling in the effective deadline the executor cannot
+        // know). Deadline/cancel slots count once in the fault counters —
+        // the batch itself still succeeded partially.
+        let mut any_deadline = false;
+        let mut any_cancel = false;
+        let results: Vec<Result<QueryOutput, ServiceError>> = batch
+            .slot_of()
+            .iter()
+            .map(|&u| {
+                match unique_results[u].as_ref().expect("every unique resolved or executed") {
+                    Ok(out) => Ok(out.clone()),
+                    Err(e) => Err(match ServiceError::from(e.clone()) {
+                        ServiceError::DeadlineExceeded { .. } => {
+                            any_deadline = true;
+                            ServiceError::DeadlineExceeded { deadline: effective_deadline }
+                        }
+                        ServiceError::Cancelled => {
+                            any_cancel = true;
+                            ServiceError::Cancelled
+                        }
+                        other => other,
+                    }),
+                }
+            })
+            .collect();
+        if any_deadline {
+            self.metrics.record_deadline_exceeded();
+        }
+        if any_cancel {
+            self.metrics.record_cancelled();
+        }
+
+        if cache_hit {
+            report.optimization_secs = 0.0;
+        }
+        let total_secs = t_start.elapsed().as_secs_f64();
+        let tuples_returned =
+            results.iter().filter_map(|r| r.as_ref().ok()).map(|o| o.tuples_returned()).sum();
+        self.metrics.record_success(&report, mode, tuples_returned, queue_secs, total_secs);
+        self.metrics.record_batch(batch.len() as u64, result_cache_hits as u64);
+        let trace = tracer.enabled().then(|| {
+            self.metrics.record_trace(tracer.events_dropped());
+            QueryTrace::new(&tracer)
+        });
+        if let (Some(trace), Some(threshold)) = (&trace, settings.slow_query_threshold) {
+            if total_secs >= threshold.as_secs_f64() {
+                self.note_slow(SlowQuery {
+                    db_name: prepared.db_name.clone(),
+                    fingerprint,
+                    mode,
+                    total_secs,
+                    queue_secs,
+                    trace: trace.snapshot(),
+                });
+            }
+        }
+        Ok(BatchOutcome {
+            results,
+            mode,
+            report,
+            plan,
+            fingerprint,
+            cache_hit,
+            result_cache_hits,
+            unique_executed,
+            queue_secs,
+            total_secs,
+            trace,
+        })
+    }
+
+    /// The result-LRU key of one `(plan entry, mode, binding)` triple: the
+    /// plan cache key already folds the query shape, database tag, and
+    /// statistics token (so mutations orphan stale results), and the
+    /// binding's value pairs are folded FNV-style — the same fingerprint
+    /// discipline as `BoundValues::tag_for` / `IndexKey::bind_tag`. The
+    /// mode folds separately because the plan key is mode-independent.
+    fn result_key(plan_cache_key: u64, mode: OutputMode, binding: &BoundValues) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(&plan_cache_key.to_le_bytes());
+        let (m, n): (u8, u64) = match mode {
+            OutputMode::Rows => (0, 0),
+            OutputMode::Count => (1, 0),
+            OutputMode::Limit(n) => (2, n as u64),
+            OutputMode::Exists => (3, 0),
+        };
+        h.write(&[m]);
+        h.write(&n.to_le_bytes());
+        for &(attr, value) in binding.pairs() {
+            h.write(&attr.0.to_le_bytes());
+            h.write(&value.to_le_bytes());
+        }
+        h.finish()
+    }
+
     /// The shared serving path: admission → plan cache → bound execution.
     /// `force_trace` turns tracing on for this query regardless of the
     /// configured [`TraceSettings`](crate::TraceSettings) (the
@@ -1292,22 +1670,36 @@ impl Service {
         self.index.stats()
     }
 
+    /// Per-binding result-cache counters.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results.stats()
+    }
+
     /// Admission-control counters.
     pub fn admission_stats(&self) -> AdmissionStats {
         self.admission.stats()
     }
 
-    /// Metrics-registry snapshot.
+    /// Metrics-registry snapshot. The `coalesced_builds` counter lives in
+    /// the index cache (builds avoided by concurrent-miss coalescing); it
+    /// is stitched into the snapshot here so one struct carries every
+    /// exported counter.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut m = self.metrics.snapshot();
+        m.coalesced_builds = self.index.stats().coalesced_builds;
+        m
     }
 
     /// Everything at once.
     pub fn stats(&self) -> ServiceStats {
+        let index = self.index.stats();
+        let mut metrics = self.metrics.snapshot();
+        metrics.coalesced_builds = index.coalesced_builds;
         ServiceStats {
-            metrics: self.metrics.snapshot(),
+            metrics,
             cache: self.cache.stats(),
-            index: self.index.stats(),
+            index,
+            results: self.results.stats(),
             admission: self.admission.stats(),
         }
     }
@@ -2147,5 +2539,109 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"mutations_applied\":1"));
         assert!(json.contains("\"delta_overlay_tuples\""));
+    }
+
+    #[test]
+    fn batched_bindings_match_looped_bound_execution() {
+        use adj_query::parse_query;
+        let service = small_service();
+        service.register_database("g", paper_query(PaperQuery::Q1).instantiate(&graph(150, 41)));
+        let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c), R3($v,c)").unwrap();
+        let prepared = service.prepare("g", &q).unwrap();
+
+        let vs = [0u32, 3, 7, 11, 40, 7, 3];
+        let bindings: Vec<Bindings> = vs.iter().map(|&v| Bindings::new().set("v", v)).collect();
+        let batch = service.execute_batch(&prepared, &bindings, OutputMode::Rows).unwrap();
+        assert_eq!(batch.results.len(), vs.len());
+        assert!(batch.unique_executed <= 5, "duplicate bindings must be deduplicated");
+
+        // Oracle: the single-binding bound path, on a fresh identically
+        // configured service so its result cache can't mask differences.
+        let oracle = small_service();
+        oracle.register_database("g", paper_query(PaperQuery::Q1).instantiate(&graph(150, 41)));
+        let oracle_prepared = oracle.prepare("g", &q).unwrap();
+        for (b, got) in bindings.iter().zip(&batch.results) {
+            let want = oracle.execute_bound(&oracle_prepared, b, OutputMode::Rows).unwrap();
+            assert_eq!(got.as_ref().unwrap(), &want.output);
+        }
+
+        let m = service.metrics();
+        assert_eq!(m.batch_bindings_executed, vs.len() as u64);
+    }
+
+    #[test]
+    fn repeated_batch_is_served_from_the_result_cache() {
+        use adj_query::parse_query;
+        let service = small_service();
+        service.register_database("g", paper_query(PaperQuery::Q7).instantiate(&graph(120, 31)));
+        let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c)").unwrap();
+        let prepared = service.prepare("g", &q).unwrap();
+        let bindings: Vec<Bindings> =
+            [1u32, 2, 3, 4].iter().map(|&v| Bindings::new().set("v", v)).collect();
+
+        let cold = service.execute_batch(&prepared, &bindings, OutputMode::Count).unwrap();
+        assert_eq!(cold.result_cache_hits, 0);
+        assert_eq!(cold.unique_executed, 4);
+
+        let warm = service.execute_batch(&prepared, &bindings, OutputMode::Count).unwrap();
+        assert_eq!(warm.result_cache_hits, 4, "identical re-batch must be fully cached");
+        assert_eq!(warm.unique_executed, 0);
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+        }
+        // A different mode is a different result: no cross-mode bleed.
+        let rows = service.execute_batch(&prepared, &bindings, OutputMode::Rows).unwrap();
+        assert_eq!(rows.result_cache_hits, 0, "mode is part of the result key");
+
+        let stats = service.stats();
+        assert_eq!(stats.results.hits, 4);
+        assert!(stats.results.misses >= 8);
+        assert_eq!(stats.metrics.result_cache_hits, 4);
+        assert_eq!(stats.metrics.batch_bindings_executed, 12);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_batch_results() {
+        use adj_query::parse_query;
+        let service = small_service();
+        service.register_database("g", paper_query(PaperQuery::Q7).instantiate(&graph(120, 31)));
+        let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c)").unwrap();
+        let prepared = service.prepare("g", &q).unwrap();
+        let bindings = vec![Bindings::new().set("v", 1u32)];
+        let before = service.execute_batch(&prepared, &bindings, OutputMode::Count).unwrap();
+
+        // Insert a fresh two-hop chain out of vertex 1: the cached count
+        // must not survive the mutation.
+        service.mutate("g", &MutationBatch::new("R1").insert(&[1, 900])).unwrap();
+        service.mutate("g", &MutationBatch::new("R2").insert(&[900, 901])).unwrap();
+        let after = service.execute_batch(&prepared, &bindings, OutputMode::Count).unwrap();
+        assert_eq!(after.result_cache_hits, 0, "stats-token change must orphan the entry");
+        assert_ne!(before.results[0].as_ref().unwrap(), after.results[0].as_ref().unwrap());
+    }
+
+    #[test]
+    fn empty_batch_and_bad_bindings_are_typed() {
+        use adj_query::parse_query;
+        let service = small_service();
+        service.register_database("g", paper_query(PaperQuery::Q7).instantiate(&graph(60, 13)));
+        let (q, _) = parse_query("Q(b,c) :- R1($v,b), R2(b,c)").unwrap();
+        let prepared = service.prepare("g", &q).unwrap();
+
+        let empty = service.execute_batch(&prepared, &[], OutputMode::Rows).unwrap();
+        assert!(empty.results.is_empty());
+        assert_eq!(empty.unique_executed, 0);
+
+        let err = service
+            .execute_batch(&prepared, &[Bindings::new().set("w", 1u32)], OutputMode::Rows)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Exec(adj_relational::Error::UnboundParam { .. })
+                | ServiceError::Exec(adj_relational::Error::UnknownParam { .. })
+        ));
+        // PreparedQuery::bind surfaces the same validation directly.
+        assert!(prepared.bind(&Bindings::new().set("v", 1u32)).is_ok());
+        assert!(prepared.bind(&Bindings::new()).is_err());
+        assert!(prepared.bind(&Bindings::new().set("v", 1u32).set("w", 2u32)).is_err());
     }
 }

@@ -23,6 +23,7 @@
 //! | [`trace`] | `adj-trace` | zero-dependency lock-free per-query span/event tracing |
 //! | [`faults`] | `adj-faults` | cancellation tokens + deterministic fault injection |
 //! | [`core`] | `adj-core` | the ADJ optimizer (Algorithm 2) and executor |
+//! | [`batch`] | `adj-batch` | vectorized binding batches + the batched Leapfrog driver |
 //! | [`service`] | `adj-service` | concurrent query service: plan + index caches, admission control, metrics, output modes |
 //! | [`baselines`] | `adj-baselines` | SparkSQL-analog, BigJoin, HCubeJ(+Cache) |
 //! | [`datagen`] | `adj-datagen` | seeded stand-ins for the Table I datasets |
@@ -62,6 +63,7 @@
 //! as the drop-in accessor for `Rows`-mode call sites.
 
 pub use adj_baselines as baselines;
+pub use adj_batch as batch;
 pub use adj_cluster as cluster;
 pub use adj_core as core;
 pub use adj_datagen as datagen;
@@ -93,8 +95,9 @@ pub mod prelude {
     };
     pub use adj_sampling::{Sampler, SamplingConfig};
     pub use adj_service::{
-        AdmissionPolicy, MutationOutcome, PreparedQuery, QueryRequest, Service, ServiceConfig,
-        ServiceError, ServiceOutcome, SlowQuery, TraceSettings, WorkerPool,
+        AdmissionPolicy, BatchOutcome, BindingBatch, MutationOutcome, PreparedQuery, QueryRequest,
+        ResultCacheStats, Service, ServiceConfig, ServiceError, ServiceOutcome, SlowQuery,
+        TraceSettings, WorkerPool,
     };
     pub use adj_trace::{Event, QueryTrace, SpanGuard, Trace, Tracer, COORDINATOR_LANE};
 }
